@@ -1,0 +1,128 @@
+"""E8 — hole abstraction ablation: visibility graph vs Delaunay vs hulls.
+
+The §4.1 space-reduction argument, measured: for a hole-shape sweep (convex,
+star, L) the three structures' vertex/edge counts and the resulting routing
+stretch.  Expected shape: hull structures are dramatically smaller
+(O(Σ L(c)) vertices vs all boundary nodes; O(h) vs Θ(h²) edges) at nearly
+identical stretch — the paper's core trade-off (17.7 → 35.37 bound, tiny
+difference in practice).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import make_instance, strategy_route_fn
+from repro.routing import HybridRouter, sample_pairs
+from repro.routing.competitiveness import evaluate_routing
+
+SHAPES = [
+    ("convex", ("rectangle", "ellipse")),
+    ("star", ("star",)),
+    ("l_shape", ("l_shape",)),
+]
+
+MODES = ("visibility", "delaunay", "hull")
+
+
+def _edges_of(router):
+    return sum(len(v) for v in router.planner.base_edges.values()) // 2
+
+
+def _hole_size_chain():
+    """Lemmas 4.2/4.4: per hole, |perimeter| ≥ |locally convex hull| ≥ |hull|."""
+    from repro.geometry.convex_hull import locally_convex_hull
+
+    rows = []
+    for label, shapes in SHAPES:
+        inst = make_instance(
+            width=16.0,
+            height=16.0,
+            hole_count=2,
+            hole_scale=2.6,
+            hole_shapes=shapes,
+            seed=15,
+        )
+        pts = inst.graph.points
+        for hole in inst.abstraction.holes:
+            if hole.is_outer:
+                continue
+            cycle = pts[hole.boundary]
+            lch = locally_convex_hull(cycle)
+            rows.append(
+                {
+                    "holes": label,
+                    "ring_nodes (P)": len(hole.boundary),
+                    "locally_convex (A)": len(lch),
+                    "hull (L)": len(hole.hull),
+                }
+            )
+    return rows
+
+
+def _sweep():
+    rows = []
+    for label, shapes in SHAPES:
+        inst = make_instance(
+            width=16.0,
+            height=16.0,
+            hole_count=2,
+            hole_scale=2.6,
+            hole_shapes=shapes,
+            seed=15,
+        )
+        rng = np.random.default_rng(1)
+        pairs = sample_pairs(inst.n, 60, rng)
+        for mode in MODES:
+            router = HybridRouter(inst.abstraction, mode=mode)
+
+            def fn(s, t, router=router):
+                o = router.route(s, t)
+                return o.path, o.reached, o.case, o.used_fallback
+
+            rep = evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)
+            s = rep.summary()
+            rows.append(
+                {
+                    "holes": label,
+                    "structure": mode,
+                    "vertices": len(router.planner.base_vertices),
+                    "edges": _edges_of(router),
+                    "delivery": round(s["delivery_rate"], 3),
+                    "stretch_mean": round(s["stretch_mean"], 3),
+                    "stretch_max": round(s["stretch_max"], 3),
+                }
+            )
+    return rows
+
+
+def test_e8_abstraction_ablation(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(rows, title="E8: abstraction size vs routing quality (§4.1 trade-off)")
+    for label, _ in SHAPES:
+        sub = {r["structure"]: r for r in rows if r["holes"] == label}
+        # Space reduction: hull vertices ⊂ boundary vertices; edge counts
+        # ordered visibility ≥ delaunay ≥ (comparable to) hull.
+        assert sub["hull"]["vertices"] <= sub["visibility"]["vertices"]
+        assert sub["visibility"]["edges"] >= sub["delaunay"]["edges"]
+        # Quality preserved: every structure delivers with small stretch.
+        for mode in MODES:
+            assert sub[mode]["delivery"] == 1.0
+            assert sub[mode]["stretch_max"] <= 35.37
+        # Hull stretch within 1.5x of the visibility-graph optimum structure.
+        assert (
+            sub["hull"]["stretch_mean"]
+            <= 1.5 * sub["visibility"]["stretch_mean"]
+        )
+
+
+def test_e8b_hole_size_chain(benchmark, report):
+    rows = run_once(benchmark, _hole_size_chain)
+    report(
+        rows,
+        title="E8b: per-hole node counts — perimeter vs locally convex hull "
+        "vs convex hull (Lemmas 4.2/4.4)",
+    )
+    for r in rows:
+        # The Lemma 4.2/4.4 reduction chain.
+        assert r["hull (L)"] <= r["locally_convex (A)"] <= r["ring_nodes (P)"]

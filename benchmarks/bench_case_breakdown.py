@@ -1,0 +1,73 @@
+"""E7 — competitiveness per position case (§4.3's cases 1–5).
+
+Routes a large pair sample over a concave-hole instance (L-shapes create
+deep bays, so all five cases occur) and reports delivery and stretch per
+case.  Expected shape: every case delivers; cases involving bays (2–5) may
+use somewhat longer paths but stay within the paper's bounds (case 1 within
+35.37; bay cases within the (2+|E_route|)·5.9 regime, far larger than
+anything observed).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import make_instance
+from repro.routing import hull_router, sample_pairs
+from repro.routing.competitiveness import evaluate_routing
+
+
+def _run_cases():
+    inst = make_instance(
+        width=18.0,
+        height=18.0,
+        hole_count=2,
+        hole_scale=3.0,
+        hole_shapes=("l_shape", "crescent"),
+        seed=12,
+    )
+    router = hull_router(inst.abstraction)
+    rng = np.random.default_rng(0)
+    pairs = sample_pairs(inst.n, 260, rng)
+    # Guarantee bay cases appear: add explicit in-bay pairs.
+    bays = [
+        (h, bay)
+        for h in inst.abstraction.holes
+        for bay in h.bays
+        if len(bay.interior) >= 2
+    ]
+    for h, bay in bays[:6]:
+        pairs.append((bay.interior[0], bay.interior[-1]))  # case 5
+        pairs.append((bay.interior[0], 0))  # case 2
+
+    def fn(s, t):
+        o = router.route(s, t)
+        return o.path, o.reached, o.case, o.used_fallback
+
+    rep = evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)
+    rows = []
+    for case, sub in sorted(rep.by_case().items()):
+        s = sub.summary()
+        rows.append(
+            {
+                "case": case,
+                "pairs": s["pairs"],
+                "delivery": round(s["delivery_rate"], 3),
+                "stretch_mean": round(s["stretch_mean"], 3),
+                "stretch_max": round(s["stretch_max"], 3),
+                "fallbacks": round(s["fallback_rate"], 3),
+            }
+        )
+    return rows
+
+
+def test_e7_case_breakdown(benchmark, report):
+    rows = run_once(benchmark, _run_cases)
+    report(rows, title="E7: hull-router competitiveness by position case (§4.3)")
+    cases = {r["case"] for r in rows}
+    # The workload exercises the bay machinery, not just case 1.
+    assert "visible" in cases and "1" in cases
+    assert cases & {"2", "4", "5"}
+    for r in rows:
+        assert r["delivery"] == 1.0, f"case {r['case']} dropped messages"
+        assert r["stretch_max"] <= 35.37

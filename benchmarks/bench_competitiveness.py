@@ -1,0 +1,115 @@
+"""E1 — c-competitive routing vs online baselines.
+
+Reproduces the paper's motivating comparison: the hull-abstraction router
+(§4) delivers every message at small constant stretch, pure greedy routing
+gets stuck at radio holes, and greedy+face recovery delivers but with much
+larger worst-case stretch (the Θ(c²) regime of Kuhn et al. that the paper's
+abstraction eliminates).
+
+Expected shape: hull delivery = 1.0 with stretch_max ≪ 35.37; greedy
+delivery < 1.0; greedy_face delivery = 1.0 with stretch_max well above the
+hull router's.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import evaluate_strategy, make_instance
+
+SWEEP = [
+    dict(width=12.0, height=12.0, hole_count=2, hole_scale=2.0, seed=1),
+    dict(width=16.0, height=16.0, hole_count=3, hole_scale=2.2, seed=2),
+    dict(width=20.0, height=20.0, hole_count=4, hole_scale=2.4, seed=3),
+]
+
+STRATEGIES = ("hull", "greedy", "greedy_face", "goafr")
+
+
+def _run_sweep():
+    rows = []
+    for params in SWEEP:
+        inst = make_instance(**params)
+        for strategy in STRATEGIES:
+            rep = evaluate_strategy(inst, strategy, pair_count=80, seed=5)
+            s = rep.summary()
+            rows.append(
+                {
+                    "n": inst.n,
+                    "holes": params["hole_count"],
+                    "strategy": strategy,
+                    "delivery": round(s["delivery_rate"], 3),
+                    "stretch_mean": round(s["stretch_mean"], 3),
+                    "stretch_p95": round(s["stretch_p95"], 3),
+                    "stretch_max": round(s["stretch_max"], 3),
+                }
+            )
+    return rows
+
+
+def _run_crossing_pairs():
+    """Second table: only pairs whose straight line crosses a hole —
+    the traffic the paper's abstraction exists for."""
+    from repro.geometry.visibility import is_visible
+    from repro.routing import sample_pairs
+    from repro.analysis import strategy_route_fn
+    from repro.routing.competitiveness import evaluate_routing
+
+    rows = []
+    inst = make_instance(
+        width=18.0, height=18.0, hole_count=2, hole_scale=4.0, seed=9,
+        hole_shapes=("rectangle", "ellipse"),
+    )
+    obstacles = [p for p in inst.abstraction.boundary_polygons() if len(p) >= 3]
+    rng = np.random.default_rng(11)
+    pts = inst.graph.points
+    pairs = [
+        (s, t)
+        for s, t in sample_pairs(inst.n, 600, rng)
+        if not is_visible(pts[s], pts[t], obstacles)
+    ][:60]
+    for strategy in STRATEGIES:
+        fn = strategy_route_fn(inst, strategy)
+        rep = evaluate_routing(pts, inst.graph.udg, fn, pairs)
+        s = rep.summary()
+        rows.append(
+            {
+                "n": inst.n,
+                "pairs": s["pairs"],
+                "strategy": strategy,
+                "delivery": round(s["delivery_rate"], 3),
+                "stretch_mean": round(s["stretch_mean"], 3),
+                "stretch_max": round(s["stretch_max"], 3),
+            }
+        )
+    return rows
+
+
+def test_e1_competitiveness(benchmark, report):
+    rows = run_once(benchmark, _run_sweep)
+    report(rows, title="E1: competitiveness — hull abstraction vs online baselines")
+
+    by = {}
+    for r in rows:
+        by.setdefault(r["strategy"], []).append(r)
+    # Shape assertions (who wins, by what kind of factor):
+    assert all(r["delivery"] == 1.0 for r in by["hull"])
+    assert all(r["stretch_max"] <= 35.37 for r in by["hull"])
+    assert any(r["delivery"] < 1.0 for r in by["greedy"])
+    assert all(r["delivery"] == 1.0 for r in by["greedy_face"])
+    worst_hull = max(r["stretch_max"] for r in by["hull"])
+    worst_face = max(r["stretch_max"] for r in by["greedy_face"])
+    assert worst_face >= worst_hull
+
+
+def test_e1_hole_crossing_pairs(benchmark, report):
+    rows = run_once(benchmark, _run_crossing_pairs)
+    report(
+        rows,
+        title="E1b: competitiveness on hole-crossing pairs only "
+        "(the regime the abstraction targets)",
+    )
+    by = {r["strategy"]: r for r in rows}
+    assert by["hull"]["delivery"] == 1.0
+    assert by["greedy"]["delivery"] < 0.8  # greedy collapses on this traffic
+    assert by["hull"]["stretch_max"] <= 35.37

@@ -1,0 +1,76 @@
+"""E5 — bay dominating sets: O(log n) rounds, constant approximation (§5.6).
+
+Luby-MIS over growing boundary paths.  Expected shape: round count grows
+like log k; the produced set's size sits between the optimum ⌈k/3⌉ and the
+MIS ceiling ⌈k/2⌉ (a ≤1.5 approximation — the paper's "constant
+approximation" with Δ = 2).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.protocols.dominating_set import IN, SegmentMISProcess, SegmentSpec
+from repro.simulation import HybridSimulator
+
+SIZES = [32, 64, 128, 256, 512]
+
+
+def _run_path(k, seed):
+    pts = np.array([[i * 0.8, 0.0] for i in range(k)])
+    specs = {
+        i: [
+            SegmentSpec(
+                slot=(i, 0),
+                pred_node=i - 1 if i > 0 else None,
+                pred_slot=(i - 1, 0) if i > 0 else None,
+                succ_node=i + 1 if i < k - 1 else None,
+                succ_slot=(i + 1, 0) if i < k - 1 else None,
+            )
+        ]
+        for i in range(k)
+    }
+    sim = HybridSimulator(pts)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: SegmentMISProcess(
+            nid, pos, nbrs, nbrp, specs=specs.get(nid, []), seed=seed
+        )
+    )
+    res = sim.run(max_rounds=2000)
+    size = sum(
+        1
+        for p in res.nodes.values()
+        for st in p.slots.values()
+        if st.status == IN
+    )
+    return res.rounds, size
+
+
+def _sweep():
+    rows = []
+    for k in SIZES:
+        rounds, size = _run_path(k, seed=3)
+        rows.append(
+            {
+                "k": k,
+                "rounds": rounds,
+                "rounds/log2k": round(rounds / math.log2(k), 2),
+                "ds_size": size,
+                "optimum": math.ceil(k / 3),
+                "approx": round(size / math.ceil(k / 3), 2),
+            }
+        )
+    return rows
+
+
+def test_e5_dominating_set(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(rows, title="E5: bay dominating sets — rounds and approximation")
+    for r in rows:
+        assert r["approx"] <= 1.5 + 1e-9
+        assert r["ds_size"] >= r["optimum"]
+    # Round scaling: normalized count bounded across a 16× size range.
+    ratios = [r["rounds/log2k"] for r in rows]
+    assert max(ratios) <= 3.0 * min(ratios)

@@ -1,0 +1,61 @@
+"""E6 — the dynamic scenario (§6): cheap recomputation after mobility.
+
+One full setup (including the O(log² n) overlay tree), then several
+bounded-speed mobility steps each followed by a recomputation that *reuses*
+the tree (its structure is position-independent).  Expected shape: the
+initial setup is dominated by the tree stage; every per-step recomputation
+costs only O(log n) rounds — an order of magnitude fewer.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro.protocols.setup import run_distributed_setup
+from repro.scenarios import MobilityModel, perturbed_grid_scenario
+
+
+def _run_dynamic(steps=3):
+    sc = perturbed_grid_scenario(
+        width=14.0, height=14.0, hole_count=2, hole_scale=2.2, seed=8
+    )
+    initial = run_distributed_setup(sc.points, seed=8)
+    rows = [
+        {
+            "step": "initial",
+            "rounds": initial.total_rounds,
+            "tree_rounds": initial.rounds_by_stage().get("tree", 0),
+            "holes": len([h for h in initial.abstraction.holes if not h.is_outer]),
+        }
+    ]
+    mob = MobilityModel(sc, speed=0.05, seed=9)
+    for i in range(steps):
+        pts = mob.step()
+        redo = run_distributed_setup(pts, seed=8, skip_tree=True)
+        rows.append(
+            {
+                "step": f"update {i + 1}",
+                "rounds": redo.total_rounds,
+                "tree_rounds": 0,
+                "holes": len(
+                    [h for h in redo.abstraction.holes if not h.is_outer]
+                ),
+            }
+        )
+    return sc, rows
+
+
+def test_e6_dynamic(benchmark, report):
+    sc, rows = run_once(benchmark, _run_dynamic)
+    report(rows, title="E6: dynamic scenario — initial setup vs per-step updates")
+    initial = rows[0]["rounds"]
+    updates = [r["rounds"] for r in rows[1:]]
+    logn = math.log2(sc.n)
+    # Updates are much cheaper than the initial setup...
+    assert all(u < initial / 2 for u in updates)
+    # ...and stay O(log n)-ish (no log² term without the tree stage).
+    assert all(u <= 14 * logn for u in updates)
+    # The carved holes stay detected across movement (drift may open or
+    # close additional small holes — that is real network dynamics).
+    assert all(r["holes"] >= rows[0]["holes"] for r in rows[1:])

@@ -1,0 +1,83 @@
+"""E4 — ring → hypercube → hull in O(log k) rounds (Lemma 5.2, Theorem 5.3).
+
+Synthetic rings of growing size run the pointer-jumping, ranking and
+hull-merge protocols; every stage's round count must scale with log k, and
+the hull output must match the geometric oracle.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro.geometry.convex_hull import convex_hull_indices
+from repro.protocols.hull_protocol import RingHullProcess
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingRankingProcess
+from repro.protocols.runners import run_stage, synthetic_ring
+
+SIZES = [16, 32, 64, 128, 256, 512]
+
+
+def _run_ring(k):
+    pts, adj, corners = synthetic_ring(k)
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": s1.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+    res3 = run_stage(
+        pts,
+        adj,
+        RingHullProcess,
+        lambda nid: {"rank_states": s2.get(nid, {})},
+        prev_nodes=res2.nodes,
+    )
+    hull = next(iter(res3.nodes[0].slots.values())).final_hull
+    return res1, res2, res3, pts, hull
+
+
+def _sweep():
+    rows = []
+    for k in SIZES:
+        res1, res2, res3, pts, hull = _run_ring(k)
+        assert sorted(h[0] for h in hull) == sorted(convex_hull_indices(pts))
+        logk = math.log2(k)
+        rows.append(
+            {
+                "k": k,
+                "doubling": res1.rounds,
+                "ranking": res2.rounds,
+                "hull": res3.rounds,
+                "total": res1.rounds + res2.rounds + res3.rounds,
+                "total/log2k": round(
+                    (res1.rounds + res2.rounds + res3.rounds) / logk, 2
+                ),
+                "max_msgs/node/round": max(
+                    r.metrics.max_node_round_messages for r in (res1, res2, res3)
+                ),
+            }
+        )
+    return rows
+
+
+def test_e4_ring_hull_rounds(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(rows, title="E4: ring→hypercube→hull rounds vs ring size (O(log k))")
+    ratios = [r["total/log2k"] for r in rows]
+    # Logarithmic scaling: the normalized round count stays bounded.
+    assert max(ratios) <= 2.0 * min(ratios)
+    # Peak per-round load is the leader's binomial broadcast: O(log k)
+    # messages in one round — within the paper's polylog work budget.
+    import math
+
+    assert all(
+        r["max_msgs/node/round"] <= 2 * math.log2(r["k"]) + 4 for r in rows
+    )

@@ -1,0 +1,90 @@
+"""E12 — incremental updates under bounded movement (§7, implemented).
+
+Three refresh policies after a movement step, same instance:
+
+* full setup (tree included) — the §5 pipeline from scratch;
+* §6 refresh — everything except the (position-independent) overlay tree;
+* incremental (§7) — only rings whose members moved beyond the tolerance.
+
+Expected shape: full ≫ §6 refresh ≫ incremental when movement is small and
+local; when a hole-boundary node moves far, the incremental cost rises to
+that one ring's O(log k) suite — still below the §6 refresh.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.protocols.incremental import run_incremental_update
+from repro.protocols.setup import run_distributed_setup
+from repro.scenarios import perturbed_grid_scenario
+
+
+def _run():
+    sc = perturbed_grid_scenario(
+        width=14, height=14, hole_count=3, hole_scale=2.0, seed=23
+    )
+    setup = run_distributed_setup(sc.points, seed=23)
+    boundary = setup.abstraction.boundary_nodes()
+    interior = [i for i in range(sc.n) if i not in boundary]
+    rng = np.random.default_rng(1)
+
+    rows = [
+        {
+            "update": "initial setup (§5)",
+            "rounds": setup.total_rounds,
+            "rings_reused": "-",
+            "rings_recomputed": "-",
+        }
+    ]
+
+    # small interior drift
+    pts_small = sc.points.copy()
+    for i in rng.choice(interior, 8, replace=False):
+        pts_small[i] += rng.uniform(-0.04, 0.04, 2)
+    refresh = run_distributed_setup(pts_small, seed=23, skip_tree=True)
+    rows.append(
+        {
+            "update": "§6 refresh (no tree)",
+            "rounds": refresh.total_rounds,
+            "rings_reused": "-",
+            "rings_recomputed": "-",
+        }
+    )
+    inc_small = run_incremental_update(setup, pts_small, tolerance=0.15, seed=23)
+    rows.append(
+        {
+            "update": "§7 incremental, interior drift",
+            "rounds": inc_small.total_rounds,
+            "rings_reused": inc_small.rings_reused,
+            "rings_recomputed": inc_small.rings_recomputed,
+        }
+    )
+
+    # one hole-boundary node moves far: its ring goes dirty
+    inner = [h for h in setup.abstraction.holes if not h.is_outer]
+    victim = inner[0].boundary[0]
+    pts_big = sc.points.copy()
+    pts_big[victim] += np.array([0.25, 0.05])
+    inc_big = run_incremental_update(setup, pts_big, tolerance=0.15, seed=23)
+    rows.append(
+        {
+            "update": "§7 incremental, boundary moved",
+            "rounds": inc_big.total_rounds,
+            "rings_reused": inc_big.rings_reused,
+            "rings_recomputed": inc_big.rings_recomputed,
+        }
+    )
+    return rows, refresh.total_rounds, inc_small, inc_big
+
+
+def test_e12_incremental_updates(benchmark, report):
+    rows, refresh_rounds, inc_small, inc_big = run_once(benchmark, _run)
+    report(rows, title="E12: refresh policies after bounded movement")
+    # Shape: initial ≫ §6 refresh > incremental; dirty ring raises the cost
+    # but stays below a full refresh.
+    assert rows[0]["rounds"] > refresh_rounds
+    assert inc_small.total_rounds < refresh_rounds / 2
+    assert inc_small.rings_recomputed == 0
+    assert inc_big.rings_recomputed >= 1
+    assert inc_big.total_rounds <= refresh_rounds

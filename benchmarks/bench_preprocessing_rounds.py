@@ -1,0 +1,76 @@
+"""E2 — preprocessing rounds scale as O(log² n) (Theorem 1.2).
+
+Runs the full distributed pipeline over growing node counts and reports the
+round count of every stage.  Expected shape: all ring stages grow like
+log n, the overlay-tree stage like log² n, and total/log²n stays bounded —
+no stage shows polynomial growth.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro.protocols.setup import run_distributed_setup
+from repro.scenarios import perturbed_grid_scenario
+
+WIDTHS = [10.0, 13.0, 16.0, 20.0]
+
+
+def _run_sweep():
+    rows = []
+    for width in WIDTHS:
+        sc = perturbed_grid_scenario(
+            width=width, height=width, hole_count=2, hole_scale=1.8, seed=4
+        )
+        setup = run_distributed_setup(sc.points, seed=4)
+        r = setup.rounds_by_stage()
+        logn = math.log2(sc.n)
+        ldel_words = setup.stage_metrics["ldel"]["total_words"]
+        rows.append(
+            {
+                "n": sc.n,
+                "ldel": r.get("ldel", 0),
+                "boundary": r.get("boundary", 0),
+                "doubling": r.get("ring_doubling", 0),
+                "ranking": r.get("ring_ranking", 0),
+                "hulls": r.get("ring_hulls", 0),
+                "tree": r.get("tree", 0),
+                "distribute": r.get("hull_distribution", 0),
+                "dom_set": r.get("dominating_set", 0),
+                "total": setup.total_rounds,
+                "total/log2n^2": round(setup.total_rounds / logn**2, 2),
+                "max_work/node": setup.metrics.max_work_per_node(),
+                # §5.1 claims O(n log n) bits for the LDel construction;
+                # normalized words per node must stay bounded.
+                "ldel_words/n": round(ldel_words / sc.n, 1),
+            }
+        )
+    return rows
+
+
+def test_e2_preprocessing_rounds(benchmark, report):
+    rows = run_once(benchmark, _run_sweep)
+    report(rows, title="E2: distributed preprocessing rounds vs n (O(log² n) claim)")
+
+    # Shape: the normalized total must not grow with n (allow small noise).
+    ratios = [r["total/log2n^2"] for r in rows]
+    assert max(ratios) <= 3.0 * max(min(ratios), 0.5)
+    # O(1)-round stages stay constant.
+    assert all(r["ldel"] <= 4 for r in rows)
+    assert all(r["boundary"] <= 2 for r in rows)
+    # Ring stages stay logarithmic.
+    for r in rows:
+        logn = math.log2(r["n"])
+        assert r["doubling"] <= 6 * logn
+        assert r["ranking"] <= 8 * logn
+        assert r["hulls"] <= 6 * logn
+    # Per-node communication work stays polylogarithmic: normalized by
+    # log²n it must not grow across a ~5× range of n.  (The busiest node is
+    # the overlay-tree root, whose per-phase broadcast degree is O(log n).)
+    work_ratios = [r["max_work/node"] / math.log2(r["n"]) ** 2 for r in rows]
+    assert max(work_ratios) <= 3.0 * min(work_ratios)
+    # LDel construction communication: O(n·deg²) words total ⇒ per-node
+    # constant across the sweep (the paper's O(n log n)-bit regime).
+    per_node = [r["ldel_words/n"] for r in rows]
+    assert max(per_node) <= 1.5 * min(per_node)

@@ -1,0 +1,58 @@
+"""E14 — routing query latency (library performance, not a paper claim).
+
+A conventional micro-benchmark: wall-clock cost of a single ``route()``
+call on a ~1200-node instance, measured properly (repeated timing) for the
+three protocol variants plus the planner construction cost.  Guards the
+repository against performance regressions; pytest-benchmark prints the
+timing table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import make_instance
+from repro.routing import HybridRouter, sample_pairs
+
+INST_PARAMS = dict(
+    width=20.0, height=20.0, hole_count=4, hole_scale=2.4, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(**INST_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def pair_cycle(instance):
+    rng = np.random.default_rng(7)
+    pairs = sample_pairs(instance.n, 64, rng)
+
+    def cycle():
+        i = 0
+        while True:
+            yield pairs[i % len(pairs)]
+            i += 1
+
+    return cycle()
+
+
+@pytest.mark.parametrize("mode", ["hull", "delaunay"])
+def test_e14_route_latency(benchmark, instance, pair_cycle, mode):
+    router = HybridRouter(instance.abstraction, mode=mode)
+
+    def one_route():
+        s, t = next(pair_cycle)
+        out = router.route(s, t)
+        assert out.reached
+        return out
+
+    benchmark(one_route)
+
+
+def test_e14_router_construction(benchmark, instance):
+    def build():
+        return HybridRouter(instance.abstraction, mode="hull")
+
+    router = benchmark(build)
+    assert router.planner.base_vertices

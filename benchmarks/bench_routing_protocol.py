@@ -1,0 +1,96 @@
+"""E13 — the routing protocol as actual distributed message forwarding.
+
+Runs routing requests as messages over the synchronous hybrid simulator
+(node-local forwarding decisions only — see
+:mod:`repro.protocols.routing_protocol`) and accounts channel usage.
+
+Expected shape, matching the paper's design goals (§1.2):
+
+* exactly **2 long-range messages per request** (the position handshake) —
+  long-range usage does not grow with distance or detours;
+* the payload travels **ad hoc only**, with hop counts tracking the
+  centralized router's path lengths;
+* delivery latency in rounds ≈ hops + handshake.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import make_instance
+from repro.geometry.primitives import distance
+from repro.protocols.routing_protocol import RoutingDirectory, RoutingNodeProcess
+from repro.protocols.runners import run_until_quiet
+from repro.routing import hull_router, sample_pairs
+from repro.simulation import HybridSimulator
+
+
+def _run():
+    inst = make_instance(
+        width=14.0, height=14.0, hole_count=3, hole_scale=2.0, seed=31
+    )
+    graph = inst.graph
+    rng = np.random.default_rng(2)
+    pairs = sample_pairs(inst.n, 40, rng)
+
+    directory = RoutingDirectory(inst.abstraction)
+    requests = {}
+    for s, t in pairs:
+        requests.setdefault(s, []).append(t)
+    sim = HybridSimulator(graph.points, adjacency=graph.udg)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+            nid,
+            pos,
+            nbrs,
+            nbrp,
+            directory=directory,
+            ldel_neighbors=graph.adjacency.get(nid, []),
+            requests=requests.get(nid, []),
+        )
+    )
+    res = run_until_quiet(sim, max_rounds=5000)
+    records = {}
+    for proc in res.nodes.values():
+        for rec in proc.delivered:
+            records[(rec.source, rec.target)] = rec
+
+    central = hull_router(inst.abstraction)
+    rows = []
+    hop_sum = cent_sum = 0.0
+    for s, t in pairs:
+        rec = records.get((s, t))
+        if rec is None:
+            continue
+        dist_len = sum(
+            distance(graph.points[a], graph.points[b])
+            for a, b in zip(rec.hops, rec.hops[1:])
+        )
+        cent = central.route(s, t)
+        hop_sum += dist_len
+        cent_sum += cent.length(graph.points)
+    rows.append(
+        {
+            "requests": len(pairs),
+            "delivered": len(records),
+            "long_range_msgs": res.metrics.long_range.messages,
+            "adhoc_msgs": res.metrics.adhoc.messages,
+            "len_vs_centralized": round(hop_sum / cent_sum, 3),
+            "rounds_total": res.rounds,
+        }
+    )
+    return pairs, records, res, rows
+
+
+def test_e13_distributed_routing(benchmark, report):
+    pairs, records, res, rows = run_once(benchmark, _run)
+    report(
+        rows,
+        title="E13: routing as distributed message forwarding (hybrid channels)",
+    )
+    r = rows[0]
+    assert r["delivered"] == r["requests"]
+    # The paper's economy: long-range = position handshake only.
+    assert r["long_range_msgs"] == 2 * r["requests"]
+    # Greedy leg execution stays close to the centralized Chew execution.
+    assert r["len_vs_centralized"] <= 1.3

@@ -1,0 +1,79 @@
+"""E10 — Batcher's bitonic sort on the ring-emulated hypercube (§5.3).
+
+The sorting preprocessing the paper names for Miller's hull algorithm:
+deterministic O(log² k) rounds.  Expected shape: measured rounds track the
+D(D+1)/2 compare-exchange schedule exactly (plus constant slack), i.e.
+quadratic in log k and nowhere near linear in k.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.protocols.bitonic_sort import BitonicSortProcess
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingRankingProcess
+from repro.protocols.runners import run_stage, synthetic_ring
+
+SIZES = [16, 32, 64, 128, 256]
+
+
+def _run_sort(k, seed):
+    pts, adj, corners = synthetic_ring(k)
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": s1.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+    rng = np.random.default_rng(seed)
+    keys = {i: float(v) for i, v in enumerate(rng.permutation(k))}
+
+    def kwargs(nid):
+        states = s2.get(nid, {})
+        return {"rank_states": states, "keys": {key: keys[nid] for key in states}}
+
+    res3 = run_stage(pts, adj, BitonicSortProcess, kwargs, prev_nodes=res2.nodes)
+    by_pos = {}
+    for p in res3.nodes.values():
+        for st in p.slots.values():
+            by_pos[st.position] = st.key
+    out = [by_pos[i] for i in range(k)]
+    assert out == sorted(keys.values()), "sort produced wrong order"
+    return res3.rounds
+
+
+def _sweep():
+    rows = []
+    for k in SIZES:
+        rounds = _run_sort(k, seed=2)
+        d = int(math.log2(k))
+        sched = d * (d + 1) // 2
+        rows.append(
+            {
+                "k": k,
+                "rounds": rounds,
+                "schedule_D(D+1)/2": sched,
+                "rounds/schedule": round(rounds / sched, 2),
+                "rounds/log2k^2": round(rounds / math.log2(k) ** 2, 2),
+            }
+        )
+    return rows
+
+
+def test_e10_bitonic_sort(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(rows, title="E10: bitonic sort rounds on the hypercube (O(log² k))")
+    for r in rows:
+        # One round per compare-exchange step, small constant slack.
+        assert r["rounds"] <= r["schedule_D(D+1)/2"] + 4
+    ratios = [r["rounds/log2k^2"] for r in rows]
+    assert max(ratios) <= 2.0 * min(ratios)

@@ -1,0 +1,65 @@
+"""E9 — spanner properties: LDel² ≤ 1.998 × UDG (Thm 2.9), Chew ≤ 5.9 (Thm 2.11).
+
+Measures, on random instances, (a) the LDel² stretch relative to UDG
+shortest paths and (b) Chew's algorithm's stretch between visible pairs.
+Expected shape: both stay strictly below their theoretical bounds, with
+plenty of headroom (the bounds are worst-case).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import make_instance
+from repro.geometry.primitives import distance
+from repro.geometry.visibility import is_visible
+from repro.graphs.spanner import stretch_vs_reference
+from repro.routing import chew_route, sample_pairs
+
+
+def _sweep():
+    rows = []
+    for seed, hole_count in ((21, 0), (22, 2), (23, 3)):
+        inst = make_instance(
+            width=14.0, height=14.0, hole_count=hole_count, hole_scale=2.0, seed=seed
+        )
+        g = inst.graph
+        rng = np.random.default_rng(seed)
+        pairs = sample_pairs(inst.n, 60, rng)
+        span = stretch_vs_reference(g.points, g.adjacency, g.udg, pairs)
+
+        obstacles = [
+            p for p in inst.abstraction.boundary_polygons() if len(p) >= 3
+        ]
+        chew_stretches = []
+        for s, t in sample_pairs(inst.n, 120, rng):
+            if not is_visible(g.points[s], g.points[t], obstacles):
+                continue
+            res = chew_route(g, s, t)
+            if res.reached:
+                chew_stretches.append(
+                    res.length(g.points) / distance(g.points[s], g.points[t])
+                )
+        rows.append(
+            {
+                "n": inst.n,
+                "holes": hole_count,
+                "ldel_stretch_mean": round(span.mean, 3),
+                "ldel_stretch_max": round(span.maximum, 3),
+                "ldel_bound": 1.998,
+                "chew_pairs": len(chew_stretches),
+                "chew_stretch_mean": round(float(np.mean(chew_stretches)), 3),
+                "chew_stretch_max": round(float(np.max(chew_stretches)), 3),
+                "chew_bound": 5.9,
+            }
+        )
+    return rows
+
+
+def test_e9_spanner_properties(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(rows, title="E9: spanner bounds — LDel² vs UDG, Chew on visible pairs")
+    for r in rows:
+        assert r["ldel_stretch_max"] <= 1.998
+        assert r["chew_stretch_max"] <= 5.9
+        assert r["chew_pairs"] >= 20

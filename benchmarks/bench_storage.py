@@ -1,0 +1,99 @@
+"""E3 — storage is independent of n (Theorem 1.2's space claims).
+
+Two sweeps:
+
+* **fixed holes, growing region** — the same two holes sit in ever larger
+  node clouds; the abstraction storage (hull words ≈ Σ L(c), boundary words
+  ≈ max P(h)) must stay flat while n grows;
+* **fixed region, growing holes** — storage must track the holes' bounding
+  boxes / perimeters, demonstrating the dependence the theorem *does* allow.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.holes import rectangle_hole
+
+
+def _grow_region():
+    rows = []
+    holes = [
+        rectangle_hole((5.5, 5.5), 2.2, 1.8),
+        rectangle_hole((10.5, 9.5), 1.8, 2.4),
+    ]
+    for width in (14.0, 18.0, 22.0, 26.0):
+        sc = perturbed_grid_scenario(
+            width=width, height=width, holes=holes, seed=6
+        )
+        abst = build_abstraction(build_ldel(sc.points))
+        pts = abst.points
+        # Restrict to the carved (inner) holes: outer holes live on the
+        # region's rim, whose total length necessarily grows with the
+        # region — the theorem's per-hole bounds are about radio holes.
+        inner = [h for h in abst.holes if not h.is_outer]
+        rows.append(
+            {
+                "n": sc.n,
+                "inner_holes": len(inner),
+                "hull_nodes": sum(len(h.hull) for h in inner),
+                "hull_words": 2 * sum(len(h.hull) for h in inner),
+                "sum_L": round(
+                    sum(h.hull_circumference_bound(pts) for h in inner), 1
+                ),
+                "max_ring": max((len(h.boundary) for h in inner), default=0),
+                "max_P": round(max((h.perimeter(pts) for h in inner), default=0.0), 1),
+            }
+        )
+    return rows
+
+
+def _grow_holes():
+    rows = []
+    for scale in (1.6, 2.4, 3.2, 4.0):
+        sc = perturbed_grid_scenario(
+            width=22.0,
+            height=22.0,
+            holes=[rectangle_hole((11.0, 11.0), scale * 1.6, scale * 1.2)],
+            seed=7,
+        )
+        abst = build_abstraction(build_ldel(sc.points))
+        inner = [h for h in abst.holes if not h.is_outer]
+        rows.append(
+            {
+                "hole_scale": scale,
+                "n": sc.n,
+                "hull_nodes": sum(len(h.hull) for h in inner),
+                "ring_nodes": sum(len(h.boundary) for h in inner),
+                "sum_L": round(abst.storage_profile()["sum_L"], 1),
+                "max_P": round(abst.storage_profile()["max_P"], 1),
+            }
+        )
+    return rows
+
+
+def test_e3_storage_vs_n(benchmark, report):
+    rows = run_once(benchmark, _grow_region)
+    report(rows, title="E3a: abstraction storage vs n (fixed holes) — flat in n")
+    hull_words = [r["hull_words"] for r in rows]
+    ns = [r["n"] for r in rows]
+    # n grows ~3.5× across the sweep; hull storage must stay ~constant.
+    assert ns[-1] / ns[0] > 2.5
+    assert max(hull_words) <= 1.6 * max(min(hull_words), 1)
+    rings = [r["max_ring"] for r in rows]
+    assert max(rings) <= 1.6 * max(min(rings), 1)
+
+
+def test_e3_storage_vs_hole_size(benchmark, report):
+    rows = run_once(benchmark, _grow_holes)
+    report(rows, title="E3b: abstraction storage vs hole size (fixed region)")
+    # Storage grows with the holes (the dependence the theorem allows):
+    assert rows[-1]["ring_nodes"] > rows[0]["ring_nodes"]
+    assert rows[-1]["sum_L"] > rows[0]["sum_L"]
+    # ...and stays proportional to the geometric quantities.
+    for r in rows:
+        assert r["hull_nodes"] <= 4 * r["sum_L"]
+        assert r["ring_nodes"] <= 4 * r["max_P"]

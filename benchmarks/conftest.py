@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints the table its experiment would contribute to the
+paper's evaluation section (see DESIGN.md's per-experiment index and
+EXPERIMENTS.md for recorded results).  Tables are written straight to the
+terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
+output is self-contained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a result table to the real terminal."""
+
+    def _report(rows, columns=None, title=None):
+        with capsys.disabled():
+            print()
+            print(format_table(rows, columns, title))
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight function exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""City-scale routing: a downtown grid of building-block radio holes.
+
+The paper's motivating setting (§1): cell phones in a city center form a
+dense ad hoc network, but buildings create convex radio holes.  This example
+lays out a Manhattan-style block grid, then compares the paper's §3/§4
+protocols against the online baselines on cross-town traffic.
+
+Run:  python examples/city_routing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_abstraction, build_ldel, evaluate_routing, sample_pairs
+from repro.analysis.tables import format_table
+from repro.routing import HybridRouter
+from repro.routing.greedy import greedy_route
+from repro.routing.face_routing import greedy_face_route
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.holes import rectangle_hole
+
+
+def city_blocks(columns: int, rows: int, block: float, street: float):
+    """A grid of rectangular 'buildings' separated by streets."""
+    holes = []
+    pitch = block + street
+    for i in range(columns):
+        for j in range(rows):
+            cx = street + block / 2 + i * pitch + 1.5
+            cy = street + block / 2 + j * pitch + 1.5
+            holes.append(rectangle_hole((cx, cy), block, block))
+    return holes
+
+
+def main() -> None:
+    block, street = 2.4, 2.6
+    holes = city_blocks(3, 3, block, street)
+    extent = 3 * (block + street) + 3.0
+    scenario = perturbed_grid_scenario(
+        width=extent, height=extent, holes=holes, spacing=0.5, seed=2024
+    )
+    print(
+        f"downtown: {scenario.n} phones, {len(holes)} buildings, "
+        f"{extent:.0f}×{extent:.0f} blocks"
+    )
+    graph = build_ldel(scenario.points)
+    abstraction = build_abstraction(graph)
+    print(
+        f"radio holes detected: "
+        f"{len([h for h in abstraction.holes if not h.is_outer])} inner, "
+        f"{len([h for h in abstraction.holes if h.is_outer])} outer"
+    )
+
+    rng = np.random.default_rng(5)
+    pairs = sample_pairs(scenario.n, 120, rng)
+    rows = []
+
+    for mode in ("hull", "visibility"):
+        router = HybridRouter(abstraction, mode=mode)
+
+        def fn(s, t, router=router):
+            o = router.route(s, t)
+            return o.path, o.reached, o.case, o.used_fallback
+
+        rep = evaluate_routing(graph.points, graph.udg, fn, pairs)
+        s = rep.summary()
+        rows.append(
+            {
+                "strategy": f"{mode} (paper)",
+                "delivery": round(s["delivery_rate"], 3),
+                "stretch_mean": round(s["stretch_mean"], 3),
+                "stretch_max": round(s["stretch_max"], 3),
+            }
+        )
+
+    for name, fn_raw in (
+        ("greedy", greedy_route),
+        ("greedy+face", greedy_face_route),
+    ):
+        def fn(s, t, fn_raw=fn_raw):
+            r = fn_raw(graph.points, graph.adjacency, s, t)
+            return r.path, r.reached, "", False
+
+        rep = evaluate_routing(graph.points, graph.udg, fn, pairs)
+        s = rep.summary()
+        rows.append(
+            {
+                "strategy": name,
+                "delivery": round(s["delivery_rate"], 3),
+                "stretch_mean": round(s["stretch_mean"], 3),
+                "stretch_max": round(s["stretch_max"], 3),
+            }
+        )
+
+    print()
+    print(format_table(rows, title="cross-town routing, 120 random pairs"))
+    print(
+        "\nThe hull abstraction keeps every message on a near-shortest "
+        "street path; greedy dead-ends behind buildings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Protocol trace: watch the §5 distributed pipeline run stage by stage.
+
+Runs every protocol of the paper over the synchronous hybrid simulator and
+prints the per-stage round counts, message volumes (ad hoc vs long-range)
+and per-node communication work — the quantities Theorem 1.2 bounds.
+
+Run:  python examples/distributed_trace.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import perturbed_grid_scenario, run_distributed_setup
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    scenario = perturbed_grid_scenario(
+        width=14, height=14, hole_count=3, hole_scale=2.0, seed=99
+    )
+    print(f"network: {scenario.n} nodes, {len(scenario.hole_polygons)} carved holes")
+    print("running the full distributed preprocessing pipeline (§5)...\n")
+
+    setup = run_distributed_setup(scenario.points, seed=99)
+
+    rows = []
+    for stage, summary in setup.stage_metrics.items():
+        rows.append(
+            {
+                "stage": stage,
+                "rounds": int(summary["rounds"]),
+                "adhoc_msgs": int(summary["adhoc_messages"]),
+                "longrange_msgs": int(summary["long_range_messages"]),
+                "peak_node_msgs": int(summary["max_node_round_messages"]),
+            }
+        )
+    print(format_table(rows, title="per-stage protocol costs"))
+
+    n = scenario.n
+    logn = math.log2(n)
+    print(
+        f"\ntotal rounds: {setup.total_rounds} "
+        f"(log²n = {logn**2:.0f}; the tree stage pays the O(log² n) bill once)"
+    )
+    print(
+        f"busiest node sent {setup.metrics.max_work_per_node()} messages "
+        f"over the whole run — polylogarithmic, not Θ(n)"
+    )
+
+    abst = setup.abstraction
+    inner = [h for h in abst.holes if not h.is_outer]
+    print(f"\nabstraction produced: {len(inner)} radio holes")
+    for h in inner:
+        print(
+            f"  hole {h.hole_id}: ring of {len(h.boundary)} nodes, "
+            f"hull of {len(h.hull)} corners, {len(h.bays)} bays, "
+            f"dominating sets of sizes "
+            f"{[len(b.dominating_set) for b in h.bays]}"
+        )
+    everyone = min(setup.hulls_received.values())
+    print(
+        f"\nhull distribution: every node knows all "
+        f"{everyone} hole hulls (clique of hull nodes established)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Parameter sweep: how hole density shapes routing difficulty.
+
+Sweeps the number of radio holes at fixed region size and reports, per
+density, what fraction of traffic is hole-blocked, how each strategy copes,
+and how large the abstraction is.  A compact template for running your own
+sweeps with the `repro.analysis` harness.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import evaluate_strategy, run_sweep
+from repro.analysis.tables import format_table
+from repro.geometry.visibility import is_visible
+from repro.routing import sample_pairs
+
+
+def measure(inst, params):
+    """Per-instance evaluation handed to the sweep harness."""
+    obstacles = [
+        p for p in inst.abstraction.boundary_polygons() if len(p) >= 3
+    ]
+    rng = np.random.default_rng(1)
+    pts = inst.graph.points
+    pairs = sample_pairs(inst.n, 150, rng)
+    blocked = sum(
+        1 for s, t in pairs if not is_visible(pts[s], pts[t], obstacles)
+    )
+    hull_rep = evaluate_strategy(inst, "hull", pair_count=80, seed=2)
+    greedy_rep = evaluate_strategy(inst, "greedy", pair_count=80, seed=2)
+    return {
+        "n": inst.n,
+        "blocked_traffic": f"{blocked / len(pairs):.0%}",
+        "hull_corners": len(inst.abstraction.hull_nodes()),
+        "hull_delivery": round(hull_rep.summary()["delivery_rate"], 3),
+        "hull_stretch": round(hull_rep.summary()["stretch_mean"], 3),
+        "greedy_delivery": round(greedy_rep.summary()["delivery_rate"], 3),
+    }
+
+
+def main() -> None:
+    # One sweep point per hole density, each with its own layout seed.
+    rows = []
+    for hc in (0, 2, 4, 6):
+        row = run_sweep(
+            grid={"hole_count": [hc], "seed": [60 + hc]},
+            base={"width": 20.0, "height": 20.0, "hole_scale": 2.2},
+            evaluate=measure,
+        )[0]
+        row.pop("seed", None)
+        rows.append(row)
+
+    print(format_table(rows, title="hole density sweep (20×20 region)"))
+    print(
+        "\nMore holes → more blocked traffic → greedy degrades, while the "
+        "hull router keeps 100% delivery at flat stretch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: build a hybrid network, abstract its radio holes, route.
+
+The 60-second tour of the library:
+
+1. generate a connected node cloud with radio holes,
+2. build the 2-localized Delaunay graph (the ad hoc topology),
+3. compute the convex-hull abstraction of the holes,
+4. route messages with the paper's §4 protocol and compare against the
+   true shortest path and plain greedy routing.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    build_abstraction,
+    build_ldel,
+    greedy_route,
+    hull_router,
+    perturbed_grid_scenario,
+    sample_pairs,
+)
+from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+
+def main() -> None:
+    # 1. A 16×16 deployment with three radio holes (think: city blocks).
+    scenario = perturbed_grid_scenario(
+        width=16, height=16, hole_count=3, hole_scale=2.2, seed=42
+    )
+    print(f"scenario: {scenario.n} nodes, {len(scenario.hole_polygons)} holes")
+
+    # 2. The ad hoc topology (planar 1.998-spanner of the unit disk graph).
+    graph = build_ldel(scenario.points)
+    edges = sum(len(v) for v in graph.adjacency.values()) // 2
+    print(f"LDel²: {edges} edges, {len(graph.triangles)} triangles")
+
+    # 3. The hole abstraction: boundaries, convex hulls, bays, dominating sets.
+    abstraction = build_abstraction(graph)
+    inner = [h for h in abstraction.holes if not h.is_outer]
+    print(
+        f"abstraction: {len(inner)} radio holes, "
+        f"{len(abstraction.hull_nodes())} convex-hull nodes, "
+        f"hulls disjoint: {abstraction.hulls_disjoint()}"
+    )
+
+    # 4. Route.
+    router = hull_router(abstraction)
+    rng = np.random.default_rng(7)
+    print(f"\n{'pair':>12} {'case':>8} {'hops':>5} {'stretch':>8} {'greedy':>7}")
+    for s, t in sample_pairs(scenario.n, 8, rng):
+        outcome = router.route(s, t)
+        optimal = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+        stretch = outcome.length(graph.points) / optimal
+        greedy = greedy_route(graph.points, graph.adjacency, s, t)
+        print(
+            f"{s:>5} →{t:>5} {outcome.case:>8} {len(outcome.path) - 1:>5} "
+            f"{stretch:>8.3f} {'ok' if greedy.reached else 'STUCK':>7}"
+        )
+    print(
+        "\nEvery message is delivered with small constant stretch "
+        "(paper bound: 35.37); greedy routing gets stuck at holes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — Competitive Routing in Hybrid Communication Networks.
+
+A complete reproduction of Jung, Kolb, Scheideler & Sundermeier (SPAA 2018):
+c-competitive routing for wireless ad hoc networks with radio holes, using a
+global long-range infrastructure peer-to-peer style to compute a convex-hull
+abstraction of the holes.
+
+Quickstart::
+
+    from repro import perturbed_grid_scenario, build_ldel, build_abstraction, hull_router
+
+    sc = perturbed_grid_scenario(hole_count=3, seed=1)
+    graph = build_ldel(sc.points)
+    abstraction = build_abstraction(graph)
+    router = hull_router(abstraction)
+    outcome = router.route(0, sc.n - 1)
+
+Subpackages
+-----------
+``repro.geometry``   computational-geometry kernel (hulls, Delaunay, visibility)
+``repro.graphs``     UDG, LDel², faces/radio holes, shortest paths, spanners
+``repro.simulation`` synchronous hybrid message-passing simulator
+``repro.protocols``  the distributed protocols of §5
+``repro.core``       the hole abstraction (§4) and its builders
+``repro.routing``    Chew's algorithm, baselines, the §3/§4 routers
+``repro.scenarios``  workload generators and mobility
+``repro.analysis``   experiment harness
+"""
+
+from .core import Abstraction, Bay, HoleAbstraction, build_abstraction
+from .graphs import LDelGraph, build_ldel, find_holes, unit_disk_graph
+from .routing import (
+    HybridRouter,
+    RouteOutcome,
+    chew_route,
+    delaunay_router,
+    evaluate_routing,
+    greedy_face_route,
+    greedy_route,
+    hull_router,
+    sample_pairs,
+    visibility_router,
+)
+from .scenarios import MobilityModel, perturbed_grid_scenario, poisson_scenario
+from .protocols import run_distributed_setup
+from .simulation import HybridSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Abstraction",
+    "Bay",
+    "HoleAbstraction",
+    "build_abstraction",
+    "LDelGraph",
+    "build_ldel",
+    "find_holes",
+    "unit_disk_graph",
+    "HybridRouter",
+    "RouteOutcome",
+    "chew_route",
+    "delaunay_router",
+    "evaluate_routing",
+    "greedy_face_route",
+    "greedy_route",
+    "hull_router",
+    "sample_pairs",
+    "visibility_router",
+    "MobilityModel",
+    "perturbed_grid_scenario",
+    "poisson_scenario",
+    "run_distributed_setup",
+    "HybridSimulator",
+    "__version__",
+]

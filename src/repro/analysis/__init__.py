@@ -1,0 +1,26 @@
+"""Experiment harness utilities shared by the benchmark suite."""
+
+from .experiments import (
+    Instance,
+    STRATEGIES,
+    evaluate_strategy,
+    make_instance,
+    strategy_route_fn,
+)
+from .sweeps import grid_points, run_sweep
+from .tables import format_table, print_table
+from .viz import SvgCanvas, render_scene
+
+__all__ = [
+    "Instance",
+    "STRATEGIES",
+    "evaluate_strategy",
+    "make_instance",
+    "strategy_route_fn",
+    "grid_points",
+    "run_sweep",
+    "format_table",
+    "print_table",
+    "SvgCanvas",
+    "render_scene",
+]

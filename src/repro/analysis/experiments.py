@@ -1,0 +1,151 @@
+"""Shared experiment harness for the benchmark suite.
+
+Each benchmark (one per experiment in DESIGN.md's index) composes these
+helpers: instance construction with caching, strategy registries, and sweep
+runners.  Keeping them here lets the benchmarks stay declarative — workload
+parameters in, printed table out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.abstraction import Abstraction, build_abstraction
+from ..graphs.ldel import LDelGraph, build_ldel
+from ..routing import (
+    HybridRouter,
+    compass_route,
+    evaluate_routing,
+    greedy_face_route,
+    greedy_route,
+    hull_router,
+    sample_pairs,
+)
+from ..routing.competitiveness import CompetitivenessReport
+from ..scenarios import Scenario, perturbed_grid_scenario
+
+__all__ = [
+    "Instance",
+    "make_instance",
+    "strategy_route_fn",
+    "evaluate_strategy",
+    "STRATEGIES",
+]
+
+
+@dataclass
+class Instance:
+    """A fully prepared problem instance (scenario + graph + abstraction)."""
+
+    scenario: Scenario
+    graph: LDelGraph
+    abstraction: Abstraction
+
+    @property
+    def n(self) -> int:
+        return self.scenario.n
+
+
+_CACHE: Dict[Tuple, Instance] = {}
+
+
+def make_instance(
+    width: float = 16.0,
+    height: float = 16.0,
+    hole_count: int = 3,
+    hole_scale: float = 2.2,
+    seed: int = 0,
+    spacing: float = 0.55,
+    hole_shapes: Tuple[str, ...] = ("rectangle", "polygon", "ellipse"),
+) -> Instance:
+    """Build (and cache) a perturbed-grid instance with its abstraction."""
+    key = (width, height, hole_count, hole_scale, seed, spacing, hole_shapes)
+    if key in _CACHE:
+        return _CACHE[key]
+    sc = perturbed_grid_scenario(
+        width=width,
+        height=height,
+        hole_count=hole_count,
+        hole_scale=hole_scale,
+        seed=seed,
+        spacing=spacing,
+        hole_shapes=hole_shapes,
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    inst = Instance(scenario=sc, graph=graph, abstraction=abst)
+    _CACHE[key] = inst
+    return inst
+
+
+def strategy_route_fn(
+    inst: Instance, strategy: str
+) -> Callable[[int, int], Tuple[List[int], bool, str, bool]]:
+    """A ``route_fn`` for :func:`evaluate_routing` by strategy name.
+
+    Strategies: ``hull`` / ``visibility`` / ``delaunay`` (the paper's
+    protocols), ``greedy`` / ``compass`` / ``greedy_face`` (online
+    baselines).
+    """
+    g = inst.graph
+    if strategy in ("hull", "visibility", "delaunay"):
+        router = HybridRouter(inst.abstraction, mode=strategy)
+
+        def fn(s: int, t: int) -> Tuple[List[int], bool, str, bool]:
+            o = router.route(s, t)
+            return o.path, o.reached, o.case, o.used_fallback
+
+        return fn
+    if strategy == "greedy":
+        return lambda s, t: (
+            lambda r: (r.path, r.reached, "", False)
+        )(greedy_route(g.points, g.adjacency, s, t))
+    if strategy == "compass":
+        return lambda s, t: (
+            lambda r: (r.path, r.reached, "", False)
+        )(compass_route(g.points, g.adjacency, s, t))
+    if strategy == "greedy_face":
+        from ..graphs.faces import angular_embedding
+
+        emb = angular_embedding(g.points, g.adjacency)
+        return lambda s, t: (
+            lambda r: (r.path, r.reached, "", False)
+        )(greedy_face_route(g.points, g.adjacency, s, t, embedding=emb))
+    if strategy == "goafr":
+        from ..graphs.faces import angular_embedding
+        from ..routing.face_routing import goafr_route
+
+        emb = angular_embedding(g.points, g.adjacency)
+        return lambda s, t: (
+            lambda r: (r.path, r.reached, "", False)
+        )(goafr_route(g.points, g.adjacency, s, t, embedding=emb))
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+STRATEGIES = (
+    "hull",
+    "visibility",
+    "delaunay",
+    "greedy",
+    "compass",
+    "greedy_face",
+    "goafr",
+)
+
+
+def evaluate_strategy(
+    inst: Instance,
+    strategy: str,
+    pair_count: int = 100,
+    seed: int = 0,
+) -> CompetitivenessReport:
+    """Evaluate one strategy over a reproducible pair sample."""
+    rng = np.random.default_rng(seed)
+    pairs = sample_pairs(inst.n, pair_count, rng)
+    fn = strategy_route_fn(inst, strategy)
+    return evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)

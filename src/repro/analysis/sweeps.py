@@ -1,0 +1,82 @@
+"""Reusable parameter-sweep harness.
+
+The benchmarks and examples all follow the same pattern: vary one or two
+instance parameters, evaluate something per instance, print a table.  This
+module factors that loop so user code stays declarative::
+
+    from repro.analysis import run_sweep
+
+    rows = run_sweep(
+        grid={"hole_count": [0, 2, 4], "seed": [1]},
+        evaluate=lambda inst, params: {
+            "n": inst.n,
+            "hulls": len(inst.abstraction.hull_nodes()),
+        },
+    )
+
+Instances come from :func:`repro.analysis.experiments.make_instance` (and
+are cached across sweeps with identical parameters); infeasible parameter
+combinations (hole layouts that don't fit) are skipped with a marker row
+rather than aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .experiments import Instance, make_instance
+
+__all__ = ["run_sweep", "grid_points"]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a parameter grid as a list of dicts."""
+    keys = list(grid)
+    out = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        out.append(dict(zip(keys, combo)))
+    return out
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    evaluate: Callable[[Instance, Dict[str, Any]], Dict[str, Any]],
+    *,
+    base: Optional[Mapping[str, Any]] = None,
+    include_params: bool = True,
+    skip_infeasible: bool = True,
+) -> List[Dict[str, Any]]:
+    """Evaluate ``evaluate(instance, params)`` over a parameter grid.
+
+    Parameters
+    ----------
+    grid:
+        Mapping of :func:`make_instance` keyword → list of values to sweep.
+    evaluate:
+        Produces one result-row dict per instance.
+    base:
+        Fixed :func:`make_instance` keywords merged under every grid point.
+    include_params:
+        Prefix each row with the grid point's parameters.
+    skip_infeasible:
+        When a grid point cannot be generated (``ValueError`` from the
+        scenario generator), emit a row marked ``infeasible`` instead of
+        raising.
+    """
+    rows: List[Dict[str, Any]] = []
+    for params in grid_points(grid):
+        kwargs = {**(base or {}), **params}
+        try:
+            inst = make_instance(**kwargs)
+        except ValueError:
+            if not skip_infeasible:
+                raise
+            row = dict(params) if include_params else {}
+            row["infeasible"] = True
+            rows.append(row)
+            continue
+        result = evaluate(inst, dict(params))
+        row = {**params, **result} if include_params else dict(result)
+        rows.append(row)
+    return rows

@@ -1,0 +1,187 @@
+"""Dependency-free SVG rendering of scenarios, abstractions and routes.
+
+Produces self-contained ``.svg`` files (no matplotlib needed) showing the
+node cloud, the LDel² edges, carved holes, detected hole boundaries, convex
+hulls and routed paths — the pictures Figure 1 of the paper sketches.
+
+Typical use::
+
+    svg = render_scene(abstraction, routes=[outcome.path])
+    Path("scene.svg").write_text(svg)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.abstraction import Abstraction
+from ..geometry.primitives import as_array
+
+__all__ = ["SvgCanvas", "render_scene"]
+
+
+class SvgCanvas:
+    """Minimal SVG builder with world-to-screen scaling."""
+
+    def __init__(
+        self,
+        xmin: float,
+        ymin: float,
+        xmax: float,
+        ymax: float,
+        width: int = 800,
+        margin: int = 20,
+    ) -> None:
+        self.xmin, self.ymin = xmin, ymin
+        span_x = max(xmax - xmin, 1e-9)
+        span_y = max(ymax - ymin, 1e-9)
+        self.scale = (width - 2 * margin) / span_x
+        self.width = width
+        self.height = int(span_y * self.scale) + 2 * margin
+        self.margin = margin
+        self._elements: List[str] = []
+
+    def tx(self, p: Sequence[float]) -> Tuple[float, float]:
+        """World → screen (SVG's y axis points down)."""
+        x = (p[0] - self.xmin) * self.scale + self.margin
+        y = self.height - ((p[1] - self.ymin) * self.scale + self.margin)
+        return (round(x, 2), round(y, 2))
+
+    def polygon(
+        self,
+        pts: Sequence[Sequence[float]],
+        fill: str = "none",
+        stroke: str = "#333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw a closed polygon."""
+        coords = " ".join(f"{x},{y}" for x, y in (self.tx(p) for p in pts))
+        self._elements.append(
+            f'<polygon points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def polyline(
+        self,
+        pts: Sequence[Sequence[float]],
+        stroke: str = "#d33",
+        stroke_width: float = 2.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw an open path."""
+        coords = " ".join(f"{x},{y}" for x, y in (self.tx(p) for p in pts))
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+
+    def line(
+        self,
+        a: Sequence[float],
+        b: Sequence[float],
+        stroke: str = "#bbb",
+        stroke_width: float = 0.5,
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw a segment."""
+        (x1, y1), (x2, y2) = self.tx(a), self.tx(b)
+        self._elements.append(
+            f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def circle(
+        self,
+        p: Sequence[float],
+        r: float = 2.0,
+        fill: str = "#444",
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw a dot."""
+        x, y = self.tx(p)
+        self._elements.append(
+            f'<circle cx="{x}" cy="{y}" r="{r}" fill="{fill}" opacity="{opacity}"/>'
+        )
+
+    def text(self, p: Sequence[float], s: str, size: int = 12) -> None:
+        """Draw a label."""
+        x, y = self.tx(p)
+        self._elements.append(
+            f'<text x="{x}" y="{y}" font-size="{size}" '
+            f'font-family="sans-serif">{s}</text>'
+        )
+
+    def render(self) -> str:
+        """Serialize the accumulated elements to an SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def render_scene(
+    abstraction: Abstraction,
+    *,
+    routes: Iterable[Sequence[int]] = (),
+    show_edges: bool = True,
+    show_hulls: bool = True,
+    show_boundaries: bool = True,
+    width: int = 800,
+) -> str:
+    """Render an abstraction (and optional routed node paths) to SVG text."""
+    pts = abstraction.points
+    canvas = SvgCanvas(
+        float(pts[:, 0].min()),
+        float(pts[:, 1].min()),
+        float(pts[:, 0].max()),
+        float(pts[:, 1].max()),
+        width=width,
+    )
+    graph = abstraction.graph
+    if show_edges:
+        for u, nbrs in graph.adjacency.items():
+            for v in nbrs:
+                if v > u:
+                    canvas.line(pts[u], pts[v], stroke="#ccd", stroke_width=0.6)
+    for p in pts:
+        canvas.circle(p, r=1.4, fill="#667")
+    if show_boundaries:
+        for hole in abstraction.holes:
+            poly = hole.boundary_polygon(pts)
+            color = "#e06020" if not hole.is_outer else "#20a060"
+            canvas.polygon(
+                poly, fill="none", stroke=color, stroke_width=1.8, opacity=0.9
+            )
+    if show_hulls:
+        for hole in abstraction.holes:
+            hull = hole.hull_polygon(pts)
+            if len(hull) >= 3:
+                canvas.polygon(
+                    hull,
+                    fill="#e0602015" if not hole.is_outer else "none",
+                    stroke="#a03010",
+                    stroke_width=0.9,
+                    opacity=0.7,
+                )
+            for corner in hull:
+                canvas.circle(corner, r=2.6, fill="#a03010")
+    palette = ["#1060d0", "#d01060", "#10a0a0", "#8040d0"]
+    for i, route in enumerate(routes):
+        route = list(route)
+        if len(route) < 2:
+            continue
+        canvas.polyline(
+            pts[route], stroke=palette[i % len(palette)], stroke_width=2.4,
+            opacity=0.9,
+        )
+        canvas.circle(pts[route[0]], r=4.0, fill=palette[i % len(palette)])
+        canvas.circle(pts[route[-1]], r=4.0, fill=palette[i % len(palette)])
+    return canvas.render()

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``    generate a scenario, build the abstraction, route sample pairs
+``route``   route one source→target pair (optionally render an SVG)
+``trace``   run the distributed §5 pipeline and print per-stage costs
+``bench``   a quick competitiveness comparison table
+
+All commands accept ``--width/--holes/--seed`` to shape the instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.tables import format_table
+from .core.abstraction import build_abstraction
+from .graphs.ldel import build_ldel
+from .graphs.shortest_paths import euclidean_shortest_path_length
+from .routing import hull_router, sample_pairs
+from .scenarios import perturbed_grid_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Competitive routing in hybrid communication networks "
+        "(SPAA 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--width", type=float, default=14.0, help="region size")
+        p.add_argument("--holes", type=int, default=2, help="number of radio holes")
+        p.add_argument("--hole-scale", type=float, default=2.2)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_demo = sub.add_parser("demo", help="scenario + abstraction + sample routes")
+    common(p_demo)
+    p_demo.add_argument("--pairs", type=int, default=6)
+
+    p_route = sub.add_parser("route", help="route one pair")
+    common(p_route)
+    p_route.add_argument("source", type=int)
+    p_route.add_argument("target", type=int)
+    p_route.add_argument("--svg", type=str, default=None, help="write scene SVG")
+
+    p_trace = sub.add_parser("trace", help="distributed pipeline trace")
+    common(p_trace)
+
+    p_bench = sub.add_parser("bench", help="quick strategy comparison")
+    common(p_bench)
+    p_bench.add_argument("--pairs", type=int, default=60)
+
+    return parser
+
+
+def _make(args) -> tuple:
+    sc = perturbed_grid_scenario(
+        width=args.width,
+        height=args.width,
+        hole_count=args.holes,
+        hole_scale=args.hole_scale,
+        seed=args.seed,
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return sc, graph, abst
+
+
+def cmd_demo(args) -> int:
+    sc, graph, abst = _make(args)
+    inner = [h for h in abst.holes if not h.is_outer]
+    print(
+        f"n={sc.n} nodes, {len(inner)} radio holes, "
+        f"{len(abst.hull_nodes())} hull corners, "
+        f"hulls disjoint: {abst.hulls_disjoint()}"
+    )
+    router = hull_router(abst)
+    rng = np.random.default_rng(args.seed + 1)
+    rows = []
+    for s, t in sample_pairs(sc.n, args.pairs, rng):
+        out = router.route(s, t)
+        opt = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+        rows.append(
+            {
+                "s": s,
+                "t": t,
+                "case": out.case,
+                "hops": len(out.path) - 1,
+                "stretch": round(out.length(graph.points) / opt, 3),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def cmd_route(args) -> int:
+    sc, graph, abst = _make(args)
+    if not (0 <= args.source < sc.n and 0 <= args.target < sc.n):
+        print(f"node ids must be in [0, {sc.n})", file=sys.stderr)
+        return 2
+    router = hull_router(abst)
+    out = router.route(args.source, args.target)
+    opt = euclidean_shortest_path_length(
+        graph.points, graph.udg, args.source, args.target
+    )
+    print(f"case:      {out.case}")
+    print(f"delivered: {out.reached}")
+    print(f"hops:      {len(out.path) - 1}")
+    print(f"length:    {out.length(graph.points):.3f} (optimal {opt:.3f})")
+    print(f"stretch:   {out.length(graph.points) / opt:.3f}")
+    print(f"waypoints: {out.waypoints}")
+    print(f"path:      {out.path}")
+    if args.svg:
+        from .analysis.viz import render_scene
+
+        with open(args.svg, "w") as fh:
+            fh.write(render_scene(abst, routes=[out.path]))
+        print(f"scene written to {args.svg}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .protocols.setup import run_distributed_setup
+
+    sc, graph, abst = _make(args)
+    setup = run_distributed_setup(sc.points, seed=args.seed, udg=graph.udg)
+    rows = [
+        {
+            "stage": stage,
+            "rounds": int(m["rounds"]),
+            "adhoc": int(m["adhoc_messages"]),
+            "long_range": int(m["long_range_messages"]),
+        }
+        for stage, m in setup.stage_metrics.items()
+    ]
+    print(format_table(rows, title=f"distributed pipeline on n={sc.n}"))
+    print(f"total rounds: {setup.total_rounds}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .analysis.experiments import Instance, strategy_route_fn
+    from .routing.competitiveness import evaluate_routing
+
+    sc, graph, abst = _make(args)
+    inst = Instance(scenario=sc, graph=graph, abstraction=abst)
+    rng = np.random.default_rng(args.seed + 2)
+    pairs = sample_pairs(sc.n, args.pairs, rng)
+    rows = []
+    for strategy in ("hull", "greedy", "greedy_face", "goafr"):
+        fn = strategy_route_fn(inst, strategy)
+        rep = evaluate_routing(graph.points, graph.udg, fn, pairs)
+        s = rep.summary()
+        rows.append(
+            {
+                "strategy": strategy,
+                "delivery": round(s["delivery_rate"], 3),
+                "stretch_mean": round(s["stretch_mean"], 3),
+                "stretch_max": round(s["stretch_max"], 3),
+            }
+        )
+    print(format_table(rows, title=f"n={sc.n}, {args.pairs} pairs"))
+    return 0
+
+
+COMMANDS = {
+    "demo": cmd_demo,
+    "route": cmd_route,
+    "trace": cmd_trace,
+    "bench": cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen command."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Planar geometric primitives.
+
+Everything in this package works on plain ``(x, y)`` float tuples at the API
+surface and on ``numpy`` arrays of shape ``(n, 2)`` internally, so callers
+can stay object-free in hot paths.  The :class:`Point` named tuple is a thin
+convenience wrapper; functions accept any 2-sequence.
+
+The paper's model places all nodes in the Euclidean plane with unit
+communication radius, so distances here are plain Euclidean distances and the
+"unit" scale is fixed at 1.0 throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "as_array",
+    "distance",
+    "distance_sq",
+    "pairwise_distances",
+    "path_length",
+    "angle_at",
+    "turn_angle",
+    "normalize_angle",
+    "midpoint",
+    "circumcenter",
+    "circumradius",
+    "EPS",
+]
+
+#: Tolerance used by the (non-exact) geometric predicates.  All scenario
+#: generators jitter their points, so degeneracies at this scale do not occur
+#: in practice; the paper likewise assumes non-pathological point sets (no 3
+#: points on a line, no 4 on a circle).
+EPS = 1e-12
+
+
+class Point(NamedTuple):
+    """A point in the plane.
+
+    Named-tuple so it interoperates with raw ``(x, y)`` tuples, numpy rows
+    and dictionary keys while still offering ``p.x`` / ``p.y`` access.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: Sequence[float]) -> "Point":  # type: ignore[override]
+        return Point(self.x + other[0], self.y + other[1])
+
+    def __sub__(self, other: Sequence[float]) -> "Point":
+        return Point(self.x - other[0], self.y - other[1])
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def norm(self) -> float:
+        """Euclidean norm of the position vector."""
+        return math.hypot(self.x, self.y)
+
+
+def as_array(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Convert an iterable of 2-sequences into an ``(n, 2)`` float array.
+
+    Arrays pass through without copying when they already have the right
+    dtype and shape (the HPC guideline of preferring views over copies).
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        if arr.size == 0:
+            return arr.reshape(0, 2)
+        arr = arr.reshape(1, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    return arr
+
+
+def distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Euclidean distance ``||pq||``."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def distance_sq(p: Sequence[float], q: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt in comparisons)."""
+    dx = p[0] - q[0]
+    dy = p[1] - q[1]
+    return dx * dx + dy * dy
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of Euclidean distances.
+
+    Vectorized with broadcasting; intended for the small point sets that
+    appear in overlay graphs (convex-hull corners), not for the full node
+    cloud (use :mod:`repro.graphs.udg`'s grid bucketing there).
+    """
+    pts = as_array(points)
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def path_length(points: Iterable[Sequence[float]]) -> float:
+    """Total Euclidean length of a polyline given by its vertices."""
+    pts = as_array(list(points))
+    if len(pts) < 2:
+        return 0.0
+    seg = np.diff(pts, axis=0)
+    return float(np.sqrt((seg * seg).sum(axis=1)).sum())
+
+
+def angle_at(u: Sequence[float], v: Sequence[float], w: Sequence[float]) -> float:
+    """Interior angle ∠(u, v, w) at vertex ``v`` in radians, in [0, π].
+
+    This is the unsigned angle between the rays ``v→u`` and ``v→w``.
+    """
+    ax, ay = u[0] - v[0], u[1] - v[1]
+    bx, by = w[0] - v[0], w[1] - v[1]
+    na = math.hypot(ax, ay)
+    nb = math.hypot(bx, by)
+    if na < EPS or nb < EPS:
+        return 0.0
+    cosang = max(-1.0, min(1.0, (ax * bx + ay * by) / (na * nb)))
+    return math.acos(cosang)
+
+
+def turn_angle(u: Sequence[float], v: Sequence[float], w: Sequence[float]) -> float:
+    """Signed turning angle at ``v`` when walking ``u → v → w``.
+
+    Positive for a left (counter-clockwise) turn, negative for a right turn,
+    in ``(-π, π]``.  Summing turn angles along a closed boundary walk gives
+    ``+2π`` for a counter-clockwise cycle and ``-2π`` for a clockwise one —
+    exactly the test the paper's hole-detection protocol (§5.4) performs in a
+    distributed fashion.
+    """
+    a1 = math.atan2(v[1] - u[1], v[0] - u[0])
+    a2 = math.atan2(w[1] - v[1], w[0] - v[0])
+    return normalize_angle(a2 - a1)
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle to the interval ``(-π, π]``."""
+    while theta > math.pi:
+        theta -= 2.0 * math.pi
+    while theta <= -math.pi:
+        theta += 2.0 * math.pi
+    return theta
+
+
+def midpoint(p: Sequence[float], q: Sequence[float]) -> Point:
+    """Midpoint of segment ``pq``."""
+    return Point((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)
+
+
+def circumcenter(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float]
+) -> Point | None:
+    """Center of the unique circle through ``a``, ``b``, ``c``.
+
+    Returns ``None`` for (near-)collinear inputs, which have no circumcircle.
+    Used by the Bowyer–Watson triangulator and by the k-localized Delaunay
+    property test (Definition 2.2 of the paper).
+    """
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < EPS:
+        return None
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
+    return Point(ux, uy)
+
+
+def circumradius(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float]
+) -> float:
+    """Radius of the circumcircle of triangle ``abc`` (``inf`` if collinear)."""
+    center = circumcenter(a, b, c)
+    if center is None:
+        return math.inf
+    return distance(center, a)

@@ -1,0 +1,283 @@
+"""Visibility graphs among polygonal obstacles.
+
+Section 3's general routing protocol assumes every hole node stores a
+visibility graph of *all* hole nodes; Lemma 2.12 (De Berg et al.) says
+shortest paths among disjoint polygonal obstacles bend only at obstacle
+corners, so a shortest path in this graph is the geometric optimum.  The
+hull-abstraction protocol of Section 4 replaces the full visibility graph
+with a much smaller structure; benchmark E8 measures exactly that trade-off,
+so both structures are first-class here.
+
+Visibility semantics follow the paper: two nodes are visible iff their open
+line segment does not cross any hole.  Grazing a corner (sharing an endpoint
+with an obstacle edge) does not block visibility, but passing *through* an
+obstacle's interior does.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .primitives import as_array, distance
+from .predicates import segment_intersects_any
+from .polygon import (
+    point_in_polygon,
+    point_on_polygon_boundary,
+    polygon_edges,
+    segment_polygon_intersections,
+)
+
+__all__ = [
+    "obstacle_segments",
+    "obstacle_bboxes",
+    "is_visible",
+    "visibility_graph",
+    "shortest_path_through_visibility",
+    "VisibilityGraph",
+]
+
+
+def obstacle_segments(obstacles: Iterable[Sequence[Sequence[float]]]) -> np.ndarray:
+    """Stack all obstacle boundary edges into one ``(m, 4)`` segment array."""
+    chunks = [polygon_edges(poly) for poly in obstacles if len(poly) >= 2]
+    if not chunks:
+        return np.zeros((0, 4))
+    return np.vstack(chunks)
+
+
+def obstacle_bboxes(
+    obstacles: Sequence[Sequence[Sequence[float]]],
+) -> np.ndarray:
+    """Per-obstacle axis-aligned bounding boxes as an ``(m, 4)`` array."""
+    out = np.zeros((len(obstacles), 4))
+    for i, poly in enumerate(obstacles):
+        arr = as_array(poly)
+        if len(arr) == 0:
+            continue
+        out[i] = (
+            arr[:, 0].min(),
+            arr[:, 1].min(),
+            arr[:, 0].max(),
+            arr[:, 1].max(),
+        )
+    return out
+
+
+def _strictly_inside(sample, poly) -> bool:
+    """Strict interior test with the expensive boundary check deferred.
+
+    A plain ray cast decides most samples; only apparent hits pay for the
+    point-on-boundary verification (needed so a sample lying exactly on an
+    edge — a sight line grazing the polygon — does not count as inside).
+    """
+    n = len(poly)
+    x, y = float(sample[0]), float(sample[1])
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = poly[i]
+        xj, yj = poly[j]
+        if (yi > y) != (yj > y):
+            x_cross = xi + (y - yi) / (yj - yi) * (xj - xi)
+            if x < x_cross:
+                inside = not inside
+        j = i
+    if not inside:
+        return False
+    return not point_on_polygon_boundary(sample, poly)
+
+
+def is_visible(
+    p: Sequence[float],
+    q: Sequence[float],
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    *,
+    segments: np.ndarray | None = None,
+    bboxes: np.ndarray | None = None,
+) -> bool:
+    """Is ``q`` visible from ``p`` given polygonal ``obstacles``?
+
+    Visibility fails when the segment properly crosses an obstacle edge or
+    when some piece of it runs strictly inside an obstacle (e.g. a sight
+    line entering corner-to-corner through the interior).  ``segments`` and
+    ``bboxes`` may be precomputed once per obstacle set (the planners do) to
+    amortize repeated queries.
+    """
+    segs = obstacle_segments(obstacles) if segments is None else segments
+    if segment_intersects_any(p, q, segs):
+        return False
+    if bboxes is None:
+        bboxes = obstacle_bboxes(obstacles)
+    sxmin, sxmax = min(p[0], q[0]), max(p[0], q[0])
+    symin, symax = min(p[1], q[1]), max(p[1], q[1])
+    # No proper edge crossing.  The segment can still run through a polygon's
+    # interior corner-to-corner (e.g. along a diagonal), so split it at every
+    # boundary contact and test the midpoint of each piece for containment —
+    # but only for obstacles whose bounding box the segment touches.
+    for idx, poly in enumerate(obstacles):
+        if len(poly) < 3:
+            continue
+        bxmin, bymin, bxmax, bymax = bboxes[idx]
+        if sxmax < bxmin or bxmax < sxmin or symax < bymin or bymax < symin:
+            continue
+        cuts = [0.0, 1.0]
+        cuts.extend(t for t, _ in segment_polygon_intersections(p, q, poly))
+        cuts.sort()
+        for t0, t1 in zip(cuts, cuts[1:]):
+            if t1 - t0 < 1e-9:
+                continue
+            tm = (t0 + t1) / 2.0
+            sample = (
+                p[0] + tm * (q[0] - p[0]),
+                p[1] + tm * (q[1] - p[1]),
+            )
+            if _strictly_inside(sample, poly):
+                return False
+    return True
+
+
+class VisibilityGraph:
+    """Visibility graph over a fixed vertex set with polygonal obstacles.
+
+    Parameters
+    ----------
+    vertices:
+        The candidate bend points (hole-boundary nodes in §3, convex-hull
+        corners in §4).
+    obstacles:
+        Polygons (vertex cycles) that block sight lines.
+
+    The graph is built eagerly: O(v²) visibility tests, each vectorized over
+    all obstacle edges.  ``insert_terminals`` supports the router's pattern
+    of temporarily adding a source and target (the paper's "h₀ inserts t into
+    its Visibility Graph") without rebuilding the whole structure.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[Sequence[float]],
+        obstacles: Sequence[Sequence[Sequence[float]]],
+    ) -> None:
+        self.vertices = as_array(vertices)
+        self.obstacles = [as_array(o) for o in obstacles]
+        self._segments = obstacle_segments(self.obstacles)
+        self._bboxes = obstacle_bboxes(self.obstacles)
+        self.adjacency: Dict[int, Dict[int, float]] = {
+            i: {} for i in range(len(self.vertices))
+        }
+        self._build()
+
+    def _build(self) -> None:
+        n = len(self.vertices)
+        for i in range(n):
+            for j in range(i + 1, n):
+                p, q = self.vertices[i], self.vertices[j]
+                if is_visible(
+                    p, q, self.obstacles,
+                    segments=self._segments, bboxes=self._bboxes,
+                ):
+                    w = distance(p, q)
+                    self.adjacency[i][j] = w
+                    self.adjacency[j][i] = w
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected visibility edges (the Θ(h²) of §3)."""
+        return sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+
+    def insert_terminals(
+        self, terminals: Sequence[Sequence[float]]
+    ) -> List[int]:
+        """Add terminal points (e.g. source/target), connecting them to every
+        visible vertex and to each other.  Returns their new indices."""
+        new_ids: List[int] = []
+        for t in terminals:
+            idx = len(self.vertices)
+            self.vertices = np.vstack([self.vertices, np.asarray(t, dtype=float)])
+            self.adjacency[idx] = {}
+            for j in range(idx):
+                p, q = self.vertices[idx], self.vertices[j]
+                if is_visible(
+                    p, q, self.obstacles,
+                    segments=self._segments, bboxes=self._bboxes,
+                ):
+                    w = distance(p, q)
+                    self.adjacency[idx][j] = w
+                    self.adjacency[j][idx] = w
+            new_ids.append(idx)
+        return new_ids
+
+    def remove_last(self, count: int) -> None:
+        """Remove the ``count`` most recently inserted vertices."""
+        n = len(self.vertices)
+        for idx in range(n - count, n):
+            for j in list(self.adjacency.get(idx, {})):
+                self.adjacency[j].pop(idx, None)
+            self.adjacency.pop(idx, None)
+        self.vertices = self.vertices[: n - count]
+
+    def shortest_path(self, src: int, dst: int) -> Tuple[List[int], float]:
+        """Dijkstra shortest path between two vertex indices.
+
+        Returns ``(index_path, length)``; raises ``ValueError`` when ``dst``
+        is unreachable (which, for visibility graphs of disjoint obstacles in
+        a connected free space, indicates a modelling error).
+        """
+        dist: Dict[int, float] = {src: 0.0}
+        prev: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = [(0.0, src)]
+        seen: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in seen:
+                continue
+            seen.add(u)
+            if u == dst:
+                break
+            for v, w in self.adjacency[u].items():
+                nd = d + w
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if dst not in dist or dst not in seen:
+            raise ValueError(f"no visibility path from {src} to {dst}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path, dist[dst]
+
+
+def visibility_graph(
+    vertices: Sequence[Sequence[float]],
+    obstacles: Sequence[Sequence[Sequence[float]]],
+) -> VisibilityGraph:
+    """Construct a :class:`VisibilityGraph` (functional convenience form)."""
+    return VisibilityGraph(vertices, obstacles)
+
+
+def shortest_path_through_visibility(
+    src: Sequence[float],
+    dst: Sequence[float],
+    obstacles: Sequence[Sequence[Sequence[float]]],
+) -> Tuple[List[Tuple[float, float]], float]:
+    """Geometric shortest obstacle-avoiding path from ``src`` to ``dst``.
+
+    Builds the visibility graph over all obstacle corners plus the two
+    terminals and runs Dijkstra — the textbook routine of Lemma 2.12.  This
+    is the *optimal* geometric comparator used to measure competitiveness in
+    the benchmarks.
+    """
+    corners: List[Sequence[float]] = []
+    for poly in obstacles:
+        corners.extend(tuple(v) for v in as_array(poly))
+    graph = VisibilityGraph(corners, obstacles)
+    s_idx, t_idx = graph.insert_terminals([src, dst])
+    idx_path, length = graph.shortest_path(s_idx, t_idx)
+    coords = [(float(graph.vertices[i][0]), float(graph.vertices[i][1])) for i in idx_path]
+    return coords, length

@@ -1,0 +1,71 @@
+"""Graph substrates: unit disk graphs, localized Delaunay graphs, planar
+faces / radio holes, shortest paths and spanner measurements."""
+
+from .udg import (
+    GridIndex,
+    connected_components,
+    degree_histogram,
+    edge_count,
+    edge_list,
+    is_connected,
+    max_degree,
+    unit_disk_graph,
+)
+from .shortest_paths import (
+    dijkstra,
+    euclidean_shortest_path,
+    euclidean_shortest_path_length,
+    hop_distances,
+    k_hop_neighborhood,
+    path_edge_lengths,
+)
+from .ldel import LDelGraph, build_ldel, gabriel_edges, udg_triangles
+from .faces import (
+    Hole,
+    HoleSet,
+    angular_embedding,
+    enumerate_faces,
+    find_holes,
+    walk_signed_area,
+)
+from .nx_adapter import (
+    abstraction_to_networkx,
+    adjacency_to_networkx,
+    ldel_to_networkx,
+    overlay_delaunay_to_networkx,
+)
+from .spanner import StretchStats, graph_stretch, stretch_vs_reference
+
+__all__ = [
+    "GridIndex",
+    "connected_components",
+    "degree_histogram",
+    "edge_count",
+    "edge_list",
+    "is_connected",
+    "max_degree",
+    "unit_disk_graph",
+    "dijkstra",
+    "euclidean_shortest_path",
+    "euclidean_shortest_path_length",
+    "hop_distances",
+    "k_hop_neighborhood",
+    "path_edge_lengths",
+    "LDelGraph",
+    "build_ldel",
+    "gabriel_edges",
+    "udg_triangles",
+    "Hole",
+    "HoleSet",
+    "angular_embedding",
+    "enumerate_faces",
+    "find_holes",
+    "walk_signed_area",
+    "abstraction_to_networkx",
+    "adjacency_to_networkx",
+    "ldel_to_networkx",
+    "overlay_delaunay_to_networkx",
+    "StretchStats",
+    "graph_stretch",
+    "stretch_vs_reference",
+]

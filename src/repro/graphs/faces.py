@@ -1,0 +1,269 @@
+"""Planar face enumeration and radio-hole extraction.
+
+Radio holes are the non-triangular faces of the planar ad hoc topology
+(Definition 2.4), plus the "outer holes" carved out of the outer boundary by
+long convex-hull edges (Definition 2.5).  This module turns an
+:class:`~repro.graphs.ldel.LDelGraph` into an explicit list of
+:class:`Hole` objects — the input to both the distributed protocols (§5) and
+the routing abstraction (§4).
+
+Face traversal uses the rotation-system convention: the neighbors of every
+node are sorted counter-clockwise by angle, and the dart following ``u → v``
+is ``v → w`` where ``w`` is the cyclic predecessor of ``u`` around ``v``.
+With this convention every bounded face is walked counter-clockwise (its
+interior on the left) and the unbounded outer face is walked clockwise, so
+the sign of the walk's area identifies it — the same ±360° angle-sum
+criterion the distributed hole-detection protocol of §5.4 evaluates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array, distance
+from ..geometry.polygon import BoundingBox, bounding_box, perimeter, signed_area
+from ..geometry.convex_hull import convex_hull_indices
+from .ldel import LDelGraph
+from .udg import Adjacency
+
+__all__ = [
+    "Hole",
+    "HoleSet",
+    "angular_embedding",
+    "enumerate_faces",
+    "find_holes",
+    "walk_signed_area",
+]
+
+Dart = Tuple[int, int]
+
+
+def angular_embedding(
+    points: Sequence[Sequence[float]], adj: Adjacency
+) -> Dict[int, List[int]]:
+    """Rotation system: neighbors of each node sorted ccw by angle."""
+    pts = as_array(points)
+    emb: Dict[int, List[int]] = {}
+    for u, nbrs in adj.items():
+        emb[u] = sorted(
+            nbrs,
+            key=lambda v: math.atan2(pts[v, 1] - pts[u, 1], pts[v, 0] - pts[u, 0]),
+        )
+    return emb
+
+
+def enumerate_faces(
+    points: Sequence[Sequence[float]], adj: Adjacency
+) -> List[List[int]]:
+    """All faces of the plane graph as vertex walks.
+
+    Each face is returned as the cyclic list of vertices visited by its dart
+    walk (first vertex not repeated at the end).  Bounded faces come out
+    counter-clockwise, the outer face clockwise.
+    """
+    emb = angular_embedding(points, adj)
+    pos_in: Dict[int, Dict[int, int]] = {
+        u: {v: i for i, v in enumerate(nbrs)} for u, nbrs in emb.items()
+    }
+    visited: Set[Dart] = set()
+    faces: List[List[int]] = []
+    for u in sorted(adj):
+        for v in adj[u]:
+            if (u, v) in visited:
+                continue
+            walk: List[int] = []
+            a, b = u, v
+            while (a, b) not in visited:
+                visited.add((a, b))
+                walk.append(a)
+                nbrs = emb[b]
+                idx = pos_in[b][a]
+                w = nbrs[(idx - 1) % len(nbrs)]
+                a, b = b, w
+            faces.append(walk)
+    return faces
+
+
+def walk_signed_area(points: Sequence[Sequence[float]], walk: List[int]) -> float:
+    """Signed area of a face walk (positive iff counter-clockwise)."""
+    pts = as_array(points)
+    return signed_area(pts[walk])
+
+
+@dataclass
+class Hole:
+    """A radio hole: a non-triangular face of the ad hoc topology.
+
+    Attributes
+    ----------
+    hole_id:
+        Dense index within the owning :class:`HoleSet`.
+    boundary:
+        Vertex walk of the face, counter-clockwise (hole interior on the
+        left).  For outer holes this includes the two endpoints of the
+        closing convex-hull edge.
+    is_outer:
+        ``True`` for outer holes (Definition 2.5) whose closing edge is a
+        convex-hull edge of length > 1 rather than an ad hoc edge.
+    closing_edge:
+        The ``(u, v)`` hull edge for outer holes, ``None`` for inner holes.
+    """
+
+    hole_id: int
+    boundary: List[int]
+    is_outer: bool = False
+    closing_edge: Optional[Tuple[int, int]] = None
+
+    def polygon(self, points: np.ndarray) -> np.ndarray:
+        """Boundary coordinates as an ``(k, 2)`` polygon."""
+        return as_array(points)[self.boundary]
+
+    def perimeter(self, points: np.ndarray) -> float:
+        """``P(h)`` of Theorem 1.2."""
+        return perimeter(self.polygon(points))
+
+    def bounding_box(self, points: np.ndarray) -> BoundingBox:
+        """Axis-aligned bounding box of the boundary (L(c) source)."""
+        return bounding_box(self.polygon(points))
+
+    def hull_indices(self, points: np.ndarray) -> List[int]:
+        """Node ids of the hole's convex hull corners, ccw."""
+        poly = self.polygon(points)
+        local = convex_hull_indices(poly)
+        return [self.boundary[i] for i in local]
+
+    @property
+    def size(self) -> int:
+        return len(self.boundary)
+
+    def is_simple(self) -> bool:
+        """No repeated vertices in the boundary walk (clean ring)."""
+        return len(set(self.boundary)) == len(self.boundary)
+
+    def ring_neighbors(self, node: int) -> Tuple[int, int]:
+        """Predecessor and successor of ``node`` on the boundary ring."""
+        i = self.boundary.index(node)
+        k = len(self.boundary)
+        return self.boundary[(i - 1) % k], self.boundary[(i + 1) % k]
+
+
+@dataclass
+class HoleSet:
+    """All radio holes of an LDel graph plus the outer boundary walk."""
+
+    holes: List[Hole]
+    outer_face: List[int]
+    points: np.ndarray
+
+    @property
+    def inner(self) -> List[Hole]:
+        return [h for h in self.holes if not h.is_outer]
+
+    @property
+    def outer(self) -> List[Hole]:
+        return [h for h in self.holes if h.is_outer]
+
+    def boundary_nodes(self) -> Set[int]:
+        """Union of all hole-boundary node ids."""
+        out: Set[int] = set()
+        for h in self.holes:
+            out.update(h.boundary)
+        return out
+
+    def holes_of_node(self) -> Dict[int, List[int]]:
+        """Map node id → list of hole ids whose boundary contains it."""
+        out: Dict[int, List[int]] = {}
+        for h in self.holes:
+            for v in h.boundary:
+                out.setdefault(v, []).append(h.hole_id)
+        return out
+
+    def obstacles(self) -> List[np.ndarray]:
+        """Hole polygons usable as visibility obstacles."""
+        return [h.polygon(self.points) for h in self.holes]
+
+    def hull_polygons(self) -> List[np.ndarray]:
+        """Convex hulls of all holes (the §4 abstraction), ccw polygons."""
+        return [
+            self.points[h.hull_indices(self.points)] for h in self.holes
+        ]
+
+
+def find_holes(
+    graph: LDelGraph, *, min_inner_size: int = 4
+) -> HoleSet:
+    """Extract all radio holes of an LDel graph.
+
+    Inner holes are bounded faces with at least ``min_inner_size`` nodes
+    (Definition 2.4).  Outer holes arise from Definition 2.5: the convex hull
+    edges of the *entire* node set are added to the graph; any face of the
+    augmented graph that contains an added hull edge of length > radius and
+    has ≥ 3 nodes is an outer hole.
+    """
+    pts = graph.points
+    n = len(pts)
+
+    faces = enumerate_faces(pts, graph.adjacency)
+    areas = [walk_signed_area(pts, w) for w in faces]
+    if not faces:
+        return HoleSet(holes=[], outer_face=[], points=pts)
+    outer_idx = int(np.argmin(areas))
+
+    holes: List[Hole] = []
+    for i, walk in enumerate(faces):
+        if i == outer_idx:
+            continue
+        if len(set(walk)) >= min_inner_size:
+            holes.append(Hole(hole_id=len(holes), boundary=walk))
+
+    # --- Outer holes (Definition 2.5) -------------------------------------
+    hull_ids = convex_hull_indices(pts)
+    hull_edges: List[Tuple[int, int]] = []
+    for a, b in zip(hull_ids, hull_ids[1:] + hull_ids[:1]):
+        if a == b:
+            continue
+        e = (a, b) if a < b else (b, a)
+        hull_edges.append(e)
+    added = [
+        e
+        for e in hull_edges
+        if not graph.has_edge(*e) and distance(pts[e[0]], pts[e[1]]) > graph.radius
+    ]
+    if added:
+        aug: Adjacency = {u: list(v) for u, v in graph.adjacency.items()}
+        for a, b in added:
+            aug[a].append(b)
+            aug[b].append(a)
+        for lst in aug.values():
+            lst.sort()
+        aug_faces = enumerate_faces(pts, aug)
+        aug_areas = [walk_signed_area(pts, w) for w in aug_faces]
+        aug_outer = int(np.argmin(aug_areas))
+        added_set = set(added)
+        for i, walk in enumerate(aug_faces):
+            if i == aug_outer or len(set(walk)) < 3:
+                continue
+            closing: Optional[Tuple[int, int]] = None
+            k = len(walk)
+            for j in range(k):
+                e = (walk[j], walk[(j + 1) % k])
+                e = e if e[0] < e[1] else (e[1], e[0])
+                if e in added_set:
+                    closing = e
+                    break
+            if closing is not None:
+                holes.append(
+                    Hole(
+                        hole_id=len(holes),
+                        boundary=walk,
+                        is_outer=True,
+                        closing_edge=closing,
+                    )
+                )
+
+    outer_walk = faces[outer_idx]
+    return HoleSet(holes=holes, outer_face=outer_walk, points=pts)

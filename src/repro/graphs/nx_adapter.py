@@ -1,0 +1,101 @@
+"""networkx interoperability.
+
+The library keeps its own lightweight graph representation (plain adjacency
+dicts + coordinate arrays) for the hot paths, but downstream users often
+want `networkx <https://networkx.org>`_ objects for analysis and plotting.
+These converters bridge the two worlds; the test suite additionally uses
+networkx as an *independent oracle* for connectivity, shortest paths and
+planarity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..geometry.primitives import as_array, distance
+from .ldel import LDelGraph
+from .udg import Adjacency
+
+if TYPE_CHECKING:  # pragma: no cover — avoids graphs ↔ core import cycle
+    from ..core.abstraction import Abstraction
+
+__all__ = [
+    "adjacency_to_networkx",
+    "ldel_to_networkx",
+    "abstraction_to_networkx",
+    "overlay_delaunay_to_networkx",
+]
+
+
+def adjacency_to_networkx(
+    points: Sequence[Sequence[float]], adj: Adjacency
+) -> "nx.Graph":
+    """Adjacency dict + coordinates → ``nx.Graph``.
+
+    Nodes carry a ``pos`` attribute (for ``nx.draw``-style layouts); edges a
+    ``weight`` attribute with the Euclidean length.
+    """
+    pts = as_array(points)
+    g = nx.Graph()
+    for i, (x, y) in enumerate(pts):
+        g.add_node(i, pos=(float(x), float(y)))
+    for u, nbrs in adj.items():
+        for v in nbrs:
+            if v > u:
+                g.add_edge(u, v, weight=distance(pts[u], pts[v]))
+    return g
+
+
+def ldel_to_networkx(graph: LDelGraph) -> "nx.Graph":
+    """LDel² → ``nx.Graph`` with triangle/Gabriel provenance on edges."""
+    g = adjacency_to_networkx(graph.points, graph.adjacency)
+    gabriel = set(graph.gabriel)
+    tri_edges = set()
+    for a, b, c in graph.triangles:
+        tri_edges |= {(a, b), (b, c), (a, c)}
+    for u, v in g.edges:
+        e = (u, v) if u < v else (v, u)
+        g.edges[u, v]["gabriel"] = e in gabriel
+        g.edges[u, v]["triangle"] = e in tri_edges
+    return g
+
+
+def abstraction_to_networkx(abstraction: "Abstraction") -> "nx.Graph":
+    """Abstraction → annotated ``nx.Graph`` of the ad hoc topology.
+
+    Node attributes: ``role`` ∈ {"interior", "boundary", "hull"}, plus
+    ``hole_ids`` listing the holes a boundary node sits on.
+    """
+    g = ldel_to_networkx(abstraction.graph)
+    hull = abstraction.hull_nodes()
+    boundary = abstraction.boundary_nodes()
+    holes_of: Dict[int, List[int]] = {}
+    for h in abstraction.holes:
+        for v in h.boundary:
+            holes_of.setdefault(v, []).append(h.hole_id)
+    for v in g.nodes:
+        if v in hull:
+            role = "hull"
+        elif v in boundary:
+            role = "boundary"
+        else:
+            role = "interior"
+        g.nodes[v]["role"] = role
+        g.nodes[v]["hole_ids"] = holes_of.get(v, [])
+    return g
+
+
+def overlay_delaunay_to_networkx(abstraction: "Abstraction") -> "nx.Graph":
+    """The Overlay Delaunay Graph of hull corners (§4.2) as ``nx.Graph``."""
+    ids, coords, edges = abstraction.overlay_delaunay()
+    g = nx.Graph()
+    for nid, (x, y) in zip(ids, coords):
+        g.add_node(nid, pos=(float(x), float(y)))
+    for i, j in edges:
+        g.add_edge(
+            ids[i], ids[j], weight=float(np.linalg.norm(coords[i] - coords[j]))
+        )
+    return g

@@ -1,0 +1,140 @@
+"""Shortest paths on adjacency-dict graphs.
+
+The competitiveness measure of the paper compares a routing path's Euclidean
+length against ``d(s, t)`` — the length of the *shortest Euclidean-weighted
+path in UDG(V)* (§1.2).  These routines provide that comparator plus the hop
+metrics used by the protocol analyses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array, distance
+
+__all__ = [
+    "dijkstra",
+    "euclidean_shortest_path",
+    "euclidean_shortest_path_length",
+    "hop_distances",
+    "k_hop_neighborhood",
+    "path_edge_lengths",
+]
+
+Adjacency = Dict[int, List[int]]
+
+
+def dijkstra(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    source: int,
+    target: Optional[int] = None,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Euclidean-weighted Dijkstra from ``source``.
+
+    Returns ``(dist, prev)``.  With ``target`` given, stops early once the
+    target is settled (the common routing-oracle call pattern).
+    """
+    pts = as_array(points)
+    dist: Dict[int, float] = {source: 0.0}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if target is not None and u == target:
+            break
+        ux, uy = pts[u]
+        for v in adj[u]:
+            if v in settled:
+                continue
+            vx, vy = pts[v]
+            nd = d + math.hypot(vx - ux, vy - uy)
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, prev
+
+
+def euclidean_shortest_path(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    source: int,
+    target: int,
+) -> Tuple[List[int], float]:
+    """Shortest Euclidean-weighted path ``source → target``.
+
+    Raises ``ValueError`` when no path exists (the paper assumes UDG(V) is
+    connected, so this signals a broken scenario).
+    """
+    dist, prev = dijkstra(points, adj, source, target)
+    if target not in dist:
+        raise ValueError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path, dist[target]
+
+
+def euclidean_shortest_path_length(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    source: int,
+    target: int,
+) -> float:
+    """The quantity ``d(s, t)`` of §1.2."""
+    return euclidean_shortest_path(points, adj, source, target)[1]
+
+
+def hop_distances(adj: Adjacency, source: int) -> Dict[int, int]:
+    """BFS hop counts from ``source`` to every reachable node."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def k_hop_neighborhood(adj: Adjacency, source: int, k: int) -> set[int]:
+    """All nodes within ``k`` hops of ``source`` (including itself).
+
+    This is the reachability set in the k-localized Delaunay property
+    (Definition 2.2): a triangle is invalidated only by nodes its corners can
+    see within ``k`` hops.
+    """
+    seen = {source}
+    frontier = [source]
+    for _ in range(k):
+        nxt: List[int] = []
+        for u in frontier:
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+        if not frontier:
+            break
+    return seen
+
+
+def path_edge_lengths(
+    points: Sequence[Sequence[float]], path: Iterable[int]
+) -> List[float]:
+    """Euclidean lengths of consecutive path edges."""
+    pts = as_array(points)
+    ids = list(path)
+    return [distance(pts[a], pts[b]) for a, b in zip(ids, ids[1:])]

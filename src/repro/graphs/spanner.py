@@ -1,0 +1,99 @@
+"""Spanner-property measurements (Theorems 2.8 / 2.9 and benchmark E9).
+
+A geometric c-spanner contains, for every node pair, a path at most ``c``
+times their Euclidean distance (Definition 2.7); LDel² is instead a
+1.998-spanner *of the UDG metric* (Theorem 2.9).  These helpers measure both
+stretches empirically so the bench can confirm the bounds hold on the
+scenario distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array, distance
+from .shortest_paths import dijkstra
+from .udg import Adjacency
+
+__all__ = ["StretchStats", "graph_stretch", "stretch_vs_reference"]
+
+
+@dataclass
+class StretchStats:
+    """Summary statistics of a stretch-factor sample."""
+
+    count: int
+    mean: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "StretchStats":
+        if not samples:
+            return cls(count=0, mean=math.nan, p95=math.nan, maximum=math.nan)
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+        )
+
+
+def graph_stretch(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    pairs: Iterable[Tuple[int, int]],
+) -> StretchStats:
+    """Stretch of graph distance over straight-line Euclidean distance.
+
+    This is the Definition 2.7 notion — only meaningful when the straight
+    line is traversable, i.e. for hole-free instances or visible pairs.
+    """
+    pts = as_array(points)
+    samples: List[float] = []
+    by_source: Dict[int, List[int]] = {}
+    for s, t in pairs:
+        by_source.setdefault(s, []).append(t)
+    for s, targets in by_source.items():
+        dist, _ = dijkstra(pts, adj, s)
+        for t in targets:
+            if t == s or t not in dist:
+                continue
+            direct = distance(pts[s], pts[t])
+            if direct <= 0:
+                continue
+            samples.append(dist[t] / direct)
+    return StretchStats.from_samples(samples)
+
+
+def stretch_vs_reference(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    reference_adj: Adjacency,
+    pairs: Iterable[Tuple[int, int]],
+) -> StretchStats:
+    """Stretch of ``adj`` distances over ``reference_adj`` distances.
+
+    With ``reference_adj`` the UDG this measures Theorem 2.9's notion: LDel²
+    shortest paths versus UDG shortest paths, bounded by 1.998.
+    """
+    pts = as_array(points)
+    samples: List[float] = []
+    by_source: Dict[int, List[int]] = {}
+    for s, t in pairs:
+        by_source.setdefault(s, []).append(t)
+    for s, targets in by_source.items():
+        d_graph, _ = dijkstra(pts, adj, s)
+        d_ref, _ = dijkstra(pts, reference_adj, s)
+        for t in targets:
+            if t == s or t not in d_graph or t not in d_ref:
+                continue
+            if d_ref[t] <= 0:
+                continue
+            samples.append(d_graph[t] / d_ref[t])
+    return StretchStats.from_samples(samples)

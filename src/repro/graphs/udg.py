@@ -1,0 +1,159 @@
+"""Unit disk graphs (Definition 1.1).
+
+The ad hoc edge set ``E_AH`` of the hybrid model: a bidirected edge between
+every pair of nodes at Euclidean distance at most the communication radius
+(1.0, the paper's unit).  Construction uses a uniform grid bucket structure
+so neighbor finding is O(n · d) for bounded-degree clouds instead of O(n²) —
+the node clouds in the benchmarks reach several thousand points.
+
+The adjacency representation used across the whole library is a plain
+``dict[int, list[int]]`` with sorted neighbor lists, paired with an
+``(n, 2)`` coordinate array.  Plain dicts keep the distributed-protocol code
+(which reasons about one node's local view at a time) simple and fast enough,
+while numpy handles the geometric bulk work.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array
+
+__all__ = [
+    "GridIndex",
+    "unit_disk_graph",
+    "is_connected",
+    "connected_components",
+    "max_degree",
+    "degree_histogram",
+    "edge_list",
+    "edge_count",
+]
+
+Adjacency = Dict[int, List[int]]
+
+
+class GridIndex:
+    """Uniform grid over a point set for radius queries.
+
+    Cell size equals the query radius, so any neighbor within ``radius`` of a
+    point lives in the point's own cell or one of the 8 surrounding cells.
+    """
+
+    def __init__(self, points: Sequence[Sequence[float]], cell: float = 1.0) -> None:
+        self.points = as_array(points)
+        self.cell = float(cell)
+        self.buckets: Dict[Tuple[int, int], List[int]] = {}
+        inv = 1.0 / self.cell
+        for i, (x, y) in enumerate(self.points):
+            key = (int(math.floor(x * inv)), int(math.floor(y * inv)))
+            self.buckets.setdefault(key, []).append(i)
+
+    def _cell_of(self, p: Sequence[float]) -> Tuple[int, int]:
+        inv = 1.0 / self.cell
+        return (int(math.floor(p[0] * inv)), int(math.floor(p[1] * inv)))
+
+    def candidates_near(self, p: Sequence[float], radius: float) -> List[int]:
+        """Indices of all points in cells overlapping the disk of ``radius``."""
+        cx, cy = self._cell_of(p)
+        reach = max(1, int(math.ceil(radius / self.cell)))
+        out: List[int] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                out.extend(self.buckets.get((cx + dx, cy + dy), ()))
+        return out
+
+    def query_radius(self, p: Sequence[float], radius: float) -> List[int]:
+        """Indices of points within ``radius`` of ``p`` (inclusive)."""
+        cand = self.candidates_near(p, radius)
+        if not cand:
+            return []
+        pts = self.points[cand]
+        d2 = (pts[:, 0] - p[0]) ** 2 + (pts[:, 1] - p[1]) ** 2
+        keep = d2 <= radius * radius + 1e-12
+        return [cand[i] for i in np.nonzero(keep)[0]]
+
+
+def unit_disk_graph(
+    points: Sequence[Sequence[float]], radius: float = 1.0
+) -> Adjacency:
+    """Adjacency of ``UDG(points)`` with communication ``radius``.
+
+    Vectorized per grid bucket: for each point, distances to the ≤ 9
+    neighboring buckets' points are computed in one numpy expression.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    adj: Adjacency = {i: [] for i in range(n)}
+    if n <= 1:
+        return adj
+    grid = GridIndex(pts, cell=radius)
+    r2 = radius * radius + 1e-12
+    for i in range(n):
+        cand = grid.candidates_near(pts[i], radius)
+        arr = np.asarray(cand)
+        sub = pts[arr]
+        d2 = (sub[:, 0] - pts[i, 0]) ** 2 + (sub[:, 1] - pts[i, 1]) ** 2
+        nbrs = arr[(d2 <= r2) & (arr != i)]
+        adj[i] = sorted(int(j) for j in nbrs)
+    return adj
+
+
+def is_connected(adj: Adjacency) -> bool:
+    """Is the graph (strongly, as it is bidirected) connected?"""
+    if not adj:
+        return True
+    return len(_bfs_reach(adj, next(iter(adj)))) == len(adj)
+
+
+def connected_components(adj: Adjacency) -> List[Set[int]]:
+    """All connected components as sets of node indices."""
+    remaining = set(adj)
+    comps: List[Set[int]] = []
+    while remaining:
+        start = next(iter(remaining))
+        comp = _bfs_reach(adj, start)
+        comps.append(comp)
+        remaining -= comp
+    return comps
+
+
+def _bfs_reach(adj: Adjacency, start: int) -> Set[int]:
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def max_degree(adj: Adjacency) -> int:
+    """Maximum degree Δ — Theorem 1.2 assumes it is bounded."""
+    return max((len(v) for v in adj.values()), default=0)
+
+
+def degree_histogram(adj: Adjacency) -> Dict[int, int]:
+    """Histogram ``degree -> node count``."""
+    hist: Dict[int, int] = {}
+    for nbrs in adj.values():
+        hist[len(nbrs)] = hist.get(len(nbrs), 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def edge_list(adj: Adjacency) -> List[Tuple[int, int]]:
+    """Sorted list of undirected edges ``(u, v)`` with ``u < v``."""
+    out = [(u, v) for u, nbrs in adj.items() for v in nbrs if u < v]
+    out.sort()
+    return out
+
+
+def edge_count(adj: Adjacency) -> int:
+    """Number of undirected edges."""
+    return sum(len(nbrs) for nbrs in adj.values()) // 2

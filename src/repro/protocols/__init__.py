@@ -1,0 +1,79 @@
+"""Distributed protocols of §5, as node-local state machines for the
+synchronous hybrid simulator.
+
+Stages (each one protocol, composable through
+:class:`~repro.protocols.runners.StagePipeline`):
+
+* :mod:`ldel_construction` — LDel² in O(1) rounds (§5.1)
+* :mod:`rings` — boundary detection, ring slots (§5.2)
+* :mod:`pointer_jumping` — leader election + overlay links (§5.2)
+* :mod:`ranking` — ring sizes/positions, hole classification (§5.2/§5.4)
+* :mod:`hull_protocol` — distributed convex hulls (§5.3)
+* :mod:`bitonic_sort` — Batcher's sort on the hypercube (§5.3 preprocessing)
+* :mod:`overlay_tree` — low-diameter tree + broadcast (§5.5)
+* :mod:`dominating_set` — bay dominating sets via Luby MIS (§5.6)
+* :mod:`setup` — the full pipeline, assembling an Abstraction
+"""
+
+from .rings import (
+    BoundaryDetectionProcess,
+    RingCorner,
+    SlotId,
+    reference_corners,
+    run_boundary_detection,
+)
+from .pointer_jumping import Agg, Link, RingDoublingProcess, SlotDoubleState
+from .ranking import RingInfo, RingRankingProcess, SlotRankState
+from .hull_protocol import HullPoint, RingHullProcess, SlotHullState
+from .bitonic_sort import BitonicSortProcess, SlotSortState, bitonic_schedule
+from .dominating_set import SegmentMISProcess, SegmentSpec, SlotMISState
+from .overlay_tree import ClusterMergeProcess, TreeBroadcastProcess, phase_budget
+from .incremental import IncrementalResult, ring_signature, run_incremental_update
+from .ldel_construction import LDelConstructionProcess
+from .routing_protocol import DeliveryRecord, RoutingDirectory, RoutingNodeProcess
+from .runners import StagePipeline, run_stage, run_until_quiet, synthetic_ring
+from .setup import SetupResult, run_distributed_setup
+from .verification import VerificationReport, verify_abstraction, verify_setup
+
+__all__ = [
+    "BoundaryDetectionProcess",
+    "RingCorner",
+    "SlotId",
+    "reference_corners",
+    "run_boundary_detection",
+    "Agg",
+    "Link",
+    "RingDoublingProcess",
+    "SlotDoubleState",
+    "RingInfo",
+    "RingRankingProcess",
+    "SlotRankState",
+    "HullPoint",
+    "RingHullProcess",
+    "SlotHullState",
+    "BitonicSortProcess",
+    "SlotSortState",
+    "bitonic_schedule",
+    "SegmentMISProcess",
+    "SegmentSpec",
+    "SlotMISState",
+    "ClusterMergeProcess",
+    "TreeBroadcastProcess",
+    "phase_budget",
+    "LDelConstructionProcess",
+    "IncrementalResult",
+    "ring_signature",
+    "run_incremental_update",
+    "DeliveryRecord",
+    "RoutingDirectory",
+    "RoutingNodeProcess",
+    "StagePipeline",
+    "run_stage",
+    "run_until_quiet",
+    "synthetic_ring",
+    "SetupResult",
+    "run_distributed_setup",
+    "VerificationReport",
+    "verify_abstraction",
+    "verify_setup",
+]

@@ -1,0 +1,175 @@
+"""Batcher's bitonic sort on the ring-emulated hypercube (§5.3 preprocessing).
+
+Miller's parallel hull algorithm assumes points sorted across the hypercube;
+the paper names two options: Batcher's bitonic sort (deterministic,
+O(log² k) rounds) and Reif–Valiant flashsort (randomized, expected
+O(log k)).  This module implements Batcher's network as a distributed
+protocol over the pointer-jumping links:
+
+* the compare-exchange partner of position ``p`` at substage *j* is
+  ``p XOR 2ʲ``, which for a power-of-two ring is always ``p ± 2ʲ`` without
+  wrap — exactly the stored level-*j* succ/pred link;
+* stage *s* ∈ {1..D}, substages *j* = s−1 … 0; ascending blocks are those
+  with bit *s* of ``p`` clear — the textbook schedule, one round per
+  compare-exchange, D(D+1)/2 rounds total.
+
+The production hull pipeline does **not** need this sort (the recursive
+hull merge is order-free — see DESIGN.md's substitution notes); the sort is
+provided as the paper describes it and measured by benchmark E10.  It
+requires the ring size to be a power of two, matching the paper's "for
+simplicity, we assume the number of nodes in the ring to be a power of two".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+from .pointer_jumping import Link
+from .ranking import SlotRankState
+
+__all__ = ["BitonicSortProcess", "SlotSortState", "bitonic_schedule"]
+
+SlotKey = Tuple[int, int]
+
+
+def bitonic_schedule(dims: int) -> List[Tuple[int, int]]:
+    """The (stage, substage) sequence of Batcher's network for 2^dims keys."""
+    out: List[Tuple[int, int]] = []
+    for stage in range(1, dims + 1):
+        for sub in range(stage - 1, -1, -1):
+            out.append((stage, sub))
+    return out
+
+
+@dataclass
+class SlotSortState:
+    """Per-slot compare-exchange state."""
+
+    slot: SlotKey
+    position: int
+    size: int
+    key: float
+    links_succ: List[Link]
+    links_pred: List[Link]
+    step: int = 0
+    sent_step: int = -1
+    buffer: Dict[int, float] = field(default_factory=dict)
+    finished: bool = False
+    got_traffic: bool = False
+
+    @property
+    def dims(self) -> int:
+        return int(round(math.log2(self.size))) if self.size > 1 else 0
+
+
+class BitonicSortProcess(NodeProcess):
+    """Runs Batcher's bitonic sort across a ring's slots.
+
+    ``keys`` maps slot key → the sortable value this slot contributes.
+    After completion ``st.key`` holds the value ranked at ``st.position``:
+    position order equals sorted order.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        rank_states: Dict[SlotKey, SlotRankState],
+        keys: Dict[SlotKey, float],
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.slots: Dict[SlotKey, SlotSortState] = {}
+        for key, r in rank_states.items():
+            if r.info is None:
+                continue
+            size = r.info.size
+            if size & (size - 1):
+                raise ValueError(
+                    f"bitonic sort requires a power-of-two ring, got {size}"
+                )
+            st = SlotSortState(
+                slot=key,
+                position=r.info.position,
+                size=size,
+                key=float(keys[key]),
+                links_succ=list(r.links_succ),
+                links_pred=list(r.links_pred),
+            )
+            if size <= 1:
+                st.finished = True
+            self.slots[key] = st
+        self._schedules: Dict[SlotKey, List[Tuple[int, int]]] = {
+            key: bitonic_schedule(st.dims) for key, st in self.slots.items()
+        }
+
+    def start(self, ctx: Context) -> None:
+        """Kick off the first compare-exchange of every hosted slot."""
+        if not self.slots:
+            self.done = True
+            return
+        for st in self.slots.values():
+            self._progress(ctx, st)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Buffer partners' keys and advance each slot through the schedule."""
+        for msg in inbox:
+            if msg.kind == "sort_xchg":
+                st = self.slots.get(tuple(msg.payload["dst_slot"]))
+                if st is None:
+                    continue
+                st.got_traffic = True
+                st.buffer[msg.payload["step"]] = msg.payload["key"]
+        all_done = True
+        for st in self.slots.values():
+            self._progress(ctx, st)
+            if not st.finished or st.got_traffic:
+                all_done = False
+            st.got_traffic = False
+        self.done = all_done
+
+    # -- core ---------------------------------------------------------------
+    def _link_for(self, st: SlotSortState, sub: int) -> Link:
+        q = st.position ^ (1 << sub)
+        links = st.links_succ if q > st.position else st.links_pred
+        for link in links:
+            if link.level == sub:
+                return link
+        raise RuntimeError(
+            f"slot {st.slot} lacks level-{sub} link (position {st.position})"
+        )
+
+    def _progress(self, ctx: Context, st: SlotSortState) -> None:
+        if st.finished:
+            return
+        schedule = self._schedules[st.slot]
+        while st.step < len(schedule):
+            stage, sub = schedule[st.step]
+            link = self._link_for(st, sub)
+            if st.sent_step < st.step:
+                ctx.send_long_range(
+                    link.node,
+                    "sort_xchg",
+                    {
+                        "dst_slot": list(link.slot),
+                        "step": st.step,
+                        "key": st.key,
+                    },
+                )
+                st.sent_step = st.step
+            if st.step not in st.buffer:
+                return  # wait for partner's key
+            other = st.buffer.pop(st.step)
+            ascending = ((st.position >> stage) & 1) == 0
+            lower_side = ((st.position >> sub) & 1) == 0
+            keep_min = ascending == lower_side
+            st.key = min(st.key, other) if keep_min else max(st.key, other)
+            st.step += 1
+        st.finished = True

@@ -1,0 +1,192 @@
+"""Distributed dominating sets on boundary-ring segments (§5.6).
+
+§4.4 needs, per *bay area*, a dominating set of the hole-ring nodes in that
+bay, known to all of them.  The paper invokes Jia et al.'s algorithm, noting
+that on a ring Δ = 2, so the approximation factor is O(log Δ) = O(1) and the
+round count O(log n) w.h.p.  We implement the Δ=2 specialization as a
+Luby-style maximal-independent-set computation (see DESIGN.md substitutions):
+an MIS of a path/cycle is an independent *dominating* set with |MIS| ≤
+⌈k/2⌉ against an optimum of ⌈k/3⌉ — a 1.5-approximation, comfortably the
+constant the paper claims — and Luby's random-priority rule decides every
+node in O(log k) rounds w.h.p.
+
+The protocol runs simultaneously on every segment.  A segment is described
+per slot by its neighbors *within the segment* (absent at segment ends);
+convex-hull corners participate in each adjacent bay independently, exactly
+as §5.6 prescribes ("convex hull nodes … take part in each dominating set
+protocol independently by only considering the neighbor of each particular
+bay area").
+
+Per Luby iteration every undecided slot exchanges a deterministic
+pseudo-random priority with its undecided neighbors; strict local minima
+join the set, their neighbors drop out, and decided slots notify so nobody
+waits on them.  Priorities are keyed by (node, slot, iteration, seed), so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+
+__all__ = ["SegmentSpec", "SlotMISState", "SegmentMISProcess"]
+
+SlotKey = Tuple[int, int]
+
+UNDECIDED, IN, OUT = 0, 1, 2
+
+
+@dataclass
+class SegmentSpec:
+    """One slot's view of its segment (neighbors within the segment)."""
+
+    slot: SlotKey
+    pred_node: Optional[int] = None
+    pred_slot: Optional[SlotKey] = None
+    succ_node: Optional[int] = None
+    succ_slot: Optional[SlotKey] = None
+
+
+def _priority(node_id: int, slot: SlotKey, iteration: int, seed: int) -> Tuple[float, int, int]:
+    """Comparable priority; hash value with (node, slot) tie-breakers."""
+    digest = hashlib.blake2b(
+        f"{seed}:{node_id}:{slot}:{iteration}".encode(), digest_size=8
+    ).digest()
+    return (int.from_bytes(digest, "big") / 2**64, node_id, slot[1])
+
+
+@dataclass
+class SlotMISState:
+    spec: SegmentSpec
+    status: int = UNDECIDED
+    it: int = 0
+    sent_it: int = -1
+    live: Dict[int, SlotKey] = field(default_factory=dict)  # node -> slot
+    prio_buf: Dict[int, Dict[int, Tuple[float, int, int]]] = field(
+        default_factory=dict
+    )
+    saw_in_neighbor: bool = False
+    notified: bool = False
+    got_traffic: bool = False
+
+
+class SegmentMISProcess(NodeProcess):
+    """Runs Luby MIS on all segment slots hosted by this node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        specs: List[SegmentSpec],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.seed = seed
+        self.slots: Dict[SlotKey, SlotMISState] = {}
+        for spec in specs:
+            st = SlotMISState(spec=spec)
+            if spec.pred_node is not None and spec.pred_slot is not None:
+                st.live[spec.pred_node] = spec.pred_slot
+            if spec.succ_node is not None and spec.succ_slot is not None:
+                st.live[spec.succ_node] = spec.succ_slot
+            if not st.live:
+                st.status = IN  # isolated slot dominates itself
+            self.slots[spec.slot] = st
+
+    # -- sending helpers ---------------------------------------------------------
+    def _send(self, ctx: Context, nbr_node: int, kind: str, payload: dict) -> None:
+        send = (
+            ctx.send_adhoc if nbr_node in self.neighbors else ctx.send_long_range
+        )
+        send(nbr_node, kind, payload)
+
+    def start(self, ctx: Context) -> None:
+        """Send the first Luby priorities."""
+        if not self.slots:
+            self.done = True
+            return
+        for st in self.slots.values():
+            self._advance(ctx, st)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Process priorities/decisions and advance every hosted slot."""
+        for msg in inbox:
+            st = self.slots.get(tuple(msg.payload["dst_slot"]))
+            if st is None:
+                continue
+            st.got_traffic = True
+            if msg.kind == "mis_prio":
+                st.prio_buf.setdefault(msg.payload["iter"], {})[msg.sender] = tuple(
+                    msg.payload["prio"]
+                )
+            elif msg.kind == "mis_decided":
+                st.live.pop(msg.sender, None)
+                if msg.payload["status"] == IN:
+                    st.saw_in_neighbor = True
+
+        all_done = True
+        for st in self.slots.values():
+            self._advance(ctx, st)
+            if st.status == UNDECIDED or st.got_traffic or not st.notified:
+                all_done = False
+            st.got_traffic = False
+        self.done = all_done
+
+    # -- state machine --------------------------------------------------------------
+    def _advance(self, ctx: Context, st: SlotMISState) -> None:
+        while st.status == UNDECIDED:
+            if st.saw_in_neighbor:
+                st.status = OUT
+                break
+            if not st.live:
+                # All neighbors decided without any joining: we must join to
+                # keep the set maximal (hence dominating).
+                st.status = IN
+                break
+            if st.sent_it < st.it:
+                prio = _priority(self.node_id, st.spec.slot, st.it, self.seed)
+                for nbr_node, nbr_slot in st.live.items():
+                    self._send(
+                        ctx,
+                        nbr_node,
+                        "mis_prio",
+                        {
+                            "dst_slot": list(nbr_slot),
+                            "prio": list(prio),
+                            "iter": st.it,
+                        },
+                    )
+                st.sent_it = st.it
+            buf = st.prio_buf.get(st.it, {})
+            if not all(nbr in buf for nbr in st.live):
+                return  # wait for this iteration's priorities
+            mine = _priority(self.node_id, st.spec.slot, st.it, self.seed)
+            if all(mine < buf[nbr] for nbr in st.live):
+                st.status = IN
+                break
+            st.prio_buf.pop(st.it, None)
+            st.it += 1
+
+        if st.status != UNDECIDED and not st.notified:
+            for nbr_node, nbr_slot in list(st.live.items()):
+                self._send(
+                    ctx,
+                    nbr_node,
+                    "mis_decided",
+                    {"dst_slot": list(nbr_slot), "status": st.status},
+                )
+            st.notified = True
+
+    # -- results ------------------------------------------------------------------------
+    def in_dominating_set(self, slot: SlotKey) -> bool:
+        """Did this slot join the dominating set?"""
+        st = self.slots.get(slot)
+        return st is not None and st.status == IN

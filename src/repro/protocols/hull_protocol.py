@@ -1,0 +1,280 @@
+"""Distributed convex hull of a boundary ring (§5.3, Theorem 5.3).
+
+The slots of a ring, equipped with ring positions (hypercube IDs) and the
+per-level overlay links from pointer jumping, emulate a hypercube of
+dimension ``D = ⌈log₂ k⌉``.  The hull is computed by dimension-wise merging
+— the recursive-doubling realization of Miller–Stout's hypercube hull
+algorithm:
+
+* at dimension *j*, the slots at positions ``p`` and ``p XOR 2ʲ`` exchange
+  their current hulls and each keeps the merged hull of the union;
+* after dimension *j* every slot whose 2ʲ⁺¹-aligned block is complete holds
+  the hull of that block's points; position 0 (the leader) always ends with
+  the hull of the whole ring;
+* a binomial broadcast from the leader then hands the final hull to every
+  slot, so "each node of the ring knows every convex hull node and each
+  convex hull node identifies itself" — the postcondition §5.3 needs.
+
+Rounds: D merge rounds + O(log k) broadcast rounds = O(log k), matching
+Theorem 5.3.  Messages carry whole hulls, i.e. O(L(c)) words — the same
+order as the storage the paper grants hull nodes (Theorem 1.2).
+
+The partner at ``p XOR 2ʲ`` is reachable through the *stored level-j link*:
+``p XOR 2ʲ = p + 2ʲ`` (succ link) when bit *j* of ``p`` is 0 and ``p − 2ʲ``
+(pred link) otherwise; both lie within ``[0, k)`` exactly when the partner
+exists, so no modular wrap can misroute a merge message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.convex_hull import convex_hull_indices
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+from .pointer_jumping import Link
+from .ranking import RingInfo, SlotRankState
+
+__all__ = ["HullPoint", "SlotHullState", "RingHullProcess"]
+
+SlotKey = Tuple[int, int]
+
+# A hull element: (node id, x, y, ring position).  Ring positions ride along
+# so later stages (bay segmentation, outer-hole second runs) can cut the
+# ring at hull corners without extra communication.
+HullPoint = Tuple[int, float, float, int]
+
+
+def _merge(hull_a: List[HullPoint], hull_b: List[HullPoint]) -> List[HullPoint]:
+    """Convex hull of the union of two hulls, preserving metadata."""
+    combined: Dict[int, HullPoint] = {}
+    for hp in hull_a:
+        combined[hp[0]] = hp
+    for hp in hull_b:
+        combined.setdefault(hp[0], hp)
+    items = list(combined.values())
+    if len(items) <= 2:
+        return sorted(items, key=lambda h: h[3])
+    coords = np.array([[h[1], h[2]] for h in items])
+    keep = convex_hull_indices(coords)
+    return sorted((items[i] for i in keep), key=lambda h: h[3])
+
+
+@dataclass
+class SlotHullState:
+    """Hull-merge state for one ring slot."""
+
+    slot: SlotKey
+    info: RingInfo
+    links_succ: List[Link]
+    links_pred: List[Link]
+    hull: List[HullPoint] = field(default_factory=list)
+    dim: int = 0
+    buffer: Dict[int, List[HullPoint]] = field(default_factory=dict)
+    final_hull: Optional[List[HullPoint]] = None
+    sent_dim: int = -1
+    forwarded_below: int = 0
+    pending_forward_to: int = -1
+    leader_broadcast_done: bool = False
+    got_traffic: bool = False
+
+    @property
+    def dims_total(self) -> int:
+        k = self.info.size
+        if k <= 1:
+            return 0
+        return max(1, math.ceil(math.log2(k)))
+
+    @property
+    def is_leader_slot(self) -> bool:
+        return self.info.position == 0
+
+
+class RingHullProcess(NodeProcess):
+    """Dimension-merge + broadcast hull protocol over a node's ring slots."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        rank_states: Dict[SlotKey, SlotRankState],
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.slots: Dict[SlotKey, SlotHullState] = {}
+        for key, r in rank_states.items():
+            if r.info is None:
+                continue
+            st = SlotHullState(
+                slot=key,
+                info=r.info,
+                links_succ=list(r.links_succ),
+                links_pred=list(r.links_pred),
+                hull=[
+                    (
+                        node_id,
+                        float(position[0]),
+                        float(position[1]),
+                        r.info.position,
+                    )
+                ],
+            )
+            if st.dims_total == 0:
+                st.final_hull = list(st.hull)
+            self.slots[key] = st
+
+    def combine(self, a: List[HullPoint], b: List[HullPoint]) -> List[HullPoint]:
+        """Associative merge applied at each hypercube dimension.
+
+        The base class merges convex hulls; subclasses may aggregate any
+        other associative quantity over the ring (e.g. the dominating-set
+        membership union of §5.6) using the same O(log k) machinery.
+        """
+        return _merge(a, b)
+
+    # -- rounds -----------------------------------------------------------------
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Merge buffered partner hulls and advance dimensions/broadcast."""
+        for msg in inbox:
+            if msg.kind == "hull_merge":
+                self._on_merge(msg)
+            elif msg.kind == "hull_info":
+                self._on_info(msg)
+
+        all_done = True
+        for st in self.slots.values():
+            self._progress(ctx, st)
+            if st.final_hull is None or st.got_traffic:
+                all_done = False
+            st.got_traffic = False
+        self.done = all_done
+
+    def start(self, ctx: Context) -> None:
+        """Send the dimension-0 hulls (each slot’s own point)."""
+        if not self.slots:
+            self.done = True
+            return
+        for st in self.slots.values():
+            self._progress(ctx, st)
+
+    # -- merge phase ----------------------------------------------------------------
+    def _partner_link(self, st: SlotHullState, dim: int) -> Optional[Link]:
+        p = st.info.position
+        q = p ^ (1 << dim)
+        if q >= st.info.size:
+            return None
+        links = st.links_succ if q > p else st.links_pred
+        for link in links:
+            if link.level == dim:
+                return link
+        return None
+
+    def _progress(self, ctx: Context, st: SlotHullState) -> None:
+        if st.final_hull is not None:
+            if st.is_leader_slot and not st.leader_broadcast_done:
+                self._leader_broadcast(ctx, st)
+            if st.pending_forward_to > st.forwarded_below:
+                self._forward_info(ctx, st)
+            return
+
+        # Advance through dimensions; a dimension without a partner (the
+        # hypercube is incomplete when k is not a power of two) is skipped
+        # immediately, otherwise we send once and wait for the partner's
+        # hull of the same dimension.
+        while st.dim < st.dims_total:
+            link = self._partner_link(st, st.dim)
+            if link is None:
+                st.dim += 1
+                continue
+            if st.sent_dim < st.dim:
+                ctx.send_long_range(
+                    link.node,
+                    "hull_merge",
+                    {
+                        "dst_slot": list(link.slot),
+                        "dim": st.dim,
+                        "hull": [list(h) for h in st.hull],
+                    },
+                    introduce=[h[0] for h in st.hull],
+                )
+                st.sent_dim = st.dim
+            if st.dim in st.buffer:
+                other = st.buffer.pop(st.dim)
+                st.hull = self.combine(st.hull, other)
+                st.dim += 1
+                continue
+            return  # waiting for partner
+
+        # All dimensions done.
+        if st.is_leader_slot:
+            st.final_hull = list(st.hull)
+            self._leader_broadcast(ctx, st)
+
+    def _on_merge(self, msg: Message) -> None:
+        st = self.slots.get(tuple(msg.payload["dst_slot"]))
+        if st is None:
+            return
+        st.got_traffic = True
+        dim = msg.payload["dim"]
+        st.buffer[dim] = [tuple(h) for h in msg.payload["hull"]]
+
+    # -- broadcast phase ---------------------------------------------------------------
+    def _leader_broadcast(self, ctx: Context, st: SlotHullState) -> None:
+        assert st.final_hull is not None
+        for link in st.links_succ:
+            ctx.send_long_range(
+                link.node,
+                "hull_info",
+                {
+                    "dst_slot": list(link.slot),
+                    "hull": [list(h) for h in st.final_hull],
+                    "level": link.level,
+                },
+                introduce=[h[0] for h in st.final_hull],
+            )
+        st.leader_broadcast_done = True
+
+    def _on_info(self, msg: Message) -> None:
+        st = self.slots.get(tuple(msg.payload["dst_slot"]))
+        if st is None:
+            return
+        st.got_traffic = True
+        if st.final_hull is None:
+            st.final_hull = [tuple(h) for h in msg.payload["hull"]]
+        st.pending_forward_to = max(st.pending_forward_to, msg.payload["level"])
+
+    def _forward_info(self, ctx: Context, st: SlotHullState) -> None:
+        assert st.final_hull is not None
+        for link in st.links_succ:
+            if st.forwarded_below <= link.level < st.pending_forward_to:
+                ctx.send_long_range(
+                    link.node,
+                    "hull_info",
+                    {
+                        "dst_slot": list(link.slot),
+                        "hull": [list(h) for h in st.final_hull],
+                        "level": link.level,
+                    },
+                    introduce=[h[0] for h in st.final_hull],
+                )
+        st.forwarded_below = max(st.forwarded_below, st.pending_forward_to)
+
+    # -- results -----------------------------------------------------------------------
+    def hull_of(self, key: SlotKey) -> Optional[List[HullPoint]]:
+        """A slot's final hull (None before the broadcast reaches it)."""
+        st = self.slots.get(key)
+        return None if st is None else st.final_hull
+
+    def is_hull_node(self, key: SlotKey) -> bool:
+        """Does this node self-identify as a hull corner of the slot’s ring?"""
+        st = self.slots.get(key)
+        if st is None or st.final_hull is None:
+            return False
+        return any(h[0] == self.node_id for h in st.final_hull)

@@ -1,0 +1,209 @@
+"""Distributed construction of the 2-localized Delaunay graph (§5.1).
+
+Li, Calinescu and Wan's protocol builds a planar localized Delaunay graph in
+O(1) communication rounds after the initial WiFi broadcast.  Our version
+follows the same propose/accept pattern against the *definitional* LDel²
+(Definitions 2.2/2.3), which keeps the distributed output bit-identical to
+the centralized :func:`repro.graphs.ldel.build_ldel`:
+
+* round 0 — every node ships its neighbor list (ids + positions) to all UDG
+  neighbors; afterwards everyone holds its 2-hop view;
+* round 1 — each node computes its Gabriel edges locally (the diameter
+  circle of a unit edge only fits 1-hop neighbors, so 1-hop knowledge
+  suffices) and *proposes* every UDG triangle in which it has the smallest
+  ID and whose circumdisk is empty of its own 2-hop nodes;
+* round 2 — the other two corners re-check the empty-circumdisk condition
+  against *their* 2-hop views and vote;
+* round 3 — the proposer tallies votes and announces accepted triangles.
+
+A triangle survives iff no node within 2 hops of *any* corner sits in its
+circumdisk — exactly the Definition 2.2 predicate, since every invalidating
+witness is caught by at least the corner it is near.  Four rounds total,
+message sizes O(degree), matching the paper's O(1)-round claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..geometry.primitives import EPS, circumcenter, distance
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+
+__all__ = ["LDelConstructionProcess"]
+
+Edge = Tuple[int, int]
+Triangle = Tuple[int, int, int]
+
+
+def _norm_edge(a: int, b: int) -> Edge:
+    return (a, b) if a < b else (b, a)
+
+
+class LDelConstructionProcess(NodeProcess):
+    """Per-node state machine of the distributed LDel² construction."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        radius: float = 1.0,
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.radius = radius
+        #: 2-hop view: node id -> position, including neighbors and self
+        self.view: Dict[int, Tuple[float, float]] = {
+            node_id: position,
+            **neighbor_positions,
+        }
+        self.nbr_lists: Dict[int, List[int]] = {}
+        self.gabriel: Set[Edge] = set()
+        self.proposed: Dict[Triangle, Set[int]] = {}
+        self.accepted: Set[Triangle] = set()
+        self.ldel_neighbors: Set[int] = set()
+        self._stage = 0
+
+    # -- round 0 -------------------------------------------------------------
+    def start(self, ctx: Context) -> None:
+        """Round 0: ship the neighbor list (ids + positions) to all UDG neighbors."""
+        payload = {
+            "ids": list(self.neighbors),
+            "pos": [list(self.neighbor_positions[v]) for v in self.neighbors],
+        }
+        for v in self.neighbors:
+            ctx.send_adhoc(v, "nbrs", payload, introduce=list(self.neighbors))
+        if not self.neighbors:
+            self.done = True
+
+    # -- rounds ------------------------------------------------------------------
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Drive the 4-stage propose/vote/announce schedule."""
+        for msg in inbox:
+            kind = msg.kind
+            if kind == "nbrs":
+                ids = msg.payload["ids"]
+                pos = msg.payload["pos"]
+                self.nbr_lists[msg.sender] = list(ids)
+                for i, p in zip(ids, pos):
+                    self.view.setdefault(i, (p[0], p[1]))
+            elif kind == "tri_propose":
+                self._on_propose(ctx, msg)
+            elif kind == "tri_vote":
+                self._on_vote(msg)
+            elif kind == "tri_final":
+                tri = tuple(msg.payload["tri"])
+                self.accepted.add(tri)  # type: ignore[arg-type]
+
+        self._stage += 1
+        if self._stage == 1:
+            self._compute_gabriel()
+            self._propose_triangles(ctx)
+        elif self._stage == 2:
+            pass  # votes are emitted reactively in _on_propose
+        elif self._stage == 3:
+            self._tally(ctx)
+        elif self._stage >= 4:
+            self._finalize()
+            self.done = True
+
+    # -- local computation ----------------------------------------------------------
+    def _circle_empty_locally(self, a: int, b: int, c: int) -> bool:
+        """No node in *our* view lies strictly inside the circumdisk of abc."""
+        pa, pb, pc = self.view[a], self.view[b], self.view[c]
+        cc = circumcenter(pa, pb, pc)
+        if cc is None:
+            return False
+        r2 = (cc.x - pa[0]) ** 2 + (cc.y - pa[1]) ** 2
+        for x, pos in self.view.items():
+            if x in (a, b, c):
+                continue
+            d2 = (pos[0] - cc.x) ** 2 + (pos[1] - cc.y) ** 2
+            if d2 < r2 - EPS:
+                return False
+        return True
+
+    def _compute_gabriel(self) -> None:
+        for v in self.neighbors:
+            pv = self.neighbor_positions[v]
+            mx = (self.position[0] + pv[0]) / 2.0
+            my = (self.position[1] + pv[1]) / 2.0
+            r2 = ((self.position[0] - pv[0]) ** 2 + (self.position[1] - pv[1]) ** 2) / 4.0
+            ok = True
+            for w in self.neighbors:
+                if w == v:
+                    continue
+                pw = self.neighbor_positions[w]
+                if (pw[0] - mx) ** 2 + (pw[1] - my) ** 2 < r2 - EPS:
+                    ok = False
+                    break
+            if ok:
+                self.gabriel.add(_norm_edge(self.node_id, v))
+
+    def _propose_triangles(self, ctx: Context) -> None:
+        u = self.node_id
+        nbrs = sorted(self.neighbors)
+        nbr_sets = {v: set(self.nbr_lists.get(v, ())) for v in nbrs}
+        for i, v in enumerate(nbrs):
+            if v < u:
+                continue  # propose only as the minimum-id corner
+            for w in nbrs[i + 1 :]:
+                if w not in nbr_sets.get(v, ()):
+                    continue
+                if distance(self.view[v], self.view[w]) > self.radius + EPS:
+                    continue
+                if not self._circle_empty_locally(u, v, w):
+                    continue
+                tri: Triangle = tuple(sorted((u, v, w)))  # type: ignore[assignment]
+                self.proposed[tri] = set()
+                for other in (v, w):
+                    ctx.send_adhoc(
+                        other,
+                        "tri_propose",
+                        {"tri": list(tri)},
+                        introduce=[x for x in tri if x != other],
+                    )
+
+    def _on_propose(self, ctx: Context, msg: Message) -> None:
+        tri = tuple(msg.payload["tri"])
+        a, b, c = tri
+        ok = (
+            a in self.view
+            and b in self.view
+            and c in self.view
+            and self._circle_empty_locally(a, b, c)
+        )
+        ctx.send_adhoc(
+            msg.sender, "tri_vote", {"tri": list(tri), "ok": bool(ok)}
+        )
+
+    def _on_vote(self, msg: Message) -> None:
+        tri = tuple(msg.payload["tri"])
+        if tri not in self.proposed:
+            return
+        if msg.payload["ok"]:
+            self.proposed[tri].add(msg.sender)
+        else:
+            self.proposed[tri].add(-1 - msg.sender)  # negative marks a veto
+
+    def _tally(self, ctx: Context) -> None:
+        for tri, votes in self.proposed.items():
+            voters = {x for x in votes if x >= 0}
+            needed = {x for x in tri if x != self.node_id}
+            if voters >= needed:
+                self.accepted.add(tri)
+                for other in needed:
+                    ctx.send_adhoc(other, "tri_final", {"tri": list(tri)})
+
+    def _finalize(self) -> None:
+        for a, b in self.gabriel:
+            other = b if a == self.node_id else a
+            self.ldel_neighbors.add(other)
+        for tri in self.accepted:
+            if self.node_id in tri:
+                for x in tri:
+                    if x != self.node_id:
+                        self.ldel_neighbors.add(x)

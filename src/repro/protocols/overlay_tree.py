@@ -1,0 +1,405 @@
+"""Low-diameter overlay tree over long-range links (§5.5) and tree broadcast.
+
+The paper invokes the protocol of Gmyr et al. to connect all nodes into a
+rooted tree of logarithmic height in O(log² n) rounds, then uses the tree to
+distribute the convex-hull information so that every convex-hull node can
+build the Overlay Delaunay Graph.  We implement a protocol with the same
+interface and the same asymptotics in the same model (see the substitution
+notes in DESIGN.md): randomized cluster merging à la Borůvka.
+
+**Cluster merging.**  Every node starts as a singleton cluster.  Phases are
+globally round-synchronized (legal in a synchronous system — every node
+counts rounds): phase *p* owns a window of ``2p + C`` rounds, enough for a
+broadcast and convergecast over trees of height ≤ p + 1.  Within a phase:
+
+1. the root draws a coin (head/tail) and broadcasts ``(cluster id, coin)``
+   down its tree;
+2. every node probes its UDG neighbors with its cluster id + coin;
+3. a convergecast reports to the root the minimum *tail* cluster id adjacent
+   to the cluster (if the cluster is head), and whether any foreign neighbor
+   exists at all;
+4. a head root with a candidate sends ``adopt_me`` over a long-range link to
+   the tail root (whose ID it learned through legal introductions along the
+   convergecast); tail roots adopt all such heads as children at the phase
+   deadline.
+
+Heads attach *directly under* tail roots, so tree height grows by at most
+one per phase; a constant fraction of clusters merges per phase in
+expectation, so O(log n) phases suffice w.h.p. and the total round count is
+Σₚ (2p + C) = **O(log² n)** with height **O(log n)** — the interface §5.5
+needs.  A root whose convergecast reports *no* foreign neighbors spans the
+whole (connected) graph and broadcasts termination.
+
+**Tree broadcast.**  :class:`TreeBroadcastProcess` floods items over tree
+edges (forward to all tree neighbors except the arrival edge); on a tree
+every node receives every item exactly once, so distributing all hull
+summaries costs O(height + #items) rounds with pipelining and each node
+handles every hull exactly once — the §5.5 duplicate-avoidance property.
+Because the tree is built once and is independent of node *positions*, the
+dynamic scenario of §6 re-runs only this broadcast (O(log n) rounds), not
+the tree construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+
+__all__ = ["ClusterMergeProcess", "TreeBroadcastProcess", "phase_budget"]
+
+
+def phase_budget(phase: int, slack: int = 8) -> int:
+    """Round budget of phase ``phase`` (grows linearly ⇒ O(P²) total)."""
+    return 2 * phase + slack
+
+
+def phase_start(phase: int, slack: int = 8) -> int:
+    """First global round of phase ``phase``."""
+    return sum(phase_budget(p, slack) for p in range(phase))
+
+
+def _coin(node_id: int, phase: int, seed: int) -> bool:
+    """Deterministic fair coin for a root in a phase (True = head)."""
+    h = hashlib.blake2b(
+        f"{seed}:{node_id}:{phase}".encode(), digest_size=2
+    ).digest()
+    return bool(h[0] & 1)
+
+
+@dataclass
+class _PhaseState:
+    """Per-phase scratch state."""
+
+    coin: Optional[bool] = None
+    cluster: Optional[int] = None
+    informed: bool = False
+    probed: bool = False
+    probe_clusters: Dict[int, Tuple[int, bool]] = field(default_factory=dict)
+    reported: bool = False
+    child_reports: Dict[int, Tuple[Optional[int], bool]] = field(
+        default_factory=dict
+    )
+    adopt_requests: List[int] = field(default_factory=list)
+    adopted_done: bool = False
+    proposal_sent: bool = False
+
+
+class ClusterMergeProcess(NodeProcess):
+    """Borůvka-style cluster merging producing the overlay tree."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        seed: int = 0,
+        slack: int = 8,
+        max_phases: int = 64,
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.seed = seed
+        self.slack = slack
+        self.max_phases = max_phases
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.cluster: int = node_id
+        self.finished: bool = False
+        self._phase = 0
+        self._ps = _PhaseState()
+        self._round = 0
+        self._done_sent = False
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def tree_neighbors(self) -> List[int]:
+        """Parent and children — the broadcast links of §5.5."""
+        out = list(self.children)
+        if self.parent is not None:
+            out.append(self.parent)
+        return out
+
+    def _phase_of_round(self, rnd: int) -> int:
+        p = 0
+        start = 0
+        while True:
+            nxt = start + phase_budget(p, self.slack)
+            if rnd < nxt:
+                return p
+            start = nxt
+            p += 1
+
+    # -- main loop ----------------------------------------------------------------
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Advance the globally round-synchronized merge phase machine."""
+        self._round += 1
+        rnd = self._round
+        # Roll the phase first: messages delivered this round belong to the
+        # current (possibly fresh) phase window.
+        phase = self._phase_of_round(rnd - 1)
+        if phase >= self.max_phases:
+            raise RuntimeError("overlay tree did not converge")
+        if phase != self._phase:
+            self._phase = phase
+            self._ps = _PhaseState()
+        for msg in inbox:
+            self._dispatch(msg)
+        if self.finished:
+            if not self._done_sent:
+                for c in self.children:
+                    ctx.send_long_range(c, "tree_done", {})
+                self._done_sent = True
+            self.done = True
+            return
+        off = (rnd - 1) - phase_start(phase, self.slack)
+        self._step(ctx, phase, off)
+
+    # -- message dispatch -------------------------------------------------------------
+    def _dispatch(self, msg: Message) -> None:
+        kind = msg.kind
+        p = msg.payload
+        if kind == "phase_info":
+            if p["phase"] == self._phase or p["phase"] == self._phase + 1:
+                # Arriving possibly before we rolled our own phase counter.
+                if p["phase"] != self._phase:
+                    self._phase = p["phase"]
+                    self._ps = _PhaseState()
+                self._ps.coin = p["coin"]
+                self._ps.cluster = p["cluster"]
+                self.cluster = p["cluster"]
+        elif kind == "probe":
+            self._ps.probe_clusters[msg.sender] = (p["cluster"], p["coin"])
+        elif kind == "report":
+            self._ps.child_reports[msg.sender] = (p["candidate"], p["foreign"])
+        elif kind == "adopt_me":
+            self._ps.adopt_requests.append(msg.sender)
+        elif kind == "adopted":
+            # We (a head root) were adopted: attach at the position the tail
+            # assigned within its binary adoption gadget.
+            self.parent = p["parent"]
+            self.cluster = p["cluster"]
+            for c in p["children"]:
+                if c not in self.children:
+                    self.children.append(c)
+        elif kind == "tree_done":
+            self.finished = True
+        # Unknown kinds are ignored (robustness against stale traffic).
+
+    # -- phase schedule -----------------------------------------------------------------
+    def _step(self, ctx: Context, phase: int, off: int) -> None:
+        ps = self._ps
+        height_bound = phase + 2
+
+        # (a) roots open the phase at offset 0.
+        if off == 0 and self.is_root:
+            ps.coin = _coin(self.node_id, phase, self.seed)
+            ps.cluster = self.node_id
+            self.cluster = self.node_id
+            ps.informed = True
+            for c in self.children:
+                ctx.send_long_range(
+                    c,
+                    "phase_info",
+                    {"phase": phase, "coin": ps.coin, "cluster": self.node_id},
+                    introduce=[self.node_id],
+                )
+        # (b) forward phase_info down the tree as it arrives.
+        if not self.is_root and ps.coin is not None and not ps.informed:
+            ps.informed = True
+            for c in self.children:
+                ctx.send_long_range(
+                    c,
+                    "phase_info",
+                    {"phase": phase, "coin": ps.coin, "cluster": ps.cluster},
+                    introduce=[ps.cluster],
+                )
+
+        # (c) probe UDG neighbors once everyone is informed.
+        if off == height_bound and not ps.probed:
+            ps.probed = True
+            for v in self.neighbors:
+                ctx.send_adhoc(
+                    v,
+                    "probe",
+                    {"cluster": self.cluster, "coin": bool(ps.coin)},
+                    introduce=[self.cluster],
+                )
+
+        # (d) convergecast reports: leaves at the probe deadline, internal
+        # nodes once all children reported.
+        if off >= height_bound + 1 and not ps.reported:
+            ready = all(c in ps.child_reports for c in self.children)
+            if ready:
+                candidate, foreign = self._local_candidate()
+                for cand, forn in ps.child_reports.values():
+                    foreign = foreign or forn
+                    if cand is not None and (candidate is None or cand < candidate):
+                        candidate = cand
+                if self.is_root:
+                    self._root_decide(ctx, phase, candidate, foreign)
+                    ps.reported = True
+                else:
+                    intro = [candidate] if candidate is not None else []
+                    ctx.send_long_range(
+                        self.parent,
+                        "report",
+                        {"candidate": candidate, "foreign": foreign},
+                        introduce=intro,
+                    )
+                    ps.reported = True
+
+        # (e) tail roots adopt at the phase deadline.  Adopted heads are
+        # arranged as a *binary tree* hanging off a single new child of the
+        # tail: the tail's degree grows by at most one per phase, keeping
+        # every node's degree O(log n) (the constant-degree property §5.5
+        # relies on for per-node broadcast work).
+        deadline = phase_budget(phase, self.slack) - 2
+        if (
+            off == deadline
+            and self.is_root
+            and not ps.adopted_done
+            and ps.coin is False
+        ):
+            ps.adopted_done = True
+            heads = ps.adopt_requests
+            if heads:
+                kids_of: Dict[int, List[int]] = {}
+                parent_of: Dict[int, int] = {heads[0]: self.node_id}
+                for i, h in enumerate(heads[1:], start=2):
+                    par = heads[i // 2 - 1]
+                    parent_of[h] = par
+                    kids_of.setdefault(par, []).append(h)
+                self.children.append(heads[0])
+                for h in heads:
+                    kids = kids_of.get(h, [])
+                    ctx.send_long_range(
+                        h,
+                        "adopted",
+                        {
+                            "cluster": self.node_id,
+                            "parent": parent_of[h],
+                            "children": list(kids),
+                        },
+                        introduce=[parent_of[h], *kids],
+                    )
+
+
+    def _local_candidate(self) -> Tuple[Optional[int], bool]:
+        """(min adjacent tail cluster if we are head, any-foreign flag)."""
+        ps = self._ps
+        foreign = False
+        candidate: Optional[int] = None
+        for cluster, coin in ps.probe_clusters.values():
+            if cluster == self.cluster:
+                continue
+            foreign = True
+            # Heads propose to tails only.
+            if ps.coin is True and coin is False:
+                if candidate is None or cluster < candidate:
+                    candidate = cluster
+        return candidate, foreign
+
+    def _root_decide(
+        self, ctx: Context, phase: int, candidate: Optional[int], foreign: bool
+    ) -> None:
+        ps = self._ps
+        if not foreign:
+            # Our cluster has no foreign UDG neighbor: since UDG(V) is
+            # connected, the cluster spans everything — we are the root of
+            # the final overlay tree.
+            self.finished = True
+            for c in self.children:
+                ctx.send_long_range(c, "tree_done", {})
+            self._done_sent = True
+            self.done = True
+            return
+        if ps.coin is True and candidate is not None and not ps.proposal_sent:
+            ps.proposal_sent = True
+            ctx.send_long_range(candidate, "adopt_me", {})
+
+    def storage_words(self) -> int:
+        """Tree pointers + phase scratch: O(degree) words."""
+        return super().storage_words() + len(self.children) + 4
+
+
+class TreeBroadcastProcess(NodeProcess):
+    """Floods items over the overlay tree (§5.5 hull distribution).
+
+    ``tree_parent`` / ``tree_children`` come from the finished merge
+    processes; ``initial_items`` maps item keys to payloads this node
+    injects (e.g. the hull summary of a ring whose leader it is).  After the
+    run, ``received`` holds every item exactly once per node.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        tree_parent: Optional[int],
+        tree_children: List[int],
+        initial_items: Dict[Any, Any],
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.tree_parent = tree_parent
+        self.tree_children = list(tree_children)
+        self.received: Dict[Any, Any] = dict(initial_items)
+        self._to_send: List[Tuple[Any, Any, Optional[int]]] = [
+            (k, v, None) for k, v in initial_items.items()
+        ]
+        self.knowledge.update(self.tree_children)
+        if tree_parent is not None:
+            self.knowledge.add(tree_parent)
+
+    def _targets(self, exclude: Optional[int]) -> List[int]:
+        out = [c for c in self.tree_children if c != exclude]
+        if self.tree_parent is not None and self.tree_parent != exclude:
+            out.append(self.tree_parent)
+        return out
+
+    def start(self, ctx: Context) -> None:
+        """Inject this node's initial items into the tree flood."""
+        self._flush(ctx)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Forward newly received items to all tree neighbors but the origin."""
+        for msg in inbox:
+            if msg.kind != "bcast_item":
+                continue
+            key = tuple(msg.payload["key"])
+            if key in self.received:
+                continue
+            self.received[key] = msg.payload["value"]
+            self._to_send.append((key, msg.payload["value"], msg.sender))
+        self._flush(ctx)
+        self.done = not self._to_send
+
+    def _flush(self, ctx: Context) -> None:
+        for key, value, origin in self._to_send:
+            # Items may carry explicit ID-introductions ({"value": …,
+            # "intro": [ids]}): §5.5 uses the hull broadcast to introduce
+            # every convex-hull node to every other node, so that the hull
+            # nodes form a clique in E.  Forwarders learned the ids from
+            # their own upstream introduction, so re-introducing is legal.
+            intro = ()
+            if isinstance(value, dict) and "intro" in value:
+                intro = tuple(value["intro"])
+            for tgt in self._targets(origin):
+                ctx.send_long_range(
+                    tgt,
+                    "bcast_item",
+                    {"key": list(key), "value": value},
+                    introduce=intro,
+                )
+        self._to_send = []

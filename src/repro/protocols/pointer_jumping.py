@@ -1,0 +1,317 @@
+"""Pointer jumping on boundary rings (§5.2) with fused angle sums (§5.4).
+
+Every boundary ring (hole perimeter or outer boundary) runs the paper's
+pointer-jumping pass: each slot maintains per-level overlay links to the
+slots 2ʲ ring-steps away in both directions, together with arc aggregates
+
+* minimum node ID over the arc — the paper's ℓ(e) values, driving leader
+  election;
+* step count — the arc's ring length (the paper's level(e) in exponent
+  form);
+* turn-angle sum — fused in exactly as §5.4 prescribes, so hole detection
+  costs no extra rounds.
+
+A slot **converges** when the minima of its two 2ʲ-arcs coincide: arcs of
+equal length on both sides can only share a value when they overlap (IDs are
+unique), at which point they jointly cover the whole ring and the shared
+minimum is the global one — the paper's ℓ(pred, v) = ℓ(v, succ) stopping
+rule.  Convergence happens after at most ⌈log₂ k⌉ levels, one communication
+round per level, with O(1) messages per slot per round.
+
+The per-level links are retained: the ranking pass
+(:mod:`repro.protocols.ranking`), the hypercube emulation and the convex
+hull protocol (:mod:`repro.protocols.hull_protocol`) all reuse them — they
+*are* the hypercube edges of §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+from .rings import RingCorner
+
+__all__ = ["Agg", "Link", "SlotDoubleState", "RingDoublingProcess"]
+
+SlotKey = Tuple[int, int]  # (node_id, succ_node_id) — the slot's dart
+
+
+@dataclass(frozen=True)
+class Agg:
+    """Arc aggregate: (min node id, ring steps, turn-angle sum)."""
+
+    min_id: int
+    count: int
+    angle: float
+
+    def combine(self, other: "Agg") -> "Agg":
+        """Merge two adjacent arc aggregates (associative)."""
+        return Agg(
+            min_id=min(self.min_id, other.min_id),
+            count=self.count + other.count,
+            angle=self.angle + other.angle,
+        )
+
+
+@dataclass
+class Link:
+    """Overlay link to the slot 2ˡᵉᵛᵉˡ ring-steps away, with its arc aggregate.
+
+    For a succ link the aggregate covers the arc ``(self, target]``; for a
+    pred link it covers ``[target, self)``.
+    """
+
+    node: int
+    slot: SlotKey
+    agg: Agg
+    level: int
+
+
+@dataclass
+class SlotDoubleState:
+    """Doubling state for one ring slot."""
+
+    slot: SlotKey
+    turn: float
+    pred0: SlotKey
+    succ_links: List[Link] = field(default_factory=list)
+    pred_links: List[Link] = field(default_factory=list)
+    converged_level: Optional[int] = None
+    leader: Optional[int] = None
+    sent_through: int = -1  # highest level whose jump messages were emitted
+    got_traffic: bool = False
+
+    def ready_level(self) -> Optional[int]:
+        """Highest level with both links present, or None."""
+        if not self.succ_links or not self.pred_links:
+            return None
+        return min(self.succ_links[-1].level, self.pred_links[-1].level)
+
+    def check_convergence(self, own_id: int) -> None:
+        """Apply the ℓ-equality stopping rule once both links share a level."""
+        if self.converged_level is not None:
+            return
+        lvl = self.ready_level()
+        if lvl is None:
+            return
+        s = self.succ_links[-1]
+        p = self.pred_links[-1]
+        if s.level == p.level == lvl and s.agg.min_id == p.agg.min_id:
+            self.converged_level = lvl
+            self.leader = min(own_id, s.agg.min_id)
+
+
+class RingDoublingProcess(NodeProcess):
+    """Runs pointer jumping for every ring slot of this node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        corners: List[RingCorner],
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.slots: Dict[SlotKey, SlotDoubleState] = {}
+        for c in corners:
+            key = (node_id, c.succ)
+            self.slots[key] = SlotDoubleState(
+                slot=key, turn=c.turn, pred0=(c.pred, node_id)
+            )
+
+    # -- round 0 ---------------------------------------------------------------
+    def start(self, ctx: Context) -> None:
+        """Round 0: exchange level-0 link info with both ring neighbors."""
+        if not self.slots:
+            self.done = True
+            return
+        for key, st in self.slots.items():
+            if st.pred0 == key:
+                # Ring of a single slot (degenerate): resolve locally.
+                st.converged_level = 0
+                st.leader = self.node_id
+                continue
+            succ_node = key[1]
+            pred_node = st.pred0[0]
+            # Ring neighbors are LDel neighbors on real boundary rings, so
+            # the ad hoc channel applies; the *virtual* closing edge of an
+            # outer hole or bay sub-ring (§5.4 second run, §5.6) exceeds the
+            # radio range and uses a long-range link instead — its endpoints
+            # know each other from the hull broadcast introductions.
+            send_succ = (
+                ctx.send_adhoc if succ_node in self.neighbors else ctx.send_long_range
+            )
+            send_pred = (
+                ctx.send_adhoc if pred_node in self.neighbors else ctx.send_long_range
+            )
+            # Succ-ward: gives the successor its level-0 PRED link.
+            send_succ(
+                succ_node,
+                "ring0_pred",
+                {"src_slot": list(key), "turn": st.turn},
+            )
+            # Pred-ward: gives the predecessor its level-0 SUCC link.
+            send_pred(
+                pred_node,
+                "ring0_succ",
+                {"dst_slot": list(st.pred0), "src_slot": list(key), "turn": st.turn},
+            )
+
+    # -- rounds ------------------------------------------------------------------
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Process incoming link extensions; emit the next level once ready."""
+        for msg in inbox:
+            if msg.kind == "ring0_pred":
+                self._on_ring0_pred(msg)
+            elif msg.kind == "ring0_succ":
+                self._on_ring0_succ(msg)
+            elif msg.kind == "jump":
+                self._on_jump(msg)
+
+        all_quiet = True
+        for st in self.slots.values():
+            st.check_convergence(self.node_id)
+            self._emit(ctx, st)
+            if st.converged_level is None or st.got_traffic:
+                all_quiet = False
+            st.got_traffic = False
+        self.done = all_quiet
+
+    # -- handlers ------------------------------------------------------------------
+    def _slot_with_pred(self, pred_slot: SlotKey) -> Optional[SlotDoubleState]:
+        for st in self.slots.values():
+            if st.pred0 == pred_slot:
+                return st
+        return None
+
+    def _on_ring0_pred(self, msg: Message) -> None:
+        src = tuple(msg.payload["src_slot"])
+        st = self._slot_with_pred(src)  # sender is our ring predecessor
+        if st is None or st.pred_links:
+            return
+        st.got_traffic = True
+        st.pred_links.append(
+            Link(
+                node=src[0],
+                slot=src,
+                agg=Agg(min_id=src[0], count=1, angle=msg.payload["turn"]),
+                level=0,
+            )
+        )
+
+    def _on_ring0_succ(self, msg: Message) -> None:
+        dst = tuple(msg.payload["dst_slot"])
+        st = self.slots.get(dst)
+        if st is None or st.succ_links:
+            return
+        src = tuple(msg.payload["src_slot"])
+        st.got_traffic = True
+        st.succ_links.append(
+            Link(
+                node=src[0],
+                slot=src,
+                agg=Agg(min_id=src[0], count=1, angle=msg.payload["turn"]),
+                level=0,
+            )
+        )
+
+    def _on_jump(self, msg: Message) -> None:
+        dst = tuple(msg.payload["dst_slot"])
+        st = self.slots.get(dst)
+        if st is None:
+            return
+        st.got_traffic = True
+        incoming = Link(
+            node=msg.payload["tgt_node"],
+            slot=tuple(msg.payload["tgt_slot"]),
+            agg=Agg(
+                min_id=msg.payload["min_id"],
+                count=msg.payload["count"],
+                angle=msg.payload["angle"],
+            ),
+            level=msg.payload["level"],
+        )
+        if msg.payload["dir"] == "succ":
+            # Our succ-side partner tells us about ITS succ link of the same
+            # level; appending extends our succ chain by one level.
+            base = st.succ_links[-1]
+            if incoming.level != base.level:
+                return
+            st.succ_links.append(
+                Link(
+                    node=incoming.node,
+                    slot=incoming.slot,
+                    agg=base.agg.combine(incoming.agg),
+                    level=base.level + 1,
+                )
+            )
+        else:
+            base = st.pred_links[-1]
+            if incoming.level != base.level:
+                return
+            st.pred_links.append(
+                Link(
+                    node=incoming.node,
+                    slot=incoming.slot,
+                    agg=incoming.agg.combine(base.agg),
+                    level=base.level + 1,
+                )
+            )
+        st.check_convergence(self.node_id)
+
+    # -- emission --------------------------------------------------------------------
+    def _emit(self, ctx: Context, st: SlotDoubleState) -> None:
+        lvl = st.ready_level()
+        if lvl is None or lvl <= st.sent_through:
+            return
+        # Safety rule (see module docstring of the proof sketch): emit the
+        # level-lvl jump messages unless we converged strictly below lvl —
+        # any partner that still needs them cannot have converged earlier.
+        if st.converged_level is not None and st.converged_level < lvl:
+            st.sent_through = lvl
+            return
+        s = st.succ_links[-1] if st.succ_links[-1].level == lvl else None
+        p = st.pred_links[-1] if st.pred_links[-1].level == lvl else None
+        if s is None or p is None:
+            # Links exist at lvl somewhere in history; locate them.
+            s = next(l for l in st.succ_links if l.level == lvl)
+            p = next(l for l in st.pred_links if l.level == lvl)
+        send = ctx.send_long_range
+        # To our pred-side partner: our succ link (it extends its succ chain).
+        send(
+            p.node,
+            "jump",
+            {
+                "dst_slot": list(p.slot),
+                "dir": "succ",
+                "tgt_node": s.node,
+                "tgt_slot": list(s.slot),
+                "min_id": s.agg.min_id,
+                "count": s.agg.count,
+                "angle": s.agg.angle,
+                "level": lvl,
+            },
+            introduce=[s.node],
+        )
+        # To our succ-side partner: our pred link.
+        send(
+            s.node,
+            "jump",
+            {
+                "dst_slot": list(s.slot),
+                "dir": "pred",
+                "tgt_node": p.node,
+                "tgt_slot": list(p.slot),
+                "min_id": p.agg.min_id,
+                "count": p.agg.count,
+                "angle": p.agg.angle,
+                "level": lvl,
+            },
+            introduce=[p.node],
+        )
+        st.sent_through = lvl

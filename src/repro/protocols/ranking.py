@@ -1,0 +1,283 @@
+"""Ring ranking and hole classification (§5.2 ID assignment + §5.4).
+
+After pointer jumping every slot knows its ring's **leader** (minimum node
+ID) and holds O(log k) overlay links.  This pass turns that into global ring
+facts:
+
+1. **Chain jumping toward the leader**: every slot repeatedly asks its
+   current chain target for *its* target and arc aggregate, doubling the
+   covered arc per exchange.  Chains freeze as soon as they point at the
+   leader slot, so each slot learns its forward distance ``d_fwd`` to the
+   leader.  The leader's own chain wraps the full ring, giving it the exact
+   ring size ``k`` and the **total turn angle** (+2π for a hole walked ccw,
+   −2π for the outer boundary) — §5.4's distributed angle summation.
+2. **Binomial broadcast**: the leader pushes ``(k, total angle)`` along its
+   stored doubling links; receivers forward along their lower-level links.
+   O(log k) rounds, O(log k) messages per slot.
+
+Afterwards each slot knows its ring position ``(k − d_fwd) mod k`` — the
+hypercube ID of §5.2 — plus the ring size and its ring's classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simulation.messages import Message
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import Context
+from .pointer_jumping import Link, SlotDoubleState
+
+__all__ = ["SlotRankState", "RingRankingProcess", "RingInfo"]
+
+SlotKey = Tuple[int, int]
+
+
+@dataclass
+class RingInfo:
+    """Facts about a ring known to a slot after ranking."""
+
+    leader: int
+    size: int
+    position: int
+    total_angle: float
+    #: globally unique ring identity: the leader slot's dart.  Two distinct
+    #: rings can share both leader node and size (a figure-eight through
+    #: their common minimum node), so (leader, size) alone is ambiguous.
+    ring: Tuple[int, int] = (-1, -1)
+
+    @property
+    def is_hole(self) -> bool:
+        """+2π ⇒ ccw walk ⇒ bounded face ⇒ radio hole (or non-triangle face)."""
+        return self.total_angle > 0.0
+
+
+@dataclass
+class SlotRankState:
+    """Chain-jumping state for one slot."""
+
+    slot: SlotKey
+    turn: float
+    leader: int
+    links_succ: List[Link]
+    links_pred: List[Link]
+    jump_node: int = -1
+    jump_slot: SlotKey = (-1, -1)
+    acc_count: int = 0
+    acc_angle: float = 0.0
+    finished: bool = False
+    awaiting_reply: bool = False
+    d_fwd: Optional[int] = None
+    info: Optional[RingInfo] = None
+    forwarded: bool = False
+    #: binomial forwarding watermark: levels below this were already relayed
+    forwarded_below: int = 0
+    #: (level, ) forward work discovered while handling a ring_info message
+    pending_forward_to: int = -1
+    got_traffic: bool = False
+
+    @property
+    def is_leader_slot(self) -> bool:
+        return self.slot[0] == self.leader
+
+
+class RingRankingProcess(NodeProcess):
+    """Chain jumping + leader broadcast for all of a node's ring slots.
+
+    Spawned from the doubling results: ``slot_states`` maps slot keys to the
+    finished :class:`SlotDoubleState` objects (links + leader).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+        *,
+        slot_states: Dict[SlotKey, SlotDoubleState],
+    ) -> None:
+        super().__init__(node_id, position, neighbors, neighbor_positions)
+        self.slots: Dict[SlotKey, SlotRankState] = {}
+        for key, d in slot_states.items():
+            if d.leader is None or not d.succ_links:
+                # Degenerate single-slot ring.
+                st = SlotRankState(
+                    slot=key,
+                    turn=d.turn,
+                    leader=d.leader if d.leader is not None else node_id,
+                    links_succ=[],
+                    links_pred=[],
+                    finished=True,
+                )
+                st.d_fwd = 0
+                st.info = RingInfo(
+                    leader=st.leader,
+                    size=1,
+                    position=0,
+                    total_angle=d.turn,
+                    ring=key,
+                )
+                self.slots[key] = st
+                continue
+            first = d.succ_links[0]
+            st = SlotRankState(
+                slot=key,
+                turn=d.turn,
+                leader=d.leader,
+                links_succ=list(d.succ_links),
+                links_pred=list(d.pred_links),
+                jump_node=first.node,
+                jump_slot=first.slot,
+                acc_count=1,
+                acc_angle=first.agg.angle,
+            )
+            self._maybe_finish(st)
+            self.slots[key] = st
+
+    # -- helpers -------------------------------------------------------------
+    def _maybe_finish(self, st: SlotRankState) -> None:
+        if st.finished:
+            return
+        if st.is_leader_slot:
+            if st.jump_slot == st.slot:
+                # Full wrap: arc (self, self] is the entire ring.
+                st.finished = True
+                st.d_fwd = 0
+                st.info = RingInfo(
+                    leader=st.leader,
+                    size=st.acc_count,
+                    position=0,
+                    total_angle=st.acc_angle,
+                    ring=st.slot,
+                )
+        elif st.jump_node == st.leader:
+            st.finished = True
+            st.d_fwd = st.acc_count
+
+    # -- rounds ----------------------------------------------------------------
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        """Answer rank requests, splice replies, relay the leader broadcast."""
+        replies: List[Message] = []
+        for msg in inbox:
+            if msg.kind == "rank_req":
+                self._reply(ctx, msg)
+            elif msg.kind == "rank_reply":
+                replies.append(msg)
+            elif msg.kind == "ring_info":
+                self._on_info(msg)
+        for msg in replies:
+            self._on_reply(msg)
+
+        all_done = True
+        for st in self.slots.values():
+            if not st.finished and not st.awaiting_reply:
+                ctx.send_long_range(
+                    st.jump_node,
+                    "rank_req",
+                    {"dst_slot": list(st.jump_slot), "src_slot": list(st.slot)},
+                )
+                st.awaiting_reply = True
+            if st.finished and st.is_leader_slot and not st.forwarded:
+                self._leader_broadcast(ctx, st)
+            if st.pending_forward_to > st.forwarded_below:
+                self._forward_info(ctx, st)
+            if inbox:
+                st.got_traffic = True
+            if st.info is None or st.got_traffic:
+                all_done = False
+            st.got_traffic = False
+        self.done = all_done
+
+    def _reply(self, ctx: Context, msg: Message) -> None:
+        st = self.slots.get(tuple(msg.payload["dst_slot"]))
+        if st is None:
+            return
+        st.got_traffic = True
+        # Reply with our current chain target and aggregate; the requester
+        # splices it onto its own arc.  When we are the leader slot the
+        # requester is already finished conceptually, but replying uniformly
+        # is harmless (it will have frozen its chain before asking us).
+        ctx.send_long_range(
+            msg.sender,
+            "rank_reply",
+            {
+                "dst_slot": list(msg.payload["src_slot"]),
+                "tgt_node": st.jump_node,
+                "tgt_slot": list(st.jump_slot),
+                "count": st.acc_count,
+                "angle": st.acc_angle,
+            },
+            introduce=[st.jump_node] if st.jump_node >= 0 else [],
+        )
+
+    def _on_reply(self, msg: Message) -> None:
+        st = self.slots.get(tuple(msg.payload["dst_slot"]))
+        if st is None or st.finished:
+            return
+        st.got_traffic = True
+        st.awaiting_reply = False
+        st.acc_count += msg.payload["count"]
+        st.acc_angle += msg.payload["angle"]
+        st.jump_node = msg.payload["tgt_node"]
+        st.jump_slot = tuple(msg.payload["tgt_slot"])
+        self._maybe_finish(st)
+
+    # -- broadcast ---------------------------------------------------------------
+    def _leader_broadcast(self, ctx: Context, st: SlotRankState) -> None:
+        assert st.info is not None
+        for link in st.links_succ:
+            ctx.send_long_range(
+                link.node,
+                "ring_info",
+                {
+                    "dst_slot": list(link.slot),
+                    "size": st.info.size,
+                    "angle": st.info.total_angle,
+                    "leader": st.leader,
+                    "ring": list(st.info.ring),
+                    "level": link.level,
+                },
+            )
+        st.forwarded = True
+
+    def _on_info(self, msg: Message) -> None:
+        st = self.slots.get(tuple(msg.payload["dst_slot"]))
+        if st is None:
+            return
+        st.got_traffic = True
+        if st.info is None:
+            size = msg.payload["size"]
+            d_fwd = st.d_fwd if st.d_fwd is not None else 0
+            st.info = RingInfo(
+                leader=msg.payload["leader"],
+                size=size,
+                position=(size - d_fwd) % size,
+                total_angle=msg.payload["angle"],
+                ring=tuple(msg.payload["ring"]),
+            )
+        # Binomial forwarding: relay along our succ links with levels below
+        # the received tag.  Messages that wrap past the leader reach slots
+        # that already hold their info and are ignored; the watermark makes
+        # the relay correct regardless of arrival order (a later message
+        # with a higher tag extends the relayed range).
+        st.pending_forward_to = max(st.pending_forward_to, msg.payload["level"])
+
+    def _forward_info(self, ctx: Context, st: SlotRankState) -> None:
+        assert st.info is not None
+        for link in st.links_succ:
+            if st.forwarded_below <= link.level < st.pending_forward_to:
+                ctx.send_long_range(
+                    link.node,
+                    "ring_info",
+                    {
+                        "dst_slot": list(link.slot),
+                        "size": st.info.size,
+                        "angle": st.info.total_angle,
+                        "leader": st.info.leader,
+                        "ring": list(st.info.ring),
+                        "level": link.level,
+                    },
+                )
+        st.forwarded_below = max(st.forwarded_below, st.pending_forward_to)

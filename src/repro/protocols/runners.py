@@ -1,0 +1,141 @@
+"""Stage runners: glue for chaining protocol phases.
+
+Protocols run as separate simulator phases (each a synchronous run to
+quiescence); knowledge sets — the ``E`` edges accumulated through
+ID-introduction — carry over between phases, because the model lets nodes
+keep the IDs they learned.  ``run_stage`` wires that up and accumulates
+metrics across phases.
+
+``synthetic_ring`` fabricates a standalone ring instance (nodes on a circle
+with unit-length ring edges) for protocol unit tests and the sorting/hull
+microbenchmarks (E4, E10), where ring size must be controlled exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.udg import Adjacency
+from ..simulation.metrics import MetricsCollector
+from ..simulation.node import NodeProcess
+from ..simulation.scheduler import HybridSimulator, SimulationResult
+from .rings import RingCorner
+
+__all__ = ["run_stage", "run_until_quiet", "synthetic_ring", "StagePipeline"]
+
+
+def run_until_quiet(sim: HybridSimulator, max_rounds: int = 5000) -> SimulationResult:
+    """Run a simulator until no messages remain in flight.
+
+    For flooding-style protocols (tree broadcast) whose processes cannot
+    decide termination locally; quiescence detection is a simulation device,
+    not protocol logic — a real deployment would use the standard echo
+    termination on the tree at the same asymptotic cost.
+    """
+    return sim.run(
+        max_rounds=max_rounds,
+        until=lambda s: s.round_no > 0 and not s._outbox,
+    )
+
+
+def run_stage(
+    points: np.ndarray,
+    adjacency: Adjacency,
+    factory: Callable[..., NodeProcess],
+    per_node_kwargs: Callable[[int], dict],
+    prev_nodes: Optional[Dict[int, NodeProcess]] = None,
+    max_rounds: int = 5000,
+    radius: float = 1.0,
+) -> SimulationResult:
+    """Run one protocol phase on the given topology.
+
+    ``factory(node_id, pos, nbrs, nbr_pos, **per_node_kwargs(node_id))``
+    builds each process; knowledge from ``prev_nodes`` (a prior phase's
+    processes) is inherited.
+    """
+    sim = HybridSimulator(points, radius=radius, adjacency=adjacency)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: factory(
+            nid, pos, nbrs, nbrp, **per_node_kwargs(nid)
+        )
+    )
+    if prev_nodes is not None:
+        for nid, proc in sim.nodes.items():
+            prev = prev_nodes.get(nid)
+            if prev is not None:
+                proc.knowledge |= prev.knowledge
+    return sim.run(max_rounds=max_rounds)
+
+
+class StagePipeline:
+    """Chains protocol phases, accumulating metrics and knowledge."""
+
+    def __init__(
+        self, points: np.ndarray, adjacency: Adjacency, radius: float = 1.0
+    ) -> None:
+        self.points = points
+        self.adjacency = adjacency
+        self.radius = radius
+        self.metrics = MetricsCollector()
+        self.stage_metrics: Dict[str, Dict[str, float]] = {}
+        self._last_nodes: Optional[Dict[int, NodeProcess]] = None
+
+    def run(
+        self,
+        name: str,
+        factory: Callable[..., NodeProcess],
+        per_node_kwargs: Callable[[int], dict],
+        max_rounds: int = 5000,
+    ) -> SimulationResult:
+        """Run one named stage, folding its metrics and knowledge forward."""
+        result = run_stage(
+            self.points,
+            self.adjacency,
+            factory,
+            per_node_kwargs,
+            prev_nodes=self._last_nodes,
+            max_rounds=max_rounds,
+            radius=self.radius,
+        )
+        self.metrics.merge(result.metrics)
+        self.stage_metrics[name] = result.metrics.summary()
+        # Knowledge accumulates across stages.
+        if self._last_nodes is not None:
+            for nid, proc in result.nodes.items():
+                prev = self._last_nodes.get(nid)
+                if prev is not None:
+                    proc.knowledge |= prev.knowledge
+        self._last_nodes = result.nodes
+        return result
+
+
+def synthetic_ring(
+    k: int, radius_scale: float = 0.95
+) -> Tuple[np.ndarray, Adjacency, Dict[int, List[RingCorner]]]:
+    """A standalone ring of ``k`` nodes with unit-length ring edges.
+
+    Nodes sit on a circle whose circumference is ``k · radius_scale`` so
+    consecutive nodes are within the unit communication radius.  Corners walk
+    the ring counter-clockwise (like a hole boundary), one slot per node.
+    """
+    if k < 2:
+        raise ValueError("synthetic ring needs at least 2 nodes")
+    circ_r = (k * radius_scale) / (2.0 * math.pi)
+    ang = np.linspace(0.0, 2.0 * math.pi, k, endpoint=False)
+    points = np.column_stack([circ_r * np.cos(ang), circ_r * np.sin(ang)])
+    adjacency: Adjacency = {
+        i: sorted([(i - 1) % k, (i + 1) % k]) for i in range(k)
+    }
+    turn = 2.0 * math.pi / k
+    corners = {
+        i: [
+            RingCorner(
+                node=i, pred=(i - 1) % k, succ=(i + 1) % k, turn=turn
+            )
+        ]
+        for i in range(k)
+    }
+    return points, adjacency, corners

@@ -1,0 +1,174 @@
+"""Self-verification of distributed runs against the centralized oracle.
+
+Research users changing protocol internals want a one-call sanity check:
+does the distributed pipeline still produce exactly the artifacts the
+definitional (centralized) construction yields?  :func:`verify_setup`
+re-derives everything centrally and reports every discrepancy — the same
+checks the test suite performs, packaged as a public API::
+
+    setup = run_distributed_setup(points, seed=0)
+    report = verify_setup(setup)
+    assert report.ok, report.describe()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.abstraction import Abstraction, build_abstraction
+from ..graphs.ldel import build_ldel
+from .setup import SetupResult
+
+__all__ = ["VerificationReport", "verify_setup", "verify_abstraction"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification pass: empty ``problems`` means success."""
+
+    problems: List[str] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def note(self, check: str) -> None:
+        """Record a check as performed."""
+        self.checked.append(check)
+
+    def fail(self, message: str) -> None:
+        """Record a discrepancy."""
+        self.problems.append(message)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"verification: {len(self.checked)} checks, "
+            f"{len(self.problems)} problems"
+        ]
+        lines.extend(f"  FAIL {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def _boundary_key(boundary: List[int]) -> Tuple[int, ...]:
+    i = boundary.index(min(boundary))
+    return tuple(boundary[i:] + boundary[:i])
+
+
+def verify_abstraction(
+    abstraction: Abstraction, reference: Optional[Abstraction] = None
+) -> VerificationReport:
+    """Compare an abstraction against the centralized reconstruction.
+
+    ``reference`` defaults to ``build_abstraction`` re-run on the same
+    coordinates.  Bay dominating sets are validated for the *domination
+    property* rather than equality (the distributed MIS legitimately differs
+    from the centralized every-third-node reference).
+    """
+    report = VerificationReport()
+    if reference is None:
+        reference = build_abstraction(build_ldel(abstraction.points))
+
+    # 1. LDel topology.
+    report.note("ldel adjacency")
+    if abstraction.graph.adjacency != reference.graph.adjacency:
+        diff = [
+            nid
+            for nid in abstraction.graph.adjacency
+            if abstraction.graph.adjacency[nid]
+            != reference.graph.adjacency.get(nid)
+        ]
+        report.fail(f"LDel adjacency differs at nodes {diff[:10]}")
+    report.note("ldel triangles")
+    if sorted(abstraction.graph.triangles) != sorted(reference.graph.triangles):
+        report.fail("LDel triangle sets differ")
+
+    # 2. Hole boundaries and hulls.
+    ours = {_boundary_key(h.boundary): h for h in abstraction.holes}
+    theirs = {_boundary_key(h.boundary): h for h in reference.holes}
+    report.note("hole boundaries")
+    missing = set(theirs) - set(ours)
+    extra = set(ours) - set(theirs)
+    if missing:
+        report.fail(f"{len(missing)} hole(s) missing from the abstraction")
+    if extra:
+        report.fail(f"{len(extra)} spurious hole(s) in the abstraction")
+    report.note("hole hulls")
+    for key in set(ours) & set(theirs):
+        if sorted(ours[key].hull) != sorted(theirs[key].hull):
+            report.fail(f"hull differs for hole with boundary start {key[0]}")
+        if ours[key].is_outer != theirs[key].is_outer:
+            report.fail(f"inner/outer classification differs at {key[0]}")
+
+    # 3. Bays: same arcs, dominating sets valid.
+    report.note("bay arcs")
+    for key in set(ours) & set(theirs):
+        arcs_a = {(b.corner_a, b.corner_b): tuple(b.arc) for b in ours[key].bays}
+        arcs_b = {(b.corner_a, b.corner_b): tuple(b.arc) for b in theirs[key].bays}
+        if arcs_a != arcs_b:
+            report.fail(f"bay arcs differ for hole at {key[0]}")
+    report.note("dominating sets dominate")
+    for h in abstraction.holes:
+        for bay in h.bays:
+            ds = set(bay.dominating_set)
+            if not ds <= set(bay.arc):
+                report.fail(
+                    f"dominating set of bay {bay.corner_a}->{bay.corner_b} "
+                    "contains non-arc nodes"
+                )
+                continue
+            arc = bay.arc
+            for i, v in enumerate(arc):
+                nbrs = [arc[j] for j in (i - 1, i + 1) if 0 <= j < len(arc)]
+                if v not in ds and not any(u in ds for u in nbrs):
+                    report.fail(
+                        f"bay {bay.corner_a}->{bay.corner_b}: node {v} "
+                        "not dominated"
+                    )
+                    break
+    return report
+
+
+def verify_setup(setup: SetupResult) -> VerificationReport:
+    """Full verification of a distributed run.
+
+    Runs :func:`verify_abstraction` and additionally checks the overlay
+    tree's structural invariants and the hull-distribution postcondition.
+    """
+    report = verify_abstraction(setup.abstraction)
+
+    # Overlay tree: single root, consistent pointers, acyclic.
+    report.note("tree single root")
+    roots = [nid for nid, p in setup.tree_parent.items() if p is None]
+    if len(roots) != 1:
+        report.fail(f"overlay tree has {len(roots)} roots")
+    report.note("tree pointer consistency")
+    for nid, parent in setup.tree_parent.items():
+        if parent is not None and nid not in setup.tree_children.get(parent, []):
+            report.fail(f"tree child link missing for {nid} under {parent}")
+    report.note("tree acyclic")
+    for nid in setup.tree_parent:
+        seen = set()
+        cur: Optional[int] = nid
+        while cur is not None:
+            if cur in seen:
+                report.fail(f"tree cycle through node {cur}")
+                break
+            seen.add(cur)
+            cur = setup.tree_parent[cur]
+
+    # Hull distribution: every node received every hole's summary.
+    report.note("hull distribution complete")
+    expected = len(setup.abstraction.holes)
+    if setup.hulls_received:
+        short = [
+            nid for nid, cnt in setup.hulls_received.items() if cnt != expected
+        ]
+        if short:
+            report.fail(
+                f"{len(short)} node(s) missing hull summaries "
+                f"(expected {expected})"
+            )
+    return report

@@ -1,0 +1,266 @@
+"""Chew's algorithm: routing along the triangles stabbed by the s–t segment.
+
+The paper's routing primitive (Theorems 2.10/2.11): between two *visible*
+nodes of LDel² — nodes whose connecting segment crosses no hole — the online
+strategy of Bonichon et al. [3] finds a path of length at most 5.9·‖st‖ by
+only ever visiting vertices of triangles intersected by the segment.
+
+Implementation: we build the **corridor** — the ordered chain of LDel
+triangles the segment st stabs, linked by their crossed edges — and route on
+the corridor's vertex set: greedily toward *t* first, with a Dijkstra
+fallback restricted to the corridor if greedy stalls (both stay within
+Chew's vertex set, so the 5.9 guarantee's premises apply; the measured
+stretch in benchmark E9 is far below the bound).  When the chain breaks —
+the segment leaves the triangulated region and enters a non-triangular face
+— the walk stops at a **hole node** ``h₀`` on the last crossed edge, which
+is exactly the "message reaches a hole node" event the §3/§4 protocols
+dispatch on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.predicates import (
+    orientation,
+    segments_properly_intersect,
+)
+from ..geometry.primitives import distance
+from ..graphs.ldel import LDelGraph
+
+__all__ = ["ChewResult", "chew_route", "crossed_edges"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class ChewResult:
+    """Outcome of one Chew walk.
+
+    ``path`` always starts at the source; when ``reached`` it ends at the
+    target, otherwise at ``blocked_at`` — the hole node where the corridor
+    broke (h₀ of §3).
+    """
+
+    path: List[int]
+    reached: bool
+    blocked_at: Optional[int] = None
+    corridor: Set[int] = field(default_factory=set)
+    used_fallback: bool = False
+
+    def length(self, points: np.ndarray) -> float:
+        """Euclidean length of the walked path."""
+        return sum(
+            distance(points[a], points[b])
+            for a, b in zip(self.path, self.path[1:])
+        )
+
+
+def crossed_edges(
+    graph: LDelGraph, s: int, t: int
+) -> List[Tuple[float, Edge]]:
+    """LDel edges properly crossed by segment st, ordered along st.
+
+    Returns ``(param, edge)`` pairs where ``param`` ∈ (0,1) locates the
+    crossing on st.  Edges incident to s or t never count as crossings.
+    """
+    pts = graph.points
+    ps, pt = pts[s], pts[t]
+    out: List[Tuple[float, Edge]] = []
+    seen: Set[Edge] = set()
+    # Candidate edges: restrict to edges whose endpoints are near the
+    # segment (cheap bounding-box prefilter over the adjacency).
+    xmin, xmax = min(ps[0], pt[0]) - 1.0, max(ps[0], pt[0]) + 1.0
+    ymin, ymax = min(ps[1], pt[1]) - 1.0, max(ps[1], pt[1]) + 1.0
+    for u, nbrs in graph.adjacency.items():
+        pu = pts[u]
+        if not (xmin <= pu[0] <= xmax and ymin <= pu[1] <= ymax):
+            continue
+        for v in nbrs:
+            if v <= u or u in (s, t) or v in (s, t):
+                continue
+            e = (u, v)
+            if e in seen:
+                continue
+            seen.add(e)
+            pv = pts[v]
+            if segments_properly_intersect(ps, pt, pu, pv):
+                param = _cross_param(ps, pt, pu, pv)
+                out.append((param, e))
+    out.sort(key=lambda item: item[0])
+    return out
+
+
+def _cross_param(ps, pt, pu, pv) -> float:
+    dx, dy = pt[0] - ps[0], pt[1] - ps[1]
+    ex, ey = pv[0] - pu[0], pv[1] - pu[1]
+    denom = dx * ey - dy * ex
+    if abs(denom) < 1e-15:
+        return 0.5
+    return ((pu[0] - ps[0]) * ey - (pu[1] - ps[1]) * ex) / denom
+
+
+def _common_triangle(
+    tri_of_edge: Dict[Edge, List[Tuple[int, int, int]]],
+    e1: Edge,
+    e2: Edge,
+) -> bool:
+    t1 = tri_of_edge.get(e1, ())
+    t2 = tri_of_edge.get(e2, ())
+    return any(a == b for a in t1 for b in t2)
+
+
+def _edge_in_triangle_with(
+    tri_of_edge: Dict[Edge, List[Tuple[int, int, int]]], e: Edge, apex: int
+) -> bool:
+    return any(apex in tri for tri in tri_of_edge.get(e, ()))
+
+
+def chew_route(
+    graph: LDelGraph,
+    s: int,
+    t: int,
+    *,
+    tri_of_edge: Optional[Dict[Edge, List[Tuple[int, int, int]]]] = None,
+) -> ChewResult:
+    """Route from node ``s`` toward node ``t`` along the st corridor.
+
+    ``tri_of_edge`` (edge → incident triangles) can be precomputed once per
+    graph and shared across calls — the router does this.
+    """
+    pts = graph.points
+    if s == t:
+        return ChewResult(path=[s], reached=True)
+    if graph.has_edge(s, t):
+        return ChewResult(path=[s, t], reached=True, corridor={s, t})
+
+    if tri_of_edge is None:
+        tri_of_edge = _build_tri_of_edge(graph)
+
+    crossings = crossed_edges(graph, s, t)
+
+    # Walk the crossing chain and find where (if anywhere) it breaks.
+    corridor: Set[int] = {s}
+    chain_ok = True
+    last_edge: Optional[Edge] = None
+    if not crossings:
+        # st crosses no edge: the open segment lies inside a single face.
+        # With no direct edge that face cannot be a triangle — we are
+        # standing on a hole boundary.
+        return ChewResult(path=[s], reached=False, blocked_at=s, corridor={s})
+    first_edge = crossings[0][1]
+    if not _edge_in_triangle_with(tri_of_edge, first_edge, s):
+        return ChewResult(path=[s], reached=False, blocked_at=s, corridor={s})
+    corridor.update(first_edge)
+    last_edge = first_edge
+    break_edge: Optional[Edge] = None
+    for _, e in crossings[1:]:
+        if not _common_triangle(tri_of_edge, last_edge, e):
+            break_edge = last_edge
+            chain_ok = False
+            break
+        corridor.update(e)
+        last_edge = e
+    if chain_ok:
+        if _edge_in_triangle_with(tri_of_edge, last_edge, t):
+            corridor.add(t)
+            path, fallback = _route_in_corridor(graph, corridor, s, t)
+            if path is not None:
+                return ChewResult(
+                    path=path,
+                    reached=True,
+                    corridor=corridor,
+                    used_fallback=fallback,
+                )
+            break_edge = last_edge  # corridor disconnected: treat as blocked
+        else:
+            break_edge = last_edge
+
+    # Blocked: deliver the message to the better endpoint of the last edge
+    # before the hole (h₀).
+    assert break_edge is not None
+    h0 = min(break_edge, key=lambda v: distance(pts[v], pts[t]))
+    path, fallback = _route_in_corridor(graph, corridor, s, h0)
+    if path is None:
+        # Degenerate corridor (should not occur on planar LDel): stay put.
+        path, fallback = [s], False
+        h0 = s
+    return ChewResult(
+        path=path,
+        reached=False,
+        blocked_at=h0,
+        corridor=corridor,
+        used_fallback=fallback,
+    )
+
+
+def _build_tri_of_edge(graph: LDelGraph) -> Dict[Edge, List[Tuple[int, int, int]]]:
+    out: Dict[Edge, List[Tuple[int, int, int]]] = {}
+    for tri in graph.triangles:
+        a, b, c = tri
+        for e in ((a, b), (b, c), (a, c)):
+            out.setdefault(e, []).append(tri)
+    return out
+
+
+def _route_in_corridor(
+    graph: LDelGraph, corridor: Set[int], s: int, goal: int
+) -> Tuple[Optional[List[int]], bool]:
+    """Greedy walk within the corridor; Dijkstra fallback if it stalls."""
+    pts = graph.points
+    pgoal = pts[goal]
+    path = [s]
+    current = s
+    visited = {s}
+    while current != goal:
+        candidates = [
+            v
+            for v in graph.adjacency[current]
+            if v in corridor and v not in visited
+        ]
+        if not candidates:
+            return _dijkstra_in_corridor(graph, corridor, s, goal)
+        nxt = min(candidates, key=lambda v: distance(pts[v], pgoal))
+        if distance(pts[nxt], pgoal) >= distance(pts[current], pgoal) and nxt != goal:
+            return _dijkstra_in_corridor(graph, corridor, s, goal)
+        path.append(nxt)
+        visited.add(nxt)
+        current = nxt
+    return path, False
+
+
+def _dijkstra_in_corridor(
+    graph: LDelGraph, corridor: Set[int], s: int, goal: int
+) -> Tuple[Optional[List[int]], bool]:
+    pts = graph.points
+    dist: Dict[int, float] = {s: 0.0}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, s)]
+    settled: Set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == goal:
+            break
+        for v in graph.adjacency[u]:
+            if v not in corridor or v in settled:
+                continue
+            nd = d + distance(pts[u], pts[v])
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+    if goal not in dist or goal not in settled:
+        return None, True
+    path = [goal]
+    while path[-1] != s:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path, True

@@ -1,0 +1,139 @@
+"""Competitiveness measurement (§1.2's c-competitive criterion).
+
+A routing strategy is c-competitive when every routed path's Euclidean
+length is at most ``c · d(s, t)``, with ``d(s, t)`` the shortest
+Euclidean-weighted path in UDG(V).  These helpers evaluate any route
+function over a pair sample and aggregate the stretch distribution plus
+delivery/fallback rates — the measurements behind benchmarks E1 and E7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.shortest_paths import dijkstra
+from ..graphs.udg import Adjacency
+from ..geometry.primitives import distance
+
+__all__ = ["PairRecord", "CompetitivenessReport", "evaluate_routing", "sample_pairs"]
+
+
+@dataclass
+class PairRecord:
+    """One routed pair's measurements."""
+
+    source: int
+    target: int
+    delivered: bool
+    path_length: float
+    optimal: float
+    case: str = ""
+    used_fallback: bool = False
+
+    @property
+    def stretch(self) -> float:
+        if not self.delivered or self.optimal <= 0:
+            return math.inf
+        return self.path_length / self.optimal
+
+
+@dataclass
+class CompetitivenessReport:
+    """Aggregate over a pair sample."""
+
+    records: List[PairRecord] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        return sum(r.delivered for r in self.records)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / len(self.records) if self.records else math.nan
+
+    @property
+    def fallback_rate(self) -> float:
+        if not self.records:
+            return math.nan
+        return sum(r.used_fallback for r in self.records) / len(self.records)
+
+    def stretches(self) -> List[float]:
+        """Stretch factors of the delivered pairs only."""
+        return [r.stretch for r in self.records if r.delivered]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers: delivery/fallback rates and stretch stats."""
+        s = self.stretches()
+        arr = np.asarray(s, dtype=float)
+        return {
+            "pairs": len(self.records),
+            "delivery_rate": self.delivery_rate,
+            "fallback_rate": self.fallback_rate,
+            "stretch_mean": float(arr.mean()) if s else math.nan,
+            "stretch_p95": float(np.percentile(arr, 95)) if s else math.nan,
+            "stretch_max": float(arr.max()) if s else math.nan,
+        }
+
+    def by_case(self) -> Dict[str, "CompetitivenessReport"]:
+        """Split the records into per-case sub-reports (§4.3 cases)."""
+        out: Dict[str, CompetitivenessReport] = {}
+        for r in self.records:
+            out.setdefault(r.case or "?", CompetitivenessReport()).records.append(r)
+        return out
+
+
+RouteFn = Callable[[int, int], Tuple[List[int], bool, str, bool]]
+
+
+def evaluate_routing(
+    points: np.ndarray,
+    udg: Adjacency,
+    route_fn: RouteFn,
+    pairs: Sequence[Tuple[int, int]],
+) -> CompetitivenessReport:
+    """Evaluate ``route_fn`` over ``pairs``.
+
+    ``route_fn(s, t)`` returns ``(path, delivered, case, used_fallback)``.
+    The optimum ``d(s, t)`` is computed with one Dijkstra per distinct
+    source over the **UDG** (the paper's reference metric).
+    """
+    report = CompetitivenessReport()
+    by_source: Dict[int, List[Tuple[int, int]]] = {}
+    for s, t in pairs:
+        by_source.setdefault(s, []).append((s, t))
+    for s, group in by_source.items():
+        dist, _ = dijkstra(points, udg, s)
+        for s_, t in group:
+            path, delivered, case, fb = route_fn(s_, t)
+            plen = sum(
+                distance(points[a], points[b])
+                for a, b in zip(path, path[1:])
+            )
+            report.records.append(
+                PairRecord(
+                    source=s_,
+                    target=t,
+                    delivered=delivered,
+                    path_length=plen,
+                    optimal=dist.get(t, math.inf),
+                    case=case,
+                    used_fallback=fb,
+                )
+            )
+    return report
+
+
+def sample_pairs(
+    n: int, count: int, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """Uniform random source–target pairs (s ≠ t)."""
+    out: List[Tuple[int, int]] = []
+    while len(out) < count:
+        s, t = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if s != t:
+            out.append((s, t))
+    return out

@@ -1,0 +1,117 @@
+"""Online baselines: greedy and compass routing.
+
+These are the strategies the paper's introduction argues *against*: they are
+cheap and local but fail near radio holes (greedy gets stuck at local
+minima; compass can loop on non-Delaunay graphs).  The competitiveness
+benchmark (E1) runs them alongside the hole-abstraction router to reproduce
+the motivating comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array, distance
+
+__all__ = ["RouteResult", "greedy_route", "compass_route"]
+
+Adjacency = Dict[int, List[int]]
+
+
+@dataclass
+class RouteResult:
+    """Outcome of an online routing attempt."""
+
+    path: List[int]
+    reached: bool
+    #: why the walk ended when not delivered: "stuck" (greedy local
+    #: minimum), "loop" (revisited state), or "cap" (step budget exhausted)
+    failure: Optional[str] = None
+
+    def length(self, points: np.ndarray) -> float:
+        """Euclidean length of the walked path."""
+        pts = as_array(points)
+        return sum(
+            distance(pts[a], pts[b]) for a, b in zip(self.path, self.path[1:])
+        )
+
+
+def greedy_route(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    s: int,
+    t: int,
+    max_steps: Optional[int] = None,
+) -> RouteResult:
+    """Pure greedy: always forward to the neighbor strictly closest to t.
+
+    Delivery is guaranteed only on hole-free Delaunay-type graphs; next to a
+    radio hole the walk reaches a node all of whose neighbors are farther
+    from the target — a *local minimum* — and fails (the paper's motivating
+    failure mode).
+    """
+    pts = as_array(points)
+    cap = max_steps if max_steps is not None else 4 * len(pts)
+    path = [s]
+    current = s
+    for _ in range(cap):
+        if current == t:
+            return RouteResult(path=path, reached=True)
+        nbrs = adj[current]
+        if not nbrs:
+            return RouteResult(path=path, reached=False, failure="stuck")
+        best = min(nbrs, key=lambda v: distance(pts[v], pts[t]))
+        if distance(pts[best], pts[t]) >= distance(pts[current], pts[t]):
+            return RouteResult(path=path, reached=False, failure="stuck")
+        path.append(best)
+        current = best
+    return RouteResult(path=path, reached=current == t, failure="cap")
+
+
+def compass_route(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+    s: int,
+    t: int,
+    max_steps: Optional[int] = None,
+) -> RouteResult:
+    """Compass routing: forward to the neighbor with the smallest angular
+    deviation from the direction of t (Kranakis et al., the paper's [4]).
+
+    Can cycle on general graphs; a visited-state check reports the loop.
+    """
+    pts = as_array(points)
+    cap = max_steps if max_steps is not None else 4 * len(pts)
+    path = [s]
+    current = s
+    seen: Set[Tuple[int, int]] = set()
+    prev = -1
+    for _ in range(cap):
+        if current == t:
+            return RouteResult(path=path, reached=True)
+        nbrs = adj[current]
+        if not nbrs:
+            return RouteResult(path=path, reached=False, failure="stuck")
+        target_ang = math.atan2(
+            pts[t][1] - pts[current][1], pts[t][0] - pts[current][0]
+        )
+
+        def deviation(v: int) -> float:
+            ang = math.atan2(
+                pts[v][1] - pts[current][1], pts[v][0] - pts[current][0]
+            )
+            d = abs(ang - target_ang)
+            return min(d, 2 * math.pi - d)
+
+        best = min(nbrs, key=deviation)
+        state = (current, best)
+        if state in seen:
+            return RouteResult(path=path, reached=False, failure="loop")
+        seen.add(state)
+        path.append(best)
+        prev, current = current, best
+    return RouteResult(path=path, reached=current == t, failure="cap")

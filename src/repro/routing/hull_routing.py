@@ -1,0 +1,42 @@
+"""The convex-hull abstraction protocol of Section 4.
+
+The paper's headline routing strategy: waypoints are only the convex-hull
+corners of the radio holes, connected in the **Overlay Delaunay Graph**
+(Delaunay over all hull corners, §4.2) — storage O(Σ L(c)) instead of
+O(Σ P(h)), at competitive factor ≤ 35.37 outside hulls (Theorem 4.8) and
+``(2+|E_route|)·5.9`` inside a bay (Lemma 4.19).  Bay structures (dominating
+sets and extreme points) are activated per query for the cases 2–5 of §4.3.
+
+This wrapper names the §4 configuration of
+:class:`~repro.routing.router.HybridRouter` and exposes the Overlay Delaunay
+Graph itself for inspection and benchmarking (E8's space comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.abstraction import Abstraction
+from .router import HybridRouter
+from .waypoints import Leg
+
+__all__ = ["hull_router", "overlay_delaunay_edges"]
+
+
+def hull_router(abstraction: Abstraction, **kwargs) -> HybridRouter:
+    """§4 protocol: Overlay Delaunay Graph over convex-hull corners."""
+    return HybridRouter(abstraction, mode="hull", **kwargs)
+
+
+def overlay_delaunay_edges(router: HybridRouter) -> Set[Tuple[int, int]]:
+    """The (visibility-filtered) Overlay Delaunay Graph edge set in use.
+
+    For a ``hull``-mode router these are exactly the edges each convex-hull
+    node stores in the paper; benchmark E8 compares their count against the
+    §3 structures.
+    """
+    out: Set[Tuple[int, int]] = set()
+    for u, nbrs in router.planner.base_edges.items():
+        for v in nbrs:
+            out.add((u, v) if u < v else (v, u))
+    return out

@@ -1,0 +1,136 @@
+"""Routing with intersecting convex hulls (the paper's §7 future work).
+
+The §4 protocol assumes the radio holes' convex hulls are pairwise disjoint.
+The paper names lifting that assumption as the natural next step; this
+module implements a graceful-degradation strategy:
+
+* **Group detection** — holes whose hulls intersect are clustered with a
+  union–find over pairwise hull-intersection tests.
+* **Adaptive waypoint sets** — isolated holes keep their cheap convex-hull
+  abstraction (O(L(c)) corners); holes inside an intersecting group fall
+  back to their full boundary node sets (O(P(h)) nodes), restoring the §3
+  guarantee *locally*: within an overlap region the visibility structure of
+  boundary nodes always contains the geometric shortest path's bend points
+  (Lemma 2.12), which hull corners alone may miss when another hull blocks
+  the corner-to-corner sight lines Lemma 4.15 relied on.
+
+Storage therefore degrades from O(Σ L(c)) to O(Σ P(h)) only on the holes
+actually involved in an overlap — between the paper's §4 and §3 regimes,
+proportionally to how badly the disjointness assumption is violated.
+
+Use :func:`adaptive_router` exactly like :func:`~repro.routing.hull_routing
+.hull_router`; on instances with disjoint hulls the two are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.abstraction import Abstraction
+from ..geometry.polygon import point_in_polygon
+from ..geometry.predicates import segments_properly_intersect
+from .bay_routing import bay_waypoint_structures
+from .router import HybridRouter
+from .waypoints import WaypointPlanner
+
+__all__ = [
+    "hull_intersection_groups",
+    "adaptive_router",
+    "adaptive_vertex_set",
+]
+
+
+def _hulls_intersect(a, b) -> bool:
+    """Interior intersection of two convex polygons (boundary contact ok)."""
+    na, nb = len(a), len(b)
+    if na < 3 or nb < 3:
+        return False
+    for i in range(na):
+        for j in range(nb):
+            if segments_properly_intersect(
+                a[i], a[(i + 1) % na], b[j], b[(j + 1) % nb]
+            ):
+                return True
+    if any(point_in_polygon(q, a, include_boundary=False) for q in b):
+        return True
+    if any(point_in_polygon(q, b, include_boundary=False) for q in a):
+        return True
+    return False
+
+
+def hull_intersection_groups(abstraction: Abstraction) -> List[Set[int]]:
+    """Partition hole ids into groups of transitively intersecting hulls.
+
+    Singleton groups are holes whose hull intersects no other — the paper's
+    standing assumption holds for them individually.
+    """
+    holes = abstraction.holes
+    polys = {h.hole_id: h.hull_polygon(abstraction.points) for h in holes}
+    parent: Dict[int, int] = {h.hole_id: h.hole_id for h in holes}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[ry] = rx
+
+    ids = [h.hole_id for h in holes]
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            if _hulls_intersect(polys[a], polys[b]):
+                union(a, b)
+
+    groups: Dict[int, Set[int]] = {}
+    for hid in ids:
+        groups.setdefault(find(hid), set()).add(hid)
+    return sorted(groups.values(), key=lambda g: min(g))
+
+
+def adaptive_vertex_set(abstraction: Abstraction) -> Tuple[Set[int], Set[int]]:
+    """(waypoint vertices, hole ids using their full boundary).
+
+    Isolated holes contribute hull corners; holes in intersecting groups
+    contribute every boundary node.
+    """
+    groups = hull_intersection_groups(abstraction)
+    degraded: Set[int] = set()
+    for g in groups:
+        if len(g) > 1:
+            degraded |= g
+    vertices: Set[int] = set()
+    for hole in abstraction.holes:
+        if hole.hole_id in degraded:
+            vertices.update(hole.boundary)
+        else:
+            vertices.update(hole.hull)
+    return vertices, degraded
+
+
+def adaptive_router(abstraction: Abstraction, **kwargs) -> HybridRouter:
+    """A hull router that survives intersecting convex hulls.
+
+    Built as a ``hull``-mode :class:`HybridRouter` whose planner is replaced
+    by one over the adaptive vertex set.  Bay structures remain attached for
+    *isolated* holes only; degraded holes expose their whole boundary, which
+    subsumes what the bay machinery would add.
+    """
+    router = HybridRouter(abstraction, mode="hull", **kwargs)
+    vertices, degraded = adaptive_vertex_set(abstraction)
+    groups, arcs = bay_waypoint_structures(abstraction)
+    keep_groups = {
+        key: val for key, val in groups.items() if key[0] not in degraded
+    }
+    keep_arcs = {key: val for key, val in arcs.items() if key[0] not in degraded}
+    router.planner = WaypointPlanner(
+        abstraction,
+        vertices=vertices,
+        structure="delaunay",
+        bay_groups=keep_groups,
+        bay_arc_edges=keep_arcs,
+    )
+    return router

@@ -1,0 +1,35 @@
+"""The general routing protocol of Section 3 (visibility-graph variant).
+
+Every hole node stores a Visibility Graph of *all* hole nodes; a message
+travels with Chew's algorithm until it hits a hole node h₀, which computes a
+shortest path to the target in the Visibility Graph and forwards the message
+along it (Chew's algorithm between consecutive waypoints).  The analysis
+gives a 17.7-competitive path; replacing the Visibility Graph with a
+Delaunay graph of the hole nodes (O(h) instead of Θ(h²) edges) degrades the
+bound to 35.37.
+
+Both variants are thin configurations of :class:`~repro.routing.router
+.HybridRouter`; this module exists so the two §3 protocols are explicit,
+named API entry points mirroring the paper's structure.
+"""
+
+from __future__ import annotations
+
+from ..core.abstraction import Abstraction
+from .router import HybridRouter
+
+__all__ = ["visibility_router", "delaunay_router"]
+
+
+def visibility_router(abstraction: Abstraction, **kwargs) -> HybridRouter:
+    """§3 protocol with the full Visibility Graph of hole nodes.
+
+    Space per hole node: Θ(h²) edges over all h hole nodes; best bound
+    (17.7-competitive).
+    """
+    return HybridRouter(abstraction, mode="visibility", **kwargs)
+
+
+def delaunay_router(abstraction: Abstraction, **kwargs) -> HybridRouter:
+    """§3 protocol with the Delaunay reduction (O(h) edges, 35.37 bound)."""
+    return HybridRouter(abstraction, mode="delaunay", **kwargs)

@@ -1,0 +1,37 @@
+"""Workload generators: node clouds, radio-hole shapes and mobility."""
+
+from .generators import (
+    Scenario,
+    perturbed_grid_scenario,
+    poisson_scenario,
+    random_holes,
+)
+from .holes import (
+    SHAPE_BUILDERS,
+    crescent_hole,
+    ellipse_hole,
+    l_shape_hole,
+    l_with_pocket,
+    rectangle_hole,
+    regular_polygon_hole,
+    rotated,
+    star_hole,
+)
+from .mobility import MobilityModel
+
+__all__ = [
+    "Scenario",
+    "perturbed_grid_scenario",
+    "poisson_scenario",
+    "random_holes",
+    "SHAPE_BUILDERS",
+    "crescent_hole",
+    "ellipse_hole",
+    "l_shape_hole",
+    "l_with_pocket",
+    "rectangle_hole",
+    "regular_polygon_hole",
+    "rotated",
+    "star_hole",
+    "MobilityModel",
+]

@@ -1,0 +1,238 @@
+"""Scenario generators: node clouds with radio holes.
+
+The paper's model needs point sets whose UDG is **connected** and of
+**bounded degree**, with radio holes whose **convex hulls do not intersect**
+(Theorem 1.2's preconditions).  Two families are provided:
+
+* :func:`perturbed_grid_scenario` — nodes on a jittered grid.  With spacing
+  ``s ≤ 1/√2 − jitter`` the UDG is connected by construction and the degree
+  is bounded by a constant, so every theorem precondition holds
+  deterministically.  This is the workhorse for benchmarks.
+* :func:`poisson_scenario` — uniform random placement with a connectivity
+  filter (keep the largest UDG component).  Messier degree distribution;
+  used for robustness tests.
+
+Holes are carved by removing the nodes inside hole polygons.  The generator
+enforces a pairwise separation margin between the *convex hulls* of the
+requested holes so the non-intersecting-hulls assumption survives node
+jitter and boundary-node placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.convex_hull import convex_hull
+from ..geometry.polygon import (
+    dilate_convex_polygon,
+    polygon_contains_any,
+    polygons_intersect,
+)
+from ..geometry.primitives import as_array
+from ..graphs.udg import connected_components, unit_disk_graph
+from .holes import SHAPE_BUILDERS
+
+__all__ = ["Scenario", "perturbed_grid_scenario", "poisson_scenario", "random_holes"]
+
+
+@dataclass
+class Scenario:
+    """A generated problem instance.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 2)`` node coordinates (UDG-connected).
+    hole_polygons:
+        The ground-truth polygons that were carved out.  The holes detected
+        in LDel² correspond to these but their boundaries run through actual
+        node positions.
+    radius:
+        Communication radius (always 1.0 in this library).
+    width, height:
+        Extent of the deployment region.
+    seed:
+        RNG seed the instance was generated from (for reproducibility).
+    """
+
+    points: np.ndarray
+    hole_polygons: List[np.ndarray]
+    radius: float
+    width: float
+    height: float
+    seed: int
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def udg(self) -> Dict[int, List[int]]:
+        """Unit disk graph adjacency of the instance."""
+        return unit_disk_graph(self.points, radius=self.radius)
+
+
+def random_holes(
+    rng: np.random.Generator,
+    width: float,
+    height: float,
+    count: int,
+    scale: float,
+    shapes: Sequence[str] = ("rectangle", "polygon", "ellipse"),
+    margin: float = 2.0,
+    max_tries: int = 200,
+) -> List[np.ndarray]:
+    """Sample ``count`` hole polygons with pairwise-disjoint convex hulls.
+
+    ``margin`` is the minimum clearance enforced between dilated hulls; it
+    accounts for the fact that LDel hole boundaries run through nodes *next
+    to* the carved region, pushing the detected hulls slightly outward.
+    Raises ``ValueError`` when the region cannot fit the requested holes.
+    """
+    placed: List[np.ndarray] = []
+    hulls: List[np.ndarray] = []
+    tries = 0
+    while len(placed) < count:
+        tries += 1
+        if tries > max_tries * max(count, 1):
+            raise ValueError(
+                f"could not place {count} holes of scale {scale} "
+                f"in a {width}x{height} region"
+            )
+        shape = shapes[int(rng.integers(0, len(shapes)))]
+        # Keep the hole itself inside the region with a one-unit border so a
+        # ring of nodes always surrounds it; the dilated hulls used for the
+        # separation test may poke past the region boundary harmlessly.
+        pad = scale + 1.0
+        if width <= 2 * pad or height <= 2 * pad:
+            raise ValueError("region too small for requested hole scale")
+        center = (
+            float(rng.uniform(pad, width - pad)),
+            float(rng.uniform(pad, height - pad)),
+        )
+        poly = SHAPE_BUILDERS[shape](rng, center, scale)
+        hull = dilate_convex_polygon(convex_hull(poly), margin / 2.0)
+        if any(polygons_intersect(hull, h) for h in hulls):
+            continue
+        placed.append(poly)
+        hulls.append(hull)
+    return placed
+
+
+def _carve(points: np.ndarray, holes: Sequence[np.ndarray]) -> np.ndarray:
+    """Remove all points lying inside any hole polygon."""
+    if not holes or len(points) == 0:
+        return points
+    keep = np.ones(len(points), dtype=bool)
+    for poly in holes:
+        keep &= ~polygon_contains_any(poly, points)
+    return points[keep]
+
+
+def perturbed_grid_scenario(
+    width: float = 20.0,
+    height: float = 20.0,
+    spacing: float = 0.55,
+    jitter: float = 0.1,
+    holes: Optional[Sequence[np.ndarray]] = None,
+    hole_count: int = 0,
+    hole_scale: float = 3.0,
+    hole_shapes: Sequence[str] = ("rectangle", "polygon", "ellipse"),
+    seed: int = 0,
+    radius: float = 1.0,
+) -> Scenario:
+    """Jittered-grid node cloud with carved holes.
+
+    Connectivity: two horizontally/vertically adjacent grid nodes are at most
+    ``spacing + 2·jitter`` apart, and diagonal ones at most
+    ``√2·spacing + 2·jitter``; the defaults keep the latter under the unit
+    radius, so the uncarved cloud is connected and bounded-degree.  Carving
+    disjoint convex-hulled holes leaves the complement connected because the
+    inter-hull margin is wide relative to the grid spacing.
+
+    Pass explicit ``holes`` polygons or let the generator sample
+    ``hole_count`` of them.
+    """
+    rng = np.random.default_rng(seed)
+    if holes is None:
+        holes = (
+            random_holes(
+                rng, width, height, hole_count, hole_scale, shapes=hole_shapes
+            )
+            if hole_count > 0
+            else []
+        )
+    holes = [as_array(h) for h in holes]
+
+    xs = np.arange(spacing / 2.0, width, spacing)
+    ys = np.arange(spacing / 2.0, height, spacing)
+    gx, gy = np.meshgrid(xs, ys)
+    pts = np.column_stack([gx.ravel(), gy.ravel()])
+    pts = pts + rng.uniform(-jitter, jitter, size=pts.shape)
+    pts = _carve(pts, holes)
+
+    # Drop any stray disconnected fragments (can only appear when a hole
+    # pinches the region against the domain boundary).
+    adj = unit_disk_graph(pts, radius=radius)
+    comps = connected_components(adj)
+    if len(comps) > 1:
+        main = max(comps, key=len)
+        keep_ids = sorted(main)
+        pts = pts[keep_ids]
+
+    return Scenario(
+        points=pts,
+        hole_polygons=list(holes),
+        radius=radius,
+        width=width,
+        height=height,
+        seed=seed,
+    )
+
+
+def poisson_scenario(
+    width: float = 20.0,
+    height: float = 20.0,
+    n: int = 1500,
+    holes: Optional[Sequence[np.ndarray]] = None,
+    hole_count: int = 0,
+    hole_scale: float = 3.0,
+    seed: int = 0,
+    radius: float = 1.0,
+) -> Scenario:
+    """Uniform random node cloud with carved holes.
+
+    Connectivity is not guaranteed by construction; the largest UDG
+    component is kept, so the returned instance may have fewer than ``n``
+    nodes.  Intended for robustness testing rather than calibrated sweeps.
+    """
+    rng = np.random.default_rng(seed)
+    if holes is None:
+        holes = (
+            random_holes(rng, width, height, hole_count, hole_scale)
+            if hole_count > 0
+            else []
+        )
+    holes = [as_array(h) for h in holes]
+
+    pts = np.column_stack(
+        [rng.uniform(0, width, size=n), rng.uniform(0, height, size=n)]
+    )
+    pts = _carve(pts, holes)
+    adj = unit_disk_graph(pts, radius=radius)
+    comps = connected_components(adj)
+    if comps:
+        main = max(comps, key=len)
+        pts = pts[sorted(main)]
+
+    return Scenario(
+        points=pts,
+        hole_polygons=list(holes),
+        radius=radius,
+        width=width,
+        height=height,
+        seed=seed,
+    )

@@ -1,0 +1,207 @@
+"""Radio-hole shape library.
+
+The paper motivates holes as the footprints of buildings, rivers and other
+obstacles; in big-city settings they are convex or near-convex and their
+convex hulls do not overlap (the standing assumption of §4).  This module
+provides parametric hole shapes:
+
+* convex shapes (rectangles, regular polygons, ellipses) — the paper's main
+  regime;
+* non-convex stress shapes (L-shapes, stars, crescents) — these exercise the
+  gap between perimeter, locally convex hull and convex hull (Lemmas
+  4.2/4.4) and the bay-area routing cases.
+
+All generators return ``(k, 2)`` vertex arrays in counter-clockwise order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.primitives import as_array
+
+__all__ = [
+    "rectangle_hole",
+    "regular_polygon_hole",
+    "ellipse_hole",
+    "l_shape_hole",
+    "l_with_pocket",
+    "star_hole",
+    "crescent_hole",
+    "rotated",
+    "SHAPE_BUILDERS",
+]
+
+
+def rectangle_hole(
+    center: Sequence[float], width: float, height: float
+) -> np.ndarray:
+    """Axis-aligned rectangle, ccw."""
+    cx, cy = center
+    hw, hh = width / 2.0, height / 2.0
+    return np.array(
+        [
+            [cx - hw, cy - hh],
+            [cx + hw, cy - hh],
+            [cx + hw, cy + hh],
+            [cx - hw, cy + hh],
+        ]
+    )
+
+
+def regular_polygon_hole(
+    center: Sequence[float], radius: float, sides: int = 12, phase: float = 0.0
+) -> np.ndarray:
+    """Regular ``sides``-gon (≈ a disk for many sides), ccw."""
+    cx, cy = center
+    ang = np.linspace(0.0, 2.0 * math.pi, sides, endpoint=False) + phase
+    return np.column_stack([cx + radius * np.cos(ang), cy + radius * np.sin(ang)])
+
+
+def ellipse_hole(
+    center: Sequence[float],
+    rx: float,
+    ry: float,
+    sides: int = 16,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Axis-aligned ellipse approximated by ``sides`` vertices, ccw."""
+    cx, cy = center
+    ang = np.linspace(0.0, 2.0 * math.pi, sides, endpoint=False) + phase
+    return np.column_stack([cx + rx * np.cos(ang), cy + ry * np.sin(ang)])
+
+
+def l_shape_hole(
+    corner: Sequence[float], arm: float, thickness: float
+) -> np.ndarray:
+    """Non-convex L-shape (two rectangular arms meeting at ``corner``), ccw.
+
+    The convex hull of an L covers the missing quadrant, creating a large bay
+    area — the stress case for §4.4's bay routing.
+    """
+    x, y = corner
+    a, t = arm, thickness
+    return np.array(
+        [
+            [x, y],
+            [x + a, y],
+            [x + a, y + t],
+            [x + t, y + t],
+            [x + t, y + a],
+            [x, y + a],
+        ]
+    )
+
+
+def star_hole(
+    center: Sequence[float],
+    outer: float,
+    inner: float,
+    spikes: int = 5,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Star polygon alternating outer/inner radii — heavily non-convex, ccw."""
+    cx, cy = center
+    pts: List[Tuple[float, float]] = []
+    for i in range(2 * spikes):
+        r = outer if i % 2 == 0 else inner
+        a = phase + math.pi * i / spikes
+        pts.append((cx + r * math.cos(a), cy + r * math.sin(a)))
+    return as_array(pts)
+
+
+def crescent_hole(
+    center: Sequence[float],
+    radius: float,
+    depth: float,
+    sides: int = 14,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Crescent: a disk with a bite taken out of one side, ccw.
+
+    ``depth`` in (0, 1) controls how deep the bite cuts (as a fraction of
+    the radius); the bite creates a single large bay area.
+    """
+    cx, cy = center
+    outer_angles = np.linspace(
+        phase + 0.35 * math.pi, phase + 1.65 * math.pi, sides
+    )
+    outer = [
+        (cx + radius * math.cos(a), cy + radius * math.sin(a))
+        for a in outer_angles
+    ]
+    bite_angles = outer_angles[::-1]
+    bite_r = radius * (1.0 - depth)
+    bite_cx = cx + radius * depth * math.cos(phase)
+    bite_cy = cy + radius * depth * math.sin(phase)
+    inner = [
+        (bite_cx + bite_r * math.cos(a), bite_cy + bite_r * math.sin(a))
+        for a in bite_angles[1:-1]
+    ]
+    return as_array(outer + inner)
+
+
+def l_with_pocket(
+    corner: Sequence[float], arm: float = 7.0, thickness: float = 1.2,
+    pocket: float = 1.4,
+) -> List[np.ndarray]:
+    """Two disjoint holes with **intersecting convex hulls** (§7 stress case).
+
+    An L-shape plus a small rectangular hole tucked into the L's notch: the
+    rectangle lies strictly inside the L's convex hull while the hole bodies
+    keep enough clearance for boundary nodes between them.  Violates the
+    paper's disjoint-hulls assumption by construction — the workload for the
+    intersecting-hulls extension (:mod:`repro.routing.intersecting`).
+    """
+    x, y = corner
+    a, t = arm, thickness
+    ell = l_shape_hole(corner, arm=a, thickness=t)
+    # Pocket center: inside the notch ([t, a]²), clear of both arms, and
+    # below the hull diagonal x + y = a + t.
+    cx = x + t + (a - t) * 0.28
+    cy = y + t + (a - t) * 0.28
+    rect = rectangle_hole((cx, cy), pocket, pocket)
+    return [ell, rect]
+
+
+def rotated(polygon: Sequence[Sequence[float]], angle: float) -> np.ndarray:
+    """Rotate a polygon about its centroid by ``angle`` radians."""
+    pts = as_array(polygon)
+    c = pts.mean(axis=0)
+    ca, sa = math.cos(angle), math.sin(angle)
+    rot = np.array([[ca, -sa], [sa, ca]])
+    return (pts - c) @ rot.T + c
+
+
+#: Registry used by the random scenario generator: name -> builder taking
+#: (rng, center, scale) and returning a polygon.
+SHAPE_BUILDERS = {
+    "rectangle": lambda rng, c, s: rotated(
+        rectangle_hole(c, s * rng.uniform(0.8, 1.4), s * rng.uniform(0.8, 1.4)),
+        rng.uniform(0, math.pi),
+    ),
+    "polygon": lambda rng, c, s: regular_polygon_hole(
+        c, s * rng.uniform(0.5, 0.8), sides=int(rng.integers(6, 14)),
+        phase=rng.uniform(0, math.pi),
+    ),
+    "ellipse": lambda rng, c, s: rotated(
+        ellipse_hole(
+            c, s * rng.uniform(0.5, 0.8), s * rng.uniform(0.3, 0.6),
+            sides=14,
+        ),
+        rng.uniform(0, math.pi),
+    ),
+    "l_shape": lambda rng, c, s: l_shape_hole(
+        (c[0] - s * 0.5, c[1] - s * 0.5), arm=s, thickness=s * 0.4
+    ),
+    "star": lambda rng, c, s: star_hole(
+        c, outer=s * 0.75, inner=s * 0.45, spikes=int(rng.integers(5, 8)),
+        phase=rng.uniform(0, math.pi),
+    ),
+    "crescent": lambda rng, c, s: crescent_hole(
+        c, radius=s * 0.7, depth=0.5, phase=rng.uniform(0, 2 * math.pi)
+    ),
+}

@@ -1,0 +1,20 @@
+"""Synchronous message-passing simulation of the hybrid network model."""
+
+from .messages import ADHOC, LONG_RANGE, Message, payload_words
+from .metrics import ChannelStats, MetricsCollector
+from .node import NodeProcess
+from .scheduler import Context, HybridSimulator, ModelViolation, SimulationResult
+
+__all__ = [
+    "ADHOC",
+    "LONG_RANGE",
+    "Message",
+    "payload_words",
+    "ChannelStats",
+    "MetricsCollector",
+    "NodeProcess",
+    "Context",
+    "HybridSimulator",
+    "ModelViolation",
+    "SimulationResult",
+]

@@ -1,0 +1,71 @@
+"""Message model of the hybrid network.
+
+Two channels exist, mirroring §1.1:
+
+* ``adhoc`` — usable only between current UDG neighbors (the WiFi links in
+  ``E_AH``);
+* ``long_range`` — usable only toward nodes whose ID the sender *knows*
+  (edges of ``E``), i.e. the cellular/satellite links.  Long-range messages
+  are the costly resource the paper minimizes, so the metrics track them
+  separately.
+
+Knowledge of IDs evolves exclusively through **ID-introduction**: a sender
+may attach node IDs it knows to a message; on delivery the recipient learns
+them (and the sender's own ID).  The scheduler enforces both the channel
+constraints and the introduction rule, so a protocol that tries to cheat
+(e.g. long-range messaging a node it never learned about) fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["ADHOC", "LONG_RANGE", "Message", "payload_words"]
+
+ADHOC = "adhoc"
+LONG_RANGE = "long_range"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in flight.
+
+    ``kind`` is a protocol-defined tag; ``payload`` an arbitrary (small)
+    mapping.  ``introduce`` lists node IDs the sender explicitly introduces
+    to the recipient — the only mechanism by which ``E`` grows.
+    """
+
+    sender: int
+    recipient: int
+    channel: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    introduce: Tuple[int, ...] = ()
+
+    @property
+    def words(self) -> int:
+        """Approximate size in machine words (for communication accounting)."""
+        return 2 + len(self.introduce) + payload_words(self.payload)
+
+
+def payload_words(value: Any) -> int:
+    """Rough word count of a payload value.
+
+    Scalars count 1; containers count the sum of their items; mappings count
+    keys as free (they are protocol constants, not data).  The point is not
+    byte-exact accounting but a consistent yardstick for the "communication
+    work" claims (polylogarithmic per node).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (int, float, bool, str)):
+        return 1
+    if isinstance(value, dict):
+        return sum(payload_words(v) for v in value.values())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(payload_words(v) for v in value)
+    # Fallback for dataclass-ish payloads: count their dict representation.
+    if hasattr(value, "__dict__"):
+        return payload_words(vars(value))
+    return 1

@@ -1,0 +1,108 @@
+"""Communication and storage accounting.
+
+Theorem 1.2 claims O(log² n) *communication rounds* with *polylogarithmic
+communication work* per node, and storage independent of n.  These counters
+are the measured side of those claims: the scheduler feeds every delivered
+message through :class:`MetricsCollector`, and the benchmarks read the
+aggregates out of :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .messages import ADHOC, LONG_RANGE, Message
+
+__all__ = ["MetricsCollector", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Totals for one channel (ad hoc or long-range)."""
+
+    messages: int = 0
+    words: int = 0
+
+    def add(self, msg: Message) -> None:
+        """Accumulate one message into the channel totals."""
+        self.messages += 1
+        self.words += msg.words
+
+
+class MetricsCollector:
+    """Accumulates per-round and per-node communication statistics."""
+
+    def __init__(self) -> None:
+        self.rounds: int = 0
+        self.adhoc = ChannelStats()
+        self.long_range = ChannelStats()
+        #: messages sent by each node over the whole run
+        self.sent_by_node: Dict[int, int] = defaultdict(int)
+        #: words sent by each node over the whole run
+        self.words_by_node: Dict[int, int] = defaultdict(int)
+        #: maximum messages any single node sent in any single round
+        self.max_node_round_messages: int = 0
+        self._this_round: Dict[int, int] = defaultdict(int)
+
+    def record_send(self, msg: Message) -> None:
+        """Account one submitted message on its channel and sender."""
+        stats = self.adhoc if msg.channel == ADHOC else self.long_range
+        stats.add(msg)
+        self.sent_by_node[msg.sender] += 1
+        self.words_by_node[msg.sender] += msg.words
+        self._this_round[msg.sender] += 1
+
+    def end_round(self) -> None:
+        """Close the current round and roll the per-round peak tracker."""
+        self.rounds += 1
+        if self._this_round:
+            peak = max(self._this_round.values())
+            if peak > self.max_node_round_messages:
+                self.max_node_round_messages = peak
+        self._this_round = defaultdict(int)
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return self.adhoc.messages + self.long_range.messages
+
+    @property
+    def total_words(self) -> int:
+        return self.adhoc.words + self.long_range.words
+
+    def max_work_per_node(self) -> int:
+        """Highest total message count across nodes ("communication work")."""
+        return max(self.sent_by_node.values(), default=0)
+
+    def max_words_per_node(self) -> int:
+        """Highest total word count sent by any single node."""
+        return max(self.words_by_node.values(), default=0)
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's totals into this one (pipeline phases)."""
+        self.rounds += other.rounds
+        self.adhoc.messages += other.adhoc.messages
+        self.adhoc.words += other.adhoc.words
+        self.long_range.messages += other.long_range.messages
+        self.long_range.words += other.long_range.words
+        for k, v in other.sent_by_node.items():
+            self.sent_by_node[k] += v
+        for k, v in other.words_by_node.items():
+            self.words_by_node[k] += v
+        self.max_node_round_messages = max(
+            self.max_node_round_messages, other.max_node_round_messages
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (for tables/benches)."""
+        return {
+            "rounds": self.rounds,
+            "adhoc_messages": self.adhoc.messages,
+            "long_range_messages": self.long_range.messages,
+            "total_words": self.total_words,
+            "max_work_per_node": self.max_work_per_node(),
+            "max_words_per_node": self.max_words_per_node(),
+            "max_node_round_messages": self.max_node_round_messages,
+        }

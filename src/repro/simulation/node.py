@@ -1,0 +1,78 @@
+"""Node processes: the unit of distributed computation.
+
+A protocol is written as a subclass of :class:`NodeProcess` implementing
+``on_round``: the scheduler delivers the round's inbox, the node updates its
+local state and emits messages through the :class:`Context`.  The base class
+holds exactly the state the paper's model grants a node — its own ID and
+position, the IDs/positions of its UDG neighbors (learned in the §5.1 setup
+broadcast), and the knowledge set ``E`` grown by ID-introduction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .messages import Message, payload_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .scheduler import Context
+
+__all__ = ["NodeProcess"]
+
+
+class NodeProcess:
+    """Base class for per-node protocol state machines.
+
+    Attributes
+    ----------
+    node_id:
+        Globally unique ID (the paper's "phone number").
+    position:
+        The node's own coordinates (every node knows where it is).
+    neighbors:
+        UDG neighbor IDs (result of the setup WiFi broadcast).
+    neighbor_positions:
+        Positions of UDG neighbors (exchanged in the same broadcast).
+    knowledge:
+        The IDs this node may address via long-range links — its out-edges
+        in ``E``.  Grows only via ID-introduction; the scheduler maintains
+        it on message delivery.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        neighbors: List[int],
+        neighbor_positions: Dict[int, Tuple[float, float]],
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.neighbors = list(neighbors)
+        self.neighbor_positions = dict(neighbor_positions)
+        self.knowledge: set[int] = {node_id, *neighbors}
+        self.done: bool = False
+
+    # -- protocol hooks ----------------------------------------------------
+    def start(self, ctx: "Context") -> None:
+        """Called once before round 1; emit initial messages here."""
+
+    def on_round(self, ctx: "Context", inbox: List[Message]) -> None:
+        """Process one synchronous round.  Override in protocol classes."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called after the simulation ends (for result extraction hooks)."""
+
+    # -- accounting ---------------------------------------------------------
+    def storage_words(self) -> int:
+        """Approximate words of protocol state held by this node.
+
+        Subclasses should override to report their real state (the Theorem
+        1.2 storage claims are checked against this).  The base counts the
+        model-mandated state (neighbors + knowledge).
+        """
+        return 2 + len(self.neighbors) + len(self.knowledge)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{type(self).__name__} id={self.node_id} done={self.done}>"

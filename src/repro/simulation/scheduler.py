@@ -1,0 +1,245 @@
+"""Synchronous round scheduler for the hybrid network.
+
+Implements §1.1's timing model exactly: every message initiated in round *i*
+is delivered at the beginning of round *i+1*, and a node processes all
+messages delivered at a round's start within that round.  The scheduler also
+*enforces* the model's communication constraints:
+
+* ad hoc sends require the recipient to be a current UDG neighbor;
+* long-range sends require the recipient's ID to be in the sender's
+  knowledge set (its out-edges in ``E``);
+* node IDs travel only via explicit introduction fields, which must
+  themselves be known to the sender.
+
+Violations raise :class:`ModelViolation` — protocols cannot accidentally use
+information the model does not grant them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..geometry.primitives import as_array
+from ..graphs.udg import Adjacency, unit_disk_graph
+from .messages import ADHOC, LONG_RANGE, Message
+from .metrics import MetricsCollector
+from .node import NodeProcess
+
+__all__ = ["Context", "HybridSimulator", "ModelViolation", "SimulationResult"]
+
+
+class ModelViolation(RuntimeError):
+    """A protocol attempted something the hybrid model forbids."""
+
+
+class Context:
+    """Per-round sending interface handed to ``NodeProcess.on_round``."""
+
+    def __init__(self, sim: "HybridSimulator", node: NodeProcess) -> None:
+        self._sim = sim
+        self._node = node
+        self.round_no = sim.round_no
+
+    def send_adhoc(
+        self,
+        recipient: int,
+        kind: str,
+        payload: Optional[dict] = None,
+        introduce: Sequence[int] = (),
+    ) -> None:
+        """Send over a WiFi link to a current UDG neighbor."""
+        self._sim._submit(
+            Message(
+                sender=self._node.node_id,
+                recipient=recipient,
+                channel=ADHOC,
+                kind=kind,
+                payload=payload or {},
+                introduce=tuple(introduce),
+            )
+        )
+
+    def send_long_range(
+        self,
+        recipient: int,
+        kind: str,
+        payload: Optional[dict] = None,
+        introduce: Sequence[int] = (),
+    ) -> None:
+        """Send over the global infrastructure to a known ID."""
+        self._sim._submit(
+            Message(
+                sender=self._node.node_id,
+                recipient=recipient,
+                channel=LONG_RANGE,
+                kind=kind,
+                payload=payload or {},
+                introduce=tuple(introduce),
+            )
+        )
+
+
+class SimulationResult:
+    """Outcome of a protocol run: rounds used, metrics, the node objects."""
+
+    def __init__(
+        self,
+        nodes: Dict[int, NodeProcess],
+        metrics: MetricsCollector,
+        completed: bool,
+    ) -> None:
+        self.nodes = nodes
+        self.metrics = metrics
+        self.completed = completed
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def storage_by_node(self) -> Dict[int, int]:
+        """Per-node protocol state in words (Theorem 1.2 accounting)."""
+        return {nid: node.storage_words() for nid, node in self.nodes.items()}
+
+
+class HybridSimulator:
+    """Synchronous message-passing simulator over a hybrid network.
+
+    Parameters
+    ----------
+    points:
+        Node coordinates; node IDs are the row indices.
+    radius:
+        Communication radius for the ad hoc channel.
+    adjacency:
+        Optional precomputed UDG adjacency.
+    strict:
+        When ``True`` (default) model violations raise; benchmarks keep this
+        on so complexity numbers cannot be gamed.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        radius: float = 1.0,
+        adjacency: Optional[Adjacency] = None,
+        strict: bool = True,
+    ) -> None:
+        self.points = as_array(points)
+        self.radius = radius
+        self.adjacency: Adjacency = (
+            unit_disk_graph(self.points, radius=radius)
+            if adjacency is None
+            else adjacency
+        )
+        self.strict = strict
+        self.round_no = 0
+        self.nodes: Dict[int, NodeProcess] = {}
+        self.metrics = MetricsCollector()
+        self._outbox: List[Message] = []
+        self._inboxes: Dict[int, List[Message]] = {}
+
+    # -- setup ----------------------------------------------------------------
+    def spawn(
+        self,
+        factory: Callable[[int, Tuple[float, float], List[int], Dict[int, Tuple[float, float]]], NodeProcess],
+        node_ids: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Instantiate a process on every node (or the given subset).
+
+        ``factory`` receives ``(node_id, position, neighbor_ids,
+        neighbor_positions)`` — the information a node owns after the §5.1
+        setup broadcast.
+        """
+        ids = range(len(self.points)) if node_ids is None else node_ids
+        for nid in ids:
+            nbrs = self.adjacency.get(nid, [])
+            nbr_pos = {
+                j: (float(self.points[j, 0]), float(self.points[j, 1]))
+                for j in nbrs
+            }
+            pos = (float(self.points[nid, 0]), float(self.points[nid, 1]))
+            self.nodes[nid] = factory(nid, pos, list(nbrs), nbr_pos)
+
+    # -- message handling -------------------------------------------------------
+    def _submit(self, msg: Message) -> None:
+        node = self.nodes.get(msg.sender)
+        if node is None:
+            raise ModelViolation(f"unknown sender {msg.sender}")
+        if msg.recipient not in self.nodes:
+            raise ModelViolation(
+                f"{msg.sender} -> unknown recipient {msg.recipient}"
+            )
+        if self.strict:
+            if msg.channel == ADHOC:
+                if msg.recipient not in self.adjacency.get(msg.sender, ()):
+                    raise ModelViolation(
+                        f"ad hoc send {msg.sender}->{msg.recipient} "
+                        "without a UDG edge"
+                    )
+            elif msg.channel == LONG_RANGE:
+                if msg.recipient not in node.knowledge:
+                    raise ModelViolation(
+                        f"long-range send {msg.sender}->{msg.recipient} "
+                        "to an unknown ID"
+                    )
+            else:
+                raise ModelViolation(f"unknown channel {msg.channel!r}")
+            for intro in msg.introduce:
+                if intro not in node.knowledge:
+                    raise ModelViolation(
+                        f"{msg.sender} introduced unknown ID {intro}"
+                    )
+        self.metrics.record_send(msg)
+        self._outbox.append(msg)
+
+    # -- main loop ----------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        until: Optional[Callable[["HybridSimulator"], bool]] = None,
+    ) -> SimulationResult:
+        """Run rounds until every node reports ``done`` (or ``until`` holds).
+
+        Raises ``RuntimeError`` if ``max_rounds`` elapse first — protocol
+        bugs surface as timeouts rather than hangs.
+        """
+        # Round 0: start hooks may emit initial messages.
+        for node in self.nodes.values():
+            node.start(Context(self, node))
+
+        completed = False
+        for _ in range(max_rounds):
+            if until is not None:
+                if until(self):
+                    completed = True
+                    break
+            elif all(node.done for node in self.nodes.values()):
+                completed = True
+                break
+
+            self.round_no += 1
+            self._inboxes = {}
+            for msg in self._outbox:
+                self._inboxes.setdefault(msg.recipient, []).append(msg)
+            self._outbox = []
+
+            for nid in sorted(self.nodes):
+                node = self.nodes[nid]
+                inbox = self._inboxes.get(nid, [])
+                # ID-introduction: delivery teaches the recipient the
+                # sender's ID and all explicitly introduced IDs.
+                for msg in inbox:
+                    node.knowledge.add(msg.sender)
+                    node.knowledge.update(msg.introduce)
+                node.on_round(Context(self, node), inbox)
+            self.metrics.end_round()
+        else:
+            raise RuntimeError(f"protocol did not terminate in {max_rounds} rounds")
+
+        if not completed:
+            completed = all(node.done for node in self.nodes.values())
+        for node in self.nodes.values():
+            node.finish()
+        return SimulationResult(self.nodes, self.metrics, completed)

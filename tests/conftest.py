@@ -1,0 +1,78 @@
+"""Shared fixtures: small, session-cached problem instances.
+
+All fixtures are deterministic (fixed seeds) and deliberately small so the
+full suite stays fast; the benchmarks exercise larger scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.scenarios import perturbed_grid_scenario, poisson_scenario
+
+
+@pytest.fixture(scope="session")
+def flat_instance():
+    """Hole-free jittered grid: the greedy-friendly base case."""
+    sc = perturbed_grid_scenario(width=8, height=8, hole_count=0, seed=100)
+    graph = build_ldel(sc.points)
+    return sc, graph
+
+
+@pytest.fixture(scope="session")
+def one_hole_instance():
+    """One convex hole in a small grid."""
+    sc = perturbed_grid_scenario(
+        width=10, height=10, hole_count=1, hole_scale=2.2, seed=3
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return sc, graph, abst
+
+
+@pytest.fixture(scope="session")
+def multi_hole_instance():
+    """Three holes — the workhorse routing fixture."""
+    sc = perturbed_grid_scenario(
+        width=14, height=14, hole_count=3, hole_scale=2.0, seed=7
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return sc, graph, abst
+
+
+@pytest.fixture(scope="session")
+def concave_hole_instance():
+    """A non-convex (L-shaped) hole: exercises bays and cases 2–5."""
+    sc = perturbed_grid_scenario(
+        width=12,
+        height=12,
+        hole_count=1,
+        hole_scale=3.0,
+        hole_shapes=("l_shape",),
+        seed=11,
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return sc, graph, abst
+
+
+@pytest.fixture(scope="session")
+def poisson_instance():
+    """Uniform random cloud (robustness checks).
+
+    Kept at moderate density: the distributed LDel construction exchanges
+    O(deg²) triangle proposals per node, so very dense clouds belong in the
+    benchmarks, not the unit suite.
+    """
+    sc = poisson_scenario(width=12, height=12, n=420, hole_count=1, seed=5)
+    graph = build_ldel(sc.points)
+    return sc, graph
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,162 @@
+"""Unit tests for convex hulls and locally convex hulls."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex_hull import (
+    convex_hull,
+    convex_hull_indices,
+    is_convex_polygon,
+    locally_convex_hull,
+    merge_hulls,
+)
+from repro.geometry.polygon import point_in_polygon
+from repro.geometry.predicates import orientation
+
+
+class TestConvexHullIndices:
+    def test_square_with_interior(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)]
+        idx = convex_hull_indices(pts)
+        assert sorted(idx) == [0, 1, 2, 3]
+
+    def test_ccw_order(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        idx = convex_hull_indices(pts)
+        hull = np.asarray(pts)[idx]
+        k = len(hull)
+        for i in range(k):
+            assert orientation(hull[i], hull[(i + 1) % k], hull[(i + 2) % k]) > 0
+
+    def test_empty(self):
+        assert convex_hull_indices([]) == []
+
+    def test_single(self):
+        assert convex_hull_indices([(1, 1)]) == [0]
+
+    def test_two_points(self):
+        assert sorted(convex_hull_indices([(0, 0), (1, 1)])) == [0, 1]
+
+    def test_collinear(self):
+        idx = convex_hull_indices([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert sorted(idx) == [0, 3]
+
+    def test_matches_scipy(self):
+        from scipy.spatial import ConvexHull
+
+        pts = np.random.default_rng(7).random((100, 2)) * 10
+        ours = set(convex_hull_indices(pts))
+        theirs = set(int(i) for i in ConvexHull(pts).vertices)
+        assert ours == theirs
+
+
+class TestConvexHull:
+    def test_all_points_inside(self):
+        pts = np.random.default_rng(3).random((50, 2))
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_polygon(p, hull)
+
+    def test_hull_of_hull_is_hull(self):
+        pts = np.random.default_rng(4).random((40, 2))
+        h1 = convex_hull(pts)
+        h2 = convex_hull(h1)
+        assert len(h1) == len(h2)
+        assert {tuple(p) for p in h1} == {tuple(p) for p in h2}
+
+
+class TestIsConvexPolygon:
+    def test_square(self):
+        assert is_convex_polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+    def test_cw_square_also_convex(self):
+        assert is_convex_polygon([(0, 1), (1, 1), (1, 0), (0, 0)])
+
+    def test_l_shape_not_convex(self):
+        L = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        assert not is_convex_polygon(L)
+
+    def test_degenerate(self):
+        assert not is_convex_polygon([(0, 0), (1, 1)])
+
+
+class TestMergeHulls:
+    def test_disjoint_squares(self):
+        a = convex_hull([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = convex_hull([(3, 0), (4, 0), (4, 1), (3, 1)])
+        m = merge_hulls(a, b)
+        expected = convex_hull(np.vstack([a, b]))
+        assert {tuple(p) for p in m} == {tuple(p) for p in expected}
+
+    def test_one_inside_other(self):
+        outer = convex_hull([(0, 0), (10, 0), (10, 10), (0, 10)])
+        inner = convex_hull([(4, 4), (5, 4), (5, 5), (4, 5)])
+        m = merge_hulls(outer, inner)
+        assert {tuple(p) for p in m} == {tuple(p) for p in outer}
+
+    def test_empty_operand(self):
+        a = convex_hull([(0, 0), (1, 0), (0, 1)])
+        assert np.array_equal(merge_hulls(a, np.zeros((0, 2))), a)
+        assert np.array_equal(merge_hulls(np.zeros((0, 2)), a), a)
+
+    def test_associativity_on_random(self):
+        rng = np.random.default_rng(9)
+        chunks = [rng.random((15, 2)) * 5 for _ in range(3)]
+        hulls = [convex_hull(c) for c in chunks]
+        left = merge_hulls(merge_hulls(hulls[0], hulls[1]), hulls[2])
+        right = merge_hulls(hulls[0], merge_hulls(hulls[1], hulls[2]))
+        assert {tuple(p) for p in left} == {tuple(p) for p in right}
+
+
+class TestLocallyConvexHull:
+    def test_convex_cycle_unchanged(self):
+        # A large convex cycle with all shortcuts > 1 keeps every node.
+        k = 12
+        r = 3.0
+        cyc = [
+            (r * math.cos(2 * math.pi * i / k), r * math.sin(2 * math.pi * i / k))
+            for i in range(k)
+        ]
+        assert locally_convex_hull(cyc) == list(range(k))
+
+    def test_small_cycle(self):
+        tri = [(0, 0), (1, 0), (0.5, 0.8)]
+        assert locally_convex_hull(tri) == [0, 1, 2]
+
+    def test_reflex_dent_removed(self):
+        # A ccw cycle with one shallow reflex dent whose shortcut is <= 1.
+        cyc = [
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 2.0),
+            (2.1, 2.0),
+            (2.0, 1.6),  # dent vertex (reflex, neighbors within unit)
+            (1.9, 2.0),
+            (0.0, 2.0),
+        ]
+        kept = locally_convex_hull(cyc)
+        assert 5 not in kept
+
+    def test_result_satisfies_definition(self):
+        # Fixed point: no 3 consecutive kept nodes with a reflex turn and a
+        # shortcut of length <= 1.
+        rng = np.random.default_rng(5)
+        ang = np.sort(rng.uniform(0, 2 * math.pi, 25))
+        rad = rng.uniform(2.0, 3.0, 25)
+        cyc = np.column_stack([rad * np.cos(ang), rad * np.sin(ang)])
+        kept = locally_convex_hull(cyc)
+        from repro.geometry.primitives import distance
+        from repro.geometry.polygon import signed_area
+
+        pts = cyc[kept]
+        ccw = signed_area(cyc) > 0
+        m = len(kept)
+        if m > 3:
+            for i in range(m):
+                u, v, w = pts[i - 1], pts[i], pts[(i + 1) % m]
+                o = orientation(u, v, w)
+                reflex = (o <= 0) if ccw else (o >= 0)
+                assert not (reflex and distance(u, w) <= 1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the Bowyer–Watson Delaunay triangulation.
+
+``scipy.spatial.Delaunay`` serves as the independent oracle, per the
+DESIGN.md policy: our implementation is from scratch, scipy only verifies.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.geometry.delaunay import (
+    Triangulation,
+    delaunay_edges,
+    delaunay_triangulation,
+)
+from repro.geometry.predicates import in_circle
+
+
+def scipy_edge_set(pts):
+    sd = ScipyDelaunay(pts)
+    out = set()
+    for simplex in sd.simplices:
+        a, b, c = sorted(int(x) for x in simplex)
+        out |= {(a, b), (b, c), (a, c)}
+    return out
+
+
+class TestSmallCases:
+    def test_empty(self):
+        tri = delaunay_triangulation([])
+        assert tri.triangles == []
+
+    def test_two_points(self):
+        tri = delaunay_triangulation([(0, 0), (1, 0)])
+        assert tri.triangles == []
+
+    def test_triangle(self):
+        tri = delaunay_triangulation([(0, 0), (1, 0), (0.5, 1)])
+        assert tri.triangles == [(0, 1, 2)]
+
+    def test_square_two_triangles(self):
+        tri = delaunay_triangulation([(0, 0), (1, 0), (1, 1.1), (0, 1)])
+        assert len(tri.triangles) == 2
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed,n", [(0, 20), (1, 50), (2, 120)])
+    def test_edges_match(self, seed, n):
+        pts = np.random.default_rng(seed).random((n, 2)) * 10
+        ours = delaunay_triangulation(pts).edges()
+        assert ours == scipy_edge_set(pts)
+
+    def test_edges_match_large_up_to_degeneracies(self):
+        # Dense instances hit near-cocircular quads where tie-breaking may
+        # legitimately differ from scipy's exact predicates; the symmetric
+        # difference must stay negligible (the paper assumes no four
+        # cocircular nodes, and scenario generators jitter their points).
+        pts = np.random.default_rng(3).random((400, 2)) * 10
+        ours = delaunay_triangulation(pts).edges()
+        theirs = scipy_edge_set(pts)
+        assert len(ours ^ theirs) <= max(2, len(theirs) // 200)
+
+    def test_clustered_points(self):
+        rng = np.random.default_rng(4)
+        centers = rng.random((5, 2)) * 20
+        pts = np.vstack([c + rng.normal(0, 0.5, (20, 2)) for c in centers])
+        ours = delaunay_triangulation(pts).edges()
+        assert ours == scipy_edge_set(pts)
+
+
+class TestDelaunayProperty:
+    def test_empty_circumcircles(self):
+        pts = np.random.default_rng(5).random((60, 2)) * 5
+        tri = delaunay_triangulation(pts)
+        for a, b, c in tri.triangles:
+            for d in range(len(pts)):
+                if d in (a, b, c):
+                    continue
+                assert not in_circle(pts[a], pts[b], pts[c], pts[d])
+
+    def test_triangle_count_euler(self):
+        # For a triangulation of a point set with h hull vertices:
+        # triangles = 2n - h - 2.
+        from repro.geometry.convex_hull import convex_hull_indices
+
+        pts = np.random.default_rng(6).random((80, 2)) * 8
+        tri = delaunay_triangulation(pts)
+        h = len(convex_hull_indices(pts))
+        assert len(tri.triangles) == 2 * len(pts) - h - 2
+
+
+class TestTriangulationAccessors:
+    @pytest.fixture(scope="class")
+    def tri(self):
+        pts = np.random.default_rng(7).random((40, 2)) * 6
+        return delaunay_triangulation(pts)
+
+    def test_adjacency_symmetric(self, tri):
+        adj = tri.adjacency()
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_triangles_of_edge(self, tri):
+        toe = tri.triangles_of_edge()
+        # Interior edges border exactly 2 triangles, hull edges exactly 1.
+        counts = sorted(set(len(v) for v in toe.values()))
+        assert counts in ([1, 2], [2], [1])
+        for e, tris in toe.items():
+            for t in tris:
+                assert e[0] in t and e[1] in t
+
+
+class TestDelaunayEdges:
+    def test_small(self):
+        assert delaunay_edges([(0, 0)]) == set()
+        assert delaunay_edges([(0, 0), (1, 1)]) == {(0, 1)}
+        assert delaunay_edges([(0, 0), (1, 0), (0, 1)]) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_collinear_chain(self):
+        edges = delaunay_edges([(0, 0), (2, 0), (1, 0), (3, 0)])
+        # Chain 0-2-1-3 in x order.
+        assert edges == {(0, 2), (1, 2), (1, 3)}
+
+    def test_matches_triangulation(self):
+        pts = np.random.default_rng(8).random((30, 2))
+        assert delaunay_edges(pts) == delaunay_triangulation(pts).edges()

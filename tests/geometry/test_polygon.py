@@ -1,0 +1,184 @@
+"""Unit tests for polygon utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import (
+    BoundingBox,
+    bounding_box,
+    dilate_convex_polygon,
+    perimeter,
+    point_in_polygon,
+    point_on_polygon_boundary,
+    polygon_area,
+    polygon_contains_any,
+    polygon_edges,
+    polygons_intersect,
+    segment_polygon_intersections,
+    signed_area,
+)
+
+SQUARE = [(0, 0), (2, 0), (2, 2), (0, 2)]
+L_SHAPE = [(0, 0), (3, 0), (3, 1), (1, 1), (1, 3), (0, 3)]
+
+
+class TestAreas:
+    def test_signed_area_ccw_positive(self):
+        assert signed_area(SQUARE) == pytest.approx(4.0)
+
+    def test_signed_area_cw_negative(self):
+        assert signed_area(SQUARE[::-1]) == pytest.approx(-4.0)
+
+    def test_polygon_area_unsigned(self):
+        assert polygon_area(SQUARE[::-1]) == pytest.approx(4.0)
+
+    def test_l_shape_area(self):
+        assert polygon_area(L_SHAPE) == pytest.approx(5.0)
+
+    def test_degenerate(self):
+        assert signed_area([(0, 0), (1, 1)]) == 0.0
+
+
+class TestPerimeter:
+    def test_square(self):
+        assert perimeter(SQUARE) == pytest.approx(8.0)
+
+    def test_l_shape(self):
+        assert perimeter(L_SHAPE) == pytest.approx(12.0)
+
+    def test_single_point(self):
+        assert perimeter([(1, 1)]) == 0.0
+
+
+class TestBoundingBox:
+    def test_basic(self):
+        bb = bounding_box([(0, 1), (4, 3), (2, -1)])
+        assert (bb.xmin, bb.ymin, bb.xmax, bb.ymax) == (0, -1, 4, 3)
+        assert bb.width == 4 and bb.height == 4
+        assert bb.circumference == pytest.approx(16.0)
+        assert bb.center == (2.0, 1.0)
+
+    def test_contains(self):
+        bb = bounding_box(SQUARE)
+        assert bb.contains((1, 1))
+        assert bb.contains((0, 0))  # boundary inclusive
+        assert not bb.contains((3, 1))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert not a.intersects(BoundingBox(3, 3, 4, 4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestPointInPolygon:
+    def test_inside_square(self):
+        assert point_in_polygon((1, 1), SQUARE)
+
+    def test_outside_square(self):
+        assert not point_in_polygon((3, 1), SQUARE)
+
+    def test_boundary_inclusive_default(self):
+        assert point_in_polygon((0, 1), SQUARE)
+
+    def test_boundary_exclusive(self):
+        assert not point_in_polygon((0, 1), SQUARE, include_boundary=False)
+
+    def test_vertex(self):
+        assert point_in_polygon((0, 0), SQUARE)
+        assert not point_in_polygon((0, 0), SQUARE, include_boundary=False)
+
+    def test_l_shape_notch(self):
+        assert not point_in_polygon((2, 2), L_SHAPE)
+        assert point_in_polygon((0.5, 0.5), L_SHAPE)
+
+    def test_degenerate(self):
+        assert not point_in_polygon((0, 0), [(0, 0), (1, 1)])
+
+
+class TestPointOnBoundary:
+    def test_on_edge(self):
+        assert point_on_polygon_boundary((1, 0), SQUARE)
+
+    def test_on_vertex(self):
+        assert point_on_polygon_boundary((2, 2), SQUARE)
+
+    def test_off(self):
+        assert not point_on_polygon_boundary((1, 1), SQUARE)
+
+
+class TestPolygonContainsAny:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((200, 2)) * 4 - 1
+        mask = polygon_contains_any(L_SHAPE, pts)
+        for p, m in zip(pts, mask):
+            assert m == point_in_polygon(p, L_SHAPE, include_boundary=False) or (
+                point_on_polygon_boundary(p, L_SHAPE)
+            )
+
+    def test_empty_points(self):
+        assert polygon_contains_any(SQUARE, np.zeros((0, 2))).shape == (0,)
+
+    def test_degenerate_polygon(self):
+        out = polygon_contains_any([(0, 0), (1, 1)], np.array([[0.5, 0.5]]))
+        assert not out[0]
+
+
+class TestPolygonEdges:
+    def test_square_edges(self):
+        edges = polygon_edges(SQUARE)
+        assert edges.shape == (4, 4)
+        assert tuple(edges[0]) == (0, 0, 2, 0)
+        assert tuple(edges[-1]) == (0, 2, 0, 0)  # closing edge
+
+
+class TestSegmentPolygonIntersections:
+    def test_through_square(self):
+        hits = segment_polygon_intersections((-1, 1), (3, 1), SQUARE)
+        assert len(hits) == 2
+        ts = [t for t, _ in hits]
+        assert ts == sorted(ts)
+        pts = [p for _, p in hits]
+        assert pts[0][0] == pytest.approx(0.0)
+        assert pts[1][0] == pytest.approx(2.0)
+
+    def test_miss(self):
+        assert segment_polygon_intersections((5, 5), (6, 6), SQUARE) == []
+
+    def test_starting_inside(self):
+        hits = segment_polygon_intersections((1, 1), (5, 1), SQUARE)
+        assert len(hits) == 1
+
+
+class TestPolygonsIntersect:
+    def test_overlapping(self):
+        other = [(1, 1), (3, 1), (3, 3), (1, 3)]
+        assert polygons_intersect(SQUARE, other)
+
+    def test_disjoint(self):
+        other = [(5, 5), (6, 5), (6, 6), (5, 6)]
+        assert not polygons_intersect(SQUARE, other)
+
+    def test_containment(self):
+        inner = [(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]
+        assert polygons_intersect(SQUARE, inner)
+        assert polygons_intersect(inner, SQUARE)
+
+
+class TestDilate:
+    def test_moves_outward(self):
+        sq = np.asarray(SQUARE, dtype=float)
+        out = dilate_convex_polygon(sq, 0.5)
+        c = sq.mean(axis=0)
+        for before, after in zip(sq, out):
+            assert np.linalg.norm(after - c) > np.linalg.norm(before - c)
+
+    def test_margin_zero_identity(self):
+        sq = np.asarray(SQUARE, dtype=float)
+        assert np.allclose(dilate_convex_polygon(sq, 0.0), sq)

@@ -1,0 +1,160 @@
+"""Unit tests for geometric predicates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import (
+    ccw,
+    collinear,
+    in_circle,
+    on_segment,
+    orientation,
+    point_in_triangle,
+    segment_crosses_triangle,
+    segment_intersects_any,
+    segments_intersect,
+    segments_properly_intersect,
+)
+
+
+class TestOrientation:
+    def test_ccw_positive(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_cw_negative(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear_zero(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_ccw_helper(self):
+        assert ccw((0, 0), (1, 0), (0, 1))
+        assert not ccw((0, 0), (0, 1), (1, 0))
+
+    def test_collinear_helper(self):
+        assert collinear((0, 0), (1, 0), (5, 0))
+        assert not collinear((0, 0), (1, 0), (1, 1))
+
+    def test_antisymmetry(self):
+        a, b, c = (0.1, 0.7), (1.3, 0.2), (0.8, 1.9)
+        assert orientation(a, b, c) == -orientation(a, c, b)
+
+    def test_cyclic_invariance(self):
+        a, b, c = (0.1, 0.7), (1.3, 0.2), (0.8, 1.9)
+        assert orientation(a, b, c) == orientation(b, c, a) == orientation(c, a, b)
+
+
+class TestInCircle:
+    def test_center_inside(self):
+        assert in_circle((0, 0), (2, 0), (1, 2), (1, 0.5))
+
+    def test_far_point_outside(self):
+        assert not in_circle((0, 0), (2, 0), (1, 2), (10, 10))
+
+    def test_orientation_free(self):
+        # Swapping two circle points must not flip the answer.
+        assert in_circle((2, 0), (0, 0), (1, 2), (1, 0.5))
+
+    def test_on_circle_not_inside(self):
+        # Fourth point on the circle: strictly-inside test says no.
+        assert not in_circle((1, 0), (0, 1), (-1, 0), (0, -1))
+
+    def test_collinear_circle_points(self):
+        assert not in_circle((0, 0), (1, 0), (2, 0), (0.5, 0.1))
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_shared_endpoint_closed(self):
+        assert segments_intersect((0, 0), (1, 0), (1, 0), (2, 1))
+
+    def test_shared_endpoint_not_proper(self):
+        assert not segments_properly_intersect((0, 0), (1, 0), (1, 0), (2, 1))
+
+    def test_proper_crossing(self):
+        assert segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_t_junction_closed_only(self):
+        # Endpoint touching the interior of another segment.
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (1, 1))
+        assert not segments_properly_intersect((0, 0), (2, 0), (1, 0), (1, 1))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+        assert not segments_properly_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_on_segment(self):
+        assert on_segment((0, 0), (2, 2), (1, 1))
+        assert not on_segment((0, 0), (1, 1), (2, 2))
+
+
+class TestSegmentIntersectsAny:
+    def test_empty_segments(self):
+        assert not segment_intersects_any((0, 0), (1, 1), np.zeros((0, 4)))
+
+    def test_hit(self):
+        segs = np.array([[0.0, 2.0, 2.0, 0.0]])
+        assert segment_intersects_any((0, 0), (2, 2), segs)
+
+    def test_miss(self):
+        segs = np.array([[5.0, 5.0, 6.0, 6.0]])
+        assert not segment_intersects_any((0, 0), (2, 2), segs)
+
+    def test_endpoint_grazing_not_proper(self):
+        segs = np.array([[1.0, 0.0, 2.0, 1.0]])
+        assert not segment_intersects_any((0, 0), (1, 0), segs)
+
+    def test_matches_scalar_predicate(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            p, q, a, b = rng.random((4, 2)) * 4
+            segs = np.array([[a[0], a[1], b[0], b[1]]])
+            assert segment_intersects_any(p, q, segs) == (
+                segments_properly_intersect(p, q, a, b)
+            )
+
+
+class TestPointInTriangle:
+    TRI = ((0, 0), (4, 0), (0, 4))
+
+    def test_inside(self):
+        assert point_in_triangle((1, 1), *self.TRI)
+
+    def test_outside(self):
+        assert not point_in_triangle((3, 3), *self.TRI)
+
+    def test_vertex_non_strict(self):
+        assert point_in_triangle((0, 0), *self.TRI)
+
+    def test_vertex_strict(self):
+        assert not point_in_triangle((0, 0), *self.TRI, strict=True)
+
+    def test_edge_non_strict(self):
+        assert point_in_triangle((2, 0), *self.TRI)
+        assert not point_in_triangle((2, 0), *self.TRI, strict=True)
+
+    def test_orientation_free(self):
+        assert point_in_triangle((1, 1), (0, 0), (0, 4), (4, 0))
+
+
+class TestSegmentCrossesTriangle:
+    TRI = ((0, 0), (4, 0), (0, 4))
+
+    def test_through(self):
+        assert segment_crosses_triangle((-1, 1), (5, 1), *self.TRI)
+
+    def test_endpoint_inside(self):
+        assert segment_crosses_triangle((1, 1), (10, 10), *self.TRI)
+
+    def test_miss(self):
+        assert not segment_crosses_triangle((5, 5), (6, 6), *self.TRI)
+
+    def test_contained(self):
+        assert segment_crosses_triangle((0.5, 0.5), (1, 1), *self.TRI)

@@ -1,0 +1,178 @@
+"""Unit tests for geometric primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import (
+    EPS,
+    Point,
+    angle_at,
+    as_array,
+    circumcenter,
+    circumradius,
+    distance,
+    distance_sq,
+    midpoint,
+    normalize_angle,
+    pairwise_distances,
+    path_length,
+    turn_angle,
+)
+
+
+class TestPoint:
+    def test_fields(self):
+        p = Point(1.0, 2.0)
+        assert p.x == 1.0 and p.y == 2.0
+
+    def test_add_sub(self):
+        p = Point(1.0, 2.0) + (3.0, 4.0)
+        assert p == Point(4.0, 6.0)
+        q = Point(1.0, 2.0) - (1.0, 1.0)
+        assert q == Point(0.0, 1.0)
+
+    def test_scaled(self):
+        assert Point(2.0, -4.0).scaled(0.5) == Point(1.0, -2.0)
+
+    def test_norm(self):
+        assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+
+    def test_tuple_interop(self):
+        p = Point(1.0, 2.0)
+        assert p[0] == 1.0 and tuple(p) == (1.0, 2.0)
+
+
+class TestAsArray:
+    def test_list_of_tuples(self):
+        arr = as_array([(0, 0), (1, 1)])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_empty(self):
+        assert as_array([]).shape == (0, 2)
+
+    def test_single_point(self):
+        assert as_array((1.0, 2.0)).shape == (1, 2)
+
+    def test_passthrough_no_copy(self):
+        arr = np.zeros((3, 2))
+        assert as_array(arr) is arr
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            as_array(np.zeros((2, 3)))
+
+
+class TestDistances:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_distance_sq(self):
+        assert distance_sq((0, 0), (3, 4)) == pytest.approx(25.0)
+
+    def test_pairwise_symmetric(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_matches_scalar(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(1.0)
+        assert d[0, 2] == pytest.approx(2.0)
+        assert d[1, 2] == pytest.approx(math.sqrt(5))
+
+
+class TestPathLength:
+    def test_straight(self):
+        assert path_length([(0, 0), (1, 0), (2, 0)]) == pytest.approx(2.0)
+
+    def test_single_point(self):
+        assert path_length([(1, 1)]) == 0.0
+
+    def test_empty(self):
+        assert path_length([]) == 0.0
+
+    def test_square_loop(self):
+        sq = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        assert path_length(sq) == pytest.approx(4.0)
+
+
+class TestAngles:
+    def test_right_angle(self):
+        assert angle_at((1, 0), (0, 0), (0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_straight_line(self):
+        assert angle_at((-1, 0), (0, 0), (1, 0)) == pytest.approx(math.pi)
+
+    def test_degenerate_zero(self):
+        assert angle_at((0, 0), (0, 0), (1, 1)) == 0.0
+
+    def test_turn_left_positive(self):
+        assert turn_angle((0, 0), (1, 0), (1, 1)) == pytest.approx(math.pi / 2)
+
+    def test_turn_right_negative(self):
+        assert turn_angle((0, 0), (1, 0), (1, -1)) == pytest.approx(-math.pi / 2)
+
+    def test_turn_straight_zero(self):
+        assert turn_angle((0, 0), (1, 0), (2, 0)) == pytest.approx(0.0)
+
+    def test_turn_sum_ccw_square(self):
+        # Closed ccw walk turns by +2π in total.
+        sq = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        total = sum(
+            turn_angle(sq[i - 1], sq[i], sq[(i + 1) % 4]) for i in range(4)
+        )
+        assert total == pytest.approx(2 * math.pi)
+
+    def test_turn_sum_cw_square(self):
+        sq = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        total = sum(
+            turn_angle(sq[i - 1], sq[i], sq[(i + 1) % 4]) for i in range(4)
+        )
+        assert total == pytest.approx(-2 * math.pi)
+
+    def test_normalize_angle_range(self):
+        for theta in (-10.0, -math.pi, 0.0, math.pi, 10.0, 100.0):
+            out = normalize_angle(theta)
+            assert -math.pi < out <= math.pi
+
+    def test_normalize_angle_identity(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+
+class TestCircumcircle:
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1.0, 2.0)
+
+    def test_circumcenter_right_triangle(self):
+        # Right triangle: circumcenter at hypotenuse midpoint.
+        c = circumcenter((0, 0), (2, 0), (0, 2))
+        assert c is not None
+        assert c.x == pytest.approx(1.0)
+        assert c.y == pytest.approx(1.0)
+
+    def test_circumcenter_equilateral(self):
+        c = circumcenter((0, 0), (1, 0), (0.5, math.sqrt(3) / 2))
+        assert c is not None
+        assert c.x == pytest.approx(0.5)
+
+    def test_circumcenter_collinear_none(self):
+        assert circumcenter((0, 0), (1, 0), (2, 0)) is None
+
+    def test_circumradius(self):
+        r = circumradius((0, 0), (2, 0), (0, 2))
+        assert r == pytest.approx(math.sqrt(2))
+
+    def test_circumradius_collinear_inf(self):
+        assert circumradius((0, 0), (1, 0), (2, 0)) == math.inf
+
+    def test_circumcenter_equidistant(self):
+        a, b, c = (0.3, 1.2), (2.1, 0.4), (1.5, 2.8)
+        cc = circumcenter(a, b, c)
+        assert cc is not None
+        assert distance(cc, a) == pytest.approx(distance(cc, b))
+        assert distance(cc, b) == pytest.approx(distance(cc, c))

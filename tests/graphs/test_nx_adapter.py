@@ -1,0 +1,115 @@
+"""Tests for networkx interop — and networkx as an independent oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.nx_adapter import (
+    abstraction_to_networkx,
+    adjacency_to_networkx,
+    ldel_to_networkx,
+    overlay_delaunay_to_networkx,
+)
+
+
+class TestAdjacencyConversion:
+    def test_structure_preserved(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        g = adjacency_to_networkx(graph.points, graph.adjacency)
+        assert g.number_of_nodes() == sc.n
+        assert g.number_of_edges() == sum(
+            len(v) for v in graph.adjacency.values()
+        ) // 2
+
+    def test_positions(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        g = adjacency_to_networkx(graph.points, graph.adjacency)
+        assert g.nodes[0]["pos"] == tuple(graph.points[0])
+
+    def test_weights(self, multi_hole_instance):
+        from repro.geometry.primitives import distance
+
+        sc, graph, _ = multi_hole_instance
+        g = adjacency_to_networkx(graph.points, graph.adjacency)
+        u, v = next(iter(g.edges))
+        assert g.edges[u, v]["weight"] == pytest.approx(
+            distance(graph.points[u], graph.points[v])
+        )
+
+
+class TestNetworkxAsOracle:
+    def test_connectivity(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        g = adjacency_to_networkx(graph.points, graph.adjacency)
+        assert nx.is_connected(g)
+
+    def test_planarity_of_ldel(self, multi_hole_instance):
+        """Independent confirmation of LDel²'s planarity claim."""
+        sc, graph, _ = multi_hole_instance
+        g = ldel_to_networkx(graph)
+        is_planar, _ = nx.check_planarity(g)
+        assert is_planar
+
+    def test_shortest_paths_match(self, multi_hole_instance):
+        from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+        sc, graph, _ = multi_hole_instance
+        g = adjacency_to_networkx(graph.points, graph.udg)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            s, t = rng.integers(0, sc.n, 2)
+            if s == t:
+                continue
+            ours = euclidean_shortest_path_length(
+                graph.points, graph.udg, int(s), int(t)
+            )
+            theirs = nx.shortest_path_length(
+                g, int(s), int(t), weight="weight"
+            )
+            assert ours == pytest.approx(theirs)
+
+
+class TestLDelAnnotations:
+    def test_edge_provenance(self, one_hole_instance):
+        sc, graph, _ = one_hole_instance
+        g = ldel_to_networkx(graph)
+        gabriel_edges = sum(1 for *_, d in g.edges(data=True) if d["gabriel"])
+        triangle_edges = sum(1 for *_, d in g.edges(data=True) if d["triangle"])
+        assert gabriel_edges == len(graph.gabriel)
+        assert triangle_edges > 0
+        # Every edge comes from at least one source.
+        for u, v, d in g.edges(data=True):
+            assert d["gabriel"] or d["triangle"]
+
+
+class TestAbstractionAnnotations:
+    def test_roles(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        g = abstraction_to_networkx(abst)
+        roles = nx.get_node_attributes(g, "role")
+        assert set(roles.values()) == {"interior", "boundary", "hull"}
+        for v in abst.hull_nodes():
+            assert roles[v] == "hull"
+        for v in abst.boundary_nodes() - abst.hull_nodes():
+            assert roles[v] == "boundary"
+
+    def test_hole_ids(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        g = abstraction_to_networkx(abst)
+        for h in abst.holes:
+            for v in h.boundary:
+                assert h.hole_id in g.nodes[v]["hole_ids"]
+
+
+class TestOverlayDelaunay:
+    def test_structure(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        g = overlay_delaunay_to_networkx(abst)
+        assert set(g.nodes) == abst.hull_nodes()
+        assert nx.is_connected(g)
+
+    def test_planar(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        g = overlay_delaunay_to_networkx(abst)
+        is_planar, _ = nx.check_planarity(g)
+        assert is_planar  # Delaunay graphs are planar

@@ -1,0 +1,111 @@
+"""Unit tests for shortest-path utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.graphs.shortest_paths import (
+    dijkstra,
+    euclidean_shortest_path,
+    euclidean_shortest_path_length,
+    hop_distances,
+    k_hop_neighborhood,
+    path_edge_lengths,
+)
+from repro.graphs.udg import unit_disk_graph
+
+
+@pytest.fixture(scope="module")
+def chain():
+    pts = np.array([[i * 0.8, 0.0] for i in range(6)])
+    return pts, unit_disk_graph(pts)
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    pts = np.random.default_rng(0).random((80, 2)) * 5
+    return pts, unit_disk_graph(pts)
+
+
+class TestDijkstra:
+    def test_chain_distances(self, chain):
+        pts, adj = chain
+        dist, prev = dijkstra(pts, adj, 0)
+        assert dist[5] == pytest.approx(4.0)
+        assert dist[0] == 0.0
+
+    def test_early_exit_consistent(self, random_graph):
+        pts, adj = random_graph
+        full, _ = dijkstra(pts, adj, 0)
+        for t in (10, 40, 79):
+            if t in full:
+                partial, _ = dijkstra(pts, adj, 0, target=t)
+                assert partial[t] == pytest.approx(full[t])
+
+    def test_triangle_inequality_over_graph(self, random_graph):
+        pts, adj = random_graph
+        dist, _ = dijkstra(pts, adj, 0)
+        for v, d in dist.items():
+            assert d >= distance(pts[0], pts[v]) - 1e-9
+
+
+class TestEuclideanShortestPath:
+    def test_path_endpoints(self, random_graph):
+        pts, adj = random_graph
+        dist, _ = dijkstra(pts, adj, 0)
+        target = max(dist, key=dist.get)
+        path, length = euclidean_shortest_path(pts, adj, 0, target)
+        assert path[0] == 0 and path[-1] == target
+
+    def test_path_length_consistent(self, random_graph):
+        pts, adj = random_graph
+        dist, _ = dijkstra(pts, adj, 0)
+        target = max(dist, key=dist.get)
+        path, length = euclidean_shortest_path(pts, adj, 0, target)
+        assert sum(path_edge_lengths(pts, path)) == pytest.approx(length)
+
+    def test_edges_exist(self, random_graph):
+        pts, adj = random_graph
+        dist, _ = dijkstra(pts, adj, 0)
+        target = max(dist, key=dist.get)
+        path, _ = euclidean_shortest_path(pts, adj, 0, target)
+        for a, b in zip(path, path[1:]):
+            assert b in adj[a]
+
+    def test_unreachable_raises(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        adj = unit_disk_graph(pts)
+        with pytest.raises(ValueError):
+            euclidean_shortest_path(pts, adj, 0, 1)
+
+    def test_length_helper(self, chain):
+        pts, adj = chain
+        assert euclidean_shortest_path_length(pts, adj, 0, 3) == pytest.approx(2.4)
+
+
+class TestHops:
+    def test_hop_distances_chain(self, chain):
+        pts, adj = chain
+        hops = hop_distances(adj, 0)
+        assert hops == {i: i for i in range(6)}
+
+    def test_k_hop_neighborhood(self, chain):
+        pts, adj = chain
+        assert k_hop_neighborhood(adj, 0, 0) == {0}
+        assert k_hop_neighborhood(adj, 0, 1) == {0, 1}
+        assert k_hop_neighborhood(adj, 0, 2) == {0, 1, 2}
+        assert k_hop_neighborhood(adj, 2, 2) == {0, 1, 2, 3, 4}
+
+    def test_k_hop_matches_bfs(self, random_graph):
+        pts, adj = random_graph
+        hops = hop_distances(adj, 5)
+        for k in (1, 2, 3):
+            want = {v for v, d in hops.items() if d <= k}
+            assert k_hop_neighborhood(adj, 5, k) == want
+
+    def test_path_edge_lengths(self, chain):
+        pts, adj = chain
+        lens = path_edge_lengths(pts, [0, 1, 2])
+        assert lens == [pytest.approx(0.8), pytest.approx(0.8)]

@@ -1,0 +1,63 @@
+"""Spanner-property tests (Theorems 2.8/2.9 empirically)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.spanner import StretchStats, graph_stretch, stretch_vs_reference
+from repro.routing import sample_pairs
+
+
+class TestStretchStats:
+    def test_from_samples(self):
+        s = StretchStats.from_samples([1.0, 1.5, 2.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(1.5)
+        assert s.maximum == pytest.approx(2.0)
+
+    def test_empty(self):
+        s = StretchStats.from_samples([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+
+class TestLDelSpanner:
+    def test_ldel_stretch_vs_udg_below_bound(self, multi_hole_instance):
+        """Theorem 2.9: LDel² is a 1.998-spanner of the UDG metric."""
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(0)
+        pairs = sample_pairs(len(graph.points), 60, rng)
+        stats = stretch_vs_reference(
+            graph.points, graph.adjacency, graph.udg, pairs
+        )
+        assert stats.count > 0
+        assert stats.maximum <= 1.998 + 1e-9
+
+    def test_stretch_at_least_one(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(1)
+        pairs = sample_pairs(len(graph.points), 40, rng)
+        stats = stretch_vs_reference(
+            graph.points, graph.adjacency, graph.udg, pairs
+        )
+        assert stats.mean >= 1.0 - 1e-9
+
+    def test_hole_free_euclidean_stretch(self, flat_instance):
+        """Hole-free LDel²: graph distance close to Euclidean distance."""
+        sc, graph = flat_instance
+        rng = np.random.default_rng(2)
+        pairs = sample_pairs(len(graph.points), 60, rng)
+        stats = graph_stretch(graph.points, graph.adjacency, pairs)
+        assert stats.mean < 1.5
+        # Individual stretches can exceed 1.998 only through hop
+        # quantization on short pairs; the p95 stays modest.
+        assert stats.p95 < 2.5
+
+    def test_udg_stretch_identity(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(3)
+        pairs = sample_pairs(len(graph.points), 30, rng)
+        stats = stretch_vs_reference(graph.points, graph.udg, graph.udg, pairs)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.maximum == pytest.approx(1.0)

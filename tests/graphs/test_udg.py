@@ -1,0 +1,131 @@
+"""Unit tests for unit disk graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.graphs.udg import (
+    GridIndex,
+    connected_components,
+    degree_histogram,
+    edge_count,
+    edge_list,
+    is_connected,
+    max_degree,
+    unit_disk_graph,
+)
+
+
+class TestGridIndex:
+    def test_query_radius_matches_bruteforce(self):
+        pts = np.random.default_rng(0).random((150, 2)) * 8
+        grid = GridIndex(pts, cell=1.0)
+        for q in pts[:20]:
+            got = sorted(grid.query_radius(q, 1.0))
+            want = sorted(
+                i for i, p in enumerate(pts) if distance(p, q) <= 1.0 + 1e-12
+            )
+            assert got == want
+
+    def test_query_radius_larger_than_cell(self):
+        pts = np.random.default_rng(1).random((100, 2)) * 6
+        grid = GridIndex(pts, cell=1.0)
+        got = sorted(grid.query_radius(pts[0], 2.5))
+        want = sorted(
+            i for i, p in enumerate(pts) if distance(p, pts[0]) <= 2.5 + 1e-12
+        )
+        assert got == want
+
+    def test_candidates_superset(self):
+        pts = np.random.default_rng(2).random((80, 2)) * 5
+        grid = GridIndex(pts, cell=1.0)
+        cand = set(grid.candidates_near(pts[3], 1.0))
+        within = {i for i, p in enumerate(pts) if distance(p, pts[3]) <= 1.0}
+        assert within <= cand
+
+
+class TestUnitDiskGraph:
+    def test_matches_bruteforce(self):
+        pts = np.random.default_rng(3).random((120, 2)) * 6
+        adj = unit_disk_graph(pts)
+        for u in range(len(pts)):
+            want = sorted(
+                v
+                for v in range(len(pts))
+                if v != u and distance(pts[u], pts[v]) <= 1.0 + 1e-12
+            )
+            assert adj[u] == want
+
+    def test_symmetric(self):
+        pts = np.random.default_rng(4).random((200, 2)) * 8
+        adj = unit_disk_graph(pts)
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_no_self_loops(self):
+        pts = np.random.default_rng(5).random((50, 2)) * 3
+        adj = unit_disk_graph(pts)
+        for u, nbrs in adj.items():
+            assert u not in nbrs
+
+    def test_radius_parameter(self):
+        pts = np.array([[0.0, 0.0], [1.5, 0.0], [3.5, 0.0]])
+        assert unit_disk_graph(pts, radius=1.0) == {0: [], 1: [], 2: []}
+        adj2 = unit_disk_graph(pts, radius=2.0)
+        assert adj2[0] == [1] and adj2[1] == [0, 2]
+
+    def test_empty_and_single(self):
+        assert unit_disk_graph(np.zeros((0, 2))) == {}
+        assert unit_disk_graph([(1.0, 1.0)]) == {0: []}
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        pts = [(i * 0.9, 0.0) for i in range(10)]
+        assert is_connected(unit_disk_graph(pts))
+
+    def test_disconnected(self):
+        pts = [(0, 0), (0.5, 0), (10, 10), (10.5, 10)]
+        adj = unit_disk_graph(pts)
+        assert not is_connected(adj)
+        comps = connected_components(adj)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_empty_graph_connected(self):
+        assert is_connected({})
+
+    def test_components_partition(self):
+        pts = np.random.default_rng(6).random((100, 2)) * 20
+        adj = unit_disk_graph(pts)
+        comps = connected_components(adj)
+        union = set().union(*comps)
+        assert union == set(range(100))
+        assert sum(len(c) for c in comps) == 100
+
+
+class TestDegreeStats:
+    def test_max_degree(self):
+        adj = {0: [1, 2], 1: [0], 2: [0]}
+        assert max_degree(adj) == 2
+
+    def test_max_degree_empty(self):
+        assert max_degree({}) == 0
+
+    def test_histogram(self):
+        adj = {0: [1, 2], 1: [0], 2: [0]}
+        assert degree_histogram(adj) == {1: 2, 2: 1}
+
+    def test_edge_list_and_count(self):
+        adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        assert edge_list(adj) == [(0, 1), (0, 2), (1, 2)]
+        assert edge_count(adj) == 3
+
+
+class TestScenarioGuarantees:
+    def test_grid_scenario_connected_bounded_degree(self, flat_instance):
+        sc, graph = flat_instance
+        adj = graph.udg
+        assert is_connected(adj)
+        # Jittered grid with spacing 0.55: degree stays small & bounded.
+        assert max_degree(adj) <= 16

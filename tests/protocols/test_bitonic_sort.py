@@ -1,0 +1,101 @@
+"""Unit tests for Batcher's bitonic sort on the hypercube (§5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.bitonic_sort import (
+    BitonicSortProcess,
+    bitonic_schedule,
+)
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingRankingProcess
+from repro.protocols.runners import run_stage, synthetic_ring
+
+
+def run_sort(k, keys_by_node):
+    pts, adj, corners = synthetic_ring(k)
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": s1.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+
+    def kwargs(nid):
+        states = s2.get(nid, {})
+        return {
+            "rank_states": states,
+            "keys": {key: keys_by_node[nid] for key in states},
+        }
+
+    res3 = run_stage(
+        pts, adj, BitonicSortProcess, kwargs, prev_nodes=res2.nodes
+    )
+    return res3
+
+
+def sorted_result(res):
+    by_pos = {}
+    for proc in res.nodes.values():
+        for st in proc.slots.values():
+            by_pos[st.position] = st.key
+    return [by_pos[i] for i in range(len(by_pos))]
+
+
+class TestSchedule:
+    def test_length(self):
+        for d in range(1, 8):
+            assert len(bitonic_schedule(d)) == d * (d + 1) // 2
+
+    def test_substages_descend(self):
+        for stage, sub in bitonic_schedule(5):
+            assert 0 <= sub < stage
+
+    def test_empty(self):
+        assert bitonic_schedule(0) == []
+
+
+class TestSorting:
+    @pytest.mark.parametrize("k,seed", [(2, 0), (4, 1), (8, 2), (16, 3), (32, 4), (64, 5)])
+    def test_sorts_random_keys(self, k, seed):
+        rng = np.random.default_rng(seed)
+        keys = {i: float(v) for i, v in enumerate(rng.permutation(k))}
+        res = run_sort(k, keys)
+        out = sorted_result(res)
+        assert out == sorted(keys.values())
+
+    def test_sorts_duplicates(self):
+        keys = {i: float(i % 3) for i in range(16)}
+        res = run_sort(16, keys)
+        assert sorted_result(res) == sorted(keys.values())
+
+    def test_already_sorted(self):
+        keys = {i: float(i) for i in range(8)}
+        res = run_sort(8, keys)
+        assert sorted_result(res) == [float(i) for i in range(8)]
+
+    def test_reverse_sorted(self):
+        keys = {i: float(8 - i) for i in range(8)}
+        res = run_sort(8, keys)
+        assert sorted_result(res) == sorted(keys.values())
+
+    def test_rounds_quadratic_log(self):
+        k = 64
+        rng = np.random.default_rng(9)
+        keys = {i: float(v) for i, v in enumerate(rng.permutation(k))}
+        res = run_sort(k, keys)
+        d = int(math.log2(k))
+        # One round per compare-exchange step, plus constant slack.
+        assert res.rounds <= d * (d + 1) // 2 + 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            run_sort(6, {i: float(i) for i in range(6)})

@@ -1,0 +1,131 @@
+"""Unit tests for the Luby-MIS dominating set protocol (§5.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.dominating_set import (
+    IN,
+    OUT,
+    UNDECIDED,
+    SegmentMISProcess,
+    SegmentSpec,
+)
+from repro.simulation import HybridSimulator
+
+
+def run_path_mis(k, seed=0):
+    """MIS over a path of k nodes laid out in a line."""
+    pts = np.array([[i * 0.8, 0.0] for i in range(k)])
+    specs = {}
+    for i in range(k):
+        specs[i] = [
+            SegmentSpec(
+                slot=(i, 0),
+                pred_node=i - 1 if i > 0 else None,
+                pred_slot=(i - 1, 0) if i > 0 else None,
+                succ_node=i + 1 if i < k - 1 else None,
+                succ_slot=(i + 1, 0) if i < k - 1 else None,
+            )
+        ]
+    sim = HybridSimulator(pts)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: SegmentMISProcess(
+            nid, pos, nbrs, nbrp, specs=specs.get(nid, []), seed=seed
+        )
+    )
+    res = sim.run(max_rounds=500)
+    status = {
+        nid: list(p.slots.values())[0].status for nid, p in res.nodes.items()
+    }
+    return res, status
+
+
+class TestPathMIS:
+    @pytest.mark.parametrize("k,seed", [(1, 0), (2, 0), (3, 1), (10, 2), (40, 3), (100, 4)])
+    def test_all_decided(self, k, seed):
+        res, status = run_path_mis(k, seed)
+        assert all(s in (IN, OUT) for s in status.values())
+
+    @pytest.mark.parametrize("k,seed", [(10, 0), (40, 1), (100, 2)])
+    def test_independent(self, k, seed):
+        _, status = run_path_mis(k, seed)
+        for i in range(k - 1):
+            assert not (status[i] == IN and status[i + 1] == IN)
+
+    @pytest.mark.parametrize("k,seed", [(10, 0), (40, 1), (100, 2)])
+    def test_dominating(self, k, seed):
+        _, status = run_path_mis(k, seed)
+        for i in range(k):
+            nbrs = [j for j in (i - 1, i + 1) if 0 <= j < k]
+            assert status[i] == IN or any(status[j] == IN for j in nbrs)
+
+    @pytest.mark.parametrize("k", [30, 90])
+    def test_size_approximation(self, k):
+        """|MIS| between ceil(k/3) (optimum DS) and ceil(k/2)."""
+        _, status = run_path_mis(k, seed=5)
+        size = sum(1 for s in status.values() if s == IN)
+        assert math.ceil(k / 3) <= size <= math.ceil(k / 2)
+
+    def test_logarithmic_rounds(self):
+        res, _ = run_path_mis(200, seed=6)
+        # Luby needs O(log k) iterations w.h.p., a few rounds each.
+        assert res.rounds <= 12 * math.ceil(math.log2(200))
+
+    def test_single_node_in(self):
+        _, status = run_path_mis(1)
+        assert status[0] == IN
+
+    def test_deterministic_given_seed(self):
+        _, s1 = run_path_mis(30, seed=7)
+        _, s2 = run_path_mis(30, seed=7)
+        assert s1 == s2
+
+    def test_different_seeds_can_differ(self):
+        outs = set()
+        for seed in range(5):
+            _, s = run_path_mis(30, seed=seed)
+            outs.add(tuple(sorted(i for i, v in s.items() if v == IN)))
+        assert len(outs) > 1
+
+
+class TestMultiSegmentPerNode:
+    def test_shared_corner_two_segments(self):
+        """A hull corner participates independently in two adjacent bays."""
+        pts = np.array([[i * 0.8, 0.0] for i in range(5)])
+        # Segments: (0,1,2) tagged A and (2,3,4) tagged B; node 2 hosts a
+        # slot in each.
+        def spec(nid, tag, pred, succ):
+            return SegmentSpec(
+                slot=(nid, tag),
+                pred_node=pred,
+                pred_slot=(pred, tag) if pred is not None else None,
+                succ_node=succ,
+                succ_slot=(succ, tag) if succ is not None else None,
+            )
+
+        specs = {
+            0: [spec(0, 100, None, 1)],
+            1: [spec(1, 100, 0, 2)],
+            2: [spec(2, 100, 1, None), spec(2, 200, None, 3)],
+            3: [spec(3, 200, 2, 4)],
+            4: [spec(4, 200, 3, None)],
+        }
+        sim = HybridSimulator(pts)
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: SegmentMISProcess(
+                nid, pos, nbrs, nbrp, specs=specs.get(nid, []), seed=1
+            )
+        )
+        res = sim.run(max_rounds=200)
+        # Every slot decided; each segment independently dominated.
+        for seg_tag, members in ((100, [0, 1, 2]), (200, [2, 3, 4])):
+            st = {
+                nid: res.nodes[nid].slots[(nid, seg_tag)].status
+                for nid in members
+            }
+            assert all(v in (IN, OUT) for v in st.values())
+            for i, nid in enumerate(members):
+                nbrs = [members[j] for j in (i - 1, i + 1) if 0 <= j < len(members)]
+                assert st[nid] == IN or any(st[x] == IN for x in nbrs)

@@ -1,0 +1,184 @@
+"""Edge cases across the ring protocols: tiny rings, determinism, limits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.hull_protocol import RingHullProcess
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingRankingProcess
+from repro.protocols.rings import RingCorner
+from repro.protocols.runners import run_stage, synthetic_ring
+from repro.simulation import HybridSimulator
+
+
+def full_suite(pts, adj, corners):
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": s1.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+    res3 = run_stage(
+        pts,
+        adj,
+        RingHullProcess,
+        lambda nid: {"rank_states": s2.get(nid, {})},
+        prev_nodes=res2.nodes,
+    )
+    return res1, res2, res3
+
+
+class TestTinyRings:
+    def test_two_ring(self):
+        pts, adj, corners = synthetic_ring(2)
+        res1, res2, res3 = full_suite(pts, adj, corners)
+        for nid, proc in res3.nodes.items():
+            for st in proc.slots.values():
+                assert st.info.size == 2
+                assert st.final_hull is not None
+                assert len(st.final_hull) == 2
+
+    def test_three_ring(self):
+        pts, adj, corners = synthetic_ring(3)
+        res1, res2, res3 = full_suite(pts, adj, corners)
+        for proc in res3.nodes.values():
+            for st in proc.slots.values():
+                assert len(st.final_hull) == 3
+
+
+class TestTwoRingsSharedNode:
+    """A figure-eight: one node carries slots on two distinct rings."""
+
+    def _build(self):
+        # Two triangles sharing node 0: ring A = 0,1,2; ring B = 0,3,4.
+        pts = np.array(
+            [
+                [0.0, 0.0],
+                [0.9, 0.3],
+                [0.9, -0.3],
+                [-0.9, 0.3],
+                [-0.9, -0.3],
+            ]
+        )
+        adj = {
+            0: [1, 2, 3, 4],
+            1: [0, 2],
+            2: [0, 1],
+            3: [0, 4],
+            4: [0, 3],
+        }
+        corners = {
+            0: [
+                RingCorner(node=0, pred=2, succ=1, turn=0.5),
+                RingCorner(node=0, pred=3, succ=4, turn=0.5),
+            ],
+            1: [RingCorner(node=1, pred=0, succ=2, turn=0.5)],
+            2: [RingCorner(node=2, pred=1, succ=0, turn=0.5)],
+            3: [RingCorner(node=3, pred=4, succ=0, turn=0.5)],
+            4: [RingCorner(node=4, pred=0, succ=3, turn=0.5)],
+        }
+        return pts, adj, corners
+
+    def test_both_rings_resolve(self):
+        pts, adj, corners = self._build()
+        res1, res2, res3 = full_suite(pts, adj, corners)
+        rings = {}
+        for proc in res3.nodes.values():
+            for st in proc.slots.values():
+                # Both rings share leader 0 and size 3: only the ring token
+                # (the leader slot's dart) can tell them apart.
+                assert st.info.leader == 0 and st.info.size == 3
+                rings.setdefault(tuple(st.info.ring), set()).update(
+                    h[0] for h in st.final_hull
+                )
+        assert len(rings) == 2
+        hulls = sorted(tuple(sorted(v)) for v in rings.values())
+        assert hulls == [(0, 1, 2), (0, 3, 4)]
+
+    def test_shared_node_has_two_slots(self):
+        pts, adj, corners = self._build()
+        res1, _, _ = full_suite(pts, adj, corners)
+        assert len(res1.nodes[0].slots) == 2
+
+
+class TestDeterminism:
+    def test_pipeline_metrics_reproducible(self):
+        from repro.protocols.setup import run_distributed_setup
+        from repro.scenarios import perturbed_grid_scenario
+
+        sc = perturbed_grid_scenario(
+            width=9, height=9, hole_count=1, hole_scale=2.0, seed=40
+        )
+        a = run_distributed_setup(sc.points, seed=40)
+        b = run_distributed_setup(sc.points, seed=40)
+        assert a.total_rounds == b.total_rounds
+        assert a.metrics.total_messages == b.metrics.total_messages
+        assert a.rounds_by_stage() == b.rounds_by_stage()
+
+    def test_different_seed_different_tree(self):
+        from repro.protocols.setup import run_distributed_setup
+        from repro.scenarios import perturbed_grid_scenario
+
+        sc = perturbed_grid_scenario(
+            width=9, height=9, hole_count=1, hole_scale=2.0, seed=41
+        )
+        a = run_distributed_setup(sc.points, seed=1)
+        b = run_distributed_setup(sc.points, seed=2)
+        # Coin flips differ ⇒ (almost surely) different trees; the
+        # abstractions however must match exactly.
+        def sig(setup):
+            return {
+                tuple(sorted(h.hull)) for h in setup.abstraction.holes
+            }
+
+        assert sig(a) == sig(b)
+
+
+class TestStorageRoles:
+    def test_boundary_nodes_store_more(self, multi_hole_instance):
+        """Theorem 1.2's storage hierarchy holds in the protocol state."""
+        from repro.protocols.setup import run_distributed_setup
+
+        sc, graph, abst = multi_hole_instance
+        setup = run_distributed_setup(sc.points, seed=0, udg=graph.udg)
+        boundary = setup.abstraction.boundary_nodes() | set(
+            setup.abstraction.outer_boundary
+        )
+        interior = set(range(sc.n)) - boundary
+        max_interior = max(setup.storage_words[v] for v in interior)
+        max_boundary = max(setup.storage_words[v] for v in boundary)
+        assert max_boundary > max_interior
+        # Interior nodes keep O(#holes) references, nothing ring-sized.
+        assert max_interior <= 2 * len(setup.abstraction.holes) + 8
+
+
+class TestRingSuiteProperties:
+    """Hypothesis: the ring suite is correct for arbitrary ring sizes."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(k=st.integers(min_value=2, max_value=80))
+    @settings(max_examples=15, deadline=None)
+    def test_full_suite_invariants(self, k):
+        from repro.geometry.convex_hull import convex_hull_indices
+
+        pts, adj, corners = synthetic_ring(k)
+        res1, res2, res3 = full_suite(pts, adj, corners)
+        positions = set()
+        expect_hull = sorted(convex_hull_indices(pts))
+        for nid, proc in res3.nodes.items():
+            for st_ in proc.slots.values():
+                assert st_.info.leader == 0
+                assert st_.info.size == k
+                positions.add(st_.info.position)
+                assert sorted(h[0] for h in st_.final_hull) == expect_hull
+        assert positions == set(range(k))

@@ -1,0 +1,163 @@
+"""Unit tests for the distributed convex hull protocol (§5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex_hull import convex_hull_indices
+from repro.protocols.hull_protocol import RingHullProcess, _merge
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingRankingProcess
+from repro.protocols.rings import run_boundary_detection
+from repro.protocols.runners import run_stage, synthetic_ring
+
+
+def run_hull_pipeline(pts, adj, corners):
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": s1.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+    res3 = run_stage(
+        pts,
+        adj,
+        RingHullProcess,
+        lambda nid: {"rank_states": s2.get(nid, {})},
+        prev_nodes=res2.nodes,
+    )
+    return res3
+
+
+class TestMergeHelper:
+    def test_merge_dedupes_by_id(self):
+        a = [(1, 0.0, 0.0, 0), (2, 1.0, 0.0, 1)]
+        b = [(2, 1.0, 0.0, 1), (3, 0.5, 1.0, 2)]
+        out = _merge(a, b)
+        ids = [h[0] for h in out]
+        assert sorted(ids) == [1, 2, 3]
+
+    def test_merge_drops_interior(self):
+        square = [
+            (1, 0.0, 0.0, 0),
+            (2, 2.0, 0.0, 1),
+            (3, 2.0, 2.0, 2),
+            (4, 0.0, 2.0, 3),
+        ]
+        inner = [(5, 1.0, 1.0, 4)]
+        out = _merge(square, inner)
+        assert sorted(h[0] for h in out) == [1, 2, 3, 4]
+
+    def test_merge_sorted_by_ring_position(self):
+        a = [(1, 0.0, 0.0, 3)]
+        b = [(2, 2.0, 0.0, 1), (3, 1.0, 2.0, 2)]
+        out = _merge(a, b)
+        assert [h[3] for h in out] == sorted(h[3] for h in out)
+
+
+class TestSyntheticRing:
+    @pytest.mark.parametrize("k", [3, 4, 8, 15, 16, 33, 100])
+    def test_circle_ring_hull_is_everything(self, k):
+        # All nodes of a circular ring are on the convex hull.
+        pts, adj, corners = synthetic_ring(k)
+        res = run_hull_pipeline(pts, adj, corners)
+        for nid, proc in res.nodes.items():
+            for st in proc.slots.items():
+                pass
+            for st in proc.slots.values():
+                assert st.final_hull is not None
+                assert len(st.final_hull) == k
+
+    @pytest.mark.parametrize("k", [16, 64, 256])
+    def test_logarithmic_rounds(self, k):
+        pts, adj, corners = synthetic_ring(k)
+        res1 = run_stage(
+            pts,
+            adj,
+            RingDoublingProcess,
+            lambda nid: {"corners": corners.get(nid, [])},
+        )
+        s1 = {nid: p.slots for nid, p in res1.nodes.items()}
+        res2 = run_stage(
+            pts,
+            adj,
+            RingRankingProcess,
+            lambda nid: {"slot_states": s1.get(nid, {})},
+            prev_nodes=res1.nodes,
+        )
+        s2 = {nid: p.slots for nid, p in res2.nodes.items()}
+        res3 = run_stage(
+            pts,
+            adj,
+            RingHullProcess,
+            lambda nid: {"rank_states": s2.get(nid, {})},
+            prev_nodes=res2.nodes,
+        )
+        assert res3.rounds <= 3 * math.ceil(math.log2(k)) + 6
+
+
+class TestDentedRing:
+    def test_dented_ring_hull_excludes_dents(self):
+        """Ring with alternating radius: inner vertices are not hull nodes."""
+        k = 24
+        pts, adj, corners = synthetic_ring(k)
+        center = pts.mean(axis=0)
+        pts = pts.copy()
+        for i in range(0, k, 4):
+            pts[i] = center + (pts[i] - center) * 0.85
+        res = run_hull_pipeline(pts, adj, corners)
+        expect = set(convex_hull_indices(pts))
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                got = {h[0] for h in st.final_hull}
+                assert got == expect
+
+    def test_hull_membership_flag(self):
+        k = 24
+        pts, adj, corners = synthetic_ring(k)
+        center = pts.mean(axis=0)
+        pts = pts.copy()
+        for i in range(0, k, 4):
+            pts[i] = center + (pts[i] - center) * 0.85
+        res = run_hull_pipeline(pts, adj, corners)
+        expect = set(convex_hull_indices(pts))
+        for nid, proc in res.nodes.items():
+            for key, st in proc.slots.items():
+                assert proc.is_hull_node(key) == (nid in expect)
+
+
+class TestOnRealHoles:
+    def test_hulls_match_oracle(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        corners, _ = run_boundary_detection(graph)
+        res = run_hull_pipeline(graph.points, graph.udg, corners)
+        from repro.graphs.faces import enumerate_faces
+
+        expect = {}
+        for walk in enumerate_faces(graph.points, graph.adjacency):
+            if len(walk) == 3 and len(set(walk)) == 3:
+                continue
+            ids = convex_hull_indices(graph.points[walk])
+            expect[(min(walk), len(walk))] = sorted(walk[i] for i in ids)
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                got = sorted(h[0] for h in st.final_hull)
+                assert got == expect[(st.info.leader, st.info.size)]
+
+    def test_hull_points_carry_positions(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        corners, _ = run_boundary_detection(graph)
+        res = run_hull_pipeline(graph.points, graph.udg, corners)
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                for nid, x, y, pos in st.final_hull:
+                    assert graph.points[nid][0] == pytest.approx(x)
+                    assert graph.points[nid][1] == pytest.approx(y)
+                    assert 0 <= pos < st.info.size

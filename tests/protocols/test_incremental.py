@@ -1,0 +1,137 @@
+"""Tests for incremental abstraction maintenance (§7 bounded movement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.incremental import (
+    IncrementalResult,
+    ring_signature,
+    run_incremental_update,
+)
+from repro.protocols.setup import run_distributed_setup
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario
+
+
+@pytest.fixture(scope="module")
+def base_setup():
+    sc = perturbed_grid_scenario(
+        width=12, height=12, hole_count=2, hole_scale=2.0, seed=7
+    )
+    setup = run_distributed_setup(sc.points, seed=7)
+    return sc, setup
+
+
+def jiggle(points, node_ids, magnitude, seed=0):
+    rng = np.random.default_rng(seed)
+    out = points.copy()
+    for i in node_ids:
+        out[i] += rng.uniform(-magnitude, magnitude, 2)
+    return out
+
+
+class TestRingSignature:
+    def test_rotation_invariant(self):
+        assert ring_signature([1, 2, 3, 4]) == ring_signature([3, 4, 1, 2])
+
+    def test_direction_sensitive(self):
+        assert ring_signature([1, 2, 3]) != ring_signature([3, 2, 1])
+
+    def test_membership_sensitive(self):
+        assert ring_signature([1, 2, 3]) != ring_signature([1, 2, 4])
+
+
+class TestCleanUpdate:
+    """Tiny interior movement: every ring reused."""
+
+    @pytest.fixture(scope="class")
+    def updated(self, base_setup):
+        sc, setup = base_setup
+        interior = [
+            i
+            for i in range(sc.n)
+            if i not in setup.abstraction.boundary_nodes()
+        ][:5]
+        pts2 = jiggle(sc.points, interior, 0.03, seed=1)
+        inc = run_incremental_update(setup, pts2, tolerance=0.15, seed=7)
+        return sc, setup, pts2, inc
+
+    def test_all_rings_reused(self, updated):
+        sc, setup, pts2, inc = updated
+        assert inc.rings_recomputed == 0
+        assert inc.rings_reused >= 1
+        assert inc.outer_reused
+
+    def test_much_cheaper_than_full(self, updated):
+        sc, setup, pts2, inc = updated
+        full = run_distributed_setup(pts2, seed=7, skip_tree=True)
+        assert inc.total_rounds < full.total_rounds / 2
+
+    def test_abstraction_matches_oracle(self, updated):
+        sc, setup, pts2, inc = updated
+        ref = build_abstraction(build_ldel(pts2))
+
+        def sigs(abst):
+            return {ring_signature(h.boundary) for h in abst.holes}
+
+        assert sigs(inc.abstraction) == sigs(ref)
+
+    def test_routing_works(self, updated):
+        sc, setup, pts2, inc = updated
+        router = hull_router(inc.abstraction)
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(sc.n, 25, rng):
+            assert router.route(s, t).reached
+
+    def test_coordinates_refreshed(self, updated):
+        sc, setup, pts2, inc = updated
+        assert np.allclose(inc.abstraction.points, pts2)
+
+
+class TestDirtyUpdate:
+    """A boundary node moves far: its ring recomputes, others are reused."""
+
+    def test_moved_ring_recomputed(self, base_setup):
+        sc, setup = base_setup
+        inner = [h for h in setup.abstraction.holes if not h.is_outer]
+        victim = inner[0].boundary[0]
+        pts2 = sc.points.copy()
+        pts2[victim] += np.array([0.25, 0.0])
+        inc = run_incremental_update(setup, pts2, tolerance=0.15, seed=7)
+        assert inc.rings_recomputed >= 1
+        ref = build_abstraction(build_ldel(pts2))
+
+        def sigs(abst):
+            return {ring_signature(h.boundary) for h in abst.holes}
+
+        assert sigs(inc.abstraction) == sigs(ref)
+
+    def test_hulls_correct_after_recompute(self, base_setup):
+        sc, setup = base_setup
+        inner = [h for h in setup.abstraction.holes if not h.is_outer]
+        victim = inner[0].boundary[0]
+        pts2 = sc.points.copy()
+        pts2[victim] += np.array([0.25, 0.0])
+        inc = run_incremental_update(setup, pts2, tolerance=0.15, seed=7)
+        ref = build_abstraction(build_ldel(pts2))
+        ref_hulls = {
+            ring_signature(h.boundary): sorted(h.hull) for h in ref.holes
+        }
+        for h in inc.abstraction.holes:
+            assert sorted(h.hull) == ref_hulls[ring_signature(h.boundary)]
+
+
+class TestGuards:
+    def test_changed_node_count_rejected(self, base_setup):
+        sc, setup = base_setup
+        with pytest.raises(ValueError):
+            run_incremental_update(setup, sc.points[:-1], seed=7)
+
+    def test_zero_movement_trivial(self, base_setup):
+        sc, setup = base_setup
+        inc = run_incremental_update(setup, sc.points, seed=7)
+        assert inc.rings_recomputed == 0
+        # only the O(1) stages + dirty check ran
+        assert set(inc.rounds_by_stage()) == {"ldel", "boundary", "dirty_check"}

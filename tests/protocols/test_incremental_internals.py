@@ -1,0 +1,75 @@
+"""Unit tests for the incremental-update internals."""
+
+import pytest
+
+from repro.protocols.incremental import _group_rings, ring_signature
+from repro.protocols.rings import RingCorner
+
+
+def corner(node, pred, succ):
+    return RingCorner(node=node, pred=pred, succ=succ, turn=0.0)
+
+
+class TestGroupRings:
+    def test_single_ring(self):
+        corners = {
+            0: [corner(0, 2, 1)],
+            1: [corner(1, 0, 2)],
+            2: [corner(2, 1, 0)],
+        }
+        rings = _group_rings(corners)
+        assert len(rings) == 1
+        assert sorted(rc.node for rc in rings[0]) == [0, 1, 2]
+
+    def test_two_disjoint_rings(self):
+        corners = {
+            0: [corner(0, 2, 1)],
+            1: [corner(1, 0, 2)],
+            2: [corner(2, 1, 0)],
+            5: [corner(5, 7, 6)],
+            6: [corner(6, 5, 7)],
+            7: [corner(7, 6, 5)],
+        }
+        rings = _group_rings(corners)
+        assert len(rings) == 2
+        sizes = sorted(len(r) for r in rings)
+        assert sizes == [3, 3]
+
+    def test_figure_eight(self):
+        corners = {
+            0: [corner(0, 2, 1), corner(0, 4, 3)],
+            1: [corner(1, 0, 2)],
+            2: [corner(2, 1, 0)],
+            3: [corner(3, 0, 4)],
+            4: [corner(4, 3, 0)],
+        }
+        rings = _group_rings(corners)
+        assert len(rings) == 2
+        node_sets = sorted(tuple(sorted(rc.node for rc in r)) for r in rings)
+        assert node_sets == [(0, 1, 2), (0, 3, 4)]
+
+    def test_ring_order_follows_succ(self):
+        corners = {
+            0: [corner(0, 3, 1)],
+            1: [corner(1, 0, 2)],
+            2: [corner(2, 1, 3)],
+            3: [corner(3, 2, 0)],
+        }
+        (ring,) = _group_rings(corners)
+        nodes = [rc.node for rc in ring]
+        k = len(nodes)
+        for i, rc in enumerate(ring):
+            assert rc.succ == nodes[(i + 1) % k]
+
+    def test_empty(self):
+        assert _group_rings({}) == []
+
+
+class TestRingSignatureMore:
+    def test_two_rings_same_nodes_different_order(self):
+        # Same node set but a different cyclic structure is a different ring.
+        assert ring_signature([1, 2, 3, 4]) != ring_signature([1, 3, 2, 4])
+
+    def test_signature_is_set_of_darts(self):
+        sig = ring_signature([5, 9, 7])
+        assert sig == frozenset({(5, 9), (9, 7), (7, 5)})

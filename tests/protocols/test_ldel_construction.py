@@ -1,0 +1,86 @@
+"""Unit tests for the distributed LDel² construction (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.ldel import build_ldel
+from repro.protocols.ldel_construction import LDelConstructionProcess
+from repro.scenarios import perturbed_grid_scenario, poisson_scenario
+from repro.simulation import HybridSimulator
+
+
+def run_construction(points, udg=None):
+    sim = HybridSimulator(points, adjacency=udg)
+    sim.spawn(lambda *a: LDelConstructionProcess(*a))
+    res = sim.run(max_rounds=20)
+    return res
+
+
+class TestAgainstCentralized:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_adjacency_identical(self, seed):
+        sc = perturbed_grid_scenario(
+            width=8, height=8, hole_count=1, hole_scale=2.0, seed=seed
+        )
+        g = build_ldel(sc.points)
+        res = run_construction(sc.points, g.udg)
+        for nid, proc in res.nodes.items():
+            assert sorted(proc.ldel_neighbors) == g.adjacency[nid]
+
+    def test_triangles_identical(self):
+        sc = perturbed_grid_scenario(
+            width=8, height=8, hole_count=1, hole_scale=2.0, seed=2
+        )
+        g = build_ldel(sc.points)
+        res = run_construction(sc.points, g.udg)
+        dist_tris = sorted(
+            {tri for p in res.nodes.values() for tri in p.accepted}
+        )
+        assert dist_tris == g.triangles
+
+    def test_gabriel_identical(self):
+        sc = perturbed_grid_scenario(width=8, height=8, hole_count=0, seed=3)
+        g = build_ldel(sc.points)
+        res = run_construction(sc.points, g.udg)
+        dist_gab = set().union(*(p.gabriel for p in res.nodes.values()))
+        assert dist_gab == g.gabriel
+
+    def test_poisson_cloud(self, poisson_instance):
+        sc, g = poisson_instance
+        res = run_construction(sc.points, g.udg)
+        for nid, proc in res.nodes.items():
+            assert sorted(proc.ldel_neighbors) == g.adjacency[nid]
+
+
+class TestComplexity:
+    def test_constant_rounds(self):
+        for width in (6, 10):
+            sc = perturbed_grid_scenario(width=width, height=width, seed=4)
+            res = run_construction(sc.points)
+            assert res.rounds <= 4
+
+    def test_symmetric_result(self):
+        sc = perturbed_grid_scenario(width=7, height=7, seed=5)
+        res = run_construction(sc.points)
+        for nid, proc in res.nodes.items():
+            for v in proc.ldel_neighbors:
+                assert nid in res.nodes[v].ldel_neighbors
+
+
+class TestEdgeCases:
+    def test_isolated_node(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [5.0, 5.8]])
+        res = run_construction(pts)
+        assert res.nodes[0].ldel_neighbors == set()
+        assert res.nodes[1].ldel_neighbors == {2}
+
+    def test_two_nodes(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0]])
+        res = run_construction(pts)
+        assert res.nodes[0].ldel_neighbors == {1}
+
+    def test_triangle(self):
+        pts = np.array([[0.0, 0.0], [0.8, 0.0], [0.4, 0.6]])
+        res = run_construction(pts)
+        assert res.nodes[0].ldel_neighbors == {1, 2}
+        assert all(len(p.accepted) == 1 for p in res.nodes.values())

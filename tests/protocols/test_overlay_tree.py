@@ -1,0 +1,160 @@
+"""Unit tests for the overlay tree (§5.5): construction and broadcast."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.overlay_tree import (
+    ClusterMergeProcess,
+    TreeBroadcastProcess,
+    phase_budget,
+)
+from repro.protocols.runners import run_until_quiet
+from repro.simulation import HybridSimulator
+
+
+def build_tree(points, adjacency, seed=0):
+    sim = HybridSimulator(points, adjacency=adjacency)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: ClusterMergeProcess(
+            nid, pos, nbrs, nbrp, seed=seed
+        )
+    )
+    res = sim.run(max_rounds=20000)
+    return res
+
+
+def tree_shape(res):
+    parents = {nid: p.parent for nid, p in res.nodes.items()}
+    children = {nid: list(p.children) for nid, p in res.nodes.items()}
+    return parents, children
+
+
+def depth_of(parents, nid):
+    d = 0
+    while parents[nid] is not None:
+        nid = parents[nid]
+        d += 1
+        if d > len(parents):
+            return -1  # cycle
+    return d
+
+
+class TestPhaseBudget:
+    def test_grows_linearly(self):
+        assert phase_budget(0) == 8
+        assert phase_budget(5) - phase_budget(4) == 2
+
+    def test_total_quadratic(self):
+        total = sum(phase_budget(p) for p in range(10))
+        assert total == 2 * sum(range(10)) + 8 * 10
+
+
+class TestTreeConstruction:
+    @pytest.fixture(scope="class")
+    def built(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        res = build_tree(graph.points, graph.udg, seed=1)
+        return graph, res
+
+    def test_single_root(self, built):
+        graph, res = built
+        parents, _ = tree_shape(res)
+        roots = [nid for nid, p in parents.items() if p is None]
+        assert len(roots) == 1
+
+    def test_parent_child_consistency(self, built):
+        graph, res = built
+        parents, children = tree_shape(res)
+        for nid, par in parents.items():
+            if par is not None:
+                assert nid in children[par]
+        for nid, chs in children.items():
+            for c in chs:
+                assert parents[c] == nid
+
+    def test_no_cycles_and_spanning(self, built):
+        graph, res = built
+        parents, _ = tree_shape(res)
+        for nid in parents:
+            assert depth_of(parents, nid) >= 0
+
+    def test_logarithmic_height(self, built):
+        graph, res = built
+        parents, _ = tree_shape(res)
+        n = len(parents)
+        height = max(depth_of(parents, nid) for nid in parents)
+        assert height <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_polylog_rounds(self, built):
+        graph, res = built
+        n = len(res.nodes)
+        # O(log² n) with the phase-budget constants.
+        logn = math.log2(n)
+        assert res.rounds <= 6 * logn * logn + 80
+
+    def test_all_finished(self, built):
+        graph, res = built
+        assert res.completed
+
+    def test_deterministic(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        r1 = build_tree(graph.points, graph.udg, seed=2)
+        r2 = build_tree(graph.points, graph.udg, seed=2)
+        assert tree_shape(r1)[0] == tree_shape(r2)[0]
+
+
+class TestTreeBroadcast:
+    @pytest.fixture(scope="class")
+    def tree(self, one_hole_instance):
+        sc, graph, _ = one_hole_instance
+        res = build_tree(graph.points, graph.udg, seed=3)
+        parents, children = tree_shape(res)
+        return graph, parents, children
+
+    def _run_broadcast(self, graph, parents, children, items):
+        sim = HybridSimulator(graph.points, adjacency=graph.udg)
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: TreeBroadcastProcess(
+                nid,
+                pos,
+                nbrs,
+                nbrp,
+                tree_parent=parents[nid],
+                tree_children=children[nid],
+                initial_items=items.get(nid, {}),
+            )
+        )
+        return run_until_quiet(sim)
+
+    def test_everyone_receives_everything(self, tree):
+        graph, parents, children = tree
+        items = {
+            0: {("a", 1): [1, 2]},
+            5: {("b", 2): [3]},
+            17: {("c", 3): [4, 5, 6]},
+        }
+        res = self._run_broadcast(graph, parents, children, items)
+        for proc in res.nodes.values():
+            assert len(proc.received) == 3
+
+    def test_no_items_no_traffic(self, tree):
+        graph, parents, children = tree
+        res = self._run_broadcast(graph, parents, children, {})
+        assert res.metrics.total_messages == 0
+
+    def test_broadcast_rounds_bounded_by_diameter(self, tree):
+        graph, parents, children = tree
+        items = {3: {("x", 0): [0]}}
+        res = self._run_broadcast(graph, parents, children, items)
+        height = max(depth_of(parents, nid) for nid in parents)
+        assert res.rounds <= 2 * height + 3
+
+    def test_message_count_linear(self, tree):
+        """Each node receives each item exactly once: #messages = n-1 per item."""
+        graph, parents, children = tree
+        items = {3: {("x", 0): [0]}}
+        res = self._run_broadcast(graph, parents, children, items)
+        n = len(res.nodes)
+        assert res.metrics.total_messages == n - 1

@@ -1,0 +1,128 @@
+"""Unit tests for the pointer-jumping protocol (§5.2)."""
+
+import math
+
+import pytest
+
+from repro.protocols.pointer_jumping import Agg, Link, RingDoublingProcess
+from repro.protocols.rings import reference_corners, run_boundary_detection
+from repro.protocols.runners import run_stage, synthetic_ring
+from repro.simulation import HybridSimulator
+
+
+def run_doubling_on_ring(k):
+    pts, adj, corners = synthetic_ring(k)
+    res = run_stage(
+        pts,
+        adj,
+        RingDoublingProcess,
+        lambda nid: {"corners": corners.get(nid, [])},
+    )
+    return res
+
+
+class TestAgg:
+    def test_combine(self):
+        a = Agg(min_id=5, count=2, angle=0.5)
+        b = Agg(min_id=3, count=4, angle=-0.2)
+        c = a.combine(b)
+        assert c.min_id == 3
+        assert c.count == 6
+        assert c.angle == pytest.approx(0.3)
+
+    def test_combine_associative(self):
+        a = Agg(1, 1, 0.1)
+        b = Agg(2, 2, 0.2)
+        c = Agg(0, 3, 0.3)
+        left = a.combine(b).combine(c)
+        right = a.combine(b.combine(c))
+        assert left.min_id == right.min_id
+        assert left.count == right.count
+        assert left.angle == pytest.approx(right.angle)
+
+
+class TestSyntheticRings:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7, 8, 16, 33, 64, 100])
+    def test_leader_is_min_id(self, k):
+        res = run_doubling_on_ring(k)
+        for nid, proc in res.nodes.items():
+            for key, st in proc.slots.items():
+                assert st.converged_level is not None
+                assert st.leader == 0  # min node id on a 0..k-1 ring
+
+    @pytest.mark.parametrize("k", [8, 64, 256])
+    def test_logarithmic_rounds(self, k):
+        res = run_doubling_on_ring(k)
+        assert res.rounds <= 2 * math.ceil(math.log2(k)) + 4
+
+    @pytest.mark.parametrize("k", [4, 16, 64])
+    def test_constant_messages_per_round_per_node(self, k):
+        res = run_doubling_on_ring(k)
+        # Each node hosts one slot and sends at most 4 messages per round
+        # (two ring0 + two jump directions).
+        assert res.metrics.max_node_round_messages <= 4
+
+    @pytest.mark.parametrize("k", [5, 16, 50])
+    def test_links_cover_all_levels(self, k):
+        res = run_doubling_on_ring(k)
+        min_levels = math.ceil(math.log2(k)) - 1
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                top = st.succ_links[-1].level
+                assert top >= min_levels - 1
+                levels = [l.level for l in st.succ_links]
+                assert levels == list(range(len(levels)))
+
+    def test_level0_links_are_ring_neighbors(self):
+        k = 12
+        res = run_doubling_on_ring(k)
+        for nid, proc in res.nodes.items():
+            st = list(proc.slots.values())[0]
+            assert st.succ_links[0].node == (nid + 1) % k
+            assert st.pred_links[0].node == (nid - 1) % k
+
+    def test_angle_aggregates(self):
+        k = 16
+        res = run_doubling_on_ring(k)
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                # Each level-j arc sums 2^j equal turns of 2π/k.
+                for link in st.succ_links:
+                    expect = (2 * math.pi / k) * (2**link.level)
+                    assert link.agg.angle == pytest.approx(expect)
+                    assert link.agg.count == 2**link.level
+
+
+class TestOnRealHoles:
+    def test_leaders_match_face_minima(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        corners, _ = run_boundary_detection(graph)
+        res = run_stage(
+            graph.points,
+            graph.udg,
+            RingDoublingProcess,
+            lambda nid: {"corners": corners.get(nid, [])},
+        )
+        from repro.graphs.faces import enumerate_faces
+
+        expect = {}
+        for walk in enumerate_faces(graph.points, graph.adjacency):
+            if len(walk) == 3 and len(set(walk)) == 3:
+                continue
+            leader = min(walk)
+            k = len(walk)
+            for i in range(k):
+                expect[(walk[i], walk[(i + 1) % k])] = leader
+        for nid, proc in res.nodes.items():
+            for key, st in proc.slots.items():
+                assert st.leader == expect[key]
+
+    def test_nodes_without_corners_trivially_done(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        res = run_stage(
+            graph.points,
+            graph.udg,
+            RingDoublingProcess,
+            lambda nid: {"corners": []},
+        )
+        assert res.rounds == 0 or res.completed

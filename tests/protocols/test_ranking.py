@@ -1,0 +1,148 @@
+"""Unit tests for ring ranking and hole classification (§5.2/§5.4)."""
+
+import math
+
+import pytest
+
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.ranking import RingInfo, RingRankingProcess
+from repro.protocols.rings import run_boundary_detection
+from repro.protocols.runners import run_stage, synthetic_ring
+
+
+def run_rank_on_ring(k):
+    pts, adj, corners = synthetic_ring(k)
+    res1 = run_stage(
+        pts, adj, RingDoublingProcess, lambda nid: {"corners": corners.get(nid, [])}
+    )
+    states = {nid: p.slots for nid, p in res1.nodes.items()}
+    res2 = run_stage(
+        pts,
+        adj,
+        RingRankingProcess,
+        lambda nid: {"slot_states": states.get(nid, {})},
+        prev_nodes=res1.nodes,
+    )
+    return res1, res2
+
+
+class TestRingInfo:
+    def test_is_hole_sign(self):
+        assert RingInfo(leader=0, size=4, position=0, total_angle=2 * math.pi).is_hole
+        assert not RingInfo(
+            leader=0, size=4, position=0, total_angle=-2 * math.pi
+        ).is_hole
+
+
+class TestSyntheticRings:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8, 16, 33, 100])
+    def test_size_and_positions(self, k):
+        _, res = run_rank_on_ring(k)
+        positions = set()
+        for nid, proc in res.nodes.items():
+            for st in proc.slots.values():
+                assert st.info is not None
+                assert st.info.size == k
+                assert st.info.leader == 0
+                positions.add(st.info.position)
+        assert positions == set(range(k))
+
+    @pytest.mark.parametrize("k", [4, 16, 64])
+    def test_positions_follow_ring_order(self, k):
+        _, res = run_rank_on_ring(k)
+        # Node i sits at ring position i (leader 0 at position 0, succ
+        # direction = increasing node index on the synthetic ring).
+        for nid, proc in res.nodes.items():
+            for st in proc.slots.values():
+                assert st.info.position == nid
+
+    @pytest.mark.parametrize("k", [8, 32, 128])
+    def test_total_angle_ccw(self, k):
+        _, res = run_rank_on_ring(k)
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                assert st.info.total_angle == pytest.approx(2 * math.pi)
+                assert st.info.is_hole
+
+    @pytest.mark.parametrize("k", [16, 128])
+    def test_logarithmic_rounds(self, k):
+        _, res = run_rank_on_ring(k)
+        assert res.rounds <= 6 * math.ceil(math.log2(k)) + 8
+
+
+class TestOnRealGraph:
+    @pytest.fixture(scope="class")
+    def ranked(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        corners, _ = run_boundary_detection(graph)
+        res1 = run_stage(
+            graph.points,
+            graph.udg,
+            RingDoublingProcess,
+            lambda nid: {"corners": corners.get(nid, [])},
+        )
+        states = {nid: p.slots for nid, p in res1.nodes.items()}
+        res2 = run_stage(
+            graph.points,
+            graph.udg,
+            RingRankingProcess,
+            lambda nid: {"slot_states": states.get(nid, {})},
+            prev_nodes=res1.nodes,
+        )
+        return graph, res2
+
+    def test_exactly_one_outer_ring(self, ranked):
+        graph, res = ranked
+        outer = set()
+        holes = set()
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                key = (st.info.leader, st.info.size)
+                if st.info.is_hole:
+                    holes.add(key)
+                else:
+                    outer.add(key)
+        assert len(outer) == 1
+
+    def test_hole_count_matches_faces(self, ranked, multi_hole_instance):
+        sc, graph_, abst = multi_hole_instance
+        graph, res = ranked
+        holes = set()
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                if st.info.is_hole:
+                    holes.add((st.info.leader, st.info.size))
+        from repro.graphs.faces import find_holes
+
+        hs = find_holes(graph)
+        assert len(holes) == len(hs.inner)
+
+    def test_angle_magnitude(self, ranked):
+        graph, res = ranked
+        for proc in res.nodes.values():
+            for st in proc.slots.values():
+                assert abs(abs(st.info.total_angle) - 2 * math.pi) < 1e-6
+
+    def test_boundary_order_reconstruction(self, ranked):
+        """Sorting slots by position reproduces each face walk."""
+        graph, res = ranked
+        rings = {}
+        for nid, proc in res.nodes.items():
+            for st in proc.slots.values():
+                rings.setdefault((st.info.leader, st.info.size), {})[
+                    st.info.position
+                ] = nid
+        from repro.graphs.faces import enumerate_faces
+
+        walks = {}
+        for walk in enumerate_faces(graph.points, graph.adjacency):
+            if len(walk) == 3 and len(set(walk)) == 3:
+                continue
+            walks[(min(walk), len(walk))] = walk
+        for key, by_pos in rings.items():
+            walk = walks[key]
+            k = len(walk)
+            ordered = [by_pos[i] for i in range(k)]
+            # Same cycle up to rotation.
+            i = walk.index(ordered[0])
+            assert ordered == walk[i:] + walk[:i]

@@ -1,0 +1,109 @@
+"""Unit tests for boundary detection and ring slots."""
+
+import math
+
+import pytest
+
+from repro.protocols.rings import (
+    RingCorner,
+    SlotId,
+    reference_corners,
+    run_boundary_detection,
+)
+
+
+def corner_set(corners):
+    return {
+        (rc.node, rc.pred, rc.succ)
+        for rcs in corners.values()
+        for rc in rcs
+    }
+
+
+class TestSlotId:
+    def test_key(self):
+        assert SlotId(3, 7).key() == (3, 7)
+
+    def test_hashable_unique(self):
+        assert SlotId(1, 2) == SlotId(1, 2)
+        assert SlotId(1, 2) != SlotId(2, 1)
+
+
+class TestRingCorner:
+    def test_slot_and_pred_hint(self):
+        rc = RingCorner(node=5, pred=4, succ=6, turn=0.1)
+        assert rc.slot == SlotId(5, 6)
+        assert rc.pred_slot_hint == SlotId(4, 5)
+
+
+class TestReferenceCorners:
+    def test_hole_corners_match_faces(self, multi_hole_instance):
+        from repro.graphs.faces import enumerate_faces
+
+        sc, graph, _ = multi_hole_instance
+        corners = reference_corners(graph)
+        faces = enumerate_faces(graph.points, graph.adjacency)
+        nontriangle_darts = 0
+        for walk in faces:
+            if len(walk) == 3 and len(set(walk)) == 3:
+                continue
+            nontriangle_darts += len(walk)
+        assert sum(len(v) for v in corners.values()) == nontriangle_darts
+
+    def test_turn_sum_is_pm_2pi(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        corners = reference_corners(graph)
+        # Group corners into rings by following succ pointers.
+        by_slot = {
+            (rc.node, rc.succ): rc for rcs in corners.values() for rc in rcs
+        }
+        seen = set()
+        for key, rc in by_slot.items():
+            if key in seen:
+                continue
+            total = 0.0
+            cur = rc
+            while True:
+                seen.add((cur.node, cur.succ))
+                total += cur.turn
+                nxt = None
+                for cand in corners.get(cur.succ, []):
+                    if cand.pred == cur.node:
+                        nxt = cand
+                        break
+                assert nxt is not None, "broken ring"
+                cur = nxt
+                if (cur.node, cur.succ) == key:
+                    break
+            assert abs(abs(total) - 2 * math.pi) < 1e-6
+
+
+class TestDistributedDetection:
+    def test_matches_reference(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        dist, sim = run_boundary_detection(graph)
+        assert corner_set(dist) == corner_set(reference_corners(graph))
+
+    def test_constant_rounds(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        _, sim = run_boundary_detection(graph)
+        assert sim.metrics.rounds <= 2
+
+    def test_hole_free_graph_has_only_outer_corners(self, flat_instance):
+        sc, graph = flat_instance
+        dist, _ = run_boundary_detection(graph)
+        ref = reference_corners(graph)
+        assert corner_set(dist) == corner_set(ref)
+        # Only the outer face contributes: every corner node is on the
+        # geometric boundary strip of the region.
+        for rcs in dist.values():
+            for rc in rcs:
+                x, y = graph.points[rc.node]
+                assert (
+                    x < 1.5 or y < 1.5 or x > sc.width - 1.5 or y > sc.height - 1.5
+                )
+
+    def test_concave_hole(self, concave_hole_instance):
+        sc, graph, _ = concave_hole_instance
+        dist, _ = run_boundary_detection(graph)
+        assert corner_set(dist) == corner_set(reference_corners(graph))

@@ -1,0 +1,114 @@
+"""Unit tests for RoutingNodeProcess internals (node-local decisions)."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.routing_protocol import RoutingDirectory, RoutingNodeProcess
+from repro.simulation import HybridSimulator
+
+
+@pytest.fixture(scope="module")
+def node_zero(multi_hole_instance):
+    sc, graph, abst = multi_hole_instance
+    directory = RoutingDirectory(abst)
+    sim = HybridSimulator(graph.points, adjacency=graph.udg)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+            nid,
+            pos,
+            nbrs,
+            nbrp,
+            directory=directory,
+            ldel_neighbors=graph.adjacency.get(nid, []),
+            requests=[],
+        )
+    )
+    return graph, abst, sim
+
+
+class TestGreedyNext:
+    def test_moves_closer(self, node_zero):
+        from repro.geometry.primitives import distance
+
+        graph, abst, sim = node_zero
+        proc = sim.nodes[0]
+        goal = len(graph.points) - 1
+        nxt = proc._greedy_next(goal)
+        if nxt is not None:
+            assert distance(graph.points[nxt], graph.points[goal]) < distance(
+                graph.points[0], graph.points[goal]
+            )
+
+    def test_none_at_goal_neighbors(self, node_zero):
+        graph, abst, sim = node_zero
+        proc = sim.nodes[0]
+        # Greedy toward itself: no neighbor is closer than distance 0.
+        assert proc._greedy_next(0) is None
+
+    def test_adjacent_goal_selected(self, node_zero):
+        graph, abst, sim = node_zero
+        proc = sim.nodes[0]
+        nbr = graph.adjacency[0][0]
+        assert proc._greedy_next(nbr) == nbr
+
+
+class TestDirectoryPlanFrom:
+    def test_plan_structure(self, node_zero):
+        graph, abst, sim = node_zero
+        directory = sim.nodes[0].directory
+        boundary = sorted(abst.boundary_nodes())
+        plan = directory.plan_from(boundary[0], len(graph.points) - 1, set())
+        assert plan is not None
+        for kind, nodes in plan:
+            assert kind in ("chew", "arc")
+            assert len(nodes) >= 2
+
+    def test_plan_respects_banned(self, node_zero):
+        graph, abst, sim = node_zero
+        directory = sim.nodes[0].directory
+        boundary = sorted(abst.boundary_nodes())
+        src, dst = boundary[0], len(graph.points) - 1
+        plan = directory.plan_from(src, dst, set())
+        chew_legs = [n for k, n in plan if k == "chew"]
+        if not chew_legs:
+            pytest.skip("no chew leg to ban")
+        banned = {frozenset(chew_legs[0])}
+        plan2 = directory.plan_from(src, dst, banned)
+        assert plan2 is not None
+        for kind, nodes in plan2:
+            if kind == "chew":
+                assert frozenset(nodes) not in banned
+
+    def test_arc_legs_carry_full_paths(self, node_zero):
+        graph, abst, sim = node_zero
+        directory = sim.nodes[0].directory
+        hole = next(h for h in abst.holes if not h.is_outer)
+        src = hole.boundary[0]
+        dst = hole.boundary[len(hole.boundary) // 2]
+        plan = directory.plan_from(src, dst, set())
+        assert plan is not None
+        for kind, nodes in plan:
+            if kind == "arc":
+                for a, b in zip(nodes, nodes[1:]):
+                    assert graph.has_edge(a, b)
+
+
+class TestRequestKnowledge:
+    def test_requests_grant_target_knowledge(self, multi_hole_instance):
+        """§1.2: (s, t) ∈ E for every routing request."""
+        sc, graph, abst = multi_hole_instance
+        directory = RoutingDirectory(abst)
+        sim = HybridSimulator(graph.points, adjacency=graph.udg)
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+                nid,
+                pos,
+                nbrs,
+                nbrp,
+                directory=directory,
+                ldel_neighbors=graph.adjacency.get(nid, []),
+                requests=[42] if nid == 0 else [],
+            )
+        )
+        assert 42 in sim.nodes[0].knowledge
+        assert 42 not in sim.nodes[1].knowledge

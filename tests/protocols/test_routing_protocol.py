@@ -1,0 +1,158 @@
+"""Tests for the distributed routing protocol execution."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.routing_protocol import (
+    DeliveryRecord,
+    RoutingDirectory,
+    RoutingNodeProcess,
+)
+from repro.protocols.runners import run_until_quiet
+from repro.routing import hull_router, sample_pairs
+from repro.simulation import HybridSimulator
+
+
+def run_routing(graph, abstraction, pairs, max_rounds=4000):
+    directory = RoutingDirectory(abstraction)
+    requests = {}
+    for s, t in pairs:
+        requests.setdefault(s, []).append(t)
+    sim = HybridSimulator(graph.points, adjacency=graph.udg)
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+            nid,
+            pos,
+            nbrs,
+            nbrp,
+            directory=directory,
+            ldel_neighbors=graph.adjacency.get(nid, []),
+            requests=requests.get(nid, []),
+        )
+    )
+    res = run_until_quiet(sim, max_rounds=max_rounds)
+    records = {}
+    for nid, proc in res.nodes.items():
+        for rec in proc.delivered:
+            records[(rec.source, rec.target)] = rec
+    return res, records
+
+
+@pytest.fixture(scope="module")
+def routed(multi_hole_instance):
+    sc, graph, abst = multi_hole_instance
+    rng = np.random.default_rng(3)
+    pairs = sample_pairs(len(graph.points), 30, rng)
+    res, records = run_routing(graph, abst, pairs)
+    return graph, abst, pairs, res, records
+
+
+class TestDelivery:
+    def test_everything_delivered(self, routed):
+        graph, abst, pairs, res, records = routed
+        for s, t in pairs:
+            assert (s, t) in records, f"pair {s}->{t} undelivered"
+            assert records[(s, t)].delivered
+
+    def test_hops_are_adhoc_edges(self, routed):
+        graph, abst, pairs, res, records = routed
+        for rec in records.values():
+            for a, b in zip(rec.hops, rec.hops[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_hops_start_and_end_correctly(self, routed):
+        graph, abst, pairs, res, records = routed
+        for (s, t), rec in records.items():
+            assert rec.hops[0] == s
+            assert rec.hops[-1] == t
+
+
+class TestChannelUsage:
+    def test_two_long_range_messages_per_request(self, routed):
+        graph, abst, pairs, res, records = routed
+        # One pos_request + one pos_reply per pair; payload travels ad hoc.
+        assert res.metrics.long_range.messages == 2 * len(pairs)
+
+    def test_payload_only_adhoc(self, routed):
+        graph, abst, pairs, res, records = routed
+        assert res.metrics.adhoc.messages >= sum(
+            len(r.hops) - 1 for r in records.values()
+        )
+
+
+class TestAgainstCentralizedRouter:
+    def test_lengths_comparable(self, routed):
+        from repro.geometry.primitives import distance
+
+        graph, abst, pairs, res, records = routed
+        router = hull_router(abst)
+        for s, t in pairs:
+            rec = records[(s, t)]
+            dist_len = sum(
+                distance(graph.points[a], graph.points[b])
+                for a, b in zip(rec.hops, rec.hops[1:])
+            )
+            central = router.route(s, t)
+            cent_len = central.length(graph.points)
+            # Greedy leg execution vs Chew leg execution: same waypoints,
+            # slightly different micro-paths.
+            assert dist_len <= max(cent_len * 1.6, cent_len + 2.0)
+
+    def test_latency_rounds_tracks_hops(self, routed):
+        graph, abst, pairs, res, records = routed
+        for rec in records.values():
+            # one round per hop after the 2-round handshake
+            assert rec.rounds <= len(rec.hops) + 2
+
+
+class TestConcaveBays(object):
+    def test_bay_traffic_delivered(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        if len(bay.interior) < 2:
+            pytest.skip("bay too small")
+        pairs = [
+            (bay.interior[0], bay.interior[-1]),
+            (bay.interior[0], 0),
+            (0, bay.interior[-1]),
+        ]
+        res, records = run_routing(graph, abst, pairs)
+        for pair in pairs:
+            assert pair in records and records[pair].delivered
+
+
+class TestVisibilityDirectory:
+    def test_section3_knowledge_also_works(self, multi_hole_instance):
+        """The §3 variant (visibility graph of boundary nodes) delivers too."""
+        sc, graph, abst = multi_hole_instance
+        rng = np.random.default_rng(9)
+        pairs = sample_pairs(len(graph.points), 15, rng)
+        directory = RoutingDirectory(abst, mode="visibility")
+        requests = {}
+        for s, t in pairs:
+            requests.setdefault(s, []).append(t)
+        sim = HybridSimulator(graph.points, adjacency=graph.udg)
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+                nid,
+                pos,
+                nbrs,
+                nbrp,
+                directory=directory,
+                ldel_neighbors=graph.adjacency.get(nid, []),
+                requests=requests.get(nid, []),
+            )
+        )
+        res = run_until_quiet(sim, max_rounds=4000)
+        delivered = {
+            (r.source, r.target)
+            for p in res.nodes.values()
+            for r in p.delivered
+        }
+        assert delivered == set(pairs)
+
+    def test_unknown_mode_rejected(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        with pytest.raises(ValueError):
+            RoutingDirectory(abst, mode="teleport")

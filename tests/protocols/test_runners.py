@@ -1,0 +1,110 @@
+"""Tests for protocol stage runners and synthetic rings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols.pointer_jumping import RingDoublingProcess
+from repro.protocols.runners import (
+    StagePipeline,
+    run_stage,
+    run_until_quiet,
+    synthetic_ring,
+)
+from repro.simulation import HybridSimulator, NodeProcess
+
+
+class TestSyntheticRing:
+    def test_shape(self):
+        pts, adj, corners = synthetic_ring(12)
+        assert pts.shape == (12, 2)
+        assert set(adj) == set(range(12))
+        assert all(len(corners[i]) == 1 for i in range(12))
+
+    def test_edges_within_radius(self):
+        from repro.geometry.primitives import distance
+
+        pts, adj, corners = synthetic_ring(20)
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                assert distance(pts[u], pts[v]) <= 1.0
+
+    def test_corner_structure(self):
+        pts, adj, corners = synthetic_ring(8)
+        for i in range(8):
+            rc = corners[i][0]
+            assert rc.pred == (i - 1) % 8
+            assert rc.succ == (i + 1) % 8
+            assert rc.turn == pytest.approx(2 * math.pi / 8)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_ring(1)
+
+
+class _Noop(NodeProcess):
+    def on_round(self, ctx, inbox):
+        self.done = True
+
+
+class TestRunStage:
+    def test_basic(self):
+        pts, adj, corners = synthetic_ring(6)
+        res = run_stage(pts, adj, _Noop, lambda nid: {})
+        assert res.completed
+
+    def test_knowledge_carryover(self):
+        pts, adj, corners = synthetic_ring(6)
+        res1 = run_stage(pts, adj, _Noop, lambda nid: {})
+        res1.nodes[0].knowledge.add(999)  # pretend an introduction happened
+
+        class Checker(_Noop):
+            pass
+
+        res2 = run_stage(
+            pts, adj, Checker, lambda nid: {}, prev_nodes=res1.nodes
+        )
+        assert 999 in res2.nodes[0].knowledge
+
+
+class TestStagePipeline:
+    def test_metrics_accumulate(self):
+        pts, adj, corners = synthetic_ring(16)
+        pipe = StagePipeline(pts, adj)
+        pipe.run(
+            "doubling",
+            RingDoublingProcess,
+            lambda nid: {"corners": corners.get(nid, [])},
+        )
+        assert pipe.stage_metrics["doubling"]["rounds"] > 0
+        assert pipe.metrics.rounds == pipe.stage_metrics["doubling"]["rounds"]
+
+    def test_multiple_stages_sum(self):
+        pts, adj, corners = synthetic_ring(16)
+        pipe = StagePipeline(pts, adj)
+        pipe.run("a", _Noop, lambda nid: {})
+        pipe.run("b", _Noop, lambda nid: {})
+        assert set(pipe.stage_metrics) == {"a", "b"}
+        assert pipe.metrics.rounds == sum(
+            int(v["rounds"]) for v in pipe.stage_metrics.values()
+        )
+
+
+class TestRunUntilQuiet:
+    def test_stops_on_quiescence(self):
+        class Chatter(NodeProcess):
+            """Sends one message in start, then goes quiet."""
+
+            def start(self, ctx):
+                if self.neighbors:
+                    ctx.send_adhoc(self.neighbors[0], "hi")
+
+            def on_round(self, ctx, inbox):
+                pass  # never sets done
+
+        pts, adj, corners = synthetic_ring(6)
+        sim = HybridSimulator(pts, adjacency=adj)
+        sim.spawn(lambda *a: Chatter(*a))
+        res = run_until_quiet(sim, max_rounds=100)
+        assert res.rounds <= 3

@@ -1,0 +1,173 @@
+"""Integration tests: the full distributed pipeline vs the centralized oracle."""
+
+import math
+
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import run_distributed_setup
+from repro.scenarios import perturbed_grid_scenario
+
+
+def hole_signature(abst):
+    """Canonical {rotated boundary: (hull, is_outer)} map."""
+    out = {}
+    for h in abst.holes:
+        b = h.boundary
+        i = b.index(min(b))
+        out[tuple(b[i:] + b[:i])] = (tuple(sorted(h.hull)), h.is_outer)
+    return out
+
+
+@pytest.fixture(scope="module")
+def setup_result():
+    sc = perturbed_grid_scenario(
+        width=12, height=12, hole_count=2, hole_scale=2.0, seed=7
+    )
+    res = run_distributed_setup(sc.points, seed=7)
+    graph = build_ldel(sc.points)
+    ref = build_abstraction(graph)
+    return sc, res, ref
+
+
+class TestPipelineCorrectness:
+    def test_hole_boundaries_match(self, setup_result):
+        sc, res, ref = setup_result
+        assert set(hole_signature(res.abstraction)) == set(hole_signature(ref))
+
+    def test_hulls_match(self, setup_result):
+        sc, res, ref = setup_result
+        sd, sr = hole_signature(res.abstraction), hole_signature(ref)
+        for k, (hull, outer) in sd.items():
+            assert sr[k][0] == hull
+            assert sr[k][1] == outer
+
+    def test_ldel_matches(self, setup_result):
+        sc, res, ref = setup_result
+        assert res.abstraction.graph.adjacency == ref.graph.adjacency
+        assert res.abstraction.graph.triangles == ref.graph.triangles
+
+    def test_bay_arcs_match_reference(self, setup_result):
+        sc, res, ref = setup_result
+
+        def bays(abst):
+            out = {}
+            for h in abst.holes:
+                for b in h.bays:
+                    out[(b.corner_a, b.corner_b)] = tuple(b.arc)
+            return out
+
+        assert bays(res.abstraction) == bays(ref)
+
+    def test_dominating_sets_valid(self, setup_result):
+        sc, res, _ = setup_result
+        for h in res.abstraction.holes:
+            for bay in h.bays:
+                ds = set(bay.dominating_set)
+                assert ds <= set(bay.arc)
+                arc = bay.arc
+                for i, v in enumerate(arc):
+                    nbrs = [arc[j] for j in (i - 1, i + 1) if 0 <= j < len(arc)]
+                    assert v in ds or any(u in ds for u in nbrs)
+
+    def test_hull_distribution_reaches_everyone(self, setup_result):
+        sc, res, _ = setup_result
+        expected = len(res.abstraction.holes)
+        assert res.hulls_received
+        assert all(v == expected for v in res.hulls_received.values())
+
+    def test_tree_single_root(self, setup_result):
+        sc, res, _ = setup_result
+        roots = [nid for nid, p in res.tree_parent.items() if p is None]
+        assert len(roots) == 1
+
+
+class TestPipelineComplexity:
+    def test_stage_rounds_polylog(self, setup_result):
+        sc, res, _ = setup_result
+        n = sc.n
+        logn = math.log2(n)
+        rounds = res.rounds_by_stage()
+        assert rounds["ldel"] <= 4
+        assert rounds["boundary"] <= 2
+        for stage in ("ring_doubling", "ring_ranking", "ring_hulls"):
+            assert rounds[stage] <= 8 * logn
+        assert rounds["tree"] <= 8 * logn * logn
+        assert rounds["hull_distribution"] <= 4 * logn
+
+    def test_total_rounds_accumulated(self, setup_result):
+        sc, res, _ = setup_result
+        assert res.total_rounds == sum(res.rounds_by_stage().values())
+
+    def test_polylog_work_per_node(self, setup_result):
+        sc, res, _ = setup_result
+        n = sc.n
+        # Max messages any node sent across the whole pipeline: polylog·
+        # structure-size, far below n.
+        assert res.metrics.max_work_per_node() < n
+
+    def test_storage_recorded(self, setup_result):
+        sc, res, _ = setup_result
+        assert set(res.storage_words) == set(range(sc.n))
+        assert all(v >= 1 for v in res.storage_words.values())
+
+
+class TestNoHoleCloud:
+    def test_pipeline_on_hole_free_cloud(self):
+        sc = perturbed_grid_scenario(width=7, height=7, hole_count=0, seed=9)
+        res = run_distributed_setup(sc.points, seed=9)
+        assert all(not h.is_outer is None for h in res.abstraction.holes)
+        # No inner holes.
+        assert all(h.is_outer for h in res.abstraction.holes)
+
+
+class TestSection55Clique:
+    def test_hull_nodes_form_a_clique_in_E(self, setup_result):
+        """§5.5: after the hull distribution every node knows every hull
+        corner's ID — in particular the hull nodes form a clique in E and
+        can exchange long-range messages directly."""
+        sc, res, _ = setup_result
+        hull_ids = res.abstraction.hull_nodes()
+        assert hull_ids
+        # This is checked on the *protocol* knowledge sets, not the
+        # assembled artifact: re-run the distribution and inspect.
+        from repro.protocols.overlay_tree import TreeBroadcastProcess
+        from repro.protocols.runners import run_until_quiet
+        from repro.protocols.setup import _hull_summaries
+        from repro.simulation import HybridSimulator
+
+        # (Cheap replay using the stored tree.)
+        import numpy as np
+
+        pts = res.abstraction.points
+        sim = HybridSimulator(pts, adjacency=res.abstraction.graph.udg)
+        # Rebuild the items the leaders injected, via the public pipeline
+        # output: every hole's hull is known, leaders are min boundary ids.
+        items = {}
+        for h in res.abstraction.holes:
+            leader = min(h.boundary)
+            key = ("replay", h.hole_id, 0)
+            items.setdefault(leader, {})[key] = {
+                "value": [[v] for v in h.hull],
+                "intro": list(h.hull),
+            }
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: TreeBroadcastProcess(
+                nid,
+                pos,
+                nbrs,
+                nbrp,
+                tree_parent=res.tree_parent[nid],
+                tree_children=res.tree_children[nid],
+                initial_items=items.get(nid, {}),
+            )
+        )
+        # Leaders must know their hull ids to introduce them (they do, from
+        # the hull protocol); seed accordingly for the replay.
+        for leader, its in items.items():
+            for item in its.values():
+                sim.nodes[leader].knowledge.update(item["intro"])
+        bres = run_until_quiet(sim)
+        for nid, proc in bres.nodes.items():
+            assert hull_ids <= proc.knowledge, f"node {nid} missing hull ids"

@@ -1,0 +1,101 @@
+"""Tests for the packaged verification module."""
+
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import run_distributed_setup
+from repro.protocols.verification import (
+    VerificationReport,
+    verify_abstraction,
+    verify_setup,
+)
+from repro.scenarios import perturbed_grid_scenario
+
+
+@pytest.fixture(scope="module")
+def verified_setup():
+    sc = perturbed_grid_scenario(
+        width=10, height=10, hole_count=1, hole_scale=2.0, seed=70
+    )
+    return sc, run_distributed_setup(sc.points, seed=70)
+
+
+class TestHappyPath:
+    def test_setup_verifies(self, verified_setup):
+        sc, setup = verified_setup
+        report = verify_setup(setup)
+        assert report.ok, report.describe()
+        assert len(report.checked) >= 8
+
+    def test_centralized_verifies_against_itself(self, verified_setup):
+        sc, setup = verified_setup
+        abst = build_abstraction(build_ldel(sc.points))
+        report = verify_abstraction(abst)
+        assert report.ok
+
+    def test_describe_format(self, verified_setup):
+        sc, setup = verified_setup
+        text = verify_setup(setup).describe()
+        assert "0 problems" in text
+
+
+class TestDetectsCorruption:
+    def test_detects_hull_corruption(self, verified_setup):
+        import copy
+
+        sc, setup = verified_setup
+        broken = copy.deepcopy(setup)
+        hole = next(h for h in broken.abstraction.holes if not h.is_outer)
+        hole.hull = hole.hull[:-1]  # drop a hull corner
+        report = verify_setup(broken)
+        assert not report.ok
+        assert any("hull differs" in p for p in report.problems)
+
+    def test_detects_missing_hole(self, verified_setup):
+        import copy
+
+        sc, setup = verified_setup
+        broken = copy.deepcopy(setup)
+        broken.abstraction.holes = broken.abstraction.holes[1:]
+        report = verify_setup(broken)
+        assert not report.ok
+        assert any("missing" in p for p in report.problems)
+
+    def test_detects_bad_dominating_set(self, verified_setup):
+        import copy
+
+        sc, setup = verified_setup
+        broken = copy.deepcopy(setup)
+        for h in broken.abstraction.holes:
+            for bay in h.bays:
+                if len(bay.arc) >= 4:
+                    bay.dominating_set = []  # nothing dominates
+                    report = verify_setup(broken)
+                    assert not report.ok
+                    assert any("not dominated" in p for p in report.problems)
+                    return
+        pytest.skip("no bay large enough to break")
+
+    def test_detects_tree_cycle(self, verified_setup):
+        import copy
+
+        sc, setup = verified_setup
+        broken = copy.deepcopy(setup)
+        root = next(n for n, p in broken.tree_parent.items() if p is None)
+        child = broken.tree_children[root][0]
+        broken.tree_parent[root] = child  # cycle root <-> child
+        report = verify_setup(broken)
+        assert not report.ok
+        assert any("cycle" in p or "roots" in p for p in report.problems)
+
+    def test_detects_incomplete_distribution(self, verified_setup):
+        import copy
+
+        sc, setup = verified_setup
+        broken = copy.deepcopy(setup)
+        some = next(iter(broken.hulls_received))
+        broken.hulls_received[some] = 0
+        report = verify_setup(broken)
+        assert not report.ok
+        assert any("hull summaries" in p for p in report.problems)

@@ -1,0 +1,135 @@
+"""Unit tests for bay-area structures (§4.3/§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import point_in_polygon
+from repro.routing.bay_routing import (
+    BayLocation,
+    bay_waypoint_structures,
+    extreme_points,
+    locate_node,
+    locate_point,
+)
+
+
+class TestLocate:
+    def test_hull_corner_counts_outside(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer)
+        for corner in hole.hull:
+            assert locate_node(abst, corner) is None
+
+    def test_bay_interior_located(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        for idx, bay in enumerate(hole.bays):
+            for v in bay.interior:
+                loc = locate_node(abst, v)
+                assert loc is not None
+                assert loc.hole_id == hole.hole_id
+                assert loc.bay_index == idx
+
+    def test_far_node_outside(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hulls = abst.hull_polygons()
+        for v in range(0, len(abst.points), 37):
+            inside_any = any(
+                len(hp) >= 3 and point_in_polygon(abst.points[v], hp, include_boundary=False)
+                for hp in hulls
+            )
+            if not inside_any:
+                assert locate_node(abst, v) is None
+
+    def test_locate_point_in_bay_region(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        centroid = abst.points[bay.arc].mean(axis=0)
+        # The arc centroid usually sits in the bay polygon; tolerate the
+        # nearest-bay fallback when it lands inside the hole itself.
+        loc = locate_point(abst, centroid)
+        if loc is not None:
+            assert loc.hole_id == hole.hole_id
+
+
+class TestBayStructures:
+    def test_groups_subset_of_arcs(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        groups, arcs = bay_waypoint_structures(abst)
+        for hole in abst.holes:
+            for idx, bay in enumerate(hole.bays):
+                key = (hole.hole_id, idx)
+                assert set(groups[key]) <= set(bay.arc)
+
+    def test_corners_in_groups(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        groups, _ = bay_waypoint_structures(abst)
+        for hole in abst.holes:
+            for idx, bay in enumerate(hole.bays):
+                group = groups[(hole.hole_id, idx)]
+                assert bay.corner_a in group
+                assert bay.corner_b in group
+
+    def test_dominating_set_in_groups(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        groups, _ = bay_waypoint_structures(abst)
+        for hole in abst.holes:
+            for idx, bay in enumerate(hole.bays):
+                assert set(bay.dominating_set) <= set(groups[(hole.hole_id, idx)])
+
+    def test_arc_edges_chain_the_group(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        groups, arcs = bay_waypoint_structures(abst)
+        for key, group in groups.items():
+            edges = arcs[key]
+            if len(group) < 2:
+                continue
+            # consecutive group members are linked and paths stay on the arc
+            assert len(edges) == len(group) - 1
+            for u, v, path in edges:
+                assert path[0] == u and path[-1] == v
+
+    def test_arc_edge_paths_are_graph_paths(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        _, arcs = bay_waypoint_structures(abst)
+        for edges in arcs.values():
+            for u, v, path in edges:
+                for a, b in zip(path, path[1:]):
+                    assert graph.has_edge(a, b)
+
+
+class TestExtremePoints:
+    def test_whole_arc_default(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        ep = extreme_points(abst, bay)
+        assert ep[0] == bay.arc[0]
+        assert ep[-1] == bay.arc[-1]
+        assert set(ep) <= set(bay.arc)
+
+    def test_sub_arc(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        if len(bay.arc) < 4:
+            pytest.skip("bay too small")
+        start, end = bay.arc[1], bay.arc[-2]
+        ep = extreme_points(abst, bay, start, end)
+        assert ep[0] == start and ep[-1] == end
+
+    def test_arc_order_preserved(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        ep = extreme_points(abst, bay)
+        positions = [bay.arc.index(v) for v in ep]
+        assert positions == sorted(positions)
+
+    def test_two_node_subarc(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        ep = extreme_points(abst, bay, bay.arc[0], bay.arc[1])
+        assert ep == bay.arc[:2]

@@ -1,0 +1,143 @@
+"""Unit tests for Chew's algorithm (the corridor routing primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.geometry.visibility import is_visible
+from repro.routing.chew import ChewResult, chew_route, crossed_edges
+from repro.routing import sample_pairs
+
+
+class TestCrossedEdges:
+    def test_ordered_by_param(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(len(graph.points), 10, rng):
+            crossings = crossed_edges(graph, s, t)
+            params = [p for p, _ in crossings]
+            assert params == sorted(params)
+
+    def test_no_incident_edges(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(len(graph.points), 10, rng):
+            for _, (u, v) in crossed_edges(graph, s, t):
+                assert s not in (u, v) and t not in (u, v)
+
+    def test_adjacent_pair_no_crossings_needed(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        s = 0
+        t = graph.adjacency[0][0]
+        res = chew_route(graph, s, t)
+        assert res.reached and res.path == [s, t]
+
+
+class TestChewBasics:
+    def test_trivial_same_node(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        res = chew_route(graph, 5, 5)
+        assert res.reached and res.path == [5]
+
+    def test_path_uses_graph_edges(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(len(graph.points), 25, rng):
+            res = chew_route(graph, s, t)
+            for a, b in zip(res.path, res.path[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_path_starts_at_source(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(3)
+        for s, t in sample_pairs(len(graph.points), 25, rng):
+            res = chew_route(graph, s, t)
+            assert res.path[0] == s
+            if res.reached:
+                assert res.path[-1] == t
+            else:
+                assert res.path[-1] == res.blocked_at
+
+    def test_path_in_corridor(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(4)
+        for s, t in sample_pairs(len(graph.points), 25, rng):
+            res = chew_route(graph, s, t)
+            assert set(res.path) <= res.corridor | {s, t}
+
+
+class TestChewCompetitiveness:
+    def test_visible_pairs_reach_under_bound(self, multi_hole_instance):
+        """Theorem 2.11: visible pairs are delivered within 5.9·‖st‖."""
+        sc, graph, abst = multi_hole_instance
+        obstacles = [p for p in abst.boundary_polygons() if len(p) >= 3]
+        rng = np.random.default_rng(5)
+        checked = 0
+        for s, t in sample_pairs(len(graph.points), 120, rng):
+            if not is_visible(graph.points[s], graph.points[t], obstacles):
+                continue
+            res = chew_route(graph, s, t)
+            assert res.reached, f"visible pair {s}->{t} not delivered"
+            stretch = res.length(graph.points) / distance(
+                graph.points[s], graph.points[t]
+            )
+            assert stretch <= 5.9
+            checked += 1
+        assert checked >= 20
+
+    def test_hole_free_instance_everything_reaches(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(6)
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            res = chew_route(graph, s, t)
+            assert res.reached
+
+
+class TestChewBlocking:
+    def test_blocked_pairs_cross_a_hole(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        obstacles = [p for p in abst.boundary_polygons() if len(p) >= 3]
+        rng = np.random.default_rng(7)
+        blocked = 0
+        for s, t in sample_pairs(len(graph.points), 100, rng):
+            res = chew_route(graph, s, t)
+            if res.reached:
+                continue
+            blocked += 1
+            assert not is_visible(
+                graph.points[s], graph.points[t], obstacles
+            ), f"blocked despite visibility: {s}->{t}"
+        assert blocked > 0  # the instance does produce case-2 traffic
+
+    def test_blocked_at_is_boundary_node(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        boundary = abst.boundary_nodes()
+        rng = np.random.default_rng(8)
+        for s, t in sample_pairs(len(graph.points), 80, rng):
+            res = chew_route(graph, s, t)
+            if not res.reached and res.blocked_at != s:
+                assert res.blocked_at in boundary
+
+
+class TestCrossedEdgesPrefilterSound:
+    def test_matches_bruteforce(self, multi_hole_instance):
+        """The bbox prefilter in crossed_edges cannot miss a crossing: LDel
+        edges have length ≤ 1, so any properly crossing edge has both
+        endpoints within 1 of the segment's bounding box."""
+        from repro.geometry.predicates import segments_properly_intersect
+
+        sc, graph, _ = multi_hole_instance
+        pts = graph.points
+        rng = np.random.default_rng(11)
+        for s, t in sample_pairs(len(pts), 12, rng):
+            got = {e for _, e in crossed_edges(graph, s, t)}
+            want = set()
+            for u, nbrs in graph.adjacency.items():
+                for v in nbrs:
+                    if v <= u or u in (s, t) or v in (s, t):
+                        continue
+                    if segments_properly_intersect(
+                        pts[s], pts[t], pts[u], pts[v]
+                    ):
+                        want.add((u, v))
+            assert got == want, f"{s}->{t}"

@@ -1,0 +1,108 @@
+"""Unit tests for the competitiveness evaluation harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.routing.competitiveness import (
+    CompetitivenessReport,
+    PairRecord,
+    evaluate_routing,
+    sample_pairs,
+)
+
+
+class TestPairRecord:
+    def test_stretch(self):
+        r = PairRecord(0, 1, True, path_length=2.0, optimal=1.0)
+        assert r.stretch == pytest.approx(2.0)
+
+    def test_stretch_undelivered_inf(self):
+        r = PairRecord(0, 1, False, path_length=0.0, optimal=1.0)
+        assert r.stretch == math.inf
+
+    def test_stretch_zero_optimal(self):
+        r = PairRecord(0, 1, True, path_length=0.0, optimal=0.0)
+        assert r.stretch == math.inf
+
+
+class TestReport:
+    def _mk(self):
+        rep = CompetitivenessReport()
+        rep.records = [
+            PairRecord(0, 1, True, 2.0, 1.0, case="1"),
+            PairRecord(0, 2, True, 1.0, 1.0, case="1", used_fallback=True),
+            PairRecord(0, 3, False, 0.0, 1.0, case="2"),
+        ]
+        return rep
+
+    def test_delivery_rate(self):
+        assert self._mk().delivery_rate == pytest.approx(2 / 3)
+
+    def test_fallback_rate(self):
+        assert self._mk().fallback_rate == pytest.approx(1 / 3)
+
+    def test_stretches_only_delivered(self):
+        assert self._mk().stretches() == [2.0, 1.0]
+
+    def test_summary(self):
+        s = self._mk().summary()
+        assert s["pairs"] == 3
+        assert s["stretch_mean"] == pytest.approx(1.5)
+        assert s["stretch_max"] == pytest.approx(2.0)
+
+    def test_by_case(self):
+        by = self._mk().by_case()
+        assert set(by) == {"1", "2"}
+        assert len(by["1"].records) == 2
+
+    def test_empty_report(self):
+        rep = CompetitivenessReport()
+        assert math.isnan(rep.delivery_rate)
+        s = rep.summary()
+        assert s["pairs"] == 0
+
+
+class TestSamplePairs:
+    def test_count_and_distinctness(self):
+        rng = np.random.default_rng(0)
+        pairs = sample_pairs(50, 30, rng)
+        assert len(pairs) == 30
+        assert all(s != t for s, t in pairs)
+
+    def test_deterministic(self):
+        assert sample_pairs(50, 10, np.random.default_rng(1)) == sample_pairs(
+            50, 10, np.random.default_rng(1)
+        )
+
+
+class TestEvaluateRouting:
+    def test_against_oracle_routing(self, flat_instance):
+        """Routing along the true shortest path gives stretch exactly 1."""
+        from repro.graphs.shortest_paths import euclidean_shortest_path
+
+        sc, graph = flat_instance
+        pts, udg = graph.points, graph.udg
+
+        def oracle(s, t):
+            path, _ = euclidean_shortest_path(pts, udg, s, t)
+            return path, True, "oracle", False
+
+        rng = np.random.default_rng(2)
+        pairs = sample_pairs(len(pts), 20, rng)
+        rep = evaluate_routing(pts, udg, oracle, pairs)
+        assert rep.delivery_rate == 1.0
+        assert rep.summary()["stretch_max"] == pytest.approx(1.0)
+
+    def test_failures_recorded(self, flat_instance):
+        sc, graph = flat_instance
+
+        def refuse(s, t):
+            return [s], False, "none", False
+
+        rng = np.random.default_rng(3)
+        pairs = sample_pairs(len(graph.points), 10, rng)
+        rep = evaluate_routing(graph.points, graph.udg, refuse, pairs)
+        assert rep.delivery_rate == 0.0
+        assert rep.stretches() == []

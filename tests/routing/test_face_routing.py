@@ -1,0 +1,79 @@
+"""Unit tests for greedy–face routing (the online comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import sample_pairs
+from repro.routing.face_routing import greedy_face_route
+
+
+class TestDelivery:
+    def test_always_delivers_multi_hole(self, multi_hole_instance):
+        """Face recovery on a connected planar graph guarantees delivery."""
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(len(graph.points), 120, rng):
+            res = greedy_face_route(graph.points, graph.adjacency, s, t)
+            assert res.reached, f"face routing failed {s}->{t}: {res.failure}"
+
+    def test_always_delivers_concave(self, concave_hole_instance):
+        sc, graph, _ = concave_hole_instance
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(len(graph.points), 80, rng):
+            res = greedy_face_route(graph.points, graph.adjacency, s, t)
+            assert res.reached
+
+    def test_flat_equals_greedy_paths(self, flat_instance):
+        from repro.routing.greedy import greedy_route
+
+        sc, graph = flat_instance
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(len(graph.points), 30, rng):
+            fr = greedy_face_route(graph.points, graph.adjacency, s, t)
+            gr = greedy_route(graph.points, graph.adjacency, s, t)
+            assert fr.reached
+            if gr.reached:
+                assert fr.path == gr.path  # no recovery needed → identical
+
+
+class TestPathValidity:
+    def test_edges_exist(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(3)
+        for s, t in sample_pairs(len(graph.points), 30, rng):
+            res = greedy_face_route(graph.points, graph.adjacency, s, t)
+            for a, b in zip(res.path, res.path[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_embedding_can_be_shared(self, multi_hole_instance):
+        from repro.graphs.faces import angular_embedding
+
+        sc, graph, _ = multi_hole_instance
+        emb = angular_embedding(graph.points, graph.adjacency)
+        res1 = greedy_face_route(
+            graph.points, graph.adjacency, 0, 50, embedding=emb
+        )
+        res2 = greedy_face_route(graph.points, graph.adjacency, 0, 50)
+        assert res1.path == res2.path
+
+
+class TestStretchBehaviour:
+    def test_detours_around_holes_are_long(self, multi_hole_instance):
+        """Face recovery walks hole perimeters: stretch well above the
+        hull-abstraction router on hole-blocked pairs (the paper's point)."""
+        from repro.geometry.visibility import is_visible
+        from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+        sc, graph, abst = multi_hole_instance
+        obstacles = [p for p in abst.boundary_polygons() if len(p) >= 3]
+        rng = np.random.default_rng(4)
+        worst = 1.0
+        for s, t in sample_pairs(len(graph.points), 100, rng):
+            if is_visible(graph.points[s], graph.points[t], obstacles):
+                continue
+            res = greedy_face_route(graph.points, graph.adjacency, s, t)
+            if not res.reached:
+                continue
+            opt = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+            worst = max(worst, res.length(graph.points) / opt)
+        assert worst > 1.0

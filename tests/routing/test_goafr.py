@@ -1,0 +1,73 @@
+"""Unit tests for the GOAFR⁺-style ellipse-bounded baseline."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.routing import goafr_route, sample_pairs
+from repro.routing.face_routing import _in_ellipse
+
+
+class TestEllipse:
+    def test_focus_inside(self):
+        assert _in_ellipse((0, 0), (0, 0), (2, 0), 2.5)
+
+    def test_far_point_outside(self):
+        assert not _in_ellipse((10, 10), (0, 0), (2, 0), 2.5)
+
+    def test_boundary(self):
+        # Point on the major axis end: sum of focal distances = major.
+        assert _in_ellipse((2.25, 0), (0, 0), (2, 0), 2.5)
+
+
+class TestGoafrDelivery:
+    def test_delivers_flat(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(len(graph.points), 40, rng):
+            r = goafr_route(graph.points, graph.adjacency, s, t)
+            assert r.reached
+
+    def test_delivers_multi_hole(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(len(graph.points), 80, rng):
+            r = goafr_route(graph.points, graph.adjacency, s, t)
+            assert r.reached, f"goafr failed {s}->{t}: {r.failure}"
+
+    def test_delivers_concave(self, concave_hole_instance):
+        sc, graph, _ = concave_hole_instance
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            r = goafr_route(graph.points, graph.adjacency, s, t)
+            assert r.reached
+
+    def test_trivial(self, flat_instance):
+        sc, graph = flat_instance
+        r = goafr_route(graph.points, graph.adjacency, 7, 7)
+        assert r.reached and r.path == [7]
+
+
+class TestGoafrPaths:
+    def test_edges_exist(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(3)
+        for s, t in sample_pairs(len(graph.points), 25, rng):
+            r = goafr_route(graph.points, graph.adjacency, s, t)
+            for a, b in zip(r.path, r.path[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_no_worse_than_plain_face_on_average(self, multi_hole_instance):
+        """The ellipse prunes the pathological detours of plain recovery."""
+        from repro.routing.face_routing import greedy_face_route
+
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(4)
+        goafr_total = face_total = 0.0
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            rg = goafr_route(graph.points, graph.adjacency, s, t)
+            rf = greedy_face_route(graph.points, graph.adjacency, s, t)
+            if rg.reached and rf.reached:
+                goafr_total += rg.length(graph.points)
+                face_total += rf.length(graph.points)
+        assert goafr_total <= face_total * 1.15

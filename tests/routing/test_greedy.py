@@ -1,0 +1,82 @@
+"""Unit tests for greedy and compass baselines."""
+
+import numpy as np
+import pytest
+
+from repro.routing import sample_pairs
+from repro.routing.greedy import RouteResult, compass_route, greedy_route
+
+
+class TestGreedy:
+    def test_delivers_without_holes(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(len(graph.points), 40, rng):
+            res = greedy_route(graph.points, graph.adjacency, s, t)
+            assert res.reached
+
+    def test_distance_strictly_decreases(self, flat_instance):
+        from repro.geometry.primitives import distance
+
+        sc, graph = flat_instance
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(len(graph.points), 20, rng):
+            res = greedy_route(graph.points, graph.adjacency, s, t)
+            ds = [distance(graph.points[v], graph.points[t]) for v in res.path]
+            assert all(a > b for a, b in zip(ds, ds[1:]))
+
+    def test_gets_stuck_at_holes(self, multi_hole_instance):
+        """The paper's motivating failure: greedy hits local minima."""
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(2)
+        outcomes = [
+            greedy_route(graph.points, graph.adjacency, s, t)
+            for s, t in sample_pairs(len(graph.points), 150, rng)
+        ]
+        stuck = [r for r in outcomes if not r.reached]
+        assert stuck, "expected greedy failures next to radio holes"
+        assert all(r.failure == "stuck" for r in stuck)
+
+    def test_trivial(self, flat_instance):
+        sc, graph = flat_instance
+        res = greedy_route(graph.points, graph.adjacency, 3, 3)
+        assert res.reached and res.path == [3]
+
+    def test_isolated_source(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        res = greedy_route(pts, {0: [], 1: []}, 0, 1)
+        assert not res.reached and res.failure == "stuck"
+
+    def test_length_helper(self, flat_instance):
+        sc, graph = flat_instance
+        res = greedy_route(graph.points, graph.adjacency, 0, 10)
+        assert res.length(graph.points) >= 0
+
+
+class TestCompass:
+    def test_delivers_without_holes(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(3)
+        delivered = 0
+        total = 0
+        for s, t in sample_pairs(len(graph.points), 40, rng):
+            res = compass_route(graph.points, graph.adjacency, s, t)
+            total += 1
+            delivered += res.reached
+        # Compass on (localized) Delaunay-like graphs delivers reliably.
+        assert delivered / total > 0.9
+
+    def test_loop_detection_terminates(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(4)
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            res = compass_route(graph.points, graph.adjacency, s, t)
+            assert res.reached or res.failure in ("loop", "stuck", "cap")
+
+    def test_paths_use_edges(self, multi_hole_instance):
+        sc, graph, _ = multi_hole_instance
+        rng = np.random.default_rng(5)
+        for s, t in sample_pairs(len(graph.points), 20, rng):
+            res = compass_route(graph.points, graph.adjacency, s, t)
+            for a, b in zip(res.path, res.path[1:]):
+                assert graph.has_edge(a, b)

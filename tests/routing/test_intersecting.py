@@ -1,0 +1,131 @@
+"""Tests for the intersecting-hulls extension (§7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.routing import (
+    adaptive_router,
+    adaptive_vertex_set,
+    hull_intersection_groups,
+    hull_router,
+    sample_pairs,
+)
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.holes import l_with_pocket
+
+
+@pytest.fixture(scope="module")
+def overlapping_instance():
+    holes = l_with_pocket((4.0, 4.0))
+    sc = perturbed_grid_scenario(width=16, height=16, holes=holes, seed=50)
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return sc, graph, abst
+
+
+class TestGroupDetection:
+    def test_assumption_violated(self, overlapping_instance):
+        sc, graph, abst = overlapping_instance
+        assert not abst.hulls_disjoint()
+
+    def test_group_found(self, overlapping_instance):
+        sc, graph, abst = overlapping_instance
+        groups = hull_intersection_groups(abst)
+        big = [g for g in groups if len(g) > 1]
+        assert len(big) == 1
+        # The group contains the two inner holes (L + pocket).
+        inner_ids = {h.hole_id for h in abst.holes if not h.is_outer}
+        assert inner_ids <= big[0]
+
+    def test_disjoint_instance_all_singletons(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        groups = hull_intersection_groups(abst)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_groups_partition_holes(self, overlapping_instance):
+        sc, graph, abst = overlapping_instance
+        groups = hull_intersection_groups(abst)
+        all_ids = sorted(h.hole_id for h in abst.holes)
+        assert sorted(i for g in groups for i in g) == all_ids
+
+
+class TestAdaptiveVertexSet:
+    def test_degraded_holes_use_boundary(self, overlapping_instance):
+        sc, graph, abst = overlapping_instance
+        vertices, degraded = adaptive_vertex_set(abst)
+        assert degraded
+        for hole in abst.holes:
+            if hole.hole_id in degraded:
+                assert set(hole.boundary) <= vertices
+            else:
+                assert set(hole.hull) <= vertices
+
+    def test_disjoint_instance_equals_hull_set(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        vertices, degraded = adaptive_vertex_set(abst)
+        assert not degraded
+        assert vertices == abst.hull_nodes()
+
+
+class TestAdaptiveRouting:
+    def test_full_delivery(self, overlapping_instance):
+        sc, graph, abst = overlapping_instance
+        router = adaptive_router(abst)
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(sc.n, 80, rng):
+            out = router.route(s, t)
+            assert out.reached
+            assert not out.used_fallback
+
+    def test_pocket_region_traffic(self, overlapping_instance):
+        """Terminals wedged between the L and its pocket hole."""
+        from repro.geometry.polygon import point_in_polygon
+
+        sc, graph, abst = overlapping_instance
+        inner = [h for h in abst.holes if not h.is_outer]
+        ell = max(inner, key=lambda h: len(h.boundary))
+        pocket = min(inner, key=lambda h: len(h.boundary))
+        hull_poly = ell.hull_polygon(abst.points)
+        wedged = [
+            v
+            for v in pocket.boundary
+            if point_in_polygon(abst.points[v], hull_poly, include_boundary=False)
+        ]
+        assert wedged, "pocket boundary should lie inside the L's hull"
+        router = adaptive_router(abst)
+        far = 0
+        for v in wedged[:4]:
+            out = router.route(v, far)
+            assert out.reached
+            out = router.route(far, v)
+            assert out.reached
+
+    def test_adaptive_not_worse_than_hull(self, overlapping_instance):
+        from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+        sc, graph, abst = overlapping_instance
+        r_hull = hull_router(abst)
+        r_adpt = adaptive_router(abst)
+        rng = np.random.default_rng(2)
+        hull_total = adpt_total = 0.0
+        for s, t in sample_pairs(sc.n, 40, rng):
+            oh = r_hull.route(s, t)
+            oa = r_adpt.route(s, t)
+            assert oa.reached
+            if oh.reached:
+                hull_total += oh.length(graph.points)
+                adpt_total += oa.length(graph.points)
+        assert adpt_total <= hull_total * 1.05
+
+    def test_identical_on_disjoint_instances(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        r_hull = hull_router(abst)
+        r_adpt = adaptive_router(abst)
+        assert set(r_adpt.planner.base_vertices) == set(
+            r_hull.planner.base_vertices
+        )
+        rng = np.random.default_rng(3)
+        for s, t in sample_pairs(sc.n, 20, rng):
+            assert r_adpt.route(s, t).path == r_hull.route(s, t).path

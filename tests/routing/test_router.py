@@ -1,0 +1,173 @@
+"""Integration tests for the hybrid router (all modes, all cases)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.shortest_paths import euclidean_shortest_path_length
+from repro.routing import (
+    HybridRouter,
+    delaunay_router,
+    hull_router,
+    sample_pairs,
+    visibility_router,
+)
+
+
+@pytest.fixture(scope="module")
+def routers(multi_hole_instance):
+    sc, graph, abst = multi_hole_instance
+    return graph, {
+        "hull": hull_router(abst),
+        "visibility": visibility_router(abst),
+        "delaunay": delaunay_router(abst),
+    }
+
+
+class TestConstruction:
+    def test_invalid_mode(self, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        with pytest.raises(ValueError):
+            HybridRouter(abst, mode="bogus")
+
+    def test_modes_choose_vertices(self, routers, multi_hole_instance):
+        sc, graph, abst = multi_hole_instance
+        _, rs = routers
+        assert set(rs["hull"].planner.base_vertices) == abst.hull_nodes()
+        assert set(rs["visibility"].planner.base_vertices) == abst.boundary_nodes()
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("mode", ["hull", "visibility", "delaunay"])
+    def test_full_delivery(self, routers, mode):
+        graph, rs = routers
+        router = rs[mode]
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(len(graph.points), 80, rng):
+            out = router.route(s, t)
+            assert out.reached, f"{mode} failed {s}->{t}"
+            assert out.path[0] == s and out.path[-1] == t
+
+    def test_paths_use_adhoc_edges(self, routers):
+        graph, rs = routers
+        rng = np.random.default_rng(1)
+        for s, t in sample_pairs(len(graph.points), 40, rng):
+            out = rs["hull"].route(s, t)
+            for a, b in zip(out.path, out.path[1:]):
+                assert graph.has_edge(a, b), f"non-edge {a}-{b} in path"
+
+    def test_no_fallbacks_on_valid_instance(self, routers):
+        graph, rs = routers
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(len(graph.points), 80, rng):
+            out = rs["hull"].route(s, t)
+            assert not out.used_fallback
+
+
+class TestCompetitiveness:
+    @pytest.mark.parametrize("mode,bound", [("hull", 35.37), ("visibility", 17.7)])
+    def test_paper_bounds_hold(self, routers, mode, bound):
+        graph, rs = routers
+        rng = np.random.default_rng(3)
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            out = rs[mode].route(s, t)
+            opt = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+            stretch = out.length(graph.points) / opt
+            assert stretch <= bound
+
+    def test_typical_stretch_small(self, routers):
+        graph, rs = routers
+        rng = np.random.default_rng(4)
+        stretches = []
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            out = rs["hull"].route(s, t)
+            opt = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+            stretches.append(out.length(graph.points) / opt)
+        assert float(np.mean(stretches)) < 1.5
+
+
+class TestCaseClassification:
+    def test_visible_case_reported(self, routers):
+        graph, rs = routers
+        router = rs["hull"]
+        s = 0
+        t = graph.adjacency[0][0]
+        out = router.route(s, t)
+        assert out.case == "visible"
+
+    def test_classify_consistency(self, routers, multi_hole_instance):
+        sc, graph_, abst = multi_hole_instance
+        graph, rs = routers
+        router = rs["hull"]
+        rng = np.random.default_rng(5)
+        for s, t in sample_pairs(len(graph.points), 30, rng):
+            case, loc_s, loc_t = router.classify(s, t)
+            if case == "1":
+                assert loc_s is None and loc_t is None
+            elif case == "2":
+                assert (loc_s is None) != (loc_t is None)
+            else:
+                assert loc_s is not None and loc_t is not None
+
+    def test_outcome_records_waypoints(self, routers):
+        graph, rs = routers
+        rng = np.random.default_rng(6)
+        saw_waypoints = False
+        for s, t in sample_pairs(len(graph.points), 60, rng):
+            out = rs["hull"].route(s, t)
+            if out.case != "visible":
+                saw_waypoints = saw_waypoints or bool(out.waypoints)
+        assert saw_waypoints
+
+
+class TestBayCases(object):
+    """Cases 2–5 on the concave (L-shaped) hole instance."""
+
+    @pytest.fixture(scope="class")
+    def bay_setup(self, concave_hole_instance):
+        sc, graph, abst = concave_hole_instance
+        router = hull_router(abst)
+        hole = next(h for h in abst.holes if not h.is_outer and h.bays)
+        bay = max(hole.bays, key=len)
+        return graph, router, hole, bay
+
+    def test_case2_into_bay(self, bay_setup):
+        graph, router, hole, bay = bay_setup
+        inner = bay.interior[len(bay.interior) // 2]
+        # target far outside
+        far = max(
+            range(len(graph.points)),
+            key=lambda v: abs(graph.points[v][0] - graph.points[inner][0]),
+        )
+        out = router.route(far, inner)
+        assert out.reached
+        out_rev = router.route(inner, far)
+        assert out_rev.reached
+
+    def test_case5_same_bay(self, bay_setup):
+        graph, router, hole, bay = bay_setup
+        if len(bay.interior) < 2:
+            pytest.skip("bay too small for case 5")
+        s = bay.interior[0]
+        t = bay.interior[-1]
+        out = router.route(s, t)
+        assert out.reached
+        case, loc_s, loc_t = router.classify(s, t)
+        assert case == "5"
+
+    def test_case4_different_bays(self, bay_setup, concave_hole_instance):
+        sc, graph_, abst = concave_hole_instance
+        graph, router, hole, bay = bay_setup
+        other = [b for b in hole.bays if b is not bay and b.interior]
+        if not other:
+            pytest.skip("only one bay with interior")
+        s = bay.interior[0]
+        t = other[0].interior[0]
+        out = router.route(s, t)
+        assert out.reached
+
+
+class TestRouteOutcome:
+    def test_length_zero_for_trivial(self, routers):
+        graph, rs = routers
+        out = rs["hull"].route(5, 5)
+        assert out.reached and out.length(graph.points) == 0.0

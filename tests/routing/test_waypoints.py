@@ -1,0 +1,142 @@
+"""Unit tests for the waypoint planner (Visibility Graph / ODG machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.bay_routing import bay_waypoint_structures
+from repro.routing.waypoints import WaypointPlanner
+
+
+@pytest.fixture(scope="module")
+def hull_planner(multi_hole_instance):
+    sc, graph, abst = multi_hole_instance
+    groups, arcs = bay_waypoint_structures(abst)
+    return abst, WaypointPlanner(
+        abst,
+        vertices=abst.hull_nodes(),
+        structure="delaunay",
+        bay_groups=groups,
+        bay_arc_edges=arcs,
+    )
+
+
+@pytest.fixture(scope="module")
+def vis_planner(multi_hole_instance):
+    sc, graph, abst = multi_hole_instance
+    return abst, WaypointPlanner(
+        abst, vertices=abst.boundary_nodes(), structure="visibility"
+    )
+
+
+class TestStaticStructure:
+    def test_base_vertices(self, hull_planner):
+        abst, planner = hull_planner
+        assert set(planner.base_vertices) == abst.hull_nodes()
+
+    def test_edges_symmetric(self, hull_planner):
+        abst, planner = hull_planner
+        for u, nbrs in planner.base_edges.items():
+            for v, leg in nbrs.items():
+                assert planner.base_edges[v][u].weight == pytest.approx(leg.weight)
+
+    def test_chew_edges_are_visible(self, hull_planner):
+        abst, planner = hull_planner
+        for u, nbrs in planner.base_edges.items():
+            for v, leg in nbrs.items():
+                if leg.kind == "chew":
+                    assert planner.visible(u, v)
+
+    def test_arc_edges_have_paths(self, hull_planner):
+        abst, planner = hull_planner
+        for u, nbrs in planner.base_edges.items():
+            for v, leg in nbrs.items():
+                if leg.kind == "arc":
+                    assert leg.path is not None
+                    assert leg.path[0] == u and leg.path[-1] == v
+
+    def test_arc_paths_follow_graph_edges(self, hull_planner):
+        abst, planner = hull_planner
+        g = abst.graph
+        for u, nbrs in planner.base_edges.items():
+            for v, leg in nbrs.items():
+                if leg.kind == "arc" and leg.path:
+                    for a, b in zip(leg.path, leg.path[1:]):
+                        assert g.has_edge(a, b)
+
+    def test_hull_perimeter_connected(self, hull_planner):
+        """Every hole can be circumnavigated via planner edges."""
+        abst, planner = hull_planner
+        for hole in abst.holes:
+            hull = hole.hull
+            for a, b in zip(hull, hull[1:] + hull[:1]):
+                if a == b:
+                    continue
+                assert b in planner.base_edges.get(a, {}), (
+                    f"hull edge {a}-{b} of hole {hole.hole_id} missing"
+                )
+
+    def test_visibility_mode_denser(self, vis_planner, hull_planner):
+        abst, vplanner = vis_planner
+        _, hplanner = hull_planner
+        v_edges = sum(len(n) for n in vplanner.base_edges.values())
+        h_edges = sum(len(n) for n in hplanner.base_edges.values())
+        assert v_edges > h_edges  # Θ(h²) vs O(h): the §4.1 space reduction
+
+
+class TestPlanning:
+    def test_plan_between_hull_nodes(self, hull_planner):
+        abst, planner = hull_planner
+        ids = planner.base_vertices
+        plan = planner.plan(ids[0], ids[-1])
+        assert plan is not None
+        assert plan.nodes[0] == ids[0] and plan.nodes[-1] == ids[-1]
+
+    def test_plan_with_terminals(self, hull_planner):
+        abst, planner = hull_planner
+        # Any two non-hull nodes as terminals.
+        hull = abst.hull_nodes()
+        others = [i for i in range(len(abst.points)) if i not in hull]
+        plan = planner.plan(others[0], others[-1])
+        assert plan is not None
+
+    def test_weight_is_sum_of_legs(self, hull_planner):
+        abst, planner = hull_planner
+        ids = planner.base_vertices
+        plan = planner.plan(ids[0], ids[-1])
+        assert plan.weight == pytest.approx(sum(l.weight for l in plan.legs))
+
+    def test_banned_edges_respected(self, hull_planner):
+        abst, planner = hull_planner
+        ids = planner.base_vertices
+        plan = planner.plan(ids[0], ids[-1])
+        chew_legs = [l for l in plan.legs if l.kind == "chew"]
+        if not chew_legs:
+            pytest.skip("no chew leg to ban")
+        banned = {frozenset((chew_legs[0].src, chew_legs[0].dst))}
+        plan2 = planner.plan(ids[0], ids[-1], banned=banned)
+        assert plan2 is not None
+        for leg in plan2.legs:
+            if leg.kind == "chew":
+                assert frozenset((leg.src, leg.dst)) not in banned
+
+    def test_bay_groups_activate(self, hull_planner):
+        abst, planner = hull_planner
+        bays = [
+            (hole, i, bay)
+            for hole in abst.holes
+            for i, bay in enumerate(hole.bays)
+            if bay.interior
+        ]
+        if not bays:
+            pytest.skip("instance has no bay with interior nodes")
+        hole, idx, bay = bays[0]
+        inner = bay.interior[0]
+        target = planner.base_vertices[0]
+        plan = planner.plan(inner, target, active_bays=[(hole.hole_id, idx)])
+        assert plan is not None
+
+    def test_same_source_target(self, hull_planner):
+        abst, planner = hull_planner
+        v = planner.base_vertices[0]
+        plan = planner.plan(v, v)
+        assert plan is not None and plan.legs == []

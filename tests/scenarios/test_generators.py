@@ -1,0 +1,99 @@
+"""Unit tests for scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_contains_any, polygons_intersect
+from repro.geometry.convex_hull import convex_hull
+from repro.graphs.udg import is_connected, max_degree, unit_disk_graph
+from repro.scenarios.generators import (
+    Scenario,
+    perturbed_grid_scenario,
+    poisson_scenario,
+    random_holes,
+)
+
+
+class TestRandomHoles:
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        holes = random_holes(rng, 20, 20, 3, 2.0)
+        assert len(holes) == 3
+
+    def test_hulls_disjoint(self):
+        rng = np.random.default_rng(1)
+        holes = random_holes(rng, 20, 20, 4, 2.0)
+        hulls = [convex_hull(h) for h in holes]
+        for i in range(len(hulls)):
+            for j in range(i + 1, len(hulls)):
+                assert not polygons_intersect(hulls[i], hulls[j])
+
+    def test_inside_region(self):
+        rng = np.random.default_rng(2)
+        holes = random_holes(rng, 15, 15, 2, 2.0)
+        for h in holes:
+            assert h[:, 0].min() >= 0 and h[:, 0].max() <= 15
+            assert h[:, 1].min() >= 0 and h[:, 1].max() <= 15
+
+    def test_impossible_raises(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            random_holes(rng, 6, 6, 10, 3.0)
+
+
+class TestPerturbedGrid:
+    def test_connected(self):
+        sc = perturbed_grid_scenario(width=10, height=10, seed=0)
+        assert is_connected(sc.udg())
+
+    def test_bounded_degree(self):
+        sc = perturbed_grid_scenario(width=10, height=10, seed=1)
+        assert max_degree(sc.udg()) <= 16
+
+    def test_holes_carved(self):
+        sc = perturbed_grid_scenario(
+            width=12, height=12, hole_count=2, hole_scale=2.0, seed=2
+        )
+        for poly in sc.hole_polygons:
+            assert not polygon_contains_any(poly, sc.points).any()
+
+    def test_connected_after_carving(self):
+        sc = perturbed_grid_scenario(
+            width=12, height=12, hole_count=2, hole_scale=2.0, seed=3
+        )
+        assert is_connected(sc.udg())
+
+    def test_deterministic(self):
+        a = perturbed_grid_scenario(width=8, height=8, hole_count=1, hole_scale=2.0, seed=4)
+        b = perturbed_grid_scenario(width=8, height=8, hole_count=1, hole_scale=2.0, seed=4)
+        assert np.allclose(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = perturbed_grid_scenario(width=8, height=8, seed=5)
+        b = perturbed_grid_scenario(width=8, height=8, seed=6)
+        assert not np.allclose(a.points[: min(a.n, b.n)], b.points[: min(a.n, b.n)])
+
+    def test_explicit_holes(self):
+        square = np.array([[4.0, 4.0], [7.0, 4.0], [7.0, 7.0], [4.0, 7.0]])
+        sc = perturbed_grid_scenario(width=11, height=11, holes=[square], seed=7)
+        assert len(sc.hole_polygons) == 1
+        assert not polygon_contains_any(square, sc.points).any()
+
+    def test_n_property(self):
+        sc = perturbed_grid_scenario(width=6, height=6, seed=8)
+        assert sc.n == len(sc.points)
+
+
+class TestPoisson:
+    def test_connected_main_component(self):
+        sc = poisson_scenario(width=10, height=10, n=500, seed=0)
+        assert is_connected(sc.udg())
+
+    def test_holes_carved(self):
+        sc = poisson_scenario(width=12, height=12, n=500, hole_count=1, seed=1)
+        for poly in sc.hole_polygons:
+            assert not polygon_contains_any(poly, sc.points).any()
+
+    def test_at_most_n_points(self):
+        sc = poisson_scenario(width=10, height=10, n=300, seed=2)
+        assert sc.n <= 300

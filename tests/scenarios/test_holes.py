@@ -1,0 +1,92 @@
+"""Unit tests for the hole shape library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex_hull import is_convex_polygon
+from repro.geometry.polygon import polygon_area, signed_area
+from repro.scenarios.holes import (
+    SHAPE_BUILDERS,
+    crescent_hole,
+    ellipse_hole,
+    l_shape_hole,
+    rectangle_hole,
+    regular_polygon_hole,
+    rotated,
+    star_hole,
+)
+
+
+class TestBasicShapes:
+    def test_rectangle(self):
+        r = rectangle_hole((5, 5), 2, 4)
+        assert r.shape == (4, 2)
+        assert signed_area(r) == pytest.approx(8.0)
+        assert is_convex_polygon(r)
+
+    def test_regular_polygon(self):
+        p = regular_polygon_hole((0, 0), 2.0, sides=8)
+        assert p.shape == (8, 2)
+        assert is_convex_polygon(p)
+        # Area approaches πr² with more sides.
+        assert polygon_area(p) < math.pi * 4
+        assert polygon_area(p) > 0.8 * math.pi * 4
+
+    def test_ellipse(self):
+        e = ellipse_hole((1, 1), 3.0, 1.0, sides=24)
+        assert e.shape == (24, 2)
+        assert is_convex_polygon(e)
+        assert polygon_area(e) == pytest.approx(math.pi * 3.0, rel=0.05)
+
+    def test_l_shape_not_convex(self):
+        L = l_shape_hole((0, 0), arm=3.0, thickness=1.0)
+        assert signed_area(L) > 0  # ccw
+        assert not is_convex_polygon(L)
+        assert polygon_area(L) == pytest.approx(3 + 2)
+
+    def test_star_not_convex(self):
+        s = star_hole((0, 0), outer=2.0, inner=1.0, spikes=5)
+        assert s.shape == (10, 2)
+        assert signed_area(s) > 0
+        assert not is_convex_polygon(s)
+
+    def test_crescent_not_convex(self):
+        c = crescent_hole((0, 0), radius=2.0, depth=0.5)
+        assert signed_area(c) > 0
+        assert not is_convex_polygon(c)
+
+
+class TestRotated:
+    def test_preserves_area(self):
+        r = rectangle_hole((3, 3), 2, 1)
+        for angle in (0.3, 1.2, math.pi / 2):
+            assert polygon_area(rotated(r, angle)) == pytest.approx(2.0)
+
+    def test_preserves_centroid(self):
+        r = rectangle_hole((3, 3), 2, 1)
+        out = rotated(r, 0.7)
+        assert np.allclose(out.mean(axis=0), r.mean(axis=0))
+
+    def test_zero_angle_identity(self):
+        r = rectangle_hole((3, 3), 2, 1)
+        assert np.allclose(rotated(r, 0.0), r)
+
+
+class TestShapeBuilders:
+    @pytest.mark.parametrize("name", sorted(SHAPE_BUILDERS))
+    def test_builders_produce_valid_polygons(self, name):
+        rng = np.random.default_rng(0)
+        poly = SHAPE_BUILDERS[name](rng, (10.0, 10.0), 3.0)
+        assert poly.ndim == 2 and poly.shape[1] == 2
+        assert len(poly) >= 4
+        assert polygon_area(poly) > 0.5
+        assert signed_area(poly) > 0  # ccw convention
+
+    @pytest.mark.parametrize("name", sorted(SHAPE_BUILDERS))
+    def test_builders_respect_scale(self, name):
+        rng = np.random.default_rng(1)
+        poly = SHAPE_BUILDERS[name](rng, (0.0, 0.0), 2.0)
+        radii = np.linalg.norm(poly - poly.mean(axis=0), axis=1)
+        assert radii.max() <= 2.0 * 1.6  # stays within ~scale

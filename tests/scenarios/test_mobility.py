@@ -1,0 +1,119 @@
+"""Unit tests for the bounded-speed mobility model (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_contains_any
+from repro.graphs.udg import is_connected, unit_disk_graph
+from repro.scenarios import MobilityModel, perturbed_grid_scenario
+
+
+@pytest.fixture(scope="module")
+def model():
+    sc = perturbed_grid_scenario(
+        width=8, height=8, hole_count=1, hole_scale=2.0, seed=1
+    )
+    return sc, MobilityModel(sc, speed=0.08, seed=2)
+
+
+class TestMobility:
+    def test_step_keeps_connectivity(self, model):
+        sc, m = model
+        for _ in range(5):
+            pts = m.step()
+            assert is_connected(unit_disk_graph(pts, radius=sc.radius))
+
+    def test_speed_bound(self, model):
+        sc, m = model
+        before = m.points.copy()
+        after = m.step()
+        disp = np.linalg.norm(after - before, axis=1)
+        assert disp.max() <= m.speed + 1e-9
+
+    def test_nodes_stay_in_region(self, model):
+        sc, m = model
+        for _ in range(5):
+            pts = m.step()
+            assert pts[:, 0].min() >= 0 and pts[:, 0].max() <= sc.width
+            assert pts[:, 1].min() >= 0 and pts[:, 1].max() <= sc.height
+
+    def test_nodes_avoid_holes(self, model):
+        sc, m = model
+        for _ in range(5):
+            pts = m.step()
+            for poly in sc.hole_polygons:
+                assert not polygon_contains_any(poly, pts).any()
+
+    def test_run_yields_steps(self, model):
+        sc, m = model
+        frames = list(m.run(3))
+        assert len(frames) == 3
+
+    def test_motion_actually_happens(self):
+        sc = perturbed_grid_scenario(width=6, height=6, seed=3)
+        m = MobilityModel(sc, speed=0.05, seed=4)
+        before = m.points.copy()
+        m.step()
+        assert not np.allclose(before, m.points)
+
+    def test_deterministic(self):
+        sc = perturbed_grid_scenario(width=6, height=6, seed=5)
+        m1 = MobilityModel(sc, speed=0.05, seed=6)
+        m2 = MobilityModel(sc, speed=0.05, seed=6)
+        assert np.allclose(m1.step(), m2.step())
+
+
+class TestChurn:
+    def test_leave_preserves_connectivity(self):
+        sc = perturbed_grid_scenario(width=7, height=7, seed=10)
+        m = MobilityModel(sc, seed=11)
+        before = len(m.points)
+        pts = m.churn(leave=10)
+        assert len(pts) == before - 10
+        assert is_connected(unit_disk_graph(pts, radius=sc.radius))
+
+    def test_join_preserves_connectivity(self):
+        sc = perturbed_grid_scenario(width=7, height=7, seed=12)
+        m = MobilityModel(sc, seed=13)
+        before = len(m.points)
+        pts = m.churn(join=15)
+        assert len(pts) == before + 15
+        assert is_connected(unit_disk_graph(pts, radius=sc.radius))
+
+    def test_joiners_stay_out_of_holes(self):
+        sc = perturbed_grid_scenario(
+            width=9, height=9, hole_count=1, hole_scale=2.0, seed=14
+        )
+        m = MobilityModel(sc, seed=15)
+        pts = m.churn(join=20)
+        for poly in sc.hole_polygons:
+            assert not polygon_contains_any(poly, pts).any()
+
+    def test_simultaneous_churn(self):
+        sc = perturbed_grid_scenario(width=7, height=7, seed=16)
+        m = MobilityModel(sc, seed=17)
+        before = len(m.points)
+        pts = m.churn(leave=5, join=8)
+        assert len(pts) == before + 3
+        assert is_connected(unit_disk_graph(pts, radius=sc.radius))
+
+    def test_setup_after_churn(self):
+        """The abstraction pipeline keeps working on the churned instance."""
+        from repro.core.abstraction import build_abstraction
+        from repro.graphs.ldel import build_ldel
+
+        sc = perturbed_grid_scenario(
+            width=9, height=9, hole_count=1, hole_scale=2.0, seed=18
+        )
+        m = MobilityModel(sc, seed=19)
+        pts = m.churn(leave=8, join=8)
+        graph = build_ldel(pts)
+        abst = build_abstraction(graph)
+        assert len([h for h in abst.holes if not h.is_outer]) >= 1
+
+    def test_step_after_churn(self):
+        sc = perturbed_grid_scenario(width=7, height=7, seed=20)
+        m = MobilityModel(sc, seed=21)
+        m.churn(leave=3, join=3)
+        pts = m.step()
+        assert is_connected(unit_disk_graph(pts, radius=sc.radius))

@@ -1,0 +1,47 @@
+"""Unit tests for the message model and word accounting."""
+
+import pytest
+
+from repro.simulation.messages import ADHOC, LONG_RANGE, Message, payload_words
+
+
+class TestPayloadWords:
+    def test_scalars(self):
+        assert payload_words(5) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words(True) == 1
+        assert payload_words("tag") == 1
+        assert payload_words(None) == 0
+
+    def test_containers(self):
+        assert payload_words([1, 2, 3]) == 3
+        assert payload_words((1, (2, 3))) == 3
+        assert payload_words({1, 2}) == 2
+
+    def test_dict_counts_values_only(self):
+        assert payload_words({"a": 1, "b": [2, 3]}) == 3
+
+    def test_nested(self):
+        assert payload_words({"hull": [[1, 0.5, 0.5], [2, 1.0, 1.0]]}) == 6
+
+
+class TestMessage:
+    def test_words_includes_envelope(self):
+        m = Message(sender=0, recipient=1, channel=ADHOC, kind="x")
+        assert m.words == 2
+
+    def test_words_with_payload_and_intro(self):
+        m = Message(
+            sender=0,
+            recipient=1,
+            channel=LONG_RANGE,
+            kind="x",
+            payload={"v": [1, 2]},
+            introduce=(5, 6),
+        )
+        assert m.words == 2 + 2 + 2
+
+    def test_frozen(self):
+        m = Message(sender=0, recipient=1, channel=ADHOC, kind="x")
+        with pytest.raises(AttributeError):
+            m.sender = 2  # type: ignore[misc]

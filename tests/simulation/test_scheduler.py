@@ -1,0 +1,251 @@
+"""Unit tests for the synchronous hybrid scheduler and model enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    HybridSimulator,
+    Message,
+    ModelViolation,
+    NodeProcess,
+)
+
+
+def line_points(n, spacing=0.9):
+    return np.array([[i * spacing, 0.0] for i in range(n)])
+
+
+class Idle(NodeProcess):
+    def on_round(self, ctx, inbox):
+        self.done = True
+
+
+class PingOnce(NodeProcess):
+    """Node 0 pings node 1 over the ad hoc channel in round 1."""
+
+    def start(self, ctx):
+        if self.node_id == 0:
+            ctx.send_adhoc(1, "ping", {"x": 42})
+
+    def on_round(self, ctx, inbox):
+        for msg in inbox:
+            assert msg.kind == "ping"
+            self.received = msg.payload["x"]
+        self.done = True
+
+
+class TestBasics:
+    def test_spawn_provides_neighbors(self):
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Idle(*a))
+        assert sim.nodes[1].neighbors == [0, 2]
+        assert sim.nodes[0].neighbor_positions[1] == (0.9, 0.0)
+
+    def test_knowledge_seeded_with_neighbors(self):
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Idle(*a))
+        assert sim.nodes[0].knowledge == {0, 1}
+        assert sim.nodes[1].knowledge == {0, 1, 2}
+
+    def test_message_delivered_next_round(self):
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: PingOnce(*a))
+        res = sim.run(max_rounds=5)
+        assert res.completed
+        assert res.rounds == 1
+        assert sim.nodes[1].received == 42
+
+    def test_timeout_raises(self):
+        class Never(NodeProcess):
+            def on_round(self, ctx, inbox):
+                pass  # never done
+
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: Never(*a))
+        with pytest.raises(RuntimeError):
+            sim.run(max_rounds=3)
+
+    def test_until_condition(self):
+        class Counter(NodeProcess):
+            rounds = 0
+
+            def on_round(self, ctx, inbox):
+                Counter.rounds += 1
+
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: Counter(*a))
+        res = sim.run(max_rounds=100, until=lambda s: s.round_no >= 5)
+        assert res.rounds == 5
+
+
+class TestModelEnforcement:
+    def test_adhoc_requires_udg_edge(self):
+        class Cheat(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_adhoc(2, "x")  # node 2 is 1.8 away
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Cheat(*a))
+        with pytest.raises(ModelViolation):
+            sim.run(max_rounds=3)
+
+    def test_long_range_requires_knowledge(self):
+        class Cheat(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_long_range(2, "x")  # 0 never learned id 2
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Cheat(*a))
+        with pytest.raises(ModelViolation):
+            sim.run(max_rounds=3)
+
+    def test_introduction_requires_knowledge(self):
+        class Cheat(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_adhoc(1, "x", introduce=[2])
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Cheat(*a))
+        with pytest.raises(ModelViolation):
+            sim.run(max_rounds=3)
+
+    def test_unknown_recipient(self):
+        class Cheat(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_adhoc(99, "x")
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: Cheat(*a))
+        with pytest.raises(ModelViolation):
+            sim.run(max_rounds=3)
+
+    def test_id_introduction_grows_knowledge(self):
+        class Introduce(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 1:
+                    # Node 1 knows 0 and 2; introduce 2 to 0.
+                    ctx.send_adhoc(0, "meet", introduce=[2])
+
+            def on_round(self, ctx, inbox):
+                if self.node_id == 0 and inbox:
+                    # Now node 0 may long-range node 2.
+                    ctx.send_long_range(2, "hello")
+                self.done = self.node_id != 2 or bool(inbox) or self.done
+                if inbox:
+                    self.done = True
+
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Introduce(*a))
+        res = sim.run(max_rounds=10)
+        assert 2 in sim.nodes[0].knowledge
+
+    def test_sender_learned_on_delivery(self):
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: PingOnce(*a))
+        sim.run(max_rounds=5)
+        assert 0 in sim.nodes[1].knowledge
+
+    def test_non_strict_allows_anything(self):
+        class Cheat(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_long_range(2, "x")
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = HybridSimulator(line_points(3), strict=False)
+        sim.spawn(lambda *a: Cheat(*a))
+        res = sim.run(max_rounds=3)
+        assert res.completed
+
+
+class TestMetricsCollection:
+    def test_counts(self):
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: PingOnce(*a))
+        res = sim.run(max_rounds=5)
+        assert res.metrics.adhoc.messages == 1
+        assert res.metrics.long_range.messages == 0
+        assert res.metrics.sent_by_node[0] == 1
+        assert res.metrics.max_work_per_node() == 1
+
+    def test_storage_by_node(self):
+        sim = HybridSimulator(line_points(3))
+        sim.spawn(lambda *a: Idle(*a))
+        res = sim.run(max_rounds=3)
+        storage = res.storage_by_node()
+        assert set(storage) == {0, 1, 2}
+        assert all(v > 0 for v in storage.values())
+
+    def test_merge(self):
+        from repro.simulation.metrics import MetricsCollector
+
+        a = MetricsCollector()
+        b = MetricsCollector()
+        m = Message(sender=0, recipient=1, channel="adhoc", kind="x")
+        a.record_send(m)
+        a.end_round()
+        b.record_send(m)
+        b.record_send(m)
+        b.end_round()
+        a.merge(b)
+        assert a.rounds == 2
+        assert a.adhoc.messages == 3
+        assert a.sent_by_node[0] == 3
+        assert a.max_node_round_messages == 2
+
+    def test_summary_keys(self):
+        from repro.simulation.metrics import MetricsCollector
+
+        s = MetricsCollector().summary()
+        assert {"rounds", "adhoc_messages", "long_range_messages"} <= set(s)
+
+
+class TestTiming:
+    def test_messages_delivered_exactly_next_round(self):
+        """§1.1: a message initiated in round i arrives at the start of
+        round i+1 — never earlier, never later."""
+        arrivals = {}
+
+        class Relay(NodeProcess):
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_adhoc(1, "hop", {"sent_round": 0})
+
+            def on_round(self, ctx, inbox):
+                for msg in inbox:
+                    arrivals[msg.payload["sent_round"]] = ctx.round_no
+                    nxt = self.node_id + 1
+                    if nxt < 3:
+                        ctx.send_adhoc(
+                            nxt, "hop", {"sent_round": ctx.round_no}
+                        )
+                if self.node_id == 2 and inbox:
+                    self.done = True
+                if self.node_id < 2:
+                    self.done = True
+
+        pts = np.array([[0.0, 0.0], [0.9, 0.0], [1.8, 0.0]])
+        sim = HybridSimulator(pts)
+        sim.spawn(lambda *a: Relay(*a))
+        sim.run(max_rounds=10)
+        # Each hop takes exactly one round.
+        assert arrivals[0] == 1
+        assert arrivals[1] == 2

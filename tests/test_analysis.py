@@ -1,0 +1,172 @@
+"""Tests for the analysis layer: tables, experiments harness, SVG rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    STRATEGIES,
+    Instance,
+    evaluate_strategy,
+    make_instance,
+    strategy_route_fn,
+)
+from repro.analysis.tables import format_table, print_table
+from repro.analysis.viz import SvgCanvas, render_scene
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "10" in out and "0.123" in out
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_large_numbers_commafied(self):
+        out = format_table([{"n": 1234567.0}])
+        assert "1,234,567" in out
+
+    def test_nan_dash(self):
+        out = format_table([{"x": float("nan")}])
+        assert "-" in out
+
+    def test_print_table(self, capsys):
+        print_table([{"x": 1}], title="T")
+        assert "T" in capsys.readouterr().out
+
+
+class TestMakeInstance:
+    def test_cached(self):
+        a = make_instance(width=9.0, height=9.0, hole_count=0, seed=1)
+        b = make_instance(width=9.0, height=9.0, hole_count=0, seed=1)
+        assert a is b
+
+    def test_different_keys_not_cached(self):
+        a = make_instance(width=9.0, height=9.0, hole_count=0, seed=1)
+        b = make_instance(width=9.0, height=9.0, hole_count=0, seed=2)
+        assert a is not b
+
+    def test_instance_fields(self):
+        inst = make_instance(width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3)
+        assert inst.n == len(inst.scenario.points)
+        assert inst.abstraction.graph is inst.graph
+
+
+class TestStrategyRouteFn:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_runnable(self, strategy):
+        inst = make_instance(width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3)
+        fn = strategy_route_fn(inst, strategy)
+        path, delivered, case, fb = fn(0, inst.n - 1)
+        assert path[0] == 0
+        assert isinstance(delivered, bool) or delivered in (0, 1)
+
+    def test_unknown_strategy(self):
+        inst = make_instance(width=9.0, height=9.0, hole_count=0, seed=1)
+        with pytest.raises(ValueError):
+            strategy_route_fn(inst, "teleport")
+
+    def test_evaluate_strategy(self):
+        inst = make_instance(width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3)
+        rep = evaluate_strategy(inst, "hull", pair_count=10, seed=4)
+        assert rep.summary()["pairs"] == 10
+        assert rep.delivery_rate == 1.0
+
+
+class TestSvg:
+    def test_canvas_roundtrip(self):
+        c = SvgCanvas(0, 0, 10, 10, width=100, margin=10)
+        x, y = c.tx((0, 0))
+        assert x == 10 and y == c.height - 10  # bottom-left maps to margin
+        c.circle((5, 5))
+        c.line((0, 0), (10, 10))
+        c.polygon([(0, 0), (1, 0), (1, 1)])
+        c.polyline([(0, 0), (5, 5)])
+        c.text((5, 5), "hi")
+        svg = c.render()
+        assert svg.count("<circle") == 1
+        assert svg.count("<line") == 1
+        assert svg.count("<polygon") == 1
+        assert svg.count("<polyline") == 1
+        assert "hi" in svg
+
+    def test_render_scene(self, one_hole_instance):
+        sc, graph, abst = one_hole_instance
+        svg = render_scene(abst, routes=[[0, 1, 2]])
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<polyline" in svg  # the route
+        assert svg.count("<circle") >= sc.n  # node dots
+
+    def test_render_scene_toggles(self, one_hole_instance):
+        sc, graph, abst = one_hole_instance
+        svg = render_scene(
+            abst, show_edges=False, show_hulls=False, show_boundaries=False
+        )
+        assert "<line" not in svg
+        assert "<polygon" not in svg
+
+
+class TestSweeps:
+    def test_grid_points(self):
+        from repro.analysis import grid_points
+
+        pts = grid_points({"a": [1, 2], "b": ["x"]})
+        assert pts == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_run_sweep_basic(self):
+        from repro.analysis import run_sweep
+
+        rows = run_sweep(
+            grid={"hole_count": [0, 1], "seed": [3]},
+            base={"width": 9.0, "height": 9.0, "hole_scale": 2.0},
+            evaluate=lambda inst, p: {"n": inst.n},
+        )
+        assert len(rows) == 2
+        assert all("n" in r and "hole_count" in r for r in rows)
+
+    def test_run_sweep_infeasible_marked(self):
+        from repro.analysis import run_sweep
+
+        rows = run_sweep(
+            grid={"hole_count": [9]},
+            base={"width": 8.0, "height": 8.0, "hole_scale": 3.0},
+            evaluate=lambda inst, p: {"n": inst.n},
+        )
+        assert rows[0].get("infeasible") is True
+
+    def test_run_sweep_infeasible_raises_when_asked(self):
+        from repro.analysis import run_sweep
+
+        with pytest.raises(ValueError):
+            run_sweep(
+                grid={"hole_count": [9]},
+                base={"width": 8.0, "height": 8.0, "hole_scale": 3.0},
+                evaluate=lambda inst, p: {},
+                skip_infeasible=False,
+            )
+
+    def test_run_sweep_without_params(self):
+        from repro.analysis import run_sweep
+
+        rows = run_sweep(
+            grid={"seed": [4]},
+            base={"width": 8.0, "height": 8.0, "hole_count": 0},
+            evaluate=lambda inst, p: {"n": inst.n},
+            include_params=False,
+        )
+        assert set(rows[0]) == {"n"}

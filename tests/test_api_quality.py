@@ -1,0 +1,71 @@
+"""API quality gates: public items documented, exports resolvable.
+
+These tests enforce the release-quality bar on the package itself: every
+module, public class and public function carries a docstring, ``__all__``
+lists resolve, and the top-level API imports cleanly.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    mod = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__ != module_name:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    if meth.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    if not (meth.__doc__ and meth.__doc__.strip()):
+                        undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module_name}: undocumented {undocumented}"
+
+
+def test_top_level_api():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+    assert repro.__version__
+
+
+def test_no_wildcard_collisions():
+    """Top-level names resolve to exactly one object (no shadowing)."""
+    seen = {}
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if name in seen:
+            assert seen[name] is obj
+        seen[name] = obj

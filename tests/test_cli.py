@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+ARGS = ["--width", "9", "--holes", "1", "--hole-scale", "2.0", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.width == 14.0
+
+    def test_route_positional(self):
+        args = build_parser().parse_args(["route", "3", "7"])
+        assert args.source == 3 and args.target == 7
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", *ARGS, "--pairs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "radio holes" in out
+        assert "stretch" in out
+
+    def test_route_runs(self, capsys):
+        assert main(["route", "0", "40", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "delivered: True" in out
+        assert "path:" in out
+
+    def test_route_bad_ids(self, capsys):
+        assert main(["route", "0", "999999", *ARGS]) == 2
+
+    def test_route_svg(self, tmp_path, capsys):
+        svg = tmp_path / "scene.svg"
+        assert main(["route", "0", "40", *ARGS, "--svg", str(svg)]) == 0
+        text = svg.read_text()
+        assert text.startswith("<svg")
+        assert "</svg>" in text
+
+    def test_bench_runs(self, capsys):
+        assert main(["bench", *ARGS, "--pairs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "hull" in out and "greedy" in out
+
+    def test_trace_runs(self, capsys):
+        assert main(["trace", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "total rounds" in out
+        assert "tree" in out

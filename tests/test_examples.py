@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the two fastest examples run here (the others exercise the same code
+paths at larger scale and are validated by the benchmark suite); each is
+executed as a real subprocess, the way a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "abstraction:" in out
+        assert "Every message is delivered" in out
+        assert "STUCK" not in out.split("greedy")[0]  # header intact
+
+    def test_intersecting_hulls(self, tmp_path):
+        svg = tmp_path / "scene.svg"
+        out = run_example("intersecting_hulls.py", str(svg))
+        assert "hulls disjoint: False" in out
+        assert "overlap groups detected" in out
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text()
+            assert text.lstrip().startswith(
+                ("#!/usr/bin/env python\n'''", '#!/usr/bin/env python\n"""')
+            ), f"{script.name} missing shebang+docstring"
+            assert "def main()" in text

@@ -1,0 +1,124 @@
+"""End-to-end integration tests: distributed pipeline → router → delivery.
+
+The full story of the paper on one instance: build everything with the
+distributed protocols, route with the hull abstraction, and compare against
+the centralized path and the theory bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_abstraction,
+    build_ldel,
+    evaluate_routing,
+    hull_router,
+    perturbed_grid_scenario,
+    run_distributed_setup,
+    sample_pairs,
+)
+from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+
+@pytest.fixture(scope="module")
+def end_to_end():
+    sc = perturbed_grid_scenario(
+        width=12, height=12, hole_count=2, hole_scale=2.0, seed=13
+    )
+    setup = run_distributed_setup(sc.points, seed=13)
+    return sc, setup
+
+
+class TestDistributedToRouting:
+    def test_router_over_distributed_abstraction(self, end_to_end):
+        sc, setup = end_to_end
+        router = hull_router(setup.abstraction)
+        graph = setup.abstraction.graph
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(sc.n, 50, rng):
+            out = router.route(s, t)
+            assert out.reached
+            assert not out.used_fallback
+
+    def test_competitiveness_over_distributed_abstraction(self, end_to_end):
+        sc, setup = end_to_end
+        router = hull_router(setup.abstraction)
+        graph = setup.abstraction.graph
+        rng = np.random.default_rng(1)
+        pairs = sample_pairs(sc.n, 40, rng)
+
+        def fn(s, t):
+            o = router.route(s, t)
+            return o.path, o.reached, o.case, o.used_fallback
+
+        rep = evaluate_routing(graph.points, graph.udg, fn, pairs)
+        summary = rep.summary()
+        assert summary["delivery_rate"] == 1.0
+        assert summary["stretch_max"] <= 35.37
+
+    def test_distributed_equals_centralized_routing(self, end_to_end):
+        """Same abstraction content ⇒ same routes."""
+        sc, setup = end_to_end
+        graph_c = build_ldel(sc.points)
+        abst_c = build_abstraction(graph_c)
+        r_dist = hull_router(setup.abstraction)
+        r_cent = hull_router(abst_c)
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(sc.n, 25, rng):
+            od = r_dist.route(s, t)
+            oc = r_cent.route(s, t)
+            assert od.reached == oc.reached
+            # Path geometry may differ only through dominating-set choices
+            # (Luby vs the every-third reference); lengths stay comparable.
+            ld = od.length(setup.abstraction.points)
+            lc = oc.length(abst_c.points)
+            assert ld <= lc * 1.5 + 1e-9
+            assert lc <= ld * 1.5 + 1e-9
+
+
+class TestTheorem12:
+    """The headline claims of Theorem 1.2, measured."""
+
+    def test_polylog_rounds(self, end_to_end):
+        sc, setup = end_to_end
+        logn = math.log2(sc.n)
+        assert setup.total_rounds <= 20 * logn * logn
+
+    def test_storage_profile_bounds(self, end_to_end):
+        sc, setup = end_to_end
+        profile = setup.abstraction.storage_profile()
+        # Hull storage tracks Σ L(c) (within a constant), not n.
+        assert profile["hull_node_words"] <= 12 * max(profile["sum_L"], 1.0)
+        # Boundary nodes: ring size tracks perimeter.
+        assert profile["boundary_node_words"] <= 8 * max(profile["max_P"], 1.0)
+
+    def test_hulls_disjoint_assumption_satisfied(self, end_to_end):
+        sc, setup = end_to_end
+        assert setup.abstraction.hulls_disjoint()
+
+
+class TestDynamicScenario:
+    """§6: after mobility, re-running everything except the tree is cheap."""
+
+    def test_recompute_without_tree(self, end_to_end):
+        from repro.scenarios import MobilityModel
+
+        sc, setup = end_to_end
+        mob = MobilityModel(sc, speed=0.04, seed=3)
+        pts2 = mob.step()
+        redo = run_distributed_setup(pts2, seed=13, skip_tree=True)
+        # No tree stage → no O(log² n) term: every remaining stage is
+        # O(log n).
+        rounds = redo.rounds_by_stage()
+        assert "tree" not in rounds
+        logn = math.log2(len(pts2))
+        for stage, r in rounds.items():
+            assert r <= 10 * logn, f"stage {stage} took {r} rounds"
+
+    def test_tree_stage_dominates_initial_setup(self, end_to_end):
+        sc, setup = end_to_end
+        rounds = setup.rounds_by_stage()
+        others = sum(v for k, v in rounds.items() if k != "tree")
+        assert rounds["tree"] > others / 2  # the O(log²) term dominates

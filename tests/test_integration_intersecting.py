@@ -1,0 +1,57 @@
+"""Integration: distributed pipeline on an assumption-violating instance.
+
+The §5 pipeline never assumed disjoint hulls (only the §4 routing analysis
+does), so it must produce a correct abstraction even for overlapping hulls —
+and the §7 adaptive router must then work on top of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import run_distributed_setup
+from repro.routing import adaptive_router, hull_intersection_groups, sample_pairs
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.holes import l_with_pocket
+
+
+@pytest.fixture(scope="module")
+def overlapping_setup():
+    holes = l_with_pocket((3.5, 3.5), arm=6.0, thickness=1.2, pocket=1.3)
+    sc = perturbed_grid_scenario(width=13, height=13, holes=holes, seed=66)
+    setup = run_distributed_setup(sc.points, seed=66)
+    return sc, setup
+
+
+class TestDistributedOnOverlap:
+    def test_pipeline_matches_oracle(self, overlapping_setup):
+        sc, setup = overlapping_setup
+        ref = build_abstraction(build_ldel(sc.points))
+
+        def sig(abst):
+            out = {}
+            for h in abst.holes:
+                b = h.boundary
+                i = b.index(min(b))
+                out[tuple(b[i:] + b[:i])] = tuple(sorted(h.hull))
+            return out
+
+        assert sig(setup.abstraction) == sig(ref)
+
+    def test_violation_detected(self, overlapping_setup):
+        sc, setup = overlapping_setup
+        assert not setup.abstraction.hulls_disjoint()
+        groups = hull_intersection_groups(setup.abstraction)
+        assert any(len(g) > 1 for g in groups)
+
+    def test_adaptive_routing_over_distributed_abstraction(
+        self, overlapping_setup
+    ):
+        sc, setup = overlapping_setup
+        router = adaptive_router(setup.abstraction)
+        rng = np.random.default_rng(0)
+        for s, t in sample_pairs(sc.n, 40, rng):
+            out = router.route(s, t)
+            assert out.reached
+            assert not out.used_fallback

@@ -1,0 +1,124 @@
+"""Cross-module property-based tests (hypothesis).
+
+These generate random *scenario parameters* (not raw point sets) so every
+example satisfies the paper's preconditions by construction, then assert the
+pipeline's global invariants.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.faces import enumerate_faces, walk_signed_area
+from repro.graphs.ldel import build_ldel
+from repro.graphs.udg import is_connected
+from repro.routing import chew_route, hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "hole_count": st.integers(min_value=0, max_value=2),
+        "hole_scale": st.floats(min_value=1.5, max_value=2.1),
+    }
+)
+
+
+def make(params):
+    from hypothesis import assume
+
+    try:
+        return perturbed_grid_scenario(
+            width=11,
+            height=11,
+            hole_count=params["hole_count"],
+            hole_scale=params["hole_scale"],
+            seed=params["seed"],
+        )
+    except ValueError:
+        # The sampled hole layout did not fit the region: skip the example
+        # (the generator's refusal is itself tested in the scenario suite).
+        assume(False)
+
+
+@given(params=scenario_params)
+@SLOW
+def test_ldel_is_connected_planar_subgraph(params):
+    sc = make(params)
+    graph = build_ldel(sc.points)
+    assert is_connected(graph.adjacency)
+    for u, nbrs in graph.adjacency.items():
+        for v in nbrs:
+            assert v in graph.udg[u]
+
+
+@given(params=scenario_params)
+@SLOW
+def test_face_walk_angles(params):
+    """Every bounded face walks ccw, exactly one face walks cw (outer)."""
+    sc = make(params)
+    graph = build_ldel(sc.points)
+    faces = enumerate_faces(graph.points, graph.adjacency)
+    negatives = [f for f in faces if walk_signed_area(graph.points, f) < 0]
+    assert len(negatives) == 1
+
+
+@given(params=scenario_params)
+@SLOW
+def test_abstraction_invariants(params):
+    sc = make(params)
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    assert len([h for h in abst.holes if not h.is_outer]) == len(sc.hole_polygons)
+    for hole in abst.holes:
+        assert set(hole.hull) <= set(hole.boundary)
+        for bay in hole.bays:
+            assert bay.arc[0] == bay.corner_a
+            assert bay.arc[-1] == bay.corner_b
+            ds = set(bay.dominating_set)
+            arc = bay.arc
+            for i, v in enumerate(arc):
+                nbrs = [arc[j] for j in (i - 1, i + 1) if 0 <= j < len(arc)]
+                assert v in ds or any(u in ds for u in nbrs)
+
+
+@given(params=scenario_params, pair_seed=st.integers(0, 1000))
+@SLOW
+def test_routing_always_delivers_within_bound(params, pair_seed):
+    sc = make(params)
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    router = hull_router(abst)
+    rng = np.random.default_rng(pair_seed)
+    from repro.graphs.shortest_paths import euclidean_shortest_path_length
+
+    for s, t in sample_pairs(sc.n, 6, rng):
+        out = router.route(s, t)
+        assert out.reached
+        opt = euclidean_shortest_path_length(graph.points, graph.udg, s, t)
+        assert out.length(graph.points) <= 35.37 * opt
+        for a, b in zip(out.path, out.path[1:]):
+            assert graph.has_edge(a, b)
+
+
+@given(params=scenario_params, pair_seed=st.integers(0, 1000))
+@SLOW
+def test_chew_never_lengthens_past_corridor(params, pair_seed):
+    sc = make(params)
+    graph = build_ldel(sc.points)
+    rng = np.random.default_rng(pair_seed)
+    for s, t in sample_pairs(sc.n, 6, rng):
+        res = chew_route(graph, s, t)
+        assert res.path[0] == s
+        assert set(res.path) <= res.corridor | {s, t}

@@ -1,0 +1,60 @@
+"""Randomized robustness sweeps: many seeds, adversarial hole shapes.
+
+Compressed versions of the exploratory sweeps used during development; they
+assert the property that matters for the release: the hull router delivers
+every message without rescue fallbacks on any assumption-satisfying
+instance, across shape families and placement randomness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario, poisson_scenario
+
+SHAPE_MIXES = [
+    ("rectangle", "polygon", "ellipse"),
+    ("l_shape",),
+    ("star",),
+    ("crescent",),
+    ("star", "l_shape"),
+]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_shape_mix_sweep(seed):
+    shapes = SHAPE_MIXES[seed % len(SHAPE_MIXES)]
+    try:
+        sc = perturbed_grid_scenario(
+            width=12,
+            height=12,
+            hole_count=2,
+            hole_scale=2.4,
+            hole_shapes=shapes,
+            seed=seed,
+        )
+    except ValueError:
+        pytest.skip("hole layout did not fit")
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    router = hull_router(abst)
+    rng = np.random.default_rng(seed)
+    for s, t in sample_pairs(sc.n, 25, rng):
+        out = router.route(s, t)
+        assert out.reached, f"shapes={shapes} seed={seed}: {s}->{t}"
+        assert not out.used_fallback
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_poisson_sweep(seed):
+    sc = poisson_scenario(width=12, height=12, n=420, hole_count=1, seed=seed)
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    router = hull_router(abst)
+    rng = np.random.default_rng(seed)
+    for s, t in sample_pairs(sc.n, 20, rng):
+        out = router.route(s, t)
+        assert out.reached
+        assert not out.used_fallback

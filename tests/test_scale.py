@@ -1,0 +1,68 @@
+"""Moderate-scale smoke tests: the pipeline at a few thousand nodes.
+
+These keep the library honest about its near-linear construction costs and
+about correctness holding beyond toy sizes; they are sized to stay well
+under a minute combined.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.graphs.udg import is_connected, max_degree
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario
+
+
+@pytest.fixture(scope="module")
+def large_instance():
+    sc = perturbed_grid_scenario(
+        width=28.0, height=28.0, hole_count=5, hole_scale=2.4, seed=77
+    )
+    t0 = time.time()
+    graph = build_ldel(sc.points)
+    build_time = time.time() - t0
+    abst = build_abstraction(graph)
+    return sc, graph, abst, build_time
+
+
+class TestScale:
+    def test_size(self, large_instance):
+        sc, graph, abst, _ = large_instance
+        assert sc.n > 2000
+
+    def test_build_time_near_linear(self, large_instance):
+        sc, graph, abst, build_time = large_instance
+        # ~2400 nodes should build in a few seconds, not minutes.
+        assert build_time < 30.0
+
+    def test_structure_invariants(self, large_instance):
+        sc, graph, abst, _ = large_instance
+        assert is_connected(graph.adjacency)
+        assert max_degree(graph.udg) <= 20
+        inner = [h for h in abst.holes if not h.is_outer]
+        assert len(inner) == len(sc.hole_polygons)
+        assert abst.hulls_disjoint()
+
+    def test_routing_at_scale(self, large_instance):
+        sc, graph, abst, _ = large_instance
+        router = hull_router(abst)
+        rng = np.random.default_rng(1)
+        t0 = time.time()
+        pairs = sample_pairs(sc.n, 40, rng)
+        for s, t in pairs:
+            out = router.route(s, t)
+            assert out.reached
+            assert not out.used_fallback
+        assert (time.time() - t0) / len(pairs) < 0.5  # seconds per route
+
+    def test_storage_still_independent_of_n(self, large_instance):
+        sc, graph, abst, _ = large_instance
+        inner = [h for h in abst.holes if not h.is_outer]
+        hull_nodes = sum(len(h.hull) for h in inner)
+        # 5 holes of scale 2.4: a few dozen hull corners, regardless of the
+        # 2400-node cloud.
+        assert hull_nodes < 100
