@@ -1,0 +1,127 @@
+"""E10 — fault tolerance: recovery overhead of the §5 pipeline under loss.
+
+Sweeps the message-loss rate (with a fixed transport retry budget) over the
+full distributed preprocessing and reports, per rate: whether the pipeline
+completed, the round overhead versus the lossless baseline, the injected
+fault volume, and end-to-end routing delivery on the surviving abstraction.
+A second table sweeps the retry budget at a fixed loss rate to locate the
+completion threshold.
+
+All plans are seeded: every row of the table is replayable as-is.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import run_distributed_setup
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario, random_fault_plan
+
+DROP_RATES = [0.0, 0.05, 0.1, 0.2, 0.3]
+RETRY_BUDGETS = [0, 2, 5, 10, 25]
+FIXED_LOSS = 0.15
+
+
+@pytest.fixture(scope="module")
+def instance():
+    sc = perturbed_grid_scenario(
+        width=9, height=9, hole_count=1, hole_scale=2.0, seed=3
+    )
+    graph = build_ldel(sc.points)
+    baseline = run_distributed_setup(sc.points, seed=3, udg=graph.udg)
+    assert baseline.ok
+    return sc, graph, baseline
+
+
+def _delivery_rate(sc, result, pairs=20, seed=1):
+    if not result.ok:
+        return 0.0
+    router = hull_router(result.abstraction)
+    rng = np.random.default_rng(seed)
+    sampled = sample_pairs(sc.n, pairs, rng)
+    return sum(1 for s, t in sampled if router.route(s, t).reached) / len(
+        sampled
+    )
+
+
+def _loss_sweep(sc, graph, baseline):
+    rows = []
+    for drop in DROP_RATES:
+        plan = random_fault_plan(
+            11, loss=drop, duplicate=drop / 5, delay=drop / 5, retries=25
+        )
+        result = run_distributed_setup(
+            sc.points, seed=3, udg=graph.udg, faults=plan
+        )
+        fs = result.fault_summary()
+        rows.append(
+            {
+                "drop": drop,
+                "ok": result.ok,
+                "rounds": result.total_rounds,
+                "overhead": round(
+                    result.total_rounds / baseline.total_rounds, 2
+                ),
+                "dropped": fs["drop"],
+                "retries": fs["retry"],
+                "recovery": fs["recovery_round"],
+                "delivery": _delivery_rate(sc, result),
+            }
+        )
+    return rows
+
+
+def _retry_sweep(sc, graph, baseline):
+    rows = []
+    for retries in RETRY_BUDGETS:
+        plan = random_fault_plan(11, loss=FIXED_LOSS, retries=retries)
+        result = run_distributed_setup(
+            sc.points, seed=3, udg=graph.udg, faults=plan
+        )
+        fs = result.fault_summary()
+        rows.append(
+            {
+                "retries": retries,
+                "ok": result.ok,
+                "failed_stage": result.failed_stage or "-",
+                "rounds": result.total_rounds,
+                "lost": fs["lost"],
+                "delivery": _delivery_rate(sc, result),
+            }
+        )
+    return rows
+
+
+def test_recovery_overhead_vs_loss(benchmark, report, instance):
+    sc, graph, baseline = instance
+    rows = run_once(benchmark, _loss_sweep, sc, graph, baseline)
+    report(
+        rows,
+        title=(
+            f"E10a: loss sweep on n={sc.n} (retries=25, "
+            f"baseline {baseline.total_rounds} rounds)"
+        ),
+    )
+    # recoverable regime: every swept rate completes with bounded overhead
+    assert all(r["ok"] for r in rows)
+    assert all(r["delivery"] == 1.0 for r in rows)
+    assert rows[0]["overhead"] == 1.0  # zero loss == clean baseline
+    for row in rows[1:]:
+        assert row["overhead"] <= 15.0
+
+
+def test_retry_budget_threshold(benchmark, report, instance):
+    sc, graph, baseline = instance
+    rows = run_once(benchmark, _retry_sweep, sc, graph, baseline)
+    report(
+        rows,
+        title=f"E10b: retry budget sweep on n={sc.n} (loss={FIXED_LOSS})",
+    )
+    # no retries + 15% loss is unrecoverable; a generous budget completes —
+    # and every failure in between is clean (a named stage, not a hang)
+    assert rows[0]["ok"] is False
+    assert rows[-1]["ok"] is True
+    for row in rows:
+        assert row["ok"] or row["failed_stage"] != "-"

@@ -6,6 +6,7 @@ Commands
 ``route``   route one source→target pair (optionally render an SVG)
 ``trace``   run the distributed §5 pipeline and print per-stage costs
 ``bench``   a quick competitiveness comparison table
+``chaos``   re-run the §5 pipeline under an injected fault plan and compare
 
 All commands accept ``--width/--holes/--seed`` to shape the instance.
 """
@@ -59,6 +60,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="quick strategy comparison")
     common(p_bench)
     p_bench.add_argument("--pairs", type=int, default=60)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="distributed pipeline under an injected fault plan"
+    )
+    common(p_chaos)
+    p_chaos.add_argument("--fault-seed", type=int, default=0)
+    p_chaos.add_argument("--drop", type=float, default=0.1, help="drop probability")
+    p_chaos.add_argument("--duplicate", type=float, default=0.0)
+    p_chaos.add_argument("--delay", type=float, default=0.0, help="delay probability")
+    p_chaos.add_argument("--max-delay", type=int, default=3)
+    p_chaos.add_argument(
+        "--retries", type=int, default=25, help="transport retransmission budget"
+    )
+    p_chaos.add_argument(
+        "--crashes", type=int, default=0, help="hole-boundary nodes to crash"
+    )
+    p_chaos.add_argument("--crash-round", type=int, default=2)
+    p_chaos.add_argument(
+        "--recover-round", type=int, default=None, help="default: never"
+    )
+    p_chaos.add_argument(
+        "--crash-stage", type=str, default=None, help="restrict crashes to one stage"
+    )
+    p_chaos.add_argument(
+        "--blackout",
+        type=str,
+        default=None,
+        metavar="START:END",
+        help="long-range outage rounds (inclusive)",
+    )
+    p_chaos.add_argument("--blackout-stage", type=str, default=None)
+    p_chaos.add_argument("--pairs", type=int, default=20)
 
     return parser
 
@@ -173,11 +206,86 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .protocols.setup import run_distributed_setup
+    from .scenarios.adversarial import hole_boundary_targets
+    from .simulation import Blackout, ChannelFaults, CrashEvent, FaultPlan
+
+    sc, graph, abst = _make(args)
+    baseline = run_distributed_setup(sc.points, seed=args.seed, udg=graph.udg)
+
+    crashes = ()
+    if args.crashes:
+        targets = hole_boundary_targets(
+            baseline.abstraction, args.crashes, seed=args.fault_seed
+        )
+        crashes = tuple(
+            CrashEvent(
+                node=v,
+                at_round=args.crash_round,
+                recover_round=args.recover_round,
+                stage=args.crash_stage,
+            )
+            for v in targets
+        )
+        print(f"crashing hole-boundary nodes: {[c.node for c in crashes]}")
+    blackouts = ()
+    if args.blackout:
+        start, _, end = args.blackout.partition(":")
+        blackouts = (
+            Blackout(start=int(start), end=int(end), stage=args.blackout_stage),
+        )
+    noise = ChannelFaults(
+        drop=args.drop,
+        duplicate=args.duplicate,
+        delay=args.delay,
+        max_delay=args.max_delay,
+    )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        adhoc=noise,
+        long_range=noise,
+        crashes=crashes,
+        blackouts=blackouts,
+        retries=args.retries,
+    )
+    faulted = run_distributed_setup(
+        sc.points, seed=args.seed, udg=graph.udg, faults=plan
+    )
+
+    rows = []
+    for stage in baseline.stage_metrics:
+        fm = faulted.stage_metrics.get(stage)
+        rows.append(
+            {
+                "stage": stage,
+                "clean_rounds": int(baseline.stage_metrics[stage]["rounds"]),
+                "faulty_rounds": "-" if fm is None else int(fm["rounds"]),
+            }
+        )
+    print(format_table(rows, title=f"pipeline under faults on n={sc.n}"))
+    injected = {k: v for k, v in faulted.fault_summary().items() if v}
+    print(f"faults injected: {injected or 'none'}")
+    print(
+        f"rounds: {baseline.total_rounds} clean -> {faulted.total_rounds} faulty"
+    )
+    if not faulted.ok:
+        print(f"setup FAILED at stage: {faulted.failed_stage}")
+        return 1
+    router = hull_router(faulted.abstraction)
+    rng = np.random.default_rng(args.seed + 1)
+    pairs = sample_pairs(sc.n, args.pairs, rng)
+    reached = sum(1 for s, t in pairs if router.route(s, t).reached)
+    print(f"setup completed under faults; delivery: {reached}/{len(pairs)}")
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "route": cmd_route,
     "trace": cmd_trace,
     "bench": cmd_bench,
+    "chaos": cmd_chaos,
 }
 
 

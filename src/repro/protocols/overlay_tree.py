@@ -181,7 +181,10 @@ class ClusterMergeProcess(NodeProcess):
         elif kind == "report":
             self._ps.child_reports[msg.sender] = (p["candidate"], p["foreign"])
         elif kind == "adopt_me":
-            self._ps.adopt_requests.append(msg.sender)
+            # Deduplicate: a duplicated delivery must not enter the binary
+            # adoption gadget twice (it would get two conflicting parents).
+            if msg.sender not in self._ps.adopt_requests:
+                self._ps.adopt_requests.append(msg.sender)
         elif kind == "adopted":
             # We (a head root) were adopted: attach at the position the tail
             # assigned within its binary adoption gadget.

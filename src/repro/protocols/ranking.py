@@ -68,6 +68,9 @@ class SlotRankState:
     acc_angle: float = 0.0
     finished: bool = False
     awaiting_reply: bool = False
+    #: chain-exchange sequence number: each rank_req carries it and the reply
+    #: echoes it, so a duplicated or stale reply cannot be spliced twice
+    req_seq: int = 0
     d_fwd: Optional[int] = None
     info: Optional[RingInfo] = None
     forwarded: bool = False
@@ -173,10 +176,15 @@ class RingRankingProcess(NodeProcess):
         all_done = True
         for st in self.slots.values():
             if not st.finished and not st.awaiting_reply:
+                st.req_seq += 1
                 ctx.send_long_range(
                     st.jump_node,
                     "rank_req",
-                    {"dst_slot": list(st.jump_slot), "src_slot": list(st.slot)},
+                    {
+                        "dst_slot": list(st.jump_slot),
+                        "src_slot": list(st.slot),
+                        "seq": st.req_seq,
+                    },
                 )
                 st.awaiting_reply = True
             if st.finished and st.is_leader_slot and not st.forwarded:
@@ -208,6 +216,7 @@ class RingRankingProcess(NodeProcess):
                 "tgt_slot": list(st.jump_slot),
                 "count": st.acc_count,
                 "angle": st.acc_angle,
+                "seq": msg.payload.get("seq", 0),
             },
             introduce=[st.jump_node] if st.jump_node >= 0 else [],
         )
@@ -217,6 +226,12 @@ class RingRankingProcess(NodeProcess):
         if st is None or st.finished:
             return
         st.got_traffic = True
+        # Splice-once guard: accept only the reply to the outstanding request.
+        # A duplicated delivery (or a duplicated rank_req producing two
+        # replies) would otherwise splice the same arc twice, inflating
+        # acc_count — and with it every ring size and hypercube position.
+        if not st.awaiting_reply or msg.payload.get("seq", 0) != st.req_seq:
+            return
         st.awaiting_reply = False
         st.acc_count += msg.payload["count"]
         st.acc_angle += msg.payload["angle"]

@@ -147,6 +147,11 @@ class RoutingNodeProcess(NodeProcess):
         self.knowledge.update(self.requests)
         self.delivered: List[DeliveryRecord] = []
         self._round = 0
+        # Idempotence under duplicated delivery: a payload's (source,
+        # target, hop trail) identifies it uniquely — forwarding is loop-
+        # free, so a redelivered copy matches exactly and is suppressed,
+        # while a legitimate replan revisit carries a longer trail.
+        self._seen: Set[Tuple[int, int, Tuple[int, ...]]] = set()
 
     # -- helpers ---------------------------------------------------------------
     def _pos_of(self, node: int) -> Tuple[float, float]:
@@ -206,6 +211,11 @@ class RoutingNodeProcess(NodeProcess):
         if hops[-1] != self.node_id:
             hops.append(self.node_id)
         state = {**state, "hops": hops}
+
+        key = (state["source"], target, tuple(hops))
+        if key in self._seen:
+            return  # duplicated delivery — already handled this copy
+        self._seen.add(key)
 
         if self.node_id == target:
             self.delivered.append(

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs.udg import Adjacency
+from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
 from ..simulation.node import NodeProcess
 from ..simulation.scheduler import HybridSimulator, SimulationResult
@@ -27,17 +28,22 @@ from .rings import RingCorner
 __all__ = ["run_stage", "run_until_quiet", "synthetic_ring", "StagePipeline"]
 
 
-def run_until_quiet(sim: HybridSimulator, max_rounds: int = 5000) -> SimulationResult:
+def run_until_quiet(
+    sim: HybridSimulator, max_rounds: int = 5000, on_timeout: str = "raise"
+) -> SimulationResult:
     """Run a simulator until no messages remain in flight.
 
     For flooding-style protocols (tree broadcast) whose processes cannot
     decide termination locally; quiescence detection is a simulation device,
     not protocol logic — a real deployment would use the standard echo
-    termination on the tree at the same asymptotic cost.
+    termination on the tree at the same asymptotic cost.  Under fault
+    injection, quiescence also waits out retransmissions and delayed
+    messages (``sim.in_flight``).
     """
     return sim.run(
         max_rounds=max_rounds,
-        until=lambda s: s.round_no > 0 and not s._outbox,
+        until=lambda s: s.round_no > 0 and not s.in_flight,
+        on_timeout=on_timeout,
     )
 
 
@@ -49,14 +55,21 @@ def run_stage(
     prev_nodes: Optional[Dict[int, NodeProcess]] = None,
     max_rounds: int = 5000,
     radius: float = 1.0,
+    faults: Optional[FaultPlan] = None,
+    stage: Optional[str] = None,
+    on_timeout: str = "raise",
 ) -> SimulationResult:
     """Run one protocol phase on the given topology.
 
     ``factory(node_id, pos, nbrs, nbr_pos, **per_node_kwargs(node_id))``
     builds each process; knowledge from ``prev_nodes`` (a prior phase's
-    processes) is inherited.
+    processes) is inherited.  ``faults``/``stage`` inject the given fault
+    plan scoped to this stage's name; ``on_timeout="fail"`` converts a
+    round-budget overrun into a clean incomplete result.
     """
-    sim = HybridSimulator(points, radius=radius, adjacency=adjacency)
+    sim = HybridSimulator(
+        points, radius=radius, adjacency=adjacency, faults=faults, stage=stage
+    )
     sim.spawn(
         lambda nid, pos, nbrs, nbrp: factory(
             nid, pos, nbrs, nbrp, **per_node_kwargs(nid)
@@ -67,18 +80,28 @@ def run_stage(
             prev = prev_nodes.get(nid)
             if prev is not None:
                 proc.knowledge |= prev.knowledge
-    return sim.run(max_rounds=max_rounds)
+    return sim.run(max_rounds=max_rounds, on_timeout=on_timeout)
 
 
 class StagePipeline:
-    """Chains protocol phases, accumulating metrics and knowledge."""
+    """Chains protocol phases, accumulating metrics and knowledge.
+
+    ``faults`` applies one plan across every stage; each stage's simulator
+    is scoped with the stage name, so plans can target events at a single
+    pipeline phase (e.g. a blackout during ``ring_doubling`` only).
+    """
 
     def __init__(
-        self, points: np.ndarray, adjacency: Adjacency, radius: float = 1.0
+        self,
+        points: np.ndarray,
+        adjacency: Adjacency,
+        radius: float = 1.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.points = points
         self.adjacency = adjacency
         self.radius = radius
+        self.faults = faults
         self.metrics = MetricsCollector()
         self.stage_metrics: Dict[str, Dict[str, float]] = {}
         self._last_nodes: Optional[Dict[int, NodeProcess]] = None
@@ -89,6 +112,7 @@ class StagePipeline:
         factory: Callable[..., NodeProcess],
         per_node_kwargs: Callable[[int], dict],
         max_rounds: int = 5000,
+        on_timeout: str = "raise",
     ) -> SimulationResult:
         """Run one named stage, folding its metrics and knowledge forward."""
         result = run_stage(
@@ -99,6 +123,9 @@ class StagePipeline:
             prev_nodes=self._last_nodes,
             max_rounds=max_rounds,
             radius=self.radius,
+            faults=self.faults,
+            stage=name,
+            on_timeout=on_timeout,
         )
         self.metrics.merge(result.metrics)
         self.stage_metrics[name] = result.metrics.summary()

@@ -37,6 +37,7 @@ from ..core.abstraction import Abstraction, Bay, HoleAbstraction
 from ..geometry.primitives import as_array, distance
 from ..graphs.ldel import LDelGraph
 from ..graphs.udg import Adjacency, unit_disk_graph
+from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
 from .dominating_set import SegmentMISProcess, SegmentSpec
 from .hull_protocol import RingHullProcess
@@ -53,6 +54,14 @@ __all__ = ["SetupResult", "run_distributed_setup"]
 SlotKey = Tuple[int, int]
 
 
+class _StageFailed(Exception):
+    """A pipeline stage failed to complete under fault injection."""
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(stage)
+        self.stage = stage
+
+
 @dataclass
 class SetupResult:
     """Everything the distributed preprocessing produced."""
@@ -66,6 +75,13 @@ class SetupResult:
     hulls_received: Dict[int, int]
     #: per-node protocol storage (words) measured at the end of the run
     storage_words: Dict[int, int]
+    #: first stage that failed under fault injection (``None`` = clean run)
+    failed_stage: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every pipeline stage completed."""
+        return self.failed_stage is None
 
     @property
     def total_rounds(self) -> int:
@@ -75,6 +91,10 @@ class SetupResult:
         """Round counts per pipeline stage."""
         return {k: int(v["rounds"]) for k, v in self.stage_metrics.items()}
 
+    def fault_summary(self) -> Dict[str, int]:
+        """Injected-fault totals across every stage (zero on clean runs)."""
+        return self.metrics.fault_summary()
+
 
 def run_distributed_setup(
     points: Sequence[Sequence[float]],
@@ -83,20 +103,100 @@ def run_distributed_setup(
     seed: int = 0,
     skip_tree: bool = False,
     udg: Optional[Adjacency] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SetupResult:
     """Run the full §5 pipeline on a node cloud.
 
     ``skip_tree`` reuses an implicit tree-free hull distribution and is only
     for unit tests; benchmarks always run the complete pipeline.
+
+    ``faults`` runs every stage under the given fault plan (stage-scoped, so
+    targeted events hit only their named stage).  A faulted run never raises
+    and never hangs: if a stage exhausts its round budget, or message loss
+    corrupts protocol state beyond what the assembly can digest, the result
+    reports the failing stage via ``failed_stage``/``ok`` instead.
     """
     pts = as_array(points)
     if udg is None:
         udg = unit_disk_graph(pts, radius=radius)
-    pipe = StagePipeline(pts, udg, radius=radius)
+    if faults is None or faults.is_null():
+        return _run_setup(pts, udg, radius, seed, skip_tree, None)
+    pipe_box: List[StagePipeline] = []
+    try:
+        return _run_setup(pts, udg, radius, seed, skip_tree, faults, pipe_box)
+    except _StageFailed as exc:
+        return _failed_result(pts, udg, radius, exc.stage, pipe_box)
+    except Exception as exc:
+        # Permanently lost messages can leave protocol state the assembly
+        # was never meant to see; report it as a failure, not a crash.
+        return _failed_result(
+            pts, udg, radius, f"assembly ({type(exc).__name__})", pipe_box
+        )
+
+
+def _failed_result(
+    pts: np.ndarray,
+    udg: Adjacency,
+    radius: float,
+    stage: str,
+    pipe_box: List["StagePipeline"],
+) -> SetupResult:
+    """A clean failure report: empty abstraction, metrics up to the failure."""
+    n = len(pts)
+    graph = LDelGraph(
+        points=pts,
+        udg=udg,
+        adjacency={nid: [] for nid in range(n)},
+        triangles=[],
+        gabriel=set(),
+        k=2,
+        radius=radius,
+    )
+    pipe = pipe_box[0] if pipe_box else None
+    return SetupResult(
+        abstraction=Abstraction(graph=graph, holes=[], outer_boundary=[]),
+        stage_metrics=pipe.stage_metrics if pipe else {},
+        metrics=pipe.metrics if pipe else MetricsCollector(),
+        tree_parent={nid: None for nid in range(n)},
+        tree_children={nid: [] for nid in range(n)},
+        hulls_received={},
+        storage_words={},
+        failed_stage=stage,
+    )
+
+
+def _checked(res, name: str, faults: Optional[FaultPlan]):
+    """Abort the faulted pipeline at the first incomplete stage."""
+    if faults is not None and (res.timed_out or not res.completed):
+        raise _StageFailed(name)
+    return res
+
+
+def _run_setup(
+    pts: np.ndarray,
+    udg: Adjacency,
+    radius: float,
+    seed: int,
+    skip_tree: bool,
+    faults: Optional[FaultPlan],
+    pipe_box: Optional[List["StagePipeline"]] = None,
+) -> SetupResult:
+    ot = "fail" if faults is not None else "raise"
+    pipe = StagePipeline(pts, udg, radius=radius, faults=faults)
+    if pipe_box is not None:
+        pipe_box.append(pipe)
 
     # -- 1. LDel² ------------------------------------------------------------
-    res_ldel = pipe.run(
-        "ldel", LDelConstructionProcess, lambda nid: {"radius": radius}, 50
+    res_ldel = _checked(
+        pipe.run(
+            "ldel",
+            LDelConstructionProcess,
+            lambda nid: {"radius": radius},
+            50,
+            on_timeout=ot,
+        ),
+        "ldel",
+        faults,
     )
     adjacency: Adjacency = {
         nid: sorted(proc.ldel_neighbors) for nid, proc in res_ldel.nodes.items()
@@ -116,11 +216,16 @@ def run_distributed_setup(
     )
 
     # -- 2. boundary detection --------------------------------------------------
-    res_bd = pipe.run(
+    res_bd = _checked(
+        pipe.run(
+            "boundary",
+            BoundaryDetectionProcess,
+            lambda nid: {"ldel_neighbors": graph.adjacency.get(nid, [])},
+            20,
+            on_timeout=ot,
+        ),
         "boundary",
-        BoundaryDetectionProcess,
-        lambda nid: {"ldel_neighbors": graph.adjacency.get(nid, [])},
-        20,
+        faults,
     )
     _seed_two_hop_positions(res_bd.nodes, graph)
     # re-run detection locally now that positions are seeded
@@ -132,7 +237,7 @@ def run_distributed_setup(
     }
 
     # -- 3–5. rings: doubling, ranking, hulls -----------------------------------
-    doubling, ranking, hulls = _run_ring_suite(pipe, corners, "ring")
+    doubling, ranking, hulls = _run_ring_suite(pipe, corners, "ring", faults, ot)
 
     # -- 6. outer-hole second run ---------------------------------------------------
     virtual_corners = _virtual_corners_for_outer_holes(
@@ -140,7 +245,7 @@ def run_distributed_setup(
     )
     if any(virtual_corners.values()):
         v_doubling, v_ranking, v_hulls = _run_ring_suite(
-            pipe, virtual_corners, "outer"
+            pipe, virtual_corners, "outer", faults, ot
         )
     else:
         v_ranking, v_hulls = {}, {}
@@ -149,8 +254,16 @@ def run_distributed_setup(
     tree_parent: Dict[int, Optional[int]] = {nid: None for nid in range(len(pts))}
     tree_children: Dict[int, List[int]] = {nid: [] for nid in range(len(pts))}
     if not skip_tree:
-        res_tree = pipe.run(
-            "tree", ClusterMergeProcess, lambda nid: {"seed": seed}, 20000
+        res_tree = _checked(
+            pipe.run(
+                "tree",
+                ClusterMergeProcess,
+                lambda nid: {"seed": seed},
+                20000,
+                on_timeout=ot,
+            ),
+            "tree",
+            faults,
         )
         tree_parent = {nid: p.parent for nid, p in res_tree.nodes.items()}
         tree_children = {nid: list(p.children) for nid, p in res_tree.nodes.items()}
@@ -159,7 +272,13 @@ def run_distributed_setup(
     hull_items = _hull_summaries(ranking, v_ranking, hulls, v_hulls)
     hulls_received: Dict[int, int] = {}
     if not skip_tree:
-        sim_bcast = HybridSimulator(pts, radius=radius, adjacency=udg)
+        sim_bcast = HybridSimulator(
+            pts,
+            radius=radius,
+            adjacency=udg,
+            faults=faults,
+            stage="hull_distribution",
+        )
         sim_bcast.spawn(
             lambda nid, pos, nbrs, nbrp: TreeBroadcastProcess(
                 nid,
@@ -179,7 +298,9 @@ def run_distributed_setup(
             prev = prior.get(nid)
             if prev is not None:
                 proc.knowledge |= prev.knowledge
-        res_bcast = run_until_quiet(sim_bcast)
+        res_bcast = _checked(
+            run_until_quiet(sim_bcast, on_timeout=ot), "hull_distribution", faults
+        )
         pipe.metrics.merge(res_bcast.metrics)
         pipe.stage_metrics["hull_distribution"] = res_bcast.metrics.summary()
         hulls_received = {
@@ -192,11 +313,16 @@ def run_distributed_setup(
         specs.setdefault(nid, []).extend(lst)
     ds_members: Dict[Tuple, Set[int]] = {}
     if any(specs.values()):
-        res_mis = pipe.run(
+        res_mis = _checked(
+            pipe.run(
+                "dominating_set",
+                SegmentMISProcess,
+                lambda nid: {"specs": specs.get(nid, []), "seed": seed},
+                2000,
+                on_timeout=ot,
+            ),
             "dominating_set",
-            SegmentMISProcess,
-            lambda nid: {"specs": specs.get(nid, []), "seed": seed},
-            2000,
+            faults,
         )
         for nid, proc in res_mis.nodes.items():
             for key, st in proc.slots.items():
@@ -246,27 +372,44 @@ def _run_ring_suite(
     pipe: StagePipeline,
     corners: Dict[int, List[RingCorner]],
     tag: str,
+    faults: Optional[FaultPlan] = None,
+    on_timeout: str = "raise",
 ):
     """Stages 3–5 on a family of rings described by per-node corners."""
-    res_dbl = pipe.run(
+    res_dbl = _checked(
+        pipe.run(
+            f"{tag}_doubling",
+            RingDoublingProcess,
+            lambda nid: {"corners": corners.get(nid, [])},
+            2000,
+            on_timeout=on_timeout,
+        ),
         f"{tag}_doubling",
-        RingDoublingProcess,
-        lambda nid: {"corners": corners.get(nid, [])},
-        2000,
+        faults,
     )
     slot_states = {nid: p.slots for nid, p in res_dbl.nodes.items()}
-    res_rank = pipe.run(
+    res_rank = _checked(
+        pipe.run(
+            f"{tag}_ranking",
+            RingRankingProcess,
+            lambda nid: {"slot_states": slot_states.get(nid, {})},
+            4000,
+            on_timeout=on_timeout,
+        ),
         f"{tag}_ranking",
-        RingRankingProcess,
-        lambda nid: {"slot_states": slot_states.get(nid, {})},
-        4000,
+        faults,
     )
     rank_states = {nid: p.slots for nid, p in res_rank.nodes.items()}
-    res_hull = pipe.run(
+    res_hull = _checked(
+        pipe.run(
+            f"{tag}_hulls",
+            RingHullProcess,
+            lambda nid: {"rank_states": rank_states.get(nid, {})},
+            4000,
+            on_timeout=on_timeout,
+        ),
         f"{tag}_hulls",
-        RingHullProcess,
-        lambda nid: {"rank_states": rank_states.get(nid, {})},
-        4000,
+        faults,
     )
     hull_states = {nid: p.slots for nid, p in res_hull.nodes.items()}
     return slot_states, rank_states, hull_states

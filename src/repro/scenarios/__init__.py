@@ -1,5 +1,12 @@
-"""Workload generators: node clouds, radio-hole shapes and mobility."""
+"""Workload generators: node clouds, radio-hole shapes, mobility and
+adversarial fault schedules."""
 
+from .adversarial import (
+    blackout_plan,
+    boundary_crash_plan,
+    hole_boundary_targets,
+    random_fault_plan,
+)
 from .generators import (
     Scenario,
     perturbed_grid_scenario,
@@ -34,4 +41,8 @@ __all__ = [
     "rotated",
     "star_hole",
     "MobilityModel",
+    "blackout_plan",
+    "boundary_crash_plan",
+    "hole_boundary_targets",
+    "random_fault_plan",
 ]

@@ -1,0 +1,140 @@
+"""Adversarial fault schedules: targeted crash/loss plans.
+
+The random plans of :mod:`repro.simulation.faults` stress the transport;
+these generators stress the *protocols*.  Hole-boundary nodes — and hull
+corners in particular — are the worst-case crash victims for the paper's
+pipeline: they carry the ring slots, pointer-jumping links and hull state of
+§5.2–§5.4, so silencing one mid-construction hits every stage that follows.
+
+All generators are deterministic in their seed and return plain
+:class:`~repro.simulation.faults.FaultPlan` objects, so an adversarial
+schedule that breaks a protocol is replayable as-is.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simulation.faults import Blackout, ChannelFaults, CrashEvent, FaultPlan
+
+__all__ = [
+    "blackout_plan",
+    "boundary_crash_plan",
+    "hole_boundary_targets",
+    "random_fault_plan",
+]
+
+
+def hole_boundary_targets(
+    abstraction,
+    count: int = 1,
+    *,
+    seed: int = 0,
+    prefer_hull: bool = True,
+) -> List[int]:
+    """Pick ``count`` crash victims on inner-hole boundaries.
+
+    With ``prefer_hull`` (default) hull corners are drawn first — the nodes
+    whose loss damages the abstraction most — then the remaining boundary.
+    Deterministic in ``seed``.
+    """
+    hull: List[int] = []
+    boundary: List[int] = []
+    for hole in abstraction.holes:
+        if hole.is_outer:
+            continue
+        hull.extend(hole.hull)
+        boundary.extend(v for v in hole.boundary if v not in set(hole.hull))
+    rng = np.random.default_rng(seed)
+    pools = [sorted(set(hull)), sorted(set(boundary))]
+    if not prefer_hull:
+        pools.reverse()
+    targets: List[int] = []
+    for pool in pools:
+        if len(targets) >= count or not pool:
+            continue
+        take = min(count - len(targets), len(pool))
+        targets.extend(
+            int(v) for v in rng.choice(pool, size=take, replace=False)
+        )
+    return targets[:count]
+
+
+def boundary_crash_plan(
+    abstraction,
+    *,
+    seed: int = 0,
+    count: int = 1,
+    at_round: int = 2,
+    recover_round: Optional[int] = None,
+    stage: Optional[str] = None,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 3,
+    retries: int = 0,
+) -> FaultPlan:
+    """Crash ``count`` hole-boundary nodes (hull corners first) at
+    ``at_round`` of ``stage``, optionally with background channel noise.
+    """
+    targets = hole_boundary_targets(abstraction, count, seed=seed)
+    crashes = tuple(
+        CrashEvent(
+            node=v, at_round=at_round, recover_round=recover_round, stage=stage
+        )
+        for v in targets
+    )
+    noise = ChannelFaults(
+        drop=drop, duplicate=duplicate, delay=delay, max_delay=max_delay
+    )
+    return FaultPlan(
+        seed=seed, adhoc=noise, long_range=noise, crashes=crashes, retries=retries
+    )
+
+
+def blackout_plan(
+    *,
+    seed: int = 0,
+    start: int,
+    end: int,
+    stage: Optional[str] = None,
+    retries: int = 0,
+) -> FaultPlan:
+    """A long-range infrastructure outage over ``[start, end]`` of ``stage``.
+
+    Give the plan enough ``retries`` to span the outage and the protocols
+    ride it out in recovery rounds; give it none and every long-range
+    message of the window is lost.
+    """
+    return FaultPlan(
+        seed=seed,
+        blackouts=(Blackout(start=start, end=end, stage=stage),),
+        retries=retries,
+    )
+
+
+def random_fault_plan(
+    seed: int,
+    *,
+    loss: float = 0.1,
+    duplicate: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 3,
+    retries: int = 25,
+    crashes: Sequence[CrashEvent] = (),
+    blackouts: Sequence[Blackout] = (),
+) -> FaultPlan:
+    """Uniform background chaos on both channels (the chaos-test workhorse)."""
+    noise = ChannelFaults(
+        drop=loss, duplicate=duplicate, delay=delay, max_delay=max_delay
+    )
+    return FaultPlan(
+        seed=seed,
+        adhoc=noise,
+        long_range=noise,
+        crashes=tuple(crashes),
+        blackouts=tuple(blackouts),
+        retries=retries,
+    )

@@ -1,8 +1,9 @@
 """Synchronous message-passing simulation of the hybrid network model."""
 
+from .faults import Blackout, ChannelFaults, CrashEvent, FaultPlan
 from .messages import ADHOC, LONG_RANGE, Message, payload_words
 from .metrics import ChannelStats, MetricsCollector
-from .node import NodeProcess
+from .node import NodeProcess, ReliableLink
 from .scheduler import Context, HybridSimulator, ModelViolation, SimulationResult
 
 __all__ = [
@@ -13,8 +14,13 @@ __all__ = [
     "ChannelStats",
     "MetricsCollector",
     "NodeProcess",
+    "ReliableLink",
     "Context",
     "HybridSimulator",
     "ModelViolation",
     "SimulationResult",
+    "Blackout",
+    "ChannelFaults",
+    "CrashEvent",
+    "FaultPlan",
 ]

@@ -1,0 +1,286 @@
+"""Deterministic fault injection for the hybrid simulator.
+
+The paper's model (§1.1) assumes lossless synchronous delivery.  Real
+deployments do not: WiFi frames are lost, cellular links black out, nodes
+crash and reboot.  This module defines the *fault plan* — a declarative,
+seeded description of everything that may go wrong in a run — which
+:class:`~repro.simulation.scheduler.HybridSimulator` consults at delivery
+time:
+
+* **per-channel probabilistic faults** (:class:`ChannelFaults`): independent
+  drop / duplicate / delay decisions for the ad hoc and long-range channels;
+* **scheduled crashes** (:class:`CrashEvent`): a node goes silent at a given
+  round — it executes nothing, sends nothing, and every message addressed to
+  it is lost — and optionally recovers later;
+* **long-range blackouts** (:class:`Blackout`): intervals during which the
+  global infrastructure is down and long-range messages cannot be delivered.
+
+Determinism is the design center: every probabilistic decision is a pure
+function of ``(seed, decision index)`` via a splitmix64 hash, so a run under
+a given plan replays *exactly* — same drops, same delays, same per-round
+fault counts — which shrinks any chaos-test failure to a replayable
+``FaultPlan``.  The plan object is immutable and stateless; the simulator
+owns the decision counter.
+
+Recovery semantics ("at-least-once transport")
+----------------------------------------------
+The synchronous protocols in :mod:`repro.protocols` are written against
+lockstep rounds — several drive fixed phase schedules off their local round
+counter.  Arbitrary reordering would silently corrupt them, so the simulator
+pairs fault injection with an α-synchronizer-style recovery mode: when
+``retries > 0``, lost or deferred messages are retransmitted in extra
+*recovery rounds* while the protocol-visible round only completes once every
+surviving message of that round has arrived.  Protocols keep their
+synchronous logic; faults cost wall-clock rounds (reported by the metrics),
+and messages whose retry budget is exhausted are lost for good — which shows
+up as a clean, bounded failure instead of a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .messages import ADHOC, LONG_RANGE
+
+__all__ = [
+    "Blackout",
+    "ChannelFaults",
+    "CrashEvent",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "DELAY",
+    "FaultPlan",
+]
+
+# Decision outcomes returned by :meth:`FaultPlan.decide`.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(*parts: int) -> int:
+    """splitmix64-style avalanche over a tuple of integers.
+
+    Pure and platform-independent (unlike ``hash``, which randomizes
+    strings per process) — the backbone of replayable fault streams.
+    """
+    x = 0x9E3779B97F4A7C15
+    for p in parts:
+        x = (x ^ (p & _MASK)) & _MASK
+        x = (x * 0xBF58476D1CE4E5B9) & _MASK
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & _MASK
+        x ^= x >> 31
+    return x
+
+
+def _unit(*parts: int) -> float:
+    """Deterministic uniform in [0, 1) from the mixed parts."""
+    return _mix(*parts) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Per-message fault probabilities for one channel.
+
+    ``drop``, ``duplicate`` and ``delay`` partition the unit interval; their
+    sum must not exceed 1.  A delayed message arrives ``1..max_delay`` rounds
+    late (uniform).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        if self.drop + self.duplicate + self.delay > 1.0 + 1e-12:
+            raise ValueError("fault probabilities sum to more than 1")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be at least 1 round")
+
+    @property
+    def active(self) -> bool:
+        return (self.drop + self.duplicate + self.delay) > 0.0
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Node ``node`` crashes at ``at_round`` and recovers at ``recover_round``
+    (``None`` = never).  ``stage`` restricts the event to the named pipeline
+    stage; ``None`` applies it to every simulator run under the plan.
+    """
+
+    node: int
+    at_round: int = 1
+    recover_round: Optional[int] = None
+    stage: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.recover_round is not None and self.recover_round <= self.at_round:
+            raise ValueError("recovery must happen strictly after the crash")
+
+    def applies_to(self, stage: Optional[str]) -> bool:
+        """Is this crash event active in the given pipeline stage?"""
+        return self.stage is None or self.stage == stage
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """Long-range infrastructure outage over rounds ``[start, end]``
+    (inclusive), optionally restricted to one pipeline ``stage``."""
+
+    start: int
+    end: int
+    stage: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("blackout must end no earlier than it starts")
+
+    def applies_to(self, stage: Optional[str]) -> bool:
+        """Is this blackout active in the given pipeline stage?"""
+        return self.stage is None or self.stage == stage
+
+    def covers(self, round_no: int) -> bool:
+        """Does the outage interval contain ``round_no``?"""
+        return self.start <= round_no <= self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable description of a run's adversity.
+
+    Parameters
+    ----------
+    seed:
+        Root of every probabilistic decision.  Same seed ⇒ identical fault
+        stream, bit for bit.
+    adhoc / long_range:
+        Probabilistic fault rates per channel.
+    crashes / blackouts:
+        Scheduled events (see :class:`CrashEvent` / :class:`Blackout`).
+    retries:
+        Transport retransmission budget per message.  ``0`` means faults are
+        final; ``k > 0`` means the simulator re-attempts a lost or deferred
+        delivery up to ``k`` times in recovery rounds (at-least-once
+        transport — see the module docstring).
+    """
+
+    seed: int = 0
+    adhoc: ChannelFaults = field(default_factory=ChannelFaults)
+    long_range: ChannelFaults = field(default_factory=ChannelFaults)
+    crashes: Tuple[CrashEvent, ...] = ()
+    blackouts: Tuple[Blackout, ...] = ()
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept any sequence for ergonomics; store canonical tuples.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "blackouts", tuple(self.blackouts))
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+
+    # -- classification --------------------------------------------------------
+    def is_null(self) -> bool:
+        """True when the plan can never inject a fault (the lossless model)."""
+        return (
+            not self.adhoc.active
+            and not self.long_range.active
+            and not self.crashes
+            and not self.blackouts
+        )
+
+    def channel(self, channel: str) -> ChannelFaults:
+        """The :class:`ChannelFaults` governing the named channel."""
+        if channel == ADHOC:
+            return self.adhoc
+        if channel == LONG_RANGE:
+            return self.long_range
+        raise ValueError(f"unknown channel {channel!r}")
+
+    # -- probabilistic stream ----------------------------------------------------
+    def decide(self, channel: str, seq: int) -> Tuple[str, int]:
+        """Fault decision for the ``seq``-th delivery attempt of a run.
+
+        Returns ``(action, extra_rounds)`` where ``action`` is one of
+        :data:`DELIVER`/:data:`DROP`/:data:`DUPLICATE`/:data:`DELAY` and
+        ``extra_rounds`` is nonzero only for delays.  Pure in
+        ``(seed, channel, seq)``.
+        """
+        cf = self.channel(channel)
+        if not cf.active:
+            return DELIVER, 0
+        chan_salt = 1 if channel == ADHOC else 2
+        u = _unit(self.seed, chan_salt, seq, 0xFA01)
+        if u < cf.drop:
+            return DROP, 0
+        if u < cf.drop + cf.duplicate:
+            return DUPLICATE, 0
+        if u < cf.drop + cf.duplicate + cf.delay:
+            extra = 1 + _mix(self.seed, chan_salt, seq, 0xFA02) % cf.max_delay
+            return DELAY, extra
+        return DELIVER, 0
+
+    def decisions(self, channel: str, n: int) -> List[Tuple[str, int]]:
+        """The first ``n`` decisions of the channel's stream (test hook)."""
+        return [self.decide(channel, i) for i in range(n)]
+
+    # -- scheduled events -------------------------------------------------------
+    def crash_events_at(
+        self, round_no: int, stage: Optional[str]
+    ) -> Tuple[List[int], List[int]]:
+        """Nodes crashing / recovering exactly at ``round_no`` in ``stage``."""
+        crashed = [
+            ev.node
+            for ev in self.crashes
+            if ev.applies_to(stage) and ev.at_round == round_no
+        ]
+        recovered = [
+            ev.node
+            for ev in self.crashes
+            if ev.applies_to(stage) and ev.recover_round == round_no
+        ]
+        return crashed, recovered
+
+    def crash_schedule(
+        self, upto: int, stage: Optional[str] = None
+    ) -> Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Materialized ``round -> (crashes, recoveries)`` map (test hook)."""
+        out: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        for r in range(upto + 1):
+            c, rec = self.crash_events_at(r, stage)
+            if c or rec:
+                out[r] = (tuple(sorted(c)), tuple(sorted(rec)))
+        return out
+
+    def in_blackout(self, round_no: int, stage: Optional[str]) -> bool:
+        """True when a long-range blackout covers ``round_no`` in ``stage``."""
+        return any(
+            b.applies_to(stage) and b.covers(round_no) for b in self.blackouts
+        )
+
+    # -- reporting --------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Flat summary of the plan's knobs (for CLI/bench tables)."""
+        return {
+            "seed": self.seed,
+            "adhoc_drop": self.adhoc.drop,
+            "adhoc_duplicate": self.adhoc.duplicate,
+            "adhoc_delay": self.adhoc.delay,
+            "lr_drop": self.long_range.drop,
+            "lr_duplicate": self.long_range.duplicate,
+            "lr_delay": self.long_range.delay,
+            "crashes": len(self.crashes),
+            "blackouts": len(self.blackouts),
+            "retries": self.retries,
+        }

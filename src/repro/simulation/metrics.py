@@ -45,6 +45,14 @@ class MetricsCollector:
         #: maximum messages any single node sent in any single round
         self.max_node_round_messages: int = 0
         self._this_round: Dict[int, int] = defaultdict(int)
+        #: injected-fault totals by kind (drop/duplicate/delay/crash_drop/
+        #: blackout_defer/blackout_drop/lost/retry/crash/recover/
+        #: recovery_round) — empty on fault-free runs
+        self.fault_counts: Dict[str, int] = defaultdict(int)
+        #: per-round snapshots of fault counts, one dict per closed round;
+        #: two runs of the same seeded plan produce identical lists
+        self.faults_by_round: List[Dict[str, int]] = []
+        self._round_faults: Dict[str, int] = defaultdict(int)
 
     def record_send(self, msg: Message) -> None:
         """Account one submitted message on its channel and sender."""
@@ -54,6 +62,15 @@ class MetricsCollector:
         self.words_by_node[msg.sender] += msg.words
         self._this_round[msg.sender] += 1
 
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Account ``count`` injected fault events of ``kind`` this round."""
+        self.fault_counts[kind] += count
+        self._round_faults[kind] += count
+
+    def record_retry(self) -> None:
+        """Account one retransmission (transport or protocol level)."""
+        self.record_fault("retry")
+
     def end_round(self) -> None:
         """Close the current round and roll the per-round peak tracker."""
         self.rounds += 1
@@ -62,6 +79,8 @@ class MetricsCollector:
             if peak > self.max_node_round_messages:
                 self.max_node_round_messages = peak
         self._this_round = defaultdict(int)
+        self.faults_by_round.append(dict(self._round_faults))
+        self._round_faults = defaultdict(int)
 
     # -- aggregates ----------------------------------------------------------
     @property
@@ -94,6 +113,27 @@ class MetricsCollector:
         self.max_node_round_messages = max(
             self.max_node_round_messages, other.max_node_round_messages
         )
+        for k, v in other.fault_counts.items():
+            self.fault_counts[k] += v
+        self.faults_by_round.extend(dict(d) for d in other.faults_by_round)
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Flat dict of injected-fault totals (all zero on clean runs)."""
+        base = {
+            "drop": 0,
+            "duplicate": 0,
+            "delay": 0,
+            "crash_drop": 0,
+            "blackout_defer": 0,
+            "blackout_drop": 0,
+            "lost": 0,
+            "retry": 0,
+            "crash": 0,
+            "recover": 0,
+            "recovery_round": 0,
+        }
+        base.update(self.fault_counts)
+        return base
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers (for tables/benches)."""

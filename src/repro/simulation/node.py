@@ -6,18 +6,24 @@ local state and emits messages through the :class:`Context`.  The base class
 holds exactly the state the paper's model grants a node — its own ID and
 position, the IDs/positions of its UDG neighbors (learned in the §5.1 setup
 broadcast), and the knowledge set ``E`` grown by ID-introduction.
+
+For runs under a :class:`~repro.simulation.faults.FaultPlan` with no
+transport retries, :class:`ReliableLink` offers protocol-level at-least-once
+delivery: sequence-numbered sends, acknowledgements, timeout-driven resends
+and receiver-side duplicate suppression.  Protocols opt in explicitly; the
+lossless model never pays for it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
-from .messages import Message, payload_words
+from .messages import ADHOC, Message, payload_words
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .scheduler import Context
 
-__all__ = ["NodeProcess"]
+__all__ = ["NodeProcess", "ReliableLink"]
 
 
 class NodeProcess:
@@ -61,6 +67,14 @@ class NodeProcess:
         """Process one synchronous round.  Override in protocol classes."""
         raise NotImplementedError
 
+    def on_recover(self, ctx: "Context") -> None:
+        """Called when the fault plan revives this node after a crash.
+
+        The node kept its pre-crash state (crash-recovery, not reset); every
+        message addressed to it while down was lost.  Override to re-announce
+        state or re-arm timers.
+        """
+
     def finish(self) -> None:
         """Called after the simulation ends (for result extraction hooks)."""
 
@@ -76,3 +90,125 @@ class NodeProcess:
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"<{type(self).__name__} id={self.node_id} done={self.done}>"
+
+
+class ReliableLink:
+    """At-least-once delivery on top of the lossy channels.
+
+    Classic ARQ, deliberately minimal: every reliable send carries a
+    sequence number (payload key ``"_rl"``); the receiver acknowledges with
+    an ``"_rl_ack"`` message and suppresses redelivered sequence numbers;
+    the sender retransmits unacknowledged messages every ``timeout`` rounds,
+    up to ``max_attempts`` total transmissions.  Retransmissions are
+    reported through :meth:`Context.record_retry`, so fault benchmarks see
+    protocol-level recovery traffic alongside transport-level retries.
+
+    Usage inside a :class:`NodeProcess`::
+
+        self.link = ReliableLink(self)
+        # in on_round:
+        inbox = self.link.on_inbox(ctx, inbox)   # acks + dedup, app msgs out
+        self.link.tick(ctx)                      # timeout-driven resends
+        self.link.send(ctx, nbr, "data", {...})  # instead of ctx.send_adhoc
+    """
+
+    SEQ_KEY = "_rl"
+    ACK_KIND = "_rl_ack"
+
+    def __init__(
+        self, owner: NodeProcess, timeout: int = 2, max_attempts: int = 8
+    ) -> None:
+        if timeout < 1:
+            raise ValueError("timeout must be at least 1 round")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.owner = owner
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self._next_seq = 0
+        #: seq -> (recipient, kind, payload, introduce, channel, last_sent
+        #: round, attempts)
+        self._pending: Dict[int, Tuple[int, str, dict, Tuple[int, ...], str, int, int]] = {}
+        self._seen: Set[Tuple[int, int]] = set()
+        #: sequence numbers abandoned after ``max_attempts`` transmissions
+        self.dead: List[int] = []
+
+    # -- sending ------------------------------------------------------------
+    def send(
+        self,
+        ctx: "Context",
+        recipient: int,
+        kind: str,
+        payload: Optional[dict] = None,
+        introduce: Tuple[int, ...] = (),
+        channel: str = ADHOC,
+    ) -> int:
+        """Send with at-least-once semantics; returns the sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        body = {**(payload or {}), self.SEQ_KEY: seq}
+        self._pending[seq] = (
+            recipient, kind, body, tuple(introduce), channel, ctx.round_no, 1
+        )
+        self._dispatch(ctx, recipient, kind, body, tuple(introduce), channel)
+        return seq
+
+    def _dispatch(self, ctx, recipient, kind, body, introduce, channel) -> None:
+        if channel == ADHOC:
+            ctx.send_adhoc(recipient, kind, body, introduce=introduce)
+        else:
+            ctx.send_long_range(recipient, kind, body, introduce=introduce)
+
+    # -- receiving ----------------------------------------------------------
+    def on_inbox(self, ctx: "Context", inbox: List[Message]) -> List[Message]:
+        """Consume acks, acknowledge + dedup reliable messages.
+
+        Returns the application-visible inbox: plain messages untouched,
+        reliable messages exactly once each.
+        """
+        out: List[Message] = []
+        for msg in inbox:
+            if msg.kind == self.ACK_KIND:
+                self._pending.pop(msg.payload.get(self.SEQ_KEY), None)
+                continue
+            seq = msg.payload.get(self.SEQ_KEY) if msg.payload else None
+            if seq is None:
+                out.append(msg)
+                continue
+            # Delivery taught us the sender's ID, so the ack is always legal
+            # on either channel (adhoc senders are UDG neighbors).
+            self._dispatch(
+                ctx, msg.sender, self.ACK_KIND, {self.SEQ_KEY: seq}, (), msg.channel
+            )
+            key = (msg.sender, seq)
+            if key in self._seen:
+                continue  # duplicate — suppressed
+            self._seen.add(key)
+            out.append(msg)
+        return out
+
+    # -- timers -------------------------------------------------------------
+    def tick(self, ctx: "Context") -> None:
+        """Retransmit every pending message whose ack timer expired."""
+        for seq in list(self._pending):
+            recipient, kind, body, intro, channel, sent, attempts = self._pending[seq]
+            if ctx.round_no - sent < self.timeout:
+                continue
+            if attempts >= self.max_attempts:
+                del self._pending[seq]
+                self.dead.append(seq)
+                continue
+            self._pending[seq] = (
+                recipient, kind, body, intro, channel, ctx.round_no, attempts + 1
+            )
+            ctx.record_retry()
+            self._dispatch(ctx, recipient, kind, body, intro, channel)
+
+    @property
+    def idle(self) -> bool:
+        """True when every reliable send has been acknowledged or abandoned."""
+        return not self._pending
+
+    def storage_words(self) -> int:
+        """Approximate words of retry/dedup state (Theorem 1.2 accounting)."""
+        return 3 * len(self._pending) + 2 * len(self._seen) + len(self.dead)

@@ -13,16 +13,25 @@ messages delivered at a round's start within that round.  The scheduler also
 
 Violations raise :class:`ModelViolation` — protocols cannot accidentally use
 information the model does not grant them.
+
+A :class:`~repro.simulation.faults.FaultPlan` relaxes the lossless half of
+the model: the scheduler consults it at delivery time and injects drops,
+duplicates, delays, crashes and long-range blackouts, optionally retrying
+lost messages in extra *recovery rounds* (lockstep recovery — see
+:mod:`repro.simulation.faults`).  With no plan, or an all-zero plan, the
+delivery path is byte-identical to the lossless scheduler.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 import numpy as np
 
 from ..geometry.primitives import as_array
 from ..graphs.udg import Adjacency, unit_disk_graph
+from .faults import DELAY, DROP, DUPLICATE, FaultPlan
 from .messages import ADHOC, LONG_RANGE, Message
 from .metrics import MetricsCollector
 from .node import NodeProcess
@@ -80,6 +89,21 @@ class Context:
             )
         )
 
+    def record_retry(self) -> None:
+        """Account a protocol-level retransmission (ReliableLink resends)."""
+        self._sim.metrics.record_retry()
+
+
+@dataclass
+class _InFlight:
+    """A message awaiting delivery under fault injection."""
+
+    msg: Message
+    due: int
+    attempts: int = 0
+    #: a delayed message's fate is sealed — deliver on arrival, no re-roll
+    forced: bool = False
+
 
 class SimulationResult:
     """Outcome of a protocol run: rounds used, metrics, the node objects."""
@@ -89,14 +113,22 @@ class SimulationResult:
         nodes: Dict[int, NodeProcess],
         metrics: MetricsCollector,
         completed: bool,
+        timed_out: bool = False,
     ) -> None:
         self.nodes = nodes
         self.metrics = metrics
         self.completed = completed
+        #: True when the run hit ``max_rounds`` under ``on_timeout="fail"`` —
+        #: the clean failure report for unrecoverable fault schedules
+        self.timed_out = timed_out
 
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Injected-fault totals for the run (all zero without a plan)."""
+        return self.metrics.fault_summary()
 
     def storage_by_node(self) -> Dict[int, int]:
         """Per-node protocol state in words (Theorem 1.2 accounting)."""
@@ -117,6 +149,12 @@ class HybridSimulator:
     strict:
         When ``True`` (default) model violations raise; benchmarks keep this
         on so complexity numbers cannot be gamed.
+    faults:
+        Optional :class:`~repro.simulation.faults.FaultPlan`.  ``None`` or an
+        all-zero plan leaves the lossless delivery path untouched.
+    stage:
+        Pipeline-stage name used to scope stage-targeted crash/blackout
+        events in the plan.
     """
 
     def __init__(
@@ -125,6 +163,8 @@ class HybridSimulator:
         radius: float = 1.0,
         adjacency: Optional[Adjacency] = None,
         strict: bool = True,
+        faults: Optional[FaultPlan] = None,
+        stage: Optional[str] = None,
     ) -> None:
         self.points = as_array(points)
         self.radius = radius
@@ -139,6 +179,25 @@ class HybridSimulator:
         self.metrics = MetricsCollector()
         self._outbox: List[Message] = []
         self._inboxes: Dict[int, List[Message]] = {}
+        # Null plans take the exact lossless code path (acceptance: byte-
+        # identical metrics with an all-zero FaultPlan).
+        self.faults: Optional[FaultPlan] = (
+            None if faults is None or faults.is_null() else faults
+        )
+        self.stage = stage
+        self._crashed: Set[int] = set()
+        self._pending: List[_InFlight] = []
+        self._staged: Dict[int, List[Message]] = {}
+        self._fault_seq = 0
+
+    @property
+    def in_flight(self) -> bool:
+        """True while any message is submitted, retrying, or staged."""
+        return bool(self._outbox) or bool(self._pending) or bool(self._staged)
+
+    def crashed_nodes(self) -> Set[int]:
+        """The nodes currently silenced by the fault plan."""
+        return set(self._crashed)
 
     # -- setup ----------------------------------------------------------------
     def spawn(
@@ -191,25 +250,133 @@ class HybridSimulator:
                     raise ModelViolation(
                         f"{msg.sender} introduced unknown ID {intro}"
                     )
+        # Sends to a crashed recipient are NOT violations: the sender cannot
+        # know the node went silent.  They are submitted normally and lost at
+        # delivery time (where the transport retry budget may still save
+        # them, if the node recovers in time).
         self.metrics.record_send(msg)
         self._outbox.append(msg)
+
+    # -- fault machinery -----------------------------------------------------------
+    def _apply_crash_schedule(self) -> None:
+        """Apply the plan's crash/recovery events for the current round."""
+        crashed, recovered = self.faults.crash_events_at(self.round_no, self.stage)
+        for nid in crashed:
+            if nid in self.nodes and nid not in self._crashed:
+                self._crashed.add(nid)
+                self.metrics.record_fault("crash")
+        for nid in recovered:
+            if nid in self._crashed:
+                self._crashed.discard(nid)
+                self.metrics.record_fault("recover")
+                node = self.nodes[nid]
+                node.on_recover(Context(self, node))
+
+    def _stage_delivery(self, msg: Message) -> None:
+        """Stage one surviving message for the logical round's inboxes."""
+        self._staged.setdefault(msg.recipient, []).append(msg)
+
+    def _deliver_with_faults(self) -> bool:
+        """Run one physical round of fault-injected delivery.
+
+        Returns ``True`` when the logical round is complete (all surviving
+        messages staged — inboxes are ready), ``False`` when retransmissions
+        are still in flight and this was a recovery round.
+        """
+        plan = self.faults
+        for msg in self._outbox:
+            self._pending.append(_InFlight(msg, due=self.round_no))
+        self._outbox = []
+
+        still: List[_InFlight] = []
+        for item in self._pending:
+            if item.due > self.round_no:
+                still.append(item)
+                continue
+            msg = item.msg
+            if msg.recipient in self._crashed:
+                self.metrics.record_fault("crash_drop")
+                if item.attempts < plan.retries:
+                    self.metrics.record_retry()
+                    still.append(
+                        _InFlight(msg, self.round_no + 1, item.attempts + 1)
+                    )
+                else:
+                    self.metrics.record_fault("lost")
+                continue
+            if msg.channel == LONG_RANGE and plan.in_blackout(
+                self.round_no, self.stage
+            ):
+                if item.attempts < plan.retries:
+                    self.metrics.record_fault("blackout_defer")
+                    self.metrics.record_retry()
+                    still.append(
+                        _InFlight(msg, self.round_no + 1, item.attempts + 1)
+                    )
+                else:
+                    self.metrics.record_fault("blackout_drop")
+                    self.metrics.record_fault("lost")
+                continue
+            if item.forced:
+                self._stage_delivery(msg)
+                continue
+            action, extra = plan.decide(msg.channel, self._fault_seq)
+            self._fault_seq += 1
+            if action == DROP:
+                self.metrics.record_fault("drop")
+                if item.attempts < plan.retries:
+                    self.metrics.record_retry()
+                    still.append(
+                        _InFlight(msg, self.round_no + 1, item.attempts + 1)
+                    )
+                else:
+                    self.metrics.record_fault("lost")
+            elif action == DELAY:
+                self.metrics.record_fault("delay")
+                still.append(
+                    _InFlight(msg, self.round_no + extra, item.attempts, True)
+                )
+            elif action == DUPLICATE:
+                self.metrics.record_fault("duplicate")
+                self._stage_delivery(msg)
+                self._stage_delivery(msg)
+            else:
+                self._stage_delivery(msg)
+        self._pending = still
+        if self._pending:
+            return False
+        self._inboxes = self._staged
+        self._staged = {}
+        return True
 
     # -- main loop ----------------------------------------------------------------
     def run(
         self,
         max_rounds: int = 10_000,
         until: Optional[Callable[["HybridSimulator"], bool]] = None,
+        on_timeout: str = "raise",
     ) -> SimulationResult:
         """Run rounds until every node reports ``done`` (or ``until`` holds).
 
-        Raises ``RuntimeError`` if ``max_rounds`` elapse first — protocol
-        bugs surface as timeouts rather than hangs.
+        ``on_timeout="raise"`` (default) raises ``RuntimeError`` if
+        ``max_rounds`` elapse first — protocol bugs surface as timeouts
+        rather than hangs.  ``on_timeout="fail"`` instead returns a
+        ``SimulationResult`` with ``completed=False, timed_out=True`` — the
+        clean failure report for runs under unrecoverable fault schedules.
         """
-        # Round 0: start hooks may emit initial messages.
+        if on_timeout not in ("raise", "fail"):
+            raise ValueError(f"on_timeout must be 'raise' or 'fail', not {on_timeout!r}")
+        if self.faults is not None:
+            self._apply_crash_schedule()
+        # Round 0: start hooks may emit initial messages.  Nodes crashed at
+        # round 0 never start.
         for node in self.nodes.values():
+            if node.node_id in self._crashed:
+                continue
             node.start(Context(self, node))
 
         completed = False
+        timed_out = False
         for _ in range(max_rounds):
             if until is not None:
                 if until(self):
@@ -220,14 +387,31 @@ class HybridSimulator:
                 break
 
             self.round_no += 1
-            self._inboxes = {}
-            for msg in self._outbox:
-                self._inboxes.setdefault(msg.recipient, []).append(msg)
-            self._outbox = []
+            if self.faults is not None:
+                self._apply_crash_schedule()
+                if not self._deliver_with_faults():
+                    # Recovery round: retransmissions or delayed messages
+                    # still in flight; the logical round completes (and the
+                    # nodes run) only once every survivor has landed.
+                    self.metrics.record_fault("recovery_round")
+                    self.metrics.end_round()
+                    continue
+            else:
+                self._inboxes = {}
+                for msg in self._outbox:
+                    self._inboxes.setdefault(msg.recipient, []).append(msg)
+                self._outbox = []
 
             for nid in sorted(self.nodes):
                 node = self.nodes[nid]
                 inbox = self._inboxes.get(nid, [])
+                if nid in self._crashed:
+                    # The node went silent after its inbox was staged;
+                    # everything queued for it is lost.
+                    if inbox:
+                        self.metrics.record_fault("crash_drop", len(inbox))
+                        self.metrics.record_fault("lost", len(inbox))
+                    continue
                 # ID-introduction: delivery teaches the recipient the
                 # sender's ID and all explicitly introduced IDs.
                 for msg in inbox:
@@ -236,10 +420,14 @@ class HybridSimulator:
                 node.on_round(Context(self, node), inbox)
             self.metrics.end_round()
         else:
-            raise RuntimeError(f"protocol did not terminate in {max_rounds} rounds")
+            if on_timeout == "raise":
+                raise RuntimeError(
+                    f"protocol did not terminate in {max_rounds} rounds"
+                )
+            timed_out = True
 
-        if not completed:
+        if not completed and not timed_out:
             completed = all(node.done for node in self.nodes.values())
         for node in self.nodes.values():
             node.finish()
-        return SimulationResult(self.nodes, self.metrics, completed)
+        return SimulationResult(self.nodes, self.metrics, completed, timed_out=timed_out)

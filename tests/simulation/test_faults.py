@@ -1,0 +1,436 @@
+"""Unit tests for deterministic fault injection (FaultPlan + scheduler).
+
+Covers the acceptance properties of the fault subsystem: replayable
+decision streams, drop/duplicate/delay semantics, crash silencing and
+recovery, the zero-plan identity, and the protocol-level ReliableLink.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    Blackout,
+    ChannelFaults,
+    CrashEvent,
+    FaultPlan,
+    HybridSimulator,
+    NodeProcess,
+    ReliableLink,
+)
+from repro.simulation.faults import DELAY, DELIVER, DROP, DUPLICATE
+from repro.simulation.messages import ADHOC, LONG_RANGE
+
+
+def line_points(n, spacing=0.9):
+    return np.array([[i * spacing, 0.0] for i in range(n)])
+
+
+class Collect(NodeProcess):
+    """Node 0 sends one ad hoc message per logical round for ``count``
+    rounds; everyone records what arrives (inbox kinds per round).
+
+    Sends are keyed on a node-local logical counter, not ``ctx.round_no``:
+    recovery rounds consume physical round numbers without running
+    ``on_round``, exactly as the lockstep transport promises.
+    """
+
+    count = 3
+
+    def __init__(self, *a):
+        super().__init__(*a)
+        self.got = []  # (round, sender, kind) per delivered message
+        self.t = 0  # logical rounds this node has executed
+
+    def on_round(self, ctx, inbox):
+        self.t += 1
+        for msg in inbox:
+            self.got.append((ctx.round_no, msg.sender, msg.kind))
+        if self.node_id == 0 and self.t <= self.count:
+            ctx.send_adhoc(1, f"m{self.t}")
+        self.done = self.t > self.count + 2
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_stream(self):
+        cf = ChannelFaults(drop=0.2, duplicate=0.1, delay=0.1)
+        a = FaultPlan(seed=7, adhoc=cf, long_range=cf)
+        b = FaultPlan(seed=7, adhoc=cf, long_range=cf)
+        assert a.decisions(ADHOC, 500) == b.decisions(ADHOC, 500)
+        assert a.decisions(LONG_RANGE, 500) == b.decisions(LONG_RANGE, 500)
+
+    def test_different_seed_different_stream(self):
+        cf = ChannelFaults(drop=0.3, duplicate=0.2, delay=0.2)
+        a = FaultPlan(seed=1, adhoc=cf)
+        b = FaultPlan(seed=2, adhoc=cf)
+        assert a.decisions(ADHOC, 200) != b.decisions(ADHOC, 200)
+
+    def test_channels_have_independent_streams(self):
+        cf = ChannelFaults(drop=0.5)
+        plan = FaultPlan(seed=3, adhoc=cf, long_range=cf)
+        assert plan.decisions(ADHOC, 200) != plan.decisions(LONG_RANGE, 200)
+
+    def test_decision_rates_match_probabilities(self):
+        cf = ChannelFaults(drop=0.2, duplicate=0.1, delay=0.1)
+        plan = FaultPlan(seed=0, adhoc=cf)
+        n = 20_000
+        actions = [a for a, _ in plan.decisions(ADHOC, n)]
+        assert actions.count(DROP) / n == pytest.approx(0.2, abs=0.01)
+        assert actions.count(DUPLICATE) / n == pytest.approx(0.1, abs=0.01)
+        assert actions.count(DELAY) / n == pytest.approx(0.1, abs=0.01)
+        assert actions.count(DELIVER) / n == pytest.approx(0.6, abs=0.01)
+
+    def test_delay_extra_in_bounds(self):
+        plan = FaultPlan(seed=0, adhoc=ChannelFaults(delay=1.0, max_delay=3))
+        for action, extra in plan.decisions(ADHOC, 200):
+            assert action == DELAY
+            assert 1 <= extra <= 3
+
+    def test_crash_schedule_materialization(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(node=4, at_round=2, recover_round=5),
+                CrashEvent(node=7, at_round=2, stage="tree"),
+            )
+        )
+        sched = plan.crash_schedule(10)
+        assert sched[2] == ((4,), ())
+        assert sched[5] == ((), (4,))
+        assert plan.crash_schedule(10, stage="tree")[2] == ((4, 7), ())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelFaults(drop=1.5)
+        with pytest.raises(ValueError):
+            ChannelFaults(drop=0.6, duplicate=0.6)
+        with pytest.raises(ValueError):
+            ChannelFaults(delay=0.1, max_delay=0)
+        with pytest.raises(ValueError):
+            CrashEvent(node=0, at_round=5, recover_round=5)
+        with pytest.raises(ValueError):
+            Blackout(start=4, end=2)
+        with pytest.raises(ValueError):
+            FaultPlan(retries=-1)
+
+    def test_is_null(self):
+        assert FaultPlan().is_null()
+        assert FaultPlan(seed=9, retries=10).is_null()
+        assert not FaultPlan(adhoc=ChannelFaults(drop=0.1)).is_null()
+        assert not FaultPlan(crashes=(CrashEvent(node=0),)).is_null()
+        assert not FaultPlan(blackouts=(Blackout(start=1, end=2),)).is_null()
+
+
+def run_collect(plan, n=2, max_rounds=40):
+    sim = HybridSimulator(line_points(n), faults=plan)
+    sim.spawn(lambda *a: Collect(*a))
+    res = sim.run(max_rounds=max_rounds, on_timeout="fail")
+    return sim, res
+
+
+class TestChannelFaultSemantics:
+    def test_drop_without_retries_loses_messages(self):
+        plan = FaultPlan(seed=0, adhoc=ChannelFaults(drop=1.0))
+        sim, res = run_collect(plan)
+        assert res.completed
+        assert sim.nodes[1].got == []
+        fs = res.fault_summary()
+        assert fs["drop"] == 3
+        assert fs["lost"] == 3
+        assert fs["retry"] == 0
+
+    def test_drop_with_retries_delivers_exactly_once(self):
+        plan = FaultPlan(seed=0, adhoc=ChannelFaults(drop=0.5), retries=50)
+        sim, res = run_collect(plan)
+        assert res.completed
+        kinds = [k for _, _, k in sim.nodes[1].got]
+        assert sorted(kinds) == ["m1", "m2", "m3"]  # exactly once each
+        fs = res.fault_summary()
+        assert fs["lost"] == 0
+        assert fs["retry"] == fs["drop"] > 0
+
+    def test_duplicate_delivers_both_copies_same_round(self):
+        plan = FaultPlan(seed=0, adhoc=ChannelFaults(duplicate=1.0))
+        sim, res = run_collect(plan)
+        got = sim.nodes[1].got
+        assert len(got) == 6  # every message twice
+        # both copies of each message land in the same round
+        by_round = {}
+        for rnd, _, kind in got:
+            by_round.setdefault(kind, []).append(rnd)
+        assert all(len(set(rs)) == 1 and len(rs) == 2 for rs in by_round.values())
+        assert res.fault_summary()["duplicate"] == 3
+
+    def test_delay_holds_the_logical_round_open(self):
+        """Lockstep recovery: a delayed message costs recovery rounds but is
+        still delivered within its logical round — protocols never observe
+        reordering."""
+        plan = FaultPlan(
+            seed=0, adhoc=ChannelFaults(delay=1.0, max_delay=2), retries=5
+        )
+        sim, res = run_collect(plan)
+        kinds = [k for _, _, k in sim.nodes[1].got]
+        assert sorted(kinds) == ["m1", "m2", "m3"]
+        fs = res.fault_summary()
+        assert fs["delay"] == 3
+        assert fs["recovery_round"] > 0
+        # physical rounds exceed the lossless run's logical rounds
+        clean = run_collect(None)[1]
+        assert res.rounds > clean.rounds
+
+    def test_blackout_defers_long_range_only(self):
+        class LongPing(NodeProcess):
+            def __init__(self, *a):
+                super().__init__(*a)
+                self.knowledge.add(1 - self.node_id)
+                self.got = []
+
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_long_range(1, "ping")
+
+            def on_round(self, ctx, inbox):
+                self.got.extend((ctx.round_no, m.kind) for m in inbox)
+                self.done = ctx.round_no >= 6
+
+        plan = FaultPlan(blackouts=(Blackout(start=1, end=3),), retries=10)
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: LongPing(*a))
+        res = sim.run(max_rounds=30, on_timeout="fail")
+        assert sim.nodes[1].got  # delivered after the outage
+        fs = res.fault_summary()
+        assert fs["blackout_defer"] == 3  # deferred in rounds 1..3
+        assert fs["blackout_drop"] == 0
+
+    def test_blackout_without_retries_drops(self):
+        class LongPing(NodeProcess):
+            def __init__(self, *a):
+                super().__init__(*a)
+                self.knowledge.add(1 - self.node_id)
+                self.got = []
+
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_long_range(1, "ping")
+
+            def on_round(self, ctx, inbox):
+                self.got.extend(inbox)
+                self.done = ctx.round_no >= 4
+
+        plan = FaultPlan(blackouts=(Blackout(start=1, end=3),))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: LongPing(*a))
+        res = sim.run(max_rounds=20, on_timeout="fail")
+        assert sim.nodes[1].got == []
+        assert res.fault_summary()["blackout_drop"] == 1
+
+
+class TestCrashSemantics:
+    def test_crashed_node_is_silent(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=0, at_round=1),))
+        sim, res = run_collect(plan, n=2)
+        # node 0 crashed before sending anything in round 1
+        assert sim.nodes[1].got == []
+        assert res.fault_summary()["crash"] == 1
+
+    def test_crash_at_round_zero_skips_start(self):
+        class Starter(NodeProcess):
+            started = set()
+
+            def start(self, ctx):
+                Starter.started.add(self.node_id)
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        Starter.started = set()
+        plan = FaultPlan(crashes=(CrashEvent(node=1, at_round=0),))
+        sim = HybridSimulator(line_points(3), faults=plan)
+        sim.spawn(lambda *a: Starter(*a))
+        sim.run(max_rounds=10, on_timeout="fail")
+        assert Starter.started == {0, 2}
+
+    def test_send_to_crashed_node_is_not_a_violation(self):
+        """Satellite fix: the sender cannot know the recipient crashed, so
+        the send succeeds and the message is lost in transit — never a
+        ModelViolation."""
+        plan = FaultPlan(crashes=(CrashEvent(node=1, at_round=1),))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: Collect(*a))
+        # a permanently crashed node never reports done, so bound by rounds
+        res = sim.run(max_rounds=60, until=lambda s: sim.nodes[0].done)
+        assert res.completed
+        assert sim.nodes[1].got == []
+        fs = res.fault_summary()
+        assert fs["crash_drop"] == 3
+        assert fs["lost"] == 3
+
+    def test_no_delivery_in_the_crash_round(self):
+        """Satellite fix: a message staged for a node that crashes the same
+        round its inbox would be processed is dropped, not delivered."""
+
+        class PingRound1(NodeProcess):
+            def __init__(self, *a):
+                super().__init__(*a)
+                self.got = []
+
+            def start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send_adhoc(1, "ping")
+
+            def on_round(self, ctx, inbox):
+                self.got.extend(inbox)
+                self.done = ctx.round_no >= 3
+
+        # sent in round 0, would be processed in round 1 — the crash round
+        plan = FaultPlan(crashes=(CrashEvent(node=1, at_round=1),))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: PingRound1(*a))
+        res = sim.run(max_rounds=20, on_timeout="fail")
+        assert sim.nodes[1].got == []
+        assert res.fault_summary()["crash_drop"] >= 1
+
+    def test_recovery_calls_hook_and_resumes_delivery(self):
+        recovered = []
+
+        class Pinger(Collect):
+            count = 6
+
+            def on_recover(self, ctx):
+                recovered.append((self.node_id, ctx.round_no))
+
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=1, at_round=2, recover_round=4),),
+            retries=10,
+        )
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: Pinger(*a))
+        res = sim.run(max_rounds=60, on_timeout="fail")
+        assert recovered == [(1, 4)]
+        kinds = {k for _, _, k in sim.nodes[1].got}
+        # messages sent while down were saved by the transport retry budget
+        assert {"m1", "m2", "m3", "m4", "m5", "m6"} <= kinds
+        assert res.fault_summary()["recover"] == 1
+
+    def test_crashed_nodes_view(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=0, at_round=1),))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: Collect(*a))
+        sim.run(max_rounds=20, on_timeout="fail")
+        assert sim.crashed_nodes() == {0}
+
+
+class TestReplayAndIdentity:
+    def test_zero_plan_is_byte_identical(self):
+        """Acceptance: an all-zero FaultPlan produces metrics identical to a
+        run with no plan at all (the lossless code path)."""
+        sim_a, res_a = run_collect(None)
+        sim_b, res_b = run_collect(FaultPlan(seed=123, retries=5))
+        assert sim_b.faults is None  # null plan short-circuits
+        assert res_a.metrics.summary() == res_b.metrics.summary()
+        assert res_a.metrics.fault_summary() == res_b.metrics.fault_summary()
+        assert sim_a.nodes[1].got == sim_b.nodes[1].got
+
+    def test_fixed_seed_replay_identical_fault_stream(self):
+        """Acceptance: two runs under the same lossy plan inject identical
+        per-round fault counts."""
+        cf = ChannelFaults(drop=0.3, duplicate=0.1, delay=0.1)
+        plan = FaultPlan(seed=42, adhoc=cf, long_range=cf, retries=8)
+        _, res_a = run_collect(plan, max_rounds=80)
+        _, res_b = run_collect(plan, max_rounds=80)
+        assert res_a.metrics.faults_by_round == res_b.metrics.faults_by_round
+        assert res_a.fault_summary() == res_b.fault_summary()
+        assert res_a.rounds == res_b.rounds
+
+    def test_timeout_fail_reports_cleanly(self):
+        class Never(NodeProcess):
+            def on_round(self, ctx, inbox):
+                pass
+
+        sim = HybridSimulator(
+            line_points(2), faults=FaultPlan(adhoc=ChannelFaults(drop=0.5))
+        )
+        sim.spawn(lambda *a: Never(*a))
+        res = sim.run(max_rounds=5, on_timeout="fail")
+        assert not res.completed
+        assert res.timed_out
+
+    def test_invalid_on_timeout_rejected(self):
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: Collect(*a))
+        with pytest.raises(ValueError):
+            sim.run(max_rounds=5, on_timeout="ignore")
+
+
+class RLNode(NodeProcess):
+    """Reliable-link echo pair: node 0 sends ``count`` payloads to node 1."""
+
+    count = 5
+
+    def __init__(self, *a):
+        super().__init__(*a)
+        self.link = ReliableLink(self, timeout=2, max_attempts=12)
+        self.got = []
+
+    def on_round(self, ctx, inbox):
+        inbox = self.link.on_inbox(ctx, inbox)
+        for msg in inbox:
+            self.got.append(msg.payload["i"])
+        if self.node_id == 0 and ctx.round_no <= self.count:
+            self.link.send(ctx, 1, "data", {"i": ctx.round_no})
+        self.link.tick(ctx)
+        self.done = ctx.round_no > self.count and self.link.idle
+
+
+class TestReliableLink:
+    def test_lossless_passthrough(self):
+        sim = HybridSimulator(line_points(2))
+        sim.spawn(lambda *a: RLNode(*a))
+        res = sim.run(max_rounds=30)
+        assert res.completed
+        assert sorted(sim.nodes[1].got) == [1, 2, 3, 4, 5]
+
+    def test_at_least_once_under_loss_without_transport_retries(self):
+        """Protocol-level ARQ recovers loss on its own: retries=0 in the
+        plan, yet every payload arrives exactly once (dedup at the
+        receiver)."""
+        plan = FaultPlan(seed=5, adhoc=ChannelFaults(drop=0.4))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: RLNode(*a))
+        res = sim.run(max_rounds=100, on_timeout="fail")
+        assert res.completed
+        assert sorted(sim.nodes[1].got) == [1, 2, 3, 4, 5]
+        assert res.fault_summary()["retry"] > 0  # link resends were counted
+
+    def test_duplicate_suppression(self):
+        plan = FaultPlan(seed=1, adhoc=ChannelFaults(duplicate=1.0))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: RLNode(*a))
+        res = sim.run(max_rounds=40, on_timeout="fail")
+        assert res.completed
+        assert sorted(sim.nodes[1].got) == [1, 2, 3, 4, 5]
+
+    def test_abandons_after_max_attempts(self):
+        class GiveUp(RLNode):
+            count = 1
+
+            def __init__(self, *a):
+                super().__init__(*a)
+                self.link = ReliableLink(self, timeout=1, max_attempts=2)
+
+            def on_round(self, ctx, inbox):
+                super().on_round(ctx, inbox)
+                self.done = ctx.round_no > 8 and self.link.idle
+
+        plan = FaultPlan(seed=0, adhoc=ChannelFaults(drop=1.0))
+        sim = HybridSimulator(line_points(2), faults=plan)
+        sim.spawn(lambda *a: GiveUp(*a))
+        res = sim.run(max_rounds=50, on_timeout="fail")
+        assert res.completed
+        assert sim.nodes[1].got == []
+        assert sim.nodes[0].link.dead  # the abandoned sequence is reported
+
+    def test_validation(self):
+        node = RLNode(0, (0.0, 0.0), [], {})
+        with pytest.raises(ValueError):
+            ReliableLink(node, timeout=0)
+        with pytest.raises(ValueError):
+            ReliableLink(node, max_attempts=0)

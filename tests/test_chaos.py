@@ -1,0 +1,150 @@
+"""Chaos properties: the pipeline under randomized fault plans.
+
+Two properties, checked with hypothesis over fault seeds and rates:
+
+* **below threshold** — with loss rates the transport retry budget can
+  absorb, the full §5 setup still converges, produces the same hulls as the
+  lossless run, the hull router delivers, and the extra (recovery) rounds
+  stay within a constant factor of the clean round count;
+* **above threshold** — with message loss beyond what the budget can absorb,
+  the pipeline reports a clean ``SetupResult`` failure (``ok=False`` with
+  the failing stage named): it never hangs and never leaks an exception.
+
+Every failing example shrinks to a single replayable :class:`FaultPlan`.
+Example count is controlled by the ``CHAOS_EXAMPLES`` env var (CI's chaos
+job raises it; the default keeps the tier-1 suite fast).
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import SetupResult, run_distributed_setup
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario, random_fault_plan
+
+CHAOS_SETTINGS = settings(
+    max_examples=int(os.environ.get("CHAOS_EXAMPLES", "5")),
+    deadline=None,
+    derandomize=True,
+)
+
+# One small instance, built once: chaos examples re-run the pipeline, not
+# the geometry.
+_SC = perturbed_grid_scenario(
+    width=8, height=8, hole_count=1, hole_scale=2.0, seed=2
+)
+_GRAPH = build_ldel(_SC.points)
+_BASELINE = run_distributed_setup(_SC.points, seed=2, udg=_GRAPH.udg)
+assert _BASELINE.ok
+
+
+def _hull_sets(abstraction):
+    return sorted(
+        tuple(sorted(h.hull)) for h in abstraction.holes if not h.is_outer
+    )
+
+
+class TestBelowThreshold:
+    @CHAOS_SETTINGS
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=10**6),
+        drop=st.floats(min_value=0.0, max_value=0.12),
+        duplicate=st.floats(min_value=0.0, max_value=0.03),
+        delay=st.floats(min_value=0.0, max_value=0.03),
+    )
+    def test_setup_converges_and_router_delivers(
+        self, fault_seed, drop, duplicate, delay
+    ):
+        plan = random_fault_plan(
+            fault_seed,
+            loss=drop,
+            duplicate=duplicate,
+            delay=delay,
+            retries=30,
+        )
+        result = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        assert result.ok, f"failed at {result.failed_stage} under {plan}"
+        # same abstraction as the lossless run
+        assert _hull_sets(result.abstraction) == _hull_sets(
+            _BASELINE.abstraction
+        )
+        # bounded recovery overhead: a constant factor of the clean rounds
+        assert result.total_rounds <= 12 * _BASELINE.total_rounds + 50
+        # and the product is usable: the hull router delivers
+        router = hull_router(result.abstraction)
+        rng = np.random.default_rng(fault_seed)
+        for s, t in sample_pairs(_SC.n, 10, rng):
+            assert router.route(s, t).reached
+
+    def test_clean_plan_matches_baseline_exactly(self):
+        """Acceptance: an all-zero plan is byte-identical to no plan."""
+        plan = random_fault_plan(99, loss=0.0, retries=30)
+        result = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        assert result.ok
+        assert result.metrics.summary() == _BASELINE.metrics.summary()
+        assert result.rounds_by_stage() == _BASELINE.rounds_by_stage()
+        assert result.fault_summary() == {
+            k: 0 for k in result.fault_summary()
+        }
+
+
+class TestAboveThreshold:
+    @CHAOS_SETTINGS
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=10**6),
+        drop=st.floats(min_value=0.7, max_value=0.95),
+        retries=st.integers(min_value=0, max_value=1),
+    )
+    def test_heavy_loss_fails_cleanly(self, fault_seed, drop, retries):
+        """Unrecoverable loss must yield a clean failure report — no hang,
+        no uncaught exception, the failing stage named."""
+        plan = random_fault_plan(fault_seed, loss=drop, retries=retries)
+        result = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        assert isinstance(result, SetupResult)
+        if not result.ok:
+            assert result.failed_stage  # names the stage (or assembly step)
+            assert result.fault_summary()["lost"] > 0
+
+    def test_replay_is_deterministic(self):
+        """Acceptance: the same lossy plan replays to identical per-round
+        fault counts and the same outcome."""
+        plan = random_fault_plan(13, loss=0.85, retries=1)
+        a = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        b = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        assert a.ok == b.ok
+        assert a.failed_stage == b.failed_stage
+        assert a.fault_summary() == b.fault_summary()
+        assert a.metrics.faults_by_round == b.metrics.faults_by_round
+
+
+class TestCrashThreshold:
+    def test_unrecovered_boundary_crash_fails_cleanly(self):
+        """Permanently crashing a hull corner mid-pipeline must produce a
+        named stage failure, not a hang."""
+        from repro.scenarios import boundary_crash_plan
+
+        plan = boundary_crash_plan(
+            _BASELINE.abstraction, seed=0, count=1, at_round=2
+        )
+        result = run_distributed_setup(
+            _SC.points, seed=2, udg=_GRAPH.udg, faults=plan
+        )
+        assert not result.ok
+        assert result.failed_stage
+        assert result.fault_summary()["crash"] >= 1

@@ -56,3 +56,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "total rounds" in out
         assert "tree" in out
+
+
+class TestChaosCommand:
+    # width 8 converges fast under the default noise profile
+    CHAOS_ARGS = ["--width", "8", "--holes", "1", "--hole-scale", "2.0",
+                  "--seed", "2"]
+
+    def test_chaos_recoverable(self, capsys):
+        rc = main(
+            ["chaos", *self.CHAOS_ARGS, "--drop", "0.1", "--pairs", "5"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "faults injected" in out
+        assert "setup completed under faults" in out
+
+    def test_chaos_unrecoverable_reports_stage(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                *self.CHAOS_ARGS,
+                "--drop",
+                "0.9",
+                "--retries",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "setup FAILED at stage" in out
+
+    def test_chaos_crash_and_blackout_flags(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                *self.CHAOS_ARGS,
+                "--drop",
+                "0",
+                "--crashes",
+                "1",
+                "--crash-round",
+                "2",
+                "--recover-round",
+                "5",
+                "--crash-stage",
+                "ring_hulls",
+                "--blackout",
+                "2:4",
+                "--blackout-stage",
+                "ring_doubling",
+                "--pairs",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "crashing hole-boundary nodes" in out

@@ -4,6 +4,11 @@ Compressed versions of the exploratory sweeps used during development; they
 assert the property that matters for the release: the hull router delivers
 every message without rescue fallbacks on any assumption-satisfying
 instance, across shape families and placement randomness.
+
+The fault-injection classes at the bottom stress the same property under
+*targeted* adversity — crashes of hull corners mid-construction, long-range
+blackouts during pointer jumping, duplicated deliveries — using the
+stage-scoped events of :mod:`repro.scenarios.adversarial`.
 """
 
 import numpy as np
@@ -11,8 +16,15 @@ import pytest
 
 from repro.core.abstraction import build_abstraction
 from repro.graphs.ldel import build_ldel
+from repro.protocols.setup import run_distributed_setup
 from repro.routing import hull_router, sample_pairs
-from repro.scenarios import perturbed_grid_scenario, poisson_scenario
+from repro.scenarios import (
+    blackout_plan,
+    boundary_crash_plan,
+    perturbed_grid_scenario,
+    poisson_scenario,
+    random_fault_plan,
+)
 
 SHAPE_MIXES = [
     ("rectangle", "polygon", "ellipse"),
@@ -58,3 +70,161 @@ def test_poisson_sweep(seed):
         out = router.route(s, t)
         assert out.reached
         assert not out.used_fallback
+
+
+# -- fault robustness ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def faulted_base():
+    """Small instance + lossless pipeline baseline for the fault tests."""
+    sc = perturbed_grid_scenario(
+        width=8, height=8, hole_count=1, hole_scale=2.0, seed=2
+    )
+    graph = build_ldel(sc.points)
+    baseline = run_distributed_setup(sc.points, seed=2, udg=graph.udg)
+    assert baseline.ok
+    return sc, graph, baseline
+
+
+def _hull_sets(abstraction):
+    return sorted(
+        tuple(sorted(h.hull)) for h in abstraction.holes if not h.is_outer
+    )
+
+
+class TestCrashMidHullConstruction:
+    def test_recovered_boundary_crash_converges(self, faulted_base):
+        """A hull corner crashing during the §5.3 hull merge and recovering
+        a few rounds later must not change the computed hulls: the transport
+        retries bridge the outage and the node resumes with its state."""
+        sc, graph, baseline = faulted_base
+        plan = boundary_crash_plan(
+            baseline.abstraction,
+            seed=1,
+            count=1,
+            at_round=3,
+            recover_round=6,
+            stage="ring_hulls",
+            retries=20,
+        )
+        result = run_distributed_setup(
+            sc.points, seed=2, udg=graph.udg, faults=plan
+        )
+        assert result.ok, f"failed at {result.failed_stage}"
+        assert _hull_sets(result.abstraction) == _hull_sets(
+            baseline.abstraction
+        )
+        fs = result.fault_summary()
+        assert fs["crash"] == 1
+        assert fs["recover"] == 1
+        # the crash is stage-scoped: only ring_hulls pays recovery rounds
+        for stage, clean in baseline.stage_metrics.items():
+            if stage != "ring_hulls":
+                assert result.stage_metrics[stage]["rounds"] == clean["rounds"]
+
+    def test_unrecovered_crash_fails_the_stage(self, faulted_base):
+        sc, graph, baseline = faulted_base
+        plan = boundary_crash_plan(
+            baseline.abstraction,
+            seed=1,
+            count=1,
+            at_round=3,
+            stage="ring_hulls",
+            retries=5,
+        )
+        result = run_distributed_setup(
+            sc.points, seed=2, udg=graph.udg, faults=plan
+        )
+        assert not result.ok
+        assert result.failed_stage == "ring_hulls"
+
+
+class TestBlackoutDuringPointerJumping:
+    def test_long_range_outage_is_ridden_out(self, faulted_base):
+        """Pointer jumping is long-range traffic; a blackout over its early
+        rounds defers every jump message, yet with a retry budget spanning
+        the outage the stage completes with the same result."""
+        sc, graph, baseline = faulted_base
+        plan = blackout_plan(
+            start=2, end=5, stage="ring_doubling", retries=10
+        )
+        result = run_distributed_setup(
+            sc.points, seed=2, udg=graph.udg, faults=plan
+        )
+        assert result.ok, f"failed at {result.failed_stage}"
+        assert _hull_sets(result.abstraction) == _hull_sets(
+            baseline.abstraction
+        )
+        fs = result.fault_summary()
+        assert fs["blackout_defer"] > 0
+        assert fs["blackout_drop"] == 0
+        assert (
+            result.stage_metrics["ring_doubling"]["rounds"]
+            > baseline.stage_metrics["ring_doubling"]["rounds"]
+        )
+
+    def test_outage_without_retries_fails_cleanly(self, faulted_base):
+        sc, graph, baseline = faulted_base
+        plan = blackout_plan(start=2, end=5, stage="ring_doubling")
+        result = run_distributed_setup(
+            sc.points, seed=2, udg=graph.udg, faults=plan
+        )
+        assert not result.ok
+        assert result.failed_stage == "ring_doubling"
+        assert result.fault_summary()["blackout_drop"] > 0
+
+
+class TestDuplicateIdempotence:
+    def test_pipeline_survives_duplicates(self, faulted_base):
+        """Regression: duplicated rank replies used to be spliced twice,
+        inflating ring sizes and deadlocking the hull merge."""
+        sc, graph, baseline = faulted_base
+        plan = random_fault_plan(0, loss=0.0, duplicate=0.08, retries=0)
+        result = run_distributed_setup(
+            sc.points, seed=2, udg=graph.udg, faults=plan
+        )
+        assert result.ok, f"failed at {result.failed_stage}"
+        assert _hull_sets(result.abstraction) == _hull_sets(
+            baseline.abstraction
+        )
+
+    def test_routing_protocol_delivers_exactly_once(self, faulted_base):
+        """Duplicated payload deliveries must not produce duplicate
+        DeliveryRecords or forwarding storms."""
+        from repro.protocols.routing_protocol import (
+            RoutingDirectory,
+            RoutingNodeProcess,
+        )
+        from repro.protocols.runners import run_until_quiet
+        from repro.simulation import HybridSimulator
+
+        sc, graph, baseline = faulted_base
+        abst = baseline.abstraction
+        rng = np.random.default_rng(4)
+        pairs = sample_pairs(sc.n, 12, rng)
+        directory = RoutingDirectory(abst)
+        requests = {}
+        for s, t in pairs:
+            requests.setdefault(s, []).append(t)
+        plan = random_fault_plan(7, loss=0.0, duplicate=0.25, retries=0)
+        sim = HybridSimulator(graph.points, adjacency=graph.udg, faults=plan)
+        sim.spawn(
+            lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+                nid,
+                pos,
+                nbrs,
+                nbrp,
+                directory=directory,
+                ldel_neighbors=graph.adjacency.get(nid, []),
+                requests=requests.get(nid, []),
+            )
+        )
+        res = run_until_quiet(sim, max_rounds=4000)
+        assert res.completed
+        records = [
+            rec for p in res.nodes.values() for rec in p.delivered
+        ]
+        assert {(r.source, r.target) for r in records} == set(pairs)
+        assert len(records) == len(pairs)  # exactly one record per request
+        assert res.fault_summary()["duplicate"] > 0
