@@ -4,7 +4,9 @@ Commands
 --------
 ``demo``    generate a scenario, build the abstraction, route sample pairs
 ``route``   route one source→target pair (optionally render an SVG)
-``trace``   run the distributed §5 pipeline and print per-stage costs
+``trace``   run the distributed §5 pipeline and print per-stage costs;
+            ``--export``/``--diff`` emit and compare deterministic JSONL
+            event traces (see ``docs/observability.md``)
 ``bench``   a quick competitiveness comparison table
 ``chaos``   re-run the §5 pipeline under an injected fault plan and compare
 
@@ -56,6 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace", help="distributed pipeline trace")
     common(p_trace)
+    p_trace.add_argument(
+        "--export",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run's event trace as JSONL",
+    )
+    p_trace.add_argument(
+        "--diff",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="compare the run's trace against a previously exported JSONL "
+        "(exit 1 and print the first divergence on mismatch)",
+    )
+    p_trace.add_argument(
+        "--show",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N trace events",
+    )
 
     p_bench = sub.add_parser("bench", help="quick strategy comparison")
     common(p_bench)
@@ -164,20 +188,45 @@ def cmd_route(args) -> int:
 
 def cmd_trace(args) -> int:
     from .protocols.setup import run_distributed_setup
+    from .simulation.tracing import (
+        TraceRecorder,
+        first_divergence,
+        format_divergence,
+        load_jsonl,
+    )
 
     sc, graph, abst = _make(args)
-    setup = run_distributed_setup(sc.points, seed=args.seed, udg=graph.udg)
+    recorder = TraceRecorder()
+    setup = run_distributed_setup(
+        sc.points, seed=args.seed, udg=graph.udg, trace=recorder
+    )
     rows = [
         {
             "stage": stage,
             "rounds": int(m["rounds"]),
             "adhoc": int(m["adhoc_messages"]),
             "long_range": int(m["long_range_messages"]),
+            "wall_s": round(spans.get(stage, {}).get("seconds", 0.0), 3),
         }
+        for spans in (recorder.span_report(),)
         for stage, m in setup.stage_metrics.items()
     ]
     print(format_table(rows, title=f"distributed pipeline on n={sc.n}"))
     print(f"total rounds: {setup.total_rounds}")
+    print(f"trace: {len(recorder)} events, digest {recorder.digest()}")
+    if args.show:
+        for ev in recorder.events()[-args.show :]:
+            print(f"  {ev.to_json()}")
+    if args.export:
+        digest = recorder.export_jsonl(args.export)
+        print(f"trace written to {args.export} (digest {digest})")
+    if args.diff:
+        golden = load_jsonl(args.diff)
+        div = first_divergence(golden, recorder.events())
+        if div is not None:
+            print(format_divergence(div, golden, recorder.events()))
+            return 1
+        print(f"trace matches {args.diff} ({len(golden)} events)")
     return 0
 
 

@@ -175,6 +175,7 @@ class RoutingNodeProcess(NodeProcess):
     def start(self, ctx: Context) -> None:
         """Open the long-range position handshake for every request (§1.2)."""
         for t in self.requests:
+            ctx.trace("route_launch", node=self.node_id, target=t)
             ctx.send_long_range(t, "pos_request", {"target": t})
 
     def on_round(self, ctx: Context, inbox: List[Message]) -> None:
@@ -227,17 +228,32 @@ class RoutingNodeProcess(NodeProcess):
                     rounds=self._round - state["round0"],
                 )
             )
+            ctx.trace(
+                "route_deliver",
+                source=state["source"],
+                target=target,
+                hops=len(hops) - 1,
+            )
             return
 
-        next_hop = self._decide(state)
+        next_hop = self._decide(state, ctx)
         if next_hop is None:
             # Undeliverable under the protocol (never happens on instances
             # satisfying the paper's assumptions); drop and record nothing —
             # the test harness detects missing deliveries.
+            ctx.trace(
+                "route_undeliverable", node=self.node_id, target=target
+            )
             return
+        ctx.trace(
+            "route_forward",
+            node=self.node_id,
+            target=target,
+            next=next_hop,
+        )
         ctx.send_adhoc(next_hop, "payload", state)
 
-    def _decide(self, state: dict) -> Optional[int]:
+    def _decide(self, state: dict, ctx: Optional[Context] = None) -> Optional[int]:
         """Node-local next-hop choice; may mutate the leg plan in place."""
         target = state["target"]
         legs: List = state["legs"]
@@ -259,6 +275,10 @@ class RoutingNodeProcess(NodeProcess):
             if nxt is not None:
                 return nxt
             # Mid-leg stall: ban the leg and replan from here.
+            if ctx is not None:
+                ctx.trace(
+                    "route_stuck", node=self.node_id, target=target, leg=goal
+                )
             state["banned"] = list(state["banned"]) + [sorted(nodes)]
         else:
             nxt = self._greedy_next(target)
@@ -266,6 +286,13 @@ class RoutingNodeProcess(NodeProcess):
                 return nxt
 
         banned = {frozenset(b) for b in state["banned"]}
+        if ctx is not None:
+            ctx.trace(
+                "route_replan",
+                node=self.node_id,
+                target=target,
+                banned=len(banned),
+            )
         plan = self.directory.plan_from(self.node_id, target, banned)
         if plan is None:
             return None

@@ -23,6 +23,7 @@ from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
 from ..simulation.node import NodeProcess
 from ..simulation.scheduler import HybridSimulator, SimulationResult
+from ..simulation.tracing import TraceRecorder
 from .rings import RingCorner
 
 __all__ = ["run_stage", "run_until_quiet", "synthetic_ring", "StagePipeline"]
@@ -58,6 +59,7 @@ def run_stage(
     faults: Optional[FaultPlan] = None,
     stage: Optional[str] = None,
     on_timeout: str = "raise",
+    trace: Optional[TraceRecorder] = None,
 ) -> SimulationResult:
     """Run one protocol phase on the given topology.
 
@@ -65,10 +67,16 @@ def run_stage(
     builds each process; knowledge from ``prev_nodes`` (a prior phase's
     processes) is inherited.  ``faults``/``stage`` inject the given fault
     plan scoped to this stage's name; ``on_timeout="fail"`` converts a
-    round-budget overrun into a clean incomplete result.
+    round-budget overrun into a clean incomplete result; ``trace`` records
+    the stage's event stream.
     """
     sim = HybridSimulator(
-        points, radius=radius, adjacency=adjacency, faults=faults, stage=stage
+        points,
+        radius=radius,
+        adjacency=adjacency,
+        faults=faults,
+        stage=stage,
+        trace=trace,
     )
     sim.spawn(
         lambda nid, pos, nbrs, nbrp: factory(
@@ -97,11 +105,13 @@ class StagePipeline:
         adjacency: Adjacency,
         radius: float = 1.0,
         faults: Optional[FaultPlan] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.points = points
         self.adjacency = adjacency
         self.radius = radius
         self.faults = faults
+        self.trace = trace
         self.metrics = MetricsCollector()
         self.stage_metrics: Dict[str, Dict[str, float]] = {}
         self._last_nodes: Optional[Dict[int, NodeProcess]] = None
@@ -115,18 +125,21 @@ class StagePipeline:
         on_timeout: str = "raise",
     ) -> SimulationResult:
         """Run one named stage, folding its metrics and knowledge forward."""
-        result = run_stage(
-            self.points,
-            self.adjacency,
-            factory,
-            per_node_kwargs,
-            prev_nodes=self._last_nodes,
-            max_rounds=max_rounds,
-            radius=self.radius,
-            faults=self.faults,
-            stage=name,
-            on_timeout=on_timeout,
-        )
+        if self.trace is not None:
+            self.trace.emit("stage_begin", round_no=0, stage=name)
+            with self.trace.span(name):
+                result = self._run_stage(name, factory, per_node_kwargs, max_rounds, on_timeout)
+            self.trace.emit(
+                "stage_end",
+                round_no=result.metrics.rounds,
+                stage=name,
+                rounds=result.metrics.rounds,
+                messages=result.metrics.total_messages,
+                words=result.metrics.total_words,
+                completed=bool(result.completed),
+            )
+        else:
+            result = self._run_stage(name, factory, per_node_kwargs, max_rounds, on_timeout)
         self.metrics.merge(result.metrics)
         self.stage_metrics[name] = result.metrics.summary()
         # Knowledge accumulates across stages.
@@ -137,6 +150,28 @@ class StagePipeline:
                     proc.knowledge |= prev.knowledge
         self._last_nodes = result.nodes
         return result
+
+    def _run_stage(
+        self,
+        name: str,
+        factory: Callable[..., NodeProcess],
+        per_node_kwargs: Callable[[int], dict],
+        max_rounds: int,
+        on_timeout: str,
+    ) -> SimulationResult:
+        return run_stage(
+            self.points,
+            self.adjacency,
+            factory,
+            per_node_kwargs,
+            prev_nodes=self._last_nodes,
+            max_rounds=max_rounds,
+            radius=self.radius,
+            faults=self.faults,
+            stage=name,
+            on_timeout=on_timeout,
+            trace=self.trace,
+        )
 
 
 def synthetic_ring(

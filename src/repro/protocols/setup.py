@@ -39,6 +39,7 @@ from ..graphs.ldel import LDelGraph
 from ..graphs.udg import Adjacency, unit_disk_graph
 from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
+from ..simulation.tracing import TraceRecorder
 from .dominating_set import SegmentMISProcess, SegmentSpec
 from .hull_protocol import RingHullProcess
 from .ldel_construction import LDelConstructionProcess
@@ -77,6 +78,8 @@ class SetupResult:
     storage_words: Dict[int, int]
     #: first stage that failed under fault injection (``None`` = clean run)
     failed_stage: Optional[str] = None
+    #: the recorder that observed the run (``None`` when tracing is off)
+    trace: Optional[TraceRecorder] = None
 
     @property
     def ok(self) -> bool:
@@ -91,9 +94,35 @@ class SetupResult:
         """Round counts per pipeline stage."""
         return {k: int(v["rounds"]) for k, v in self.stage_metrics.items()}
 
-    def fault_summary(self) -> Dict[str, int]:
-        """Injected-fault totals across every stage (zero on clean runs)."""
-        return self.metrics.fault_summary()
+    def fault_summary(self, verify: bool = True) -> Dict[str, int]:
+        """Injected-fault totals across every stage (zero on clean runs).
+
+        On traced clean-completion runs the counters are asserted against
+        the trace-derived totals (the two accounting paths must agree; see
+        :meth:`SimulationResult.fault_summary`).  A failed run's metrics
+        stop at the failing stage while the trace holds its partial events,
+        so the cross-check only applies when ``ok``.
+        """
+        base = self.metrics.fault_summary()
+        if (
+            verify
+            and self.ok
+            and self.trace is not None
+            and self.trace.evicted == 0
+        ):
+            observed = dict.fromkeys(base, 0)
+            observed.update(self.trace.fault_counts())
+            if observed != base:
+                diff = {
+                    k: (base.get(k, 0), observed.get(k, 0))
+                    for k in set(base) | set(observed)
+                    if base.get(k, 0) != observed.get(k, 0)
+                }
+                raise AssertionError(
+                    "fault counters diverge from trace events "
+                    f"(metrics, trace): {diff}"
+                )
+        return base
 
 
 def run_distributed_setup(
@@ -104,6 +133,7 @@ def run_distributed_setup(
     skip_tree: bool = False,
     udg: Optional[Adjacency] = None,
     faults: Optional[FaultPlan] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> SetupResult:
     """Run the full §5 pipeline on a node cloud.
 
@@ -115,23 +145,32 @@ def run_distributed_setup(
     and never hangs: if a stage exhausts its round budget, or message loss
     corrupts protocol state beyond what the assembly can digest, the result
     reports the failing stage via ``failed_stage``/``ok`` instead.
+
+    ``trace`` records every stage's event stream (plus per-stage wall-clock
+    spans) into the given recorder; identical ``(points, seed, faults)``
+    runs produce byte-identical traces.
     """
     pts = as_array(points)
     if udg is None:
         udg = unit_disk_graph(pts, radius=radius)
     if faults is None or faults.is_null():
-        return _run_setup(pts, udg, radius, seed, skip_tree, None)
+        return _run_setup(pts, udg, radius, seed, skip_tree, None, trace=trace)
     pipe_box: List[StagePipeline] = []
     try:
-        return _run_setup(pts, udg, radius, seed, skip_tree, faults, pipe_box)
+        return _run_setup(
+            pts, udg, radius, seed, skip_tree, faults, pipe_box, trace=trace
+        )
     except _StageFailed as exc:
-        return _failed_result(pts, udg, radius, exc.stage, pipe_box)
+        if trace is not None:
+            trace.emit("stage_failed", stage=exc.stage)
+        return _failed_result(pts, udg, radius, exc.stage, pipe_box, trace)
     except Exception as exc:
         # Permanently lost messages can leave protocol state the assembly
         # was never meant to see; report it as a failure, not a crash.
-        return _failed_result(
-            pts, udg, radius, f"assembly ({type(exc).__name__})", pipe_box
-        )
+        stage = f"assembly ({type(exc).__name__})"
+        if trace is not None:
+            trace.emit("stage_failed", stage=stage)
+        return _failed_result(pts, udg, radius, stage, pipe_box, trace)
 
 
 def _failed_result(
@@ -140,6 +179,7 @@ def _failed_result(
     radius: float,
     stage: str,
     pipe_box: List["StagePipeline"],
+    trace: Optional[TraceRecorder] = None,
 ) -> SetupResult:
     """A clean failure report: empty abstraction, metrics up to the failure."""
     n = len(pts)
@@ -162,6 +202,7 @@ def _failed_result(
         hulls_received={},
         storage_words={},
         failed_stage=stage,
+        trace=trace,
     )
 
 
@@ -180,9 +221,10 @@ def _run_setup(
     skip_tree: bool,
     faults: Optional[FaultPlan],
     pipe_box: Optional[List["StagePipeline"]] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> SetupResult:
     ot = "fail" if faults is not None else "raise"
-    pipe = StagePipeline(pts, udg, radius=radius, faults=faults)
+    pipe = StagePipeline(pts, udg, radius=radius, faults=faults, trace=trace)
     if pipe_box is not None:
         pipe_box.append(pipe)
 
@@ -278,6 +320,7 @@ def _run_setup(
             adjacency=udg,
             faults=faults,
             stage="hull_distribution",
+            trace=trace,
         )
         sim_bcast.spawn(
             lambda nid, pos, nbrs, nbrp: TreeBroadcastProcess(
@@ -298,9 +341,27 @@ def _run_setup(
             prev = prior.get(nid)
             if prev is not None:
                 proc.knowledge |= prev.knowledge
-        res_bcast = _checked(
-            run_until_quiet(sim_bcast, on_timeout=ot), "hull_distribution", faults
-        )
+        if trace is not None:
+            trace.emit("stage_begin", round_no=0, stage="hull_distribution")
+            with trace.span("hull_distribution"):
+                res_bcast = _checked(
+                    run_until_quiet(sim_bcast, on_timeout=ot),
+                    "hull_distribution",
+                    faults,
+                )
+            trace.emit(
+                "stage_end",
+                round_no=res_bcast.metrics.rounds,
+                stage="hull_distribution",
+                rounds=res_bcast.metrics.rounds,
+                messages=res_bcast.metrics.total_messages,
+                words=res_bcast.metrics.total_words,
+                completed=bool(res_bcast.completed),
+            )
+        else:
+            res_bcast = _checked(
+                run_until_quiet(sim_bcast, on_timeout=ot), "hull_distribution", faults
+            )
         pipe.metrics.merge(res_bcast.metrics)
         pipe.stage_metrics["hull_distribution"] = res_bcast.metrics.summary()
         hulls_received = {
@@ -346,6 +407,7 @@ def _run_setup(
         tree_children=tree_children,
         hulls_received=hulls_received,
         storage_words=storage,
+        trace=trace,
     )
 
 

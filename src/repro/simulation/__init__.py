@@ -5,6 +5,16 @@ from .messages import ADHOC, LONG_RANGE, Message, payload_words
 from .metrics import ChannelStats, MetricsCollector
 from .node import NodeProcess, ReliableLink
 from .scheduler import Context, HybridSimulator, ModelViolation, SimulationResult
+from .tracing import (
+    Divergence,
+    TraceEvent,
+    TraceRecorder,
+    digest_events,
+    first_divergence,
+    format_divergence,
+    load_jsonl,
+    payload_fingerprint,
+)
 
 __all__ = [
     "ADHOC",
@@ -23,4 +33,12 @@ __all__ = [
     "ChannelFaults",
     "CrashEvent",
     "FaultPlan",
+    "Divergence",
+    "TraceEvent",
+    "TraceRecorder",
+    "digest_events",
+    "first_divergence",
+    "format_divergence",
+    "load_jsonl",
+    "payload_fingerprint",
 ]

@@ -53,6 +53,23 @@ class MetricsCollector:
         #: two runs of the same seeded plan produce identical lists
         self.faults_by_round: List[Dict[str, int]] = []
         self._round_faults: Dict[str, int] = defaultdict(int)
+        #: per-stage round/message/word rollups (pipeline runs only):
+        #: stage -> {rounds, adhoc_messages, long_range_messages, words}
+        self.stage_rollups: Dict[str, Dict[str, int]] = {}
+        self._stage: Optional[str] = None
+
+    def begin_stage(self, name: str) -> None:
+        """Attribute subsequent rounds/sends to the named pipeline stage."""
+        self._stage = name
+        self.stage_rollups.setdefault(
+            name,
+            {
+                "rounds": 0,
+                "adhoc_messages": 0,
+                "long_range_messages": 0,
+                "words": 0,
+            },
+        )
 
     def record_send(self, msg: Message) -> None:
         """Account one submitted message on its channel and sender."""
@@ -61,6 +78,11 @@ class MetricsCollector:
         self.sent_by_node[msg.sender] += 1
         self.words_by_node[msg.sender] += msg.words
         self._this_round[msg.sender] += 1
+        if self._stage is not None:
+            roll = self.stage_rollups[self._stage]
+            key = "adhoc_messages" if msg.channel == ADHOC else "long_range_messages"
+            roll[key] += 1
+            roll["words"] += msg.words
 
     def record_fault(self, kind: str, count: int = 1) -> None:
         """Account ``count`` injected fault events of ``kind`` this round."""
@@ -81,6 +103,8 @@ class MetricsCollector:
         self._this_round = defaultdict(int)
         self.faults_by_round.append(dict(self._round_faults))
         self._round_faults = defaultdict(int)
+        if self._stage is not None:
+            self.stage_rollups[self._stage]["rounds"] += 1
 
     # -- aggregates ----------------------------------------------------------
     @property
@@ -116,6 +140,18 @@ class MetricsCollector:
         for k, v in other.fault_counts.items():
             self.fault_counts[k] += v
         self.faults_by_round.extend(dict(d) for d in other.faults_by_round)
+        for name, roll in other.stage_rollups.items():
+            mine = self.stage_rollups.setdefault(
+                name,
+                {
+                    "rounds": 0,
+                    "adhoc_messages": 0,
+                    "long_range_messages": 0,
+                    "words": 0,
+                },
+            )
+            for k, v in roll.items():
+                mine[k] += v
 
     def fault_summary(self) -> Dict[str, int]:
         """Flat dict of injected-fault totals (all zero on clean runs)."""

@@ -197,6 +197,13 @@ class ReliableLink:
             if attempts >= self.max_attempts:
                 del self._pending[seq]
                 self.dead.append(seq)
+                ctx.trace(
+                    "arq_dead",
+                    node=self.owner.node_id,
+                    dst=recipient,
+                    seq=seq,
+                    attempts=attempts,
+                )
                 continue
             self._pending[seq] = (
                 recipient, kind, body, intro, channel, ctx.round_no, attempts + 1

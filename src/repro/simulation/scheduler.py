@@ -35,6 +35,7 @@ from .faults import DELAY, DROP, DUPLICATE, FaultPlan
 from .messages import ADHOC, LONG_RANGE, Message
 from .metrics import MetricsCollector
 from .node import NodeProcess
+from .tracing import TraceRecorder, payload_fingerprint
 
 __all__ = ["Context", "HybridSimulator", "ModelViolation", "SimulationResult"]
 
@@ -91,7 +92,15 @@ class Context:
 
     def record_retry(self) -> None:
         """Account a protocol-level retransmission (ReliableLink resends)."""
-        self._sim.metrics.record_retry()
+        self._sim._fault("retry", node=self._node.node_id)
+
+    def trace(self, etype: str, **data) -> None:
+        """Emit a protocol-level trace event (no-op when tracing is off)."""
+        sim = self._sim
+        if sim.trace is not None:
+            sim.trace.emit(
+                etype, round_no=sim.round_no, stage=sim.stage, **data
+            )
 
 
 @dataclass
@@ -114,6 +123,8 @@ class SimulationResult:
         metrics: MetricsCollector,
         completed: bool,
         timed_out: bool = False,
+        trace: Optional[TraceRecorder] = None,
+        stage: Optional[str] = None,
     ) -> None:
         self.nodes = nodes
         self.metrics = metrics
@@ -121,14 +132,39 @@ class SimulationResult:
         #: True when the run hit ``max_rounds`` under ``on_timeout="fail"`` —
         #: the clean failure report for unrecoverable fault schedules
         self.timed_out = timed_out
+        #: the recorder that observed the run (``None`` when tracing is off)
+        self.trace = trace
+        self._trace_stage = stage
 
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
 
-    def fault_summary(self) -> Dict[str, int]:
-        """Injected-fault totals for the run (all zero without a plan)."""
-        return self.metrics.fault_summary()
+    def fault_summary(self, verify: bool = True) -> Dict[str, int]:
+        """Injected-fault totals for the run (all zero without a plan).
+
+        When the run was traced, the counters are asserted against the
+        trace-derived totals: the scheduler emits exactly one fault event
+        per counter increment, so any divergence (e.g. a dropped-and-
+        retried message double-counted under duplication faults) raises
+        instead of silently reporting a wrong number.  ``verify=False``
+        returns the raw counters.
+        """
+        base = self.metrics.fault_summary()
+        if verify and self.trace is not None and self.trace.evicted == 0:
+            observed = dict.fromkeys(base, 0)
+            observed.update(self.trace.fault_counts(stage=self._trace_stage))
+            if observed != base:
+                diff = {
+                    k: (base.get(k, 0), observed.get(k, 0))
+                    for k in set(base) | set(observed)
+                    if base.get(k, 0) != observed.get(k, 0)
+                }
+                raise AssertionError(
+                    "fault counters diverge from trace events "
+                    f"(metrics, trace): {diff}"
+                )
+        return base
 
     def storage_by_node(self) -> Dict[int, int]:
         """Per-node protocol state in words (Theorem 1.2 accounting)."""
@@ -155,6 +191,11 @@ class HybridSimulator:
     stage:
         Pipeline-stage name used to scope stage-targeted crash/blackout
         events in the plan.
+    trace:
+        Optional :class:`~repro.simulation.tracing.TraceRecorder`.  When
+        given, every round boundary, send, delivery and fault event is
+        recorded; ``None`` (default) keeps the delivery path free of any
+        event construction (a single ``is not None`` check per site).
     """
 
     def __init__(
@@ -165,6 +206,7 @@ class HybridSimulator:
         strict: bool = True,
         faults: Optional[FaultPlan] = None,
         stage: Optional[str] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.points = as_array(points)
         self.radius = radius
@@ -185,6 +227,9 @@ class HybridSimulator:
             None if faults is None or faults.is_null() else faults
         )
         self.stage = stage
+        self.trace = trace
+        if stage is not None:
+            self.metrics.begin_stage(stage)
         self._crashed: Set[int] = set()
         self._pending: List[_InFlight] = []
         self._staged: Dict[int, List[Message]] = {}
@@ -221,6 +266,35 @@ class HybridSimulator:
             pos = (float(self.points[nid, 0]), float(self.points[nid, 1]))
             self.nodes[nid] = factory(nid, pos, list(nbrs), nbr_pos)
 
+    # -- tracing ------------------------------------------------------------
+    def _msg_fields(self, msg: Message) -> Dict[str, object]:
+        """The trace fields identifying one message (payload fingerprinted)."""
+        return {
+            "channel": msg.channel,
+            "kind": msg.kind,
+            "src": msg.sender,
+            "dst": msg.recipient,
+            "words": msg.words,
+            "fp": payload_fingerprint(msg.payload),
+        }
+
+    def _fault(self, kind: str, msg: Optional[Message] = None, count: int = 1, **extra) -> None:
+        """Account one fault in the metrics AND the trace, in lockstep.
+
+        Every fault counter increment flows through here, so the trace's
+        fault events and :meth:`MetricsCollector.fault_summary` cannot
+        drift apart — ``SimulationResult.fault_summary`` asserts exactly
+        that equivalence.
+        """
+        self.metrics.record_fault(kind, count)
+        if self.trace is not None:
+            data = dict(extra)
+            if msg is not None:
+                data.update(self._msg_fields(msg))
+            if count != 1:
+                data["n"] = count
+            self.trace.emit(kind, round_no=self.round_no, stage=self.stage, **data)
+
     # -- message handling -------------------------------------------------------
     def _submit(self, msg: Message) -> None:
         node = self.nodes.get(msg.sender)
@@ -255,6 +329,14 @@ class HybridSimulator:
         # delivery time (where the transport retry budget may still save
         # them, if the node recovers in time).
         self.metrics.record_send(msg)
+        if self.trace is not None:
+            self.trace.emit(
+                "send",
+                round_no=self.round_no,
+                stage=self.stage,
+                intro=len(msg.introduce),
+                **self._msg_fields(msg),
+            )
         self._outbox.append(msg)
 
     # -- fault machinery -----------------------------------------------------------
@@ -264,11 +346,11 @@ class HybridSimulator:
         for nid in crashed:
             if nid in self.nodes and nid not in self._crashed:
                 self._crashed.add(nid)
-                self.metrics.record_fault("crash")
+                self._fault("crash", node=nid)
         for nid in recovered:
             if nid in self._crashed:
                 self._crashed.discard(nid)
-                self.metrics.record_fault("recover")
+                self._fault("recover", node=nid)
                 node = self.nodes[nid]
                 node.on_recover(Context(self, node))
 
@@ -295,27 +377,27 @@ class HybridSimulator:
                 continue
             msg = item.msg
             if msg.recipient in self._crashed:
-                self.metrics.record_fault("crash_drop")
+                self._fault("crash_drop", msg)
                 if item.attempts < plan.retries:
-                    self.metrics.record_retry()
+                    self._fault("retry", msg, attempt=item.attempts + 1)
                     still.append(
                         _InFlight(msg, self.round_no + 1, item.attempts + 1)
                     )
                 else:
-                    self.metrics.record_fault("lost")
+                    self._fault("lost", msg)
                 continue
             if msg.channel == LONG_RANGE and plan.in_blackout(
                 self.round_no, self.stage
             ):
                 if item.attempts < plan.retries:
-                    self.metrics.record_fault("blackout_defer")
-                    self.metrics.record_retry()
+                    self._fault("blackout_defer", msg)
+                    self._fault("retry", msg, attempt=item.attempts + 1)
                     still.append(
                         _InFlight(msg, self.round_no + 1, item.attempts + 1)
                     )
                 else:
-                    self.metrics.record_fault("blackout_drop")
-                    self.metrics.record_fault("lost")
+                    self._fault("blackout_drop", msg)
+                    self._fault("lost", msg)
                 continue
             if item.forced:
                 self._stage_delivery(msg)
@@ -323,21 +405,21 @@ class HybridSimulator:
             action, extra = plan.decide(msg.channel, self._fault_seq)
             self._fault_seq += 1
             if action == DROP:
-                self.metrics.record_fault("drop")
+                self._fault("drop", msg)
                 if item.attempts < plan.retries:
-                    self.metrics.record_retry()
+                    self._fault("retry", msg, attempt=item.attempts + 1)
                     still.append(
                         _InFlight(msg, self.round_no + 1, item.attempts + 1)
                     )
                 else:
-                    self.metrics.record_fault("lost")
+                    self._fault("lost", msg)
             elif action == DELAY:
-                self.metrics.record_fault("delay")
+                self._fault("delay", msg, extra_rounds=extra)
                 still.append(
                     _InFlight(msg, self.round_no + extra, item.attempts, True)
                 )
             elif action == DUPLICATE:
-                self.metrics.record_fault("duplicate")
+                self._fault("duplicate", msg)
                 self._stage_delivery(msg)
                 self._stage_delivery(msg)
             else:
@@ -387,14 +469,22 @@ class HybridSimulator:
                 break
 
             self.round_no += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "round_begin", round_no=self.round_no, stage=self.stage
+                )
             if self.faults is not None:
                 self._apply_crash_schedule()
                 if not self._deliver_with_faults():
                     # Recovery round: retransmissions or delayed messages
                     # still in flight; the logical round completes (and the
                     # nodes run) only once every survivor has landed.
-                    self.metrics.record_fault("recovery_round")
+                    self._fault("recovery_round")
                     self.metrics.end_round()
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "round_end", round_no=self.round_no, stage=self.stage
+                        )
                     continue
             else:
                 self._inboxes = {}
@@ -409,16 +499,28 @@ class HybridSimulator:
                     # The node went silent after its inbox was staged;
                     # everything queued for it is lost.
                     if inbox:
-                        self.metrics.record_fault("crash_drop", len(inbox))
-                        self.metrics.record_fault("lost", len(inbox))
+                        self._fault("crash_drop", count=len(inbox), node=nid)
+                        self._fault("lost", count=len(inbox), node=nid)
                     continue
                 # ID-introduction: delivery teaches the recipient the
                 # sender's ID and all explicitly introduced IDs.
+                if self.trace is not None:
+                    for msg in inbox:
+                        self.trace.emit(
+                            "deliver",
+                            round_no=self.round_no,
+                            stage=self.stage,
+                            **self._msg_fields(msg),
+                        )
                 for msg in inbox:
                     node.knowledge.add(msg.sender)
                     node.knowledge.update(msg.introduce)
                 node.on_round(Context(self, node), inbox)
             self.metrics.end_round()
+            if self.trace is not None:
+                self.trace.emit(
+                    "round_end", round_no=self.round_no, stage=self.stage
+                )
         else:
             if on_timeout == "raise":
                 raise RuntimeError(
@@ -430,4 +532,11 @@ class HybridSimulator:
             completed = all(node.done for node in self.nodes.values())
         for node in self.nodes.values():
             node.finish()
-        return SimulationResult(self.nodes, self.metrics, completed, timed_out=timed_out)
+        return SimulationResult(
+            self.nodes,
+            self.metrics,
+            completed,
+            timed_out=timed_out,
+            trace=self.trace,
+            stage=self.stage,
+        )

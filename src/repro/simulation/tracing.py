@@ -1,0 +1,405 @@
+"""Deterministic structured tracing for the hybrid simulator.
+
+The paper's claims are round/message-complexity claims; the aggregate
+counters in :class:`~repro.simulation.metrics.MetricsCollector` say *how
+much* communication a run used, but not *where* it went.  This module adds
+the missing window: a :class:`TraceRecorder` captures a typed event stream —
+round boundaries, per-message sends and deliveries, injected faults, setup
+stage transitions, routing decisions — into an in-memory ring buffer with
+JSONL export and a stable content digest.
+
+Determinism is the contract: every event field derives from simulation
+state (round numbers, node IDs, message kinds, seeded fault decisions), so
+two runs with identical ``(scenario, seed, FaultPlan)`` produce
+**byte-identical** JSONL traces and equal digests.  That is what the
+golden-trace regression suite pins.  Wall-clock *span timers* are recorded
+separately (:meth:`TraceRecorder.span`) and never enter the event stream or
+the digest — they are profiling hooks, not protocol facts.
+
+Zero overhead when disabled: the simulator holds ``trace=None`` by default
+and guards every emission site with a plain ``is not None`` check; no event
+object is ever constructed on the disabled path.
+
+Event taxonomy (see ``docs/observability.md`` for the full field tables):
+
+===================  ======================================================
+event type           meaning
+===================  ======================================================
+``round_begin``      a scheduler round opened (physical round under faults)
+``round_end``        the round closed (metrics rolled)
+``send``             a message was submitted to the transport
+``deliver``          a message reached its recipient's ``on_round`` inbox
+``drop`` /           an injected fault hit a delivery attempt (same kinds
+``duplicate`` /      as :meth:`MetricsCollector.fault_summary`, one event
+``delay`` / ...      per counter increment — the two stay in lockstep)
+``crash`` /          a scheduled crash/recovery activated
+``recover``
+``recovery_round``   an extra lockstep round spent on retransmissions
+``stage_begin`` /    a pipeline stage of the §5 setup started / finished
+``stage_end``
+``stage_failed``     a stage aborted under fault injection
+``route_*``          node-local routing decisions (launch, forward, replan,
+                     stuck, deliver, undeliverable)
+``arq_dead``         a :class:`ReliableLink` send exhausted its attempts
+===================  ======================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+import time
+from collections import Counter, deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_EVENTS",
+    "Divergence",
+    "TraceEvent",
+    "TraceRecorder",
+    "digest_events",
+    "first_divergence",
+    "format_divergence",
+    "load_jsonl",
+    "payload_fingerprint",
+]
+
+#: Fault event types, exactly the counter keys of
+#: :meth:`MetricsCollector.fault_summary` — the scheduler emits one event
+#: per counter increment so the two accounting paths can be cross-checked.
+FAULT_EVENTS = frozenset(
+    {
+        "drop",
+        "duplicate",
+        "delay",
+        "crash_drop",
+        "blackout_defer",
+        "blackout_drop",
+        "lost",
+        "retry",
+        "crash",
+        "recover",
+        "recovery_round",
+    }
+)
+
+#: JSON keys reserved for the event envelope; ``emit`` data may not use them.
+_RESERVED_KEYS = frozenset({"i", "r", "s", "ev"})
+
+
+def _canon(value: Any) -> Any:
+    """Canonicalize a value for deterministic JSON serialization.
+
+    Integers/floats (including numpy scalars) map to plain Python numbers,
+    tuples to lists, sets to sorted lists.  Anything exotic falls back to
+    ``repr`` — stable enough for fingerprints, loud enough to notice.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, dict):
+        return {
+            str(k): _canon(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canon(v) for v in value), key=repr)
+    return repr(value)
+
+
+def payload_fingerprint(value: Any) -> str:
+    """Short stable hash of a message payload (12 hex chars).
+
+    Trace events carry this instead of the payload itself: traces stay
+    compact, yet any perturbation of a protocol message's content changes
+    the event stream (and therefore the digest) — which is exactly what the
+    golden-trace tests want to detect.
+    """
+    blob = json.dumps(_canon(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed trace event.
+
+    ``seq`` is the global emission index, ``round_no`` the scheduler round
+    at emission time, ``stage`` the pipeline stage (``None`` outside
+    pipelines), ``etype`` the event type and ``data`` the sorted extra
+    fields.  Serialization is canonical JSON (sorted keys, compact
+    separators), so equal events produce byte-equal lines.
+    """
+
+    seq: int
+    round_no: int
+    etype: str
+    stage: Optional[str] = None
+    data: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_json(self) -> str:
+        """The event's canonical JSONL line (no trailing newline)."""
+        obj: Dict[str, Any] = {"i": self.seq, "r": self.round_no, "ev": self.etype}
+        if self.stage is not None:
+            obj["s"] = self.stage
+        obj.update(dict(self.data))
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Parse one JSONL line back into an event (export round-trip)."""
+        obj = json.loads(line)
+        data = tuple(
+            sorted((k, v) for k, v in obj.items() if k not in _RESERVED_KEYS)
+        )
+        return cls(
+            seq=obj["i"],
+            round_no=obj["r"],
+            etype=obj["ev"],
+            stage=obj.get("s"),
+            data=data,
+        )
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch one extra field by name."""
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+
+class TraceRecorder:
+    """Typed event ring buffer with JSONL export and a content digest.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size.  When the buffer is full the oldest events are
+        evicted (``evicted`` counts them); ``digest()``/``to_jsonl()``
+        always describe exactly the retained window, so an exported file
+        re-loads and re-digests identically regardless of eviction.
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: total events ever emitted (including evicted ones)
+        self.total_events = 0
+        #: events pushed out of the ring buffer
+        self.evicted = 0
+        #: wall-clock span samples as (name, seconds) — NOT part of the
+        #: event stream or digest (wall-clock is nondeterministic)
+        self.spans: List[Tuple[str, float]] = []
+
+    # -- recording -----------------------------------------------------------
+    def emit(
+        self,
+        etype: str,
+        round_no: int = 0,
+        stage: Optional[str] = None,
+        **data: Any,
+    ) -> TraceEvent:
+        """Append one event; extra keyword fields are canonicalized."""
+        bad = _RESERVED_KEYS.intersection(data)
+        if bad:
+            raise ValueError(f"reserved event field(s): {sorted(bad)}")
+        ev = TraceEvent(
+            seq=self.total_events,
+            round_no=round_no,
+            etype=etype,
+            stage=stage,
+            data=tuple(sorted((k, _canon(v)) for k, v in data.items())),
+        )
+        if len(self._events) == self.capacity:
+            self.evicted += 1
+        self._events.append(ev)
+        self.total_events += 1
+        return ev
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Wall-clock span timer (profiling hook; excluded from the digest)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.spans.append((name, time.perf_counter() - t0))
+
+    def clear(self) -> None:
+        """Drop all events, counters and spans."""
+        self._events.clear()
+        self.total_events = 0
+        self.evicted = 0
+        self.spans = []
+
+    # -- access ---------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # -- serialization --------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The retained events as JSONL (one canonical line per event)."""
+        return "".join(ev.to_json() + "\n" for ev in self._events)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`to_jsonl` — the trace's identity."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+    def export_jsonl(self, path) -> str:
+        """Write the retained events to ``path``; returns the digest."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- rollups ----------------------------------------------------------------
+    def counts_by_type(self) -> Dict[str, int]:
+        """Raw event counts per event type."""
+        return dict(Counter(ev.etype for ev in self._events))
+
+    def fault_counts(self, stage: Any = "__all__") -> Dict[str, int]:
+        """Injected-fault totals derived from the event stream.
+
+        Sums the optional ``n`` field (bulk events such as the crash-drop of
+        a whole inbox carry one event with a count).  ``stage`` restricts
+        the rollup to one pipeline stage (``None`` selects events emitted
+        outside any stage); the default covers the whole trace.
+        """
+        out: Counter = Counter()
+        for ev in self._events:
+            if ev.etype not in FAULT_EVENTS:
+                continue
+            if stage != "__all__" and ev.stage != stage:
+                continue
+            out[ev.etype] += int(ev.get("n", 1))
+        return dict(out)
+
+    def message_rollup(self) -> Dict[Optional[str], Dict[str, int]]:
+        """Per-stage send/deliver/word totals derived from the trace.
+
+        Keys are stage names (``None`` for events outside a pipeline); each
+        value carries ``sends``, ``delivers``, ``send_words``,
+        ``adhoc_sends`` and ``long_range_sends`` — the trace-side mirror of
+        :attr:`MetricsCollector.stage_rollups`.
+        """
+        out: Dict[Optional[str], Dict[str, int]] = {}
+        for ev in self._events:
+            if ev.etype not in ("send", "deliver"):
+                continue
+            row = out.setdefault(
+                ev.stage,
+                {
+                    "sends": 0,
+                    "delivers": 0,
+                    "send_words": 0,
+                    "adhoc_sends": 0,
+                    "long_range_sends": 0,
+                },
+            )
+            if ev.etype == "send":
+                row["sends"] += 1
+                row["send_words"] += int(ev.get("words", 0))
+                if ev.get("channel") == "adhoc":
+                    row["adhoc_sends"] += 1
+                else:
+                    row["long_range_sends"] += 1
+            else:
+                row["delivers"] += 1
+        return out
+
+    def span_report(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate wall-clock spans: name -> {calls, seconds}."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, dt in self.spans:
+            row = out.setdefault(name, {"calls": 0, "seconds": 0.0})
+            row["calls"] += 1
+            row["seconds"] += dt
+        return out
+
+
+# ---------------------------------------------------------------------------
+# file round-trip + divergence reporting
+# ---------------------------------------------------------------------------
+
+
+def load_jsonl(path) -> List[TraceEvent]:
+    """Load an exported trace file back into events."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+def digest_events(events: Sequence[TraceEvent]) -> str:
+    """Digest of an event sequence; matches :meth:`TraceRecorder.digest`."""
+    text = "".join(ev.to_json() + "\n" for ev in events)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first position where two traces disagree."""
+
+    index: int
+    expected: Optional[TraceEvent]
+    actual: Optional[TraceEvent]
+
+
+def first_divergence(
+    expected: Sequence[TraceEvent], actual: Sequence[TraceEvent]
+) -> Optional[Divergence]:
+    """First index where the two event streams differ, or ``None``.
+
+    A missing tail (one trace shorter than the other) diverges at the
+    shorter trace's length with the absent side reported as ``None``.
+    """
+    for i, (a, b) in enumerate(zip(expected, actual)):
+        if a.to_json() != b.to_json():
+            return Divergence(i, a, b)
+    if len(expected) != len(actual):
+        i = min(len(expected), len(actual))
+        return Divergence(
+            i,
+            expected[i] if i < len(expected) else None,
+            actual[i] if i < len(actual) else None,
+        )
+    return None
+
+
+def format_divergence(
+    div: Divergence,
+    expected: Sequence[TraceEvent],
+    actual: Sequence[TraceEvent],
+    context: int = 3,
+) -> str:
+    """Readable first-divergence report with a few lines of agreed context."""
+    lines = [
+        f"first divergence at event {div.index} "
+        f"(expected trace: {len(expected)} events, actual: {len(actual)})"
+    ]
+    for j in range(max(0, div.index - context), div.index):
+        lines.append(f"    = {expected[j].to_json()}")
+    exp = div.expected.to_json() if div.expected is not None else "<end of trace>"
+    act = div.actual.to_json() if div.actual is not None else "<end of trace>"
+    lines.append(f"  - expected: {exp}")
+    lines.append(f"  + actual:   {act}")
+    return "\n".join(lines)

@@ -14,6 +14,22 @@ from repro.graphs.ldel import build_ldel
 from repro.scenarios import perturbed_grid_scenario, poisson_scenario
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden trace fixtures under "
+        "tests/simulation/golden/ instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def flat_instance():
     """Hole-free jittered grid: the greedy-friendly base case."""

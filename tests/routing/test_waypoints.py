@@ -140,3 +140,115 @@ class TestPlanning:
         v = planner.base_vertices[0]
         plan = planner.plan(v, v)
         assert plan is not None and plan.legs == []
+
+
+class TestLegAndPathDataTypes:
+    def test_waypoint_path_nodes_empty(self):
+        from repro.routing.waypoints import WaypointPath
+
+        assert WaypointPath(legs=[]).nodes == []
+        assert WaypointPath(legs=[]).weight == 0.0
+
+    def test_waypoint_path_nodes_chain(self):
+        from repro.routing.waypoints import Leg, WaypointPath
+
+        legs = [Leg(1, 2, "chew", weight=1.0), Leg(2, 5, "arc", (2, 3, 5), 2.5)]
+        p = WaypointPath(legs=legs)
+        assert p.nodes == [1, 2, 5]
+        assert p.weight == pytest.approx(3.5)
+
+    def test_plan_legs_chain_consecutively(self, hull_planner):
+        abst, planner = hull_planner
+        ids = planner.base_vertices
+        plan = planner.plan(ids[0], ids[-1])
+        for a, b in zip(plan.legs, plan.legs[1:]):
+            assert a.dst == b.src
+
+
+class TestEdgeStore:
+    def test_add_edge_ignores_self_loop(self, hull_planner):
+        abst, planner = hull_planner
+        store = {}
+        planner._add_edge(store, 3, 3, "chew")
+        assert store == {}
+
+    def test_add_edge_keeps_lighter_parallel(self, hull_planner):
+        abst, planner = hull_planner
+        store = {}
+        planner._add_edge(store, 1, 2, "chew", weight=5.0)
+        planner._add_edge(store, 1, 2, "arc", path=(1, 7, 2), weight=3.0)
+        assert store[1][2].kind == "arc" and store[1][2].weight == 3.0
+        planner._add_edge(store, 1, 2, "chew", weight=9.0)  # heavier: ignored
+        assert store[1][2].weight == 3.0
+
+    def test_add_edge_reverse_is_symmetric(self, hull_planner):
+        abst, planner = hull_planner
+        store = {}
+        planner._add_edge(store, 1, 2, "arc", path=(1, 7, 2), weight=3.0)
+        rev = store[2][1]
+        assert rev.path == (2, 7, 1)
+        assert rev.weight == pytest.approx(store[1][2].weight)
+
+    def test_arc_weight_computed_from_path(self, hull_planner):
+        abst, planner = hull_planner
+        from repro.geometry.primitives import distance
+
+        b = planner.base_vertices
+        u, v = b[0], b[1]
+        hop = [w for w in range(len(abst.points)) if w not in (u, v)][0]
+        store = {}
+        planner._add_edge(store, u, v, "arc", path=(u, hop, v))
+        pts = abst.points
+        expect = distance(pts[u], pts[hop]) + distance(pts[hop], pts[v])
+        assert store[u][v].weight == pytest.approx(expect)
+
+
+class TestPlanFailureModes:
+    def test_all_edges_banned_returns_none(self, hull_planner):
+        """Banning every structural edge (chew AND the arc detours would
+        still exist) — so ban chews and verify the arc-only plan or None."""
+        abst, planner = hull_planner
+        ids = planner.base_vertices
+        banned = {
+            frozenset((u, v))
+            for u, nbrs in planner.base_edges.items()
+            for v in nbrs
+        }
+        plan = planner.plan(ids[0], ids[-1], banned=banned)
+        # chew edges are all banned; anything that survives is arc-only
+        if plan is not None:
+            assert all(leg.kind == "arc" for leg in plan.legs)
+
+    def test_banned_only_applies_to_chew_legs(self, hull_planner):
+        abst, planner = hull_planner
+        arc_edges = [
+            (u, v)
+            for u, nbrs in planner.base_edges.items()
+            for v, leg in nbrs.items()
+            if leg.kind == "arc"
+        ]
+        if not arc_edges:
+            pytest.skip("no arc edge in this instance")
+        u, v = arc_edges[0]
+        plan = planner.plan(u, v, banned={frozenset((u, v))})
+        assert plan is not None  # the arc leg itself is not bannable
+
+    def test_isolated_terminal_returns_none(self, multi_hole_instance):
+        """A planner with no vertices cannot connect mutually invisible
+        terminals; with no obstacles every pair is directly visible."""
+        sc, graph, abst = multi_hole_instance
+        planner = WaypointPlanner(abst, vertices=[], structure="visibility")
+        a, b = 0, len(abst.points) - 1
+        plan = planner.plan(a, b)
+        if planner.visible(a, b):
+            assert plan is not None and len(plan.legs) == 1
+        else:
+            assert plan is None
+
+    def test_bay_visibility_cache(self, hull_planner):
+        abst, planner = hull_planner
+        keys = list(planner.bay_groups)
+        if not keys:
+            pytest.skip("no bays")
+        first = planner._bay_visibility(keys[0])
+        assert planner._bay_visibility(keys[0]) is first  # cached

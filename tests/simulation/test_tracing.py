@@ -1,0 +1,436 @@
+"""Tracing unit tests + the golden-trace regression suite.
+
+The golden tests pin byte-exact JSONL traces (and their SHA-256 digests)
+of three canonical routing runs.  Any change to protocol message order,
+content, fault accounting or round structure shifts the trace and fails
+with a first-divergence diff.  After an *intentional* protocol change,
+regenerate the fixtures with::
+
+    PYTHONPATH=src python -m pytest tests/simulation/test_tracing.py --update-golden
+
+and commit the updated ``tests/simulation/golden/`` files (workflow:
+``docs/observability.md``).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.protocols.routing_protocol import RoutingDirectory, RoutingNodeProcess
+from repro.protocols.runners import run_until_quiet
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.holes import l_with_pocket
+from repro.simulation import (
+    ChannelFaults,
+    Context,
+    FaultPlan,
+    HybridSimulator,
+    NodeProcess,
+    TraceEvent,
+    TraceRecorder,
+    digest_events,
+    first_divergence,
+    format_divergence,
+    load_jsonl,
+    payload_fingerprint,
+)
+from repro.simulation.tracing import FAULT_EVENTS, Divergence, _canon
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+#: where failing golden tests dump the actual trace (uploaded by CI)
+ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "trace-artifacts"
+
+
+# ---------------------------------------------------------------------------
+# TraceRecorder / TraceEvent units
+# ---------------------------------------------------------------------------
+
+
+class TestTraceEvent:
+    def test_canonical_json_sorted_compact(self):
+        ev = TraceEvent(
+            seq=4, round_no=2, etype="send", stage="tree",
+            data=(("dst", 7), ("channel", "adhoc")),
+        )
+        line = ev.to_json()
+        assert " " not in line
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_json_round_trip(self):
+        ev = TraceEvent(
+            seq=0, round_no=1, etype="deliver", stage=None,
+            data=(("fp", "abc"), ("src", 3)),
+        )
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    def test_get(self):
+        ev = TraceEvent(seq=0, round_no=0, etype="x", data=(("a", 1),))
+        assert ev.get("a") == 1
+        assert ev.get("missing", "d") == "d"
+
+
+class TestCanonicalization:
+    def test_numpy_scalars_become_plain_numbers(self):
+        out = _canon({"a": np.int64(3), "b": np.float64(0.5)})
+        assert out == {"a": 3, "b": 0.5}
+        assert type(out["a"]) is int and type(out["b"]) is float
+
+    def test_containers(self):
+        assert _canon((1, 2)) == [1, 2]
+        assert _canon({3, 1, 2}) == [1, 2, 3]
+        assert list(_canon({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = payload_fingerprint({"x": 1, "y": (2, 3)})
+        b = payload_fingerprint({"y": [2, 3], "x": np.int32(1)})
+        assert a == b and len(a) == 12
+        assert payload_fingerprint({"x": 1, "y": (2, 4)}) != a
+
+
+class TestTraceRecorder:
+    def test_emit_sequence_and_len(self):
+        rec = TraceRecorder()
+        rec.emit("a", round_no=1)
+        rec.emit("b", round_no=2, stage="s", node=5)
+        assert len(rec) == 2 and rec.total_events == 2
+        assert [ev.seq for ev in rec] == [0, 1]
+        assert rec.events()[1].get("node") == 5
+
+    def test_reserved_keys_rejected(self):
+        rec = TraceRecorder()
+        for key in ("i", "r", "s", "ev"):
+            with pytest.raises(ValueError, match="reserved"):
+                rec.emit("a", **{key: 1})
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_ring_buffer_eviction(self):
+        rec = TraceRecorder(capacity=3)
+        for k in range(5):
+            rec.emit("e", round_no=k)
+        assert len(rec) == 3 and rec.total_events == 5 and rec.evicted == 2
+        assert [ev.round_no for ev in rec] == [2, 3, 4]
+        # digest covers exactly the retained window -> export round-trips
+        assert rec.digest() == digest_events(rec.events())
+
+    def test_spans_excluded_from_digest(self):
+        rec = TraceRecorder()
+        rec.emit("a")
+        before = rec.digest()
+        with rec.span("work"):
+            pass
+        assert rec.digest() == before
+        assert "work" not in rec.to_jsonl()
+        rep = rec.span_report()
+        assert rep["work"]["calls"] == 1 and rep["work"]["seconds"] >= 0.0
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.emit("a")
+        with rec.span("s"):
+            pass
+        rec.clear()
+        assert len(rec) == 0 and rec.total_events == 0 and rec.spans == []
+
+    def test_counts_and_fault_rollup(self):
+        rec = TraceRecorder()
+        rec.emit("send", stage="tree")
+        rec.emit("drop", stage="tree")
+        rec.emit("crash_drop", stage="ring", n=4)
+        rec.emit("drop", stage="ring")
+        assert rec.counts_by_type() == {"send": 1, "drop": 2, "crash_drop": 1}
+        assert rec.fault_counts() == {"drop": 2, "crash_drop": 4}
+        assert rec.fault_counts(stage="ring") == {"drop": 1, "crash_drop": 4}
+        assert rec.fault_counts(stage=None) == {}
+
+    def test_export_load_digest_round_trip(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit("send", round_no=1, stage="x", dst=2, fp="ab")
+        rec.emit("deliver", round_no=2, src=1)
+        path = tmp_path / "trace.jsonl"
+        digest = rec.export_jsonl(path)
+        loaded = load_jsonl(path)
+        assert loaded == rec.events()
+        assert digest == rec.digest() == digest_events(loaded)
+
+
+class TestDivergenceReporting:
+    def _events(self, rounds):
+        return [
+            TraceEvent(seq=i, round_no=r, etype="round_begin")
+            for i, r in enumerate(rounds)
+        ]
+
+    def test_identical_traces_no_divergence(self):
+        a = self._events([1, 2, 3])
+        assert first_divergence(a, self._events([1, 2, 3])) is None
+
+    def test_first_differing_event_found(self):
+        a = self._events([1, 2, 3])
+        b = self._events([1, 9, 3])
+        div = first_divergence(a, b)
+        assert div.index == 1
+        assert div.expected.round_no == 2 and div.actual.round_no == 9
+
+    def test_length_mismatch_reports_missing_tail(self):
+        a = self._events([1, 2, 3])
+        b = self._events([1, 2])
+        div = first_divergence(a, b)
+        assert div == Divergence(2, a[2], None)
+
+    def test_format_divergence_readable(self):
+        a = self._events([1, 2, 3])
+        b = self._events([1, 2])
+        text = format_divergence(first_divergence(a, b), a, b)
+        assert "first divergence at event 2" in text
+        assert "- expected:" in text and "+ actual:" in text
+        assert "<end of trace>" in text
+        assert a[1].to_json() in text  # agreed context lines
+
+
+# ---------------------------------------------------------------------------
+# golden-trace regression suite
+# ---------------------------------------------------------------------------
+
+
+def _hole_free():
+    sc = perturbed_grid_scenario(width=6.0, height=6.0, hole_count=0, seed=100)
+    return sc, "hull"
+
+
+def _single_hole():
+    sc = perturbed_grid_scenario(
+        width=8.0, height=8.0, hole_count=1, hole_scale=2.0, seed=3
+    )
+    return sc, "hull"
+
+
+def _intersecting_hulls():
+    # Two holes whose convex hulls intersect: outside the §4 assumptions,
+    # so the golden run uses the §3 visibility directory.
+    holes = l_with_pocket((3.5, 3.5), arm=6.0, thickness=1.2, pocket=1.3)
+    sc = perturbed_grid_scenario(width=13.0, height=13.0, holes=holes, seed=66)
+    return sc, "visibility"
+
+
+GOLDEN_SCENARIOS = {
+    "hole_free": _hole_free,
+    "single_hole": _single_hole,
+    "intersecting_hulls": _intersecting_hulls,
+}
+
+
+def record_golden_trace(name):
+    """Run one canonical routing scenario under tracing; returns the recorder.
+
+    Everything that feeds the trace is deterministic: fixed scenario seed,
+    fixed request pairs, no fault plan.
+    """
+    sc, mode = GOLDEN_SCENARIOS[name]()
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    n = len(sc.points)
+    pairs = [(0, n - 1), (n - 1, 0), (1, n - 2)]
+    directory = RoutingDirectory(abst, mode=mode)
+    requests = {}
+    for s, t in pairs:
+        requests.setdefault(s, []).append(t)
+    recorder = TraceRecorder()
+    sim = HybridSimulator(
+        graph.points, adjacency=graph.udg, trace=recorder, stage=name
+    )
+    sim.spawn(
+        lambda nid, pos, nbrs, nbrp: RoutingNodeProcess(
+            nid,
+            pos,
+            nbrs,
+            nbrp,
+            directory=directory,
+            ldel_neighbors=graph.adjacency.get(nid, []),
+            requests=requests.get(nid, []),
+        )
+    )
+    res = run_until_quiet(sim, max_rounds=4000)
+    delivered = {
+        (r.source, r.target) for p in res.nodes.values() for r in p.delivered
+    }
+    assert delivered == set(pairs), f"golden scenario {name} failed to deliver"
+    return recorder
+
+
+def _stored_digests():
+    path = GOLDEN_DIR / "digests.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_golden_trace(name, update_golden):
+    recorder = record_golden_trace(name)
+    fixture = GOLDEN_DIR / f"{name}.jsonl"
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        digest = recorder.export_jsonl(fixture)
+        digests = _stored_digests()
+        digests[name] = digest
+        (GOLDEN_DIR / "digests.json").write_text(
+            json.dumps(digests, indent=2, sort_keys=True) + "\n"
+        )
+        return
+
+    if not fixture.exists():
+        pytest.fail(
+            f"golden fixture {fixture} missing — regenerate with "
+            "`pytest tests/simulation/test_tracing.py --update-golden`"
+        )
+    golden = load_jsonl(fixture)
+    actual = recorder.events()
+    div = first_divergence(golden, actual)
+    if div is not None:
+        ARTIFACT_DIR.mkdir(exist_ok=True)
+        recorder.export_jsonl(ARTIFACT_DIR / f"{name}.actual.jsonl")
+        pytest.fail(
+            f"trace diverged from golden fixture {fixture.name} "
+            f"(actual dumped to trace-artifacts/{name}.actual.jsonl)\n"
+            + format_divergence(div, golden, actual)
+        )
+    assert digest_events(actual) == _stored_digests()[name]
+
+
+@pytest.mark.parametrize("name", ["hole_free"])
+def test_golden_trace_deterministic(name):
+    """Two identical runs produce byte-identical JSONL and equal digests."""
+    a = record_golden_trace(name)
+    b = record_golden_trace(name)
+    assert a.to_jsonl() == b.to_jsonl()
+    assert a.digest() == b.digest()
+
+
+def test_perturbed_message_fails_readably(monkeypatch):
+    """Tampering with one protocol message yields a readable divergence."""
+    clean = record_golden_trace("hole_free").events()
+
+    orig = Context.send_adhoc
+
+    def tampered(self, recipient, kind, payload=None, introduce=()):
+        if kind == "payload" and payload is not None:
+            payload = {**payload, "evil_bit": 1}
+        return orig(self, recipient, kind, payload, introduce=introduce)
+
+    monkeypatch.setattr(Context, "send_adhoc", tampered)
+    perturbed = record_golden_trace("hole_free").events()
+
+    assert digest_events(perturbed) != digest_events(clean)
+    div = first_divergence(clean, perturbed)
+    assert div is not None
+    report = format_divergence(div, clean, perturbed)
+    assert f"first divergence at event {div.index}" in report
+    # the diverging event is a payload send whose fingerprint moved
+    assert div.expected.etype == "send"
+    assert div.expected.get("fp") != div.actual.get("fp")
+
+
+# ---------------------------------------------------------------------------
+# trace wiring through the simulator
+# ---------------------------------------------------------------------------
+
+
+def line_points(n, spacing=0.9):
+    return np.array([[i * spacing, 0.0] for i in range(n)])
+
+
+class Chatter(NodeProcess):
+    """Node 0 streams ad hoc messages to node 1 for a few logical rounds."""
+
+    count = 6
+
+    def __init__(self, *a):
+        super().__init__(*a)
+        self.t = 0
+
+    def on_round(self, ctx, inbox):
+        self.t += 1
+        if self.node_id == 0 and self.t <= self.count:
+            ctx.send_adhoc(1, f"m{self.t}", {"t": self.t})
+        self.done = self.t > self.count + 2
+
+
+def _run_chatter(trace=None, faults=None):
+    sim = HybridSimulator(line_points(3), trace=trace, faults=faults)
+    sim.spawn(Chatter)
+    return sim.run(max_rounds=60)
+
+
+class TestSimulatorTracing:
+    def test_send_and_deliver_events_match_metrics(self):
+        rec = TraceRecorder()
+        res = _run_chatter(trace=rec)
+        counts = rec.counts_by_type()
+        assert counts["send"] == res.metrics.total_messages
+        assert counts["deliver"] == counts["send"]  # lossless run
+        assert counts["round_begin"] == counts["round_end"] == res.rounds
+
+    def test_round_numbers_monotone(self):
+        rec = TraceRecorder()
+        _run_chatter(trace=rec)
+        begins = [ev.round_no for ev in rec if ev.etype == "round_begin"]
+        assert begins == sorted(begins) and len(set(begins)) == len(begins)
+
+    def test_send_events_carry_message_identity(self):
+        rec = TraceRecorder()
+        _run_chatter(trace=rec)
+        sends = [ev for ev in rec if ev.etype == "send"]
+        assert sends, "no send events traced"
+        for ev in sends:
+            assert ev.get("channel") == "adhoc"
+            assert ev.get("src") == 0 and ev.get("dst") == 1
+            assert isinstance(ev.get("fp"), str) and len(ev.get("fp")) == 12
+            assert ev.get("words") >= 1
+
+    def test_untraced_run_unchanged(self):
+        traced = _run_chatter(trace=TraceRecorder())
+        plain = _run_chatter(trace=None)
+        assert plain.rounds == traced.rounds
+        assert plain.metrics.total_messages == traced.metrics.total_messages
+
+
+class TestFaultSummaryCrossCheck:
+    PLAN = FaultPlan(
+        seed=11,
+        adhoc=ChannelFaults(drop=0.2, duplicate=0.3, delay=0.1, max_delay=2),
+        retries=10,
+    )
+
+    def test_verified_summary_under_duplication(self):
+        rec = TraceRecorder()
+        res = _run_chatter(trace=rec, faults=self.PLAN)
+        summary = res.fault_summary()  # verify=True: trace cross-check
+        assert summary["duplicate"] > 0
+        assert summary == res.fault_summary(verify=False)
+        assert {k: v for k, v in summary.items() if v} == rec.fault_counts()
+        # every fault kind the scheduler emits is a known counter key
+        assert set(rec.fault_counts()) <= FAULT_EVENTS
+
+    def test_tampered_counter_detected(self):
+        rec = TraceRecorder()
+        res = _run_chatter(trace=rec, faults=self.PLAN)
+        res.metrics.fault_counts["duplicate"] += 1
+        with pytest.raises(AssertionError, match="diverge"):
+            res.fault_summary()
+        # verify=False still returns the raw (tampered) counters
+        assert res.fault_summary(verify=False)["duplicate"] > 0
+
+    def test_faulted_trace_is_deterministic(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        _run_chatter(trace=a, faults=self.PLAN)
+        _run_chatter(trace=b, faults=self.PLAN)
+        assert a.to_jsonl() == b.to_jsonl()

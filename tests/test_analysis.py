@@ -46,7 +46,41 @@ class TestFormatTable:
 
     def test_print_table(self, capsys):
         print_table([{"x": 1}], title="T")
-        assert "T" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert out.startswith("\n") and "T" in out
+
+    def test_empty_with_title(self):
+        assert format_table([], title="T") == "T\n(no rows)"
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        lines = format_table(rows).splitlines()
+        assert lines[-1].rstrip() == "3 |"  # b cell blank, not crash
+
+    def test_columns_absent_from_rows(self):
+        out = format_table([{"a": 1}], columns=["a", "ghost"])
+        assert "ghost" in out.splitlines()[0]
+
+    def test_float_trailing_zeros_stripped(self):
+        out = format_table([{"x": 2.5000}, {"x": 3.0}])
+        assert "2.5" in out and "2.500" not in out and "3.0" not in out
+        assert format_table([{"x": 3.0}]).splitlines()[-1].strip() == "3"
+
+    def test_negative_large_float(self):
+        out = format_table([{"x": -1234567.0}])
+        assert "-1,234,567" in out
+
+    def test_alignment_pads_to_widest_cell(self):
+        rows = [{"col": "short"}, {"col": "a much longer cell"}]
+        lines = format_table(rows).splitlines()
+        assert len({len(l.rstrip()) for l in lines[2:]}) >= 1
+        assert lines[0].startswith("col")
+        width = len("a much longer cell")
+        assert lines[2] == "short".ljust(width)
+
+    def test_bool_and_none_stringified(self):
+        out = format_table([{"a": True, "b": None}])
+        assert "True" in out and "None" in out
 
 
 class TestMakeInstance:

@@ -56,6 +56,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "total rounds" in out
         assert "tree" in out
+        assert "wall_s" in out  # per-stage span timers
+        assert "digest" in out
+
+
+class TestTraceRoundTrip:
+    # small instance: the trace subcommand runs the full §5 pipeline
+    TRACE_ARGS = ["--width", "7", "--holes", "0", "--seed", "5"]
+
+    def test_export_reloads_and_redigests_identically(self, tmp_path, capsys):
+        from repro.simulation import digest_events, load_jsonl
+
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", *self.TRACE_ARGS, "--export", str(path)]) == 0
+        out = capsys.readouterr().out
+        printed = [l for l in out.splitlines() if "trace written to" in l]
+        assert printed, out
+        digest = printed[0].rsplit("digest ", 1)[1].rstrip(")")
+        events = load_jsonl(path)
+        assert events, "exported trace is empty"
+        assert digest_events(events) == digest
+        # byte-level identity: re-serializing the loaded events reproduces
+        # the file exactly
+        text = "".join(ev.to_json() + "\n" for ev in events)
+        assert text == path.read_text()
+
+    def test_diff_matches_identical_run(self, tmp_path, capsys):
+        path = tmp_path / "golden.jsonl"
+        assert main(["trace", *self.TRACE_ARGS, "--export", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", *self.TRACE_ARGS, "--diff", str(path)]) == 0
+        assert "trace matches" in capsys.readouterr().out
+
+    def test_diff_reports_divergence(self, tmp_path, capsys):
+        path = tmp_path / "golden.jsonl"
+        assert main(["trace", *self.TRACE_ARGS, "--export", str(path)]) == 0
+        capsys.readouterr()
+        # perturb one event in the golden file
+        lines = path.read_text().splitlines()
+        lines[5] = lines[5].replace('"ev":"', '"ev":"tampered_')
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["trace", *self.TRACE_ARGS, "--diff", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at event 5" in out
+        assert "- expected:" in out and "+ actual:" in out
+
+    def test_show_prints_events(self, capsys):
+        assert main(["trace", *self.TRACE_ARGS, "--show", "3"]) == 0
+        out = capsys.readouterr().out
+        shown = [l for l in out.splitlines() if l.startswith("  {")]
+        assert len(shown) == 3
+        assert '"ev":' in shown[-1]
 
 
 class TestChaosCommand:

@@ -122,3 +122,135 @@ def test_chew_never_lengthens_past_corridor(params, pair_seed):
         res = chew_route(graph, s, t)
         assert res.path[0] == s
         assert set(res.path) <= res.corridor | {s, t}
+
+
+# ---------------------------------------------------------------------------
+# trace invariants (simulation observability)
+# ---------------------------------------------------------------------------
+
+from collections import Counter  # noqa: E402
+
+from repro.simulation import (  # noqa: E402
+    ChannelFaults,
+    FaultPlan,
+    HybridSimulator,
+    NodeProcess,
+    TraceRecorder,
+)
+
+
+class _TwoChannelChatter(NodeProcess):
+    """Node 0 exercises both channels: ad hoc to 1, long-range to the last."""
+
+    count = 5
+
+    def __init__(self, *a, far=0):
+        super().__init__(*a)
+        self.far = far
+        self.knowledge.add(far)  # §1.2: a known phone number
+        self.t = 0
+
+    def on_round(self, ctx, inbox):
+        self.t += 1
+        if self.node_id == 0 and self.t <= self.count:
+            ctx.send_adhoc(1, f"a{self.t}", {"t": self.t})
+            ctx.send_long_range(self.far, f"l{self.t}", {"t": self.t})
+        self.done = self.t > self.count + 2
+
+
+def _traced_chatter(plan=None):
+    pts = np.array([[i * 0.9, 0.0] for i in range(4)])
+    rec = TraceRecorder()
+    sim = HybridSimulator(pts, trace=rec, faults=plan)
+    far = len(pts) - 1
+    sim.spawn(lambda *a: _TwoChannelChatter(*a, far=far))
+    res = sim.run(max_rounds=120)
+    return rec, res
+
+
+fault_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "drop": st.floats(min_value=0.0, max_value=0.3),
+        "duplicate": st.floats(min_value=0.0, max_value=0.3),
+        "delay": st.floats(min_value=0.0, max_value=0.2),
+    }
+)
+
+
+def _msg_key(ev):
+    return (ev.get("channel"), ev.get("kind"), ev.get("src"),
+            ev.get("dst"), ev.get("fp"))
+
+
+@given(params=fault_params)
+@SLOW
+def test_trace_every_deliver_has_a_matching_send(params):
+    """Delivered messages are a sub-multiset of submitted ones — even under
+    drops, delays, duplication and retransmission."""
+    plan = FaultPlan(
+        seed=params["seed"],
+        adhoc=ChannelFaults(
+            drop=params["drop"], duplicate=params["duplicate"],
+            delay=params["delay"], max_delay=2,
+        ),
+        retries=12,
+    )
+    rec, res = _traced_chatter(plan if not plan.is_null() else None)
+    sends = Counter(_msg_key(ev) for ev in rec if ev.etype == "send")
+    delivers = Counter(_msg_key(ev) for ev in rec if ev.etype == "deliver")
+    dup = rec.fault_counts().get("duplicate", 0)
+    for key, n in delivers.items():
+        assert key in sends, f"deliver without send: {key}"
+        # a message is delivered at most once per submission plus duplicates
+        assert n <= sends[key] + dup
+    if plan.is_null():
+        assert delivers == sends  # lossless: exact multiset identity
+
+
+@given(params=fault_params)
+@SLOW
+def test_trace_round_indices_monotone(params):
+    plan = FaultPlan(
+        seed=params["seed"],
+        adhoc=ChannelFaults(drop=params["drop"], duplicate=params["duplicate"]),
+        retries=12,
+    )
+    rec, res = _traced_chatter(plan if not plan.is_null() else None)
+    begins = [ev.round_no for ev in rec if ev.etype == "round_begin"]
+    assert begins == sorted(begins)
+    assert len(set(begins)) == len(begins)
+    # every event sits inside the run's round span, and seq is gapless
+    assert all(0 <= ev.round_no <= res.rounds for ev in rec)
+    assert [ev.seq for ev in rec] == list(range(len(rec)))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_trace_per_stage_counts_match_metrics(seed):
+    """The trace's per-stage message rollup mirrors MetricsCollector's."""
+    from repro.protocols.setup import run_distributed_setup
+
+    sc = perturbed_grid_scenario(width=5.5, height=5.5, hole_count=0, seed=seed)
+    graph = build_ldel(sc.points)
+    rec = TraceRecorder()
+    setup = run_distributed_setup(sc.points, udg=graph.udg, trace=rec)
+    assert setup.ok
+    rollup = rec.message_rollup()
+    stage_rounds = Counter(
+        ev.stage for ev in rec if ev.etype == "round_begin"
+    )
+    for stage, m in setup.metrics.stage_rollups.items():
+        traced = rollup.get(stage, {"sends": 0, "send_words": 0,
+                                    "adhoc_sends": 0, "long_range_sends": 0})
+        assert traced["adhoc_sends"] == m["adhoc_messages"], stage
+        assert traced["long_range_sends"] == m["long_range_messages"], stage
+        assert traced["send_words"] == m["words"], stage
+        assert stage_rounds.get(stage, 0) == m["rounds"], stage
+    # and the totals close the loop with the merged collector
+    total_sends = sum(r["sends"] for r in rollup.values())
+    assert total_sends == setup.metrics.total_messages
