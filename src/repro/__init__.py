@@ -31,6 +31,7 @@ from .core import Abstraction, Bay, HoleAbstraction, build_abstraction
 from .graphs import LDelGraph, build_ldel, find_holes, unit_disk_graph
 from .routing import (
     HybridRouter,
+    QueryEngine,
     RouteOutcome,
     chew_route,
     delaunay_router,
@@ -57,6 +58,7 @@ __all__ = [
     "find_holes",
     "unit_disk_graph",
     "HybridRouter",
+    "QueryEngine",
     "RouteOutcome",
     "chew_route",
     "delaunay_router",

@@ -84,16 +84,20 @@ def make_instance(
 
 
 def strategy_route_fn(
-    inst: Instance, strategy: str
+    inst: Instance, strategy: str, engine=None
 ) -> Callable[[int, int], Tuple[List[int], bool, str, bool]]:
     """A ``route_fn`` for :func:`evaluate_routing` by strategy name.
 
     Strategies: ``hull`` / ``visibility`` / ``delaunay`` (the paper's
     protocols), ``greedy`` / ``compass`` / ``greedy_face`` (online
-    baselines).
+    baselines).  For the paper's protocols a prebuilt
+    :class:`~repro.routing.engine.QueryEngine` may be supplied; routes then
+    go through its caches (one engine serves all three modes).
     """
     g = inst.graph
     if strategy in ("hull", "visibility", "delaunay"):
+        if engine is not None:
+            return engine.route_fn(strategy)
         router = HybridRouter(inst.abstraction, mode=strategy)
 
         def fn(s: int, t: int) -> Tuple[List[int], bool, str, bool]:
@@ -143,9 +147,18 @@ def evaluate_strategy(
     strategy: str,
     pair_count: int = 100,
     seed: int = 0,
+    engine=None,
 ) -> CompetitivenessReport:
-    """Evaluate one strategy over a reproducible pair sample."""
+    """Evaluate one strategy over a reproducible pair sample.
+
+    With ``engine`` given (a :class:`~repro.routing.engine.QueryEngine`
+    built over ``inst.graph.udg``), the paper's protocol strategies route
+    through its caches and its Dijkstra LRU serves the optimal distances —
+    evaluating several strategies against one engine shares all of it.
+    """
     rng = np.random.default_rng(seed)
     pairs = sample_pairs(inst.n, pair_count, rng)
-    fn = strategy_route_fn(inst, strategy)
-    return evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)
+    fn = strategy_route_fn(inst, strategy, engine=engine)
+    return evaluate_routing(
+        inst.graph.points, inst.graph.udg, fn, pairs, engine=engine
+    )

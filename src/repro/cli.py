@@ -50,11 +50,30 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_demo)
     p_demo.add_argument("--pairs", type=int, default=6)
 
-    p_route = sub.add_parser("route", help="route one pair")
+    p_route = sub.add_parser("route", help="route one pair or a batch")
     common(p_route)
-    p_route.add_argument("source", type=int)
-    p_route.add_argument("target", type=int)
+    p_route.add_argument("source", type=int, nargs="?", default=None)
+    p_route.add_argument("target", type=int, nargs="?", default=None)
     p_route.add_argument("--svg", type=str, default=None, help="write scene SVG")
+    p_route.add_argument(
+        "--pairs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route N random pairs as one engine batch instead of s/t",
+    )
+    p_route.add_argument(
+        "--batch",
+        type=str,
+        default=None,
+        metavar="S:T,S:T,...",
+        help="route an explicit pair list as one engine batch",
+    )
+    p_route.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the query engine's caches (batch modes only)",
+    )
 
     p_trace = sub.add_parser("trace", help="distributed pipeline trace")
     common(p_trace)
@@ -160,8 +179,73 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _parse_batch(spec: str, n: int) -> List[tuple]:
+    pairs = []
+    for chunk in spec.split(","):
+        s, _, t = chunk.partition(":")
+        try:
+            pair = (int(s), int(t))
+        except ValueError:
+            raise ValueError(f"malformed pair {chunk!r} (expected S:T)")
+        if not (0 <= pair[0] < n and 0 <= pair[1] < n):
+            raise ValueError(f"pair {chunk!r} outside [0, {n})")
+        pairs.append(pair)
+    return pairs
+
+
+def _route_batch(args, sc, graph, abst) -> int:
+    from .routing import QueryEngine
+    from .simulation.metrics import MetricsCollector
+
+    if args.batch is not None:
+        try:
+            pairs = _parse_batch(args.batch, sc.n)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        rng = np.random.default_rng(args.seed + 1)
+        pairs = sample_pairs(sc.n, args.pairs, rng)
+    metrics = MetricsCollector()
+    engine = QueryEngine(
+        abst,
+        "hull",
+        udg=graph.udg,
+        caching=not args.no_cache,
+        metrics=metrics,
+    )
+    rows = []
+    for out in engine.route_many(pairs):
+        opt = engine.optimal(out.source, out.target)
+        rows.append(
+            {
+                "s": out.source,
+                "t": out.target,
+                "case": out.case,
+                "delivered": out.reached,
+                "hops": len(out.path) - 1,
+                "stretch": round(out.length(graph.points) / opt, 3)
+                if out.reached and 0 < opt < float("inf")
+                else "-",
+            }
+        )
+    print(format_table(rows, title=f"n={sc.n}, {len(pairs)} queries (batched)"))
+    if not args.no_cache:
+        cache_rows = [
+            {"cache": name, **{k: round(v, 3) for k, v in row.items()}}
+            for name, row in metrics.cache_summary().items()
+        ]
+        print(format_table(cache_rows, title="engine caches"))
+    return 0
+
+
 def cmd_route(args) -> int:
     sc, graph, abst = _make(args)
+    if args.pairs is not None or args.batch is not None:
+        return _route_batch(args, sc, graph, abst)
+    if args.source is None or args.target is None:
+        print("route needs SOURCE TARGET (or --pairs/--batch)", file=sys.stderr)
+        return 2
     if not (0 <= args.source < sc.n and 0 <= args.target < sc.n):
         print(f"node ids must be in [0, {sc.n})", file=sys.stderr)
         return 2

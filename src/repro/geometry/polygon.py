@@ -77,12 +77,20 @@ class BoundingBox:
 
 
 def signed_area(vertices: Sequence[Sequence[float]]) -> float:
-    """Signed area of the polygon (positive iff vertices are ccw)."""
+    """Signed area of the polygon (positive iff vertices are ccw).
+
+    The shoelace sum is anchored at the first vertex (coordinates taken
+    relative to it): the naive formula catastrophically cancels on thin
+    polygons far from the origin — a sliver hull of area ~1e-97 summed as
+    ``+1 - 1`` collapses to exactly ``0.0`` and mis-classifies the hull's
+    orientation.
+    """
     pts = as_array(vertices)
     if len(pts) < 3:
         return 0.0
-    x = pts[:, 0]
-    y = pts[:, 1]
+    rel = pts - pts[0]
+    x = rel[:, 0]
+    y = rel[:, 1]
     return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(np.roll(x, -1), y))
 
 

@@ -23,6 +23,7 @@ from .primitives import EPS
 
 __all__ = [
     "orientation",
+    "orientation_batch",
     "ccw",
     "collinear",
     "in_circle",
@@ -30,6 +31,7 @@ __all__ = [
     "segments_intersect",
     "segments_properly_intersect",
     "segment_intersects_any",
+    "segments_intersect_batch",
     "point_in_triangle",
     "segment_crosses_triangle",
     "left_turn_batch",
@@ -50,6 +52,27 @@ def orientation(
     if cross < -EPS:
         return -1
     return 0
+
+
+def orientation_batch(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`orientation` over stacked triples.
+
+    ``a``, ``b``, ``c`` broadcast against each other with trailing dimension
+    2; the result holds ``+1`` / ``-1`` / ``0`` per triple, with exactly the
+    same EPS band as the scalar predicate — a triple classifies identically
+    whichever code path tests it.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    cross = (b[..., 0] - a[..., 0]) * (c[..., 1] - a[..., 1]) - (
+        b[..., 1] - a[..., 1]
+    ) * (c[..., 0] - a[..., 0])
+    return np.where(cross > EPS, 1, np.where(cross < -EPS, -1, 0)).astype(
+        np.int8
+    )
 
 
 def ccw(a: Sequence[float], b: Sequence[float], c: Sequence[float]) -> bool:
@@ -149,6 +172,13 @@ def segments_properly_intersect(
     return o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4)
 
 
+def _cross_batch(o: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Broadcasted signed cross product of ``u - o`` with ``v - o``."""
+    return (u[..., 0] - o[..., 0]) * (v[..., 1] - o[..., 1]) - (
+        u[..., 1] - o[..., 1]
+    ) * (v[..., 0] - o[..., 0])
+
+
 def segment_intersects_any(
     p: Sequence[float],
     q: Sequence[float],
@@ -162,21 +192,41 @@ def segment_intersects_any(
     """
     if len(segments) == 0:
         return False
-    segs = np.asarray(segments, dtype=np.float64)
-    a = segs[:, 0:2]
-    b = segs[:, 2:4]
     p = np.asarray(p, dtype=np.float64)
     q = np.asarray(q, dtype=np.float64)
+    return bool(segments_intersect_batch(p[None, :], q[None, :], segments)[0])
 
-    def cross(o: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
-        return (u[..., 0] - o[..., 0]) * (v[..., 1] - o[..., 1]) - (
-            u[..., 1] - o[..., 1]
-        ) * (v[..., 0] - o[..., 0])
 
-    d1 = cross(p[None, :], np.broadcast_to(q, a.shape), a)
-    d2 = cross(p[None, :], np.broadcast_to(q, b.shape), b)
-    d3 = cross(a, b, np.broadcast_to(p, a.shape))
-    d4 = cross(a, b, np.broadcast_to(q, a.shape))
+def segments_intersect_batch(
+    p: np.ndarray,
+    q: np.ndarray,
+    segments: np.ndarray,
+) -> np.ndarray:
+    """Vectorized over *many* query segments: proper crossing with any obstacle.
+
+    ``p`` and ``q`` have shape ``(m, 2)`` (query segment ``i`` runs from
+    ``p[i]`` to ``q[i]``); ``segments`` has shape ``(k, 4)``.  Returns a
+    boolean array of shape ``(m,)``: whether each query segment properly
+    crosses at least one obstacle segment.  The classification (strictly
+    opposite orientations, every cross product beyond EPS) is identical to
+    the scalar :func:`segments_properly_intersect` path, so a batched
+    visibility prefilter and the per-pair predicate always agree.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    m = len(p)
+    if m == 0 or len(segments) == 0:
+        return np.zeros(m, dtype=bool)
+    segs = np.asarray(segments, dtype=np.float64)
+    a = segs[None, :, 0:2]  # (1, k, 2)
+    b = segs[None, :, 2:4]
+    P = p[:, None, :]  # (m, 1, 2)
+    Q = q[:, None, :]
+
+    d1 = _cross_batch(P, Q, a)
+    d2 = _cross_batch(P, Q, b)
+    d3 = _cross_batch(a, b, P)
+    d4 = _cross_batch(a, b, Q)
 
     proper = (
         (np.sign(d1) * np.sign(d2) < -0.5)
@@ -186,7 +236,7 @@ def segment_intersects_any(
         & (np.abs(d3) > EPS)
         & (np.abs(d4) > EPS)
     )
-    return bool(proper.any())
+    return proper.any(axis=1)
 
 
 def point_in_triangle(
@@ -239,7 +289,13 @@ def left_turn_batch(origin: np.ndarray, points: np.ndarray) -> np.ndarray:
 
     ``origin`` has shape ``(2,)``; ``points`` shape ``(m, 2)``.  Returns the
     signed cross product of ``points[i] - origin`` with ``points[i+1] -
-    origin`` — a helper for batched hull filtering.
+    origin`` — a helper for batched hull filtering.  Magnitudes within the
+    EPS tolerance are snapped to exactly ``0.0`` so that ``np.sign`` of the
+    result classifies collinear triples identically to the scalar
+    :func:`orientation` band (callers branching on the sign never disagree
+    with the scalar predicates on near-degenerate inputs).
     """
     rel = np.asarray(points, dtype=np.float64) - np.asarray(origin, dtype=np.float64)
-    return rel[:-1, 0] * rel[1:, 1] - rel[:-1, 1] * rel[1:, 0]
+    cross = rel[:-1, 0] * rel[1:, 1] - rel[:-1, 1] * rel[1:, 0]
+    cross[np.abs(cross) <= EPS] = 0.0
+    return cross

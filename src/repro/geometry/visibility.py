@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from .primitives import as_array, distance
-from .predicates import segment_intersects_any
+from .predicates import segment_intersects_any, segments_intersect_batch
 from .polygon import (
     point_in_polygon,
     point_on_polygon_boundary,
@@ -35,6 +35,7 @@ __all__ = [
     "obstacle_segments",
     "obstacle_bboxes",
     "is_visible",
+    "visible_mask",
     "visibility_graph",
     "shortest_path_through_visibility",
     "VisibilityGraph",
@@ -112,6 +113,20 @@ def is_visible(
         return False
     if bboxes is None:
         bboxes = obstacle_bboxes(obstacles)
+    return not _runs_inside(p, q, obstacles, bboxes)
+
+
+def _runs_inside(
+    p: Sequence[float],
+    q: Sequence[float],
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    bboxes: np.ndarray,
+) -> bool:
+    """Does some piece of segment ``pq`` run strictly inside an obstacle?
+
+    The second half of the visibility test, applied after proper edge
+    crossings have been ruled out (scalar or batched).
+    """
     sxmin, sxmax = min(p[0], q[0]), max(p[0], q[0])
     symin, symax = min(p[1], q[1]), max(p[1], q[1])
     # No proper edge crossing.  The segment can still run through a polygon's
@@ -136,8 +151,43 @@ def is_visible(
                 p[1] + tm * (q[1] - p[1]),
             )
             if _strictly_inside(sample, poly):
-                return False
-    return True
+                return True
+    return False
+
+
+def visible_mask(
+    pa: np.ndarray,
+    qa: np.ndarray,
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    *,
+    segments: np.ndarray | None = None,
+    bboxes: np.ndarray | None = None,
+    chunk: int = 4096,
+) -> np.ndarray:
+    """Batched :func:`is_visible` over ``m`` candidate sight lines.
+
+    ``pa``/``qa`` have shape ``(m, 2)``; returns a boolean array of shape
+    ``(m,)`` equal element-wise to calling :func:`is_visible` per pair.  The
+    Θ(m·k) proper-crossing rejection runs through the vectorized
+    :func:`segments_intersect_batch` kernel (chunked to bound peak memory);
+    only the surviving pairs pay for the interior-containment walk.  This is
+    the hot path of Θ(h²) visibility-graph construction.
+    """
+    pa = as_array(pa)
+    qa = as_array(qa)
+    m = len(pa)
+    segs = obstacle_segments(obstacles) if segments is None else segments
+    if bboxes is None:
+        bboxes = obstacle_bboxes(obstacles)
+    crossed = np.zeros(m, dtype=bool)
+    for i in range(0, m, chunk):
+        crossed[i : i + chunk] = segments_intersect_batch(
+            pa[i : i + chunk], qa[i : i + chunk], segs
+        )
+    out = np.zeros(m, dtype=bool)
+    for i in np.flatnonzero(~crossed):
+        out[i] = not _runs_inside(pa[i], qa[i], obstacles, bboxes)
+    return out
 
 
 class VisibilityGraph:
@@ -173,16 +223,18 @@ class VisibilityGraph:
 
     def _build(self) -> None:
         n = len(self.vertices)
-        for i in range(n):
-            for j in range(i + 1, n):
-                p, q = self.vertices[i], self.vertices[j]
-                if is_visible(
-                    p, q, self.obstacles,
-                    segments=self._segments, bboxes=self._bboxes,
-                ):
-                    w = distance(p, q)
-                    self.adjacency[i][j] = w
-                    self.adjacency[j][i] = w
+        if n < 2:
+            return
+        ii, jj = np.triu_indices(n, k=1)
+        vis = visible_mask(
+            self.vertices[ii], self.vertices[jj], self.obstacles,
+            segments=self._segments, bboxes=self._bboxes,
+        )
+        for i, j in zip(ii[vis], jj[vis]):
+            i, j = int(i), int(j)
+            w = distance(self.vertices[i], self.vertices[j])
+            self.adjacency[i][j] = w
+            self.adjacency[j][i] = w
 
     @property
     def edge_count(self) -> int:

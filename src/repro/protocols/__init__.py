@@ -31,7 +31,13 @@ from .overlay_tree import ClusterMergeProcess, TreeBroadcastProcess, phase_budge
 from .incremental import IncrementalResult, ring_signature, run_incremental_update
 from .ldel_construction import LDelConstructionProcess
 from .routing_protocol import DeliveryRecord, RoutingDirectory, RoutingNodeProcess
-from .runners import StagePipeline, run_stage, run_until_quiet, synthetic_ring
+from .runners import (
+    StagePipeline,
+    run_query_workload,
+    run_stage,
+    run_until_quiet,
+    synthetic_ring,
+)
 from .setup import SetupResult, run_distributed_setup
 from .verification import VerificationReport, verify_abstraction, verify_setup
 
@@ -68,6 +74,7 @@ __all__ = [
     "RoutingDirectory",
     "RoutingNodeProcess",
     "StagePipeline",
+    "run_query_workload",
     "run_stage",
     "run_until_quiet",
     "synthetic_ring",

@@ -26,7 +26,50 @@ from ..simulation.scheduler import HybridSimulator, SimulationResult
 from ..simulation.tracing import TraceRecorder
 from .rings import RingCorner
 
-__all__ = ["run_stage", "run_until_quiet", "synthetic_ring", "StagePipeline"]
+__all__ = [
+    "run_stage",
+    "run_until_quiet",
+    "run_query_workload",
+    "synthetic_ring",
+    "StagePipeline",
+]
+
+
+def run_query_workload(
+    abstraction,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    mode: str = "hull",
+    udg: Optional[Adjacency] = None,
+    caching: bool = True,
+    engine=None,
+    metrics: Optional[MetricsCollector] = None,
+    trace: Optional[TraceRecorder] = None,
+):
+    """Route a batch of queries through one shared :class:`QueryEngine`.
+
+    The post-setup counterpart of the stage runners: once the distributed
+    pipeline has produced an abstraction, this serves a query workload
+    against it with all reusable state amortized (see
+    :mod:`repro.routing.engine`).  Pass ``engine`` to continue a warm
+    engine across workloads; otherwise one is built (and returned, so the
+    caller can keep it warm).
+
+    Returns ``(outcomes, engine)`` with outcomes in input-pair order.
+    """
+    from ..routing.engine import QueryEngine
+
+    if engine is None:
+        engine = QueryEngine(
+            abstraction,
+            mode,
+            udg=udg,
+            caching=caching,
+            metrics=metrics,
+            trace=trace,
+        )
+    outcomes = engine.route_many(pairs, mode=mode)
+    return outcomes, engine
 
 
 def run_until_quiet(

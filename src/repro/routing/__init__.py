@@ -13,6 +13,7 @@ from .bay_routing import (
     locate_point,
 )
 from .router import HybridRouter, RouteOutcome
+from .engine import EngineStats, QueryEngine, abstraction_digest
 from .visibility_routing import delaunay_router, visibility_router
 from .hull_routing import hull_router, overlay_delaunay_edges
 from .intersecting import (
@@ -46,6 +47,9 @@ __all__ = [
     "locate_point",
     "HybridRouter",
     "RouteOutcome",
+    "EngineStats",
+    "QueryEngine",
+    "abstraction_digest",
     "delaunay_router",
     "visibility_router",
     "hull_router",

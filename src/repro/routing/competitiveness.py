@@ -24,7 +24,12 @@ __all__ = ["PairRecord", "CompetitivenessReport", "evaluate_routing", "sample_pa
 
 @dataclass
 class PairRecord:
-    """One routed pair's measurements."""
+    """One routed pair's measurements.
+
+    ``reachable`` is ``False`` when the target cannot be reached from the
+    source in the reference UDG at all (``optimal`` is ``inf``); such pairs
+    have no defined stretch and count as non-delivered in the aggregates.
+    """
 
     source: int
     target: int
@@ -33,11 +38,21 @@ class PairRecord:
     optimal: float
     case: str = ""
     used_fallback: bool = False
+    reachable: bool = True
 
     @property
     def stretch(self) -> float:
-        if not self.delivered or self.optimal <= 0:
+        """Path length over ``d(s, t)``; always finite for delivered pairs.
+
+        Guards the two poisoned regimes that used to leak into aggregates:
+        an unreachable target (``optimal == inf`` made the ratio ``0.0``, a
+        fake perfect score) and a degenerate ``s == t`` query (``optimal ==
+        0`` — a zero-length delivered path is exactly optimal, stretch 1).
+        """
+        if not self.delivered or not math.isfinite(self.optimal):
             return math.inf
+        if self.optimal <= 0.0:
+            return 1.0 if self.path_length <= 0.0 else math.inf
         return self.path_length / self.optimal
 
 
@@ -61,9 +76,23 @@ class CompetitivenessReport:
             return math.nan
         return sum(r.used_fallback for r in self.records) / len(self.records)
 
+    @property
+    def unreachable(self) -> int:
+        """Pairs whose target is disconnected from the source in the UDG."""
+        return sum(not r.reachable for r in self.records)
+
     def stretches(self) -> List[float]:
-        """Stretch factors of the delivered pairs only."""
-        return [r.stretch for r in self.records if r.delivered]
+        """Finite stretch factors of the delivered pairs only.
+
+        Filtering to finite values keeps NaN/inf out of every downstream
+        mean/percentile even if a caller hand-built records with a
+        non-finite optimum.
+        """
+        return [
+            r.stretch
+            for r in self.records
+            if r.delivered and math.isfinite(r.stretch)
+        ]
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers: delivery/fallback rates and stretch stats."""
@@ -73,6 +102,7 @@ class CompetitivenessReport:
             "pairs": len(self.records),
             "delivery_rate": self.delivery_rate,
             "fallback_rate": self.fallback_rate,
+            "unreachable": self.unreachable,
             "stretch_mean": float(arr.mean()) if s else math.nan,
             "stretch_p95": float(np.percentile(arr, 95)) if s else math.nan,
             "stretch_max": float(arr.max()) if s else math.nan,
@@ -92,48 +122,98 @@ RouteFn = Callable[[int, int], Tuple[List[int], bool, str, bool]]
 def evaluate_routing(
     points: np.ndarray,
     udg: Adjacency,
-    route_fn: RouteFn,
+    route_fn: Optional[RouteFn],
     pairs: Sequence[Tuple[int, int]],
+    *,
+    engine=None,
 ) -> CompetitivenessReport:
     """Evaluate ``route_fn`` over ``pairs``.
 
     ``route_fn(s, t)`` returns ``(path, delivered, case, used_fallback)``.
     The optimum ``d(s, t)`` is computed with one Dijkstra per distinct
     source over the **UDG** (the paper's reference metric).
+
+    A prebuilt :class:`~repro.routing.engine.QueryEngine` may be passed to
+    amortize work across strategies and repeated calls: with ``route_fn``
+    ``None`` the engine routes the pairs itself, and when the engine's
+    reference adjacency is this ``udg`` its per-source Dijkstra LRU serves
+    the optimal distances instead of recomputing them.
+
+    A pair whose target is unreachable in the UDG has no defined optimum;
+    it is recorded with ``reachable=False`` and counted as non-delivered so
+    an infinite optimum can never fabricate a ``0.0`` stretch.
     """
+    if route_fn is None:
+        if engine is None:
+            raise ValueError("route_fn is required when no engine is given")
+        route_fn = engine.route_fn()
+    use_engine_dist = engine is not None and engine.udg is udg
     report = CompetitivenessReport()
     by_source: Dict[int, List[Tuple[int, int]]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append((s, t))
     for s, group in by_source.items():
-        dist, _ = dijkstra(points, udg, s)
+        if use_engine_dist:
+            dist = engine.distances(s)
+        else:
+            dist, _ = dijkstra(points, udg, s)
         for s_, t in group:
             path, delivered, case, fb = route_fn(s_, t)
             plen = sum(
                 distance(points[a], points[b])
                 for a, b in zip(path, path[1:])
             )
+            optimal = dist.get(t, math.inf)
+            reachable = math.isfinite(optimal)
             report.records.append(
                 PairRecord(
                     source=s_,
                     target=t,
-                    delivered=delivered,
+                    delivered=bool(delivered) and reachable,
                     path_length=plen,
-                    optimal=dist.get(t, math.inf),
+                    optimal=optimal,
                     case=case,
                     used_fallback=fb,
+                    reachable=reachable,
                 )
             )
     return report
 
 
 def sample_pairs(
-    n: int, count: int, rng: np.random.Generator
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    distinct: bool = False,
 ) -> List[Tuple[int, int]]:
-    """Uniform random source–target pairs (s ≠ t)."""
+    """Uniform random source–target pairs (s ≠ t).
+
+    Rejection sampling over ordered pairs; ``n <= 1`` admits no valid pair,
+    so it raises instead of looping forever (the historical behaviour).
+    With ``distinct=True`` every returned pair is unique (still ordered:
+    ``(s, t)`` and ``(t, s)`` count as different pairs), which requires
+    ``count <= n·(n−1)``.  The default draws with replacement and consumes
+    the generator exactly as before, preserving seeded pair sequences.
+    """
+    if n <= 1:
+        raise ValueError(
+            f"sample_pairs needs at least 2 nodes to form s != t pairs, got n={n}"
+        )
+    if distinct and count > n * (n - 1):
+        raise ValueError(
+            f"cannot draw {count} distinct ordered pairs from {n} nodes "
+            f"(max {n * (n - 1)})"
+        )
     out: List[Tuple[int, int]] = []
+    seen: set = set()
     while len(out) < count:
         s, t = int(rng.integers(0, n)), int(rng.integers(0, n))
-        if s != t:
-            out.append((s, t))
+        if s == t:
+            continue
+        if distinct:
+            if (s, t) in seen:
+                continue
+            seen.add((s, t))
+        out.append((s, t))
     return out

@@ -1,0 +1,360 @@
+"""Batched multi-query routing engine with memoized abstraction state.
+
+:class:`HybridRouter` answers one query well but rebuilds nothing across
+queries is amortized: every evaluation run (benchmarks E1/E7, the CLI, the
+protocol runners) re-derives bay classifications, re-filters bay visibility
+legs, and re-runs the optimal-distance Dijkstra from scratch for each
+strategy.  :class:`QueryEngine` is the query-serving layer on top of the
+router that owns all reusable state:
+
+* **routers** — one memoized :class:`HybridRouter` per mode, sharing the
+  structures below instead of re-deriving them per construction;
+* **locate memo** — §4.3 bay classification per node (``locate_node`` is a
+  geometric containment walk; terminals repeat across a workload);
+* **bay structures / bay legs** — ``bay_waypoint_structures`` computed once,
+  and the per-bay visibility legs cached under ``(abstraction digest,
+  bay id)`` so every planner rebuild re-uses the Θ(h²) filtered legs;
+* **Dijkstra LRU** — per-source optimal-distance maps over the reference
+  UDG, shared across strategies in a competitiveness run;
+* **route-result LRU** — completed :class:`RouteOutcome` per
+  ``(mode, s, t)``, which makes repeated-query workloads pure lookups.
+
+Invalidation is by content digest: every query entry point re-hashes the
+abstraction's points and hole structure and flushes all caches when it
+changed (mobility scenarios mutate coordinates in place).  ``rebind`` covers
+wholesale abstraction swaps.
+
+**Determinism contract.**  Cached answers are the *same objects* a cold
+router would produce — the caches only skip recomputation, never change it.
+With ``caching=False`` the engine degrades to a plain per-mode
+:class:`HybridRouter` built with default arguments: no cache is consulted,
+no cache counters move, and no trace events are emitted, so golden traces
+and route paths are byte-identical to the pre-engine baseline.  Cache
+telemetry (``engine_query`` / ``engine_invalidate`` events, MetricsCollector
+cache counters) exists only on the caching path.
+
+Returned :class:`RouteOutcome` objects may be shared between callers when
+caching is on — treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.abstraction import Abstraction
+from ..graphs.shortest_paths import dijkstra
+from ..graphs.udg import Adjacency
+from .bay_routing import BayLocation, bay_waypoint_structures, locate_node
+from .router import HybridRouter, RouteOutcome
+
+__all__ = ["QueryEngine", "EngineStats", "abstraction_digest"]
+
+
+def abstraction_digest(abstraction: Abstraction) -> str:
+    """Content digest of everything routing behaviour depends on.
+
+    Covers the node coordinates (mobility mutates these in place) and the
+    per-hole structure (boundary ring, hull, outer flag).  Two abstractions
+    with equal digests produce identical routes for every query, so the
+    digest is the invalidation key for every engine cache.
+    """
+    h = hashlib.sha1()
+    pts = np.ascontiguousarray(abstraction.points, dtype=float)
+    h.update(pts.tobytes())
+    for hole in abstraction.holes:
+        h.update(
+            repr(
+                (
+                    hole.hole_id,
+                    tuple(hole.boundary),
+                    tuple(hole.hull),
+                    hole.is_outer,
+                )
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine maintains regardless of a MetricsCollector."""
+
+    queries: int = 0
+    batch_queries: int = 0
+    invalidations: int = 0
+    #: cache name -> {"hits": int, "misses": int}
+    cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, cache: str, hit: bool) -> None:
+        """Count one lookup against the named cache."""
+        row = self.cache.setdefault(cache, {"hits": 0, "misses": 0})
+        row["hits" if hit else "misses"] += 1
+
+    def hit_rate(self, cache: str) -> float:
+        """Fraction of lookups served from the named cache (0.0 if unused)."""
+        row = self.cache.get(cache, {"hits": 0, "misses": 0})
+        total = row["hits"] + row["misses"]
+        return row["hits"] / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for tables/benches."""
+        out: Dict[str, float] = {
+            "queries": self.queries,
+            "batch_queries": self.batch_queries,
+            "invalidations": self.invalidations,
+        }
+        for name, row in sorted(self.cache.items()):
+            out[f"{name}_hits"] = row["hits"]
+            out[f"{name}_misses"] = row["misses"]
+            out[f"{name}_hit_rate"] = self.hit_rate(name)
+        return out
+
+
+class QueryEngine:
+    """Multi-query routing facade over one hole abstraction.
+
+    Parameters
+    ----------
+    abstraction:
+        The hole abstraction to serve queries against.
+    mode:
+        Default router mode for :meth:`route` / :meth:`route_many`
+        (any :class:`HybridRouter` mode; per-call override supported).
+    udg:
+        Adjacency of the reference metric graph for :meth:`optimal`
+        (the paper's UDG).  Defaults to the abstraction's own LDel
+        adjacency — pass the true UDG when measuring competitiveness.
+    caching:
+        ``False`` turns the engine into a thin facade over plain
+        per-mode routers (see the determinism contract above).
+    dijkstra_cache_size / result_cache_size:
+        LRU bounds for the per-source distance maps and route results.
+    max_replans:
+        Forwarded to every :class:`HybridRouter`.
+    metrics:
+        Optional :class:`~repro.simulation.metrics.MetricsCollector`;
+        receives ``record_cache_event`` calls for every cache lookup.
+    trace:
+        Optional :class:`~repro.simulation.tracing.TraceRecorder`;
+        receives ``engine_query`` / ``engine_invalidate`` events.
+    """
+
+    def __init__(
+        self,
+        abstraction: Abstraction,
+        mode: str = "hull",
+        *,
+        udg: Optional[Adjacency] = None,
+        caching: bool = True,
+        dijkstra_cache_size: int = 64,
+        result_cache_size: int = 4096,
+        max_replans: int = 4,
+        metrics=None,
+        trace=None,
+    ) -> None:
+        if mode not in ("hull", "visibility", "delaunay"):
+            raise ValueError(f"unknown router mode {mode!r}")
+        self.abstraction = abstraction
+        self.mode = mode
+        self.udg: Adjacency = (
+            udg if udg is not None else abstraction.graph.adjacency
+        )
+        self.caching = caching
+        self.dijkstra_cache_size = dijkstra_cache_size
+        self.result_cache_size = result_cache_size
+        self.max_replans = max_replans
+        self.metrics = metrics
+        self.trace = trace
+        self.stats = EngineStats()
+
+        self._digest = abstraction_digest(abstraction)
+        self._routers: Dict[str, HybridRouter] = {}
+        self._locate_memo: Dict[int, Optional[BayLocation]] = {}
+        self._bay_structs: Optional[Tuple[Dict, Dict]] = None
+        #: shared across planner rebuilds; keyed (digest, bay_id) so a
+        #: stale geometry can never resurrect legs
+        self._leg_cache: Dict[Tuple, Dict] = {}
+        self._dijkstra_lru: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        self._result_lru: "OrderedDict[Tuple[str, int, int], RouteOutcome]" = (
+            OrderedDict()
+        )
+
+    # -- telemetry -----------------------------------------------------------
+    def _record(self, cache: str, hit: bool) -> None:
+        """One cache lookup: engine stats plus the optional collector."""
+        self.stats.record(cache, hit)
+        if self.metrics is not None:
+            self.metrics.record_cache_event(cache, hit)
+
+    # -- invalidation --------------------------------------------------------
+    def _check_current(self) -> None:
+        """Flush everything when the abstraction content changed."""
+        digest = abstraction_digest(self.abstraction)
+        if digest != self._digest:
+            self._flush("content_changed", digest)
+
+    def _flush(self, reason: str, digest: str) -> None:
+        self._routers.clear()
+        self._locate_memo.clear()
+        self._bay_structs = None
+        self._leg_cache.clear()
+        self._dijkstra_lru.clear()
+        self._result_lru.clear()
+        self.stats.invalidations += 1
+        if self.caching and self.trace is not None:
+            self.trace.emit(
+                "engine_invalidate",
+                reason=reason,
+                old_digest=self._digest,
+                new_digest=digest,
+            )
+        self._digest = digest
+
+    def rebind(self, abstraction: Abstraction) -> None:
+        """Swap in a rebuilt abstraction (post-mobility re-setup)."""
+        self.abstraction = abstraction
+        self.udg = abstraction.graph.adjacency
+        self._flush("rebind", abstraction_digest(abstraction))
+
+    @property
+    def digest(self) -> str:
+        """Digest of the abstraction state the caches are valid for."""
+        return self._digest
+
+    # -- memoized components -------------------------------------------------
+    def _locate(self, node: int) -> Optional[BayLocation]:
+        """Memoized §4.3 bay classification (injected into routers)."""
+        if node in self._locate_memo:
+            self._record("locate", True)
+            return self._locate_memo[node]
+        self._record("locate", False)
+        loc = locate_node(self.abstraction, node)
+        self._locate_memo[node] = loc
+        return loc
+
+    def _router(self, mode: str) -> HybridRouter:
+        router = self._routers.get(mode)
+        if router is not None:
+            if self.caching:
+                self._record("router", True)
+            return router
+        if not self.caching:
+            router = HybridRouter(self.abstraction, mode, self.max_replans)
+        else:
+            self._record("router", False)
+            extra: Dict = {}
+            if mode == "hull":
+                if self._bay_structs is None:
+                    self._bay_structs = bay_waypoint_structures(
+                        self.abstraction
+                    )
+                extra["bay_structures"] = self._bay_structs
+            router = HybridRouter(
+                self.abstraction,
+                mode,
+                self.max_replans,
+                locator=self._locate,
+                planner_kwargs={
+                    "leg_cache": self._leg_cache,
+                    "leg_cache_key": self._digest,
+                    "cache_hook": self._record,
+                },
+                **extra,
+            )
+        self._routers[mode] = router
+        return router
+
+    # -- queries -------------------------------------------------------------
+    def route(self, s: int, t: int, mode: Optional[str] = None) -> RouteOutcome:
+        """Route one query, re-using every applicable cache."""
+        mode = self.mode if mode is None else mode
+        self._check_current()
+        if not self.caching:
+            return self._router(mode).route(s, t)
+        key = (mode, int(s), int(t))
+        hit = key in self._result_lru
+        self._record("route_result", hit)
+        if hit:
+            self._result_lru.move_to_end(key)
+            outcome = self._result_lru[key]
+        else:
+            outcome = self._router(mode).route(int(s), int(t))
+            self._result_lru[key] = outcome
+            while len(self._result_lru) > self.result_cache_size:
+                self._result_lru.popitem(last=False)
+        self.stats.queries += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "engine_query",
+                mode=mode,
+                source=int(s),
+                target=int(t),
+                cached=hit,
+            )
+        return outcome
+
+    def route_many(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        mode: Optional[str] = None,
+    ) -> List[RouteOutcome]:
+        """Route a batch, returning outcomes in input order.
+
+        Distinct pairs are processed sorted by ``(source, target)`` so
+        queries sharing a source (and their bay activations) run
+        back-to-back against warm caches; duplicates collapse into result
+        lookups.  With caching disabled every query routes individually —
+        batching must not smuggle memoization into the baseline path.
+        """
+        mode = self.mode if mode is None else mode
+        keyed = [(int(s), int(t)) for s, t in pairs]
+        self.stats.batch_queries += len(keyed)
+        if not self.caching:
+            return [self.route(s, t, mode=mode) for s, t in keyed]
+        outcomes: Dict[Tuple[int, int], RouteOutcome] = {}
+        for s, t in sorted(set(keyed)):
+            outcomes[(s, t)] = self.route(s, t, mode=mode)
+        return [outcomes[key] for key in keyed]
+
+    def route_fn(
+        self, mode: Optional[str] = None
+    ) -> Callable[[int, int], Tuple[List[int], bool, str, bool]]:
+        """Adapter matching :func:`evaluate_routing`'s ``route_fn`` shape."""
+
+        def fn(s: int, t: int) -> Tuple[List[int], bool, str, bool]:
+            out = self.route(s, t, mode=mode)
+            return out.path, out.reached, out.case, out.used_fallback
+
+        return fn
+
+    # -- optimal-distance oracle ---------------------------------------------
+    def distances(self, source: int) -> Dict[int, float]:
+        """Optimal-distance map from ``source`` over the reference graph.
+
+        LRU-cached per source; shared across every strategy evaluated
+        against this engine.  Treat the returned dict as read-only.
+        """
+        source = int(source)
+        self._check_current()
+        if self.caching and source in self._dijkstra_lru:
+            self._record("dijkstra", True)
+            self._dijkstra_lru.move_to_end(source)
+            return self._dijkstra_lru[source]
+        if self.caching:
+            self._record("dijkstra", False)
+        dist, _ = dijkstra(self.abstraction.points, self.udg, source)
+        if self.caching:
+            self._dijkstra_lru[source] = dist
+            while len(self._dijkstra_lru) > self.dijkstra_cache_size:
+                self._dijkstra_lru.popitem(last=False)
+        return dist
+
+    def optimal(self, s: int, t: int) -> float:
+        """``d(s, t)`` of §1.2 (``inf`` when ``t`` is unreachable)."""
+        return self.distances(s).get(int(t), math.inf)

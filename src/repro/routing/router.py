@@ -25,7 +25,7 @@ assumptions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -80,6 +80,18 @@ class HybridRouter:
           Delaunay-filtered edges (35.37 bound, O(h) space).
     max_replans:
         Bound on re-planning after unexpected Chew blocks.
+    locator:
+        Optional replacement for :func:`locate_node` — the
+        :class:`~repro.routing.engine.QueryEngine` injects its memoized bay
+        classifier here so repeated queries don't re-run the geometric
+        location tests.  Must be observationally identical to the default.
+    bay_structures:
+        Optional precomputed ``bay_waypoint_structures(abstraction)`` result
+        (hull mode only) so an engine can derive it once and share it across
+        router rebuilds.
+    planner_kwargs:
+        Extra keyword arguments forwarded to :class:`WaypointPlanner`
+        (the engine passes its shared leg cache through here).
     """
 
     def __init__(
@@ -87,6 +99,10 @@ class HybridRouter:
         abstraction: Abstraction,
         mode: str = "hull",
         max_replans: int = 4,
+        *,
+        locator: Optional[Callable[[int], Optional[BayLocation]]] = None,
+        bay_structures: Optional[Tuple[Dict, Dict]] = None,
+        planner_kwargs: Optional[Dict] = None,
     ) -> None:
         if mode not in ("hull", "visibility", "delaunay"):
             raise ValueError(f"unknown router mode {mode!r}")
@@ -94,12 +110,21 @@ class HybridRouter:
         self.graph = abstraction.graph
         self.mode = mode
         self.max_replans = max_replans
+        self._locate = (
+            locator
+            if locator is not None
+            else lambda node: locate_node(self.abstraction, node)
+        )
         self._tri_of_edge = self._build_tri_of_edge()
 
         if mode == "hull":
             vertices = abstraction.hull_nodes()
             structure = "delaunay"
-            bay_groups, bay_arcs = bay_waypoint_structures(abstraction)
+            bay_groups, bay_arcs = (
+                bay_structures
+                if bay_structures is not None
+                else bay_waypoint_structures(abstraction)
+            )
         else:
             vertices = abstraction.boundary_nodes()
             structure = "visibility" if mode == "visibility" else "delaunay"
@@ -110,6 +135,7 @@ class HybridRouter:
             structure=structure,
             bay_groups=bay_groups,
             bay_arc_edges=bay_arcs,
+            **(planner_kwargs or {}),
         )
 
     def _build_tri_of_edge(self):
@@ -123,8 +149,8 @@ class HybridRouter:
     # -- case analysis (§4.3) ------------------------------------------------------
     def classify(self, s: int, t: int) -> Tuple[str, Optional[BayLocation], Optional[BayLocation]]:
         """Position case analysis of §4.3: which hulls contain the terminals."""
-        loc_s = locate_node(self.abstraction, s)
-        loc_t = locate_node(self.abstraction, t)
+        loc_s = self._locate(s)
+        loc_t = self._locate(t)
         if loc_s is None and loc_t is None:
             case = "1"
         elif loc_s is None or loc_t is None:
@@ -156,7 +182,7 @@ class HybridRouter:
         h0 = first.blocked_at if first.blocked_at is not None else s
         path: List[int] = list(first.path)
         active_bays: Set[Tuple[int, int]] = set()
-        for loc in (loc_s, loc_t, locate_node(self.abstraction, h0)):
+        for loc in (loc_s, loc_t, self._locate(h0)):
             if loc is not None:
                 active_bays.add(loc.key)
 
@@ -210,7 +236,7 @@ class HybridRouter:
                 break  # all legs done
             replans += 1
             outcome.replans = replans
-            loc = locate_node(self.abstraction, blocked)
+            loc = self._locate(blocked)
             if loc is not None:
                 active_bays.add(loc.key)
             if replans > self.max_replans:

@@ -33,14 +33,19 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.abstraction import Abstraction
 from ..geometry.delaunay import delaunay_edges
 from ..geometry.primitives import distance
-from ..geometry.visibility import is_visible, obstacle_bboxes, obstacle_segments
+from ..geometry.visibility import (
+    is_visible,
+    obstacle_bboxes,
+    obstacle_segments,
+    visible_mask,
+)
 
 __all__ = ["WaypointPlanner", "WaypointPath", "Leg"]
 
@@ -84,6 +89,9 @@ class WaypointPlanner:
         structure: str = "delaunay",
         bay_groups: Optional[Dict[int, List[int]]] = None,
         bay_arc_edges: Optional[Dict[int, List[Tuple[int, int, Tuple[int, ...]]]]] = None,
+        leg_cache: Optional[Dict] = None,
+        leg_cache_key: Optional[str] = None,
+        cache_hook: Optional[Callable[[str, bool], None]] = None,
     ) -> None:
         """
         Parameters
@@ -104,6 +112,18 @@ class WaypointPlanner:
         bay_arc_edges:
             Optional bay-id → list of ``(u, v, ring_path)`` boundary-arc
             edges between consecutive bay waypoints.
+        leg_cache:
+            Optional externally owned mapping ``(leg_cache_key, bay_id) →
+            [Leg]`` that survives planner rebuilds — the
+            :class:`~repro.routing.engine.QueryEngine` shares one across
+            router reconstructions, keyed by the abstraction's hull digest.
+        leg_cache_key:
+            Namespace for this planner's entries in ``leg_cache`` (the
+            engine passes the hull-set digest, so stale geometry can never
+            resurrect cached legs).
+        cache_hook:
+            Optional ``hook(cache_name, hit)`` callback fired on every
+            shared-cache lookup (wired to the engine's hit/miss counters).
         """
         self.abstraction = abstraction
         self.points = abstraction.points
@@ -116,6 +136,10 @@ class WaypointPlanner:
         self.base_vertices: List[int] = sorted(set(vertices))
         self.bay_groups = bay_groups or {}
         self.bay_arc_edges = bay_arc_edges or {}
+        self._leg_cache = leg_cache
+        self._leg_cache_key = leg_cache_key
+        self._cache_hook = cache_hook
+        self._bay_vis_cache: Dict[int, List[Leg]] = {}
         #: adjacency: node -> {node: Leg}
         self.base_edges: Dict[int, Dict[int, Leg]] = {
             v: {} for v in self.base_vertices
@@ -152,14 +176,30 @@ class WaypointPlanner:
             rpath = tuple(reversed(path)) if path is not None else None
             store.setdefault(v, {})[u] = Leg(v, u, kind, rpath, weight)
 
+    def _visible_pairs(self, pairs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Filter node-id pairs down to the mutually visible ones, batched.
+
+        Semantically identical to calling :meth:`visible` per pair; the
+        Θ(m·k) proper-crossing rejection runs through the vectorized kernel.
+        """
+        if not pairs:
+            return []
+        arr = np.asarray(pairs, dtype=np.intp)
+        vis = visible_mask(
+            self.points[arr[:, 0]], self.points[arr[:, 1]], self.obstacles,
+            segments=self._segments, bboxes=self._bboxes,
+        )
+        return [(int(u), int(v)) for (u, v), ok in zip(pairs, vis) if ok]
+
     def _build_static(self) -> None:
         ids = self.base_vertices
         if len(ids) >= 2:
             if self.structure == "visibility":
-                for i, u in enumerate(ids):
-                    for v in ids[i + 1 :]:
-                        if self.visible(u, v):
-                            self._add_edge(self.base_edges, u, v, "chew")
+                candidates = [
+                    (u, v) for i, u in enumerate(ids) for v in ids[i + 1 :]
+                ]
+                for u, v in self._visible_pairs(candidates):
+                    self._add_edge(self.base_edges, u, v, "chew")
             else:
                 coords = self.points[ids]
                 for i, j in delaunay_edges(coords):
@@ -257,27 +297,33 @@ class WaypointPlanner:
         return self._dijkstra(src, dst, active, extra_edges, banned or set())
 
     def _bay_visibility(self, bay_id: int) -> List[Leg]:
-        cache = getattr(self, "_bay_vis_cache", None)
-        if cache is None:
-            cache = {}
-            self._bay_vis_cache = cache
-        if bay_id in cache:
-            return cache[bay_id]
+        if bay_id in self._bay_vis_cache:
+            return self._bay_vis_cache[bay_id]
+        if self._leg_cache is not None:
+            shared_key = (self._leg_cache_key, bay_id)
+            legs = self._leg_cache.get(shared_key)
+            if self._cache_hook is not None:
+                self._cache_hook("bay_legs", legs is not None)
+            if legs is not None:
+                self._bay_vis_cache[bay_id] = legs
+                return legs
         group = self.bay_groups.get(bay_id, [])
-        legs: List[Leg] = []
-        store: Dict[int, Dict[int, Leg]] = {}
-        candidates = list(group) + self.base_vertices
+        gset = set(group)
+        # Unique unordered candidate pairs: group–group plus group–base
+        # (a corner may appear in both sets; _add_edge dedups by weight).
+        candidates: List[Tuple[int, int]] = []
         for i, u in enumerate(group):
-            for v in candidates:
-                if v == u:
-                    continue
-                if v in group and candidates.index(v) < i:
-                    continue
-                if self.visible(u, v):
-                    self._add_edge(store, u, v, "chew")
-        for u, m in store.items():
-            legs.extend(m.values())
-        cache[bay_id] = legs
+            candidates.extend((u, v) for v in group[i + 1 :] if v != u)
+            candidates.extend(
+                (u, v) for v in self.base_vertices if v != u and v not in gset
+            )
+        store: Dict[int, Dict[int, Leg]] = {}
+        for u, v in self._visible_pairs(candidates):
+            self._add_edge(store, u, v, "chew")
+        legs = [leg for m in store.values() for leg in m.values()]
+        self._bay_vis_cache[bay_id] = legs
+        if self._leg_cache is not None:
+            self._leg_cache[(self._leg_cache_key, bay_id)] = legs
         return legs
 
     def _dijkstra(

@@ -57,6 +57,9 @@ class MetricsCollector:
         #: stage -> {rounds, adhoc_messages, long_range_messages, words}
         self.stage_rollups: Dict[str, Dict[str, int]] = {}
         self._stage: Optional[str] = None
+        #: query-engine cache accounting: cache name -> {hits, misses}
+        #: (empty unless a QueryEngine is wired to this collector)
+        self.cache_stats: Dict[str, Dict[str, int]] = {}
 
     def begin_stage(self, name: str) -> None:
         """Attribute subsequent rounds/sends to the named pipeline stage."""
@@ -92,6 +95,23 @@ class MetricsCollector:
     def record_retry(self) -> None:
         """Account one retransmission (transport or protocol level)."""
         self.record_fault("retry")
+
+    def record_cache_event(self, cache: str, hit: bool) -> None:
+        """Account one lookup in the named query-engine cache."""
+        row = self.cache_stats.setdefault(cache, {"hits": 0, "misses": 0})
+        row["hits" if hit else "misses"] += 1
+
+    def cache_summary(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss totals and hit rate per engine cache."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, row in sorted(self.cache_stats.items()):
+            total = row["hits"] + row["misses"]
+            out[name] = {
+                "hits": row["hits"],
+                "misses": row["misses"],
+                "hit_rate": row["hits"] / total if total else 0.0,
+            }
+        return out
 
     def end_round(self) -> None:
         """Close the current round and roll the per-round peak tracker."""
@@ -152,6 +172,12 @@ class MetricsCollector:
             )
             for k, v in roll.items():
                 mine[k] += v
+        for name, row in other.cache_stats.items():
+            mine_row = self.cache_stats.setdefault(
+                name, {"hits": 0, "misses": 0}
+            )
+            mine_row["hits"] += row["hits"]
+            mine_row["misses"] += row["misses"]
 
     def fault_summary(self) -> Dict[str, int]:
         """Flat dict of injected-fault totals (all zero on clean runs)."""

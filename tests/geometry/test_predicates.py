@@ -4,17 +4,22 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geometry.predicates import (
     ccw,
     collinear,
     in_circle,
+    left_turn_batch,
     on_segment,
     orientation,
+    orientation_batch,
     point_in_triangle,
     segment_crosses_triangle,
     segment_intersects_any,
     segments_intersect,
+    segments_intersect_batch,
     segments_properly_intersect,
 )
 
@@ -119,6 +124,113 @@ class TestSegmentIntersectsAny:
             assert segment_intersects_any(p, q, segs) == (
                 segments_properly_intersect(p, q, a, b)
             )
+
+
+coord = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+point = st.tuples(coord, coord)
+# Jitter spanning both sides of the EPS=1e-12 tolerance band: triples built
+# with it land near-collinear, where an inconsistent batch kernel would
+# classify differently from the scalar predicate.
+jitter = st.floats(min_value=-1e-11, max_value=1e-11)
+icoord = st.integers(min_value=-1000, max_value=1000)
+ipoint = st.tuples(icoord, icoord)
+
+
+class TestScalarBatchAgreement:
+    """The batch kernels must classify exactly like the scalar predicates.
+
+    This is the invariant behind the vectorized visibility prefilter: a
+    sight line rejected by the batch kernel must be rejected by
+    ``segments_properly_intersect``, and vice versa — including on inputs
+    jittered within the EPS band and on exactly-collinear inputs.
+    """
+
+    @given(st.lists(st.tuples(point, point, point), min_size=1, max_size=12))
+    def test_orientation_batch_matches_scalar(self, triples):
+        a = np.array([t[0] for t in triples])
+        b = np.array([t[1] for t in triples])
+        c = np.array([t[2] for t in triples])
+        batch = orientation_batch(a, b, c)
+        for i, (pa, pb, pc) in enumerate(triples):
+            assert int(batch[i]) == orientation(pa, pb, pc)
+
+    @given(a=ipoint, d=ipoint, k=st.integers(-5, 5), jx=jitter, jy=jitter)
+    def test_orientation_agreement_near_collinear(self, a, d, k, jx, jy):
+        # b and c sit exactly on the line through a with direction d;
+        # jittering c by sub-EPS amounts probes the tolerance band.
+        b = (a[0] + d[0], a[1] + d[1])
+        c = (a[0] + k * d[0] + jx, a[1] + k * d[1] + jy)
+        scalar = orientation(a, b, c)
+        batch = orientation_batch(
+            np.array([a], dtype=float),
+            np.array([b], dtype=float),
+            np.array([c], dtype=float),
+        )
+        assert int(batch[0]) == scalar
+
+    @given(a=ipoint, d=ipoint, k=st.integers(-5, 5))
+    def test_orientation_exactly_collinear_is_zero(self, a, d, k):
+        b = (a[0] + d[0], a[1] + d[1])
+        c = (a[0] + k * d[0], a[1] + k * d[1])
+        assert orientation(a, b, c) == 0
+        batch = orientation_batch(
+            np.array([a], dtype=float),
+            np.array([b], dtype=float),
+            np.array([c], dtype=float),
+        )
+        assert int(batch[0]) == 0
+
+    @given(
+        queries=st.lists(st.tuples(point, point), min_size=1, max_size=8),
+        obstacles=st.lists(st.tuples(point, point), min_size=1, max_size=6),
+    )
+    def test_segments_batch_matches_scalar(self, queries, obstacles):
+        p = np.array([q[0] for q in queries])
+        q = np.array([q[1] for q in queries])
+        segs = np.array([[a[0], a[1], b[0], b[1]] for a, b in obstacles])
+        batch = segments_intersect_batch(p, q, segs)
+        for i, (qp, qq) in enumerate(queries):
+            expected = any(
+                segments_properly_intersect(qp, qq, a, b)
+                for a, b in obstacles
+            )
+            assert bool(batch[i]) == expected
+
+    @given(a=ipoint, d=ipoint, k=st.integers(-5, 5), jx=jitter, jy=jitter)
+    def test_segments_agreement_near_collinear(self, a, d, k, jx, jy):
+        # Query segment collinear (up to sub-EPS jitter) with the obstacle:
+        # the scalar predicate calls this not-proper; the batch kernel must
+        # agree rather than flip on a tolerance mismatch.
+        b = (a[0] + d[0], a[1] + d[1])
+        qp = (a[0] + k * d[0] + jx, a[1] + k * d[1] + jy)
+        qq = (a[0] - k * d[0], a[1] - k * d[1])
+        segs = np.array([[a[0], a[1], b[0], b[1]]], dtype=float)
+        batch = segments_intersect_batch(
+            np.array([qp], dtype=float), np.array([qq], dtype=float), segs
+        )
+        assert bool(batch[0]) == segments_properly_intersect(qp, qq, a, b)
+
+    @given(origin=point, pts=st.lists(point, min_size=2, max_size=10))
+    def test_left_turn_batch_sign_matches_orientation(self, origin, pts):
+        cross = left_turn_batch(np.asarray(origin), np.asarray(pts))
+        for i in range(len(pts) - 1):
+            assert int(np.sign(cross[i])) == orientation(
+                origin, pts[i], pts[i + 1]
+            )
+
+    @given(o=ipoint, d=ipoint, k=st.integers(-5, 5))
+    def test_left_turn_batch_exactly_collinear_snaps_to_zero(self, o, d, k):
+        pts = np.array(
+            [
+                [o[0] + d[0], o[1] + d[1]],
+                [o[0] + k * d[0], o[1] + k * d[1]],
+            ],
+            dtype=float,
+        )
+        cross = left_turn_batch(np.asarray(o, dtype=float), pts)
+        assert cross[0] == 0.0
 
 
 class TestPointInTriangle:

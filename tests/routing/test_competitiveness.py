@@ -22,8 +22,19 @@ class TestPairRecord:
         r = PairRecord(0, 1, False, path_length=0.0, optimal=1.0)
         assert r.stretch == math.inf
 
-    def test_stretch_zero_optimal(self):
-        r = PairRecord(0, 1, True, path_length=0.0, optimal=0.0)
+    def test_stretch_zero_optimal_zero_path_is_exact(self):
+        # s == t: a zero-length delivered path is exactly optimal.
+        r = PairRecord(0, 0, True, path_length=0.0, optimal=0.0)
+        assert r.stretch == 1.0
+
+    def test_stretch_zero_optimal_nonzero_path_inf(self):
+        r = PairRecord(0, 1, True, path_length=2.0, optimal=0.0)
+        assert r.stretch == math.inf
+
+    def test_stretch_infinite_optimal_never_zero(self):
+        # An unreachable optimum used to make stretch 0.0 (len/inf) — a
+        # fake perfect score that dragged aggregate means down.
+        r = PairRecord(0, 1, True, path_length=5.0, optimal=math.inf)
         assert r.stretch == math.inf
 
 
@@ -76,6 +87,38 @@ class TestSamplePairs:
             50, 10, np.random.default_rng(1)
         )
 
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_too_few_nodes_raises(self, n):
+        # Used to spin forever: no s != t pair exists.
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            sample_pairs(n, 5, np.random.default_rng(0))
+
+    def test_distinct_pairs_are_unique(self):
+        rng = np.random.default_rng(4)
+        pairs = sample_pairs(10, 60, rng, distinct=True)
+        assert len(pairs) == 60
+        assert len(set(pairs)) == 60
+
+    def test_distinct_exhaustive(self):
+        # n=2 has exactly two ordered pairs; both must come out.
+        pairs = sample_pairs(2, 2, np.random.default_rng(0), distinct=True)
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+
+    def test_distinct_overdraw_raises(self):
+        with pytest.raises(ValueError, match="distinct"):
+            sample_pairs(3, 7, np.random.default_rng(0), distinct=True)
+
+    def test_default_preserves_rng_stream(self):
+        # distinct=False must consume the generator exactly as the
+        # historical implementation did (seeded suites depend on it).
+        rng = np.random.default_rng(8)
+        expected = []
+        while len(expected) < 12:
+            s, t = int(rng.integers(0, 20)), int(rng.integers(0, 20))
+            if s != t:
+                expected.append((s, t))
+        assert sample_pairs(20, 12, np.random.default_rng(8)) == expected
+
 
 class TestEvaluateRouting:
     def test_against_oracle_routing(self, flat_instance):
@@ -106,3 +149,42 @@ class TestEvaluateRouting:
         rep = evaluate_routing(graph.points, graph.udg, refuse, pairs)
         assert rep.delivery_rate == 0.0
         assert rep.stretches() == []
+
+    def test_unreachable_pair_reported_non_delivered(self):
+        # Two isolated nodes: the optimum is inf, so even a route_fn that
+        # claims delivery cannot score — the pair is unreachable, not a
+        # zero-stretch success.
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        udg = {0: [], 1: []}
+
+        def liar(s, t):
+            return [s, t], True, "x", False
+
+        rep = evaluate_routing(pts, udg, liar, [(0, 1)])
+        r = rep.records[0]
+        assert not r.reachable
+        assert not r.delivered
+        assert r.stretch == math.inf
+        assert rep.stretches() == []
+        s = rep.summary()
+        assert s["unreachable"] == 1
+        assert s["delivery_rate"] == 0.0
+
+    def test_route_fn_required_without_engine(self):
+        with pytest.raises(ValueError, match="route_fn"):
+            evaluate_routing(np.zeros((2, 2)), {0: [], 1: []}, None, [(0, 1)])
+
+    def test_summary_counts_reachable_runs(self, flat_instance):
+        sc, graph = flat_instance
+        rng = np.random.default_rng(6)
+        pairs = sample_pairs(len(graph.points), 8, rng)
+
+        def direct(s, t):
+            from repro.graphs.shortest_paths import euclidean_shortest_path
+
+            path, _ = euclidean_shortest_path(graph.points, graph.udg, s, t)
+            return path, True, "oracle", False
+
+        rep = evaluate_routing(graph.points, graph.udg, direct, pairs)
+        assert rep.summary()["unreachable"] == 0
+        assert all(math.isfinite(x) for x in rep.stretches())

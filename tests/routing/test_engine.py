@@ -1,0 +1,276 @@
+"""Tests for the batched multi-query routing engine.
+
+The engine's contract is strict: caches may only skip recomputation, never
+change a route.  Every test here compares engine output against a cold
+:class:`HybridRouter` (or a caching-disabled engine) built over the same
+abstraction state.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.graphs.shortest_paths import dijkstra
+from repro.routing import HybridRouter, QueryEngine, sample_pairs
+from repro.routing.engine import abstraction_digest
+from repro.scenarios import perturbed_grid_scenario
+from repro.scenarios.mobility import MobilityModel
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.tracing import TraceRecorder
+
+
+def _mk(seed=3, width=9.0, holes=1):
+    sc = perturbed_grid_scenario(
+        width=width, height=width, hole_count=holes, hole_scale=2.0, seed=seed
+    )
+    graph = build_ldel(sc.points)
+    return sc, graph, build_abstraction(graph)
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return _mk()
+
+
+@pytest.fixture(scope="module")
+def pairs(inst):
+    sc, _, _ = inst
+    rng = np.random.default_rng(5)
+    return sample_pairs(sc.n, 25, rng)
+
+
+def _same_outcome(a, b):
+    return (
+        a.path == b.path
+        and a.case == b.case
+        and a.reached == b.reached
+        and a.used_fallback == b.used_fallback
+    )
+
+
+class TestConstruction:
+    def test_invalid_mode(self, inst):
+        _, _, abst = inst
+        with pytest.raises(ValueError):
+            QueryEngine(abst, "bogus")
+
+    def test_default_udg_is_graph_adjacency(self, inst):
+        _, graph, abst = inst
+        assert QueryEngine(abst).udg is graph.adjacency
+
+
+class TestParity:
+    @pytest.mark.parametrize("mode", ["hull", "visibility", "delaunay"])
+    def test_matches_plain_router(self, inst, pairs, mode):
+        _, graph, abst = inst
+        router = HybridRouter(abst, mode)
+        warm = QueryEngine(abst, mode, udg=graph.udg)
+        cold = QueryEngine(abst, mode, udg=graph.udg, caching=False)
+        for s, t in pairs:
+            base = router.route(s, t)
+            assert _same_outcome(base, warm.route(s, t))
+            assert _same_outcome(base, cold.route(s, t))
+            # A cache hit returns the identical result.
+            assert _same_outcome(base, warm.route(s, t))
+
+    def test_route_many_preserves_input_order(self, inst, pairs):
+        _, graph, abst = inst
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        workload = pairs[:6] + pairs[:3]  # with duplicates
+        outs = engine.route_many(workload)
+        assert [(o.source, o.target) for o in outs] == [
+            (int(s), int(t)) for s, t in workload
+        ]
+
+    def test_route_many_uncached_matches_cached(self, inst, pairs):
+        _, graph, abst = inst
+        warm = QueryEngine(abst, "hull", udg=graph.udg)
+        cold = QueryEngine(abst, "hull", udg=graph.udg, caching=False)
+        for a, b in zip(warm.route_many(pairs), cold.route_many(pairs)):
+            assert _same_outcome(a, b)
+
+
+class TestCaches:
+    def test_result_cache_hits(self, inst, pairs):
+        _, graph, abst = inst
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        s, t = pairs[0]
+        engine.route(s, t)
+        engine.route(s, t)
+        row = engine.stats.cache["route_result"]
+        assert row == {"hits": 1, "misses": 1}
+
+    def test_result_cache_eviction(self, inst, pairs):
+        _, graph, abst = inst
+        engine = QueryEngine(abst, "hull", udg=graph.udg, result_cache_size=1)
+        (s1, t1), (s2, t2) = pairs[0], pairs[1]
+        engine.route(s1, t1)
+        engine.route(s2, t2)  # evicts the first entry
+        engine.route(s1, t1)  # must recompute
+        assert engine.stats.cache["route_result"]["hits"] == 0
+        assert engine.stats.cache["route_result"]["misses"] == 3
+
+    def test_dijkstra_cache_and_optimal(self, inst, pairs):
+        _, graph, abst = inst
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        s, t = pairs[0]
+        dist, _ = dijkstra(graph.points, graph.udg, s)
+        assert engine.optimal(s, t) == pytest.approx(dist[t])
+        engine.optimal(s, pairs[1][1])
+        assert engine.stats.cache["dijkstra"] == {"hits": 1, "misses": 1}
+
+    def test_metrics_collector_receives_cache_events(self, inst, pairs):
+        _, graph, abst = inst
+        metrics = MetricsCollector()
+        engine = QueryEngine(abst, "hull", udg=graph.udg, metrics=metrics)
+        s, t = pairs[0]
+        engine.route(s, t)
+        engine.route(s, t)
+        summary = metrics.cache_summary()
+        assert summary["route_result"]["hits"] == 1
+        assert summary["route_result"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_metrics_merge_folds_cache_stats(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.record_cache_event("x", True)
+        b.record_cache_event("x", False)
+        b.record_cache_event("y", True)
+        a.merge(b)
+        assert a.cache_stats["x"] == {"hits": 1, "misses": 1}
+        assert a.cache_stats["y"] == {"hits": 1, "misses": 0}
+
+    def test_trace_events_only_when_caching(self, inst, pairs):
+        _, graph, abst = inst
+        s, t = pairs[0]
+        on_trace, off_trace = TraceRecorder(), TraceRecorder()
+        QueryEngine(abst, "hull", udg=graph.udg, trace=on_trace).route(s, t)
+        QueryEngine(
+            abst, "hull", udg=graph.udg, trace=off_trace, caching=False
+        ).route(s, t)
+        assert [e.etype for e in on_trace.events()] == ["engine_query"]
+        assert len(off_trace) == 0  # determinism contract: silent
+
+    def test_stats_summary_shape(self, inst, pairs):
+        _, graph, abst = inst
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        engine.route_many(pairs[:4])
+        s = engine.stats.summary()
+        assert s["queries"] == 4
+        assert s["batch_queries"] == 4
+        assert s["invalidations"] == 0
+        assert "route_result_hit_rate" in s
+
+
+class TestInvalidation:
+    def test_digest_changes_with_points(self):
+        _, _, abst = _mk()
+        before = abstraction_digest(abst)
+        abst.graph.points[0, 0] += 1e-6
+        assert abstraction_digest(abst) != before
+
+    def test_inplace_mutation_flushes(self, pairs):
+        _, graph, abst = _mk()
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        warm_pairs = pairs[:8]
+        engine.route_many(warm_pairs)
+        abst.graph.points[:, 0] += 0.01
+        fresh = HybridRouter(abst, "hull")
+        for s, t in warm_pairs:
+            assert _same_outcome(fresh.route(s, t), engine.route(s, t))
+        assert engine.stats.invalidations == 1
+
+    def test_mobility_stale_cache_never_differs(self):
+        """ISSUE satellite: a mobility step must never serve stale routes."""
+        sc, graph, abst = _mk(seed=7, width=8.0)
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        rng = np.random.default_rng(9)
+        check_pairs = sample_pairs(sc.n, 10, rng)
+        engine.route_many(check_pairs)  # warm every cache
+        model = MobilityModel(sc, speed=0.05, seed=1)
+        for _ in range(3):
+            abst.graph.points[:] = model.step()
+            cold = QueryEngine(
+                abst, "hull", udg=graph.udg, caching=False
+            )
+            for s, t in check_pairs:
+                assert _same_outcome(cold.route(s, t), engine.route(s, t))
+        assert engine.stats.invalidations == 3
+
+    def test_rebind_swaps_abstraction(self, pairs):
+        _, graph_a, abst_a = _mk(seed=3)
+        _, graph_b, abst_b = _mk(seed=13)
+        engine = QueryEngine(abst_a, "hull", udg=graph_a.udg)
+        engine.route(*pairs[0])
+        engine.rebind(abst_b)
+        assert engine.abstraction is abst_b
+        assert engine.udg is graph_b.adjacency
+        n_b = len(abst_b.points)
+        rng = np.random.default_rng(2)
+        for s, t in sample_pairs(n_b, 5, rng):
+            base = HybridRouter(abst_b, "hull").route(s, t)
+            assert _same_outcome(base, engine.route(s, t))
+
+    def test_invalidate_trace_event(self, inst, pairs):
+        _, graph, abst = _mk()
+        trace = TraceRecorder()
+        engine = QueryEngine(abst, "hull", udg=graph.udg, trace=trace)
+        engine.route(*pairs[0])
+        abst.graph.points[0, 1] += 0.005
+        engine.route(*pairs[0])
+        etypes = [e.etype for e in trace.events()]
+        assert "engine_invalidate" in etypes
+
+
+class TestEvaluateIntegration:
+    def test_evaluate_routing_with_engine_matches(self, inst, pairs):
+        from repro.routing.competitiveness import evaluate_routing
+
+        _, graph, abst = inst
+        router = HybridRouter(abst, "hull")
+
+        def fn(s, t):
+            o = router.route(s, t)
+            return o.path, o.reached, o.case, o.used_fallback
+
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        rep_a = evaluate_routing(graph.points, graph.udg, fn, pairs)
+        rep_b = evaluate_routing(
+            graph.points, graph.udg, None, pairs, engine=engine
+        )
+        assert len(rep_a.records) == len(rep_b.records)
+        for ra, rb in zip(rep_a.records, rep_b.records):
+            assert (ra.source, ra.target) == (rb.source, rb.target)
+            assert ra.delivered == rb.delivered
+            assert ra.path_length == pytest.approx(rb.path_length)
+            assert ra.optimal == pytest.approx(rb.optimal)
+        # The engine's Dijkstra LRU served the optima.
+        assert engine.stats.cache["dijkstra"]["misses"] > 0
+
+    def test_evaluate_strategy_engine_parity(self, inst):
+        from repro.analysis.experiments import Instance, evaluate_strategy
+
+        sc, graph, abst = inst
+        wrapped = Instance(scenario=sc, graph=graph, abstraction=abst)
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        rep_plain = evaluate_strategy(wrapped, "hull", pair_count=15, seed=4)
+        rep_engine = evaluate_strategy(
+            wrapped, "hull", pair_count=15, seed=4, engine=engine
+        )
+        assert rep_plain.summary() == rep_engine.summary()
+
+    def test_run_query_workload(self, inst, pairs):
+        from repro.protocols import run_query_workload
+
+        _, graph, abst = inst
+        outs, engine = run_query_workload(
+            abst, pairs[:6], udg=graph.udg
+        )
+        assert len(outs) == 6
+        assert engine.stats.queries == 6
+        # A warm engine can be handed to the next workload.
+        outs2, engine2 = run_query_workload(abst, pairs[:6], engine=engine)
+        assert engine2 is engine
+        assert engine.stats.cache["route_result"]["hits"] >= 6

@@ -22,6 +22,12 @@ class TestParser:
         args = build_parser().parse_args(["route", "3", "7"])
         assert args.source == 3 and args.target == 7
 
+    def test_route_batch_flags(self):
+        args = build_parser().parse_args(["route", "--pairs", "5"])
+        assert args.source is None and args.pairs == 5
+        args = build_parser().parse_args(["route", "--batch", "0:4,1:9"])
+        assert args.batch == "0:4,1:9"
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -38,6 +44,34 @@ class TestCommands:
 
     def test_route_bad_ids(self, capsys):
         assert main(["route", "0", "999999", *ARGS]) == 2
+
+    def test_route_missing_args(self, capsys):
+        assert main(["route", *ARGS]) == 2
+        assert "SOURCE TARGET" in capsys.readouterr().err
+
+    def test_route_random_batch(self, capsys):
+        assert main(["route", *ARGS, "--pairs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 queries (batched)" in out
+        assert "engine caches" in out
+
+    def test_route_explicit_batch(self, capsys):
+        assert main(["route", *ARGS, "--batch", "0:40,0:40,5:20"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries (batched)" in out
+
+    def test_route_batch_no_cache(self, capsys):
+        assert main(["route", *ARGS, "--pairs", "3", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries (batched)" in out
+        assert "engine caches" not in out
+
+    def test_route_batch_malformed(self, capsys):
+        assert main(["route", *ARGS, "--batch", "0:zed"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_route_batch_out_of_range(self, capsys):
+        assert main(["route", *ARGS, "--batch", "0:999999"]) == 2
 
     def test_route_svg(self, tmp_path, capsys):
         svg = tmp_path / "scene.svg"
