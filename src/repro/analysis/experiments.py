@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class Instance:
         return self.scenario.n
 
 
-_CACHE: Dict[Tuple, Instance] = {}
+_CACHE: dict[tuple, Instance] = {}
 
 
 def make_instance(
@@ -61,7 +61,7 @@ def make_instance(
     hole_scale: float = 2.2,
     seed: int = 0,
     spacing: float = 0.55,
-    hole_shapes: Tuple[str, ...] = ("rectangle", "polygon", "ellipse"),
+    hole_shapes: tuple[str, ...] = ("rectangle", "polygon", "ellipse"),
 ) -> Instance:
     """Build (and cache) a perturbed-grid instance with its abstraction."""
     key = (width, height, hole_count, hole_scale, seed, spacing, hole_shapes)
@@ -85,7 +85,7 @@ def make_instance(
 
 def strategy_route_fn(
     inst: Instance, strategy: str, engine=None
-) -> Callable[[int, int], Tuple[List[int], bool, str, bool]]:
+) -> Callable[[int, int], tuple[list[int], bool, str, bool]]:
     """A ``route_fn`` for :func:`evaluate_routing` by strategy name.
 
     Strategies: ``hull`` / ``visibility`` / ``delaunay`` (the paper's
@@ -100,7 +100,7 @@ def strategy_route_fn(
             return engine.route_fn(strategy)
         router = HybridRouter(inst.abstraction, mode=strategy)
 
-        def fn(s: int, t: int) -> Tuple[List[int], bool, str, bool]:
+        def fn(s: int, t: int) -> tuple[list[int], bool, str, bool]:
             o = router.route(s, t)
             return o.path, o.reached, o.case, o.used_fallback
 

@@ -23,14 +23,15 @@ rather than aborting the sweep.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from .experiments import Instance, make_instance
 
 __all__ = ["run_sweep", "grid_points"]
 
 
-def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
     """Cartesian product of a parameter grid as a list of dicts."""
     keys = list(grid)
     out = []
@@ -41,12 +42,12 @@ def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
 
 def run_sweep(
     grid: Mapping[str, Sequence[Any]],
-    evaluate: Callable[[Instance, Dict[str, Any]], Dict[str, Any]],
+    evaluate: Callable[[Instance, dict[str, Any]], dict[str, Any]],
     *,
-    base: Optional[Mapping[str, Any]] = None,
+    base: Mapping[str, Any] | None = None,
     include_params: bool = True,
     skip_infeasible: bool = True,
-) -> List[Dict[str, Any]]:
+) -> list[dict[str, Any]]:
     """Evaluate ``evaluate(instance, params)`` over a parameter grid.
 
     Parameters
@@ -64,7 +65,7 @@ def run_sweep(
         scenario generator), emit a row marked ``infeasible`` instead of
         raising.
     """
-    rows: List[Dict[str, Any]] = []
+    rows: list[dict[str, Any]] = []
     for params in grid_points(grid):
         kwargs = {**(base or {}), **params}
         try:

@@ -8,7 +8,8 @@ EXPERIMENTS.md can quote it verbatim.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = ["format_table", "print_table"]
 
@@ -24,9 +25,9 @@ def _fmt(value: Any) -> str:
 
 
 def format_table(
-    rows: Sequence[Dict[str, Any]],
-    columns: Optional[Sequence[str]] = None,
-    title: Optional[str] = None,
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
 ) -> str:
     """Render dict-rows as an aligned text table."""
     if not rows:
@@ -36,7 +37,7 @@ def format_table(
     widths = [
         max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
     ]
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
@@ -48,9 +49,9 @@ def format_table(
 
 
 def print_table(
-    rows: Sequence[Dict[str, Any]],
-    columns: Optional[Sequence[str]] = None,
-    title: Optional[str] = None,
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
 ) -> None:
     """Print a formatted table preceded by a blank line."""
     print()

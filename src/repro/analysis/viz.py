@@ -12,7 +12,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -41,9 +41,9 @@ class SvgCanvas:
         self.width = width
         self.height = int(span_y * self.scale) + 2 * margin
         self.margin = margin
-        self._elements: List[str] = []
+        self._elements: list[str] = []
 
-    def tx(self, p: Sequence[float]) -> Tuple[float, float]:
+    def tx(self, p: Sequence[float]) -> tuple[float, float]:
         """World → screen (SVG's y axis points down)."""
         x = (p[0] - self.xmin) * self.scale + self.margin
         y = self.height - ((p[1] - self.ymin) * self.scale + self.margin)

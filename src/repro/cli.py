@@ -9,6 +9,8 @@ Commands
             event traces (see ``docs/observability.md``)
 ``bench``   a quick competitiveness comparison table
 ``chaos``   re-run the §5 pipeline under an injected fault plan and compare
+``lint``    run the model-invariant static checks (RPR001..) over sources;
+            see ``docs/static_analysis.md`` for the rule catalog
 
 All commands accept ``--width/--holes/--seed`` to shape the instance.
 """
@@ -17,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 import numpy as np
 
@@ -136,6 +137,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--blackout-stage", type=str, default=None)
     p_chaos.add_argument("--pairs", type=int, default=20)
 
+    p_lint = sub.add_parser(
+        "lint", help="model-invariant static analysis (RPR rule suite)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (text, json, or GitHub workflow annotations)",
+    )
+    p_lint.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the report (in the chosen format) to a file",
+    )
+    p_lint.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts to the text report",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -179,7 +220,7 @@ def cmd_demo(args) -> int:
     return 0
 
 
-def _parse_batch(spec: str, n: int) -> List[tuple]:
+def _parse_batch(spec: str, n: int) -> list[tuple]:
     pairs = []
     for chunk in spec.split(","):
         s, _, t = chunk.partition(":")
@@ -413,16 +454,58 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .devtools import (
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
+
+    if args.list_rules:
+        rows = [
+            {"code": r["code"], "name": r["name"], "scope": r["scope"]}
+            for r in rule_catalog()
+        ]
+        print(format_table(rows, title="repro lint rule catalog"))
+        return 0
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    renderers = {
+        "text": lambda r: render_text(r, statistics=args.statistics),
+        "json": render_json,
+        "github": render_github,
+    }
+    rendered = renderers[args.format](report)
+    if rendered:
+        print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(renderers["json" if args.output.endswith(".json") else args.format](report))
+            fh.write("\n")
+    return report.exit_code
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "route": cmd_route,
     "trace": cmd_trace,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
+    "lint": cmd_lint,
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen command."""
     args = build_parser().parse_args(argv)
     return COMMANDS[args.command](args)

@@ -18,7 +18,7 @@ everyone else keeps O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -37,10 +37,10 @@ __all__ = [
     "reference_dominating_set",
 ]
 
-Edge = Tuple[int, int]
+Edge = tuple[int, int]
 
 
-def reference_dominating_set(arc: Sequence[int]) -> List[int]:
+def reference_dominating_set(arc: Sequence[int]) -> list[int]:
     """Minimum dominating set of a path of nodes: every third node.
 
     Centralized oracle used when the abstraction is built without running
@@ -65,11 +65,11 @@ class Bay:
     hole_id: int
     corner_a: int
     corner_b: int
-    arc: List[int]
-    dominating_set: List[int] = field(default_factory=list)
+    arc: list[int]
+    dominating_set: list[int] = field(default_factory=list)
 
     @property
-    def interior(self) -> List[int]:
+    def interior(self) -> list[int]:
         """Arc nodes strictly between the two corners."""
         return self.arc[1:-1]
 
@@ -82,11 +82,11 @@ class HoleAbstraction:
     """One radio hole with its convex-hull abstraction."""
 
     hole_id: int
-    boundary: List[int]
-    hull: List[int]
+    boundary: list[int]
+    hull: list[int]
     is_outer: bool = False
-    closing_edge: Optional[Edge] = None
-    bays: List[Bay] = field(default_factory=list)
+    closing_edge: Edge | None = None
+    bays: list[Bay] = field(default_factory=list)
 
     def hull_polygon(self, points: np.ndarray) -> np.ndarray:
         """Convex-hull corner coordinates, ccw."""
@@ -104,7 +104,7 @@ class HoleAbstraction:
         """L(c) of Theorem 1.2 — bounding-box circumference of the hull."""
         return bounding_box(self.hull_polygon(points)).circumference
 
-    def bay_of(self, node: int) -> Optional[Bay]:
+    def bay_of(self, node: int) -> Bay | None:
         """The bay whose strict interior contains ``node`` (if any)."""
         for bay in self.bays:
             if node in bay.interior:
@@ -117,38 +117,38 @@ class Abstraction:
     """The complete hole abstraction of an LDel² network."""
 
     graph: LDelGraph
-    holes: List[HoleAbstraction]
+    holes: list[HoleAbstraction]
     #: overlay tree (node -> parent), present when built distributedly
-    tree_parent: Optional[Dict[int, Optional[int]]] = None
+    tree_parent: dict[int, int | None] | None = None
     #: the raw outer boundary walk of LDel² (clockwise outer face); used by
     #: the incremental-update machinery to detect outer-ring changes
-    outer_boundary: List[int] = field(default_factory=list)
+    outer_boundary: list[int] = field(default_factory=list)
 
     @property
     def points(self) -> np.ndarray:
         return self.graph.points
 
     # -- node roles -------------------------------------------------------------
-    def hull_nodes(self) -> Set[int]:
+    def hull_nodes(self) -> set[int]:
         """Node ids on any hole convex hull (the §4 waypoint set)."""
-        out: Set[int] = set()
+        out: set[int] = set()
         for h in self.holes:
             out.update(h.hull)
         return out
 
-    def boundary_nodes(self) -> Set[int]:
+    def boundary_nodes(self) -> set[int]:
         """Node ids on any hole boundary (the §3 waypoint set)."""
-        out: Set[int] = set()
+        out: set[int] = set()
         for h in self.holes:
             out.update(h.boundary)
         return out
 
     # -- geometry -----------------------------------------------------------------
-    def hull_polygons(self) -> List[np.ndarray]:
+    def hull_polygons(self) -> list[np.ndarray]:
         """Convex-hull polygons of all holes."""
         return [h.hull_polygon(self.points) for h in self.holes]
 
-    def boundary_polygons(self) -> List[np.ndarray]:
+    def boundary_polygons(self) -> list[np.ndarray]:
         """Boundary polygons of all holes (the visibility obstacles)."""
         return [h.boundary_polygon(self.points) for h in self.holes]
 
@@ -185,7 +185,7 @@ class Abstraction:
     # -- the Overlay Delaunay Graph (§4.2) ---------------------------------------------
     def overlay_delaunay(
         self, extra_points: Sequence[Sequence[float]] = ()
-    ) -> Tuple[List[int], np.ndarray, Set[Edge]]:
+    ) -> tuple[list[int], np.ndarray, set[Edge]]:
         """Delaunay graph over all hull nodes (+ optional terminals).
 
         Returns ``(node_ids, coords, edges)``: ``node_ids[i]`` is the graph
@@ -203,7 +203,7 @@ class Abstraction:
         return ids, coords, edges
 
     # -- storage accounting (Theorem 1.2) -------------------------------------------------
-    def storage_profile(self) -> Dict[str, float]:
+    def storage_profile(self) -> dict[str, float]:
         """Measured words per node role vs. the theorem's bounds."""
         pts = self.points
         hull_words = sum(len(h.hull) for h in self.holes)
@@ -224,14 +224,14 @@ class Abstraction:
 
 def build_abstraction(
     graph: LDelGraph,
-    hole_set: Optional[HoleSet] = None,
+    hole_set: HoleSet | None = None,
     *,
     dominating_sets: bool = True,
 ) -> Abstraction:
     """Centralized construction of the full abstraction from an LDel graph."""
     hs = find_holes(graph) if hole_set is None else hole_set
     pts = graph.points
-    holes: List[HoleAbstraction] = []
+    holes: list[HoleAbstraction] = []
     for h in hs.holes:
         hull_ids = h.hull_indices(pts)
         ha = HoleAbstraction(
@@ -248,7 +248,7 @@ def build_abstraction(
     )
 
 
-def _extract_bays(hole: HoleAbstraction, *, dominating_sets: bool) -> List[Bay]:
+def _extract_bays(hole: HoleAbstraction, *, dominating_sets: bool) -> list[Bay]:
     """Cut the boundary ring at its hull corners into bay arcs.
 
     A bay exists between two hull-adjacent corners whenever boundary nodes
@@ -261,7 +261,7 @@ def _extract_bays(hole: HoleAbstraction, *, dominating_sets: bool) -> List[Bay]:
     corner_pos = [i for i, v in enumerate(boundary) if v in hull_set]
     if len(corner_pos) < 2:
         return []
-    bays: List[Bay] = []
+    bays: list[Bay] = []
     for idx, pa in enumerate(corner_pos):
         pb = corner_pos[(idx + 1) % len(corner_pos)]
         arc_len = (pb - pa) % k

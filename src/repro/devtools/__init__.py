@@ -1,0 +1,57 @@
+"""Static analysis for the model contracts the paper's guarantees rest on.
+
+The routing guarantees of Jung et al. (c-competitiveness, O(log n) setup
+rounds) hold only under a strict execution model: protocol code touches
+**local state and received messages only**, rounds are synchronous and
+deterministic, and geometric branching goes through the EPS-aware
+predicates.  PRs 1-3 each found *latent* violations of those invariants by
+debugging; this package catches the same bug classes statically.
+
+``repro lint`` (see :mod:`repro.cli`) walks Python sources with a set of
+AST checkers:
+
+=========  ================================================================
+code       invariant
+=========  ================================================================
+RPR001     locality — protocol state machines may not reach into another
+           node's state or the scheduler's internals
+RPR002     determinism — no wall-clock, no global RNG, no iteration over
+           unordered sets
+RPR003     float-safety — geometric comparisons go through the EPS-aware
+           predicate layer, not raw ``==``/``<`` on coordinates
+RPR004     trace-schema — every trace emission uses a registered event
+           name and a statically well-formed payload
+RPR005     suppression without justification (meta)
+RPR006     unused suppression (meta)
+RPR101     mutable default argument
+RPR102     bare/ swallowing ``except``
+RPR103     swallowed :class:`~repro.simulation.scheduler.ModelViolation`
+=========  ================================================================
+
+Suppressions are explicit and must carry a justification::
+
+    t0 = time.perf_counter()  # repro: noqa[RPR002] spans never enter digests
+
+See ``docs/static_analysis.md`` for the full rule catalog and policy.
+"""
+
+from .diagnostics import Diagnostic, Severity
+from .engine import LintReport, ModuleSource, iter_python_files, lint_paths, lint_source
+from .output import render_github, render_json, render_text
+from .rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_github",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+]

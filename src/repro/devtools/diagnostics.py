@@ -1,0 +1,36 @@
+"""Diagnostic records produced by the lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI: errors fail the run, notices do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location.
+
+    Ordering is ``(path, line, col, code)`` so reports are stable across
+    runs and directory-walk order — determinism applies to the linter too.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def key(self) -> tuple[str, int, str]:
+        """The suppression-matching key: one noqa covers one line+code."""
+        return (self.path, self.line, self.code)

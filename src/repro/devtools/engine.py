@@ -1,0 +1,253 @@
+"""The lint engine: file walking, suppression handling, rule dispatch.
+
+Suppression syntax (one per line, codes comma-separated, justification
+**required**)::
+
+    risky_thing()  # repro: noqa[RPR002] spans never enter the digest
+    other_thing()  # repro: noqa[RPR001,RPR004] harness-side replay hook
+
+A suppression with no justification is itself a finding (RPR005), and a
+suppression that never matched a diagnostic is one too (RPR006) — stale
+noqas otherwise accumulate and quietly widen the hole in the fence.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from collections.abc import Iterable, Iterator, Sequence
+
+from .diagnostics import Diagnostic
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "LintReport",
+    "ModuleSource",
+    "Suppression",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]\s*:?\s*(?P<why>.*)$"
+)
+
+#: how many characters a justification must carry to count as one
+_MIN_JUSTIFICATION = 8
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed module handed to the rules."""
+
+    path: str
+    text: str
+    tree: ast.Module
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return PurePath(self.path).parts
+
+    @property
+    def basename(self) -> str:
+        return PurePath(self.path).name
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    def matches(self, diag: Diagnostic) -> bool:
+        """Does this noqa cover the given diagnostic (same line + code)?"""
+        return (
+            diag.path == self.path
+            and diag.line == self.line
+            and diag.code in self.codes
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 1 with findings, 0 clean."""
+        return 1 if self.diagnostics else 0
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Finding totals per rule code (sorted by code)."""
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(
+                f
+                for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+            )
+        elif p.suffix == ".py":
+            out.add(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(out)
+
+
+def find_suppressions(path: str, text: str) -> list[Suppression]:
+    """Scan source for ``# repro: noqa[...]`` comments.
+
+    Real comment tokens only — a noqa *mentioned* inside a docstring or
+    string literal (as in this package's own documentation) is not a
+    suppression.
+    """
+    found: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for lineno, comment in comments:
+        m = _NOQA_RE.search(comment)
+        if m is None:
+            continue
+        codes = tuple(
+            c.strip() for c in m.group("codes").split(",") if c.strip()
+        )
+        found.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                codes=codes,
+                justification=m.group("why").strip(),
+            )
+        )
+    return found
+
+
+def _instantiate(select: Sequence[str] | None) -> list[Rule]:
+    rules = [cls() for cls in ALL_RULES]
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        rules = [r for r in rules if r.code in wanted]
+    return rules
+
+
+def lint_source(
+    path: str,
+    text: str,
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint one in-memory module (the fixture-corpus entry point)."""
+    report = LintReport(files=[path])
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        report.diagnostics.append(
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RPR900",
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return report
+    module = ModuleSource(path=path, text=text, tree=tree)
+    raw: list[Diagnostic] = []
+    for rule in _instantiate(select):
+        if rule.applies_to(module):
+            raw.extend(rule.check(module))
+
+    suppressions = find_suppressions(path, text)
+    meta_on = select is None or "RPR005" in select or "RPR006" in select
+    for diag in sorted(raw):
+        sup = next((s for s in suppressions if s.matches(diag)), None)
+        if sup is None:
+            report.diagnostics.append(diag)
+        else:
+            sup.used = True
+            report.suppressed.append(diag)
+    if meta_on:
+        for sup in suppressions:
+            if len(sup.justification) < _MIN_JUSTIFICATION:
+                report.diagnostics.append(
+                    Diagnostic(
+                        path=path,
+                        line=sup.line,
+                        col=1,
+                        code="RPR005",
+                        message=(
+                            "suppression without a justification; say why "
+                            "the rule does not apply here ("
+                            f"codes: {', '.join(sup.codes)})"
+                        ),
+                    )
+                )
+            if not sup.used:
+                report.diagnostics.append(
+                    Diagnostic(
+                        path=path,
+                        line=sup.line,
+                        col=1,
+                        code="RPR006",
+                        message=(
+                            "unused suppression (no "
+                            f"{'/'.join(sup.codes)} diagnostic on this "
+                            "line); remove the stale noqa"
+                        ),
+                    )
+                )
+    report.diagnostics.sort()
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint files and directories; returns one merged report."""
+    _instantiate(select)  # fail fast on unknown codes before reading files
+    merged = LintReport()
+    for file in iter_python_files(paths):
+        text = file.read_text(encoding="utf-8")
+        sub = lint_source(str(file), text, select=select)
+        merged.files.extend(sub.files)
+        merged.diagnostics.extend(sub.diagnostics)
+        merged.suppressed.extend(sub.suppressed)
+    merged.diagnostics.sort()
+    return merged
+
+
+def iter_diagnostics(report: LintReport) -> Iterator[Diagnostic]:
+    """Convenience iterator (stable order)."""
+    return iter(sorted(report.diagnostics))

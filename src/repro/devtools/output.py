@@ -1,0 +1,64 @@
+"""Report renderers: terminal text, JSON, GitHub workflow annotations."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["render_github", "render_json", "render_text"]
+
+
+def render_text(report: LintReport, statistics: bool = False) -> str:
+    """Human-readable ``path:line:col: CODE message`` lines."""
+    lines = [
+        f"{d.path}:{d.line}:{d.col}: {d.code} {d.message}"
+        for d in report.diagnostics
+    ]
+    if statistics or not lines:
+        counts = report.counts_by_code()
+        lines.append(
+            f"{len(report.diagnostics)} finding(s) in "
+            f"{len(report.files)} file(s)"
+            + (f", {len(report.suppressed)} suppressed" if report.suppressed else "")
+        )
+        for code, n in counts.items():
+            lines.append(f"  {code}: {n}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (uploaded as a CI artifact)."""
+    payload = {
+        "files_checked": len(report.files),
+        "findings": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "message": d.message,
+                "severity": d.severity.value,
+            }
+            for d in report.diagnostics
+        ],
+        "suppressed": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "code": d.code,
+            }
+            for d in report.suppressed
+        ],
+        "counts_by_code": report.counts_by_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow-command annotations (one per finding)."""
+    return "\n".join(
+        f"::error file={d.path},line={d.line},col={d.col},"
+        f"title={d.code}::{d.message}"
+        for d in report.diagnostics
+    )

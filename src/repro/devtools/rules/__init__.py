@@ -1,0 +1,110 @@
+"""Rule registry for ``repro lint``.
+
+Each rule is a stateless visitor over one parsed module.  ``scope`` names
+path segments the rule applies to (empty = every file); ``excluded_files``
+names basenames that form the rule's sanctioned boundary layer (e.g. the
+EPS predicates themselves are allowed raw float comparisons).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["ALL_RULES", "Rule", "register", "rule_catalog"]
+
+
+class Rule:
+    """Base class: subclasses implement :meth:`check` over one module."""
+
+    code: ClassVar[str] = "RPR000"
+    name: ClassVar[str] = "unnamed"
+    rationale: ClassVar[str] = ""
+    #: path segments (package dir names) the rule is scoped to; empty = all
+    scope: ClassVar[tuple[str, ...]] = ()
+    #: basenames exempt from the rule (the rule's own boundary layer)
+    excluded_files: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, module: "ModuleSource") -> bool:
+        """Is this rule in scope for the module's path?"""
+        if module.basename in self.excluded_files:
+            return False
+        if not self.scope:
+            return True
+        return any(part in self.scope for part in module.parts)
+
+    def check(self, module: "ModuleSource") -> Iterator[Diagnostic]:
+        """Yield diagnostics for one parsed module."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: "ModuleSource", node: ast.AST, message: str
+    ) -> Diagnostic:
+        """A finding anchored at ``node``'s location in ``module``."""
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+#: every registered rule class, in catalog order
+ALL_RULES: list[type[Rule]] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (import-order stable)."""
+    ALL_RULES.append(cls)
+    return cls
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """The registry as rows (for ``repro lint --list-rules`` and the docs)."""
+    return [
+        {
+            "code": cls.code,
+            "name": cls.name,
+            "scope": "/".join(cls.scope) or "src",
+            "rationale": cls.rationale,
+        }
+        for cls in sorted(ALL_RULES, key=lambda c: c.code)
+    ]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield ``(node, ancestors)`` pairs, ancestors outermost-first."""
+    stack: list[tuple[ast.AST, list[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = parents + [node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+
+
+# Import for side effects: each module registers its rules.
+from . import determinism, float_safety, generic, locality, trace_schema  # noqa: E402,F401
+
+RuleFactory = Callable[[], Rule]

@@ -1,0 +1,140 @@
+"""RPR002 — determinism: no wall-clock, no global RNG, no set iteration.
+
+Two runs with the same ``(scenario, seed, FaultPlan)`` must produce
+byte-identical traces — that is what the golden-trace suite pins and what
+makes chaos-test failures replayable.  Three things silently break it:
+
+* wall-clock reads (``time.time``, ``datetime.now``, ``time.perf_counter``)
+  leaking into protocol decisions or trace payloads;
+* the process-global RNGs (``random.*``, ``numpy.random.*``) whose state is
+  shared and unseeded — all randomness must flow from an explicitly seeded
+  ``numpy.random.default_rng`` / splitmix stream threaded through the call;
+* iterating a ``set`` (hash order) where the order can feed protocol
+  decisions or trace output.  The rule flags iteration whose target is
+  *syntactically* a set (literal, comprehension, ``set(...)`` call) and not
+  wrapped in ``sorted(...)``; set membership and set algebra stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["DeterminismRule"]
+
+#: dotted-call suffixes that read the wall clock
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: ``random.<fn>`` module-level calls that mutate/consume global RNG state
+_GLOBAL_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: ``numpy.random.<fn>`` that are fine (explicitly seeded constructions)
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Syntactically-certain unordered set: literal, comp, or ``set(...)``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra over sets (a | b, a & b, ...): unordered if either
+        # side is itself syntactically a set
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag wall-clock reads, global RNG use, and hash-ordered iteration."""
+
+    code = "RPR002"
+    name = "determinism"
+    scope = (
+        "protocols",
+        "simulation",
+        "routing",
+        "core",
+        "graphs",
+        "geometry",
+        "scenarios",
+    )
+    rationale = (
+        "identical (scenario, seed, plan) inputs must replay to "
+        "byte-identical traces; wall-clock reads, global RNG state and "
+        "hash-ordered iteration all break that silently"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Walk calls and loop targets for nondeterminism sources."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.iter
+                if _is_set_expression(target):
+                    anchor = node if isinstance(node, ast.For) else target
+                    yield self.diagnostic(
+                        module,
+                        anchor,
+                        "iteration over a set is hash-ordered; wrap it in "
+                        "sorted(...) before the order can feed a protocol "
+                        "decision or trace output",
+                    )
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if any(name == c or name.endswith("." + c) for c in _CLOCK_CALLS):
+            yield self.diagnostic(
+                module,
+                node,
+                f"wall-clock read `{name}(...)` is nondeterministic; "
+                "simulation facts must derive from rounds and seeds only",
+            )
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in _GLOBAL_RANDOM_OK:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"`{name}(...)` consumes the process-global RNG; thread "
+                    "an explicitly seeded numpy Generator (or splitmix "
+                    "stream) through the call instead",
+                )
+        elif len(parts) >= 3 and parts[-2] == "random" and parts[-3] in (
+            "np",
+            "numpy",
+        ):
+            if parts[-1] not in _NP_RANDOM_OK:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"`{name}(...)` uses numpy's global RNG state; use an "
+                    "explicitly seeded numpy.random.default_rng(...)",
+                )

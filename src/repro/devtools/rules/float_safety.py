@@ -1,0 +1,117 @@
+"""RPR003 — float-safety: geometric comparisons go through the EPS layer.
+
+Every geometric branch in the library is supposed to reduce to the
+predicates of :mod:`repro.geometry.predicates` (``orientation``,
+``in_circle``, ``segments_intersect`` …), which classify within a single
+shared EPS band so that scalar and batch code paths agree.  A raw
+``cross(...) < 0`` or ``dist == 0.0`` scattered elsewhere re-introduces the
+knife-edge behaviour the predicate layer exists to remove: two nearly
+identical inputs land on opposite sides of a branch and the route (or the
+hull, or the trace digest) flips.
+
+The rule flags, inside ``geometry/`` and ``routing/`` (excluding the
+predicate layer itself):
+
+* comparisons where an operand is a call to a coordinate-valued helper
+  (``cross``, ``dot``, ``signed_area``, ``distance`` …);
+* ``==`` / ``!=`` against a float literal (float equality).
+
+Intentional exact comparisons (sentinels, documented exact-arithmetic
+hulls) carry a ``# repro: noqa[RPR003]`` with justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["FloatSafetyRule"]
+
+#: helpers whose return value is a *predicate quantity* — a signed area or
+#: projection whose **sign** is the decision.  Comparing one directly
+#: (rather than through the EPS-banded predicates) is the bug class.
+#: Magnitude comparisons (``distance(a, t) < best`` selecting a closer
+#: node) are deliberately not listed: near-ties there pick between two
+#: equally valid forwardings, they cannot flip a decision to a wrong one.
+_COORD_FUNCS = {
+    "cross",
+    "dot",
+    "signed_area",
+    "walk_signed_area",
+    "turn_angle",
+    "in_circle_det",
+}
+
+
+def _called_name(node: ast.AST) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatSafetyRule(Rule):
+    """Flag raw comparisons on predicate quantities and float equality."""
+
+    code = "RPR003"
+    name = "float-safety"
+    scope = ("geometry", "routing")
+    excluded_files = ("predicates.py", "primitives.py")
+    rationale = (
+        "geometric branches must classify through the shared EPS band of "
+        "geometry/predicates.py so scalar and batch paths agree and "
+        "near-degenerate inputs cannot flip a route"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Walk Compare nodes for un-EPS-guarded geometric decisions."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            coord = next(
+                (
+                    name
+                    for op in operands
+                    if (name := _called_name(op)) in _COORD_FUNCS
+                ),
+                None,
+            )
+            if coord is not None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"raw comparison on `{coord}(...)`; geometric decisions "
+                    "must go through the EPS-aware predicates "
+                    "(geometry/predicates.py) or carry a justified noqa",
+                )
+                continue
+            eq_ops = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if eq_ops and any(_is_float_literal(op) for op in operands):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "float-literal equality is knife-edge; compare through "
+                    "an EPS predicate, or justify the exact sentinel with "
+                    "a noqa",
+                )

@@ -1,0 +1,172 @@
+"""Generic rules: RPR101 mutable defaults, RPR102 bare except, RPR103
+swallowed ModelViolation.
+
+These are not model-specific, but each one has bitten a distributed-systems
+codebase in a characteristic way: a mutable default turns per-call state
+into cross-call state (exactly the "shared state between nodes" bug RPR001
+exists for, in sequential disguise); a bare ``except`` eats
+``KeyboardInterrupt`` and model violations alike; and a swallowed
+:class:`~repro.simulation.scheduler.ModelViolation` converts "the protocol
+cheated" into "the protocol silently computed the wrong thing" — the worst
+possible failure mode for a reproduction whose claims are model-relative.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["BareExceptRule", "MutableDefaultRule", "SwallowedViolationRule"]
+
+_MUTABLE_CTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set literals and constructors used as defaults."""
+
+    code = "RPR101"
+    name = "mutable-default-argument"
+    rationale = (
+        "a mutable default is evaluated once and shared across every call "
+        "— per-node state silently becomes cross-node state"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Inspect every function signature's defaults."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            named = args.posonlyargs + args.args
+            pos_defaults = args.defaults
+            offset = len(named) - len(pos_defaults)
+            pairs = [
+                (named[offset + i].arg, d) for i, d in enumerate(pos_defaults)
+            ] + [
+                (a.arg, d)
+                for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                if d is not None
+            ]
+            for arg_name, default in pairs:
+                if _is_mutable_default(default):
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        f"mutable default for parameter {arg_name!r} of "
+                        f"{node.name}(); use None and construct inside "
+                        "the function",
+                    )
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body cannot re-raise or record the error."""
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body
+    )
+
+
+@register
+class BareExceptRule(Rule):
+    """Flag bare ``except:`` and ``except Exception: pass`` handlers."""
+
+    code = "RPR102"
+    name = "bare-except"
+    rationale = (
+        "`except:` catches KeyboardInterrupt, SystemExit and every model "
+        "violation; catch the narrowest class that can actually occur"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Inspect every ``except`` clause's breadth and body."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "bare `except:`; name the exception class (it also "
+                    "catches KeyboardInterrupt/SystemExit)",
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+                and _handler_swallows(node)
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"`except {node.type.id}: pass` swallows every error "
+                    "including model violations; handle or re-raise",
+                )
+
+
+def _catches_model_violation(type_node: ast.AST | None) -> bool:
+    if type_node is None:
+        return False
+    if isinstance(type_node, ast.Tuple):
+        return any(_catches_model_violation(e) for e in type_node.elts)
+    name = (
+        type_node.attr
+        if isinstance(type_node, ast.Attribute)
+        else getattr(type_node, "id", "")
+    )
+    return name == "ModelViolation"
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+@register
+class SwallowedViolationRule(Rule):
+    """Flag ``except ModelViolation`` handlers that cannot re-raise."""
+
+    code = "RPR103"
+    name = "swallowed-model-violation"
+    rationale = (
+        "a caught-and-dropped ModelViolation turns 'the protocol cheated' "
+        "into silently wrong complexity numbers; violations must propagate "
+        "or be converted into an explicit failure result"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Find ModelViolation handlers with no ``raise`` in their body."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _catches_model_violation(node.type) and not _body_reraises(node):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "ModelViolation caught without re-raising; convert it "
+                    "into an explicit failure (or let it propagate) so a "
+                    "cheating protocol cannot report clean numbers",
+                )

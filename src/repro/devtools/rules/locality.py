@@ -1,0 +1,82 @@
+"""RPR001 — locality: protocol code stays inside its own node.
+
+The paper's complexity claims are per-node claims; they are void the moment
+a "distributed" protocol peeks at another node's attributes or at the
+scheduler's internals.  A :class:`~repro.simulation.node.NodeProcess`
+subclass may use exactly: its own attributes, the round's inbox, and the
+:class:`~repro.simulation.scheduler.Context` API (``send_adhoc`` /
+``send_long_range`` / ``trace`` / ``record_retry``).
+
+Harness code *around* a run (stage runners, result extraction in
+``setup.py``) legitimately reads ``result.nodes`` after the simulator has
+stopped; the rule therefore scopes to the bodies of process classes — the
+code that executes *as* a node.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from . import Rule, register, walk_with_parents
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["LocalityRule"]
+
+#: attribute names that reach scheduler internals from protocol code
+_FORBIDDEN_ATTRS = {"_sim", "_outbox", "_inboxes", "_staged", "_crashed"}
+
+
+def _is_process_class(node: ast.ClassDef) -> bool:
+    """Heuristic: NodeProcess subclasses (by base name or class name)."""
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name.endswith("Process"):
+            return True
+    return node.name.endswith("Process")
+
+
+@register
+class LocalityRule(Rule):
+    """Flag cross-node/scheduler-internal reaches inside process classes."""
+
+    code = "RPR001"
+    name = "locality"
+    scope = ("protocols",)
+    rationale = (
+        "protocol state machines may touch local state and received "
+        "messages only; cross-node reads bypass the communication model "
+        "the paper's round/message bounds are stated in"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Yield a finding per forbidden attribute reach in a Process body."""
+        for node, parents in walk_with_parents(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            in_process = any(
+                isinstance(p, ast.ClassDef) and _is_process_class(p)
+                for p in parents
+            )
+            if not in_process:
+                continue
+            if node.attr == "nodes":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "protocol code reaches for the simulator's node table "
+                    "(`.nodes`); a node may only see its own state and its "
+                    "inbox — communicate via ctx.send_adhoc/send_long_range",
+                )
+            elif node.attr in _FORBIDDEN_ATTRS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"protocol code touches scheduler internals "
+                    f"(`.{node.attr}`); the Context API is the only legal "
+                    "surface for a node",
+                )

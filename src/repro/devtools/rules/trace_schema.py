@@ -1,0 +1,152 @@
+"""RPR004 — trace-schema: emissions use registered event names.
+
+The golden-trace suite and the fault/metrics cross-checks treat the event
+stream as a typed schema: rollups dispatch on ``etype`` strings and the
+docs table (``docs/observability.md``) is the contract.  A typo'd or
+ad-hoc event name at one ``emit`` site silently falls out of every rollup
+— nothing crashes, the numbers are just wrong.
+
+The rule inspects every ``<recorder>.emit(...)`` and ``ctx.trace(...)``
+call site in ``src/``:
+
+* the event type must be a **string literal** (a computed name defeats
+  static checking; the one legitimate dynamic site — the scheduler's fault
+  funnel — validates against ``FAULT_EVENTS`` at runtime and carries a
+  justified noqa);
+* the literal must be registered in
+  :data:`repro.simulation.tracing.EVENT_TYPES` (exact match or a
+  registered ``*``-prefix family such as ``route_*``);
+* payload keywords may not collide with the reserved envelope keys
+  (``i``/``r``/``s``/``ev``), may not arrive via ``**`` unpacking of an
+  unverifiable mapping (except a documented fields-helper), and may not be
+  lambdas or function objects (not JSON-serializable).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..engine import ModuleSource
+
+__all__ = ["TraceSchemaRule"]
+
+_RESERVED = {"i", "r", "s", "ev"}
+
+#: receiver spellings that identify a TraceRecorder at a call site
+_RECORDER_HINTS = ("trace", "recorder", "rec", "tracer")
+
+#: ``**`` unpackings of these helper calls are sanctioned (they produce the
+#: documented message-identity fields)
+_FIELD_HELPERS = {"_msg_fields"}
+
+
+def _is_recorder_receiver(func: ast.Attribute) -> bool:
+    """Does ``<receiver>.emit`` look like a TraceRecorder emission?"""
+    name = dotted_name(func.value)
+    if name is None:
+        return False
+    leaf = name.split(".")[-1].lstrip("_")
+    return any(leaf == h or leaf.endswith("_" + h) for h in _RECORDER_HINTS)
+
+
+def _registered(etype: str) -> bool:
+    from ...simulation.tracing import EVENT_TYPES, event_type_registered
+
+    del EVENT_TYPES  # imported for doc-link clarity; the helper decides
+    return event_type_registered(etype)
+
+
+@register
+class TraceSchemaRule(Rule):
+    """Check every trace emission against the registered event schema."""
+
+    code = "RPR004"
+    name = "trace-schema"
+    rationale = (
+        "trace rollups and the golden-trace contract dispatch on event "
+        "names; an unregistered name silently falls out of every rollup"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        """Find recorder emissions and validate each call site."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            is_emit = func.attr == "emit" and _is_recorder_receiver(func)
+            is_ctx_trace = func.attr == "trace" and isinstance(
+                func.value, ast.Name
+            )
+            if not (is_emit or is_ctx_trace):
+                continue
+            yield from self._check_site(module, node)
+
+    def _check_site(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        if not node.args:
+            yield self.diagnostic(
+                module, node, "trace emission without an event type"
+            )
+            return
+        etype = node.args[0]
+        if not (isinstance(etype, ast.Constant) and isinstance(etype.value, str)):
+            yield self.diagnostic(
+                module,
+                node,
+                "trace event type must be a string literal so the schema "
+                "is statically checkable (validate dynamic names against "
+                "FAULT_EVENTS/EVENT_TYPES at runtime and justify a noqa)",
+            )
+            return
+        if not _registered(etype.value):
+            yield self.diagnostic(
+                module,
+                node,
+                f"unregistered trace event name {etype.value!r}; add it to "
+                "EVENT_TYPES in repro/simulation/tracing.py (and the table "
+                "in docs/observability.md)",
+            )
+        for kw in node.keywords:
+            if kw.arg is None:
+                helper = _called_helper(kw.value)
+                if helper not in _FIELD_HELPERS:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "`**` payload unpacking hides the payload shape "
+                        "from the schema check; pass explicit keywords or "
+                        "a sanctioned fields helper",
+                    )
+            elif kw.arg in _RESERVED:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"payload key {kw.arg!r} collides with the reserved "
+                    "JSONL envelope keys (i/r/s/ev)",
+                )
+            elif isinstance(kw.value, ast.Lambda):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"payload key {kw.arg!r} is a lambda — not "
+                    "JSON-serializable; pass data, not behaviour",
+                )
+
+
+def _called_helper(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+    return None

@@ -16,7 +16,7 @@ Three entry points matter for the paper:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ __all__ = [
 ]
 
 
-def convex_hull_indices(points: Sequence[Sequence[float]]) -> List[int]:
+def convex_hull_indices(points: Sequence[Sequence[float]]) -> list[int]:
     """Indices of the convex hull of ``points`` in counter-clockwise order.
 
     Andrew's monotone chain.  Collinear points on the hull boundary are
@@ -58,12 +58,12 @@ def convex_hull_indices(points: Sequence[Sequence[float]]) -> List[int]:
         # nearly-collinear chains whose span exceeds the tolerance.
         return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
 
-    def build(indices: np.ndarray) -> List[int]:
-        chain: List[int] = []
+    def build(indices: np.ndarray) -> list[int]:
+        chain: list[int] = []
         for idx in indices:
             while (
                 len(chain) >= 2
-                and cross(pts[chain[-2]], pts[chain[-1]], pts[idx]) <= 0.0
+                and cross(pts[chain[-2]], pts[chain[-1]], pts[idx]) <= 0.0  # repro: noqa[RPR003] documented exact arithmetic: the tolerant predicate can discard extreme points of nearly-collinear chains
             ):
                 chain.pop()
             chain.append(int(idx))
@@ -124,7 +124,7 @@ def merge_hulls(
 
 def locally_convex_hull(
     cycle: Sequence[Sequence[float]], *, unit: float = 1.0
-) -> List[int]:
+) -> list[int]:
     """Locally convex hull of a hole-boundary cycle (Definition 4.1).
 
     Given the boundary cycle ``(v_1, …, v_k)`` of a hole (in order), returns

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -27,8 +27,8 @@ from .predicates import in_circle
 
 __all__ = ["Triangulation", "delaunay_triangulation", "delaunay_edges"]
 
-Edge = Tuple[int, int]
-Triangle = Tuple[int, int, int]
+Edge = tuple[int, int]
+Triangle = tuple[int, int, int]
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -44,32 +44,32 @@ class Triangulation:
     points:
         ``(n, 2)`` array of the triangulated points.
     triangles:
-        List of index triples, each sorted ascending.
+        list of index triples, each sorted ascending.
     """
 
     points: np.ndarray
-    triangles: List[Triangle] = field(default_factory=list)
+    triangles: list[Triangle] = field(default_factory=list)
 
-    def edges(self) -> Set[Edge]:
+    def edges(self) -> set[Edge]:
         """All undirected edges appearing in some triangle."""
-        out: Set[Edge] = set()
+        out: set[Edge] = set()
         for a, b, c in self.triangles:
             out.add(_norm_edge(a, b))
             out.add(_norm_edge(b, c))
             out.add(_norm_edge(a, c))
         return out
 
-    def adjacency(self) -> Dict[int, Set[int]]:
+    def adjacency(self) -> dict[int, set[int]]:
         """Vertex adjacency map induced by the triangulation edges."""
-        adj: Dict[int, Set[int]] = {i: set() for i in range(len(self.points))}
+        adj: dict[int, set[int]] = {i: set() for i in range(len(self.points))}
         for a, b in self.edges():
             adj[a].add(b)
             adj[b].add(a)
         return adj
 
-    def triangles_of_edge(self) -> Dict[Edge, List[Triangle]]:
+    def triangles_of_edge(self) -> dict[Edge, list[Triangle]]:
         """Map from each edge to the (one or two) triangles containing it."""
-        out: Dict[Edge, List[Triangle]] = {}
+        out: dict[Edge, list[Triangle]] = {}
         for tri in self.triangles:
             a, b, c = tri
             for e in (_norm_edge(a, b), _norm_edge(b, c), _norm_edge(a, c)):
@@ -104,11 +104,11 @@ def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
     s0, s1, s2 = n, n + 1, n + 2
 
     # Parallel arrays of live triangles and their circumcircles.
-    tris: List[Triangle] = [(s0, s1, s2)]
-    centers: List[Tuple[float, float]] = []
-    radii_sq: List[float] = []
+    tris: list[Triangle] = [(s0, s1, s2)]
+    centers: list[tuple[float, float]] = []
+    radii_sq: list[float] = []
 
-    def _circum(tri: Triangle) -> Tuple[Tuple[float, float], float]:
+    def _circum(tri: Triangle) -> tuple[tuple[float, float], float]:
         a, b, c = (all_pts[tri[0]], all_pts[tri[1]], all_pts[tri[2]])
         cc = circumcenter(a, b, c)
         if cc is None:
@@ -137,8 +137,8 @@ def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
 
         # Boundary of the cavity: edges of bad triangles not shared by two
         # bad triangles.
-        edge_count: Dict[Edge, int] = {}
-        edge_dir: Dict[Edge, Tuple[int, int]] = {}
+        edge_count: dict[Edge, int] = {}
+        edge_dir: dict[Edge, tuple[int, int]] = {}
         for ti in bad_idx:
             a, b, c = tris[ti]
             for u, v in ((a, b), (b, c), (c, a)):
@@ -146,9 +146,9 @@ def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
                 edge_count[e] = edge_count.get(e, 0) + 1
                 edge_dir[e] = (u, v)
 
-        keep_tris: List[Triangle] = []
-        keep_centers: List[Tuple[float, float]] = []
-        keep_rsq: List[float] = []
+        keep_tris: list[Triangle] = []
+        keep_centers: list[tuple[float, float]] = []
+        keep_rsq: list[float] = []
         for ti, tri in enumerate(tris):
             if not bad_mask[ti]:
                 keep_tris.append(tri)
@@ -168,7 +168,7 @@ def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
             centers.append(cc)
             radii_sq.append(r_sq)
 
-    final: List[Triangle] = []
+    final: list[Triangle] = []
     for a, b, c in tris:
         if a >= n or b >= n or c >= n:
             continue
@@ -177,7 +177,7 @@ def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
     return Triangulation(points=pts, triangles=final)
 
 
-def delaunay_edges(points: Sequence[Sequence[float]]) -> Set[Edge]:
+def delaunay_edges(points: Sequence[Sequence[float]]) -> set[Edge]:
     """Undirected Delaunay edge set of ``points``.
 
     Convenience wrapper used by the Overlay Delaunay Graph (§4.2), which only

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class BoundingBox:
         return 2.0 * (self.width + self.height)
 
     @property
-    def center(self) -> Tuple[float, float]:
+    def center(self) -> tuple[float, float]:
         return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
 
     def contains(self, p: Sequence[float]) -> bool:
@@ -217,7 +217,7 @@ def segment_polygon_intersections(
     p: Sequence[float],
     q: Sequence[float],
     vertices: Sequence[Sequence[float]],
-) -> List[Tuple[float, Tuple[float, float]]]:
+) -> list[tuple[float, tuple[float, float]]]:
     """All proper intersections of segment ``pq`` with the polygon boundary.
 
     Returns ``(t, point)`` pairs sorted by the parameter ``t`` along ``pq``
@@ -228,7 +228,7 @@ def segment_polygon_intersections(
     n = len(pts)
     px, py = float(p[0]), float(p[1])
     dx, dy = float(q[0]) - px, float(q[1]) - py
-    out: List[Tuple[float, Tuple[float, float]]] = []
+    out: list[tuple[float, tuple[float, float]]] = []
     for i in range(n):
         ax, ay = pts[i]
         bx, by = pts[(i + 1) % n]

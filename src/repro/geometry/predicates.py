@@ -15,7 +15,7 @@ hot loops (visibility-graph construction tests Θ(h²) segment pairs).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

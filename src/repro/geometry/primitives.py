@@ -13,7 +13,8 @@ communication radius, so distances here are plain Euclidean distances and the
 from __future__ import annotations
 
 import math
-from typing import Iterable, NamedTuple, Sequence
+from collections.abc import Iterable, Sequence
+from typing import NamedTuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -216,7 +216,7 @@ class VisibilityGraph:
         self.obstacles = [as_array(o) for o in obstacles]
         self._segments = obstacle_segments(self.obstacles)
         self._bboxes = obstacle_bboxes(self.obstacles)
-        self.adjacency: Dict[int, Dict[int, float]] = {
+        self.adjacency: dict[int, dict[int, float]] = {
             i: {} for i in range(len(self.vertices))
         }
         self._build()
@@ -243,10 +243,10 @@ class VisibilityGraph:
 
     def insert_terminals(
         self, terminals: Sequence[Sequence[float]]
-    ) -> List[int]:
+    ) -> list[int]:
         """Add terminal points (e.g. source/target), connecting them to every
         visible vertex and to each other.  Returns their new indices."""
-        new_ids: List[int] = []
+        new_ids: list[int] = []
         for t in terminals:
             idx = len(self.vertices)
             self.vertices = np.vstack([self.vertices, np.asarray(t, dtype=float)])
@@ -272,17 +272,17 @@ class VisibilityGraph:
             self.adjacency.pop(idx, None)
         self.vertices = self.vertices[: n - count]
 
-    def shortest_path(self, src: int, dst: int) -> Tuple[List[int], float]:
+    def shortest_path(self, src: int, dst: int) -> tuple[list[int], float]:
         """Dijkstra shortest path between two vertex indices.
 
         Returns ``(index_path, length)``; raises ``ValueError`` when ``dst``
         is unreachable (which, for visibility graphs of disjoint obstacles in
         a connected free space, indicates a modelling error).
         """
-        dist: Dict[int, float] = {src: 0.0}
-        prev: Dict[int, int] = {}
-        heap: List[Tuple[float, int]] = [(0.0, src)]
-        seen: Set[int] = set()
+        dist: dict[int, float] = {src: 0.0}
+        prev: dict[int, int] = {}
+        heap: list[tuple[float, int]] = [(0.0, src)]
+        seen: set[int] = set()
         while heap:
             d, u = heapq.heappop(heap)
             if u in seen:
@@ -317,7 +317,7 @@ def shortest_path_through_visibility(
     src: Sequence[float],
     dst: Sequence[float],
     obstacles: Sequence[Sequence[Sequence[float]]],
-) -> Tuple[List[Tuple[float, float]], float]:
+) -> tuple[list[tuple[float, float]], float]:
     """Geometric shortest obstacle-avoiding path from ``src`` to ``dst``.
 
     Builds the visibility graph over all obstacle corners plus the two
@@ -325,7 +325,7 @@ def shortest_path_through_visibility(
     is the *optimal* geometric comparator used to measure competitiveness in
     the benchmarks.
     """
-    corners: List[Sequence[float]] = []
+    corners: list[Sequence[float]] = []
     for poly in obstacles:
         corners.extend(tuple(v) for v in as_array(poly))
     graph = VisibilityGraph(corners, obstacles)

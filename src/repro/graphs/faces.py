@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,15 +39,15 @@ __all__ = [
     "walk_signed_area",
 ]
 
-Dart = Tuple[int, int]
+Dart = tuple[int, int]
 
 
 def angular_embedding(
     points: Sequence[Sequence[float]], adj: Adjacency
-) -> Dict[int, List[int]]:
+) -> dict[int, list[int]]:
     """Rotation system: neighbors of each node sorted ccw by angle."""
     pts = as_array(points)
-    emb: Dict[int, List[int]] = {}
+    emb: dict[int, list[int]] = {}
     for u, nbrs in adj.items():
         emb[u] = sorted(
             nbrs,
@@ -58,7 +58,7 @@ def angular_embedding(
 
 def enumerate_faces(
     points: Sequence[Sequence[float]], adj: Adjacency
-) -> List[List[int]]:
+) -> list[list[int]]:
     """All faces of the plane graph as vertex walks.
 
     Each face is returned as the cyclic list of vertices visited by its dart
@@ -66,16 +66,16 @@ def enumerate_faces(
     counter-clockwise, the outer face clockwise.
     """
     emb = angular_embedding(points, adj)
-    pos_in: Dict[int, Dict[int, int]] = {
+    pos_in: dict[int, dict[int, int]] = {
         u: {v: i for i, v in enumerate(nbrs)} for u, nbrs in emb.items()
     }
-    visited: Set[Dart] = set()
-    faces: List[List[int]] = []
+    visited: set[Dart] = set()
+    faces: list[list[int]] = []
     for u in sorted(adj):
         for v in adj[u]:
             if (u, v) in visited:
                 continue
-            walk: List[int] = []
+            walk: list[int] = []
             a, b = u, v
             while (a, b) not in visited:
                 visited.add((a, b))
@@ -88,7 +88,7 @@ def enumerate_faces(
     return faces
 
 
-def walk_signed_area(points: Sequence[Sequence[float]], walk: List[int]) -> float:
+def walk_signed_area(points: Sequence[Sequence[float]], walk: list[int]) -> float:
     """Signed area of a face walk (positive iff counter-clockwise)."""
     pts = as_array(points)
     return signed_area(pts[walk])
@@ -114,9 +114,9 @@ class Hole:
     """
 
     hole_id: int
-    boundary: List[int]
+    boundary: list[int]
     is_outer: bool = False
-    closing_edge: Optional[Tuple[int, int]] = None
+    closing_edge: tuple[int, int] | None = None
 
     def polygon(self, points: np.ndarray) -> np.ndarray:
         """Boundary coordinates as an ``(k, 2)`` polygon."""
@@ -130,7 +130,7 @@ class Hole:
         """Axis-aligned bounding box of the boundary (L(c) source)."""
         return bounding_box(self.polygon(points))
 
-    def hull_indices(self, points: np.ndarray) -> List[int]:
+    def hull_indices(self, points: np.ndarray) -> list[int]:
         """Node ids of the hole's convex hull corners, ccw."""
         poly = self.polygon(points)
         local = convex_hull_indices(poly)
@@ -144,7 +144,7 @@ class Hole:
         """No repeated vertices in the boundary walk (clean ring)."""
         return len(set(self.boundary)) == len(self.boundary)
 
-    def ring_neighbors(self, node: int) -> Tuple[int, int]:
+    def ring_neighbors(self, node: int) -> tuple[int, int]:
         """Predecessor and successor of ``node`` on the boundary ring."""
         i = self.boundary.index(node)
         k = len(self.boundary)
@@ -155,38 +155,38 @@ class Hole:
 class HoleSet:
     """All radio holes of an LDel graph plus the outer boundary walk."""
 
-    holes: List[Hole]
-    outer_face: List[int]
+    holes: list[Hole]
+    outer_face: list[int]
     points: np.ndarray
 
     @property
-    def inner(self) -> List[Hole]:
+    def inner(self) -> list[Hole]:
         return [h for h in self.holes if not h.is_outer]
 
     @property
-    def outer(self) -> List[Hole]:
+    def outer(self) -> list[Hole]:
         return [h for h in self.holes if h.is_outer]
 
-    def boundary_nodes(self) -> Set[int]:
+    def boundary_nodes(self) -> set[int]:
         """Union of all hole-boundary node ids."""
-        out: Set[int] = set()
+        out: set[int] = set()
         for h in self.holes:
             out.update(h.boundary)
         return out
 
-    def holes_of_node(self) -> Dict[int, List[int]]:
+    def holes_of_node(self) -> dict[int, list[int]]:
         """Map node id → list of hole ids whose boundary contains it."""
-        out: Dict[int, List[int]] = {}
+        out: dict[int, list[int]] = {}
         for h in self.holes:
             for v in h.boundary:
                 out.setdefault(v, []).append(h.hole_id)
         return out
 
-    def obstacles(self) -> List[np.ndarray]:
+    def obstacles(self) -> list[np.ndarray]:
         """Hole polygons usable as visibility obstacles."""
         return [h.polygon(self.points) for h in self.holes]
 
-    def hull_polygons(self) -> List[np.ndarray]:
+    def hull_polygons(self) -> list[np.ndarray]:
         """Convex hulls of all holes (the §4 abstraction), ccw polygons."""
         return [
             self.points[h.hull_indices(self.points)] for h in self.holes
@@ -213,7 +213,7 @@ def find_holes(
         return HoleSet(holes=[], outer_face=[], points=pts)
     outer_idx = int(np.argmin(areas))
 
-    holes: List[Hole] = []
+    holes: list[Hole] = []
     for i, walk in enumerate(faces):
         if i == outer_idx:
             continue
@@ -222,7 +222,7 @@ def find_holes(
 
     # --- Outer holes (Definition 2.5) -------------------------------------
     hull_ids = convex_hull_indices(pts)
-    hull_edges: List[Tuple[int, int]] = []
+    hull_edges: list[tuple[int, int]] = []
     for a, b in zip(hull_ids, hull_ids[1:] + hull_ids[:1]):
         if a == b:
             continue
@@ -247,7 +247,7 @@ def find_holes(
         for i, walk in enumerate(aug_faces):
             if i == aug_outer or len(set(walk)) < 3:
                 continue
-            closing: Optional[Tuple[int, int]] = None
+            closing: tuple[int, int] | None = None
             k = len(walk)
             for j in range(k):
                 e = (walk[j], walk[(j + 1) % k])

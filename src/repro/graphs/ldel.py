@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,8 +33,8 @@ from .udg import Adjacency, GridIndex, unit_disk_graph
 
 __all__ = ["LDelGraph", "build_ldel", "gabriel_edges", "udg_triangles"]
 
-Edge = Tuple[int, int]
-Triangle = Tuple[int, int, int]
+Edge = tuple[int, int]
+Triangle = tuple[int, int, int]
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -66,12 +66,12 @@ class LDelGraph:
     points: np.ndarray
     udg: Adjacency
     adjacency: Adjacency
-    triangles: List[Triangle]
-    gabriel: Set[Edge]
+    triangles: list[Triangle]
+    gabriel: set[Edge]
     k: int = 2
     radius: float = 1.0
 
-    def edges(self) -> Set[Edge]:
+    def edges(self) -> set[Edge]:
         """Undirected LDel edge set."""
         return {
             _norm_edge(u, v)
@@ -84,11 +84,11 @@ class LDelGraph:
         """Is (u, v) an LDel edge?"""
         return v in self.adjacency.get(u, ())
 
-    def triangle_set(self) -> Set[Triangle]:
+    def triangle_set(self) -> set[Triangle]:
         """The k-localized triangles as a set."""
         return set(self.triangles)
 
-    def crossing_edge_pairs(self) -> List[Tuple[Edge, Edge]]:
+    def crossing_edge_pairs(self) -> list[tuple[Edge, Edge]]:
         """All pairs of properly crossing edges (planarity diagnostic).
 
         Should be empty for ``k >= 2``; the test suite asserts this on the
@@ -96,7 +96,7 @@ class LDelGraph:
         """
         edges = sorted(self.edges())
         pts = self.points
-        out: List[Tuple[Edge, Edge]] = []
+        out: list[tuple[Edge, Edge]] = []
         for i, e1 in enumerate(edges):
             a, b = e1
             for e2 in edges[i + 1 :]:
@@ -108,9 +108,9 @@ class LDelGraph:
         return out
 
 
-def udg_triangles(adj: Adjacency) -> List[Triangle]:
+def udg_triangles(adj: Adjacency) -> list[Triangle]:
     """All triangles of the UDG (triples of mutually adjacent nodes)."""
-    out: List[Triangle] = []
+    out: list[Triangle] = []
     neighbor_sets = {u: set(nbrs) for u, nbrs in adj.items()}
     for u in sorted(adj):
         nbrs = [v for v in adj[u] if v > u]
@@ -126,7 +126,7 @@ def gabriel_edges(
     points: Sequence[Sequence[float]],
     adj: Adjacency,
     grid: GridIndex | None = None,
-) -> Set[Edge]:
+) -> set[Edge]:
     """Gabriel edges of the UDG (Definition 2.3, clause 2).
 
     A UDG edge ``(u, v)`` is Gabriel iff the circle with diameter ``uv``
@@ -136,7 +136,7 @@ def gabriel_edges(
     pts = as_array(points)
     if grid is None:
         grid = GridIndex(pts, cell=1.0)
-    out: Set[Edge] = set()
+    out: set[Edge] = set()
     for u in sorted(adj):
         for v in adj[u]:
             if v <= u:
@@ -183,11 +183,11 @@ def build_ldel(
         udg = unit_disk_graph(pts, radius=radius)
     grid = GridIndex(pts, cell=max(radius, 0.5))
 
-    khop: Dict[int, Set[int]] = {
+    khop: dict[int, set[int]] = {
         u: k_hop_neighborhood(udg, u, k) for u in range(n)
     }
 
-    valid_triangles: List[Triangle] = []
+    valid_triangles: list[Triangle] = []
     for tri in udg_triangles(udg):
         u, v, w = tri
         cc = circumcenter(pts[u], pts[v], pts[w])
@@ -212,7 +212,7 @@ def build_ldel(
 
     gabriel = gabriel_edges(pts, udg, grid=grid)
 
-    edge_set: Set[Edge] = set(gabriel)
+    edge_set: set[Edge] = set(gabriel)
     for u, v, w in valid_triangles:
         edge_set.add(_norm_edge(u, v))
         edge_set.add(_norm_edge(v, w))

@@ -10,7 +10,8 @@ planarity.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import networkx as nx
 import numpy as np
@@ -72,7 +73,7 @@ def abstraction_to_networkx(abstraction: "Abstraction") -> "nx.Graph":
     g = ldel_to_networkx(abstraction.graph)
     hull = abstraction.hull_nodes()
     boundary = abstraction.boundary_nodes()
-    holes_of: Dict[int, List[int]] = {}
+    holes_of: dict[int, list[int]] = {}
     for h in abstraction.holes:
         for v in h.boundary:
             holes_of.setdefault(v, []).append(h.hole_id)

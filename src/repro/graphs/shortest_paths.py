@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -26,24 +26,24 @@ __all__ = [
     "path_edge_lengths",
 ]
 
-Adjacency = Dict[int, List[int]]
+Adjacency = dict[int, list[int]]
 
 
 def dijkstra(
     points: Sequence[Sequence[float]],
     adj: Adjacency,
     source: int,
-    target: Optional[int] = None,
-) -> Tuple[Dict[int, float], Dict[int, int]]:
+    target: int | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
     """Euclidean-weighted Dijkstra from ``source``.
 
     Returns ``(dist, prev)``.  With ``target`` given, stops early once the
     target is settled (the common routing-oracle call pattern).
     """
     pts = as_array(points)
-    dist: Dict[int, float] = {source: 0.0}
-    prev: Dict[int, int] = {}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
+    dist: dict[int, float] = {source: 0.0}
+    prev: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
     settled: set[int] = set()
     while heap:
         d, u = heapq.heappop(heap)
@@ -70,7 +70,7 @@ def euclidean_shortest_path(
     adj: Adjacency,
     source: int,
     target: int,
-) -> Tuple[List[int], float]:
+) -> tuple[list[int], float]:
     """Shortest Euclidean-weighted path ``source → target``.
 
     Raises ``ValueError`` when no path exists (the paper assumes UDG(V) is
@@ -96,7 +96,7 @@ def euclidean_shortest_path_length(
     return euclidean_shortest_path(points, adj, source, target)[1]
 
 
-def hop_distances(adj: Adjacency, source: int) -> Dict[int, int]:
+def hop_distances(adj: Adjacency, source: int) -> dict[int, int]:
     """BFS hop counts from ``source`` to every reachable node."""
     dist = {source: 0}
     queue = deque([source])
@@ -119,7 +119,7 @@ def k_hop_neighborhood(adj: Adjacency, source: int, k: int) -> set[int]:
     seen = {source}
     frontier = [source]
     for _ in range(k):
-        nxt: List[int] = []
+        nxt: list[int] = []
         for u in frontier:
             for v in adj[u]:
                 if v not in seen:
@@ -133,7 +133,7 @@ def k_hop_neighborhood(adj: Adjacency, source: int, k: int) -> set[int]:
 
 def path_edge_lengths(
     points: Sequence[Sequence[float]], path: Iterable[int]
-) -> List[float]:
+) -> list[float]:
     """Euclidean lengths of consecutive path edges."""
     pts = as_array(points)
     ids = list(path)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class StretchStats:
 def graph_stretch(
     points: Sequence[Sequence[float]],
     adj: Adjacency,
-    pairs: Iterable[Tuple[int, int]],
+    pairs: Iterable[tuple[int, int]],
 ) -> StretchStats:
     """Stretch of graph distance over straight-line Euclidean distance.
 
@@ -55,8 +55,8 @@ def graph_stretch(
     line is traversable, i.e. for hole-free instances or visible pairs.
     """
     pts = as_array(points)
-    samples: List[float] = []
-    by_source: Dict[int, List[int]] = {}
+    samples: list[float] = []
+    by_source: dict[int, list[int]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append(t)
     for s, targets in by_source.items():
@@ -75,7 +75,7 @@ def stretch_vs_reference(
     points: Sequence[Sequence[float]],
     adj: Adjacency,
     reference_adj: Adjacency,
-    pairs: Iterable[Tuple[int, int]],
+    pairs: Iterable[tuple[int, int]],
 ) -> StretchStats:
     """Stretch of ``adj`` distances over ``reference_adj`` distances.
 
@@ -83,8 +83,8 @@ def stretch_vs_reference(
     shortest paths versus UDG shortest paths, bounded by 1.998.
     """
     pts = as_array(points)
-    samples: List[float] = []
-    by_source: Dict[int, List[int]] = {}
+    samples: list[float] = []
+    by_source: dict[int, list[int]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append(t)
     for s, targets in by_source.items():

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ __all__ = [
     "edge_count",
 ]
 
-Adjacency = Dict[int, List[int]]
+Adjacency = dict[int, list[int]]
 
 
 class GridIndex:
@@ -47,27 +47,27 @@ class GridIndex:
     def __init__(self, points: Sequence[Sequence[float]], cell: float = 1.0) -> None:
         self.points = as_array(points)
         self.cell = float(cell)
-        self.buckets: Dict[Tuple[int, int], List[int]] = {}
+        self.buckets: dict[tuple[int, int], list[int]] = {}
         inv = 1.0 / self.cell
         for i, (x, y) in enumerate(self.points):
             key = (int(math.floor(x * inv)), int(math.floor(y * inv)))
             self.buckets.setdefault(key, []).append(i)
 
-    def _cell_of(self, p: Sequence[float]) -> Tuple[int, int]:
+    def _cell_of(self, p: Sequence[float]) -> tuple[int, int]:
         inv = 1.0 / self.cell
         return (int(math.floor(p[0] * inv)), int(math.floor(p[1] * inv)))
 
-    def candidates_near(self, p: Sequence[float], radius: float) -> List[int]:
+    def candidates_near(self, p: Sequence[float], radius: float) -> list[int]:
         """Indices of all points in cells overlapping the disk of ``radius``."""
         cx, cy = self._cell_of(p)
         reach = max(1, int(math.ceil(radius / self.cell)))
-        out: List[int] = []
+        out: list[int] = []
         for dx in range(-reach, reach + 1):
             for dy in range(-reach, reach + 1):
                 out.extend(self.buckets.get((cx + dx, cy + dy), ()))
         return out
 
-    def query_radius(self, p: Sequence[float], radius: float) -> List[int]:
+    def query_radius(self, p: Sequence[float], radius: float) -> list[int]:
         """Indices of points within ``radius`` of ``p`` (inclusive)."""
         cand = self.candidates_near(p, radius)
         if not cand:
@@ -110,10 +110,10 @@ def is_connected(adj: Adjacency) -> bool:
     return len(_bfs_reach(adj, next(iter(adj)))) == len(adj)
 
 
-def connected_components(adj: Adjacency) -> List[Set[int]]:
+def connected_components(adj: Adjacency) -> list[set[int]]:
     """All connected components as sets of node indices."""
     remaining = set(adj)
-    comps: List[Set[int]] = []
+    comps: list[set[int]] = []
     while remaining:
         start = next(iter(remaining))
         comp = _bfs_reach(adj, start)
@@ -122,7 +122,7 @@ def connected_components(adj: Adjacency) -> List[Set[int]]:
     return comps
 
 
-def _bfs_reach(adj: Adjacency, start: int) -> Set[int]:
+def _bfs_reach(adj: Adjacency, start: int) -> set[int]:
     seen = {start}
     queue = deque([start])
     while queue:
@@ -139,15 +139,15 @@ def max_degree(adj: Adjacency) -> int:
     return max((len(v) for v in adj.values()), default=0)
 
 
-def degree_histogram(adj: Adjacency) -> Dict[int, int]:
+def degree_histogram(adj: Adjacency) -> dict[int, int]:
     """Histogram ``degree -> node count``."""
-    hist: Dict[int, int] = {}
+    hist: dict[int, int] = {}
     for nbrs in adj.values():
         hist[len(nbrs)] = hist.get(len(nbrs), 0) + 1
     return dict(sorted(hist.items()))
 
 
-def edge_list(adj: Adjacency) -> List[Tuple[int, int]]:
+def edge_list(adj: Adjacency) -> list[tuple[int, int]]:
     """Sorted list of undirected edges ``(u, v)`` with ``u < v``."""
     out = [(u, v) for u, nbrs in adj.items() for v in nbrs if u < v]
     out.sort()

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..simulation.messages import Message
 from ..simulation.node import NodeProcess
@@ -34,12 +33,12 @@ from .ranking import SlotRankState
 
 __all__ = ["BitonicSortProcess", "SlotSortState", "bitonic_schedule"]
 
-SlotKey = Tuple[int, int]
+SlotKey = tuple[int, int]
 
 
-def bitonic_schedule(dims: int) -> List[Tuple[int, int]]:
+def bitonic_schedule(dims: int) -> list[tuple[int, int]]:
     """The (stage, substage) sequence of Batcher's network for 2^dims keys."""
-    out: List[Tuple[int, int]] = []
+    out: list[tuple[int, int]] = []
     for stage in range(1, dims + 1):
         for sub in range(stage - 1, -1, -1):
             out.append((stage, sub))
@@ -54,11 +53,11 @@ class SlotSortState:
     position: int
     size: int
     key: float
-    links_succ: List[Link]
-    links_pred: List[Link]
+    links_succ: list[Link]
+    links_pred: list[Link]
     step: int = 0
     sent_step: int = -1
-    buffer: Dict[int, float] = field(default_factory=dict)
+    buffer: dict[int, float] = field(default_factory=dict)
     finished: bool = False
     got_traffic: bool = False
 
@@ -78,15 +77,15 @@ class BitonicSortProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        rank_states: Dict[SlotKey, SlotRankState],
-        keys: Dict[SlotKey, float],
+        rank_states: dict[SlotKey, SlotRankState],
+        keys: dict[SlotKey, float],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
-        self.slots: Dict[SlotKey, SlotSortState] = {}
+        self.slots: dict[SlotKey, SlotSortState] = {}
         for key, r in rank_states.items():
             if r.info is None:
                 continue
@@ -106,7 +105,7 @@ class BitonicSortProcess(NodeProcess):
             if size <= 1:
                 st.finished = True
             self.slots[key] = st
-        self._schedules: Dict[SlotKey, List[Tuple[int, int]]] = {
+        self._schedules: dict[SlotKey, list[tuple[int, int]]] = {
             key: bitonic_schedule(st.dims) for key, st in self.slots.items()
         }
 
@@ -118,7 +117,7 @@ class BitonicSortProcess(NodeProcess):
         for st in self.slots.values():
             self._progress(ctx, st)
 
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Buffer partners' keys and advance each slot through the schedule."""
         for msg in inbox:
             if msg.kind == "sort_xchg":

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
 
 from ..simulation.messages import Message
 from ..simulation.node import NodeProcess
@@ -36,7 +35,7 @@ from ..simulation.scheduler import Context
 
 __all__ = ["SegmentSpec", "SlotMISState", "SegmentMISProcess"]
 
-SlotKey = Tuple[int, int]
+SlotKey = tuple[int, int]
 
 UNDECIDED, IN, OUT = 0, 1, 2
 
@@ -46,13 +45,13 @@ class SegmentSpec:
     """One slot's view of its segment (neighbors within the segment)."""
 
     slot: SlotKey
-    pred_node: Optional[int] = None
-    pred_slot: Optional[SlotKey] = None
-    succ_node: Optional[int] = None
-    succ_slot: Optional[SlotKey] = None
+    pred_node: int | None = None
+    pred_slot: SlotKey | None = None
+    succ_node: int | None = None
+    succ_slot: SlotKey | None = None
 
 
-def _priority(node_id: int, slot: SlotKey, iteration: int, seed: int) -> Tuple[float, int, int]:
+def _priority(node_id: int, slot: SlotKey, iteration: int, seed: int) -> tuple[float, int, int]:
     """Comparable priority; hash value with (node, slot) tie-breakers."""
     digest = hashlib.blake2b(
         f"{seed}:{node_id}:{slot}:{iteration}".encode(), digest_size=8
@@ -66,8 +65,8 @@ class SlotMISState:
     status: int = UNDECIDED
     it: int = 0
     sent_it: int = -1
-    live: Dict[int, SlotKey] = field(default_factory=dict)  # node -> slot
-    prio_buf: Dict[int, Dict[int, Tuple[float, int, int]]] = field(
+    live: dict[int, SlotKey] = field(default_factory=dict)  # node -> slot
+    prio_buf: dict[int, dict[int, tuple[float, int, int]]] = field(
         default_factory=dict
     )
     saw_in_neighbor: bool = False
@@ -81,16 +80,16 @@ class SegmentMISProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        specs: List[SegmentSpec],
+        specs: list[SegmentSpec],
         seed: int = 0,
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
         self.seed = seed
-        self.slots: Dict[SlotKey, SlotMISState] = {}
+        self.slots: dict[SlotKey, SlotMISState] = {}
         for spec in specs:
             st = SlotMISState(spec=spec)
             if spec.pred_node is not None and spec.pred_slot is not None:
@@ -102,7 +101,9 @@ class SegmentMISProcess(NodeProcess):
             self.slots[spec.slot] = st
 
     # -- sending helpers ---------------------------------------------------------
-    def _send(self, ctx: Context, nbr_node: int, kind: str, payload: dict) -> None:
+    def _send(
+        self, ctx: Context, nbr_node: int, kind: str, payload: dict[str, object]
+    ) -> None:
         send = (
             ctx.send_adhoc if nbr_node in self.neighbors else ctx.send_long_range
         )
@@ -116,7 +117,7 @@ class SegmentMISProcess(NodeProcess):
         for st in self.slots.values():
             self._advance(ctx, st)
 
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Process priorities/decisions and advance every hosted slot."""
         for msg in inbox:
             st = self.slots.get(tuple(msg.payload["dst_slot"]))

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,17 +41,17 @@ from .ranking import RingInfo, SlotRankState
 
 __all__ = ["HullPoint", "SlotHullState", "RingHullProcess"]
 
-SlotKey = Tuple[int, int]
+SlotKey = tuple[int, int]
 
 # A hull element: (node id, x, y, ring position).  Ring positions ride along
 # so later stages (bay segmentation, outer-hole second runs) can cut the
 # ring at hull corners without extra communication.
-HullPoint = Tuple[int, float, float, int]
+HullPoint = tuple[int, float, float, int]
 
 
-def _merge(hull_a: List[HullPoint], hull_b: List[HullPoint]) -> List[HullPoint]:
+def _merge(hull_a: list[HullPoint], hull_b: list[HullPoint]) -> list[HullPoint]:
     """Convex hull of the union of two hulls, preserving metadata."""
-    combined: Dict[int, HullPoint] = {}
+    combined: dict[int, HullPoint] = {}
     for hp in hull_a:
         combined[hp[0]] = hp
     for hp in hull_b:
@@ -71,12 +70,12 @@ class SlotHullState:
 
     slot: SlotKey
     info: RingInfo
-    links_succ: List[Link]
-    links_pred: List[Link]
-    hull: List[HullPoint] = field(default_factory=list)
+    links_succ: list[Link]
+    links_pred: list[Link]
+    hull: list[HullPoint] = field(default_factory=list)
     dim: int = 0
-    buffer: Dict[int, List[HullPoint]] = field(default_factory=dict)
-    final_hull: Optional[List[HullPoint]] = None
+    buffer: dict[int, list[HullPoint]] = field(default_factory=dict)
+    final_hull: list[HullPoint] | None = None
     sent_dim: int = -1
     forwarded_below: int = 0
     pending_forward_to: int = -1
@@ -101,14 +100,14 @@ class RingHullProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        rank_states: Dict[SlotKey, SlotRankState],
+        rank_states: dict[SlotKey, SlotRankState],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
-        self.slots: Dict[SlotKey, SlotHullState] = {}
+        self.slots: dict[SlotKey, SlotHullState] = {}
         for key, r in rank_states.items():
             if r.info is None:
                 continue
@@ -130,7 +129,7 @@ class RingHullProcess(NodeProcess):
                 st.final_hull = list(st.hull)
             self.slots[key] = st
 
-    def combine(self, a: List[HullPoint], b: List[HullPoint]) -> List[HullPoint]:
+    def combine(self, a: list[HullPoint], b: list[HullPoint]) -> list[HullPoint]:
         """Associative merge applied at each hypercube dimension.
 
         The base class merges convex hulls; subclasses may aggregate any
@@ -140,7 +139,7 @@ class RingHullProcess(NodeProcess):
         return _merge(a, b)
 
     # -- rounds -----------------------------------------------------------------
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Merge buffered partner hulls and advance dimensions/broadcast."""
         for msg in inbox:
             if msg.kind == "hull_merge":
@@ -165,7 +164,7 @@ class RingHullProcess(NodeProcess):
             self._progress(ctx, st)
 
     # -- merge phase ----------------------------------------------------------------
-    def _partner_link(self, st: SlotHullState, dim: int) -> Optional[Link]:
+    def _partner_link(self, st: SlotHullState, dim: int) -> Link | None:
         p = st.info.position
         q = p ^ (1 << dim)
         if q >= st.info.size:
@@ -267,7 +266,7 @@ class RingHullProcess(NodeProcess):
         st.forwarded_below = max(st.forwarded_below, st.pending_forward_to)
 
     # -- results -----------------------------------------------------------------------
-    def hull_of(self, key: SlotKey) -> Optional[List[HullPoint]]:
+    def hull_of(self, key: SlotKey) -> list[HullPoint] | None:
         """A slot's final hull (None before the broadcast reaches it)."""
         st = self.slots.get(key)
         return None if st is None else st.final_hull

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -47,6 +47,8 @@ from .ldel_construction import LDelConstructionProcess
 from .rings import BoundaryDetectionProcess, RingCorner
 from .runners import StagePipeline
 from .setup import (
+    HullStates,
+    RankStates,
     SetupResult,
     _bay_specs,
     _bays_from_ds,
@@ -59,7 +61,7 @@ from .setup import (
 
 __all__ = ["IncrementalResult", "ring_signature", "run_incremental_update"]
 
-Signature = FrozenSet[Tuple[int, int]]
+Signature = frozenset[tuple[int, int]]
 
 
 def ring_signature(boundary: Sequence[int]) -> Signature:
@@ -74,7 +76,7 @@ class IncrementalResult:
     """Outcome of one incremental update."""
 
     abstraction: Abstraction
-    stage_metrics: Dict[str, Dict[str, float]]
+    stage_metrics: dict[str, dict[str, float]]
     metrics: MetricsCollector
     rings_reused: int
     rings_recomputed: int
@@ -84,24 +86,24 @@ class IncrementalResult:
     def total_rounds(self) -> int:
         return self.metrics.rounds
 
-    def rounds_by_stage(self) -> Dict[str, int]:
+    def rounds_by_stage(self) -> dict[str, int]:
         """Round counts per executed stage."""
         return {k: int(v["rounds"]) for k, v in self.stage_metrics.items()}
 
 
 def _group_rings(
-    corners: Dict[int, List[RingCorner]]
-) -> List[List[RingCorner]]:
+    corners: dict[int, list[RingCorner]]
+) -> list[list[RingCorner]]:
     """Assemble the corner records into rings by following succ darts."""
-    by_slot: Dict[Tuple[int, int], RingCorner] = {}
-    by_arrival: Dict[Tuple[int, int], RingCorner] = {}
+    by_slot: dict[tuple[int, int], RingCorner] = {}
+    by_arrival: dict[tuple[int, int], RingCorner] = {}
     for rcs in corners.values():
         for rc in rcs:
             by_slot[(rc.node, rc.succ)] = rc
             # successor lookup key: the corner at `node` arriving from `pred`
             by_arrival[(rc.node, rc.pred)] = rc
-    rings: List[List[RingCorner]] = []
-    seen: Set[Tuple[int, int]] = set()
+    rings: list[list[RingCorner]] = []
+    seen: set[tuple[int, int]] = set()
     for key, rc in by_slot.items():
         if key in seen:
             continue
@@ -187,10 +189,10 @@ def run_incremental_update(
     )
 
     rings = _group_rings(corners)
-    dirty_corners: Dict[int, List[RingCorner]] = {}
-    reused_holes: List[HoleAbstraction] = []
+    dirty_corners: dict[int, list[RingCorner]] = {}
+    reused_holes: list[HoleAbstraction] = []
     reused = recomputed = 0
-    outer_ring: Optional[List[RingCorner]] = None
+    outer_ring: list[RingCorner] | None = None
     outer_dirty = True
     for ring in rings:
         sig = ring_signature([rc.node for rc in ring])
@@ -231,8 +233,8 @@ def run_incremental_update(
             dirty_corners.setdefault(rc.node, []).append(rc)
 
     # -- ring suite on dirty rings only -----------------------------------------
-    new_holes: List[HoleAbstraction] = []
-    outer_holes: List[HoleAbstraction] = []
+    new_holes: list[HoleAbstraction] = []
+    outer_holes: list[HoleAbstraction] = []
     if dirty_corners:
         doubling, ranking, hulls = _run_ring_suite(pipe, dirty_corners, "ring")
         if outer_dirty:
@@ -247,7 +249,7 @@ def run_incremental_update(
         specs = _bay_specs(ranking, hulls, kind=0)
         for nid, lst in _bay_specs(v_ranking, v_hulls, kind=1).items():
             specs.setdefault(nid, []).extend(lst)
-        ds_members: Dict[Tuple, Set[int]] = {}
+        ds_members: dict[tuple, set[int]] = {}
         if any(specs.values()):
             res_mis = pipe.run(
                 "dominating_set",
@@ -265,7 +267,7 @@ def run_incremental_update(
         )
 
     # -- assembly ------------------------------------------------------------------
-    holes: List[HoleAbstraction] = []
+    holes: list[HoleAbstraction] = []
     for h in reused_holes + new_holes:
         holes.append(
             HoleAbstraction(
@@ -322,11 +324,17 @@ def run_incremental_update(
 
 
 def _collect_holes(
-    ranking, hulls, v_ranking, v_hulls, ds_members, pts, radius
-) -> Tuple[List[HoleAbstraction], List[HoleAbstraction]]:
+    ranking: RankStates,
+    hulls: HullStates,
+    v_ranking: RankStates,
+    v_hulls: HullStates,
+    ds_members: dict[tuple, set[int]],
+    pts: np.ndarray,
+    radius: float,
+) -> tuple[list[HoleAbstraction], list[HoleAbstraction]]:
     """Assemble recomputed rings into hole abstractions (setup.py logic)."""
-    inner: List[HoleAbstraction] = []
-    outer: List[HoleAbstraction] = []
+    inner: list[HoleAbstraction] = []
+    outer: list[HoleAbstraction] = []
     rings = _rings_from_rank(ranking)
     for ring_token, by_pos in sorted(rings.items()):
         size = len(by_pos)

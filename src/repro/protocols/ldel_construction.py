@@ -24,7 +24,6 @@ message sizes O(degree), matching the paper's O(1)-round claim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
 
 from ..geometry.primitives import EPS, circumcenter, distance
 from ..simulation.messages import Message
@@ -33,8 +32,8 @@ from ..simulation.scheduler import Context
 
 __all__ = ["LDelConstructionProcess"]
 
-Edge = Tuple[int, int]
-Triangle = Tuple[int, int, int]
+Edge = tuple[int, int]
+Triangle = tuple[int, int, int]
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -47,24 +46,24 @@ class LDelConstructionProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
         radius: float = 1.0,
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
         self.radius = radius
         #: 2-hop view: node id -> position, including neighbors and self
-        self.view: Dict[int, Tuple[float, float]] = {
+        self.view: dict[int, tuple[float, float]] = {
             node_id: position,
             **neighbor_positions,
         }
-        self.nbr_lists: Dict[int, List[int]] = {}
-        self.gabriel: Set[Edge] = set()
-        self.proposed: Dict[Triangle, Set[int]] = {}
-        self.accepted: Set[Triangle] = set()
-        self.ldel_neighbors: Set[int] = set()
+        self.nbr_lists: dict[int, list[int]] = {}
+        self.gabriel: set[Edge] = set()
+        self.proposed: dict[Triangle, set[int]] = {}
+        self.accepted: set[Triangle] = set()
+        self.ldel_neighbors: set[int] = set()
         self._stage = 0
 
     # -- round 0 -------------------------------------------------------------
@@ -80,7 +79,7 @@ class LDelConstructionProcess(NodeProcess):
             self.done = True
 
     # -- rounds ------------------------------------------------------------------
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Drive the 4-stage propose/vote/announce schedule."""
         for msg in inbox:
             kind = msg.kind

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any
 
 from ..simulation.messages import Message
 from ..simulation.node import NodeProcess
@@ -75,16 +75,16 @@ def _coin(node_id: int, phase: int, seed: int) -> bool:
 class _PhaseState:
     """Per-phase scratch state."""
 
-    coin: Optional[bool] = None
-    cluster: Optional[int] = None
+    coin: bool | None = None
+    cluster: int | None = None
     informed: bool = False
     probed: bool = False
-    probe_clusters: Dict[int, Tuple[int, bool]] = field(default_factory=dict)
+    probe_clusters: dict[int, tuple[int, bool]] = field(default_factory=dict)
     reported: bool = False
-    child_reports: Dict[int, Tuple[Optional[int], bool]] = field(
+    child_reports: dict[int, tuple[int | None, bool]] = field(
         default_factory=dict
     )
-    adopt_requests: List[int] = field(default_factory=list)
+    adopt_requests: list[int] = field(default_factory=list)
     adopted_done: bool = False
     proposal_sent: bool = False
 
@@ -95,9 +95,9 @@ class ClusterMergeProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
         seed: int = 0,
         slack: int = 8,
@@ -107,8 +107,8 @@ class ClusterMergeProcess(NodeProcess):
         self.seed = seed
         self.slack = slack
         self.max_phases = max_phases
-        self.parent: Optional[int] = None
-        self.children: List[int] = []
+        self.parent: int | None = None
+        self.children: list[int] = []
         self.cluster: int = node_id
         self.finished: bool = False
         self._phase = 0
@@ -121,7 +121,7 @@ class ClusterMergeProcess(NodeProcess):
     def is_root(self) -> bool:
         return self.parent is None
 
-    def tree_neighbors(self) -> List[int]:
+    def tree_neighbors(self) -> list[int]:
         """Parent and children — the broadcast links of §5.5."""
         out = list(self.children)
         if self.parent is not None:
@@ -139,7 +139,7 @@ class ClusterMergeProcess(NodeProcess):
             p += 1
 
     # -- main loop ----------------------------------------------------------------
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Advance the globally round-synchronized merge phase machine."""
         self._round += 1
         rnd = self._round
@@ -275,8 +275,8 @@ class ClusterMergeProcess(NodeProcess):
             ps.adopted_done = True
             heads = ps.adopt_requests
             if heads:
-                kids_of: Dict[int, List[int]] = {}
-                parent_of: Dict[int, int] = {heads[0]: self.node_id}
+                kids_of: dict[int, list[int]] = {}
+                parent_of: dict[int, int] = {heads[0]: self.node_id}
                 for i, h in enumerate(heads[1:], start=2):
                     par = heads[i // 2 - 1]
                     parent_of[h] = par
@@ -296,11 +296,11 @@ class ClusterMergeProcess(NodeProcess):
                     )
 
 
-    def _local_candidate(self) -> Tuple[Optional[int], bool]:
+    def _local_candidate(self) -> tuple[int | None, bool]:
         """(min adjacent tail cluster if we are head, any-foreign flag)."""
         ps = self._ps
         foreign = False
-        candidate: Optional[int] = None
+        candidate: int | None = None
         for cluster, coin in ps.probe_clusters.values():
             if cluster == self.cluster:
                 continue
@@ -312,7 +312,7 @@ class ClusterMergeProcess(NodeProcess):
         return candidate, foreign
 
     def _root_decide(
-        self, ctx: Context, phase: int, candidate: Optional[int], foreign: bool
+        self, ctx: Context, phase: int, candidate: int | None, foreign: bool
     ) -> None:
         ps = self._ps
         if not foreign:
@@ -346,26 +346,26 @@ class TreeBroadcastProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        tree_parent: Optional[int],
-        tree_children: List[int],
-        initial_items: Dict[Any, Any],
+        tree_parent: int | None,
+        tree_children: list[int],
+        initial_items: dict[Any, Any],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
         self.tree_parent = tree_parent
         self.tree_children = list(tree_children)
-        self.received: Dict[Any, Any] = dict(initial_items)
-        self._to_send: List[Tuple[Any, Any, Optional[int]]] = [
+        self.received: dict[Any, Any] = dict(initial_items)
+        self._to_send: list[tuple[Any, Any, int | None]] = [
             (k, v, None) for k, v in initial_items.items()
         ]
         self.knowledge.update(self.tree_children)
         if tree_parent is not None:
             self.knowledge.add(tree_parent)
 
-    def _targets(self, exclude: Optional[int]) -> List[int]:
+    def _targets(self, exclude: int | None) -> list[int]:
         out = [c for c in self.tree_children if c != exclude]
         if self.tree_parent is not None and self.tree_parent != exclude:
             out.append(self.tree_parent)
@@ -375,7 +375,7 @@ class TreeBroadcastProcess(NodeProcess):
         """Inject this node's initial items into the tree flood."""
         self._flush(ctx)
 
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Forward newly received items to all tree neighbors but the origin."""
         for msg in inbox:
             if msg.kind != "bcast_item":

@@ -27,7 +27,6 @@ hull protocol (:mod:`repro.protocols.hull_protocol`) all reuse them — they
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..simulation.messages import Message
 from ..simulation.node import NodeProcess
@@ -36,7 +35,7 @@ from .rings import RingCorner
 
 __all__ = ["Agg", "Link", "SlotDoubleState", "RingDoublingProcess"]
 
-SlotKey = Tuple[int, int]  # (node_id, succ_node_id) — the slot's dart
+SlotKey = tuple[int, int]  # (node_id, succ_node_id) — the slot's dart
 
 
 @dataclass(frozen=True)
@@ -77,14 +76,14 @@ class SlotDoubleState:
     slot: SlotKey
     turn: float
     pred0: SlotKey
-    succ_links: List[Link] = field(default_factory=list)
-    pred_links: List[Link] = field(default_factory=list)
-    converged_level: Optional[int] = None
-    leader: Optional[int] = None
+    succ_links: list[Link] = field(default_factory=list)
+    pred_links: list[Link] = field(default_factory=list)
+    converged_level: int | None = None
+    leader: int | None = None
     sent_through: int = -1  # highest level whose jump messages were emitted
     got_traffic: bool = False
 
-    def ready_level(self) -> Optional[int]:
+    def ready_level(self) -> int | None:
         """Highest level with both links present, or None."""
         if not self.succ_links or not self.pred_links:
             return None
@@ -110,14 +109,14 @@ class RingDoublingProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        corners: List[RingCorner],
+        corners: list[RingCorner],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
-        self.slots: Dict[SlotKey, SlotDoubleState] = {}
+        self.slots: dict[SlotKey, SlotDoubleState] = {}
         for c in corners:
             key = (node_id, c.succ)
             self.slots[key] = SlotDoubleState(
@@ -163,7 +162,7 @@ class RingDoublingProcess(NodeProcess):
             )
 
     # -- rounds ------------------------------------------------------------------
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Process incoming link extensions; emit the next level once ready."""
         for msg in inbox:
             if msg.kind == "ring0_pred":
@@ -183,7 +182,7 @@ class RingDoublingProcess(NodeProcess):
         self.done = all_quiet
 
     # -- handlers ------------------------------------------------------------------
-    def _slot_with_pred(self, pred_slot: SlotKey) -> Optional[SlotDoubleState]:
+    def _slot_with_pred(self, pred_slot: SlotKey) -> SlotDoubleState | None:
         for st in self.slots.values():
             if st.pred0 == pred_slot:
                 return st

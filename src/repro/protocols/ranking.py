@@ -22,7 +22,6 @@ hypercube ID of §5.2 — plus the ring size and its ring's classification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..simulation.messages import Message
 from ..simulation.node import NodeProcess
@@ -31,7 +30,7 @@ from .pointer_jumping import Link, SlotDoubleState
 
 __all__ = ["SlotRankState", "RingRankingProcess", "RingInfo"]
 
-SlotKey = Tuple[int, int]
+SlotKey = tuple[int, int]
 
 
 @dataclass
@@ -45,7 +44,7 @@ class RingInfo:
     #: globally unique ring identity: the leader slot's dart.  Two distinct
     #: rings can share both leader node and size (a figure-eight through
     #: their common minimum node), so (leader, size) alone is ambiguous.
-    ring: Tuple[int, int] = (-1, -1)
+    ring: tuple[int, int] = (-1, -1)
 
     @property
     def is_hole(self) -> bool:
@@ -60,8 +59,8 @@ class SlotRankState:
     slot: SlotKey
     turn: float
     leader: int
-    links_succ: List[Link]
-    links_pred: List[Link]
+    links_succ: list[Link]
+    links_pred: list[Link]
     jump_node: int = -1
     jump_slot: SlotKey = (-1, -1)
     acc_count: int = 0
@@ -71,8 +70,8 @@ class SlotRankState:
     #: chain-exchange sequence number: each rank_req carries it and the reply
     #: echoes it, so a duplicated or stale reply cannot be spliced twice
     req_seq: int = 0
-    d_fwd: Optional[int] = None
-    info: Optional[RingInfo] = None
+    d_fwd: int | None = None
+    info: RingInfo | None = None
     forwarded: bool = False
     #: binomial forwarding watermark: levels below this were already relayed
     forwarded_below: int = 0
@@ -95,14 +94,14 @@ class RingRankingProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        slot_states: Dict[SlotKey, SlotDoubleState],
+        slot_states: dict[SlotKey, SlotDoubleState],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
-        self.slots: Dict[SlotKey, SlotRankState] = {}
+        self.slots: dict[SlotKey, SlotRankState] = {}
         for key, d in slot_states.items():
             if d.leader is None or not d.succ_links:
                 # Degenerate single-slot ring.
@@ -160,9 +159,9 @@ class RingRankingProcess(NodeProcess):
             st.d_fwd = st.acc_count
 
     # -- rounds ----------------------------------------------------------------
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Answer rank requests, splice replies, relay the leader broadcast."""
-        replies: List[Message] = []
+        replies: list[Message] = []
         for msg in inbox:
             if msg.kind == "rank_req":
                 self._reply(ctx, msg)

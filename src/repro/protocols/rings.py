@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class SlotId:
     node: int
     succ: int
 
-    def key(self) -> Tuple[int, int]:
+    def key(self) -> tuple[int, int]:
         """The (node, succ) tuple form used in message payloads."""
         return (self.node, self.succ)
 
@@ -85,10 +85,10 @@ class RingCorner:
 
 
 def _sorted_ccw(
-    position: Tuple[float, float],
-    neighbor_positions: Dict[int, Tuple[float, float]],
+    position: tuple[float, float],
+    neighbor_positions: dict[int, tuple[float, float]],
     neighbors: Sequence[int],
-) -> List[int]:
+) -> list[int]:
     px, py = position
     return sorted(
         neighbors,
@@ -98,15 +98,15 @@ def _sorted_ccw(
     )
 
 
-def _pred_ccw(order: List[int], item: int) -> int:
+def _pred_ccw(order: list[int], item: int) -> int:
     i = order.index(item)
     return order[(i - 1) % len(order)]
 
 
 def _turn(
-    p_prev: Tuple[float, float],
-    p_mid: Tuple[float, float],
-    p_next: Tuple[float, float],
+    p_prev: tuple[float, float],
+    p_mid: tuple[float, float],
+    p_next: tuple[float, float],
 ) -> float:
     a1 = math.atan2(p_mid[1] - p_prev[1], p_mid[0] - p_prev[0])
     a2 = math.atan2(p_next[1] - p_mid[1], p_next[0] - p_mid[0])
@@ -134,16 +134,16 @@ class BoundaryDetectionProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
-        ldel_neighbors: List[int],
+        ldel_neighbors: list[int],
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
         self.ldel_neighbors = list(ldel_neighbors)
-        self.two_hop: Dict[int, List[int]] = {}
-        self.corners: List[RingCorner] = []
+        self.two_hop: dict[int, list[int]] = {}
+        self.corners: list[RingCorner] = []
 
     def start(self, ctx: Context) -> None:
         """Round 0: ship the LDel neighbor list to every LDel neighbor."""
@@ -155,7 +155,7 @@ class BoundaryDetectionProcess(NodeProcess):
                 introduce=list(self.ldel_neighbors),
             )
 
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Collect 2-hop lists; run the local corner test once complete."""
         if self.done:
             return
@@ -214,9 +214,9 @@ class BoundaryDetectionProcess(NodeProcess):
         return _pred_ccw(order_a, w) == self.node_id
 
     def _positions_for(
-        self, center: int, ids: List[int]
-    ) -> Optional[Dict[int, Tuple[float, float]]]:
-        out: Dict[int, Tuple[float, float]] = {}
+        self, center: int, ids: list[int]
+    ) -> dict[int, tuple[float, float]] | None:
+        out: dict[int, tuple[float, float]] = {}
         for v in ids:
             if v == self.node_id:
                 out[v] = self.position
@@ -232,8 +232,8 @@ class _PositionGossip:
 
 
 def run_boundary_detection(
-    graph: LDelGraph, simulator: Optional[HybridSimulator] = None
-) -> Tuple[Dict[int, List[RingCorner]], "HybridSimulator"]:
+    graph: LDelGraph, simulator: HybridSimulator | None = None
+) -> tuple[dict[int, list[RingCorner]], "HybridSimulator"]:
     """Run the boundary-detection protocol; returns corners per node.
 
     The neighbor-list round only carries IDs; positions of 2-hop nodes are
@@ -261,7 +261,7 @@ def run_boundary_detection(
     # positions).  We pre-seed neighbor_positions accordingly.
     pts = graph.points
     for nid, proc in sim.nodes.items():
-        two_hop_ids: Set[int] = set()
+        two_hop_ids: set[int] = set()
         for v in graph.adjacency.get(nid, []):
             two_hop_ids.update(graph.adjacency.get(v, []))
             two_hop_ids.update(graph.udg.get(v, []))
@@ -277,7 +277,7 @@ def run_boundary_detection(
     return corners, sim
 
 
-def reference_corners(graph: LDelGraph) -> Dict[int, List[RingCorner]]:
+def reference_corners(graph: LDelGraph) -> dict[int, list[RingCorner]]:
     """Centralized oracle: corners of all non-triangular faces.
 
     Computed from the global face enumeration; used by the tests to verify
@@ -285,7 +285,7 @@ def reference_corners(graph: LDelGraph) -> Dict[int, List[RingCorner]]:
     """
     pts = graph.points
     faces = enumerate_faces(pts, graph.adjacency)
-    corners: Dict[int, List[RingCorner]] = {}
+    corners: dict[int, list[RingCorner]] = {}
     for walk in faces:
         k = len(walk)
         if k == 3 and len(set(walk)) == 3:

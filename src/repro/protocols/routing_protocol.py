@@ -32,7 +32,7 @@ long-range control messages per request.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any
 
 from ..core.abstraction import Abstraction
 from ..geometry.primitives import distance
@@ -82,15 +82,15 @@ class RoutingDirectory:
         self,
         node: int,
         target: int,
-        banned: Set[frozenset],
-    ) -> Optional[List[Tuple[str, List[int]]]]:
+        banned: set[frozenset],
+    ) -> list[tuple[str, list[int]]] | None:
         """Waypoint legs from ``node`` to ``target`` as forwardable steps.
 
         Returns a list of ``(kind, nodes)`` entries: for ``arc`` legs the
         explicit node path; for ``chew`` legs just ``[src, dst]`` (executed
         greedily hop by hop).
         """
-        active: Set[Tuple[int, int]] = set()
+        active: set[tuple[int, int]] = set()
         for v in (node, target):
             loc = locate_node(self.abstraction, v)
             if loc is not None:
@@ -98,7 +98,7 @@ class RoutingDirectory:
         plan = self.planner.plan(node, target, active_bays=active, banned=banned)
         if plan is None:
             return None
-        out: List[Tuple[str, List[int]]] = []
+        out: list[tuple[str, list[int]]] = []
         for leg in plan.legs:
             if leg.kind == "arc" and leg.path is not None:
                 out.append(("arc", list(leg.path)))
@@ -113,7 +113,7 @@ class DeliveryRecord:
 
     source: int
     target: int
-    hops: List[int]
+    hops: list[int]
     delivered: bool
     rounds: int
 
@@ -129,13 +129,13 @@ class RoutingNodeProcess(NodeProcess):
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
         *,
         directory: RoutingDirectory,
-        ldel_neighbors: List[int],
-        requests: List[int] = (),
+        ldel_neighbors: list[int],
+        requests: list[int] = (),
     ) -> None:
         super().__init__(node_id, position, neighbors, neighbor_positions)
         self.directory = directory
@@ -145,20 +145,20 @@ class RoutingNodeProcess(NodeProcess):
         # for every routing request (§1.2 — "cell phone users wouldn't call
         # phones unknown to them").
         self.knowledge.update(self.requests)
-        self.delivered: List[DeliveryRecord] = []
+        self.delivered: list[DeliveryRecord] = []
         self._round = 0
         # Idempotence under duplicated delivery: a payload's (source,
         # target, hop trail) identifies it uniquely — forwarding is loop-
         # free, so a redelivered copy matches exactly and is suppressed,
         # while a legitimate replan revisit carries a longer trail.
-        self._seen: Set[Tuple[int, int, Tuple[int, ...]]] = set()
+        self._seen: set[tuple[int, int, tuple[int, ...]]] = set()
 
     # -- helpers ---------------------------------------------------------------
-    def _pos_of(self, node: int) -> Tuple[float, float]:
+    def _pos_of(self, node: int) -> tuple[float, float]:
         pts = self.directory.abstraction.points
         return (float(pts[node][0]), float(pts[node][1]))
 
-    def _greedy_next(self, goal: int) -> Optional[int]:
+    def _greedy_next(self, goal: int) -> int | None:
         """LDel neighbor strictly closer to ``goal``, or None (stuck)."""
         gp = self._pos_of(goal)
         here = distance(self.position, gp)
@@ -178,7 +178,7 @@ class RoutingNodeProcess(NodeProcess):
             ctx.trace("route_launch", node=self.node_id, target=t)
             ctx.send_long_range(t, "pos_request", {"target": t})
 
-    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+    def on_round(self, ctx: Context, inbox: list[Message]) -> None:
         """Answer handshakes and forward payloads per the node-local rules."""
         self._round += 1
         for msg in inbox:
@@ -206,9 +206,9 @@ class RoutingNodeProcess(NodeProcess):
         }
         self._forward(ctx, state)
 
-    def _forward(self, ctx: Context, state: dict) -> None:
+    def _forward(self, ctx: Context, state: dict[str, Any]) -> None:
         target = state["target"]
-        hops: List[int] = list(state["hops"])
+        hops: list[int] = list(state["hops"])
         if hops[-1] != self.node_id:
             hops.append(self.node_id)
         state = {**state, "hops": hops}
@@ -253,10 +253,12 @@ class RoutingNodeProcess(NodeProcess):
         )
         ctx.send_adhoc(next_hop, "payload", state)
 
-    def _decide(self, state: dict, ctx: Optional[Context] = None) -> Optional[int]:
+    def _decide(
+        self, state: dict[str, Any], ctx: Context | None = None
+    ) -> int | None:
         """Node-local next-hop choice; may mutate the leg plan in place."""
         target = state["target"]
-        legs: List = state["legs"]
+        legs: list[tuple[str, list[int]]] = state["legs"]
 
         # Drop completed legs.
         while legs and (

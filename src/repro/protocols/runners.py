@@ -14,10 +14,12 @@ microbenchmarks (E4, E10), where ring size must be controlled exactly.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.abstraction import Abstraction
 from ..graphs.udg import Adjacency
 from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
@@ -25,6 +27,9 @@ from ..simulation.node import NodeProcess
 from ..simulation.scheduler import HybridSimulator, SimulationResult
 from ..simulation.tracing import TraceRecorder
 from .rings import RingCorner
+
+if TYPE_CHECKING:
+    from ..routing.engine import QueryEngine, RouteOutcome
 
 __all__ = [
     "run_stage",
@@ -36,16 +41,16 @@ __all__ = [
 
 
 def run_query_workload(
-    abstraction,
-    pairs: Sequence[Tuple[int, int]],
+    abstraction: Abstraction,
+    pairs: Sequence[tuple[int, int]],
     *,
     mode: str = "hull",
-    udg: Optional[Adjacency] = None,
+    udg: Adjacency | None = None,
     caching: bool = True,
-    engine=None,
-    metrics: Optional[MetricsCollector] = None,
-    trace: Optional[TraceRecorder] = None,
-):
+    engine: QueryEngine | None = None,
+    metrics: MetricsCollector | None = None,
+    trace: TraceRecorder | None = None,
+) -> tuple[list[RouteOutcome], QueryEngine]:
     """Route a batch of queries through one shared :class:`QueryEngine`.
 
     The post-setup counterpart of the stage runners: once the distributed
@@ -96,13 +101,13 @@ def run_stage(
     adjacency: Adjacency,
     factory: Callable[..., NodeProcess],
     per_node_kwargs: Callable[[int], dict],
-    prev_nodes: Optional[Dict[int, NodeProcess]] = None,
+    prev_nodes: dict[int, NodeProcess] | None = None,
     max_rounds: int = 5000,
     radius: float = 1.0,
-    faults: Optional[FaultPlan] = None,
-    stage: Optional[str] = None,
+    faults: FaultPlan | None = None,
+    stage: str | None = None,
     on_timeout: str = "raise",
-    trace: Optional[TraceRecorder] = None,
+    trace: TraceRecorder | None = None,
 ) -> SimulationResult:
     """Run one protocol phase on the given topology.
 
@@ -147,8 +152,8 @@ class StagePipeline:
         points: np.ndarray,
         adjacency: Adjacency,
         radius: float = 1.0,
-        faults: Optional[FaultPlan] = None,
-        trace: Optional[TraceRecorder] = None,
+        faults: FaultPlan | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         self.points = points
         self.adjacency = adjacency
@@ -156,8 +161,8 @@ class StagePipeline:
         self.faults = faults
         self.trace = trace
         self.metrics = MetricsCollector()
-        self.stage_metrics: Dict[str, Dict[str, float]] = {}
-        self._last_nodes: Optional[Dict[int, NodeProcess]] = None
+        self.stage_metrics: dict[str, dict[str, float]] = {}
+        self._last_nodes: dict[int, NodeProcess] | None = None
 
     def run(
         self,
@@ -219,7 +224,7 @@ class StagePipeline:
 
 def synthetic_ring(
     k: int, radius_scale: float = 0.95
-) -> Tuple[np.ndarray, Adjacency, Dict[int, List[RingCorner]]]:
+) -> tuple[np.ndarray, Adjacency, dict[int, list[RingCorner]]]:
     """A standalone ring of ``k`` nodes with unit-length ring edges.
 
     Nodes sit on a circle whose circumference is ``k · radius_scale`` so

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -41,18 +41,23 @@ from ..simulation.faults import FaultPlan
 from ..simulation.metrics import MetricsCollector
 from ..simulation.tracing import TraceRecorder
 from .dominating_set import SegmentMISProcess, SegmentSpec
-from .hull_protocol import RingHullProcess
+from .hull_protocol import HullPoint, RingHullProcess, SlotHullState
 from .ldel_construction import LDelConstructionProcess
 from .overlay_tree import ClusterMergeProcess, TreeBroadcastProcess
-from .pointer_jumping import RingDoublingProcess
-from .ranking import RingRankingProcess
+from .pointer_jumping import RingDoublingProcess, SlotDoubleState
+from .ranking import RingInfo, RingRankingProcess, SlotRankState
 from .rings import BoundaryDetectionProcess, RingCorner, run_boundary_detection
 from .runners import StagePipeline, run_until_quiet
 from ..simulation.scheduler import HybridSimulator
 
 __all__ = ["SetupResult", "run_distributed_setup"]
 
-SlotKey = Tuple[int, int]
+SlotKey = tuple[int, int]
+
+#: Per-node protocol-state maps extracted after each ring-suite stage.
+JumpStates = dict[int, dict[SlotKey, SlotDoubleState]]
+RankStates = dict[int, dict[SlotKey, SlotRankState]]
+HullStates = dict[int, dict[SlotKey, SlotHullState]]
 
 
 class _StageFailed(Exception):
@@ -68,18 +73,18 @@ class SetupResult:
     """Everything the distributed preprocessing produced."""
 
     abstraction: Abstraction
-    stage_metrics: Dict[str, Dict[str, float]]
+    stage_metrics: dict[str, dict[str, float]]
     metrics: MetricsCollector
-    tree_parent: Dict[int, Optional[int]]
-    tree_children: Dict[int, List[int]]
+    tree_parent: dict[int, int | None]
+    tree_children: dict[int, list[int]]
     #: per-node count of hull summaries received in the distribution stage
-    hulls_received: Dict[int, int]
+    hulls_received: dict[int, int]
     #: per-node protocol storage (words) measured at the end of the run
-    storage_words: Dict[int, int]
+    storage_words: dict[int, int]
     #: first stage that failed under fault injection (``None`` = clean run)
-    failed_stage: Optional[str] = None
+    failed_stage: str | None = None
     #: the recorder that observed the run (``None`` when tracing is off)
-    trace: Optional[TraceRecorder] = None
+    trace: TraceRecorder | None = None
 
     @property
     def ok(self) -> bool:
@@ -90,11 +95,11 @@ class SetupResult:
     def total_rounds(self) -> int:
         return self.metrics.rounds
 
-    def rounds_by_stage(self) -> Dict[str, int]:
+    def rounds_by_stage(self) -> dict[str, int]:
         """Round counts per pipeline stage."""
         return {k: int(v["rounds"]) for k, v in self.stage_metrics.items()}
 
-    def fault_summary(self, verify: bool = True) -> Dict[str, int]:
+    def fault_summary(self, verify: bool = True) -> dict[str, int]:
         """Injected-fault totals across every stage (zero on clean runs).
 
         On traced clean-completion runs the counters are asserted against
@@ -115,7 +120,7 @@ class SetupResult:
             if observed != base:
                 diff = {
                     k: (base.get(k, 0), observed.get(k, 0))
-                    for k in set(base) | set(observed)
+                    for k in sorted(set(base) | set(observed))
                     if base.get(k, 0) != observed.get(k, 0)
                 }
                 raise AssertionError(
@@ -131,9 +136,9 @@ def run_distributed_setup(
     radius: float = 1.0,
     seed: int = 0,
     skip_tree: bool = False,
-    udg: Optional[Adjacency] = None,
-    faults: Optional[FaultPlan] = None,
-    trace: Optional[TraceRecorder] = None,
+    udg: Adjacency | None = None,
+    faults: FaultPlan | None = None,
+    trace: TraceRecorder | None = None,
 ) -> SetupResult:
     """Run the full §5 pipeline on a node cloud.
 
@@ -155,7 +160,7 @@ def run_distributed_setup(
         udg = unit_disk_graph(pts, radius=radius)
     if faults is None or faults.is_null():
         return _run_setup(pts, udg, radius, seed, skip_tree, None, trace=trace)
-    pipe_box: List[StagePipeline] = []
+    pipe_box: list[StagePipeline] = []
     try:
         return _run_setup(
             pts, udg, radius, seed, skip_tree, faults, pipe_box, trace=trace
@@ -178,8 +183,8 @@ def _failed_result(
     udg: Adjacency,
     radius: float,
     stage: str,
-    pipe_box: List["StagePipeline"],
-    trace: Optional[TraceRecorder] = None,
+    pipe_box: list["StagePipeline"],
+    trace: TraceRecorder | None = None,
 ) -> SetupResult:
     """A clean failure report: empty abstraction, metrics up to the failure."""
     n = len(pts)
@@ -206,7 +211,9 @@ def _failed_result(
     )
 
 
-def _checked(res, name: str, faults: Optional[FaultPlan]):
+def _checked(
+    res: SimulationResult, name: str, faults: FaultPlan | None
+) -> SimulationResult:
     """Abort the faulted pipeline at the first incomplete stage."""
     if faults is not None and (res.timed_out or not res.completed):
         raise _StageFailed(name)
@@ -219,9 +226,9 @@ def _run_setup(
     radius: float,
     seed: int,
     skip_tree: bool,
-    faults: Optional[FaultPlan],
-    pipe_box: Optional[List["StagePipeline"]] = None,
-    trace: Optional[TraceRecorder] = None,
+    faults: FaultPlan | None,
+    pipe_box: list["StagePipeline"] | None = None,
+    trace: TraceRecorder | None = None,
 ) -> SetupResult:
     ot = "fail" if faults is not None else "raise"
     pipe = StagePipeline(pts, udg, radius=radius, faults=faults, trace=trace)
@@ -274,7 +281,7 @@ def _run_setup(
     for proc in res_bd.nodes.values():
         proc.corners = []
         proc._detect()  # type: ignore[attr-defined]
-    corners: Dict[int, List[RingCorner]] = {
+    corners: dict[int, list[RingCorner]] = {
         nid: proc.corners for nid, proc in res_bd.nodes.items()
     }
 
@@ -293,8 +300,8 @@ def _run_setup(
         v_ranking, v_hulls = {}, {}
 
     # -- 7. overlay tree ---------------------------------------------------------------
-    tree_parent: Dict[int, Optional[int]] = {nid: None for nid in range(len(pts))}
-    tree_children: Dict[int, List[int]] = {nid: [] for nid in range(len(pts))}
+    tree_parent: dict[int, int | None] = {nid: None for nid in range(len(pts))}
+    tree_children: dict[int, list[int]] = {nid: [] for nid in range(len(pts))}
     if not skip_tree:
         res_tree = _checked(
             pipe.run(
@@ -312,7 +319,7 @@ def _run_setup(
 
     # -- 8. hull distribution --------------------------------------------------------------
     hull_items = _hull_summaries(ranking, v_ranking, hulls, v_hulls)
-    hulls_received: Dict[int, int] = {}
+    hulls_received: dict[int, int] = {}
     if not skip_tree:
         sim_bcast = HybridSimulator(
             pts,
@@ -372,7 +379,7 @@ def _run_setup(
     specs = _bay_specs(ranking, hulls, kind=0)
     for nid, lst in _bay_specs(v_ranking, v_hulls, kind=1).items():
         specs.setdefault(nid, []).extend(lst)
-    ds_members: Dict[Tuple, Set[int]] = {}
+    ds_members: dict[tuple, set[int]] = {}
     if any(specs.values()):
         res_mis = _checked(
             pipe.run(
@@ -416,11 +423,13 @@ def _run_setup(
 # ---------------------------------------------------------------------------
 
 
-def _seed_two_hop_positions(nodes, graph: LDelGraph) -> None:
+def _seed_two_hop_positions(
+    nodes: dict[int, BoundaryDetectionProcess], graph: LDelGraph
+) -> None:
     """Provide 2-hop positions (learned in the §5.1 broadcast) to detectors."""
     pts = graph.points
     for nid, proc in nodes.items():
-        two_hop: Set[int] = set()
+        two_hop: set[int] = set()
         for v in graph.adjacency.get(nid, []):
             two_hop.update(graph.adjacency.get(v, []))
             two_hop.update(graph.udg.get(v, []))
@@ -432,11 +441,11 @@ def _seed_two_hop_positions(nodes, graph: LDelGraph) -> None:
 
 def _run_ring_suite(
     pipe: StagePipeline,
-    corners: Dict[int, List[RingCorner]],
+    corners: dict[int, list[RingCorner]],
     tag: str,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     on_timeout: str = "raise",
-):
+) -> tuple[JumpStates, RankStates, HullStates]:
     """Stages 3–5 on a family of rings described by per-node corners."""
     res_dbl = _checked(
         pipe.run(
@@ -477,13 +486,13 @@ def _run_ring_suite(
     return slot_states, rank_states, hull_states
 
 
-def _rings_from_rank(rank_states) -> Dict[Tuple[int, int], Dict[int, int]]:
+def _rings_from_rank(rank_states: RankStates) -> dict[SlotKey, dict[int, int]]:
     """Group slots by ring token -> {position: node_id}.
 
     The token (the leader slot's dart) is globally unique even when two
     rings share their minimum node.
     """
-    rings: Dict[Tuple[int, int], Dict[int, int]] = {}
+    rings: dict[tuple[int, int], dict[int, int]] = {}
     for nid, slots in rank_states.items():
         for key, st in slots.items():
             if st.info is None:
@@ -492,7 +501,9 @@ def _rings_from_rank(rank_states) -> Dict[Tuple[int, int], Dict[int, int]]:
     return rings
 
 
-def _hull_of_ring(hull_states, ring: Tuple[int, int]):
+def _hull_of_ring(
+    hull_states: HullStates, ring: tuple[int, int]
+) -> list[HullPoint] | None:
     """Fetch the final hull of a ring (by token) from any slot that knows it."""
     for nid, slots in hull_states.items():
         for key, st in slots.items():
@@ -502,8 +513,8 @@ def _hull_of_ring(hull_states, ring: Tuple[int, int]):
 
 
 def _virtual_corners_for_outer_holes(
-    pts: np.ndarray, ranking, hulls, radius: float
-) -> Dict[int, List[RingCorner]]:
+    pts: np.ndarray, ranking: RankStates, hulls: HullStates, radius: float
+) -> dict[int, list[RingCorner]]:
     """Build the virtual rings of the §5.4 second run, locally per slot.
 
     Every outer-boundary slot knows the outer hull (with ring positions)
@@ -511,7 +522,7 @@ def _virtual_corners_for_outer_holes(
     into and who its virtual ring neighbors are.  Hull corners bordering a
     long gap link to each other across the virtual closing edge.
     """
-    out: Dict[int, List[RingCorner]] = {}
+    out: dict[int, list[RingCorner]] = {}
     for nid, slots in hulls.items():
         for key, st in slots.items():
             if st.info.total_angle > 0 or st.final_hull is None:
@@ -561,9 +572,14 @@ def _virtual_corners_for_outer_holes(
     return out
 
 
-def _hull_summaries(ranking, v_ranking, hulls, v_hulls):
+def _hull_summaries(
+    ranking: RankStates,
+    v_ranking: RankStates,
+    hulls: HullStates,
+    v_hulls: HullStates,
+) -> dict[int, dict[tuple, dict[str, list]]]:
     """Items each ring leader injects into the tree broadcast."""
-    items: Dict[int, Dict[Tuple, List]] = {}
+    items: dict[int, dict[tuple, list]] = {}
     for states, kind in ((hulls, "hole"), (v_hulls, "outer")):
         for nid, slots in states.items():
             for key, st in slots.items():
@@ -581,10 +597,12 @@ def _hull_summaries(ranking, v_ranking, hulls, v_hulls):
     return items
 
 
-def _bay_specs(ranking, hulls, kind: int = 0) -> Dict[int, List[SegmentSpec]]:
+def _bay_specs(
+    ranking: RankStates, hulls: HullStates, kind: int = 0
+) -> dict[int, list[SegmentSpec]]:
     """Per-node MIS segment specs for every bay of every hole ring."""
     rings = _rings_from_rank(ranking)
-    specs: Dict[int, List[SegmentSpec]] = {}
+    specs: dict[int, list[SegmentSpec]] = {}
     for nid, slots in hulls.items():
         for key, st in slots.items():
             if st.info.total_angle < 0 or st.final_hull is None:
@@ -625,19 +643,19 @@ def _bay_specs(ranking, hulls, kind: int = 0) -> Dict[int, List[SegmentSpec]]:
 
 def _assemble(
     graph: LDelGraph,
-    ranking,
-    hulls,
-    v_ranking,
-    v_hulls,
-    ds_members: Dict[Tuple, Set[int]],
+    ranking: RankStates,
+    hulls: HullStates,
+    v_ranking: RankStates,
+    v_hulls: HullStates,
+    ds_members: dict[tuple, set[int]],
 ) -> Abstraction:
     """Build the global Abstraction object from per-node protocol states."""
     pts = graph.points
-    holes: List[HoleAbstraction] = []
+    holes: list[HoleAbstraction] = []
 
     # Inner holes: rings classified +2π.  The −2π ring is the raw outer
     # boundary, retained on the abstraction for incremental updates.
-    outer_walk: List[int] = []
+    outer_walk: list[int] = []
     rings = _rings_from_rank(ranking)
     for ring_token, by_pos in sorted(rings.items()):
         sample = _find_info(ranking, ring_token)
@@ -686,7 +704,7 @@ def _assemble(
     return Abstraction(graph=graph, holes=holes, outer_boundary=outer_walk)
 
 
-def _find_info(ranking, ring: Tuple[int, int]):
+def _find_info(ranking: RankStates, ring: tuple[int, int]) -> RingInfo | None:
     """Any slot's RingInfo for the ring identified by ``ring`` (token)."""
     for nid, slots in ranking.items():
         for key, st in slots.items():
@@ -697,16 +715,16 @@ def _find_info(ranking, ring: Tuple[int, int]):
 
 def _bays_from_ds(
     hole: HoleAbstraction,
-    ds_members: Dict[Tuple, Set[int]],
-    ring_token: Tuple[int, int],
+    ds_members: dict[tuple, set[int]],
+    ring_token: tuple[int, int],
     kind: int = 0,
-) -> List[Bay]:
+) -> list[Bay]:
     """Recover bay arcs + distributed DS membership for one hole."""
     boundary = hole.boundary
     k = len(boundary)
     hull_set = set(hole.hull)
     corner_pos = [i for i, v in enumerate(boundary) if v in hull_set]
-    bays: List[Bay] = []
+    bays: list[Bay] = []
     if len(corner_pos) < 2:
         return bays
     # Ring positions used in the protocol tags: position of boundary[i] is i
@@ -731,10 +749,14 @@ def _bays_from_ds(
 
 
 def _storage_profile(
-    ranking, hulls, v_hulls, hulls_received, n: int
-) -> Dict[int, int]:
+    ranking: RankStates,
+    hulls: HullStates,
+    v_hulls: HullStates,
+    hulls_received: dict[int, int],
+    n: int,
+) -> dict[int, int]:
     """Words of protocol state per node (Theorem 1.2 accounting)."""
-    words: Dict[int, int] = {nid: 1 for nid in range(n)}
+    words: dict[int, int] = {nid: 1 for nid in range(n)}
     for nid, slots in ranking.items():
         for key, st in slots.items():
             words[nid] += 2 * (len(st.links_succ) + len(st.links_pred)) + 4

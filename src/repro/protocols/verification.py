@@ -14,7 +14,6 @@ checks the test suite performs, packaged as a public API::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..core.abstraction import Abstraction, build_abstraction
 from ..graphs.ldel import build_ldel
@@ -27,8 +26,8 @@ __all__ = ["VerificationReport", "verify_setup", "verify_abstraction"]
 class VerificationReport:
     """Outcome of a verification pass: empty ``problems`` means success."""
 
-    problems: List[str] = field(default_factory=list)
-    checked: List[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -52,13 +51,13 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-def _boundary_key(boundary: List[int]) -> Tuple[int, ...]:
+def _boundary_key(boundary: list[int]) -> tuple[int, ...]:
     i = boundary.index(min(boundary))
     return tuple(boundary[i:] + boundary[:i])
 
 
 def verify_abstraction(
-    abstraction: Abstraction, reference: Optional[Abstraction] = None
+    abstraction: Abstraction, reference: Abstraction | None = None
 ) -> VerificationReport:
     """Compare an abstraction against the centralized reconstruction.
 
@@ -96,7 +95,7 @@ def verify_abstraction(
     if extra:
         report.fail(f"{len(extra)} spurious hole(s) in the abstraction")
     report.note("hole hulls")
-    for key in set(ours) & set(theirs):
+    for key in sorted(set(ours) & set(theirs)):
         if sorted(ours[key].hull) != sorted(theirs[key].hull):
             report.fail(f"hull differs for hole with boundary start {key[0]}")
         if ours[key].is_outer != theirs[key].is_outer:
@@ -104,7 +103,7 @@ def verify_abstraction(
 
     # 3. Bays: same arcs, dominating sets valid.
     report.note("bay arcs")
-    for key in set(ours) & set(theirs):
+    for key in sorted(set(ours) & set(theirs)):
         arcs_a = {(b.corner_a, b.corner_b): tuple(b.arc) for b in ours[key].bays}
         arcs_b = {(b.corner_a, b.corner_b): tuple(b.arc) for b in theirs[key].bays}
         if arcs_a != arcs_b:
@@ -151,7 +150,7 @@ def verify_setup(setup: SetupResult) -> VerificationReport:
     report.note("tree acyclic")
     for nid in setup.tree_parent:
         seen = set()
-        cur: Optional[int] = nid
+        cur: int | None = nid
         while cur is not None:
             if cur in seen:
                 report.fail(f"tree cycle through node {cur}")

@@ -24,7 +24,7 @@ cases 2–5:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -51,18 +51,18 @@ class BayLocation:
     bay_index: int
 
     @property
-    def key(self) -> Tuple[int, int]:
+    def key(self) -> tuple[int, int]:
         return (self.hole_id, self.bay_index)
 
 
-def bay_key(hole_id: int, bay_index: int) -> Tuple[int, int]:
+def bay_key(hole_id: int, bay_index: int) -> tuple[int, int]:
     """Canonical dictionary key of a bay."""
     return (hole_id, bay_index)
 
 
 def locate_point(
     abstraction: Abstraction, point: Sequence[float]
-) -> Optional[BayLocation]:
+) -> BayLocation | None:
     """Which bay (if any) contains ``point``?
 
     A point strictly inside a hole's convex hull but outside the hole
@@ -85,7 +85,7 @@ def locate_point(
         # Inside the hull but in no bay polygon: the point sits inside the
         # hole region itself (no nodes live there) or exactly on an edge;
         # report the nearest bay so routing still has a structure to use.
-        best: Optional[BayLocation] = None
+        best: BayLocation | None = None
         best_d = float("inf")
         for idx, bay in enumerate(hole.bays):
             for v in bay.arc:
@@ -97,7 +97,7 @@ def locate_point(
     return None
 
 
-def locate_node(abstraction: Abstraction, node: int) -> Optional[BayLocation]:
+def locate_node(abstraction: Abstraction, node: int) -> BayLocation | None:
     """Bay containing the given *node* (None when outside all hulls).
 
     Hull corners count as outside (they are part of the abstraction), and a
@@ -116,7 +116,7 @@ def locate_node(abstraction: Abstraction, node: int) -> Optional[BayLocation]:
 
 def bay_waypoint_structures(
     abstraction: Abstraction,
-) -> Tuple[Dict[Tuple[int, int], List[int]], Dict[Tuple[int, int], List[Tuple[int, int, Tuple[int, ...]]]]]:
+) -> tuple[dict[tuple[int, int], list[int]], dict[tuple[int, int], list[tuple[int, int, tuple[int, ...]]]]]:
     """Waypoint vertex groups and arc edges for every bay.
 
     Returns ``(groups, arc_edges)`` keyed by ``(hole_id, bay_index)``:
@@ -126,13 +126,13 @@ def bay_waypoint_structures(
       the explicit ring sub-path (each hop an LDel edge).
     """
     pts = abstraction.points
-    groups: Dict[Tuple[int, int], List[int]] = {}
-    arc_edges: Dict[Tuple[int, int], List[Tuple[int, int, Tuple[int, ...]]]] = {}
+    groups: dict[tuple[int, int], list[int]] = {}
+    arc_edges: dict[tuple[int, int], list[tuple[int, int, tuple[int, ...]]]] = {}
     for hole in abstraction.holes:
         for idx, bay in enumerate(hole.bays):
             key = bay_key(hole.hole_id, idx)
             arc = bay.arc
-            sel: List[int] = sorted(
+            sel: list[int] = sorted(
                 set(bay.dominating_set)
                 | {bay.corner_a, bay.corner_b}
                 | set(extreme_points(abstraction, bay))
@@ -141,7 +141,7 @@ def bay_waypoint_structures(
                 (arc.index(v) for v in sel if v in arc)
             )
             groups[key] = [arc[i] for i in sel_pos]
-            edges: List[Tuple[int, int, Tuple[int, ...]]] = []
+            edges: list[tuple[int, int, tuple[int, ...]]] = []
             for a_pos, b_pos in zip(sel_pos, sel_pos[1:]):
                 path = tuple(arc[a_pos : b_pos + 1])
                 edges.append((arc[a_pos], arc[b_pos], path))
@@ -152,9 +152,9 @@ def bay_waypoint_structures(
 def extreme_points(
     abstraction: Abstraction,
     bay: Bay,
-    start: Optional[int] = None,
-    end: Optional[int] = None,
-) -> List[int]:
+    start: int | None = None,
+    end: int | None = None,
+) -> list[int]:
     """The extreme points E₁ … E_k of §4.4: convex hull of a bay sub-arc.
 
     ``start`` / ``end`` are arc nodes delimiting H_{s,t} (default: the whole

@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from ..graphs.ldel import LDelGraph
 
 __all__ = ["ChewResult", "chew_route", "crossed_edges"]
 
-Edge = Tuple[int, int]
+Edge = tuple[int, int]
 
 
 @dataclass
@@ -47,10 +47,10 @@ class ChewResult:
     broke (h₀ of §3).
     """
 
-    path: List[int]
+    path: list[int]
     reached: bool
-    blocked_at: Optional[int] = None
-    corridor: Set[int] = field(default_factory=set)
+    blocked_at: int | None = None
+    corridor: set[int] = field(default_factory=set)
     used_fallback: bool = False
 
     def length(self, points: np.ndarray) -> float:
@@ -63,7 +63,7 @@ class ChewResult:
 
 def crossed_edges(
     graph: LDelGraph, s: int, t: int
-) -> List[Tuple[float, Edge]]:
+) -> list[tuple[float, Edge]]:
     """LDel edges properly crossed by segment st, ordered along st.
 
     Returns ``(param, edge)`` pairs where ``param`` ∈ (0,1) locates the
@@ -71,8 +71,8 @@ def crossed_edges(
     """
     pts = graph.points
     ps, pt = pts[s], pts[t]
-    out: List[Tuple[float, Edge]] = []
-    seen: Set[Edge] = set()
+    out: list[tuple[float, Edge]] = []
+    seen: set[Edge] = set()
     # Candidate edges: restrict to edges whose endpoints are near the
     # segment (cheap bounding-box prefilter over the adjacency).
     xmin, xmax = min(ps[0], pt[0]) - 1.0, max(ps[0], pt[0]) + 1.0
@@ -106,7 +106,7 @@ def _cross_param(ps, pt, pu, pv) -> float:
 
 
 def _common_triangle(
-    tri_of_edge: Dict[Edge, List[Tuple[int, int, int]]],
+    tri_of_edge: dict[Edge, list[tuple[int, int, int]]],
     e1: Edge,
     e2: Edge,
 ) -> bool:
@@ -116,7 +116,7 @@ def _common_triangle(
 
 
 def _edge_in_triangle_with(
-    tri_of_edge: Dict[Edge, List[Tuple[int, int, int]]], e: Edge, apex: int
+    tri_of_edge: dict[Edge, list[tuple[int, int, int]]], e: Edge, apex: int
 ) -> bool:
     return any(apex in tri for tri in tri_of_edge.get(e, ()))
 
@@ -126,7 +126,7 @@ def chew_route(
     s: int,
     t: int,
     *,
-    tri_of_edge: Optional[Dict[Edge, List[Tuple[int, int, int]]]] = None,
+    tri_of_edge: dict[Edge, list[tuple[int, int, int]]] | None = None,
 ) -> ChewResult:
     """Route from node ``s`` toward node ``t`` along the st corridor.
 
@@ -145,9 +145,9 @@ def chew_route(
     crossings = crossed_edges(graph, s, t)
 
     # Walk the crossing chain and find where (if anywhere) it breaks.
-    corridor: Set[int] = {s}
+    corridor: set[int] = {s}
     chain_ok = True
-    last_edge: Optional[Edge] = None
+    last_edge: Edge | None = None
     if not crossings:
         # st crosses no edge: the open segment lies inside a single face.
         # With no direct edge that face cannot be a triangle — we are
@@ -158,7 +158,7 @@ def chew_route(
         return ChewResult(path=[s], reached=False, blocked_at=s, corridor={s})
     corridor.update(first_edge)
     last_edge = first_edge
-    break_edge: Optional[Edge] = None
+    break_edge: Edge | None = None
     for _, e in crossings[1:]:
         if not _common_triangle(tri_of_edge, last_edge, e):
             break_edge = last_edge
@@ -199,8 +199,8 @@ def chew_route(
     )
 
 
-def _build_tri_of_edge(graph: LDelGraph) -> Dict[Edge, List[Tuple[int, int, int]]]:
-    out: Dict[Edge, List[Tuple[int, int, int]]] = {}
+def _build_tri_of_edge(graph: LDelGraph) -> dict[Edge, list[tuple[int, int, int]]]:
+    out: dict[Edge, list[tuple[int, int, int]]] = {}
     for tri in graph.triangles:
         a, b, c = tri
         for e in ((a, b), (b, c), (a, c)):
@@ -209,8 +209,8 @@ def _build_tri_of_edge(graph: LDelGraph) -> Dict[Edge, List[Tuple[int, int, int]
 
 
 def _route_in_corridor(
-    graph: LDelGraph, corridor: Set[int], s: int, goal: int
-) -> Tuple[Optional[List[int]], bool]:
+    graph: LDelGraph, corridor: set[int], s: int, goal: int
+) -> tuple[list[int] | None, bool]:
     """Greedy walk within the corridor; Dijkstra fallback if it stalls."""
     pts = graph.points
     pgoal = pts[goal]
@@ -235,13 +235,13 @@ def _route_in_corridor(
 
 
 def _dijkstra_in_corridor(
-    graph: LDelGraph, corridor: Set[int], s: int, goal: int
-) -> Tuple[Optional[List[int]], bool]:
+    graph: LDelGraph, corridor: set[int], s: int, goal: int
+) -> tuple[list[int] | None, bool]:
     pts = graph.points
-    dist: Dict[int, float] = {s: 0.0}
-    prev: Dict[int, int] = {}
-    heap: List[Tuple[float, int]] = [(0.0, s)]
-    settled: Set[int] = set()
+    dist: dict[int, float] = {s: 0.0}
+    prev: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, s)]
+    settled: set[int] = set()
     while heap:
         d, u = heapq.heappop(heap)
         if u in settled:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class PairRecord:
 class CompetitivenessReport:
     """Aggregate over a pair sample."""
 
-    records: List[PairRecord] = field(default_factory=list)
+    records: list[PairRecord] = field(default_factory=list)
 
     @property
     def delivered(self) -> int:
@@ -81,7 +81,7 @@ class CompetitivenessReport:
         """Pairs whose target is disconnected from the source in the UDG."""
         return sum(not r.reachable for r in self.records)
 
-    def stretches(self) -> List[float]:
+    def stretches(self) -> list[float]:
         """Finite stretch factors of the delivered pairs only.
 
         Filtering to finite values keeps NaN/inf out of every downstream
@@ -94,7 +94,7 @@ class CompetitivenessReport:
             if r.delivered and math.isfinite(r.stretch)
         ]
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Headline numbers: delivery/fallback rates and stretch stats."""
         s = self.stretches()
         arr = np.asarray(s, dtype=float)
@@ -108,22 +108,22 @@ class CompetitivenessReport:
             "stretch_max": float(arr.max()) if s else math.nan,
         }
 
-    def by_case(self) -> Dict[str, "CompetitivenessReport"]:
+    def by_case(self) -> dict[str, "CompetitivenessReport"]:
         """Split the records into per-case sub-reports (§4.3 cases)."""
-        out: Dict[str, CompetitivenessReport] = {}
+        out: dict[str, CompetitivenessReport] = {}
         for r in self.records:
             out.setdefault(r.case or "?", CompetitivenessReport()).records.append(r)
         return out
 
 
-RouteFn = Callable[[int, int], Tuple[List[int], bool, str, bool]]
+RouteFn = Callable[[int, int], tuple[list[int], bool, str, bool]]
 
 
 def evaluate_routing(
     points: np.ndarray,
     udg: Adjacency,
-    route_fn: Optional[RouteFn],
-    pairs: Sequence[Tuple[int, int]],
+    route_fn: RouteFn | None,
+    pairs: Sequence[tuple[int, int]],
     *,
     engine=None,
 ) -> CompetitivenessReport:
@@ -149,7 +149,7 @@ def evaluate_routing(
         route_fn = engine.route_fn()
     use_engine_dist = engine is not None and engine.udg is udg
     report = CompetitivenessReport()
-    by_source: Dict[int, List[Tuple[int, int]]] = {}
+    by_source: dict[int, list[tuple[int, int]]] = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append((s, t))
     for s, group in by_source.items():
@@ -186,7 +186,7 @@ def sample_pairs(
     rng: np.random.Generator,
     *,
     distinct: bool = False,
-) -> List[Tuple[int, int]]:
+) -> list[tuple[int, int]]:
     """Uniform random source–target pairs (s ≠ t).
 
     Rejection sampling over ordered pairs; ``n <= 1`` admits no valid pair,
@@ -205,7 +205,7 @@ def sample_pairs(
             f"cannot draw {count} distinct ordered pairs from {n} nodes "
             f"(max {n * (n - 1)})"
         )
-    out: List[Tuple[int, int]] = []
+    out: list[tuple[int, int]] = []
     seen: set = set()
     while len(out) < count:
         s, t = int(rng.integers(0, n)), int(rng.integers(0, n))

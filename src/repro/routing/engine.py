@@ -43,7 +43,7 @@ import hashlib
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -89,7 +89,7 @@ class EngineStats:
     batch_queries: int = 0
     invalidations: int = 0
     #: cache name -> {"hits": int, "misses": int}
-    cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cache: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def record(self, cache: str, hit: bool) -> None:
         """Count one lookup against the named cache."""
@@ -102,9 +102,9 @@ class EngineStats:
         total = row["hits"] + row["misses"]
         return row["hits"] / total if total else 0.0
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Flat dict for tables/benches."""
-        out: Dict[str, float] = {
+        out: dict[str, float] = {
             "queries": self.queries,
             "batch_queries": self.batch_queries,
             "invalidations": self.invalidations,
@@ -150,7 +150,7 @@ class QueryEngine:
         abstraction: Abstraction,
         mode: str = "hull",
         *,
-        udg: Optional[Adjacency] = None,
+        udg: Adjacency | None = None,
         caching: bool = True,
         dijkstra_cache_size: int = 64,
         result_cache_size: int = 4096,
@@ -174,14 +174,14 @@ class QueryEngine:
         self.stats = EngineStats()
 
         self._digest = abstraction_digest(abstraction)
-        self._routers: Dict[str, HybridRouter] = {}
-        self._locate_memo: Dict[int, Optional[BayLocation]] = {}
-        self._bay_structs: Optional[Tuple[Dict, Dict]] = None
+        self._routers: dict[str, HybridRouter] = {}
+        self._locate_memo: dict[int, BayLocation | None] = {}
+        self._bay_structs: tuple[dict, dict] | None = None
         #: shared across planner rebuilds; keyed (digest, bay_id) so a
         #: stale geometry can never resurrect legs
-        self._leg_cache: Dict[Tuple, Dict] = {}
-        self._dijkstra_lru: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
-        self._result_lru: "OrderedDict[Tuple[str, int, int], RouteOutcome]" = (
+        self._leg_cache: dict[tuple, dict] = {}
+        self._dijkstra_lru: "OrderedDict[int, dict[int, float]]" = OrderedDict()
+        self._result_lru: "OrderedDict[tuple[str, int, int], RouteOutcome]" = (
             OrderedDict()
         )
 
@@ -228,7 +228,7 @@ class QueryEngine:
         return self._digest
 
     # -- memoized components -------------------------------------------------
-    def _locate(self, node: int) -> Optional[BayLocation]:
+    def _locate(self, node: int) -> BayLocation | None:
         """Memoized §4.3 bay classification (injected into routers)."""
         if node in self._locate_memo:
             self._record("locate", True)
@@ -248,7 +248,7 @@ class QueryEngine:
             router = HybridRouter(self.abstraction, mode, self.max_replans)
         else:
             self._record("router", False)
-            extra: Dict = {}
+            extra: dict = {}
             if mode == "hull":
                 if self._bay_structs is None:
                     self._bay_structs = bay_waypoint_structures(
@@ -271,7 +271,7 @@ class QueryEngine:
         return router
 
     # -- queries -------------------------------------------------------------
-    def route(self, s: int, t: int, mode: Optional[str] = None) -> RouteOutcome:
+    def route(self, s: int, t: int, mode: str | None = None) -> RouteOutcome:
         """Route one query, re-using every applicable cache."""
         mode = self.mode if mode is None else mode
         self._check_current()
@@ -301,9 +301,9 @@ class QueryEngine:
 
     def route_many(
         self,
-        pairs: Sequence[Tuple[int, int]],
-        mode: Optional[str] = None,
-    ) -> List[RouteOutcome]:
+        pairs: Sequence[tuple[int, int]],
+        mode: str | None = None,
+    ) -> list[RouteOutcome]:
         """Route a batch, returning outcomes in input order.
 
         Distinct pairs are processed sorted by ``(source, target)`` so
@@ -317,24 +317,24 @@ class QueryEngine:
         self.stats.batch_queries += len(keyed)
         if not self.caching:
             return [self.route(s, t, mode=mode) for s, t in keyed]
-        outcomes: Dict[Tuple[int, int], RouteOutcome] = {}
+        outcomes: dict[tuple[int, int], RouteOutcome] = {}
         for s, t in sorted(set(keyed)):
             outcomes[(s, t)] = self.route(s, t, mode=mode)
         return [outcomes[key] for key in keyed]
 
     def route_fn(
-        self, mode: Optional[str] = None
-    ) -> Callable[[int, int], Tuple[List[int], bool, str, bool]]:
+        self, mode: str | None = None
+    ) -> Callable[[int, int], tuple[list[int], bool, str, bool]]:
         """Adapter matching :func:`evaluate_routing`'s ``route_fn`` shape."""
 
-        def fn(s: int, t: int) -> Tuple[List[int], bool, str, bool]:
+        def fn(s: int, t: int) -> tuple[list[int], bool, str, bool]:
             out = self.route(s, t, mode=mode)
             return out.path, out.reached, out.case, out.used_fallback
 
         return fn
 
     # -- optimal-distance oracle ---------------------------------------------
-    def distances(self, source: int) -> Dict[int, float]:
+    def distances(self, source: int) -> dict[int, float]:
         """Optimal-distance map from ``source`` over the reference graph.
 
         LRU-cached per source; shared across every strategy evaluated

@@ -20,7 +20,7 @@ the paper's abstraction removes.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -30,10 +30,10 @@ from .greedy import RouteResult
 
 __all__ = ["greedy_face_route", "goafr_route"]
 
-Adjacency = Dict[int, List[int]]
+Adjacency = dict[int, list[int]]
 
 
-def _next_cw(order: List[int], came_from: int) -> int:
+def _next_cw(order: list[int], came_from: int) -> int:
     """Right-hand rule: next edge clockwise from the arrival direction."""
     i = order.index(came_from)
     return order[(i + 1) % len(order)]
@@ -44,8 +44,8 @@ def greedy_face_route(
     adj: Adjacency,
     s: int,
     t: int,
-    max_steps: Optional[int] = None,
-    embedding: Optional[Dict[int, List[int]]] = None,
+    max_steps: int | None = None,
+    embedding: dict[int, list[int]] | None = None,
 ) -> RouteResult:
     """Greedy forwarding with right-hand-rule face recovery.
 
@@ -127,8 +127,8 @@ def goafr_route(
     adj: Adjacency,
     s: int,
     t: int,
-    max_steps: Optional[int] = None,
-    embedding: Optional[Dict[int, List[int]]] = None,
+    max_steps: int | None = None,
+    embedding: dict[int, list[int]] | None = None,
     initial_factor: float = 1.4,
 ) -> RouteResult:
     """GOAFR⁺-style routing: greedy + face recovery inside a bounding ellipse.
@@ -152,7 +152,7 @@ def goafr_route(
     cap = max_steps if max_steps is not None else 16 * len(pts)
 
     d_st = distance(pts[s], pts[t])
-    if d_st == 0.0:
+    if d_st == 0.0:  # repro: noqa[RPR003] exact sentinel: only truly coincident s/t short-circuit; near-zero pairs must still route
         return RouteResult(path=[s], reached=True)
     major = initial_factor * d_st
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -19,18 +19,18 @@ from ..geometry.primitives import as_array, distance
 
 __all__ = ["RouteResult", "greedy_route", "compass_route"]
 
-Adjacency = Dict[int, List[int]]
+Adjacency = dict[int, list[int]]
 
 
 @dataclass
 class RouteResult:
     """Outcome of an online routing attempt."""
 
-    path: List[int]
+    path: list[int]
     reached: bool
     #: why the walk ended when not delivered: "stuck" (greedy local
     #: minimum), "loop" (revisited state), or "cap" (step budget exhausted)
-    failure: Optional[str] = None
+    failure: str | None = None
 
     def length(self, points: np.ndarray) -> float:
         """Euclidean length of the walked path."""
@@ -45,7 +45,7 @@ def greedy_route(
     adj: Adjacency,
     s: int,
     t: int,
-    max_steps: Optional[int] = None,
+    max_steps: int | None = None,
 ) -> RouteResult:
     """Pure greedy: always forward to the neighbor strictly closest to t.
 
@@ -77,7 +77,7 @@ def compass_route(
     adj: Adjacency,
     s: int,
     t: int,
-    max_steps: Optional[int] = None,
+    max_steps: int | None = None,
 ) -> RouteResult:
     """Compass routing: forward to the neighbor with the smallest angular
     deviation from the direction of t (Kranakis et al., the paper's [4]).
@@ -88,7 +88,7 @@ def compass_route(
     cap = max_steps if max_steps is not None else 4 * len(pts)
     path = [s]
     current = s
-    seen: Set[Tuple[int, int]] = set()
+    seen: set[tuple[int, int]] = set()
     prev = -1
     for _ in range(cap):
         if current == t:

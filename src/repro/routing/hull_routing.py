@@ -14,7 +14,6 @@ Graph itself for inspection and benchmarking (E8's space comparison).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
 
 from ..core.abstraction import Abstraction
 from .router import HybridRouter
@@ -28,14 +27,14 @@ def hull_router(abstraction: Abstraction, **kwargs) -> HybridRouter:
     return HybridRouter(abstraction, mode="hull", **kwargs)
 
 
-def overlay_delaunay_edges(router: HybridRouter) -> Set[Tuple[int, int]]:
+def overlay_delaunay_edges(router: HybridRouter) -> set[tuple[int, int]]:
     """The (visibility-filtered) Overlay Delaunay Graph edge set in use.
 
     For a ``hull``-mode router these are exactly the edges each convex-hull
     node stores in the paper; benchmark E8 compares their count against the
     §3 structures.
     """
-    out: Set[Tuple[int, int]] = set()
+    out: set[tuple[int, int]] = set()
     for u, nbrs in router.planner.base_edges.items():
         for v in nbrs:
             out.add((u, v) if u < v else (v, u))

@@ -24,7 +24,7 @@ Use :func:`adaptive_router` exactly like :func:`~repro.routing.hull_routing
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from ..core.abstraction import Abstraction
 from ..geometry.polygon import point_in_polygon
@@ -58,7 +58,7 @@ def _hulls_intersect(a, b) -> bool:
     return False
 
 
-def hull_intersection_groups(abstraction: Abstraction) -> List[Set[int]]:
+def hull_intersection_groups(abstraction: Abstraction) -> list[set[int]]:
     """Partition hole ids into groups of transitively intersecting hulls.
 
     Singleton groups are holes whose hull intersects no other — the paper's
@@ -66,7 +66,7 @@ def hull_intersection_groups(abstraction: Abstraction) -> List[Set[int]]:
     """
     holes = abstraction.holes
     polys = {h.hole_id: h.hull_polygon(abstraction.points) for h in holes}
-    parent: Dict[int, int] = {h.hole_id: h.hole_id for h in holes}
+    parent: dict[int, int] = {h.hole_id: h.hole_id for h in holes}
 
     def find(x: int) -> int:
         while parent[x] != x:
@@ -85,24 +85,24 @@ def hull_intersection_groups(abstraction: Abstraction) -> List[Set[int]]:
             if _hulls_intersect(polys[a], polys[b]):
                 union(a, b)
 
-    groups: Dict[int, Set[int]] = {}
+    groups: dict[int, set[int]] = {}
     for hid in ids:
         groups.setdefault(find(hid), set()).add(hid)
     return sorted(groups.values(), key=lambda g: min(g))
 
 
-def adaptive_vertex_set(abstraction: Abstraction) -> Tuple[Set[int], Set[int]]:
+def adaptive_vertex_set(abstraction: Abstraction) -> tuple[set[int], set[int]]:
     """(waypoint vertices, hole ids using their full boundary).
 
     Isolated holes contribute hull corners; holes in intersecting groups
     contribute every boundary node.
     """
     groups = hull_intersection_groups(abstraction)
-    degraded: Set[int] = set()
+    degraded: set[int] = set()
     for g in groups:
         if len(g) > 1:
             degraded |= g
-    vertices: Set[int] = set()
+    vertices: set[int] = set()
     for hole in abstraction.holes:
         if hole.hole_id in degraded:
             vertices.update(hole.boundary)

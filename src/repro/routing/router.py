@@ -25,7 +25,7 @@ assumptions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -45,11 +45,11 @@ class RouteOutcome:
 
     source: int
     target: int
-    path: List[int]
+    path: list[int]
     reached: bool
     #: paper case: "visible", or "1".."5" per §4.3's position analysis
     case: str
-    waypoints: List[int] = field(default_factory=list)
+    waypoints: list[int] = field(default_factory=list)
     chew_legs: int = 0
     replans: int = 0
     used_fallback: bool = False
@@ -100,9 +100,9 @@ class HybridRouter:
         mode: str = "hull",
         max_replans: int = 4,
         *,
-        locator: Optional[Callable[[int], Optional[BayLocation]]] = None,
-        bay_structures: Optional[Tuple[Dict, Dict]] = None,
-        planner_kwargs: Optional[Dict] = None,
+        locator: Callable[[int], BayLocation | None] | None = None,
+        bay_structures: tuple[dict, dict] | None = None,
+        planner_kwargs: dict | None = None,
     ) -> None:
         if mode not in ("hull", "visibility", "delaunay"):
             raise ValueError(f"unknown router mode {mode!r}")
@@ -139,7 +139,7 @@ class HybridRouter:
         )
 
     def _build_tri_of_edge(self):
-        out: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+        out: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
         for tri in self.graph.triangles:
             a, b, c = tri
             for e in ((a, b), (b, c), (a, c)):
@@ -147,7 +147,7 @@ class HybridRouter:
         return out
 
     # -- case analysis (§4.3) ------------------------------------------------------
-    def classify(self, s: int, t: int) -> Tuple[str, Optional[BayLocation], Optional[BayLocation]]:
+    def classify(self, s: int, t: int) -> tuple[str, BayLocation | None, BayLocation | None]:
         """Position case analysis of §4.3: which hulls contain the terminals."""
         loc_s = self._locate(s)
         loc_t = self._locate(t)
@@ -180,8 +180,8 @@ class HybridRouter:
             )
 
         h0 = first.blocked_at if first.blocked_at is not None else s
-        path: List[int] = list(first.path)
-        active_bays: Set[Tuple[int, int]] = set()
+        path: list[int] = list(first.path)
+        active_bays: set[tuple[int, int]] = set()
         for loc in (loc_s, loc_t, self._locate(h0)):
             if loc is not None:
                 active_bays.add(loc.key)
@@ -198,11 +198,11 @@ class HybridRouter:
         outcome: RouteOutcome,
         start: int,
         target: int,
-        active_bays: Set[Tuple[int, int]],
+        active_bays: set[tuple[int, int]],
     ) -> None:
         current = start
         replans = 0
-        banned: Set[frozenset] = set()
+        banned: set[frozenset] = set()
         while current != target:
             plan = self.planner.plan(
                 current, target, active_bays=active_bays, banned=banned
@@ -211,7 +211,7 @@ class HybridRouter:
                 self._fallback(outcome, current, target)
                 return
             outcome.waypoints.extend(plan.nodes[1:])
-            blocked: Optional[int] = None
+            blocked: int | None = None
             for leg in plan.legs:
                 if leg.kind == "arc" and leg.path is not None:
                     outcome.path.extend(leg.path[1:])

@@ -33,7 +33,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class Leg:
     src: int
     dst: int
     kind: str  # "chew" | "arc"
-    path: Optional[Tuple[int, ...]] = None  # explicit node path for "arc"
+    path: tuple[int, ...] | None = None  # explicit node path for "arc"
     weight: float = 0.0
 
 
@@ -65,10 +65,10 @@ class Leg:
 class WaypointPath:
     """A planned waypoint route: legs from source to target."""
 
-    legs: List[Leg]
+    legs: list[Leg]
 
     @property
-    def nodes(self) -> List[int]:
+    def nodes(self) -> list[int]:
         if not self.legs:
             return []
         return [self.legs[0].src] + [leg.dst for leg in self.legs]
@@ -87,11 +87,11 @@ class WaypointPlanner:
         *,
         vertices: Iterable[int],
         structure: str = "delaunay",
-        bay_groups: Optional[Dict[int, List[int]]] = None,
-        bay_arc_edges: Optional[Dict[int, List[Tuple[int, int, Tuple[int, ...]]]]] = None,
-        leg_cache: Optional[Dict] = None,
-        leg_cache_key: Optional[str] = None,
-        cache_hook: Optional[Callable[[str, bool], None]] = None,
+        bay_groups: dict[int, list[int]] | None = None,
+        bay_arc_edges: dict[int, list[tuple[int, int, tuple[int, ...]]]] | None = None,
+        leg_cache: dict | None = None,
+        leg_cache_key: str | None = None,
+        cache_hook: Callable[[str, bool], None] | None = None,
     ) -> None:
         """
         Parameters
@@ -133,15 +133,15 @@ class WaypointPlanner:
         ]
         self._segments = obstacle_segments(self.obstacles)
         self._bboxes = obstacle_bboxes(self.obstacles)
-        self.base_vertices: List[int] = sorted(set(vertices))
+        self.base_vertices: list[int] = sorted(set(vertices))
         self.bay_groups = bay_groups or {}
         self.bay_arc_edges = bay_arc_edges or {}
         self._leg_cache = leg_cache
         self._leg_cache_key = leg_cache_key
         self._cache_hook = cache_hook
-        self._bay_vis_cache: Dict[int, List[Leg]] = {}
+        self._bay_vis_cache: dict[int, list[Leg]] = {}
         #: adjacency: node -> {node: Leg}
-        self.base_edges: Dict[int, Dict[int, Leg]] = {
+        self.base_edges: dict[int, dict[int, Leg]] = {
             v: {} for v in self.base_vertices
         }
         self._build_static()
@@ -157,9 +157,9 @@ class WaypointPlanner:
             segments=self._segments, bboxes=self._bboxes,
         )
 
-    def _add_edge(self, store: Dict[int, Dict[int, Leg]], u: int, v: int,
-                  kind: str, path: Optional[Tuple[int, ...]] = None,
-                  weight: Optional[float] = None) -> None:
+    def _add_edge(self, store: dict[int, dict[int, Leg]], u: int, v: int,
+                  kind: str, path: tuple[int, ...] | None = None,
+                  weight: float | None = None) -> None:
         if u == v:
             return
         if weight is None:
@@ -176,7 +176,7 @@ class WaypointPlanner:
             rpath = tuple(reversed(path)) if path is not None else None
             store.setdefault(v, {})[u] = Leg(v, u, kind, rpath, weight)
 
-    def _visible_pairs(self, pairs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    def _visible_pairs(self, pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
         """Filter node-id pairs down to the mutually visible ones, batched.
 
         Semantically identical to calling :meth:`visible` per pair; the
@@ -259,8 +259,8 @@ class WaypointPlanner:
         dst: int,
         *,
         active_bays: Iterable[int] = (),
-        banned: Optional[Set[FrozenSet[int]]] = None,
-    ) -> Optional[WaypointPath]:
+        banned: set[frozenset[int]] | None = None,
+    ) -> WaypointPath | None:
         """Shortest waypoint path ``src → dst``.
 
         ``active_bays`` selects which bay vertex groups join the graph for
@@ -270,8 +270,8 @@ class WaypointPlanner:
         path exists (which, for a valid abstraction of a connected network,
         indicates the terminals are sealed inside an unmodelled pocket).
         """
-        active: Set[int] = set(self.base_vertices)
-        extra_edges: Dict[int, Dict[int, Leg]] = {}
+        active: set[int] = set(self.base_vertices)
+        extra_edges: dict[int, dict[int, Leg]] = {}
         for bay_id in active_bays:
             group = self.bay_groups.get(bay_id, [])
             active.update(group)
@@ -296,7 +296,7 @@ class WaypointPlanner:
 
         return self._dijkstra(src, dst, active, extra_edges, banned or set())
 
-    def _bay_visibility(self, bay_id: int) -> List[Leg]:
+    def _bay_visibility(self, bay_id: int) -> list[Leg]:
         if bay_id in self._bay_vis_cache:
             return self._bay_vis_cache[bay_id]
         if self._leg_cache is not None:
@@ -311,13 +311,13 @@ class WaypointPlanner:
         gset = set(group)
         # Unique unordered candidate pairs: group–group plus group–base
         # (a corner may appear in both sets; _add_edge dedups by weight).
-        candidates: List[Tuple[int, int]] = []
+        candidates: list[tuple[int, int]] = []
         for i, u in enumerate(group):
             candidates.extend((u, v) for v in group[i + 1 :] if v != u)
             candidates.extend(
                 (u, v) for v in self.base_vertices if v != u and v not in gset
             )
-        store: Dict[int, Dict[int, Leg]] = {}
+        store: dict[int, dict[int, Leg]] = {}
         for u, v in self._visible_pairs(candidates):
             self._add_edge(store, u, v, "chew")
         legs = [leg for m in store.values() for leg in m.values()]
@@ -330,15 +330,15 @@ class WaypointPlanner:
         self,
         src: int,
         dst: int,
-        active: Set[int],
-        extra_edges: Dict[int, Dict[int, Leg]],
-        banned: Set[FrozenSet[int]],
-    ) -> Optional[WaypointPath]:
+        active: set[int],
+        extra_edges: dict[int, dict[int, Leg]],
+        banned: set[frozenset[int]],
+    ) -> WaypointPath | None:
         def allowed(leg: Leg) -> bool:
             return leg.kind != "chew" or frozenset((leg.src, leg.dst)) not in banned
 
         def edges_of(u: int):
-            seen: Set[int] = set()
+            seen: set[int] = set()
             for v, leg in extra_edges.get(u, {}).items():
                 if v in active and allowed(leg):
                     seen.add(v)
@@ -347,10 +347,10 @@ class WaypointPlanner:
                 if v in active and v not in seen and allowed(leg):
                     yield leg
 
-        dist: Dict[int, float] = {src: 0.0}
-        prev: Dict[int, Leg] = {}
-        heap: List[Tuple[float, int]] = [(0.0, src)]
-        settled: Set[int] = set()
+        dist: dict[int, float] = {src: 0.0}
+        prev: dict[int, Leg] = {}
+        heap: list[tuple[float, int]] = [(0.0, src)]
+        settled: set[int] = set()
         while heap:
             d, u = heapq.heappop(heap)
             if u in settled:
@@ -366,7 +366,7 @@ class WaypointPlanner:
                     heapq.heappush(heap, (nd, leg.dst))
         if dst not in settled:
             return None
-        legs: List[Leg] = []
+        legs: list[Leg] = []
         cur = dst
         while cur != src:
             leg = prev[cur]

@@ -13,7 +13,7 @@ schedule that breaks a protocol is replayable as-is.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,15 +33,15 @@ def hole_boundary_targets(
     *,
     seed: int = 0,
     prefer_hull: bool = True,
-) -> List[int]:
+) -> list[int]:
     """Pick ``count`` crash victims on inner-hole boundaries.
 
     With ``prefer_hull`` (default) hull corners are drawn first — the nodes
     whose loss damages the abstraction most — then the remaining boundary.
     Deterministic in ``seed``.
     """
-    hull: List[int] = []
-    boundary: List[int] = []
+    hull: list[int] = []
+    boundary: list[int] = []
     for hole in abstraction.holes:
         if hole.is_outer:
             continue
@@ -51,7 +51,7 @@ def hole_boundary_targets(
     pools = [sorted(set(hull)), sorted(set(boundary))]
     if not prefer_hull:
         pools.reverse()
-    targets: List[int] = []
+    targets: list[int] = []
     for pool in pools:
         if len(targets) >= count or not pool:
             continue
@@ -68,8 +68,8 @@ def boundary_crash_plan(
     seed: int = 0,
     count: int = 1,
     at_round: int = 2,
-    recover_round: Optional[int] = None,
-    stage: Optional[str] = None,
+    recover_round: int | None = None,
+    stage: str | None = None,
     drop: float = 0.0,
     duplicate: float = 0.0,
     delay: float = 0.0,
@@ -99,7 +99,7 @@ def blackout_plan(
     seed: int = 0,
     start: int,
     end: int,
-    stage: Optional[str] = None,
+    stage: str | None = None,
     retries: int = 0,
 ) -> FaultPlan:
     """A long-range infrastructure outage over ``[start, end]`` of ``stage``.

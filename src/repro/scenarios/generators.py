@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class Scenario:
     """
 
     points: np.ndarray
-    hole_polygons: List[np.ndarray]
+    hole_polygons: list[np.ndarray]
     radius: float
     width: float
     height: float
@@ -70,7 +70,7 @@ class Scenario:
     def n(self) -> int:
         return len(self.points)
 
-    def udg(self) -> Dict[int, List[int]]:
+    def udg(self) -> dict[int, list[int]]:
         """Unit disk graph adjacency of the instance."""
         return unit_disk_graph(self.points, radius=self.radius)
 
@@ -84,7 +84,7 @@ def random_holes(
     shapes: Sequence[str] = ("rectangle", "polygon", "ellipse"),
     margin: float = 2.0,
     max_tries: int = 200,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Sample ``count`` hole polygons with pairwise-disjoint convex hulls.
 
     ``margin`` is the minimum clearance enforced between dilated hulls; it
@@ -92,8 +92,8 @@ def random_holes(
     to* the carved region, pushing the detected hulls slightly outward.
     Raises ``ValueError`` when the region cannot fit the requested holes.
     """
-    placed: List[np.ndarray] = []
-    hulls: List[np.ndarray] = []
+    placed: list[np.ndarray] = []
+    hulls: list[np.ndarray] = []
     tries = 0
     while len(placed) < count:
         tries += 1
@@ -137,7 +137,7 @@ def perturbed_grid_scenario(
     height: float = 20.0,
     spacing: float = 0.55,
     jitter: float = 0.1,
-    holes: Optional[Sequence[np.ndarray]] = None,
+    holes: Sequence[np.ndarray] | None = None,
     hole_count: int = 0,
     hole_scale: float = 3.0,
     hole_shapes: Sequence[str] = ("rectangle", "polygon", "ellipse"),
@@ -197,7 +197,7 @@ def poisson_scenario(
     width: float = 20.0,
     height: float = 20.0,
     n: int = 1500,
-    holes: Optional[Sequence[np.ndarray]] = None,
+    holes: Sequence[np.ndarray] | None = None,
     hole_count: int = 0,
     hole_scale: float = 3.0,
     seed: int = 0,

@@ -17,7 +17,7 @@ All generators return ``(k, 2)`` vertex arrays in counter-clockwise order.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -105,7 +105,7 @@ def star_hole(
 ) -> np.ndarray:
     """Star polygon alternating outer/inner radii — heavily non-convex, ccw."""
     cx, cy = center
-    pts: List[Tuple[float, float]] = []
+    pts: list[tuple[float, float]] = []
     for i in range(2 * spikes):
         r = outer if i % 2 == 0 else inner
         a = phase + math.pi * i / spikes
@@ -147,7 +147,7 @@ def crescent_hole(
 def l_with_pocket(
     corner: Sequence[float], arm: float = 7.0, thickness: float = 1.2,
     pocket: float = 1.4,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Two disjoint holes with **intersecting convex hulls** (§7 stress case).
 
     An L-shape plus a small rectangular hole tucked into the L's notch: the

@@ -12,7 +12,7 @@ keeping UDG(V) connected" assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 

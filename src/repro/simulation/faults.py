@@ -39,7 +39,7 @@ up as a clean, bounded failure instead of a hang.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from .messages import ADHOC, LONG_RANGE
 
@@ -122,14 +122,14 @@ class CrashEvent:
 
     node: int
     at_round: int = 1
-    recover_round: Optional[int] = None
-    stage: Optional[str] = None
+    recover_round: int | None = None
+    stage: str | None = None
 
     def __post_init__(self) -> None:
         if self.recover_round is not None and self.recover_round <= self.at_round:
             raise ValueError("recovery must happen strictly after the crash")
 
-    def applies_to(self, stage: Optional[str]) -> bool:
+    def applies_to(self, stage: str | None) -> bool:
         """Is this crash event active in the given pipeline stage?"""
         return self.stage is None or self.stage == stage
 
@@ -141,13 +141,13 @@ class Blackout:
 
     start: int
     end: int
-    stage: Optional[str] = None
+    stage: str | None = None
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError("blackout must end no earlier than it starts")
 
-    def applies_to(self, stage: Optional[str]) -> bool:
+    def applies_to(self, stage: str | None) -> bool:
         """Is this blackout active in the given pipeline stage?"""
         return self.stage is None or self.stage == stage
 
@@ -179,8 +179,8 @@ class FaultPlan:
     seed: int = 0
     adhoc: ChannelFaults = field(default_factory=ChannelFaults)
     long_range: ChannelFaults = field(default_factory=ChannelFaults)
-    crashes: Tuple[CrashEvent, ...] = ()
-    blackouts: Tuple[Blackout, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+    blackouts: tuple[Blackout, ...] = ()
     retries: int = 0
 
     def __post_init__(self) -> None:
@@ -209,7 +209,7 @@ class FaultPlan:
         raise ValueError(f"unknown channel {channel!r}")
 
     # -- probabilistic stream ----------------------------------------------------
-    def decide(self, channel: str, seq: int) -> Tuple[str, int]:
+    def decide(self, channel: str, seq: int) -> tuple[str, int]:
         """Fault decision for the ``seq``-th delivery attempt of a run.
 
         Returns ``(action, extra_rounds)`` where ``action`` is one of
@@ -231,14 +231,14 @@ class FaultPlan:
             return DELAY, extra
         return DELIVER, 0
 
-    def decisions(self, channel: str, n: int) -> List[Tuple[str, int]]:
+    def decisions(self, channel: str, n: int) -> list[tuple[str, int]]:
         """The first ``n`` decisions of the channel's stream (test hook)."""
         return [self.decide(channel, i) for i in range(n)]
 
     # -- scheduled events -------------------------------------------------------
     def crash_events_at(
-        self, round_no: int, stage: Optional[str]
-    ) -> Tuple[List[int], List[int]]:
+        self, round_no: int, stage: str | None
+    ) -> tuple[list[int], list[int]]:
         """Nodes crashing / recovering exactly at ``round_no`` in ``stage``."""
         crashed = [
             ev.node
@@ -253,24 +253,24 @@ class FaultPlan:
         return crashed, recovered
 
     def crash_schedule(
-        self, upto: int, stage: Optional[str] = None
-    ) -> Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        self, upto: int, stage: str | None = None
+    ) -> dict[int, tuple[tuple[int, ...], tuple[int, ...]]]:
         """Materialized ``round -> (crashes, recoveries)`` map (test hook)."""
-        out: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        out: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
         for r in range(upto + 1):
             c, rec = self.crash_events_at(r, stage)
             if c or rec:
                 out[r] = (tuple(sorted(c)), tuple(sorted(rec)))
         return out
 
-    def in_blackout(self, round_no: int, stage: Optional[str]) -> bool:
+    def in_blackout(self, round_no: int, stage: str | None) -> bool:
         """True when a long-range blackout covers ``round_no`` in ``stage``."""
         return any(
             b.applies_to(stage) and b.covers(round_no) for b in self.blackouts
         )
 
     # -- reporting --------------------------------------------------------------
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         """Flat summary of the plan's knobs (for CLI/bench tables)."""
         return {
             "seed": self.seed,

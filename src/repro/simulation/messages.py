@@ -19,7 +19,7 @@ constraints and the introduction rule, so a protocol that tries to cheat
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any
 
 __all__ = ["ADHOC", "LONG_RANGE", "Message", "payload_words"]
 
@@ -40,8 +40,8 @@ class Message:
     recipient: int
     channel: str
     kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    introduce: Tuple[int, ...] = ()
+    payload: dict[str, Any] = field(default_factory=dict)
+    introduce: tuple[int, ...] = ()
 
     @property
     def words(self) -> int:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from .messages import ADHOC, LONG_RANGE, Message
 
@@ -39,27 +38,27 @@ class MetricsCollector:
         self.adhoc = ChannelStats()
         self.long_range = ChannelStats()
         #: messages sent by each node over the whole run
-        self.sent_by_node: Dict[int, int] = defaultdict(int)
+        self.sent_by_node: dict[int, int] = defaultdict(int)
         #: words sent by each node over the whole run
-        self.words_by_node: Dict[int, int] = defaultdict(int)
+        self.words_by_node: dict[int, int] = defaultdict(int)
         #: maximum messages any single node sent in any single round
         self.max_node_round_messages: int = 0
-        self._this_round: Dict[int, int] = defaultdict(int)
+        self._this_round: dict[int, int] = defaultdict(int)
         #: injected-fault totals by kind (drop/duplicate/delay/crash_drop/
         #: blackout_defer/blackout_drop/lost/retry/crash/recover/
         #: recovery_round) — empty on fault-free runs
-        self.fault_counts: Dict[str, int] = defaultdict(int)
+        self.fault_counts: dict[str, int] = defaultdict(int)
         #: per-round snapshots of fault counts, one dict per closed round;
         #: two runs of the same seeded plan produce identical lists
-        self.faults_by_round: List[Dict[str, int]] = []
-        self._round_faults: Dict[str, int] = defaultdict(int)
+        self.faults_by_round: list[dict[str, int]] = []
+        self._round_faults: dict[str, int] = defaultdict(int)
         #: per-stage round/message/word rollups (pipeline runs only):
         #: stage -> {rounds, adhoc_messages, long_range_messages, words}
-        self.stage_rollups: Dict[str, Dict[str, int]] = {}
-        self._stage: Optional[str] = None
+        self.stage_rollups: dict[str, dict[str, int]] = {}
+        self._stage: str | None = None
         #: query-engine cache accounting: cache name -> {hits, misses}
         #: (empty unless a QueryEngine is wired to this collector)
-        self.cache_stats: Dict[str, Dict[str, int]] = {}
+        self.cache_stats: dict[str, dict[str, int]] = {}
 
     def begin_stage(self, name: str) -> None:
         """Attribute subsequent rounds/sends to the named pipeline stage."""
@@ -101,9 +100,9 @@ class MetricsCollector:
         row = self.cache_stats.setdefault(cache, {"hits": 0, "misses": 0})
         row["hits" if hit else "misses"] += 1
 
-    def cache_summary(self) -> Dict[str, Dict[str, float]]:
+    def cache_summary(self) -> dict[str, dict[str, float]]:
         """Hit/miss totals and hit rate per engine cache."""
-        out: Dict[str, Dict[str, float]] = {}
+        out: dict[str, dict[str, float]] = {}
         for name, row in sorted(self.cache_stats.items()):
             total = row["hits"] + row["misses"]
             out[name] = {
@@ -179,7 +178,7 @@ class MetricsCollector:
             mine_row["hits"] += row["hits"]
             mine_row["misses"] += row["misses"]
 
-    def fault_summary(self) -> Dict[str, int]:
+    def fault_summary(self) -> dict[str, int]:
         """Flat dict of injected-fault totals (all zero on clean runs)."""
         base = {
             "drop": 0,
@@ -197,7 +196,7 @@ class MetricsCollector:
         base.update(self.fault_counts)
         return base
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Flat dict of the headline numbers (for tables/benches)."""
         return {
             "rounds": self.rounds,

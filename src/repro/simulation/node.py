@@ -16,7 +16,7 @@ lossless model never pays for it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any
 
 from .messages import ADHOC, Message, payload_words
 
@@ -48,9 +48,9 @@ class NodeProcess:
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
-        neighbors: List[int],
-        neighbor_positions: Dict[int, Tuple[float, float]],
+        position: tuple[float, float],
+        neighbors: list[int],
+        neighbor_positions: dict[int, tuple[float, float]],
     ) -> None:
         self.node_id = node_id
         self.position = position
@@ -63,7 +63,7 @@ class NodeProcess:
     def start(self, ctx: "Context") -> None:
         """Called once before round 1; emit initial messages here."""
 
-    def on_round(self, ctx: "Context", inbox: List[Message]) -> None:
+    def on_round(self, ctx: "Context", inbox: list[Message]) -> None:
         """Process one synchronous round.  Override in protocol classes."""
         raise NotImplementedError
 
@@ -128,10 +128,10 @@ class ReliableLink:
         self._next_seq = 0
         #: seq -> (recipient, kind, payload, introduce, channel, last_sent
         #: round, attempts)
-        self._pending: Dict[int, Tuple[int, str, dict, Tuple[int, ...], str, int, int]] = {}
-        self._seen: Set[Tuple[int, int]] = set()
+        self._pending: dict[int, tuple[int, str, dict, tuple[int, ...], str, int, int]] = {}
+        self._seen: set[tuple[int, int]] = set()
         #: sequence numbers abandoned after ``max_attempts`` transmissions
-        self.dead: List[int] = []
+        self.dead: list[int] = []
 
     # -- sending ------------------------------------------------------------
     def send(
@@ -139,8 +139,8 @@ class ReliableLink:
         ctx: "Context",
         recipient: int,
         kind: str,
-        payload: Optional[dict] = None,
-        introduce: Tuple[int, ...] = (),
+        payload: dict | None = None,
+        introduce: tuple[int, ...] = (),
         channel: str = ADHOC,
     ) -> int:
         """Send with at-least-once semantics; returns the sequence number."""
@@ -153,20 +153,28 @@ class ReliableLink:
         self._dispatch(ctx, recipient, kind, body, tuple(introduce), channel)
         return seq
 
-    def _dispatch(self, ctx, recipient, kind, body, introduce, channel) -> None:
+    def _dispatch(
+        self,
+        ctx: "Context",
+        recipient: int,
+        kind: str,
+        body: dict | None,
+        introduce: tuple[int, ...],
+        channel: str,
+    ) -> None:
         if channel == ADHOC:
             ctx.send_adhoc(recipient, kind, body, introduce=introduce)
         else:
             ctx.send_long_range(recipient, kind, body, introduce=introduce)
 
     # -- receiving ----------------------------------------------------------
-    def on_inbox(self, ctx: "Context", inbox: List[Message]) -> List[Message]:
+    def on_inbox(self, ctx: "Context", inbox: list[Message]) -> list[Message]:
         """Consume acks, acknowledge + dedup reliable messages.
 
         Returns the application-visible inbox: plain messages untouched,
         reliable messages exactly once each.
         """
-        out: List[Message] = []
+        out: list[Message] = []
         for msg in inbox:
             if msg.kind == self.ACK_KIND:
                 self._pending.pop(msg.payload.get(self.SEQ_KEY), None)

@@ -25,7 +25,7 @@ delivery path is byte-identical to the lossless scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from .faults import DELAY, DROP, DUPLICATE, FaultPlan
 from .messages import ADHOC, LONG_RANGE, Message
 from .metrics import MetricsCollector
 from .node import NodeProcess
-from .tracing import TraceRecorder, payload_fingerprint
+from .tracing import FAULT_EVENTS, TraceRecorder, payload_fingerprint
 
 __all__ = ["Context", "HybridSimulator", "ModelViolation", "SimulationResult"]
 
@@ -56,7 +56,7 @@ class Context:
         self,
         recipient: int,
         kind: str,
-        payload: Optional[dict] = None,
+        payload: dict | None = None,
         introduce: Sequence[int] = (),
     ) -> None:
         """Send over a WiFi link to a current UDG neighbor."""
@@ -75,7 +75,7 @@ class Context:
         self,
         recipient: int,
         kind: str,
-        payload: Optional[dict] = None,
+        payload: dict | None = None,
         introduce: Sequence[int] = (),
     ) -> None:
         """Send over the global infrastructure to a known ID."""
@@ -94,11 +94,15 @@ class Context:
         """Account a protocol-level retransmission (ReliableLink resends)."""
         self._sim._fault("retry", node=self._node.node_id)
 
-    def trace(self, etype: str, **data) -> None:
-        """Emit a protocol-level trace event (no-op when tracing is off)."""
+    def trace(self, etype: str, **data: object) -> None:
+        """Emit a protocol-level trace event (no-op when tracing is off).
+
+        Event names are checked statically at every ``ctx.trace("...")``
+        call site (RPR004); this passthrough is the one dynamic funnel.
+        """
         sim = self._sim
         if sim.trace is not None:
-            sim.trace.emit(
+            sim.trace.emit(  # repro: noqa[RPR004] passthrough funnel; every call site is literal-checked
                 etype, round_no=sim.round_no, stage=sim.stage, **data
             )
 
@@ -119,12 +123,12 @@ class SimulationResult:
 
     def __init__(
         self,
-        nodes: Dict[int, NodeProcess],
+        nodes: dict[int, NodeProcess],
         metrics: MetricsCollector,
         completed: bool,
         timed_out: bool = False,
-        trace: Optional[TraceRecorder] = None,
-        stage: Optional[str] = None,
+        trace: TraceRecorder | None = None,
+        stage: str | None = None,
     ) -> None:
         self.nodes = nodes
         self.metrics = metrics
@@ -140,7 +144,7 @@ class SimulationResult:
     def rounds(self) -> int:
         return self.metrics.rounds
 
-    def fault_summary(self, verify: bool = True) -> Dict[str, int]:
+    def fault_summary(self, verify: bool = True) -> dict[str, int]:
         """Injected-fault totals for the run (all zero without a plan).
 
         When the run was traced, the counters are asserted against the
@@ -157,7 +161,7 @@ class SimulationResult:
             if observed != base:
                 diff = {
                     k: (base.get(k, 0), observed.get(k, 0))
-                    for k in set(base) | set(observed)
+                    for k in sorted(set(base) | set(observed))
                     if base.get(k, 0) != observed.get(k, 0)
                 }
                 raise AssertionError(
@@ -166,7 +170,7 @@ class SimulationResult:
                 )
         return base
 
-    def storage_by_node(self) -> Dict[int, int]:
+    def storage_by_node(self) -> dict[int, int]:
         """Per-node protocol state in words (Theorem 1.2 accounting)."""
         return {nid: node.storage_words() for nid, node in self.nodes.items()}
 
@@ -202,11 +206,11 @@ class HybridSimulator:
         self,
         points: Sequence[Sequence[float]],
         radius: float = 1.0,
-        adjacency: Optional[Adjacency] = None,
+        adjacency: Adjacency | None = None,
         strict: bool = True,
-        faults: Optional[FaultPlan] = None,
-        stage: Optional[str] = None,
-        trace: Optional[TraceRecorder] = None,
+        faults: FaultPlan | None = None,
+        stage: str | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         self.points = as_array(points)
         self.radius = radius
@@ -217,22 +221,22 @@ class HybridSimulator:
         )
         self.strict = strict
         self.round_no = 0
-        self.nodes: Dict[int, NodeProcess] = {}
+        self.nodes: dict[int, NodeProcess] = {}
         self.metrics = MetricsCollector()
-        self._outbox: List[Message] = []
-        self._inboxes: Dict[int, List[Message]] = {}
+        self._outbox: list[Message] = []
+        self._inboxes: dict[int, list[Message]] = {}
         # Null plans take the exact lossless code path (acceptance: byte-
         # identical metrics with an all-zero FaultPlan).
-        self.faults: Optional[FaultPlan] = (
+        self.faults: FaultPlan | None = (
             None if faults is None or faults.is_null() else faults
         )
         self.stage = stage
         self.trace = trace
         if stage is not None:
             self.metrics.begin_stage(stage)
-        self._crashed: Set[int] = set()
-        self._pending: List[_InFlight] = []
-        self._staged: Dict[int, List[Message]] = {}
+        self._crashed: set[int] = set()
+        self._pending: list[_InFlight] = []
+        self._staged: dict[int, list[Message]] = {}
         self._fault_seq = 0
 
     @property
@@ -240,15 +244,15 @@ class HybridSimulator:
         """True while any message is submitted, retrying, or staged."""
         return bool(self._outbox) or bool(self._pending) or bool(self._staged)
 
-    def crashed_nodes(self) -> Set[int]:
+    def crashed_nodes(self) -> set[int]:
         """The nodes currently silenced by the fault plan."""
         return set(self._crashed)
 
     # -- setup ----------------------------------------------------------------
     def spawn(
         self,
-        factory: Callable[[int, Tuple[float, float], List[int], Dict[int, Tuple[float, float]]], NodeProcess],
-        node_ids: Optional[Iterable[int]] = None,
+        factory: Callable[[int, tuple[float, float], list[int], dict[int, tuple[float, float]]], NodeProcess],
+        node_ids: Iterable[int] | None = None,
     ) -> None:
         """Instantiate a process on every node (or the given subset).
 
@@ -267,7 +271,7 @@ class HybridSimulator:
             self.nodes[nid] = factory(nid, pos, list(nbrs), nbr_pos)
 
     # -- tracing ------------------------------------------------------------
-    def _msg_fields(self, msg: Message) -> Dict[str, object]:
+    def _msg_fields(self, msg: Message) -> dict[str, object]:
         """The trace fields identifying one message (payload fingerprinted)."""
         return {
             "channel": msg.channel,
@@ -278,7 +282,13 @@ class HybridSimulator:
             "fp": payload_fingerprint(msg.payload),
         }
 
-    def _fault(self, kind: str, msg: Optional[Message] = None, count: int = 1, **extra) -> None:
+    def _fault(
+        self,
+        kind: str,
+        msg: Message | None = None,
+        count: int = 1,
+        **extra: object,
+    ) -> None:
         """Account one fault in the metrics AND the trace, in lockstep.
 
         Every fault counter increment flows through here, so the trace's
@@ -286,6 +296,8 @@ class HybridSimulator:
         drift apart — ``SimulationResult.fault_summary`` asserts exactly
         that equivalence.
         """
+        if kind not in FAULT_EVENTS:
+            raise ValueError(f"unregistered fault event kind {kind!r}")
         self.metrics.record_fault(kind, count)
         if self.trace is not None:
             data = dict(extra)
@@ -293,7 +305,7 @@ class HybridSimulator:
                 data.update(self._msg_fields(msg))
             if count != 1:
                 data["n"] = count
-            self.trace.emit(kind, round_no=self.round_no, stage=self.stage, **data)
+            self.trace.emit(kind, round_no=self.round_no, stage=self.stage, **data)  # repro: noqa[RPR004] kind is validated against FAULT_EVENTS just above
 
     # -- message handling -------------------------------------------------------
     def _submit(self, msg: Message) -> None:
@@ -370,7 +382,7 @@ class HybridSimulator:
             self._pending.append(_InFlight(msg, due=self.round_no))
         self._outbox = []
 
-        still: List[_InFlight] = []
+        still: list[_InFlight] = []
         for item in self._pending:
             if item.due > self.round_no:
                 still.append(item)
@@ -435,7 +447,7 @@ class HybridSimulator:
     def run(
         self,
         max_rounds: int = 10_000,
-        until: Optional[Callable[["HybridSimulator"], bool]] = None,
+        until: Callable[["HybridSimulator"], bool] | None = None,
         on_timeout: str = "raise",
     ) -> SimulationResult:
         """Run rounds until every node reports ``done`` (or ``until`` holds).

@@ -53,18 +53,24 @@ import time
 from collections import Counter, deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 __all__ = [
+    "EVENT_PREFIXES",
+    "EVENT_TYPES",
     "FAULT_EVENTS",
     "Divergence",
     "TraceEvent",
     "TraceRecorder",
     "digest_events",
+    "event_type_registered",
     "first_divergence",
     "format_divergence",
     "load_jsonl",
     "payload_fingerprint",
+    "register_event_type",
 ]
 
 #: Fault event types, exactly the counter keys of
@@ -88,6 +94,63 @@ FAULT_EVENTS = frozenset(
 
 #: JSON keys reserved for the event envelope; ``emit`` data may not use them.
 _RESERVED_KEYS = frozenset({"i", "r", "s", "ev"})
+
+#: The trace-schema registry: every event name an emission site may use.
+#: Rollups (:meth:`TraceRecorder.fault_counts`, ``message_rollup``) and the
+#: divergence tooling dispatch on these strings, and the RPR004 lint rule
+#: checks every ``emit``/``ctx.trace`` call site against this set — a typo'd
+#: name would otherwise silently fall out of every rollup.  Extend via
+#: :func:`register_event_type` (and document new names in
+#: ``docs/observability.md``).
+EVENT_TYPES: set[str] = set(
+    {
+        "round_begin",
+        "round_end",
+        "send",
+        "deliver",
+        "stage_begin",
+        "stage_end",
+        "stage_failed",
+        "arq_dead",
+        "engine_query",
+        "engine_invalidate",
+        "drop",
+        "duplicate",
+        "delay",
+        "crash_drop",
+        "blackout_defer",
+        "blackout_drop",
+        "lost",
+        "retry",
+        "crash",
+        "recover",
+        "recovery_round",
+    }
+)
+
+#: Registered event-name families: a name matching ``<prefix>*`` is legal.
+#: ``route_*`` covers the node-local routing decision events.
+EVENT_PREFIXES: set[str] = {"route_"}
+
+
+def register_event_type(name: str, *, prefix: bool = False) -> str:
+    """Register a new trace event name (or ``prefix=True`` family).
+
+    Returns ``name`` so registrations can double as constants::
+
+        EV_REBALANCE = register_event_type("rebalance")
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("event type must be a non-empty string")
+    (EVENT_PREFIXES if prefix else EVENT_TYPES).add(name)
+    return name
+
+
+def event_type_registered(name: str) -> bool:
+    """Is ``name`` a registered event type (exact or prefix-family match)?"""
+    return name in EVENT_TYPES or any(
+        name.startswith(p) for p in EVENT_PREFIXES
+    )
 
 
 def _canon(value: Any) -> Any:
@@ -141,12 +204,12 @@ class TraceEvent:
     seq: int
     round_no: int
     etype: str
-    stage: Optional[str] = None
-    data: Tuple[Tuple[str, Any], ...] = ()
+    stage: str | None = None
+    data: tuple[tuple[str, Any], ...] = ()
 
     def to_json(self) -> str:
         """The event's canonical JSONL line (no trailing newline)."""
-        obj: Dict[str, Any] = {"i": self.seq, "r": self.round_no, "ev": self.etype}
+        obj: dict[str, Any] = {"i": self.seq, "r": self.round_no, "ev": self.etype}
         if self.stage is not None:
             obj["s"] = self.stage
         obj.update(dict(self.data))
@@ -191,21 +254,21 @@ class TraceRecorder:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
-        self._events: deque = deque(maxlen=capacity)
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
         #: total events ever emitted (including evicted ones)
         self.total_events = 0
         #: events pushed out of the ring buffer
         self.evicted = 0
         #: wall-clock span samples as (name, seconds) — NOT part of the
         #: event stream or digest (wall-clock is nondeterministic)
-        self.spans: List[Tuple[str, float]] = []
+        self.spans: list[tuple[str, float]] = []
 
     # -- recording -----------------------------------------------------------
     def emit(
         self,
         etype: str,
         round_no: int = 0,
-        stage: Optional[str] = None,
+        stage: str | None = None,
         **data: Any,
     ) -> TraceEvent:
         """Append one event; extra keyword fields are canonicalized."""
@@ -228,11 +291,14 @@ class TraceRecorder:
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Wall-clock span timer (profiling hook; excluded from the digest)."""
-        t0 = time.perf_counter()
+        # Span timers are profiling hooks by design: they live outside the
+        # event stream and never enter the digest, so wall-clock is legal.
+        t0 = time.perf_counter()  # repro: noqa[RPR002] spans never enter the digest
         try:
             yield
         finally:
-            self.spans.append((name, time.perf_counter() - t0))
+            dt = time.perf_counter() - t0  # repro: noqa[RPR002] spans never enter the digest
+            self.spans.append((name, dt))
 
     def clear(self) -> None:
         """Drop all events, counters and spans."""
@@ -242,7 +308,7 @@ class TraceRecorder:
         self.spans = []
 
     # -- access ---------------------------------------------------------------
-    def events(self) -> List[TraceEvent]:
+    def events(self) -> list[TraceEvent]:
         """The retained events, oldest first."""
         return list(self._events)
 
@@ -261,7 +327,7 @@ class TraceRecorder:
         """SHA-256 hex digest of :meth:`to_jsonl` — the trace's identity."""
         return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
 
-    def export_jsonl(self, path) -> str:
+    def export_jsonl(self, path: str | Path) -> str:
         """Write the retained events to ``path``; returns the digest."""
         text = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as fh:
@@ -269,11 +335,11 @@ class TraceRecorder:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     # -- rollups ----------------------------------------------------------------
-    def counts_by_type(self) -> Dict[str, int]:
+    def counts_by_type(self) -> dict[str, int]:
         """Raw event counts per event type."""
         return dict(Counter(ev.etype for ev in self._events))
 
-    def fault_counts(self, stage: Any = "__all__") -> Dict[str, int]:
+    def fault_counts(self, stage: Any = "__all__") -> dict[str, int]:
         """Injected-fault totals derived from the event stream.
 
         Sums the optional ``n`` field (bulk events such as the crash-drop of
@@ -281,7 +347,7 @@ class TraceRecorder:
         the rollup to one pipeline stage (``None`` selects events emitted
         outside any stage); the default covers the whole trace.
         """
-        out: Counter = Counter()
+        out: Counter[str] = Counter()
         for ev in self._events:
             if ev.etype not in FAULT_EVENTS:
                 continue
@@ -290,7 +356,7 @@ class TraceRecorder:
             out[ev.etype] += int(ev.get("n", 1))
         return dict(out)
 
-    def message_rollup(self) -> Dict[Optional[str], Dict[str, int]]:
+    def message_rollup(self) -> dict[str | None, dict[str, int]]:
         """Per-stage send/deliver/word totals derived from the trace.
 
         Keys are stage names (``None`` for events outside a pipeline); each
@@ -298,7 +364,7 @@ class TraceRecorder:
         ``adhoc_sends`` and ``long_range_sends`` — the trace-side mirror of
         :attr:`MetricsCollector.stage_rollups`.
         """
-        out: Dict[Optional[str], Dict[str, int]] = {}
+        out: dict[str | None, dict[str, int]] = {}
         for ev in self._events:
             if ev.etype not in ("send", "deliver"):
                 continue
@@ -323,9 +389,9 @@ class TraceRecorder:
                 row["delivers"] += 1
         return out
 
-    def span_report(self) -> Dict[str, Dict[str, float]]:
+    def span_report(self) -> dict[str, dict[str, float]]:
         """Aggregate wall-clock spans: name -> {calls, seconds}."""
-        out: Dict[str, Dict[str, float]] = {}
+        out: dict[str, dict[str, float]] = {}
         for name, dt in self.spans:
             row = out.setdefault(name, {"calls": 0, "seconds": 0.0})
             row["calls"] += 1
@@ -338,9 +404,9 @@ class TraceRecorder:
 # ---------------------------------------------------------------------------
 
 
-def load_jsonl(path) -> List[TraceEvent]:
+def load_jsonl(path: str | Path) -> list[TraceEvent]:
     """Load an exported trace file back into events."""
-    events: List[TraceEvent] = []
+    events: list[TraceEvent] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -360,13 +426,13 @@ class Divergence:
     """The first position where two traces disagree."""
 
     index: int
-    expected: Optional[TraceEvent]
-    actual: Optional[TraceEvent]
+    expected: TraceEvent | None
+    actual: TraceEvent | None
 
 
 def first_divergence(
     expected: Sequence[TraceEvent], actual: Sequence[TraceEvent]
-) -> Optional[Divergence]:
+) -> Divergence | None:
     """First index where the two event streams differ, or ``None``.
 
     A missing tail (one trace shorter than the other) diverges at the

@@ -1,0 +1,33 @@
+"""Shared helpers for the lint fixture corpus.
+
+Each fixture file opens with a ``# lint-path: <virtual path>`` comment so
+the path-scoped rules (RPR001 protocols-only, RPR003 geometry/routing-only)
+see the file under the tree position it is meant to exercise, and bad
+fixtures carry ``# expect: CODE[,CODE...]`` naming the rule(s) they must
+trip.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+_LINT_PATH_RE = re.compile(r"#\s*lint-path:\s*(\S+)")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
+
+
+def load_fixture(name: str) -> tuple[str, str, set[str]]:
+    """Return ``(virtual_path, source_text, expected_codes)`` for a fixture."""
+    text = (FIXTURE_DIR / name).read_text(encoding="utf-8")
+    header = text.splitlines()[:3]
+    path_m = _LINT_PATH_RE.search("\n".join(header))
+    assert path_m is not None, f"{name} is missing its # lint-path: header"
+    expect_m = _EXPECT_RE.search("\n".join(header))
+    codes = (
+        {c.strip() for c in expect_m.group(1).split(",") if c.strip()}
+        if expect_m
+        else set()
+    )
+    return path_m.group(1), text, codes

@@ -1,0 +1,17 @@
+# lint-path: src/repro/protocols/fixture_determinism.py
+# expect: RPR002
+"""Known-bad: wall-clock, global RNG, and hash-ordered iteration."""
+import random
+import time
+
+import numpy as np
+
+
+def decide(xs):
+    stamp = time.time()
+    pick = random.choice(xs)
+    np.random.shuffle(xs)
+    order = []
+    for v in set(xs):
+        order.append(v)
+    return stamp, pick, order

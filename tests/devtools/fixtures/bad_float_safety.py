@@ -1,0 +1,11 @@
+# lint-path: src/repro/geometry/fixture_float.py
+# expect: RPR003
+"""Known-bad: raw sign tests on predicate quantities, float equality."""
+
+
+def classify(a, b, c, cross, x):
+    if cross(a, b, c) < 0.0:
+        return "cw"
+    if x == 1.0:
+        return "unit"
+    return "other"

@@ -1,0 +1,26 @@
+# lint-path: src/repro/analysis/fixture_generic.py
+# expect: RPR101,RPR102,RPR103
+"""Known-bad: mutable defaults, bare/swallowing excepts, eaten violations."""
+from repro.simulation.scheduler import ModelViolation
+
+
+def accumulate(x, acc=[], table={}, tags=set()):
+    acc.append(x)
+    table[x] = True
+    tags.add(x)
+    return acc
+
+
+def run_quietly(fn):
+    try:
+        fn()
+    except:
+        pass
+    try:
+        fn()
+    except Exception:
+        pass
+    try:
+        fn()
+    except ModelViolation:
+        pass

@@ -1,0 +1,12 @@
+# lint-path: src/repro/protocols/fixture_locality.py
+# expect: RPR001
+"""Known-bad: protocol code reaching across nodes and into the scheduler."""
+
+
+class CheatingProcess:
+    """Reads another node's state through the simulator's node table."""
+
+    def on_round(self, ctx, inbox):
+        other = ctx._sim.nodes[0]
+        self.best = other.knowledge
+        ctx._outbox.append("raw")

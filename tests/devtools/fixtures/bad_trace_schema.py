@@ -1,0 +1,12 @@
+# lint-path: src/repro/simulation/fixture_trace.py
+# expect: RPR004
+"""Known-bad: unregistered names, computed names, reserved/opaque payloads."""
+
+
+def emit_all(trace, ctx, name, payload):
+    trace.emit("sned", src=1)  # typo'd event name
+    trace.emit(name, src=1)  # computed event name
+    trace.emit("send", ev="x")  # reserved envelope key
+    trace.emit("send", **payload)  # opaque payload shape
+    trace.emit("send", cb=lambda: 1)  # unserializable payload
+    ctx.trace("launch", node=1)  # unregistered protocol event

@@ -1,0 +1,11 @@
+# lint-path: src/repro/protocols/fixture_determinism_ok.py
+"""Known-good: seeded generators and sorted iteration."""
+import numpy as np
+
+
+def decide(xs, seed):
+    rng = np.random.default_rng(seed)
+    pick = int(rng.integers(0, len(xs)))
+    order = [v for v in sorted(set(xs))]
+    member = 3 in set(xs)  # membership tests stay legal
+    return pick, order, member

@@ -1,0 +1,11 @@
+# lint-path: src/repro/geometry/fixture_float_ok.py
+"""Known-good: decisions through the EPS-aware predicate layer."""
+from repro.geometry.predicates import orientation
+
+
+def classify(a, b, c, x, eps):
+    if orientation(a, b, c) < 0:
+        return "cw"
+    if abs(x - 1.0) <= eps:
+        return "unit"
+    return "other"

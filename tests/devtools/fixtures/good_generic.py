@@ -1,0 +1,22 @@
+# lint-path: src/repro/analysis/fixture_generic_ok.py
+"""Known-good: None defaults, narrow handlers, violations propagate."""
+from repro.simulation.scheduler import ModelViolation
+
+
+def accumulate(x, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(x)
+    return acc
+
+
+def run_carefully(fn, log):
+    try:
+        fn()
+    except ValueError as exc:
+        log.append(str(exc))
+    try:
+        fn()
+    except ModelViolation:
+        log.append("violation")
+        raise

@@ -1,0 +1,17 @@
+# lint-path: src/repro/protocols/fixture_locality_ok.py
+"""Known-good: a process using only its own state plus the Context API,
+and a harness function reading results after the run (legal)."""
+
+
+class PoliteProcess:
+    """Communicates exclusively through the Context API."""
+
+    def on_round(self, ctx, inbox):
+        for msg in inbox:
+            self.seen = msg.sender
+        ctx.send_adhoc(1, "hello", {"x": 1})
+
+
+def extract_results(result):
+    """Harness-side extraction after the simulator stopped: allowed."""
+    return {nid: proc.done for nid, proc in result.nodes.items()}

@@ -1,0 +1,9 @@
+# lint-path: src/repro/simulation/fixture_trace_ok.py
+"""Known-good: registered names (exact and prefix-family), clean payloads."""
+
+
+def emit_all(trace, ctx, msg):
+    trace.emit("send", src=1, dst=2, words=3)
+    trace.emit("round_begin", round_no=1)
+    ctx.trace("route_launch", node=1, target=2)
+    ctx.trace("route_stuck", node=1)

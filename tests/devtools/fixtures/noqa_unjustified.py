@@ -1,0 +1,8 @@
+# lint-path: src/repro/simulation/fixture_noqa_bare.py
+# expect: RPR005
+"""Suppression without a justification: silenced, but RPR005 flags the gap."""
+import time
+
+
+def stamp():
+    return time.perf_counter()  # repro: noqa[RPR002]

@@ -1,0 +1,7 @@
+# lint-path: src/repro/simulation/fixture_noqa_unused.py
+# expect: RPR006
+"""Suppression that matches nothing on its line: flagged as stale."""
+
+
+def harmless():
+    return 1 + 1  # repro: noqa[RPR002] nothing here actually needs this

@@ -1,0 +1,84 @@
+"""CLI surface of ``repro lint``, plus the repo-wide cleanliness gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.devtools import lint_paths
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    f = tmp_path / "ok.py"
+    f.write_text("x = 1\n")
+    assert main(["lint", str(f)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_one(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text("def f(acc=[]):\n    return acc\n")
+    assert main(["lint", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR101" in out
+    assert f"{f}:1:" in out
+
+
+def test_lint_missing_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_lint_unknown_rule_exits_two(tmp_path, capsys):
+    f = tmp_path / "ok.py"
+    f.write_text("x = 1\n")
+    assert main(["lint", str(f), "--select", "RPR999"]) == 2
+    assert "RPR999" in capsys.readouterr().err
+
+
+def test_lint_select_filters(tmp_path):
+    f = tmp_path / "bad.py"
+    f.write_text("def f(acc=[]):\n    return acc\n")
+    assert main(["lint", str(f), "--select", "RPR102"]) == 0
+
+
+def test_lint_json_format(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text("def f(acc=[]):\n    return acc\n")
+    assert main(["lint", str(f), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts_by_code"] == {"RPR101": 1}
+
+
+def test_lint_github_format(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text("def f(acc=[]):\n    return acc\n")
+    assert main(["lint", str(f), "--format", "github"]) == 1
+    assert capsys.readouterr().out.startswith("::error file=")
+
+
+def test_lint_output_file_writes_json(tmp_path):
+    f = tmp_path / "bad.py"
+    f.write_text("def f(acc=[]):\n    return acc\n")
+    report_path = tmp_path / "report.json"
+    assert main(["lint", str(f), "--output", str(report_path)]) == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["findings"][0]["code"] == "RPR101"
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR101"):
+        assert code in out
+
+
+def test_repo_is_lint_clean():
+    """The acceptance gate: ``repro lint src`` exits 0 on the final tree."""
+    report = lint_paths([SRC_DIR])
+    assert report.diagnostics == [], [str(d) for d in report.diagnostics]
+    assert report.exit_code == 0
+    assert len(report.files) > 50  # sanity: the walk actually saw the tree

@@ -1,0 +1,98 @@
+"""Engine behavior: suppressions, meta-findings, selection, file walking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import iter_python_files, lint_paths, lint_source
+
+from .conftest import load_fixture
+
+
+def test_justified_noqa_suppresses_and_is_quiet():
+    path, text, _ = load_fixture("noqa_justified.py")
+    report = lint_source(path, text)
+    assert report.diagnostics == []
+    assert [d.code for d in report.suppressed] == ["RPR002"]
+    assert report.exit_code == 0
+
+
+def test_unjustified_noqa_still_suppresses_but_flags_rpr005():
+    path, text, _ = load_fixture("noqa_unjustified.py")
+    report = lint_source(path, text)
+    assert [d.code for d in report.diagnostics] == ["RPR005"]
+    assert [d.code for d in report.suppressed] == ["RPR002"]
+    assert report.exit_code == 1
+
+
+def test_unused_noqa_flags_rpr006():
+    path, text, _ = load_fixture("noqa_unused.py")
+    report = lint_source(path, text)
+    assert [d.code for d in report.diagnostics] == ["RPR006"]
+    assert report.suppressed == []
+
+
+def test_noqa_mentioned_in_docstring_is_not_a_suppression():
+    text = (
+        '"""Docs may show ``# repro: noqa[RPR002]`` without suppressing."""\n'
+        "import time\n\n\n"
+        "def f():\n"
+        "    return time.time()\n"
+    )
+    report = lint_source("src/repro/simulation/x.py", text)
+    assert [d.code for d in report.diagnostics] == ["RPR002"]
+
+
+def test_noqa_only_covers_its_own_line():
+    text = (
+        "import time\n\n\n"
+        "def f():\n"
+        "    # repro: noqa[RPR002] justification on the wrong line\n"
+        "    return time.time()\n"
+    )
+    report = lint_source("src/repro/simulation/x.py", text)
+    codes = sorted(d.code for d in report.diagnostics)
+    assert codes == ["RPR002", "RPR006"]
+
+
+def test_select_restricts_rules():
+    path, text, _ = load_fixture("bad_determinism.py")
+    report = lint_source(path, text, select=["RPR002"])
+    assert {d.code for d in report.diagnostics} == {"RPR002"}
+    none = lint_source(path, text, select=["RPR003"])
+    assert none.diagnostics == []
+
+
+def test_unknown_select_code_raises():
+    with pytest.raises(ValueError, match="RPR999"):
+        lint_paths(["src"], select=["RPR999"])
+
+
+def test_syntax_error_reports_rpr900():
+    report = lint_source("src/repro/broken.py", "def f(:\n")
+    assert [d.code for d in report.diagnostics] == ["RPR900"]
+    assert report.exit_code == 1
+
+
+def test_iter_python_files(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    a = tmp_path / "pkg" / "a.py"
+    a.write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.pyc").write_text("")
+    (tmp_path / "pkg" / "notes.txt").write_text("")
+    files = iter_python_files([tmp_path])
+    assert files == [a]
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "missing"])
+
+
+def test_lint_paths_merges_reports(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(acc=[]):\n    return acc\n")
+    report = lint_paths([tmp_path])
+    assert len(report.files) == 2
+    assert [d.code for d in report.diagnostics] == ["RPR101"]
+    assert report.counts_by_code() == {"RPR101": 1}

@@ -1,0 +1,46 @@
+"""Trace event registry: the vocabulary RPR004 checks emissions against."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.tracing import (
+    EVENT_PREFIXES,
+    EVENT_TYPES,
+    event_type_registered,
+    register_event_type,
+)
+
+
+def test_core_events_are_registered():
+    for name in ("round_begin", "send", "deliver", "stage_failed", "crash"):
+        assert event_type_registered(name)
+
+
+def test_prefix_family_matches():
+    assert "route_" in EVENT_PREFIXES
+    assert event_type_registered("route_launch")
+    assert event_type_registered("route_anything_new")
+
+
+def test_unknown_event_is_rejected():
+    assert not event_type_registered("sned")
+    assert not event_type_registered("")
+
+
+def test_register_event_type_exact_and_prefix():
+    assert not event_type_registered("fixture_event")
+    try:
+        register_event_type("fixture_event")
+        assert event_type_registered("fixture_event")
+        register_event_type("fx_", prefix=True)
+        assert event_type_registered("fx_probe")
+    finally:
+        EVENT_TYPES.discard("fixture_event")
+        EVENT_PREFIXES.discard("fx_")
+    assert not event_type_registered("fixture_event")
+
+
+def test_register_rejects_blank_name():
+    with pytest.raises(ValueError):
+        register_event_type("")

@@ -1,0 +1,62 @@
+"""Renderer tests: text, JSON, and GitHub annotation formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools import (
+    lint_source,
+    render_github,
+    render_json,
+    render_text,
+)
+
+from .conftest import load_fixture
+
+
+def _report():
+    path, text, _ = load_fixture("bad_generic.py")
+    return lint_source(path, text)
+
+
+def test_render_text_lines_and_statistics():
+    report = _report()
+    out = render_text(report, statistics=True)
+    first = out.splitlines()[0]
+    d = report.diagnostics[0]
+    assert first == f"{d.path}:{d.line}:{d.col}: {d.code} {d.message}"
+    assert f"{len(report.diagnostics)} finding(s)" in out
+    assert "RPR101:" in out
+
+
+def test_render_text_clean_report_prints_summary():
+    report = lint_source("src/repro/analysis/ok.py", "x = 1\n")
+    assert "0 finding(s) in 1 file(s)" in render_text(report)
+
+
+def test_render_json_round_trips():
+    report = _report()
+    payload = json.loads(render_json(report))
+    assert payload["files_checked"] == 1
+    assert len(payload["findings"]) == len(report.diagnostics)
+    codes = {f["code"] for f in payload["findings"]}
+    assert codes == {"RPR101", "RPR102", "RPR103"}
+    assert payload["counts_by_code"] == report.counts_by_code()
+    for f in payload["findings"]:
+        assert set(f) == {"path", "line", "col", "code", "message", "severity"}
+
+
+def test_render_github_annotation_shape():
+    report = _report()
+    lines = render_github(report).splitlines()
+    assert len(lines) == len(report.diagnostics)
+    d = report.diagnostics[0]
+    assert lines[0] == (
+        f"::error file={d.path},line={d.line},col={d.col},"
+        f"title={d.code}::{d.message}"
+    )
+
+
+def test_render_github_empty_for_clean_report():
+    report = lint_source("src/repro/analysis/ok.py", "x = 1\n")
+    assert render_github(report) == ""

@@ -80,7 +80,10 @@ def test_abstraction_invariants(params):
     sc = make(params)
     graph = build_ldel(sc.points)
     abst = build_abstraction(graph)
-    assert len([h for h in abst.holes if not h.is_outer]) == len(sc.hole_polygons)
+    # >= not ==: a randomly perturbed grid can pinch off a natural hole in
+    # addition to the ones the scenario carved deliberately (seen at
+    # seed=1968, where a quad face survived as a genuine inner hole).
+    assert len([h for h in abst.holes if not h.is_outer]) >= len(sc.hole_polygons)
     for hole in abst.holes:
         assert set(hole.hull) <= set(hole.boundary)
         for bay in hole.bays:
