@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from conftest import run_once
-from repro.analysis import make_instance, strategy_route_fn
+from repro.analysis import make_instance, run_sweep
 from repro.routing import HybridRouter, sample_pairs
 from repro.routing.competitiveness import evaluate_routing
 
@@ -23,6 +23,23 @@ SHAPES = [
 ]
 
 MODES = ("visibility", "delaunay", "hull")
+
+# Instances × structures as explicit sweep points; `label` and `mode` are
+# evaluate-side keys, the rest shape the instance.
+E8_POINTS = [
+    {
+        "width": 16.0,
+        "height": 16.0,
+        "hole_count": 2,
+        "hole_scale": 2.6,
+        "hole_shapes": shapes,
+        "seed": 15,
+        "label": label,
+        "mode": mode,
+    }
+    for label, shapes in SHAPES
+    for mode in MODES
+]
 
 
 def _edges_of(router):
@@ -60,44 +77,35 @@ def _hole_size_chain():
     return rows
 
 
-def _sweep():
-    rows = []
-    for label, shapes in SHAPES:
-        inst = make_instance(
-            width=16.0,
-            height=16.0,
-            hole_count=2,
-            hole_scale=2.6,
-            hole_shapes=shapes,
-            seed=15,
-        )
-        rng = np.random.default_rng(1)
-        pairs = sample_pairs(inst.n, 60, rng)
-        for mode in MODES:
-            router = HybridRouter(inst.abstraction, mode=mode)
+def _e8_row(inst, params):
+    """One ablation row (module-level so worker processes can unpickle it)."""
+    rng = np.random.default_rng(1)
+    pairs = sample_pairs(inst.n, 60, rng)
+    router = HybridRouter(inst.abstraction, mode=params["mode"])
 
-            def fn(s, t, router=router):
-                o = router.route(s, t)
-                return o.path, o.reached, o.case, o.used_fallback
+    def fn(s, t):
+        o = router.route(s, t)
+        return o.path, o.reached, o.case, o.used_fallback
 
-            rep = evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)
-            s = rep.summary()
-            rows.append(
-                {
-                    "holes": label,
-                    "structure": mode,
-                    "vertices": len(router.planner.base_vertices),
-                    "edges": _edges_of(router),
-                    "delivery": round(s["delivery_rate"], 3),
-                    "stretch_mean": round(s["stretch_mean"], 3),
-                    "stretch_max": round(s["stretch_max"], 3),
-                }
-            )
-    return rows
+    rep = evaluate_routing(inst.graph.points, inst.graph.udg, fn, pairs)
+    s = rep.summary()
+    return {
+        "holes": params["label"],
+        "structure": params["mode"],
+        "vertices": len(router.planner.base_vertices),
+        "edges": _edges_of(router),
+        "delivery": round(s["delivery_rate"], 3),
+        "stretch_mean": round(s["stretch_mean"], 3),
+        "stretch_max": round(s["stretch_max"], 3),
+    }
 
 
-def test_e8_abstraction_ablation(benchmark, report):
-    rows = run_once(benchmark, _sweep)
+def _sweep(workers=0):
+    return run_sweep(E8_POINTS, _e8_row, include_params=False, workers=workers)
+
+
+def test_e8_abstraction_ablation(benchmark, report, workers):
+    rows = run_once(benchmark, _sweep, workers)
     report(rows, title="E8: abstraction size vs routing quality (§4.1 trade-off)")
     for label, _ in SHAPES:
         sub = {r["structure"]: r for r in rows if r["holes"] == label}

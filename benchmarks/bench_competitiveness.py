@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from conftest import run_once
-from repro.analysis import evaluate_strategy, make_instance
+from repro.analysis import evaluate_strategy, make_instance, run_sweep
 
 SWEEP = [
     dict(width=12.0, height=12.0, hole_count=2, hole_scale=2.0, seed=1),
@@ -25,26 +25,34 @@ SWEEP = [
 
 STRATEGIES = ("hull", "greedy", "greedy_face", "goafr")
 
+# E1 as an explicit sweep-point list (instances × strategies; `strategy`
+# is an evaluate-side key, not a make_instance keyword).
+E1_POINTS = [
+    {**params, "strategy": strategy}
+    for params in SWEEP
+    for strategy in STRATEGIES
+]
 
-def _run_sweep():
-    rows = []
-    for params in SWEEP:
-        inst = make_instance(**params)
-        for strategy in STRATEGIES:
-            rep = evaluate_strategy(inst, strategy, pair_count=80, seed=5)
-            s = rep.summary()
-            rows.append(
-                {
-                    "n": inst.n,
-                    "holes": params["hole_count"],
-                    "strategy": strategy,
-                    "delivery": round(s["delivery_rate"], 3),
-                    "stretch_mean": round(s["stretch_mean"], 3),
-                    "stretch_p95": round(s["stretch_p95"], 3),
-                    "stretch_max": round(s["stretch_max"], 3),
-                }
-            )
-    return rows
+
+def _e1_row(inst, params):
+    """One E1 table row (module-level so worker processes can unpickle it)."""
+    rep = evaluate_strategy(inst, params["strategy"], pair_count=80, seed=5)
+    s = rep.summary()
+    return {
+        "n": inst.n,
+        "holes": params["hole_count"],
+        "strategy": params["strategy"],
+        "delivery": round(s["delivery_rate"], 3),
+        "stretch_mean": round(s["stretch_mean"], 3),
+        "stretch_p95": round(s["stretch_p95"], 3),
+        "stretch_max": round(s["stretch_max"], 3),
+    }
+
+
+def _run_sweep(workers=0):
+    return run_sweep(
+        E1_POINTS, _e1_row, include_params=False, workers=workers
+    )
 
 
 def _run_crossing_pairs():
@@ -85,8 +93,8 @@ def _run_crossing_pairs():
     return rows
 
 
-def test_e1_competitiveness(benchmark, report):
-    rows = run_once(benchmark, _run_sweep)
+def test_e1_competitiveness(benchmark, report, workers):
+    rows = run_once(benchmark, _run_sweep, workers)
     report(rows, title="E1: competitiveness — hull abstraction vs online baselines")
 
     by = {}

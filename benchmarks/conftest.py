@@ -5,23 +5,85 @@ paper's evaluation section (see DESIGN.md's per-experiment index and
 EXPERIMENTS.md for recorded results).  Tables are written straight to the
 terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
 output is self-contained.
+
+Every reported table is also persisted as a ``BENCH_<module>.json``
+artifact under ``bench-artifacts/`` (one file per benchmark module, one
+entry per test), so CI runs leave a machine-readable perf trajectory
+behind.  ``pytest benchmarks/... --workers N`` fans sweep-based
+benchmarks out over N worker processes via the parallel executor
+(``repro.analysis.executor``); rows are identical to the serial run.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.tables import format_table
 
+ARTIFACT_DIR = Path("bench-artifacts")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=0,
+        help="worker processes for sweep-based benchmarks (0 = serial)",
+    )
+
 
 @pytest.fixture()
-def report(capsys):
-    """Print a result table to the real terminal."""
+def workers(request):
+    """Worker-process count from ``--workers`` (0 = serial)."""
+    return request.config.getoption("--workers")
+
+
+def _json_cell(value):
+    tolist = getattr(value, "tolist", None)
+    return tolist() if callable(tolist) else value
+
+
+def _write_artifact(module_name, test_name, title, rows, workers_opt):
+    """Merge one reported table into the module's BENCH_*.json artifact."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    name = module_name.removeprefix("bench_")
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload[test_name] = {
+        "title": title,
+        "workers": workers_opt,
+        "rows": [
+            {k: _json_cell(v) for k, v in row.items()} for row in rows
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture()
+def report(capsys, request):
+    """Print a result table to the real terminal and persist it as a
+    ``bench-artifacts/BENCH_<module>.json`` entry."""
 
     def _report(rows, columns=None, title=None):
         with capsys.disabled():
             print()
             print(format_table(rows, columns, title))
+        _write_artifact(
+            request.node.module.__name__,
+            request.node.name,
+            title,
+            list(rows),
+            request.config.getoption("--workers"),
+        )
 
     return _report
 

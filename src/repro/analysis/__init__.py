@@ -1,13 +1,24 @@
 """Experiment harness utilities shared by the benchmark suite."""
 
+from .executor import (
+    CheckpointMismatch,
+    SweepPointError,
+    run_sweep_parallel,
+)
 from .experiments import (
     Instance,
     STRATEGIES,
+    clear_instance_cache,
+    competitiveness_row,
     evaluate_strategy,
+    instance_cache_info,
+    instance_summary_row,
     make_instance,
+    set_instance_cache_size,
+    split_instance_params,
     strategy_route_fn,
 )
-from .sweeps import grid_points, run_sweep
+from .sweeps import grid_points, run_sweep, sweep_points
 from .tables import format_table, print_table
 from .viz import SvgCanvas, render_scene
 
@@ -16,9 +27,19 @@ __all__ = [
     "STRATEGIES",
     "evaluate_strategy",
     "make_instance",
+    "set_instance_cache_size",
+    "instance_cache_info",
+    "clear_instance_cache",
+    "split_instance_params",
+    "instance_summary_row",
+    "competitiveness_row",
     "strategy_route_fn",
     "grid_points",
+    "sweep_points",
     "run_sweep",
+    "run_sweep_parallel",
+    "SweepPointError",
+    "CheckpointMismatch",
     "format_table",
     "print_table",
     "SvgCanvas",

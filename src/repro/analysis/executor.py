@@ -1,0 +1,470 @@
+"""Parallel, checkpointed sweep/benchmark executor.
+
+:func:`run_sweep_parallel` evaluates a parameter grid over a pool of worker
+processes while preserving the serial harness's contract exactly:
+
+* **Deterministic output** — rows are merged back in grid order no matter
+  which worker finished first, so ``workers=N`` returns rows identical
+  (order *and* content) to the serial path, including ``infeasible``
+  marker rows.
+* **Per-worker instance caches** — each worker process owns a bounded LRU
+  of built instances (see ``experiments._InstanceCache``); nothing is
+  shared or locked across processes.  The cache resets whenever the pool
+  is (re)spawned.
+* **Robustness** — each grid point gets a wall-clock ``timeout`` (enforced
+  inside the worker via ``SIGALRM``) and a retry budget; a worker process
+  dying (OOM, segfault) breaks only its own chunk, which is re-dispatched
+  to a fresh pool.  A point that keeps failing raises
+  :class:`SweepPointError` naming it.
+* **Checkpointing** — with ``checkpoint=PATH`` every completed row is
+  appended to a JSONL file as it arrives; ``resume=True`` restores those
+  rows and evaluates only the missing grid points.  The file's header
+  carries a digest of the grid so a checkpoint can never silently resume
+  a *different* sweep.  A truncated final line (crash mid-write) is
+  ignored.
+
+The format and guarantees are documented in ``docs/parallel_execution.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import IO, Any
+
+from ..scenarios.generators import InfeasibleScenario
+from ..simulation.metrics import ExecutorTelemetry
+from .experiments import (
+    Instance,
+    make_instance,
+    set_instance_cache_size,
+    split_instance_params,
+)
+from .sweeps import infeasible_row, merge_row, sweep_points
+
+__all__ = [
+    "run_sweep_parallel",
+    "SweepPointError",
+    "CheckpointMismatch",
+    "checkpoint_digest",
+]
+
+CHECKPOINT_KIND = "repro-sweep-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class SweepPointError(RuntimeError):
+    """A grid point exhausted its retry budget (error, timeout or crash)."""
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint on disk belongs to a different sweep (digest/total)."""
+
+
+# -- worker side -------------------------------------------------------------
+# Worker state is installed once per process by the pool initializer; tasks
+# then only carry (index, params) pairs.  With the fork start method the
+# instance cache a worker inherits is a snapshot of the parent's, after
+# which each worker's cache (and its LRU bound) evolves independently.
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+class _PointTimeout(Exception):
+    """Internal: a point exceeded its per-point wall-clock budget."""
+
+
+@contextmanager
+def _deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`_PointTimeout` if the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM``, which is only available on the main thread of a POSIX
+    process — exactly where pool workers run their tasks.  On platforms
+    without it the deadline is a no-op (the retry budget still applies to
+    errors and crashes).
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum: int, frame: Any) -> None:
+        raise _PointTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _init_worker(state: dict[str, Any]) -> None:
+    """Pool initializer: install the sweep configuration in this process."""
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+    if state.get("cache_size") is not None:
+        set_instance_cache_size(state["cache_size"])
+
+
+def _eval_point(
+    state: Mapping[str, Any], index: int, params: dict[str, Any]
+) -> tuple[int, str, Any, float]:
+    """Evaluate one grid point; never raises (outcomes travel as values).
+
+    Returns ``(index, status, payload, seconds)`` where status is one of
+    ``ok`` / ``infeasible`` (payload: the row), ``timeout`` (payload:
+    None) or ``error`` (payload: exception type name, message, traceback —
+    re-raised by the parent once the retry budget is spent).
+    """
+    t0 = time.perf_counter()
+    try:
+        with _deadline(state["timeout"]):
+            inst_kwargs, _ = split_instance_params(params)
+            inst = make_instance(
+                **{**state["base_inst"], **inst_kwargs},
+                mutable=state["mutable"],
+            )
+            result = state["evaluate"](inst, {**state["base_extra"], **params})
+        row = merge_row(params, result, state["include_params"])
+        return (index, "ok", row, time.perf_counter() - t0)
+    except InfeasibleScenario as exc:
+        dt = time.perf_counter() - t0
+        if not state["skip_infeasible"]:
+            return (index, "error", _describe(exc), dt)
+        return (
+            index,
+            "infeasible",
+            infeasible_row(params, state["include_params"]),
+            dt,
+        )
+    except _PointTimeout:
+        return (index, "timeout", None, time.perf_counter() - t0)
+    except Exception as exc:
+        # Not swallowed: the description travels to the parent, which
+        # re-raises it as SweepPointError once the retry budget is spent.
+        return (index, "error", _describe(exc), time.perf_counter() - t0)
+
+
+def _describe(exc: BaseException) -> tuple[str, str, str]:
+    return (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+def _run_chunk(
+    tasks: list[tuple[int, dict[str, Any]]],
+) -> list[tuple[int, str, Any, float]]:
+    """Worker entry point: evaluate a chunk of grid points."""
+    return [_eval_point(_WORKER_STATE, i, p) for i, p in tasks]
+
+
+# -- checkpoint format -------------------------------------------------------
+
+
+def _json_default(obj: Any) -> Any:
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy scalars and arrays
+        return tolist()
+    raise TypeError(f"checkpoint rows must be JSON-serializable, got {type(obj)!r}")
+
+
+def checkpoint_digest(
+    points: Sequence[Mapping[str, Any]],
+    base: Mapping[str, Any],
+    include_params: bool,
+) -> str:
+    """Content digest identifying a sweep (grid points + fixed params)."""
+    payload = json.dumps(
+        {
+            "points": [dict(p) for p in points],
+            "base": dict(base),
+            "include_params": include_params,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _write_header(fh: IO[str], digest: str, total: int) -> None:
+    fh.write(
+        json.dumps(
+            {
+                "kind": CHECKPOINT_KIND,
+                "version": CHECKPOINT_VERSION,
+                "digest": digest,
+                "total": total,
+            },
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    fh.flush()
+
+
+def _append_row(fh: IO[str], index: int, status: str, row: dict[str, Any]) -> None:
+    # No sort_keys: a restored row must keep the key order the evaluate
+    # produced (JSON objects round-trip in insertion order).
+    fh.write(
+        json.dumps(
+            {"index": index, "status": status, "row": row},
+            default=_json_default,
+        )
+        + "\n"
+    )
+    fh.flush()
+
+
+def _load_checkpoint(
+    path: str, digest: str, total: int
+) -> dict[int, dict[str, Any]]:
+    """Completed rows by grid index; validates the header, tolerates a
+    truncated trailing line."""
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise CheckpointMismatch(f"{path}: unreadable checkpoint header") from exc
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointMismatch(f"{path}: not a sweep checkpoint")
+    if header.get("digest") != digest or header.get("total") != total:
+        raise CheckpointMismatch(
+            f"{path}: checkpoint was written by a different sweep "
+            f"(digest {header.get('digest')} != {digest}); refusing to resume"
+        )
+    rows: dict[int, dict[str, Any]] = {}
+    for line in lines[1:]:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            break  # crash mid-write: ignore the torn tail
+        idx = rec.get("index")
+        if isinstance(idx, int) and 0 <= idx < total and "row" in rec:
+            rows[idx] = rec["row"]
+    return rows
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _chunked(items: Sequence[int], size: int) -> Iterator[list[int]]:
+    for start in range(0, len(items), size):
+        yield list(items[start : start + size])
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Fork keeps worker start cheap and lets evaluates defined in __main__
+    # or test modules unpickle (the module is already imported in the
+    # child); fall back to the platform default elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep_parallel(
+    grid: Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]],
+    evaluate: Callable[[Instance, dict[str, Any]], dict[str, Any]],
+    *,
+    base: Mapping[str, Any] | None = None,
+    include_params: bool = True,
+    skip_infeasible: bool = True,
+    mutable: bool = False,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    telemetry: ExecutorTelemetry | None = None,
+    cache_size: int | None = None,
+) -> list[dict[str, Any]]:
+    """Evaluate a sweep over ``workers`` processes with checkpointing.
+
+    Same contract as :func:`repro.analysis.sweeps.run_sweep` (which
+    delegates here); see the module docstring for the executor-specific
+    guarantees.  ``workers <= 1`` runs in-process but still honors
+    ``timeout``, ``retries`` and ``checkpoint``.  ``cache_size`` bounds
+    each worker's per-process instance LRU (default: inherit).
+    """
+    points = sweep_points(grid)
+    base_params = dict(base or {})
+    base_inst, base_extra = split_instance_params(base_params)
+    tele = telemetry if telemetry is not None else ExecutorTelemetry()
+    tele.workers = max(1, int(workers))
+    tele.rows_total = len(points)
+
+    digest = checkpoint_digest(points, base_params, include_params)
+    results: dict[int, dict[str, Any]] = {}
+    ck_fh: IO[str] | None = None
+    if checkpoint is not None:
+        path = os.fspath(checkpoint)
+        if resume and os.path.exists(path):
+            results = _load_checkpoint(path, digest, len(points))
+            ck_fh = open(path, "a", encoding="utf-8")
+        else:
+            ck_fh = open(path, "w", encoding="utf-8")
+            _write_header(ck_fh, digest, len(points))
+    tele.rows_from_checkpoint = len(results)
+
+    state = {
+        "evaluate": evaluate,
+        "include_params": include_params,
+        "skip_infeasible": skip_infeasible,
+        "mutable": mutable,
+        "timeout": timeout,
+        "base_inst": base_inst,
+        "base_extra": base_extra,
+        "cache_size": cache_size,
+    }
+    todo = [i for i in range(len(points)) if i not in results]
+    attempts: dict[int, int] = {}
+
+    def record(index: int, status: str, payload: Any, seconds: float) -> bool:
+        """Fold one point outcome in; True means the point must be retried."""
+        tele.busy_seconds += seconds
+        if status in ("ok", "infeasible"):
+            if status == "infeasible":
+                tele.infeasible_rows += 1
+            results[index] = payload
+            tele.rows_completed += 1
+            if ck_fh is not None:
+                _append_row(ck_fh, index, status, payload)
+            return False
+        if status == "timeout":
+            tele.timeouts += 1
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] <= retries:
+            tele.retries += 1
+            return True
+        if status == "timeout":
+            raise SweepPointError(
+                f"grid point {index} ({points[index]}) exceeded the "
+                f"{timeout}s timeout on all {attempts[index]} attempt(s)"
+            )
+        exc_type, exc_msg, exc_tb = payload
+        raise SweepPointError(
+            f"grid point {index} ({points[index]}) failed with "
+            f"{exc_type}: {exc_msg}\n{exc_tb}"
+        )
+
+    t0 = time.perf_counter()
+    try:
+        if todo and tele.workers <= 1:
+            _run_inline(state, points, todo, record)
+        elif todo:
+            _run_pool(
+                state,
+                points,
+                todo,
+                record,
+                workers=tele.workers,
+                chunk_size=chunk_size,
+                retries=retries,
+                attempts=attempts,
+                telemetry=tele,
+            )
+    finally:
+        tele.wall_seconds += time.perf_counter() - t0
+        if ck_fh is not None:
+            ck_fh.close()
+    return [results[i] for i in range(len(points))]
+
+
+def _run_inline(
+    state: dict[str, Any],
+    points: Sequence[dict[str, Any]],
+    todo: Sequence[int],
+    record: Callable[[int, str, Any, float], bool],
+) -> None:
+    """Single-process execution (still with timeout/retry/checkpoint)."""
+    for index in todo:
+        while record(*_eval_point(state, index, points[index])):
+            pass
+
+
+def _run_pool(
+    state: dict[str, Any],
+    points: Sequence[dict[str, Any]],
+    todo: Sequence[int],
+    record: Callable[[int, str, Any, float], bool],
+    *,
+    workers: int,
+    chunk_size: int | None,
+    retries: int,
+    attempts: dict[int, int],
+    telemetry: ExecutorTelemetry,
+) -> None:
+    """Fan the work list out over a process pool, surviving worker deaths."""
+    size = chunk_size or max(1, math.ceil(len(todo) / (workers * 4)))
+    ctx = _pool_context()
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(state,),
+        )
+
+    pool = new_pool()
+    inflight: dict[Future, list[int]] = {}
+
+    def submit(indices: list[int]) -> None:
+        tasks = [(i, points[i]) for i in indices]
+        inflight[pool.submit(_run_chunk, tasks)] = indices
+
+    try:
+        for chunk in _chunked(list(todo), size):
+            submit(chunk)
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for fut in done:
+                indices = inflight.pop(fut)
+                try:
+                    outcomes = fut.result()
+                except BrokenProcessPool:
+                    # A worker died mid-chunk (OOM, segfault, hard kill).
+                    # Everything in flight on the dead pool is lost; only
+                    # the chunk whose future surfaced the crash is charged
+                    # an attempt — it contains the likely culprit, and is
+                    # re-dispatched one point at a time to isolate it.
+                    survivors: list[int] = []
+                    for other in list(inflight):
+                        survivors.extend(inflight.pop(other))
+                    for i in indices:
+                        attempts[i] = attempts.get(i, 0) + 1
+                        if attempts[i] > retries:
+                            raise SweepPointError(
+                                f"worker process died evaluating grid point "
+                                f"{i} ({points[i]}) on all "
+                                f"{attempts[i]} attempt(s)"
+                            ) from None
+                        telemetry.retries += 1
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = new_pool()
+                    for i in indices:
+                        submit([i])
+                    for chunk in _chunked(survivors, size):
+                        submit(chunk)
+                    pool_broken = True
+                    break
+                for outcome in outcomes:
+                    if record(*outcome):
+                        submit([outcome[0]])
+            if pool_broken:
+                continue
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -8,10 +8,12 @@ parameters in, printed table out.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from functools import lru_cache
-from collections.abc import Callable, Sequence
+import copy
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping
+from typing import Any
 
 import numpy as np
 
@@ -23,7 +25,6 @@ from ..routing import (
     evaluate_routing,
     greedy_face_route,
     greedy_route,
-    hull_router,
     sample_pairs,
 )
 from ..routing.competitiveness import CompetitivenessReport
@@ -32,6 +33,12 @@ from ..scenarios import Scenario, perturbed_grid_scenario
 __all__ = [
     "Instance",
     "make_instance",
+    "split_instance_params",
+    "set_instance_cache_size",
+    "instance_cache_info",
+    "clear_instance_cache",
+    "instance_summary_row",
+    "competitiveness_row",
     "strategy_route_fn",
     "evaluate_strategy",
     "STRATEGIES",
@@ -51,7 +58,90 @@ class Instance:
         return self.scenario.n
 
 
-_CACHE: dict[tuple, Instance] = {}
+class _InstanceCache:
+    """Bounded LRU over built instances.
+
+    The cache is **per process**: each sweep-executor worker builds its own
+    (a forked child starts with a copy of the parent's, then diverges), so
+    workers never contend on one shared table.  Bounding it keeps a long
+    multi-sweep run from pinning every instance it ever built in memory.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[tuple, Instance] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Instance | None:
+        inst = self._data.get(key)
+        if inst is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return inst
+
+    def put(self, key: tuple, inst: Instance) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[key] = inst
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def resize(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        while len(self._data) > max(maxsize, 0):
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def info(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_DEFAULT_CACHE_SIZE = 32
+
+
+def _env_cache_size() -> int:
+    raw = os.environ.get("REPRO_INSTANCE_CACHE_SIZE", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return _DEFAULT_CACHE_SIZE
+
+
+_CACHE = _InstanceCache(_env_cache_size())
+
+
+def set_instance_cache_size(maxsize: int) -> None:
+    """Bound the per-process instance cache (0 disables caching).
+
+    The default is 32 instances, overridable via the
+    ``REPRO_INSTANCE_CACHE_SIZE`` environment variable.
+    """
+    _CACHE.resize(int(maxsize))
+
+
+def instance_cache_info() -> dict[str, int]:
+    """Size/hit/miss/eviction counters of the per-process instance cache."""
+    return _CACHE.info()
+
+
+def clear_instance_cache() -> None:
+    """Drop every cached instance (counters are kept)."""
+    _CACHE.clear()
 
 
 def make_instance(
@@ -62,25 +152,62 @@ def make_instance(
     seed: int = 0,
     spacing: float = 0.55,
     hole_shapes: tuple[str, ...] = ("rectangle", "polygon", "ellipse"),
+    *,
+    mutable: bool = False,
 ) -> Instance:
-    """Build (and cache) a perturbed-grid instance with its abstraction."""
-    key = (width, height, hole_count, hole_scale, seed, spacing, hole_shapes)
-    if key in _CACHE:
-        return _CACHE[key]
-    sc = perturbed_grid_scenario(
-        width=width,
-        height=height,
-        hole_count=hole_count,
-        hole_scale=hole_scale,
-        seed=seed,
-        spacing=spacing,
-        hole_shapes=hole_shapes,
-    )
-    graph = build_ldel(sc.points)
-    abst = build_abstraction(graph)
-    inst = Instance(scenario=sc, graph=graph, abstraction=abst)
-    _CACHE[key] = inst
+    """Build (and cache) a perturbed-grid instance with its abstraction.
+
+    Instances are cached in a bounded per-process LRU keyed by the build
+    parameters, so repeated sweeps over the same grid share construction
+    work.  The cached object is shared — callers must treat it as
+    **read-only**.  Pass ``mutable=True`` to receive a deep copy instead
+    (copy-on-return): mobility or churn evaluations that move node
+    positions then mutate their private copy and cannot corrupt later
+    sweep rows that hit the same cache key.
+    """
+    key = (width, height, hole_count, hole_scale, seed, spacing, tuple(hole_shapes))
+    inst = _CACHE.get(key)
+    if inst is None:
+        sc = perturbed_grid_scenario(
+            width=width,
+            height=height,
+            hole_count=hole_count,
+            hole_scale=hole_scale,
+            seed=seed,
+            spacing=spacing,
+            hole_shapes=hole_shapes,
+        )
+        graph = build_ldel(sc.points)
+        abst = build_abstraction(graph)
+        inst = Instance(scenario=sc, graph=graph, abstraction=abst)
+        _CACHE.put(key, inst)
+    if mutable:
+        return copy.deepcopy(inst)
     return inst
+
+
+#: ``make_instance`` keywords — everything else in a grid point is an
+#: evaluate-side parameter (e.g. ``strategy``) passed through untouched.
+_INSTANCE_KEYS = frozenset(
+    {
+        "width",
+        "height",
+        "hole_count",
+        "hole_scale",
+        "seed",
+        "spacing",
+        "hole_shapes",
+    }
+)
+
+
+def split_instance_params(
+    params: Mapping[str, Any],
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Split sweep parameters into ``make_instance`` kwargs and the rest."""
+    inst_kwargs = {k: v for k, v in params.items() if k in _INSTANCE_KEYS}
+    extra = {k: v for k, v in params.items() if k not in _INSTANCE_KEYS}
+    return inst_kwargs, extra
 
 
 def strategy_route_fn(
@@ -162,3 +289,44 @@ def evaluate_strategy(
     return evaluate_routing(
         inst.graph.points, inst.graph.udg, fn, pairs, engine=engine
     )
+
+
+# -- sweep evaluates ---------------------------------------------------------
+# Module-level (hence picklable) evaluate functions for `run_sweep`: the
+# parallel executor ships the evaluate to worker processes, so lambdas and
+# closures cannot be used there.  `functools.partial` over these works.
+
+
+def instance_summary_row(inst: Instance, params: dict[str, Any]) -> dict[str, Any]:
+    """Cheap structural row: node/hole/hull-corner counts."""
+    inner = [h for h in inst.abstraction.holes if not h.is_outer]
+    return {
+        "n": inst.n,
+        "holes": len(inner),
+        "hull_corners": len(inst.abstraction.hull_nodes()),
+    }
+
+
+def competitiveness_row(
+    inst: Instance,
+    params: dict[str, Any],
+    *,
+    strategy: str = "hull",
+    pair_count: int = 60,
+    eval_seed: int = 0,
+) -> dict[str, Any]:
+    """Competitiveness summary row for one strategy on one instance.
+
+    The strategy may be swept as a grid key (``grid={"strategy": [...]}``)
+    or fixed via ``functools.partial(competitiveness_row, strategy=...)``.
+    """
+    strat = str(params.get("strategy", strategy))
+    rep = evaluate_strategy(inst, strat, pair_count=pair_count, seed=eval_seed)
+    s = rep.summary()
+    return {
+        "n": inst.n,
+        "delivery": round(s["delivery_rate"], 3),
+        "stretch_mean": round(s["stretch_mean"], 3),
+        "stretch_p95": round(s["stretch_p95"], 3),
+        "stretch_max": round(s["stretch_max"], 3),
+    }

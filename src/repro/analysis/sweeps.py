@@ -17,18 +17,25 @@ module factors that loop so user code stays declarative::
 Instances come from :func:`repro.analysis.experiments.make_instance` (and
 are cached across sweeps with identical parameters); infeasible parameter
 combinations (hole layouts that don't fit) are skipped with a marker row
-rather than aborting the sweep.
+rather than aborting the sweep.  Grid keys that are not ``make_instance``
+keywords (e.g. ``strategy``) are passed through to ``evaluate`` untouched.
+
+Serial execution is the default.  Passing ``workers``, ``checkpoint`` or
+``timeout`` routes the sweep through the parallel checkpointed executor
+(:mod:`repro.analysis.executor`), which returns rows in the same
+deterministic grid order — see ``docs/parallel_execution.md``.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
-from .experiments import Instance, make_instance
+from ..scenarios.generators import InfeasibleScenario
+from .experiments import Instance, make_instance, split_instance_params
 
-__all__ = ["run_sweep", "grid_points"]
+__all__ = ["run_sweep", "grid_points", "sweep_points"]
 
 
 def grid_points(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
@@ -40,44 +47,140 @@ def grid_points(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
     return out
 
 
+def sweep_points(
+    grid: Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Normalize a sweep specification to an ordered list of grid points.
+
+    A mapping is expanded to its cartesian product; a sequence of explicit
+    parameter dicts is used as-is (for sweeps that are not a full product,
+    e.g. jointly varying width and hole count).
+    """
+    if isinstance(grid, Mapping):
+        return grid_points(grid)
+    return [dict(p) for p in grid]
+
+
+def merge_row(
+    params: Mapping[str, Any],
+    result: Mapping[str, Any],
+    include_params: bool,
+) -> dict[str, Any]:
+    """One output row; raises on a param/result key collision.
+
+    A result key silently overwriting a grid parameter would corrupt the
+    sweep's output (the row would claim a parameter value the instance was
+    never built with), so the collision is an error.
+    """
+    if not include_params:
+        return dict(result)
+    collisions = sorted(set(params) & set(result))
+    if collisions:
+        raise ValueError(
+            f"evaluate result collides with grid parameter(s) {collisions}; "
+            "rename the result key(s) or pass include_params=False"
+        )
+    return {**params, **result}
+
+
+def infeasible_row(
+    params: Mapping[str, Any], include_params: bool
+) -> dict[str, Any]:
+    """The marker row emitted for a grid point that cannot be generated."""
+    row: dict[str, Any] = dict(params) if include_params else {}
+    row["infeasible"] = True
+    return row
+
+
 def run_sweep(
-    grid: Mapping[str, Sequence[Any]],
+    grid: Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]],
     evaluate: Callable[[Instance, dict[str, Any]], dict[str, Any]],
     *,
     base: Mapping[str, Any] | None = None,
     include_params: bool = True,
     skip_infeasible: bool = True,
+    mutable: bool = False,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    telemetry: Any | None = None,
 ) -> list[dict[str, Any]]:
     """Evaluate ``evaluate(instance, params)`` over a parameter grid.
 
     Parameters
     ----------
     grid:
-        Mapping of :func:`make_instance` keyword → list of values to sweep.
+        Mapping of parameter → list of values to sweep (cartesian product),
+        or an explicit sequence of parameter dicts.  Keys that are
+        :func:`make_instance` keywords shape the instance; any others are
+        evaluate-side parameters passed through in ``params``.
     evaluate:
-        Produces one result-row dict per instance.
+        Produces one result-row dict per instance.  Must be picklable
+        (module-level function or ``functools.partial`` over one) when
+        ``workers > 1``.
     base:
-        Fixed :func:`make_instance` keywords merged under every grid point.
+        Fixed parameters merged under every grid point.
     include_params:
-        Prefix each row with the grid point's parameters.
+        Prefix each row with the grid point's parameters.  A result key
+        that collides with a grid parameter raises ``ValueError``.
     skip_infeasible:
-        When a grid point cannot be generated (``ValueError`` from the
-        scenario generator), emit a row marked ``infeasible`` instead of
-        raising.
+        When a grid point cannot be generated
+        (:class:`~repro.scenarios.InfeasibleScenario` from the scenario
+        generator), emit a row marked ``infeasible`` instead of raising.
+        Any other construction error always propagates.
+    mutable:
+        Hand ``evaluate`` a private deep copy of the (cached) instance so
+        position-mutating evaluations cannot corrupt the cache.
+    workers:
+        ``0``/``1`` runs serially in-process; ``N > 1`` fans grid points
+        out over ``N`` worker processes.  Rows come back in grid order
+        either way, with identical content.
+    chunk_size, timeout, retries, checkpoint, resume, telemetry:
+        Executor knobs — chunked dispatch, per-point time limit with
+        retry, JSONL checkpointing with ``resume``, and an
+        :class:`~repro.simulation.metrics.ExecutorTelemetry` sink.  See
+        :func:`repro.analysis.executor.run_sweep_parallel`.
     """
+    if (
+        workers > 1
+        or checkpoint is not None
+        or timeout is not None
+        or telemetry is not None
+    ):
+        from .executor import run_sweep_parallel
+
+        return run_sweep_parallel(
+            grid,
+            evaluate,
+            base=base,
+            include_params=include_params,
+            skip_infeasible=skip_infeasible,
+            mutable=mutable,
+            workers=workers,
+            chunk_size=chunk_size,
+            timeout=timeout,
+            retries=retries,
+            checkpoint=checkpoint,
+            resume=resume,
+            telemetry=telemetry,
+        )
+
+    base_inst, base_extra = split_instance_params(dict(base or {}))
     rows: list[dict[str, Any]] = []
-    for params in grid_points(grid):
-        kwargs = {**(base or {}), **params}
+    for params in sweep_points(grid):
+        inst_kwargs, _ = split_instance_params(params)
         try:
-            inst = make_instance(**kwargs)
-        except ValueError:
+            inst = make_instance(
+                **{**base_inst, **inst_kwargs}, mutable=mutable
+            )
+        except InfeasibleScenario:
             if not skip_infeasible:
                 raise
-            row = dict(params) if include_params else {}
-            row["infeasible"] = True
-            rows.append(row)
+            rows.append(infeasible_row(params, include_params))
             continue
-        result = evaluate(inst, dict(params))
-        row = {**params, **result} if include_params else dict(result)
-        rows.append(row)
+        result = evaluate(inst, {**base_extra, **params})
+        rows.append(merge_row(params, result, include_params))
     return rows

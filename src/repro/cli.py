@@ -8,6 +8,9 @@ Commands
             ``--export``/``--diff`` emit and compare deterministic JSONL
             event traces (see ``docs/observability.md``)
 ``bench``   a quick competitiveness comparison table
+``sweep``   evaluate a parameter grid, optionally over worker processes
+            with a resumable JSONL checkpoint (see
+            ``docs/parallel_execution.md``)
 ``chaos``   re-run the §5 pipeline under an injected fault plan and compare
 ``lint``    run the model-invariant static checks (RPR001..) over sources;
             see ``docs/static_analysis.md`` for the rule catalog
@@ -104,6 +107,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="quick strategy comparison")
     common(p_bench)
     p_bench.add_argument("--pairs", type=int, default=60)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parameter-grid sweep (parallel, checkpointed)",
+    )
+    p_sweep.add_argument(
+        "--grid",
+        type=str,
+        required=True,
+        metavar="K=V1,V2;K2=...",
+        help="parameters to sweep (cartesian product); non-instance keys "
+        "such as `strategy` are passed to the evaluation",
+    )
+    p_sweep.add_argument(
+        "--base",
+        type=str,
+        default=None,
+        metavar="K=V;K2=V2",
+        help="fixed parameters merged under every grid point",
+    )
+    p_sweep.add_argument(
+        "--metric",
+        choices=("instance", "strategy"),
+        default="instance",
+        help="row evaluation: structural counts, or routing "
+        "competitiveness for --strategy",
+    )
+    p_sweep.add_argument(
+        "--strategy",
+        type=str,
+        default="hull",
+        help="default routing strategy for --metric strategy "
+        "(override per-point with a `strategy` grid key)",
+    )
+    p_sweep.add_argument("--pairs", type=int, default=60)
+    p_sweep.add_argument("--eval-seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = serial in-process)",
+    )
+    p_sweep.add_argument("--chunk-size", type=int, default=None)
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-grid-point time limit in seconds",
+    )
+    p_sweep.add_argument("--retries", type=int, default=1)
+    p_sweep.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append completed rows to a JSONL checkpoint file",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed rows from --checkpoint instead of "
+        "re-evaluating them",
+    )
+    p_sweep.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the result rows as JSON",
+    )
 
     p_chaos = sub.add_parser(
         "chaos", help="distributed pipeline under an injected fault plan"
@@ -380,6 +453,91 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _parse_param_spec(spec: str, *, lists: bool) -> dict:
+    """Parse ``k=v1,v2;k2=v3`` into a dict (value lists when ``lists``)."""
+    import ast
+
+    def value(tok: str):
+        try:
+            return ast.literal_eval(tok)
+        except (ValueError, SyntaxError):
+            return tok
+
+    out: dict = {}
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, eq, rest = chunk.partition("=")
+        if not eq or not key.strip() or not rest.strip():
+            raise ValueError(f"malformed parameter {chunk!r} (expected K=V)")
+        vals = [value(tok.strip()) for tok in rest.split(",") if tok.strip()]
+        out[key.strip()] = vals if lists else vals[0]
+    return out
+
+
+def cmd_sweep(args) -> int:
+    import functools
+    import json
+
+    from .analysis.executor import CheckpointMismatch, SweepPointError
+    from .analysis.experiments import competitiveness_row, instance_summary_row
+    from .analysis.sweeps import run_sweep
+    from .simulation.metrics import ExecutorTelemetry
+
+    try:
+        grid = _parse_param_spec(args.grid, lists=True)
+        base = _parse_param_spec(args.base, lists=False) if args.base else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.metric == "strategy":
+        evaluate = functools.partial(
+            competitiveness_row,
+            strategy=args.strategy,
+            pair_count=args.pairs,
+            eval_seed=args.eval_seed,
+        )
+    else:
+        evaluate = instance_summary_row
+    telemetry = ExecutorTelemetry()
+    try:
+        rows = run_sweep(
+            grid,
+            evaluate,
+            base=base,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            telemetry=telemetry,
+        )
+    except (CheckpointMismatch, SweepPointError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(format_table(rows, title=f"sweep: {len(rows)} grid points"))
+    t = telemetry.summary()
+    print(
+        f"workers: {telemetry.workers}  evaluated: {telemetry.rows_completed}"
+        f"  from checkpoint: {telemetry.rows_from_checkpoint}"
+        f"  infeasible: {telemetry.infeasible_rows}"
+        f"  retries: {telemetry.retries}  timeouts: {telemetry.timeouts}"
+    )
+    print(
+        f"throughput: {t['rows_per_second']:.2f} rows/s"
+        f"  utilization: {t['worker_utilization']:.0%}"
+        f"  wall: {t['wall_seconds']:.2f}s"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"rows written to {args.output}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .protocols.setup import run_distributed_setup
     from .scenarios.adversarial import hole_boundary_targets
@@ -500,6 +658,7 @@ COMMANDS = {
     "route": cmd_route,
     "trace": cmd_trace,
     "bench": cmd_bench,
+    "sweep": cmd_sweep,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
 }

@@ -8,6 +8,7 @@ from .adversarial import (
     random_fault_plan,
 )
 from .generators import (
+    InfeasibleScenario,
     Scenario,
     perturbed_grid_scenario,
     poisson_scenario,
@@ -27,6 +28,7 @@ from .holes import (
 from .mobility import MobilityModel
 
 __all__ = [
+    "InfeasibleScenario",
     "Scenario",
     "perturbed_grid_scenario",
     "poisson_scenario",

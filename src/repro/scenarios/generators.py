@@ -36,7 +36,25 @@ from ..geometry.primitives import as_array
 from ..graphs.udg import connected_components, unit_disk_graph
 from .holes import SHAPE_BUILDERS
 
-__all__ = ["Scenario", "perturbed_grid_scenario", "poisson_scenario", "random_holes"]
+__all__ = [
+    "InfeasibleScenario",
+    "Scenario",
+    "perturbed_grid_scenario",
+    "poisson_scenario",
+    "random_holes",
+]
+
+
+class InfeasibleScenario(ValueError):
+    """Requested scenario parameters cannot produce a valid instance.
+
+    Raised by the generators when a parameter combination is geometrically
+    impossible (e.g. more holes than the region can fit at the requested
+    scale).  Subclasses :class:`ValueError` for backwards compatibility, but
+    sweep harnesses catch *this* type only — a ``ValueError`` escaping
+    instance construction for any other reason is a real bug and must
+    propagate.
+    """
 
 
 @dataclass
@@ -90,7 +108,8 @@ def random_holes(
     ``margin`` is the minimum clearance enforced between dilated hulls; it
     accounts for the fact that LDel hole boundaries run through nodes *next
     to* the carved region, pushing the detected hulls slightly outward.
-    Raises ``ValueError`` when the region cannot fit the requested holes.
+    Raises :class:`InfeasibleScenario` when the region cannot fit the
+    requested holes.
     """
     placed: list[np.ndarray] = []
     hulls: list[np.ndarray] = []
@@ -98,7 +117,7 @@ def random_holes(
     while len(placed) < count:
         tries += 1
         if tries > max_tries * max(count, 1):
-            raise ValueError(
+            raise InfeasibleScenario(
                 f"could not place {count} holes of scale {scale} "
                 f"in a {width}x{height} region"
             )
@@ -108,7 +127,7 @@ def random_holes(
         # separation test may poke past the region boundary harmlessly.
         pad = scale + 1.0
         if width <= 2 * pad or height <= 2 * pad:
-            raise ValueError("region too small for requested hole scale")
+            raise InfeasibleScenario("region too small for requested hole scale")
         center = (
             float(rng.uniform(pad, width - pad)),
             float(rng.uniform(pad, height - pad)),

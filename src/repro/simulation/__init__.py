@@ -2,7 +2,7 @@
 
 from .faults import Blackout, ChannelFaults, CrashEvent, FaultPlan
 from .messages import ADHOC, LONG_RANGE, Message, payload_words
-from .metrics import ChannelStats, MetricsCollector
+from .metrics import ChannelStats, ExecutorTelemetry, MetricsCollector
 from .node import NodeProcess, ReliableLink
 from .scheduler import Context, HybridSimulator, ModelViolation, SimulationResult
 from .tracing import (
@@ -22,6 +22,7 @@ __all__ = [
     "Message",
     "payload_words",
     "ChannelStats",
+    "ExecutorTelemetry",
     "MetricsCollector",
     "NodeProcess",
     "ReliableLink",

@@ -14,7 +14,61 @@ from dataclasses import dataclass, field
 
 from .messages import ADHOC, LONG_RANGE, Message
 
-__all__ = ["MetricsCollector", "ChannelStats"]
+__all__ = ["MetricsCollector", "ChannelStats", "ExecutorTelemetry"]
+
+
+@dataclass
+class ExecutorTelemetry:
+    """Throughput/robustness accounting for the parallel sweep executor.
+
+    Filled in by :func:`repro.analysis.executor.run_sweep_parallel`: the
+    executor stamps wall/busy seconds from its own clock (this class never
+    reads a clock itself — it is pure bookkeeping, safe inside the
+    deterministic simulation package) and counts rows, retries and
+    timeouts as chunks complete.  ``busy_seconds`` is the sum of per-point
+    evaluation times across all workers, so utilization compares it
+    against ``wall_seconds × workers``.
+    """
+
+    workers: int = 0
+    rows_total: int = 0
+    #: rows evaluated by this run (checkpoint-restored rows excluded)
+    rows_completed: int = 0
+    #: rows restored from the JSONL checkpoint instead of re-evaluated
+    rows_from_checkpoint: int = 0
+    infeasible_rows: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+    def rows_per_second(self) -> float:
+        """Evaluated rows per wall-clock second (0 before any work)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_completed / self.wall_seconds
+
+    def worker_utilization(self) -> float:
+        """Fraction of worker capacity spent evaluating, in [0, 1]."""
+        denom = self.wall_seconds * max(self.workers, 1)
+        if denom <= 0.0:
+            return 0.0
+        return min(self.busy_seconds / denom, 1.0)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the headline numbers (for tables/benches)."""
+        return {
+            "workers": float(self.workers),
+            "rows_total": float(self.rows_total),
+            "rows_completed": float(self.rows_completed),
+            "rows_from_checkpoint": float(self.rows_from_checkpoint),
+            "infeasible_rows": float(self.infeasible_rows),
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "wall_seconds": self.wall_seconds,
+            "rows_per_second": self.rows_per_second(),
+            "worker_utilization": self.worker_utilization(),
+        }
 
 
 @dataclass

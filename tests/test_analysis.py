@@ -6,8 +6,12 @@ import pytest
 from repro.analysis.experiments import (
     STRATEGIES,
     Instance,
+    clear_instance_cache,
     evaluate_strategy,
+    instance_cache_info,
     make_instance,
+    set_instance_cache_size,
+    split_instance_params,
     strategy_route_fn,
 )
 from repro.analysis.tables import format_table, print_table
@@ -98,6 +102,42 @@ class TestMakeInstance:
         inst = make_instance(width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3)
         assert inst.n == len(inst.scenario.points)
         assert inst.abstraction.graph is inst.graph
+
+    def test_cache_bounded_lru(self):
+        clear_instance_cache()
+        set_instance_cache_size(2)
+        try:
+            key = dict(width=8.0, height=8.0, hole_count=0)
+            a = make_instance(**key, seed=11)
+            b = make_instance(**key, seed=12)
+            assert make_instance(**key, seed=11) is a  # refresh a's recency
+            make_instance(**key, seed=13)  # evicts b (least recently used)
+            assert make_instance(**key, seed=12) is not b
+            info = instance_cache_info()
+            assert info["size"] <= info["maxsize"] == 2
+            assert info["evictions"] >= 2
+            assert info["hits"] >= 1
+        finally:
+            set_instance_cache_size(32)
+            clear_instance_cache()
+
+    def test_mutable_returns_isolated_copy(self):
+        key = dict(width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3)
+        cached = make_instance(**key)
+        mut = make_instance(**key, mutable=True)
+        assert mut is not cached
+        before = cached.scenario.points[0, 0]
+        mut.scenario.points[0, 0] += 5.0
+        assert cached.scenario.points[0, 0] == before
+        # The cache still hands out the pristine instance afterwards.
+        assert make_instance(**key) is cached
+
+    def test_split_instance_params(self):
+        inst_kwargs, extra = split_instance_params(
+            {"width": 9.0, "seed": 3, "strategy": "hull", "pairs": 10}
+        )
+        assert inst_kwargs == {"width": 9.0, "seed": 3}
+        assert extra == {"strategy": "hull", "pairs": 10}
 
 
 class TestStrategyRouteFn:
@@ -204,3 +244,74 @@ class TestSweeps:
             include_params=False,
         )
         assert set(rows[0]) == {"n"}
+
+    def test_explicit_point_list(self):
+        from repro.analysis import run_sweep, sweep_points
+
+        points = [{"seed": 4, "tag": "a"}, {"seed": 5, "tag": "b"}]
+        assert sweep_points(points) == points
+        rows = run_sweep(
+            points,
+            base={"width": 8.0, "height": 8.0, "hole_count": 0},
+            evaluate=lambda inst, p: {"n": inst.n, "got": p["tag"]},
+        )
+        assert [r["got"] for r in rows] == ["a", "b"]
+
+    def test_result_param_collision_raises(self):
+        from repro.analysis import run_sweep
+
+        with pytest.raises(ValueError, match="collides.*seed"):
+            run_sweep(
+                grid={"seed": [4]},
+                base={"width": 8.0, "height": 8.0, "hole_count": 0},
+                evaluate=lambda inst, p: {"seed": 999, "n": inst.n},
+            )
+
+    def test_construction_errors_propagate(self, monkeypatch):
+        import repro.analysis.experiments as experiments
+        from repro.analysis import run_sweep
+
+        def boom(points):
+            raise ValueError("construction bug, not infeasibility")
+
+        monkeypatch.setattr(experiments, "build_ldel", boom)
+        clear_instance_cache()
+        # skip_infeasible only covers InfeasibleScenario — a genuine
+        # construction ValueError must surface, not become a marker row.
+        with pytest.raises(ValueError, match="construction bug"):
+            run_sweep(
+                grid={"seed": [41]},
+                base={"width": 8.0, "height": 8.0, "hole_count": 0},
+                evaluate=lambda inst, p: {"n": inst.n},
+                skip_infeasible=True,
+            )
+
+    def test_mobility_then_static_sweep_same_key(self):
+        from repro.analysis import run_sweep
+        from repro.scenarios import MobilityModel
+
+        grid = {"hole_count": [1], "seed": [3]}
+        base = {"width": 9.0, "height": 9.0, "hole_scale": 2.0}
+        clear_instance_cache()
+        pristine = make_instance(
+            width=9.0, height=9.0, hole_count=1, hole_scale=2.0, seed=3
+        )
+        baseline = pristine.scenario.points.copy()
+
+        def mobility_row(inst, p):
+            model = MobilityModel(inst.scenario, speed=0.4, seed=7)
+            inst.scenario.points[:] = model.step()
+            inst.scenario.points[0, 0] += 0.25  # guarantee a visible move
+            return {"n": inst.n}
+
+        run_sweep(grid, mobility_row, base=base, mutable=True)
+        # A later static sweep on the same cache key must see pristine
+        # positions — the mobility run mutated a private copy only.
+        rows = run_sweep(
+            grid,
+            lambda inst, p: {
+                "drift": float(np.abs(inst.scenario.points - baseline).max())
+            },
+            base=base,
+        )
+        assert rows[0]["drift"] == 0.0

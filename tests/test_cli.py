@@ -28,6 +28,16 @@ class TestParser:
         args = build_parser().parse_args(["route", "--batch", "0:4,1:9"])
         assert args.batch == "0:4,1:9"
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--grid", "seed=1,2"])
+        assert args.command == "sweep"
+        assert args.workers == 0 and args.retries == 1
+        assert args.metric == "instance" and not args.resume
+
+    def test_sweep_requires_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -92,6 +102,87 @@ class TestCommands:
         assert "tree" in out
         assert "wall_s" in out  # per-stage span timers
         assert "digest" in out
+
+
+class TestSweepCommand:
+    GRID = ["--grid", "hole_count=0,1;seed=3"]
+    BASE = ["--base", "width=8.0;height=8.0;hole_scale=2.5"]
+
+    def test_sweep_serial(self, capsys):
+        assert main(["sweep", *self.GRID, *self.BASE]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 grid points" in out
+        assert "workers: 1  evaluated: 2" in out
+        assert "throughput:" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        assert main(["sweep", *self.GRID, *self.BASE]) == 0
+        serial = capsys.readouterr().out.splitlines()
+        assert main(["sweep", *self.GRID, *self.BASE, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out.splitlines()
+        # identical tables; only the telemetry footer differs
+        assert parallel[:4] == serial[:4]
+
+    def test_sweep_strategy_metric(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--grid",
+                    "hole_count=1;seed=3;strategy='hull','greedy'",
+                    *self.BASE,
+                    "--metric",
+                    "strategy",
+                    "--pairs",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "strategy" in out and "stretch_mean" in out
+        assert "hull" in out and "greedy" in out
+
+    def test_sweep_resume_skips_completed(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(["sweep", *self.GRID, *self.BASE, "--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert "evaluated: 2  from checkpoint: 0" in first
+        assert (
+            main(["sweep", *self.GRID, *self.BASE, "--checkpoint", ck, "--resume"])
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "evaluated: 0  from checkpoint: 2" in second
+        # identical result tables either way
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_sweep_resume_rejects_other_grid(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(["sweep", *self.GRID, *self.BASE, "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["sweep", "--grid", "hole_count=0;seed=9", *self.BASE,
+             "--checkpoint", ck, "--resume"]
+        )
+        assert rc == 1
+        assert "different sweep" in capsys.readouterr().err
+
+    def test_sweep_output_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "rows.json"
+        assert (
+            main(["sweep", *self.GRID, *self.BASE, "--output", str(out_path)])
+            == 0
+        )
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 2
+        assert {r["hole_count"] for r in rows} == {0, 1}
+
+    def test_sweep_malformed_grid(self, capsys):
+        assert main(["sweep", "--grid", "seed"]) == 2
+        assert "malformed" in capsys.readouterr().err
 
 
 class TestTraceRoundTrip:

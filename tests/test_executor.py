@@ -1,0 +1,278 @@
+"""Tests for the parallel checkpointed sweep executor.
+
+Evaluate functions are module-level on purpose: the executor ships them to
+worker processes by pickle reference, so closures/lambdas only work on the
+serial path.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis import run_sweep
+from repro.analysis.executor import (
+    CheckpointMismatch,
+    SweepPointError,
+    checkpoint_digest,
+    run_sweep_parallel,
+)
+from repro.simulation import ExecutorTelemetry
+
+#: 4 feasible grid points + 2 infeasible ones (9 holes never fit in 8×8).
+GRID = {"hole_count": [0, 1, 9], "seed": [3, 4]}
+BASE = {"width": 8.0, "height": 8.0, "hole_scale": 2.5}
+
+
+def _nodes_row(inst, params):
+    return {"n": inst.n, "hulls": len(inst.abstraction.hull_nodes())}
+
+
+def _logging_row(inst, params):
+    with open(params["log"], "a") as fh:
+        fh.write(f"{params['hole_count']}-{params['seed']}\n")
+    return {"n": inst.n}
+
+
+def _fail_on_second_feasible(inst, params):
+    if params["hole_count"] == 1 and params["seed"] == 4:
+        raise RuntimeError("injected mid-sweep crash")
+    return _logging_row(inst, params)
+
+
+def _flaky_once(inst, params):
+    import os
+
+    sentinel = params["log"] + ".attempted"
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("transient failure")
+    return {"n": inst.n}
+
+
+def _sleepy_row(inst, params):
+    time.sleep(5.0)
+    return {"n": inst.n}
+
+
+def _colliding_row(inst, params):
+    return {"seed": 1234, "n": inst.n}
+
+
+class TestDeterminism:
+    def test_parallel_rows_identical_to_serial(self):
+        serial = run_sweep(GRID, _nodes_row, base=BASE)
+        parallel = run_sweep(GRID, _nodes_row, base=BASE, workers=4, chunk_size=1)
+        # Byte-identical: order, content, key order, and the infeasible
+        # markers all match the serial path.
+        assert repr(parallel) == repr(serial)
+        assert [r.get("infeasible") for r in serial].count(True) == 2
+
+    def test_e1_grid_parallel_identical_to_serial(self):
+        # The E1 sweep shape: instance params × strategy as an explicit
+        # point list, strategy being an evaluate-side key.
+        from functools import partial
+
+        from repro.analysis import competitiveness_row
+
+        points = [
+            {"width": 9.0, "height": 9.0, "hole_count": 1, "hole_scale": 2.0,
+             "seed": 3, "strategy": s}
+            for s in ("hull", "greedy")
+        ]
+        evaluate = partial(competitiveness_row, pair_count=10, eval_seed=5)
+        serial = run_sweep(points, evaluate)
+        parallel = run_sweep(points, evaluate, workers=2)
+        assert repr(parallel) == repr(serial)
+        assert {r["strategy"] for r in parallel} == {"hull", "greedy"}
+
+    def test_workers_one_inline_matches_serial(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        serial = run_sweep(GRID, _nodes_row, base=BASE)
+        inline = run_sweep_parallel(
+            GRID, _nodes_row, base=BASE, workers=1, checkpoint=str(ck)
+        )
+        assert repr(inline) == repr(serial)
+
+
+class TestTelemetry:
+    def test_counters(self):
+        tele = ExecutorTelemetry()
+        rows = run_sweep(GRID, _nodes_row, base=BASE, workers=2, telemetry=tele)
+        assert tele.rows_total == len(rows) == 6
+        assert tele.rows_completed == 6
+        assert tele.infeasible_rows == 2
+        assert tele.rows_from_checkpoint == 0
+        assert tele.workers == 2
+        assert tele.wall_seconds > 0
+        assert tele.rows_per_second() > 0
+        assert 0 < tele.worker_utilization() <= 1
+        s = tele.summary()
+        assert s["rows_total"] == 6.0 and s["workers"] == 2.0
+
+
+class TestCheckpointResume:
+    def test_kill_midway_then_resume(self, tmp_path):
+        ck = str(tmp_path / "sweep.jsonl")
+        log = str(tmp_path / "calls.log")
+        base = {**BASE, "log": log}
+        serial = run_sweep(GRID, _logging_row, base=base)
+
+        # Deterministic "crash": inline execution processes points in
+        # order and dies at index 3, leaving rows 0-2 checkpointed.
+        with pytest.raises(SweepPointError, match="injected mid-sweep crash"):
+            run_sweep_parallel(
+                GRID,
+                _fail_on_second_feasible,
+                base=base,
+                workers=1,
+                retries=0,
+                checkpoint=ck,
+            )
+        lines = open(ck).read().splitlines()
+        assert len(lines) == 1 + 3  # header + three completed rows
+
+        # Resume: only the missing points are evaluated.
+        open(log, "w").close()
+        tele = ExecutorTelemetry()
+        resumed = run_sweep(
+            GRID,
+            _logging_row,
+            base=base,
+            workers=2,
+            checkpoint=ck,
+            resume=True,
+            telemetry=tele,
+        )
+        assert resumed == serial
+        assert tele.rows_from_checkpoint == 3
+        assert tele.rows_completed == 3
+        # evaluate ran exactly once: the two remaining points are
+        # infeasible and never reach the evaluate.
+        assert len(open(log).read().splitlines()) == 1
+
+    def test_parallel_crash_then_resume(self, tmp_path):
+        ck = str(tmp_path / "sweep.jsonl")
+        log = str(tmp_path / "calls.log")
+        base = {**BASE, "log": log}
+        serial = run_sweep(GRID, _logging_row, base=base)
+        with pytest.raises(SweepPointError):
+            run_sweep(
+                GRID,
+                _fail_on_second_feasible,
+                base=base,
+                workers=2,
+                retries=0,
+                checkpoint=ck,
+            )
+        resumed = run_sweep(
+            GRID, _logging_row, base=base, workers=2, checkpoint=ck, resume=True
+        )
+        assert resumed == serial
+
+    def test_resume_with_complete_checkpoint_evaluates_nothing(self, tmp_path):
+        ck = str(tmp_path / "sweep.jsonl")
+        first = run_sweep(GRID, _nodes_row, base=BASE, workers=2, checkpoint=ck)
+        tele = ExecutorTelemetry()
+        again = run_sweep(
+            GRID,
+            _fail_on_second_feasible,  # would raise if any point re-ran
+            base=BASE,
+            workers=2,
+            checkpoint=ck,
+            resume=True,
+            telemetry=tele,
+        )
+        assert again == first
+        assert tele.rows_completed == 0
+        assert tele.rows_from_checkpoint == 6
+
+    def test_resume_refuses_foreign_checkpoint(self, tmp_path):
+        ck = str(tmp_path / "sweep.jsonl")
+        run_sweep(GRID, _nodes_row, base=BASE, workers=1, checkpoint=ck)
+        with pytest.raises(CheckpointMismatch, match="different sweep"):
+            run_sweep(
+                {"hole_count": [0], "seed": [3]},
+                _nodes_row,
+                base=BASE,
+                checkpoint=ck,
+                resume=True,
+            )
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        ck = str(tmp_path / "sweep.jsonl")
+        serial = run_sweep(GRID, _nodes_row, base=BASE)
+        run_sweep(GRID, _nodes_row, base=BASE, workers=1, checkpoint=ck)
+        with open(ck, "a") as fh:
+            fh.write('{"index": 0, "status":')  # crash mid-write
+        resumed = run_sweep(
+            GRID, _nodes_row, base=BASE, workers=1, checkpoint=ck, resume=True
+        )
+        assert resumed == serial
+
+    def test_digest_depends_on_grid_and_base(self):
+        pts = [{"a": 1}]
+        d1 = checkpoint_digest(pts, {"w": 1.0}, True)
+        assert checkpoint_digest(pts, {"w": 1.0}, True) == d1
+        assert checkpoint_digest(pts, {"w": 2.0}, True) != d1
+        assert checkpoint_digest([{"a": 2}], {"w": 1.0}, True) != d1
+        assert checkpoint_digest(pts, {"w": 1.0}, False) != d1
+
+    def test_checkpoint_rows_json_roundtrip(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        run_sweep(GRID, _nodes_row, base=BASE, workers=1, checkpoint=str(ck))
+        records = [json.loads(line) for line in ck.read_text().splitlines()]
+        header, rows = records[0], records[1:]
+        assert header["kind"] == "repro-sweep-checkpoint"
+        assert header["total"] == 6
+        assert sorted(r["index"] for r in rows) == list(range(6))
+
+
+class TestRobustness:
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        tele = ExecutorTelemetry()
+        rows = run_sweep(
+            {"hole_count": [0], "seed": [3]},
+            _flaky_once,
+            base={**BASE, "log": str(tmp_path / "flaky")},
+            workers=2,
+            retries=1,
+            telemetry=tele,
+        )
+        assert rows[0]["n"] > 0
+        assert tele.retries == 1
+
+    def test_error_exhausts_retries_and_names_point(self, tmp_path):
+        with pytest.raises(SweepPointError, match=r"hole_count.*1.*seed.*4"):
+            run_sweep(
+                GRID,
+                _fail_on_second_feasible,
+                base={**BASE, "log": str(tmp_path / "calls.log")},
+                workers=2,
+                retries=0,
+            )
+
+    def test_timeout_enforced(self):
+        tele = ExecutorTelemetry()
+        with pytest.raises(SweepPointError, match="timeout"):
+            run_sweep(
+                {"hole_count": [0], "seed": [3]},
+                _sleepy_row,
+                base=BASE,
+                workers=2,
+                timeout=0.3,
+                retries=0,
+                telemetry=tele,
+            )
+        assert tele.timeouts == 1
+
+    def test_collision_detected_in_workers(self):
+        with pytest.raises(SweepPointError, match="collides"):
+            run_sweep(
+                {"hole_count": [0], "seed": [3]},
+                _colliding_row,
+                base=BASE,
+                workers=2,
+                retries=0,
+            )
