@@ -1,5 +1,6 @@
 """Experiment harness utilities shared by the benchmark suite."""
 
+from .churn import run_churn_serving
 from .executor import (
     CheckpointMismatch,
     SweepPointError,
@@ -38,6 +39,7 @@ __all__ = [
     "sweep_points",
     "run_sweep",
     "run_sweep_parallel",
+    "run_churn_serving",
     "SweepPointError",
     "CheckpointMismatch",
     "format_table",

@@ -1,0 +1,207 @@
+"""Serving under continuous churn (E15).
+
+The dynamic claim of §6/§7 is about *recomputation* cost; this harness
+measures the **serving** side of the same story: a
+:class:`~repro.routing.engine.QueryEngine` keeps answering a query stream
+while the network churns underneath it.  Each step applies one
+:class:`~repro.scenarios.mobility.ChurnEvent` (bounded-speed movement, or a
+node joining/leaving), rebuilds the abstraction from scratch, rebinds the
+engine — scoped invalidation keeps the untouched holes' cache entries warm
+— and then serves a batch of routing queries, recording:
+
+* **recompute latency** — abstraction rebuild plus engine rebind;
+* **cache survival** — fraction of engine cache entries the scoped differ
+  kept across the rebind (movement steps keep clean holes; join/leave
+  renumbers the node space and forces a full flush);
+* **query availability** — fraction of queries answered with a delivered
+  route on the post-event topology;
+* **warm-query latency** — per-query p50 of re-asking the served batch
+  against fully warm caches.
+
+With ``verify=True`` every step additionally replays the batch on a
+cache-less engine over the same abstraction and counts mismatches — the
+differential guardrail that scoped invalidation never changes an answer
+(the test suite pins this at zero).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from ..core.abstraction import build_abstraction
+from ..graphs.ldel import build_ldel
+from ..routing.competitiveness import sample_pairs
+from ..routing.engine import QueryEngine
+from ..routing.router import RouteOutcome
+from ..scenarios.generators import perturbed_grid_scenario
+from ..scenarios.mobility import ChurnEvent, MobilityModel, churn_schedule
+
+__all__ = ["run_churn_serving"]
+
+
+def _same_outcome(a: RouteOutcome, b: RouteOutcome) -> bool:
+    return (
+        a.path == b.path
+        and a.case == b.case
+        and a.reached == b.reached
+        and a.used_fallback == b.used_fallback
+    )
+
+
+def run_churn_serving(
+    *,
+    width: float = 12.0,
+    height: float = 12.0,
+    hole_count: int = 2,
+    hole_scale: float = 2.0,
+    seed: int = 7,
+    steps: int = 8,
+    queries_per_step: int = 32,
+    speed: float = 0.04,
+    p_join: float = 0.1,
+    p_leave: float = 0.1,
+    batch: int = 1,
+    move_fraction: float = 0.15,
+    mode: str = "hull",
+    scoped: bool = True,
+    verify: bool = False,
+    events: Sequence[ChurnEvent] | None = None,
+    trace=None,
+) -> dict[str, Any]:
+    """Run the E15 continuous-churn serving workload.
+
+    Returns ``{"rows": [...], "summary": {...}}`` — one row per step with
+    the per-step measurements, and the aggregate engine statistics plus
+    overall latency/survival figures.  Fully deterministic given ``seed``
+    (and ``events``, when a pre-built schedule is supplied); only the
+    wall-clock timing fields vary between runs, and the optional ``trace``
+    receives none of them.
+    """
+    sc = perturbed_grid_scenario(
+        width=width,
+        height=height,
+        hole_count=hole_count,
+        hole_scale=hole_scale,
+        seed=seed,
+    )
+    model = MobilityModel(sc, speed=speed, seed=seed + 1)
+    schedule = (
+        list(events)
+        if events is not None
+        else churn_schedule(
+            steps,
+            seed=seed + 2,
+            p_join=p_join,
+            p_leave=p_leave,
+            batch=batch,
+            move_fraction=move_fraction,
+        )
+    )
+    query_rng = np.random.default_rng(seed + 3)
+
+    abst = build_abstraction(build_ldel(sc.points))
+    engine = QueryEngine(
+        abst, mode, scoped_invalidation=scoped, trace=trace
+    )
+    # Prime the caches with one batch on the initial topology, so step 1
+    # already measures survival of a warm engine.
+    engine.route_many(sample_pairs(sc.n, queries_per_step, query_rng))
+
+    rows: list[dict[str, Any]] = []
+    warm_samples: list[float] = []
+    for step, event in enumerate(schedule, start=1):
+        pts = model.apply(event).copy()
+
+        t0 = time.perf_counter()
+        new_abst = build_abstraction(build_ldel(pts))
+        rebuild_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.rebind(new_abst)
+        rebind_s = time.perf_counter() - t0
+
+        flush = engine.stats.last_flush or {}
+        caches = flush.get("caches", {})
+        survived = sum(c["survived"] for c in caches.values())
+        evicted = sum(c["evicted"] for c in caches.values())
+        total = survived + evicted
+
+        n = len(pts)
+        pairs = sample_pairs(n, queries_per_step, query_rng)
+        t0 = time.perf_counter()
+        outcomes = engine.route_many(pairs)
+        serve_s = time.perf_counter() - t0
+        availability = float(np.mean([o.reached for o in outcomes]))
+
+        # Warm-query latency: the same batch again, timed per query — every
+        # answer is now a result-cache lookup.
+        warm: list[float] = []
+        for s, t in pairs:
+            t0 = time.perf_counter()
+            engine.route(s, t)
+            warm.append(time.perf_counter() - t0)
+        warm_samples.extend(warm)
+
+        mismatches = 0
+        if verify:
+            cold = QueryEngine(new_abst, mode, caching=False)
+            for (s, t), out in zip(pairs, outcomes):
+                if not _same_outcome(out, cold.route(s, t)):
+                    mismatches += 1
+
+        if trace is not None:
+            trace.emit(
+                "churn_step",
+                step=step,
+                event=event.kind,
+                n=n,
+                scope=flush.get("scope", ""),
+                dirty_holes=int(flush.get("dirty_holes", 0)),
+                survived=survived,
+                evicted=evicted,
+                availability=availability,
+            )
+        row: dict[str, Any] = {
+            "step": step,
+            "event": event.kind,
+            "n": n,
+            "holes": len([h for h in new_abst.holes if not h.is_outer]),
+            "scope": flush.get("scope", ""),
+            "dirty_holes": int(flush.get("dirty_holes", 0)),
+            "survival": survived / total if total else 0.0,
+            "rebuild_ms": rebuild_s * 1e3,
+            "rebind_ms": rebind_s * 1e3,
+            "serve_ms": serve_s * 1e3,
+            "warm_p50_us": float(np.percentile(warm, 50)) * 1e6,
+            "availability": availability,
+        }
+        if verify:
+            row["mismatches"] = mismatches
+        rows.append(row)
+
+    summary: dict[str, Any] = {
+        "steps": len(rows),
+        "moves": sum(1 for r in rows if r["event"] == "move"),
+        "joins": sum(1 for r in rows if r["event"] == "join"),
+        "leaves": sum(1 for r in rows if r["event"] == "leave"),
+        "scoped_rebinds": engine.stats.scoped_invalidations,
+        "full_rebinds": engine.stats.full_invalidations,
+        "mean_rebuild_ms": float(np.mean([r["rebuild_ms"] for r in rows])),
+        "mean_rebind_ms": float(np.mean([r["rebind_ms"] for r in rows])),
+        "warm_query_p50_us": (
+            float(np.percentile(warm_samples, 50)) * 1e6 if warm_samples else 0.0
+        ),
+        "mean_availability": float(
+            np.mean([r["availability"] for r in rows])
+        ),
+        "mean_survival_scoped": float(
+            np.mean([r["survival"] for r in rows if r["scope"] == "scoped"] or [0.0])
+        ),
+        "engine": engine.stats.summary(),
+    }
+    if verify:
+        summary["mismatches"] = sum(r["mismatches"] for r in rows)
+    return {"rows": rows, "summary": summary}

@@ -12,6 +12,9 @@ Commands
             with a resumable JSONL checkpoint (see
             ``docs/parallel_execution.md``)
 ``chaos``   re-run the §5 pipeline under an injected fault plan and compare
+``churn-serve`` serve a routing query stream while the network churns,
+            measuring scoped-invalidation survival and latency (E15; see
+            ``docs/dynamic_serving.md``)
 ``lint``    run the model-invariant static checks (RPR001..) over sources;
             see ``docs/static_analysis.md`` for the rule catalog
 
@@ -209,6 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--blackout-stage", type=str, default=None)
     p_chaos.add_argument("--pairs", type=int, default=20)
+
+    p_churn = sub.add_parser(
+        "churn-serve",
+        help="serve a query stream under continuous churn (E15)",
+    )
+    common(p_churn)
+    p_churn.add_argument("--steps", type=int, default=8)
+    p_churn.add_argument("--queries", type=int, default=32, help="queries per step")
+    p_churn.add_argument("--speed", type=float, default=0.04)
+    p_churn.add_argument("--p-join", type=float, default=0.1)
+    p_churn.add_argument("--p-leave", type=float, default=0.1)
+    p_churn.add_argument(
+        "--move-fraction",
+        type=float,
+        default=0.15,
+        help="fraction of nodes that move on a mobility step",
+    )
+    p_churn.add_argument(
+        "--full-flush",
+        action="store_true",
+        help="disable scoped invalidation (whole-cache flush per step)",
+    )
+    p_churn.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every batch on a cache-less engine and count mismatches",
+    )
+    p_churn.add_argument(
+        "--json", type=str, default=None, metavar="PATH", help="write results JSON"
+    )
 
     p_lint = sub.add_parser(
         "lint", help="model-invariant static analysis (RPR rule suite)"
@@ -612,6 +645,54 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_churn_serve(args) -> int:
+    import json
+
+    from .analysis.churn import run_churn_serving
+
+    res = run_churn_serving(
+        width=args.width,
+        height=args.width,
+        hole_count=args.holes,
+        hole_scale=args.hole_scale,
+        seed=args.seed,
+        steps=args.steps,
+        queries_per_step=args.queries,
+        speed=args.speed,
+        p_join=args.p_join,
+        p_leave=args.p_leave,
+        move_fraction=args.move_fraction,
+        scoped=not args.full_flush,
+        verify=args.verify,
+    )
+    rows = [
+        {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in row.items()
+        }
+        for row in res["rows"]
+    ]
+    print(format_table(rows, title="serving under churn (E15)"))
+    s = res["summary"]
+    print(
+        f"rebinds: {s['scoped_rebinds']} scoped / {s['full_rebinds']} full; "
+        f"mean rebuild {s['mean_rebuild_ms']:.1f} ms, "
+        f"mean rebind {s['mean_rebind_ms']:.2f} ms, "
+        f"warm query p50 {s['warm_query_p50_us']:.1f} us"
+    )
+    print(
+        f"availability: {s['mean_availability']:.3f}, "
+        f"scoped cache survival: {s['mean_survival_scoped']:.3f}"
+    )
+    if args.verify:
+        print(f"differential mismatches: {s['mismatches']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(res, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote {args.json}")
+    return 0 if s.get("mismatches", 0) == 0 else 1
+
+
 def cmd_lint(args) -> int:
     from .devtools import (
         lint_paths,
@@ -660,6 +741,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "sweep": cmd_sweep,
     "chaos": cmd_chaos,
+    "churn-serve": cmd_churn_serve,
     "lint": cmd_lint,
 }
 

@@ -11,6 +11,7 @@ from .abstraction import (
     Bay,
     HoleAbstraction,
     build_abstraction,
+    hole_content_digest,
     reference_dominating_set,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "Bay",
     "HoleAbstraction",
     "build_abstraction",
+    "hole_content_digest",
     "reference_dominating_set",
 ]

@@ -21,6 +21,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..geometry.predicates import EPS
 from ..geometry.primitives import as_array
 
 __all__ = [
@@ -74,7 +75,9 @@ class GridIndex:
             return []
         pts = self.points[cand]
         d2 = (pts[:, 0] - p[0]) ** 2 + (pts[:, 1] - p[1]) ** 2
-        keep = d2 <= radius * radius + 1e-12
+        # Same tolerance as the geometric predicates: a node exactly at
+        # distance ``radius`` is a neighbor, one beyond the EPS band is not.
+        keep = d2 <= radius * radius + EPS
         return [cand[i] for i in np.nonzero(keep)[0]]
 
 
@@ -92,7 +95,7 @@ def unit_disk_graph(
     if n <= 1:
         return adj
     grid = GridIndex(pts, cell=radius)
-    r2 = radius * radius + 1e-12
+    r2 = radius * radius + EPS
     for i in range(n):
         cand = grid.candidates_near(pts[i], radius)
         arr = np.asarray(cand)

@@ -81,6 +81,10 @@ class IncrementalResult:
     rings_reused: int
     rings_recomputed: int
     outer_reused: bool
+    #: dart signatures of the rings each counter refers to — the dirty set
+    #: the serving layer can cross-check its scoped invalidation against
+    reused_signatures: frozenset[Signature] = frozenset()
+    recomputed_signatures: frozenset[Signature] = frozenset()
 
     @property
     def total_rounds(self) -> int:
@@ -192,6 +196,8 @@ def run_incremental_update(
     dirty_corners: dict[int, list[RingCorner]] = {}
     reused_holes: list[HoleAbstraction] = []
     reused = recomputed = 0
+    reused_sigs: set[Signature] = set()
+    recomputed_sigs: set[Signature] = set()
     outer_ring: list[RingCorner] | None = None
     outer_dirty = True
     for ring in rings:
@@ -202,15 +208,19 @@ def run_incremental_update(
             outer_dirty = moved > tolerance
             if outer_dirty:
                 recomputed += 1
+                recomputed_sigs.add(sig)
             else:
                 reused += 1
+                reused_sigs.add(sig)
             continue
         prev_hole = prev_inner.get(sig)
         if prev_hole is not None and moved <= tolerance:
             reused += 1
+            reused_sigs.add(sig)
             reused_holes.append(prev_hole)
             continue
         recomputed += 1
+        recomputed_sigs.add(sig)
         for rc in ring:
             dirty_corners.setdefault(rc.node, []).append(rc)
     # The one-flag dirty check costs a broadcast over the stored ring links;
@@ -320,6 +330,8 @@ def run_incremental_update(
         rings_reused=reused,
         rings_recomputed=recomputed,
         outer_reused=not outer_dirty,
+        reused_signatures=frozenset(reused_sigs),
+        recomputed_signatures=frozenset(recomputed_sigs),
     )
 
 

@@ -28,7 +28,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.abstraction import Abstraction, Bay
+from ..core.abstraction import Abstraction, Bay, HoleAbstraction
 from ..geometry.convex_hull import convex_hull_indices
 from ..geometry.polygon import point_in_polygon, point_on_polygon_boundary
 from ..geometry.primitives import distance
@@ -36,6 +36,7 @@ from ..geometry.primitives import distance
 __all__ = [
     "BayLocation",
     "bay_key",
+    "bay_structures_for_hole",
     "bay_waypoint_structures",
     "locate_node",
     "locate_point",
@@ -114,6 +115,39 @@ def locate_node(abstraction: Abstraction, node: int) -> BayLocation | None:
     return locate_point(abstraction, abstraction.points[node])
 
 
+def bay_structures_for_hole(
+    abstraction: Abstraction, hole: HoleAbstraction
+) -> tuple[dict[int, list[int]], dict[int, list[tuple[int, int, tuple[int, ...]]]]]:
+    """Waypoint vertex groups and arc edges of one hole's bays.
+
+    Returns ``(groups, arc_edges)`` keyed by **bay index only** — the
+    per-hole unit the :class:`~repro.routing.engine.QueryEngine` caches
+    under the hole's content digest, so an unchanged hole's structures
+    survive rebuilds regardless of ``hole_id`` renumbering.  Depends only
+    on the hole itself (arc membership and member coordinates), never on
+    other holes.
+    """
+    groups: dict[int, list[int]] = {}
+    arc_edges: dict[int, list[tuple[int, int, tuple[int, ...]]]] = {}
+    for idx, bay in enumerate(hole.bays):
+        arc = bay.arc
+        sel: list[int] = sorted(
+            set(bay.dominating_set)
+            | {bay.corner_a, bay.corner_b}
+            | set(extreme_points(abstraction, bay))
+        )
+        sel_pos = sorted(
+            (arc.index(v) for v in sel if v in arc)
+        )
+        groups[idx] = [arc[i] for i in sel_pos]
+        edges: list[tuple[int, int, tuple[int, ...]]] = []
+        for a_pos, b_pos in zip(sel_pos, sel_pos[1:]):
+            path = tuple(arc[a_pos : b_pos + 1])
+            edges.append((arc[a_pos], arc[b_pos], path))
+        arc_edges[idx] = edges
+    return groups, arc_edges
+
+
 def bay_waypoint_structures(
     abstraction: Abstraction,
 ) -> tuple[dict[tuple[int, int], list[int]], dict[tuple[int, int], list[tuple[int, int, tuple[int, ...]]]]]:
@@ -125,27 +159,14 @@ def bay_waypoint_structures(
     * arc edges link consecutive group members along the boundary, carrying
       the explicit ring sub-path (each hop an LDel edge).
     """
-    pts = abstraction.points
     groups: dict[tuple[int, int], list[int]] = {}
     arc_edges: dict[tuple[int, int], list[tuple[int, int, tuple[int, ...]]]] = {}
     for hole in abstraction.holes:
-        for idx, bay in enumerate(hole.bays):
-            key = bay_key(hole.hole_id, idx)
-            arc = bay.arc
-            sel: list[int] = sorted(
-                set(bay.dominating_set)
-                | {bay.corner_a, bay.corner_b}
-                | set(extreme_points(abstraction, bay))
-            )
-            sel_pos = sorted(
-                (arc.index(v) for v in sel if v in arc)
-            )
-            groups[key] = [arc[i] for i in sel_pos]
-            edges: list[tuple[int, int, tuple[int, ...]]] = []
-            for a_pos, b_pos in zip(sel_pos, sel_pos[1:]):
-                path = tuple(arc[a_pos : b_pos + 1])
-                edges.append((arc[a_pos], arc[b_pos], path))
-            arc_edges[key] = edges
+        g, e = bay_structures_for_hole(abstraction, hole)
+        for idx, sel in g.items():
+            groups[bay_key(hole.hole_id, idx)] = sel
+        for idx, edges in e.items():
+            arc_edges[bay_key(hole.hole_id, idx)] = edges
     return groups, arc_edges
 
 

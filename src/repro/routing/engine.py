@@ -11,21 +11,33 @@ router that owns all reusable state:
   structures below instead of re-deriving them per construction;
 * **locate memo** — §4.3 bay classification per node (``locate_node`` is a
   geometric containment walk; terminals repeat across a workload);
-* **bay structures / bay legs** — ``bay_waypoint_structures`` computed once,
-  and the per-bay visibility legs cached under ``(abstraction digest,
-  bay id)`` so every planner rebuild re-uses the Θ(h²) filtered legs;
+* **bay structures / bay legs** — ``bay_structures_for_hole`` computed once
+  per hole and cached under the hole's **content digest**, and the per-bay
+  visibility legs cached under ``(hole digest, bay_index)`` so every
+  planner rebuild re-uses the Θ(h²) filtered legs;
 * **Dijkstra LRU** — per-source optimal-distance maps over the reference
   UDG, shared across strategies in a competitiveness run;
 * **route-result LRU** — completed :class:`RouteOutcome` per
   ``(mode, s, t)``, which makes repeated-query workloads pure lookups.
 
-Invalidation is by content digest: every query entry point re-hashes the
-abstraction's points and hole structure and flushes all caches when it
-changed (mobility scenarios mutate coordinates in place).  ``rebind`` covers
-wholesale abstraction swaps.
+Invalidation is by content digest, at two granularities.  Every query entry
+point re-hashes the abstraction and, when it changed (mobility scenarios
+mutate coordinates in place), runs an invalidation pass; ``rebind`` covers
+wholesale abstraction swaps.  With ``scoped_invalidation`` (the default)
+the pass diffs the **per-hole** content digests
+(:func:`repro.core.abstraction.hole_content_digest`) instead of dropping
+everything: entries belonging to unchanged holes survive, entries of dirty
+holes are evicted, and caches with cross-hole dependencies are patched or
+conservatively flushed (see ``docs/dynamic_serving.md`` for the validity
+argument cache by cache).  This is the serving-layer counterpart of the
+paper's dynamic claim: after a movement step only the affected holes'
+state is recomputed, so a query stream keeps hitting warm caches while the
+topology churns.
 
 **Determinism contract.**  Cached answers are the *same objects* a cold
 router would produce — the caches only skip recomputation, never change it.
+Scoped invalidation keeps an entry only when a conservative sufficient
+condition proves a cold router would reproduce it; when in doubt it evicts.
 With ``caching=False`` the engine degrades to a plain per-mode
 :class:`HybridRouter` built with default arguments: no cache is consulted,
 no cache counters move, and no trace events are emitted, so golden traces
@@ -44,16 +56,34 @@ import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
-from ..core.abstraction import Abstraction
+from ..core.abstraction import Abstraction, hole_content_digest
+from ..geometry.visibility import obstacle_bboxes, obstacle_segments
 from ..graphs.shortest_paths import dijkstra
 from ..graphs.udg import Adjacency
-from .bay_routing import BayLocation, bay_waypoint_structures, locate_node
+from .bay_routing import BayLocation, bay_structures_for_hole, locate_node
 from .router import HybridRouter, RouteOutcome
+from .waypoints import refresh_bay_legs
 
 __all__ = ["QueryEngine", "EngineStats", "abstraction_digest"]
+
+Box = tuple[float, float, float, float]
+
+#: Padding added to every dirty-region bounding box before survival tests.
+#: Swallows the EPS tolerance band of the geometric predicates so a point
+#: or segment that a predicate would treat as touching a dirty feature can
+#: never be classified as safely outside its box.
+_BOX_PAD = 1e-6
+
+#: Route-result survival margin in communication radii: a node beyond this
+#: distance from a cached route's bounding box cannot influence any Chew
+#: corridor the route depends on (corridor vertices lie within one radius
+#: of a leg segment; LDel² triangle acceptance is 2-hop ≈ 2 radii local;
+#: one radius of slack on top).
+_ROUTE_MARGIN_RADII = 4.0
 
 
 def abstraction_digest(abstraction: Abstraction) -> str:
@@ -62,7 +92,7 @@ def abstraction_digest(abstraction: Abstraction) -> str:
     Covers the node coordinates (mobility mutates these in place) and the
     per-hole structure (boundary ring, hull, outer flag).  Two abstractions
     with equal digests produce identical routes for every query, so the
-    digest is the invalidation key for every engine cache.
+    digest is the top-level invalidation key for every engine cache.
     """
     h = hashlib.sha1()
     pts = np.ascontiguousarray(abstraction.points, dtype=float)
@@ -81,6 +111,53 @@ def abstraction_digest(abstraction: Abstraction) -> str:
     return h.hexdigest()
 
 
+def _bbox_of(coords: np.ndarray) -> Box:
+    return (
+        float(coords[:, 0].min()),
+        float(coords[:, 1].min()),
+        float(coords[:, 0].max()),
+        float(coords[:, 1].max()),
+    )
+
+
+def _pad_box(box: Box, pad: float) -> Box:
+    return (box[0] - pad, box[1] - pad, box[2] + pad, box[3] + pad)
+
+
+def _boxes_intersect(a: Box, b: Box) -> bool:
+    return a[0] <= b[2] and a[2] >= b[0] and a[1] <= b[3] and a[3] >= b[1]
+
+
+def _point_in_any_box(p: np.ndarray, boxes: Sequence[Box]) -> bool:
+    x, y = float(p[0]), float(p[1])
+    return any(
+        x0 <= x <= x1 and y0 <= y <= y1 for x0, y0, x1, y1 in boxes
+    )
+
+
+def _any_point_in_box(box: Box, coords: np.ndarray) -> bool:
+    if coords.size == 0:
+        return False
+    x0, y0, x1, y1 = box
+    inside = (
+        (coords[:, 0] >= x0)
+        & (coords[:, 0] <= x1)
+        & (coords[:, 1] >= y0)
+        & (coords[:, 1] <= y1)
+    )
+    return bool(inside.any())
+
+
+@dataclass(frozen=True)
+class _HoleRecord:
+    """Per-hole bind-time snapshot the scoped differ works from."""
+
+    hole_id: int
+    digest: str
+    members: frozenset[int]
+    bbox: Box
+
+
 @dataclass
 class EngineStats:
     """Counters the engine maintains regardless of a MetricsCollector."""
@@ -88,8 +165,17 @@ class EngineStats:
     queries: int = 0
     batch_queries: int = 0
     invalidations: int = 0
+    scoped_invalidations: int = 0
+    full_invalidations: int = 0
     #: cache name -> {"hits": int, "misses": int}
     cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: cache name -> {"survived": int, "evicted": int}, accumulated over
+    #: every invalidation pass (full flushes evict everything)
+    flush: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: description of the most recent invalidation: ``reason``, ``scope``
+    #: ("scoped" | "full"), ``dirty_holes``, and the per-cache
+    #: survived/evicted counts of that single pass
+    last_flush: dict[str, Any] | None = None
 
     def record(self, cache: str, hit: bool) -> None:
         """Count one lookup against the named cache."""
@@ -102,17 +188,35 @@ class EngineStats:
         total = row["hits"] + row["misses"]
         return row["hits"] / total if total else 0.0
 
+    def record_flush(self, cache: str, survived: int, evicted: int) -> None:
+        """Accumulate one invalidation pass's outcome for the named cache."""
+        row = self.flush.setdefault(cache, {"survived": 0, "evicted": 0})
+        row["survived"] += survived
+        row["evicted"] += evicted
+
+    def survival_rate(self, cache: str) -> float:
+        """Fraction of entries that survived invalidations (0.0 if none)."""
+        row = self.flush.get(cache, {"survived": 0, "evicted": 0})
+        total = row["survived"] + row["evicted"]
+        return row["survived"] / total if total else 0.0
+
     def summary(self) -> dict[str, float]:
         """Flat dict for tables/benches."""
         out: dict[str, float] = {
             "queries": self.queries,
             "batch_queries": self.batch_queries,
             "invalidations": self.invalidations,
+            "scoped_invalidations": self.scoped_invalidations,
+            "full_invalidations": self.full_invalidations,
         }
         for name, row in sorted(self.cache.items()):
             out[f"{name}_hits"] = row["hits"]
             out[f"{name}_misses"] = row["misses"]
             out[f"{name}_hit_rate"] = self.hit_rate(name)
+        for name, frow in sorted(self.flush.items()):
+            out[f"{name}_survived"] = frow["survived"]
+            out[f"{name}_evicted"] = frow["evicted"]
+            out[f"{name}_survival_rate"] = self.survival_rate(name)
         return out
 
 
@@ -133,6 +237,10 @@ class QueryEngine:
     caching:
         ``False`` turns the engine into a thin facade over plain
         per-mode routers (see the determinism contract above).
+    scoped_invalidation:
+        ``True`` (default) diffs per-hole content digests on every
+        invalidation and keeps entries the diff proves still valid;
+        ``False`` restores whole-cache flushes on any change.
     dijkstra_cache_size / result_cache_size:
         LRU bounds for the per-source distance maps and route results.
     max_replans:
@@ -152,6 +260,7 @@ class QueryEngine:
         *,
         udg: Adjacency | None = None,
         caching: bool = True,
+        scoped_invalidation: bool = True,
         dijkstra_cache_size: int = 64,
         result_cache_size: int = 4096,
         max_replans: int = 4,
@@ -166,6 +275,7 @@ class QueryEngine:
             udg if udg is not None else abstraction.graph.adjacency
         )
         self.caching = caching
+        self.scoped_invalidation = scoped_invalidation
         self.dijkstra_cache_size = dijkstra_cache_size
         self.result_cache_size = result_cache_size
         self.max_replans = max_replans
@@ -173,17 +283,20 @@ class QueryEngine:
         self.trace = trace
         self.stats = EngineStats()
 
-        self._digest = abstraction_digest(abstraction)
         self._routers: dict[str, HybridRouter] = {}
         self._locate_memo: dict[int, BayLocation | None] = {}
-        self._bay_structs: tuple[dict, dict] | None = None
-        #: shared across planner rebuilds; keyed (digest, bay_id) so a
-        #: stale geometry can never resurrect legs
-        self._leg_cache: dict[tuple, dict] = {}
+        #: hole content digest -> per-hole (groups, arc_edges) keyed by
+        #: bay index (see :func:`bay_structures_for_hole`)
+        self._bay_struct_cache: dict[str, tuple[dict, dict]] = {}
+        #: shared across planner rebuilds; keyed (hole digest, bay_index)
+        #: so entries of unchanged holes survive scoped rebinds and stale
+        #: geometry can never resurrect legs
+        self._leg_cache: dict[tuple, list] = {}
         self._dijkstra_lru: "OrderedDict[int, dict[int, float]]" = OrderedDict()
         self._result_lru: "OrderedDict[tuple[str, int, int], RouteOutcome]" = (
             OrderedDict()
         )
+        self._bind(abstraction)
 
     # -- telemetry -----------------------------------------------------------
     def _record(self, cache: str, hit: bool) -> None:
@@ -192,40 +305,361 @@ class QueryEngine:
         if self.metrics is not None:
             self.metrics.record_cache_event(cache, hit)
 
+    # -- bind state ----------------------------------------------------------
+    def _bind(
+        self,
+        abstraction: Abstraction,
+        records: list[_HoleRecord] | None = None,
+        points: np.ndarray | None = None,
+    ) -> None:
+        """Snapshot the abstraction state the caches are valid for."""
+        self._digest = abstraction_digest(abstraction)
+        self._bound_points = (
+            np.array(abstraction.points, dtype=float, copy=True)
+            if points is None
+            else points
+        )
+        self._hole_records = (
+            self._snapshot_holes(abstraction, self._bound_points)
+            if records is None
+            else records
+        )
+        self._hole_digest_by_id = {
+            r.hole_id: r.digest for r in self._hole_records
+        }
+
+    @staticmethod
+    def _snapshot_holes(
+        abstraction: Abstraction, pts: np.ndarray
+    ) -> list[_HoleRecord]:
+        records: list[_HoleRecord] = []
+        for hole in abstraction.holes:
+            members = hole.member_nodes()
+            if not members:
+                continue
+            records.append(
+                _HoleRecord(
+                    hole_id=hole.hole_id,
+                    digest=hole_content_digest(hole, pts),
+                    members=frozenset(members),
+                    bbox=_bbox_of(pts[members]),
+                )
+            )
+        return records
+
     # -- invalidation --------------------------------------------------------
     def _check_current(self) -> None:
-        """Flush everything when the abstraction content changed."""
+        """Invalidate when the abstraction content changed in place."""
         digest = abstraction_digest(self.abstraction)
         if digest != self._digest:
-            self._flush("content_changed", digest)
+            self._invalidate("content_changed", self.abstraction, self.udg)
 
-    def _flush(self, reason: str, digest: str) -> None:
+    def rebind(self, abstraction: Abstraction, *, scope: str = "auto") -> None:
+        """Swap in a rebuilt abstraction (post-mobility re-setup).
+
+        ``scope="auto"`` (default) runs the scoped differ when the node set
+        is unchanged and ``scoped_invalidation`` is on; ``scope="full"``
+        forces a whole-cache flush.
+        """
+        if scope not in ("auto", "full"):
+            raise ValueError(f"unknown rebind scope {scope!r}")
+        self._invalidate(
+            "rebind",
+            abstraction,
+            abstraction.graph.adjacency,
+            force_full=scope == "full",
+        )
+
+    def rebind_incremental(self, result) -> dict[str, Any] | None:
+        """Scoped rebind from an incremental update (§7 bridge).
+
+        ``result`` is the
+        :class:`~repro.protocols.incremental.IncrementalResult` of a
+        movement step: its abstraction is swapped in via :meth:`rebind`
+        (the per-hole digest diff independently rediscovers the dirty
+        rings the incremental protocol recomputed — rings the protocol
+        *reused* but whose members drifted within tolerance count as
+        dirty here, because the engine's caches are exact, not
+        tolerance-absorbed).  Returns :attr:`EngineStats.last_flush`.
+        """
+        self.rebind(result.abstraction)
+        return self.stats.last_flush
+
+    def _invalidate(
+        self,
+        reason: str,
+        new_abstraction: Abstraction,
+        new_udg: Adjacency,
+        *,
+        force_full: bool = False,
+    ) -> None:
+        old_digest = self._digest
+        new_pts = np.asarray(new_abstraction.points, dtype=float)
+        scoped_ok = (
+            self.scoped_invalidation
+            and not force_full
+            and new_pts.shape == self._bound_points.shape
+        )
+        if scoped_ok:
+            detail, dirty = self._flush_scoped(new_abstraction, new_pts, new_udg)
+            scope = "scoped"
+        else:
+            detail = self._flush_full()
+            dirty = len(new_abstraction.holes)
+            scope = "full"
         self._routers.clear()
-        self._locate_memo.clear()
-        self._bay_structs = None
-        self._leg_cache.clear()
-        self._dijkstra_lru.clear()
-        self._result_lru.clear()
         self.stats.invalidations += 1
+        if scope == "scoped":
+            self.stats.scoped_invalidations += 1
+        else:
+            self.stats.full_invalidations += 1
+        for cache, row in detail.items():
+            self.stats.record_flush(cache, row["survived"], row["evicted"])
+        self.abstraction = new_abstraction
+        self.udg = new_udg
+        self._bind(new_abstraction, points=new_pts.copy())
+        self.stats.last_flush = {
+            "reason": reason,
+            "scope": scope,
+            "dirty_holes": dirty,
+            "caches": detail,
+        }
         if self.caching and self.trace is not None:
             self.trace.emit(
                 "engine_invalidate",
                 reason=reason,
-                old_digest=self._digest,
-                new_digest=digest,
+                scope=scope,
+                old_digest=old_digest,
+                new_digest=self._digest,
+                dirty_holes=dirty,
+                survived=sum(r["survived"] for r in detail.values()),
+                evicted=sum(r["evicted"] for r in detail.values()),
             )
-        self._digest = digest
 
-    def rebind(self, abstraction: Abstraction) -> None:
-        """Swap in a rebuilt abstraction (post-mobility re-setup)."""
-        self.abstraction = abstraction
-        self.udg = abstraction.graph.adjacency
-        self._flush("rebind", abstraction_digest(abstraction))
+    def _flush_full(self) -> dict[str, dict[str, int]]:
+        """Drop every cache; returns the per-cache eviction counts."""
+        detail = {
+            "locate": {"survived": 0, "evicted": len(self._locate_memo)},
+            "bay_structs": {
+                "survived": 0,
+                "evicted": len(self._bay_struct_cache),
+            },
+            "bay_legs": {"survived": 0, "evicted": len(self._leg_cache)},
+            "dijkstra": {"survived": 0, "evicted": len(self._dijkstra_lru)},
+            "route_result": {"survived": 0, "evicted": len(self._result_lru)},
+        }
+        self._locate_memo.clear()
+        self._bay_struct_cache.clear()
+        self._leg_cache.clear()
+        self._dijkstra_lru.clear()
+        self._result_lru.clear()
+        return detail
+
+    def _flush_scoped(
+        self,
+        new_abst: Abstraction,
+        new_pts: np.ndarray,
+        new_udg: Adjacency,
+    ) -> tuple[dict[str, dict[str, int]], int]:
+        """Per-hole digest diff: evict only what the change can reach.
+
+        The validity argument for each cache is in
+        ``docs/dynamic_serving.md``; in short, an entry survives only when
+        a conservative geometric condition proves a cold recomputation
+        would reproduce it byte-for-byte.
+        """
+        old_pts = self._bound_points
+        moved = (old_pts != new_pts).any(axis=1)
+        moved_idx = np.nonzero(moved)[0]
+        new_records = self._snapshot_holes(new_abst, new_pts)
+        old_by_digest = {r.digest: r for r in self._hole_records}
+        new_by_digest = {r.digest: r for r in new_records}
+        clean_digests = set(old_by_digest) & set(new_by_digest)
+        id_map = {
+            old_by_digest[d].hole_id: new_by_digest[d].hole_id
+            for d in clean_digests
+        }
+        dirty_old = [r for r in self._hole_records if r.digest not in clean_digests]
+        dirty_new = [r for r in new_records if r.digest not in clean_digests]
+        dirty_members: set[int] = set()
+        for rec in dirty_old + dirty_new:
+            dirty_members.update(rec.members)
+        dirty_boxes = [
+            _pad_box(r.bbox, _BOX_PAD) for r in dirty_old + dirty_new
+        ]
+        detail: dict[str, dict[str, int]] = {}
+
+        # Locate memo: a classification survives when the node is unmoved,
+        # is not a member of any changed hole, sits outside every dirty
+        # region (so no changed hull can newly capture it nor did one
+        # previously), and — for non-None results — its hole is clean.
+        # Surviving hole ids are remapped through the digest match.
+        kept_locate: dict[int, BayLocation | None] = {}
+        for node, loc in self._locate_memo.items():
+            if (
+                moved[node]
+                or node in dirty_members
+                or _point_in_any_box(new_pts[node], dirty_boxes)
+            ):
+                continue
+            if loc is None:
+                kept_locate[node] = None
+            elif loc.hole_id in id_map:
+                kept_locate[node] = BayLocation(
+                    hole_id=id_map[loc.hole_id], bay_index=loc.bay_index
+                )
+        detail["locate"] = {
+            "survived": len(kept_locate),
+            "evicted": len(self._locate_memo) - len(kept_locate),
+        }
+        self._locate_memo = kept_locate
+
+        # Bay structures: purely per-hole (arc membership + member
+        # coordinates, both covered by the digest), so clean digests keep
+        # their entries verbatim.
+        kept_structs = {
+            d: v for d, v in self._bay_struct_cache.items() if d in clean_digests
+        }
+        detail["bay_structs"] = {
+            "survived": len(kept_structs),
+            "evicted": len(self._bay_struct_cache) - len(kept_structs),
+        }
+        self._bay_struct_cache = kept_structs
+
+        # Bay visibility legs: a clean hole's entry survives but is
+        # *patched* — candidate pairs whose segment box touches a dirty
+        # region (including pairs toward a changed hole's new hull nodes)
+        # are re-tested against the new obstacle set; all other verdicts
+        # provably carry over (see refresh_bay_legs).
+        kept_legs: dict[tuple, list] = {}
+        legs_survived = legs_evicted = 0
+        if self._leg_cache:
+            new_obstacles = [
+                p for p in new_abst.boundary_polygons() if len(p) >= 3
+            ]
+            segments = obstacle_segments(new_obstacles)
+            bboxes = obstacle_bboxes(new_obstacles)
+            base_new = sorted(new_abst.hull_nodes())
+            for key, legs in self._leg_cache.items():
+                digest, bay_index = key
+                entry = kept_structs.get(digest)
+                if digest not in clean_digests or entry is None:
+                    legs_evicted += 1
+                    continue
+                group = entry[0].get(bay_index)
+                if group is None:
+                    legs_evicted += 1
+                    continue
+                patched, _, _ = refresh_bay_legs(
+                    new_pts,
+                    group,
+                    base_new,
+                    legs,
+                    new_obstacles,
+                    segments=segments,
+                    bboxes=bboxes,
+                    dirty_boxes=dirty_boxes,
+                )
+                kept_legs[key] = patched
+                legs_survived += 1
+        detail["bay_legs"] = {
+            "survived": legs_survived,
+            "evicted": legs_evicted,
+        }
+        self._leg_cache = kept_legs
+
+        # Dijkstra distance maps cover every node of the UDG, so any
+        # coordinate or adjacency change can perturb them; they survive
+        # only a structure-only rebind that left the metric graph intact.
+        udg_same = moved_idx.size == 0 and (
+            new_udg is self.udg or new_udg == self.udg
+        )
+        if udg_same:
+            detail["dijkstra"] = {
+                "survived": len(self._dijkstra_lru),
+                "evicted": 0,
+            }
+        else:
+            detail["dijkstra"] = {
+                "survived": 0,
+                "evicted": len(self._dijkstra_lru),
+            }
+            self._dijkstra_lru.clear()
+
+        # Route results: survive only when the cached path's influence
+        # region (its bounding box plus the Chew-locality margin) contains
+        # no moved node and touches no dirty region — and, for routes that
+        # consulted the waypoint planner (case != "visible"), only when no
+        # hole changed at all, because the planner's graph is global.
+        kept_results: "OrderedDict[tuple[str, int, int], RouteOutcome]" = (
+            OrderedDict()
+        )
+        dirty_exists = bool(dirty_old or dirty_new)
+        margin = _ROUTE_MARGIN_RADII * float(new_abst.graph.radius)
+        moved_coords = (
+            np.vstack([old_pts[moved_idx], new_pts[moved_idx]])
+            if moved_idx.size
+            else np.empty((0, 2))
+        )
+        for key, outcome in self._result_lru.items():
+            if self._route_survives(
+                outcome, moved, moved_coords, dirty_boxes, dirty_exists,
+                margin, new_pts,
+            ):
+                kept_results[key] = outcome
+        detail["route_result"] = {
+            "survived": len(kept_results),
+            "evicted": len(self._result_lru) - len(kept_results),
+        }
+        self._result_lru = kept_results
+
+        return detail, len(dirty_new)
+
+    @staticmethod
+    def _route_survives(
+        outcome: RouteOutcome,
+        moved: np.ndarray,
+        moved_coords: np.ndarray,
+        dirty_boxes: Sequence[Box],
+        dirty_exists: bool,
+        margin: float,
+        new_pts: np.ndarray,
+    ) -> bool:
+        """Can a cached route provably be reproduced by a cold router?"""
+        if not outcome.reached or outcome.used_fallback:
+            # Fallback and failed routes consulted the global shortest-path
+            # oracle — no local condition bounds their dependencies.
+            return False
+        if outcome.case != "visible" and dirty_exists:
+            # Planner-mediated routes depend on the full waypoint graph;
+            # any changed hole may open a shorter waypoint path anywhere.
+            return False
+        nodes = list(outcome.path) + list(outcome.waypoints)
+        if not nodes:
+            return False
+        arr = np.asarray(nodes, dtype=np.intp)
+        if bool(moved[arr].any()):
+            return False
+        coords = new_pts[arr]
+        region: Box = (
+            float(coords[:, 0].min()) - margin,
+            float(coords[:, 1].min()) - margin,
+            float(coords[:, 0].max()) + margin,
+            float(coords[:, 1].max()) + margin,
+        )
+        if _any_point_in_box(region, moved_coords):
+            return False
+        return not any(_boxes_intersect(region, b) for b in dirty_boxes)
 
     @property
     def digest(self) -> str:
         """Digest of the abstraction state the caches are valid for."""
         return self._digest
+
+    @property
+    def hole_digests(self) -> dict[int, str]:
+        """Per-hole content digests of the bound abstraction (by hole id)."""
+        return dict(self._hole_digest_by_id)
 
     # -- memoized components -------------------------------------------------
     def _locate(self, node: int) -> BayLocation | None:
@@ -238,6 +672,33 @@ class QueryEngine:
         self._locate_memo[node] = loc
         return loc
 
+    def _leg_key(self, bay_id: tuple[int, int]) -> tuple[str, int] | None:
+        """Shared leg-cache key of a bay: (hole content digest, bay index)."""
+        digest = self._hole_digest_by_id.get(bay_id[0])
+        if digest is None:
+            return None
+        return (digest, bay_id[1])
+
+    def _get_bay_structs(self) -> tuple[dict, dict]:
+        """Merged (groups, arc_edges) over all holes, per-hole memoized."""
+        groups: dict[tuple[int, int], list[int]] = {}
+        arcs: dict[tuple[int, int], list] = {}
+        for hole in self.abstraction.holes:
+            dg = self._hole_digest_by_id.get(hole.hole_id)
+            if dg is None:
+                entry = bay_structures_for_hole(self.abstraction, hole)
+            else:
+                entry = self._bay_struct_cache.get(dg)
+                self._record("bay_structs", entry is not None)
+                if entry is None:
+                    entry = bay_structures_for_hole(self.abstraction, hole)
+                    self._bay_struct_cache[dg] = entry
+            for idx, sel in entry[0].items():
+                groups[(hole.hole_id, idx)] = sel
+            for idx, edges in entry[1].items():
+                arcs[(hole.hole_id, idx)] = edges
+        return groups, arcs
+
     def _router(self, mode: str) -> HybridRouter:
         router = self._routers.get(mode)
         if router is not None:
@@ -249,22 +710,20 @@ class QueryEngine:
         else:
             self._record("router", False)
             extra: dict = {}
+            planner_kwargs: dict = {"cache_hook": self._record}
             if mode == "hull":
-                if self._bay_structs is None:
-                    self._bay_structs = bay_waypoint_structures(
-                        self.abstraction
-                    )
-                extra["bay_structures"] = self._bay_structs
+                extra["bay_structures"] = self._get_bay_structs()
+                # The shared leg cache holds hull-mode bay legs; handing it
+                # to the §3 modes (whose planners have no bay groups) would
+                # let them overwrite a bay's entry with an empty leg list.
+                planner_kwargs["leg_cache"] = self._leg_cache
+                planner_kwargs["leg_cache_key"] = self._leg_key
             router = HybridRouter(
                 self.abstraction,
                 mode,
                 self.max_replans,
                 locator=self._locate,
-                planner_kwargs={
-                    "leg_cache": self._leg_cache,
-                    "leg_cache_key": self._digest,
-                    "cache_hook": self._record,
-                },
+                planner_kwargs=planner_kwargs,
                 **extra,
             )
         self._routers[mode] = router

@@ -25,7 +25,7 @@ from .holes import (
     rotated,
     star_hole,
 )
-from .mobility import MobilityModel
+from .mobility import ChurnEvent, MobilityModel, churn_schedule
 
 __all__ = [
     "InfeasibleScenario",
@@ -43,6 +43,8 @@ __all__ = [
     "rotated",
     "star_hole",
     "MobilityModel",
+    "ChurnEvent",
+    "churn_schedule",
     "blackout_plan",
     "boundary_crash_plan",
     "hole_boundary_targets",

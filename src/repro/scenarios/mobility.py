@@ -20,7 +20,55 @@ from ..geometry.polygon import polygon_contains_any
 from ..graphs.udg import is_connected, unit_disk_graph
 from .generators import Scenario
 
-__all__ = ["MobilityModel"]
+__all__ = ["MobilityModel", "ChurnEvent", "churn_schedule"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One step of a serving-under-churn workload.
+
+    ``kind`` is ``"move"`` (one bounded-speed mobility step of a random
+    ``fraction`` of the nodes), ``"join"`` or ``"leave"`` (``count`` nodes
+    arrive/depart via :meth:`MobilityModel.churn`).
+    """
+
+    kind: str
+    count: int = 0
+    fraction: float = 1.0
+
+
+def churn_schedule(
+    steps: int,
+    *,
+    seed: int = 0,
+    p_join: float = 0.1,
+    p_leave: float = 0.1,
+    batch: int = 1,
+    move_fraction: float = 1.0,
+) -> list[ChurnEvent]:
+    """Deterministic move/join/leave event stream for churn experiments.
+
+    Each step is independently a ``leave`` (probability ``p_leave``), a
+    ``join`` (``p_join``) or a mobility ``move`` of a random
+    ``move_fraction`` of the nodes (the rest stand still — localized
+    movement is what lets a scoped serving layer keep distant holes warm);
+    join and leave events affect ``batch`` nodes.  Same seed, same schedule
+    — the differential suites replay one schedule against two serving
+    stacks.
+    """
+    if p_join < 0 or p_leave < 0 or p_join + p_leave > 1:
+        raise ValueError("join/leave probabilities must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    events: list[ChurnEvent] = []
+    for _ in range(steps):
+        r = float(rng.random())
+        if r < p_leave:
+            events.append(ChurnEvent("leave", batch))
+        elif r < p_leave + p_join:
+            events.append(ChurnEvent("join", batch))
+        else:
+            events.append(ChurnEvent("move", fraction=move_fraction))
+    return events
 
 
 @dataclass
@@ -58,7 +106,9 @@ class MobilityModel:
         """Current node positions (view of internal state — do not mutate)."""
         return self._points
 
-    def _propose(self, scale: float) -> np.ndarray:
+    def _propose(
+        self, scale: float, mask: np.ndarray | None = None
+    ) -> np.ndarray:
         rng = self._rng
         n = len(self._points)
         # Smoothly rotate each node's drift, then take a bounded step.
@@ -69,6 +119,8 @@ class MobilityModel:
         self._drift = np.column_stack([dx, dy])
         step = self._drift * (scale * rng.uniform(0.2, 1.0, size=(n, 1)))
         prop = self._points + step
+        if mask is not None:
+            prop[~mask] = self._points[~mask]
         prop[:, 0] = np.clip(prop[:, 0], 0.0, self.scenario.width)
         prop[:, 1] = np.clip(prop[:, 1], 0.0, self.scenario.height)
         # Nodes may not enter holes: any that would are held in place.
@@ -78,15 +130,20 @@ class MobilityModel:
         prop[inside] = self._points[inside]
         return prop
 
-    def step(self) -> np.ndarray:
+    def step(self, fraction: float = 1.0) -> np.ndarray:
         """Advance one timestep; returns the new positions.
 
+        ``fraction`` < 1 moves only a random subset of the nodes (localized
+        movement); the default keeps the historical everything-drifts walk.
         Guarantees the returned configuration has a connected UDG (possibly
         by rejecting and shrinking the step, ultimately standing still).
         """
+        mask: np.ndarray | None = None
+        if fraction < 1.0:
+            mask = self._rng.random(len(self._points)) < fraction
         scale = self.speed
         for _ in range(self.max_retries):
-            prop = self._propose(scale)
+            prop = self._propose(scale, mask)
             adj = unit_disk_graph(prop, radius=self.scenario.radius)
             if is_connected(adj):
                 self._points = prop
@@ -98,6 +155,21 @@ class MobilityModel:
         """Yield positions after each of ``steps`` timesteps."""
         for _ in range(steps):
             yield self.step()
+
+    def apply(self, event: ChurnEvent) -> np.ndarray:
+        """Apply one :class:`ChurnEvent`; returns the new positions.
+
+        ``move`` keeps the node id space (the engine can rebind scoped);
+        ``join``/``leave`` re-densify ids, so callers must treat the result
+        as a fresh instance (the engine falls back to a full flush).
+        """
+        if event.kind == "move":
+            return self.step(event.fraction)
+        if event.kind == "join":
+            return self.churn(join=event.count)
+        if event.kind == "leave":
+            return self.churn(leave=event.count)
+        raise ValueError(f"unknown churn event kind {event.kind!r}")
 
     # -- churn (§7: joining and leaving nodes) -------------------------------
     def churn(self, leave: int = 0, join: int = 0) -> np.ndarray:

@@ -114,6 +114,7 @@ EVENT_TYPES: set[str] = set(
         "arq_dead",
         "engine_query",
         "engine_invalidate",
+        "churn_step",
         "drop",
         "duplicate",
         "delay",

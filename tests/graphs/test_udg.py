@@ -129,3 +129,48 @@ class TestScenarioGuarantees:
         assert is_connected(adj)
         # Jittered grid with spacing 0.55: degree stays small & bounded.
         assert max_degree(adj) <= 16
+
+
+class TestRadiusBoundary:
+    """Edge inclusion at the radius boundary uses the shared EPS tolerance.
+
+    Historical behaviour (an ad-hoc ``1e-12`` slack on the squared
+    distance) is preserved exactly — the tolerance now just comes from
+    :mod:`repro.geometry.predicates` like every other geometric test.
+    """
+
+    def test_pair_exactly_at_radius(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        adj = unit_disk_graph(pts, radius=1.0)
+        assert adj[0] == [1] and adj[1] == [0]
+
+    def test_pair_just_inside(self):
+        pts = np.array([[0.0, 0.0], [1.0 - 1e-9, 0.0]])
+        adj = unit_disk_graph(pts, radius=1.0)
+        assert adj[0] == [1]
+
+    def test_pair_just_outside(self):
+        pts = np.array([[0.0, 0.0], [1.0 + 1e-6, 0.0]])
+        adj = unit_disk_graph(pts, radius=1.0)
+        assert adj[0] == [] and adj[1] == []
+
+    def test_pair_within_eps_band(self):
+        """Squared distance beyond r² by less than EPS still connects."""
+        import math
+
+        from repro.geometry.predicates import EPS
+
+        x = math.sqrt(1.0 + EPS / 2)
+        pts = np.array([[0.0, 0.0], [x, 0.0]])
+        adj = unit_disk_graph(pts, radius=1.0)
+        assert adj[0] == [1]
+
+    def test_grid_index_agrees_with_graph(self):
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [1.0 + 1e-6, 1.0], [0.0, 1.0 - 1e-9]]
+        )
+        grid = GridIndex(pts, cell=1.0)
+        adj = unit_disk_graph(pts, radius=1.0)
+        for i, p in enumerate(pts):
+            got = sorted(j for j in grid.query_radius(p, 1.0) if j != i)
+            assert got == adj[i]

@@ -224,6 +224,180 @@ class TestInvalidation:
         assert "engine_invalidate" in etypes
 
 
+class TestScopedInvalidation:
+    """Per-hole digest diffing: untouched holes keep their cache entries."""
+
+    def _perturbed_rebuild(self, abst, victim, delta=1e-3):
+        """Move one node, rebuild the abstraction from scratch."""
+        pts = abst.points.copy()
+        pts[victim] += delta
+        return build_abstraction(build_ldel(pts))
+
+    def _warm_multi_hole(self, seed=3, width=14.0, holes=3, queries=40):
+        sc, graph, abst = _mk(seed=seed, width=width, holes=holes)
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        rng = np.random.default_rng(11)
+        pairs = sample_pairs(sc.n, queries, rng)
+        engine.route_many(pairs)
+        return sc, graph, abst, engine, pairs
+
+    def test_single_hole_perturbation_preserves_other_holes(self):
+        """Acceptance criterion: perturb one hole of a multi-hole instance;
+        every bay-leg and locate entry of the untouched holes survives and
+        the served routes match a from-scratch engine exactly."""
+        from repro.core.abstraction import hole_content_digest
+
+        sc, graph, abst, engine, pairs = self._warm_multi_hole()
+        inner = [h for h in abst.holes if not h.is_outer]
+        assert len(inner) >= 2, "needs a multi-hole instance"
+        victim_hole = inner[0]
+        victim = victim_hole.boundary[0]
+
+        pre_legs = dict(engine._leg_cache)
+        pre_locate = dict(engine._locate_memo)
+        assert pre_legs, "warmup must have populated bay legs"
+
+        new_abst = self._perturbed_rebuild(abst, victim)
+        new_digests = {
+            hole_content_digest(h, new_abst.points) for h in new_abst.holes
+        }
+        # Entries whose hole digest still exists must survive the rebind.
+        expected_surviving = {
+            k for k in pre_legs if k[0] in new_digests
+        }
+        assert expected_surviving, "untouched holes must have warm legs"
+
+        engine.rebind(new_abst)
+        flush = engine.stats.last_flush
+        assert flush["scope"] == "scoped"
+        assert flush["reason"] == "rebind"
+        assert flush["dirty_holes"] >= 1
+        assert expected_surviving <= set(engine._leg_cache)
+        assert flush["caches"]["bay_legs"]["survived"] == len(
+            expected_surviving
+        )
+        # Locate entries for nodes away from the dirty hole survive too.
+        assert flush["caches"]["locate"]["survived"] > 0
+        assert engine.stats.scoped_invalidations == 1
+        assert engine.stats.full_invalidations == 0
+        assert engine.stats.survival_rate("bay_legs") > 0.0
+
+        # Zero route mismatches versus a from-scratch engine.
+        cold = QueryEngine(new_abst, "hull", caching=False)
+        for s, t in pairs:
+            assert _same_outcome(cold.route(s, t), engine.route(s, t))
+
+    def test_flush_counters_reconcile(self):
+        """survived + evicted of every cache equals its pre-flush size."""
+        sc, graph, abst, engine, pairs = self._warm_multi_hole()
+        pre_sizes = {
+            "locate": len(engine._locate_memo),
+            "bay_structs": len(engine._bay_struct_cache),
+            "bay_legs": len(engine._leg_cache),
+            "dijkstra": len(engine._dijkstra_lru),
+            "route_result": len(engine._result_lru),
+        }
+        victim = [h for h in abst.holes if not h.is_outer][0].boundary[0]
+        engine.rebind(self._perturbed_rebuild(abst, victim))
+        caches = engine.stats.last_flush["caches"]
+        for name, size in pre_sizes.items():
+            row = caches[name]
+            assert row["survived"] + row["evicted"] == size, name
+
+    def test_scope_full_forces_whole_flush(self):
+        sc, graph, abst, engine, pairs = self._warm_multi_hole()
+        victim = [h for h in abst.holes if not h.is_outer][0].boundary[0]
+        engine.rebind(self._perturbed_rebuild(abst, victim), scope="full")
+        flush = engine.stats.last_flush
+        assert flush["scope"] == "full"
+        assert engine.stats.full_invalidations == 1
+        assert all(
+            row["survived"] == 0 for row in flush["caches"].values()
+        )
+        assert not engine._leg_cache and not engine._locate_memo
+
+    def test_scoped_invalidation_off_restores_full_flush(self):
+        sc, graph, abst = _mk(seed=3, width=14.0, holes=3)
+        engine = QueryEngine(
+            abst, "hull", udg=graph.udg, scoped_invalidation=False
+        )
+        rng = np.random.default_rng(11)
+        engine.route_many(sample_pairs(sc.n, 10, rng))
+        victim = [h for h in abst.holes if not h.is_outer][0].boundary[0]
+        pts = abst.points.copy()
+        pts[victim] += 1e-3
+        engine.rebind(build_abstraction(build_ldel(pts)))
+        assert engine.stats.last_flush["scope"] == "full"
+
+    def test_node_count_change_forces_full_flush(self):
+        sc, graph, abst, engine, pairs = self._warm_multi_hole()
+        pts = np.vstack([abst.points, abst.points[:1] + 0.3])
+        engine.rebind(build_abstraction(build_ldel(pts)))
+        assert engine.stats.last_flush["scope"] == "full"
+        assert engine.stats.full_invalidations == 1
+
+    def test_invalid_rebind_scope_rejected(self):
+        _, graph, abst = _mk()
+        with pytest.raises(ValueError):
+            QueryEngine(abst, "hull", udg=graph.udg).rebind(
+                abst, scope="partial"
+            )
+
+    def test_inplace_mutation_takes_scoped_path(self):
+        """The per-query digest check also diffs per hole in place."""
+        sc, graph, abst = _mk(seed=3, width=14.0, holes=3)
+        engine = QueryEngine(abst, "hull", udg=graph.udg)
+        rng = np.random.default_rng(11)
+        pairs = sample_pairs(sc.n, 20, rng)
+        engine.route_many(pairs)
+        victim = [h for h in abst.holes if not h.is_outer][0].boundary[0]
+        abst.graph.points[victim] += 1e-4
+        cold = HybridRouter(abst, "hull")
+        for s, t in pairs[:8]:
+            assert _same_outcome(cold.route(s, t), engine.route(s, t))
+        assert engine.stats.scoped_invalidations == 1
+        assert engine.stats.last_flush["reason"] == "content_changed"
+
+    def test_invalidate_trace_event_payload(self):
+        _, graph, abst = _mk(seed=3, width=14.0, holes=3)
+        trace = TraceRecorder()
+        engine = QueryEngine(abst, "hull", udg=graph.udg, trace=trace)
+        rng = np.random.default_rng(11)
+        engine.route_many(sample_pairs(len(abst.points), 10, rng))
+        victim = [h for h in abst.holes if not h.is_outer][0].boundary[0]
+        pts = abst.points.copy()
+        pts[victim] += 1e-3
+        engine.rebind(build_abstraction(build_ldel(pts)))
+        ev = [e for e in trace.events() if e.etype == "engine_invalidate"][-1]
+        data = dict(ev.data)
+        assert data["scope"] == "scoped"
+        assert data["dirty_holes"] >= 1
+        assert data["survived"] + data["evicted"] > 0
+        assert data["old_digest"] != data["new_digest"]
+
+    def test_rebind_incremental_bridge(self):
+        """A mobility step drives a scoped rebind through the §7 bridge."""
+        from repro.protocols.incremental import run_incremental_update
+        from repro.protocols.setup import run_distributed_setup
+
+        sc, graph, abst = _mk(seed=7, width=8.0)
+        setup = run_distributed_setup(sc.points, seed=7)
+        engine = QueryEngine(setup.abstraction, "hull")
+        rng = np.random.default_rng(9)
+        pairs = sample_pairs(sc.n, 10, rng)
+        engine.route_many(pairs)
+        model = MobilityModel(sc, speed=0.03, seed=1)
+        pts = model.step(0.2).copy()
+        inc = run_incremental_update(setup, pts, tolerance=0.2, seed=7)
+        flush = engine.rebind_incremental(inc)
+        assert flush is engine.stats.last_flush
+        assert flush["scope"] == "scoped"
+        assert engine.abstraction is inc.abstraction
+        cold = QueryEngine(inc.abstraction, "hull", caching=False)
+        for s, t in pairs:
+            assert _same_outcome(cold.route(s, t), engine.route(s, t))
+
+
 class TestEvaluateIntegration:
     def test_evaluate_routing_with_engine_matches(self, inst, pairs):
         from repro.routing.competitiveness import evaluate_routing

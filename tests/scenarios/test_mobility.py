@@ -117,3 +117,56 @@ class TestChurn:
         m.churn(leave=3, join=3)
         pts = m.step()
         assert is_connected(unit_disk_graph(pts, radius=sc.radius))
+
+
+class TestChurnSchedule:
+    def test_deterministic(self):
+        from repro.scenarios import churn_schedule
+
+        a = churn_schedule(20, seed=5, p_join=0.2, p_leave=0.2)
+        b = churn_schedule(20, seed=5, p_join=0.2, p_leave=0.2)
+        assert a == b
+        assert len(a) == 20
+        assert {e.kind for e in a} <= {"move", "join", "leave"}
+
+    def test_probability_validation(self):
+        from repro.scenarios import churn_schedule
+
+        with pytest.raises(ValueError):
+            churn_schedule(5, p_join=0.7, p_leave=0.7)
+        with pytest.raises(ValueError):
+            churn_schedule(5, p_join=-0.1)
+
+    def test_move_fraction_carried_on_events(self):
+        from repro.scenarios import churn_schedule
+
+        evs = churn_schedule(10, seed=0, p_join=0.0, p_leave=0.0,
+                             move_fraction=0.25)
+        assert all(e.kind == "move" and e.fraction == 0.25 for e in evs)
+
+    def test_fractional_step_moves_subset(self):
+        from repro.scenarios import ChurnEvent
+
+        sc = perturbed_grid_scenario(
+            width=8, height=8, hole_count=1, hole_scale=2.0, seed=30
+        )
+        m = MobilityModel(sc, speed=0.05, seed=31)
+        before = m.points.copy()
+        after = m.apply(ChurnEvent("move", fraction=0.2))
+        moved = (before != after).any(axis=1)
+        # Localized movement: most nodes are bit-identical, some moved.
+        assert 0 < moved.sum() < 0.5 * len(before)
+        assert is_connected(unit_disk_graph(after, radius=sc.radius))
+
+    def test_apply_dispatches_churn(self):
+        from repro.scenarios import ChurnEvent
+
+        sc = perturbed_grid_scenario(
+            width=8, height=8, hole_count=1, hole_scale=2.0, seed=32
+        )
+        m = MobilityModel(sc, seed=33)
+        n0 = len(m.points)
+        assert len(m.apply(ChurnEvent("join", count=2))) == n0 + 2
+        assert len(m.apply(ChurnEvent("leave", count=2))) == n0
+        with pytest.raises(ValueError):
+            m.apply(ChurnEvent("teleport"))

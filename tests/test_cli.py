@@ -289,3 +289,37 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "crashing hole-boundary nodes" in out
+
+
+class TestChurnServeCommand:
+    SERVE_ARGS = ["--width", "8", "--holes", "1", "--hole-scale", "2.0",
+                  "--seed", "3", "--steps", "2", "--queries", "6"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["churn-serve"])
+        assert args.command == "churn-serve"
+        assert args.steps == 8 and args.queries == 32
+        assert not args.full_flush and not args.verify
+
+    def test_churn_serve_runs(self, capsys):
+        rc = main(["churn-serve", *self.SERVE_ARGS, "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving under churn" in out
+        assert "differential mismatches: 0" in out
+
+    def test_churn_serve_json_artifact(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "churn.json"
+        rc = main(["churn-serve", *self.SERVE_ARGS, "--json", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["rows"]) == 2
+        assert "warm_query_p50_us" in payload["summary"]
+
+    def test_full_flush_flag_disables_scoping(self, capsys):
+        rc = main(["churn-serve", *self.SERVE_ARGS, "--full-flush"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rebinds: 0 scoped" in out
