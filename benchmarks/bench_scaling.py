@@ -1,0 +1,135 @@
+"""E16 — construction and routing cost versus n on a log grid up to 10⁵.
+
+The competitive-routing results are asymptotic; this benchmark pins the
+implementation's constants.  For each instance size on a log grid it
+measures the vectorized LDel² build (:func:`repro.graphs.ldel.build_ldel` —
+grid candidate join, wedge-join triangle enumeration, batched circumcircle
+witness pruning), the brute-force oracle build
+(:func:`~repro.graphs.ldel.build_ldel_reference`, capped at the size where
+its quadratic cost stays affordable), and the per-query routing latency of
+the hull router on the built abstraction.
+
+Asserted contract: the fast path beats the reference by ≥10× at the largest
+size both run, and the 10⁵-node build completes inside the wall-clock
+budget — the "seconds, not hours" bar the vectorization exists for.
+
+``BENCH_SCALING_MAX_N`` trims the grid (CI runs ≤10⁴ to keep the
+non-blocking job short; the committed artifact comes from a full local run).
+"""
+
+import math
+import os
+import time
+
+from conftest import run_once
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel, build_ldel_reference
+from repro.graphs.udg import edge_count
+from repro.routing import hull_router, sample_pairs
+from repro.scenarios import perturbed_grid_scenario
+
+import numpy as np
+
+#: Log grid of target node counts: 10^3 … 10^5 in half-decade steps.
+TARGET_NS = [1_000, 3_163, 10_000, 31_623, 100_000]
+
+#: Largest n at which the quadratic-ish reference oracle still runs in
+#: acceptable time (≈1 min); beyond it only the fast path is measured.
+#: Slightly above the 10⁴ grid point, whose realized n overshoots the target.
+REF_MAX_N = 12_000
+
+#: Wall-clock budget for the largest build — the tentpole acceptance bar.
+MAX_BUILD_SECONDS = 60.0
+
+ROUTE_QUERIES = 30
+
+SPACING = 0.55  # perturbed_grid_scenario's default node spacing
+
+
+def _width_for(n: int) -> float:
+    # The generator lays a jittered grid at SPACING, minus hole carve-outs;
+    # solve (width/SPACING + 1)² ≈ n and pad for the holes.
+    return SPACING * (math.sqrt(1.08 * n) - 1.0)
+
+
+def _max_n() -> int:
+    return int(os.environ.get("BENCH_SCALING_MAX_N", TARGET_NS[-1]))
+
+
+_cache: dict = {}
+
+
+def _results():
+    if "rows" in _cache:
+        return _cache["rows"]
+    rows = []
+    for target in TARGET_NS:
+        if target > _max_n():
+            continue
+        w = _width_for(target)
+        sc = perturbed_grid_scenario(
+            width=w, height=w, hole_count=max(2, target // 4000),
+            hole_scale=2.2, seed=13,
+        )
+
+        t0 = time.perf_counter()
+        graph = build_ldel(sc.points)
+        fast_s = time.perf_counter() - t0
+
+        ref_s = None
+        if sc.n <= REF_MAX_N:
+            t0 = time.perf_counter()
+            ref = build_ldel_reference(sc.points)
+            ref_s = time.perf_counter() - t0
+            # The speed comparison is only meaningful if both paths built
+            # the same graph.
+            assert ref.adjacency == graph.adjacency
+            assert ref.triangles == graph.triangles
+
+        abst = build_abstraction(graph)
+        router = hull_router(abst)
+        rng = np.random.default_rng(2)
+        pairs = sample_pairs(sc.n, ROUTE_QUERIES, rng)
+        t0 = time.perf_counter()
+        reached = sum(router.route(s, t).reached for s, t in pairs)
+        route_ms = (time.perf_counter() - t0) * 1000.0 / len(pairs)
+
+        rows.append(
+            {
+                "n": sc.n,
+                "udg_edges": edge_count(graph.udg),
+                "build_fast_s": round(fast_s, 3),
+                "build_ref_s": round(ref_s, 3) if ref_s is not None else None,
+                "speedup": round(ref_s / fast_s, 1) if ref_s is not None else None,
+                "route_ms": round(route_ms, 2),
+                "routed": f"{reached}/{len(pairs)}",
+            }
+        )
+    _cache["rows"] = rows
+    return rows
+
+
+def test_e16_scaling(benchmark, report):
+    rows = run_once(benchmark, _results)
+
+    report(
+        rows,
+        title="E16: construction & routing vs n (fast path vs reference oracle)",
+    )
+
+    assert rows, "BENCH_SCALING_MAX_N excluded every grid size"
+
+    # Every size routed every sampled query.
+    for row in rows:
+        assert row["routed"] == f"{ROUTE_QUERIES}/{ROUTE_QUERIES}"
+
+    # ≥10× over the oracle at the largest size both built (the tentpole bar).
+    common = [r for r in rows if r["speedup"] is not None]
+    assert common, "no size ran both fast and reference builds"
+    assert common[-1]["speedup"] >= 10.0
+
+    # The largest requested build lands inside the wall-clock budget.
+    largest = rows[-1]
+    assert largest["build_fast_s"] < MAX_BUILD_SECONDS
+    if _max_n() >= TARGET_NS[-1]:
+        assert largest["n"] >= 100_000

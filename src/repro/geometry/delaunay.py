@@ -6,29 +6,58 @@ graph is the ad hoc topology (Definition 2.3), and the *Overlay Delaunay
 Graph* of convex-hull corners is the routing abstraction (§4.2).  All three
 consume this module.
 
-The implementation is the classic incremental Bowyer–Watson algorithm with a
-super-triangle.  Candidate "bad" triangles per insertion are found with a
-vectorized circumcircle test over numpy arrays of centers/radii, which keeps
-the inner loop out of Python (per the HPC guide) and makes n in the low
-thousands comfortable.  ``scipy.spatial.Delaunay`` is deliberately *not* used
-here — it serves only as an independent oracle in the test suite.
+Two implementations of the classic incremental Bowyer–Watson algorithm live
+side by side:
+
+* :func:`delaunay_triangulation` — the fast path.  Triangles carry neighbor
+  pointers, each insertion locates its containing triangle by *walking*
+  across the triangulation from the previous insertion point (spatially
+  coherent thanks to the lexicographic insertion order) and grows the
+  cavity by a breadth-first search over neighbors, so an insertion costs
+  O(cavity) instead of a scan over every live triangle.
+* :func:`delaunay_triangulation_reference` — the global-scan implementation
+  (vectorized circumcircle test over *all* live triangles per insertion).
+  Kept verbatim as the differential oracle; quadratic overall.
+
+Both insert in the same order and classify cavities with the same
+circumcenter arithmetic and the same ``d² < r² − EPS`` band, so they produce
+identical triangle sets — ``tests/test_fastpath_equivalence.py`` pins this,
+degenerate fixtures included.  ``scipy.spatial.Delaunay`` is deliberately
+*not* used here — it serves only as an independent oracle in the test suite.
+
+:class:`PointLocator` exposes the same walk (seeded by a uniform grid over
+triangle centroids) as a reusable point-location structure for finished
+triangulations; :func:`locate_point_reference` is its linear-scan oracle.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from .primitives import EPS, as_array, circumcenter
-from .predicates import in_circle
+from .predicates import in_circle_batch, orientation_batch, point_in_triangle
 
-__all__ = ["Triangulation", "delaunay_triangulation", "delaunay_edges"]
+__all__ = [
+    "Triangulation",
+    "delaunay_triangulation",
+    "delaunay_triangulation_reference",
+    "delaunay_edges",
+    "PointLocator",
+    "locate_point_reference",
+    "empty_circumcircle_violations",
+]
 
 Edge = tuple[int, int]
 Triangle = tuple[int, int, int]
+
+#: Walk-step cap before point location falls back to a linear scan — a
+#: safety net for degenerate inputs where EPS-banded orientation tests
+#: could cycle; never reached on the jittered scenario distributions.
+_WALK_CAP = 10_000
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -77,29 +106,208 @@ class Triangulation:
         return out
 
 
-def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
-    """Delaunay triangulation of ``points`` via Bowyer–Watson.
+def _super_triangle(pts: np.ndarray) -> np.ndarray:
+    """Super-triangle comfortably containing all points.
 
-    Assumes the paper's non-pathological inputs (no four cocircular points);
-    near-degenerate cases are resolved by the predicate tolerance, which is
-    adequate for the jittered scenario point sets used throughout.
+    Shared by the fast and reference constructions so both insert into the
+    same initial geometry — a precondition for their bit-identical cavity
+    decisions.
     """
-    pts = as_array(points)
-    n = len(pts)
-    if n < 3:
-        return Triangulation(points=pts, triangles=[])
-
-    # Super-triangle comfortably containing all points.
     cx, cy = pts.mean(axis=0)
     span = max(float(np.ptp(pts[:, 0])), float(np.ptp(pts[:, 1])), 1.0)
     m = 16.0 * span
-    super_pts = np.array(
+    return np.array(
         [
             [cx - 2.0 * m, cy - m],
             [cx + 2.0 * m, cy - m],
             [cx, cy + 2.0 * m],
         ]
     )
+
+
+def _circum_of(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float
+) -> tuple[float, float, float]:
+    """Circumcenter and squared radius, scalar-arithmetic identical to
+    :func:`repro.geometry.primitives.circumcenter`.
+
+    Degenerate slivers get an empty circumcircle (``(inf, inf), 0``) so they
+    are never invalidated — the reference convention.
+    """
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < EPS:
+        return (math.inf, math.inf, 0.0)
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
+    r_sq = (ux - ax) ** 2 + (uy - ay) ** 2
+    return (ux, uy, r_sq)
+
+
+def delaunay_triangulation(points: Sequence[Sequence[float]]) -> Triangulation:
+    """Delaunay triangulation of ``points`` via walk-based Bowyer–Watson.
+
+    Assumes the paper's non-pathological inputs (no four cocircular points);
+    near-degenerate cases are resolved by the predicate tolerance, which is
+    adequate for the jittered scenario point sets used throughout.
+    Differentially pinned to :func:`delaunay_triangulation_reference`.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    if n < 3:
+        return Triangulation(points=pts, triangles=[])
+
+    all_pts = np.vstack([pts, _super_triangle(pts)])
+    xs = all_pts[:, 0].tolist()
+    ys = all_pts[:, 1].tolist()
+    s0, s1, s2 = n, n + 1, n + 2
+
+    # Parallel triangle arrays.  ``verts`` rows are CCW ordered; ``nbrs[t][i]``
+    # is the triangle across the edge opposite ``verts[t][i]`` (-1 = none).
+    verts: list[tuple[int, int, int]] = [(s0, s1, s2)]
+    nbrs: list[list[int]] = [[-1, -1, -1]]
+    circ: list[tuple[float, float, float]] = [
+        _circum_of(xs[s0], ys[s0], xs[s1], ys[s1], xs[s2], ys[s2])
+    ]
+    alive: list[bool] = [True]
+    last = 0
+
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+
+    for p_idx in order.tolist():
+        px = xs[p_idx]
+        py = ys[p_idx]
+
+        # --- point location: remembering walk from the last insertion.
+        t = last if alive[last] else next(
+            i for i in range(len(verts) - 1, -1, -1) if alive[i]
+        )
+        located = -1
+        for _ in range(_WALK_CAP):
+            a, b, c = verts[t]
+            # Cross the first CCW edge that has p strictly on its right.
+            crossed = False
+            for edge_pos, (u, v) in enumerate(((b, c), (c, a), (a, b))):
+                cross = (xs[v] - xs[u]) * (py - ys[u]) - (ys[v] - ys[u]) * (
+                    px - xs[u]
+                )
+                if cross < -EPS:
+                    nxt = nbrs[t][edge_pos]
+                    if nxt >= 0:
+                        t = nxt
+                        crossed = True
+                        break
+            if not crossed:
+                located = t
+                break
+
+        # --- cavity: connected bad region (same d² < r² − EPS band as the
+        # reference's global scan) grown from the containing triangle.
+        seed = -1
+        if located >= 0:
+            ux, uy, r_sq = circ[located]
+            if (ux - px) ** 2 + (uy - py) ** 2 < r_sq - EPS:
+                seed = located
+        if seed < 0:
+            # Walk failed or the located triangle is not bad (both only on
+            # degenerate inputs): fall back to the global scan, which is
+            # exactly the reference's candidate set.
+            for i in range(len(verts)):
+                if not alive[i]:
+                    continue
+                ux, uy, r_sq = circ[i]
+                if (ux - px) ** 2 + (uy - py) ** 2 < r_sq - EPS:
+                    seed = i
+                    break
+        if seed < 0:
+            # No bad triangle anywhere — the reference skips such a point.
+            continue
+
+        cavity = {seed}
+        stack = [seed]
+        while stack:
+            cur = stack.pop()
+            for nb in nbrs[cur]:
+                if nb < 0 or nb in cavity:
+                    continue
+                ux, uy, r_sq = circ[nb]
+                if (ux - px) ** 2 + (uy - py) ** 2 < r_sq - EPS:
+                    cavity.add(nb)
+                    stack.append(nb)
+
+        # --- boundary of the cavity: directed CCW edges whose across-edge
+        # neighbor is outside the cavity (or absent).
+        boundary: list[tuple[int, int, int]] = []  # (u, v, outside-tid)
+        for cur in cavity:
+            a, b, c = verts[cur]
+            for edge_pos, (u, v) in enumerate(((b, c), (c, a), (a, b))):
+                nb = nbrs[cur][edge_pos]
+                if nb < 0 or nb not in cavity:
+                    boundary.append((u, v, nb))
+            alive[cur] = False
+
+        # --- retriangulate: fan of (u, v, p) triangles, stitched to the
+        # outside neighbors and to each other.
+        half: dict[Edge, tuple[int, int]] = {}  # spoke edge -> (tid, pos)
+        for u, v, outside in boundary:
+            tid = len(verts)
+            verts.append((u, v, p_idx))
+            circ.append(
+                _circum_of(xs[u], ys[u], xs[v], ys[v], px, py)
+            )
+            alive.append(True)
+            # Neighbor opposite u is across edge (v, p); opposite v is
+            # across (p, u); opposite p is the outside triangle across (u, v).
+            tri_nbrs = [-1, -1, outside]
+            nbrs.append(tri_nbrs)
+            if outside >= 0:
+                out_vs = verts[outside]
+                # The outside triangle sees the edge as (v, u); the vertex
+                # opposite it keeps its position.
+                for pos in range(3):
+                    ov = out_vs[pos]
+                    if ov != u and ov != v:
+                        nbrs[outside][pos] = tid
+                        break
+            for pos, (e0, e1) in enumerate(((v, p_idx), (p_idx, u))):
+                key = _norm_edge(e0, e1)
+                other = half.pop(key, None)
+                if other is None:
+                    half[key] = (tid, pos)
+                else:
+                    otid, opos = other
+                    tri_nbrs[pos] = otid
+                    nbrs[otid][opos] = tid
+        last = len(verts) - 1
+
+    final: list[Triangle] = []
+    for i, (a, b, c) in enumerate(verts):
+        if not alive[i] or a >= n or b >= n or c >= n:
+            continue
+        final.append(tuple(sorted((a, b, c))))  # type: ignore[arg-type]
+    final.sort()
+    return Triangulation(points=pts, triangles=final)
+
+
+def delaunay_triangulation_reference(
+    points: Sequence[Sequence[float]],
+) -> Triangulation:
+    """Global-scan Bowyer–Watson oracle for :func:`delaunay_triangulation`.
+
+    Candidate "bad" triangles per insertion are found with a vectorized
+    circumcircle test over numpy arrays of centers/radii of *every* live
+    triangle — simple and obviously faithful to the definition, but
+    quadratic overall.  The fast path is pinned to it by the differential
+    suite.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    if n < 3:
+        return Triangulation(points=pts, triangles=[])
+
+    super_pts = _super_triangle(pts)
     all_pts = np.vstack([pts, super_pts])
     s0, s1, s2 = n, n + 1, n + 2
 
@@ -201,3 +409,175 @@ def delaunay_edges(points: Sequence[Sequence[float]]) -> set[Edge]:
             _norm_edge(int(order[i]), int(order[i + 1])) for i in range(n - 1)
         }
     return edges
+
+
+class PointLocator:
+    """Grid-seeded walking point location over a finished triangulation.
+
+    A uniform grid over triangle centroids picks a nearby starting triangle;
+    a CCW-orientation walk (the same walk the fast Bowyer–Watson uses while
+    inserting) then crosses at most O(√m) triangles to the query.  Falls
+    back to a linear :func:`point_in_triangle` scan when the walk exits the
+    hull or exhausts its step cap, so the answer always agrees with
+    :func:`locate_point_reference` up to the choice among triangles sharing
+    the query point on a boundary.
+    """
+
+    def __init__(self, triangulation: Triangulation) -> None:
+        self.triangulation = triangulation
+        pts = triangulation.points
+        tris = triangulation.triangles
+        self._tris = tris
+        m = len(tris)
+        self._verts: list[tuple[int, int, int]] = []
+        self._nbrs: list[list[int]] = []
+        self._grid: dict[tuple[int, int], int] = {}
+        self._cell = 1.0
+        if m == 0:
+            return
+        arr = np.asarray(tris, dtype=np.int64)
+        a, b, c = pts[arr[:, 0]], pts[arr[:, 1]], pts[arr[:, 2]]
+        flip = orientation_batch(a, b, c) < 0
+        oriented = arr.copy()
+        oriented[flip, 1], oriented[flip, 2] = arr[flip, 2], arr[flip, 1]
+        self._verts = [
+            (int(u), int(v), int(w)) for u, v, w in oriented.tolist()
+        ]
+        # Neighbor pointers: nbrs[t][i] is across the edge opposite vertex i.
+        edge_owner: dict[Edge, tuple[int, int]] = {}
+        self._nbrs = [[-1, -1, -1] for _ in range(m)]
+        for tid, (u, v, w) in enumerate(self._verts):
+            for pos, (e0, e1) in enumerate(((v, w), (w, u), (u, v))):
+                key = _norm_edge(e0, e1)
+                other = edge_owner.pop(key, None)
+                if other is None:
+                    edge_owner[key] = (tid, pos)
+                else:
+                    otid, opos = other
+                    self._nbrs[tid][pos] = otid
+                    self._nbrs[otid][opos] = tid
+        # Centroid grid: cell size ~ one triangle diameter at the cloud's
+        # density, so a query's cell (or a near ring) holds a seed.
+        cent = (a + b + c) / 3.0
+        span = max(
+            float(np.ptp(pts[:, 0])), float(np.ptp(pts[:, 1])), 1.0
+        )
+        self._cell = max(span / max(1.0, math.sqrt(m)), 1e-9)
+        keys_x = np.floor(cent[:, 0] / self._cell).astype(np.int64).tolist()
+        keys_y = np.floor(cent[:, 1] / self._cell).astype(np.int64).tolist()
+        for tid in range(m):
+            self._grid.setdefault((keys_x[tid], keys_y[tid]), tid)
+
+    def _seed(self, px: float, py: float) -> int:
+        cx = int(math.floor(px / self._cell))
+        cy = int(math.floor(py / self._cell))
+        for ring in range(3):
+            for dx in range(-ring, ring + 1):
+                for dy in range(-ring, ring + 1):
+                    if max(abs(dx), abs(dy)) != ring:
+                        continue
+                    tid = self._grid.get((cx + dx, cy + dy))
+                    if tid is not None:
+                        return tid
+        return 0
+
+    def locate(self, p: Sequence[float]) -> Triangle | None:
+        """The triangle containing ``p``, or ``None`` when ``p`` is outside
+        the triangulated hull.
+
+        When ``p`` lies on a shared edge/vertex (within the predicate
+        tolerance) any one of the containing triangles is returned.
+        """
+        if not self._verts:
+            return None
+        pts = self.triangulation.points
+        xs = pts[:, 0]
+        ys = pts[:, 1]
+        px, py = float(p[0]), float(p[1])
+        t = self._seed(px, py)
+        for _ in range(_WALK_CAP):
+            u, v, w = self._verts[t]
+            crossed = False
+            for pos, (e0, e1) in enumerate(((v, w), (w, u), (u, v))):
+                cross = (xs[e1] - xs[e0]) * (py - ys[e0]) - (
+                    ys[e1] - ys[e0]
+                ) * (px - xs[e0])
+                if cross < -EPS:
+                    nxt = self._nbrs[t][pos]
+                    if nxt < 0:
+                        return self._scan(p)
+                    t = nxt
+                    crossed = True
+                    break
+            if not crossed:
+                return self._tris[t]
+        return self._scan(p)
+
+    def _scan(self, p: Sequence[float]) -> Triangle | None:
+        """Linear-scan fallback (and the boundary/outside answer)."""
+        pts = self.triangulation.points
+        for tri in self._tris:
+            if point_in_triangle(p, pts[tri[0]], pts[tri[1]], pts[tri[2]]):
+                return tri
+        return None
+
+
+def locate_point_reference(
+    triangulation: Triangulation, p: Sequence[float]
+) -> list[Triangle]:
+    """All triangles containing ``p`` — the linear-scan point-location oracle.
+
+    Interior queries return exactly one triangle; queries on shared
+    edges/vertices return every incident triangle (any of which is a correct
+    answer for :meth:`PointLocator.locate`); queries outside the hull return
+    an empty list.
+    """
+    pts = triangulation.points
+    return [
+        tri
+        for tri in triangulation.triangles
+        if point_in_triangle(p, pts[tri[0]], pts[tri[1]], pts[tri[2]])
+    ]
+
+
+def empty_circumcircle_violations(
+    triangulation: Triangulation,
+    *,
+    sample: int | None = None,
+    seed: int = 0,
+    chunk: int = 262144,
+) -> int:
+    """Number of (triangle, point) pairs violating the empty-circle property.
+
+    Runs the Definition 2.1 test through the vectorized
+    :func:`repro.geometry.predicates.in_circle_batch` kernel — the batched
+    form of the scalar audit the property suite performs at toy sizes,
+    usable at 10⁴-node scale.  ``sample`` bounds the number of triangles
+    audited (seeded choice); ``None`` audits all of them.  Returns the
+    violation count (0 for a correct Delaunay triangulation of a
+    non-degenerate point set).
+    """
+    pts = triangulation.points
+    tris = np.asarray(triangulation.triangles, dtype=np.int64)
+    n = len(pts)
+    if len(tris) == 0 or n == 0:
+        return 0
+    if sample is not None and sample < len(tris):
+        rng = np.random.default_rng(seed)
+        tris = tris[rng.choice(len(tris), size=sample, replace=False)]
+    violations = 0
+    per = max(1, chunk // max(1, n))
+    for lo in range(0, len(tris), per):
+        part = tris[lo : lo + per]
+        a = pts[part[:, 0]][:, None, :]
+        b = pts[part[:, 1]][:, None, :]
+        c = pts[part[:, 2]][:, None, :]
+        d = pts[None, :, :]
+        inside = in_circle_batch(a, b, c, d)
+        corner = (
+            (np.arange(n)[None, :] == part[:, 0:1])
+            | (np.arange(n)[None, :] == part[:, 1:2])
+            | (np.arange(n)[None, :] == part[:, 2:3])
+        )
+        violations += int((inside & ~corner).sum())
+    return violations

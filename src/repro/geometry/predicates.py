@@ -27,11 +27,13 @@ __all__ = [
     "ccw",
     "collinear",
     "in_circle",
+    "in_circle_batch",
     "on_segment",
     "segments_intersect",
     "segments_properly_intersect",
     "segment_intersects_any",
     "segments_intersect_batch",
+    "proper_crossing_mask",
     "point_in_triangle",
     "segment_crosses_triangle",
     "left_turn_batch",
@@ -112,6 +114,41 @@ def in_circle(
     orient = orientation(a, b, c)
     if orient == 0:
         return False
+    return det * orient > EPS
+
+
+def in_circle_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`in_circle` over stacked quadruples.
+
+    ``a``, ``b``, ``c``, ``d`` broadcast against each other with trailing
+    dimension 2; returns a boolean array, ``True`` where ``d`` lies strictly
+    inside the circle through ``a, b, c``.  The determinant expression, the
+    orientation normalization and the EPS band are term-for-term identical
+    to the scalar predicate, so a quadruple classifies the same whichever
+    code path tests it — the invariant the fast-path equivalence suite
+    pins (``tests/test_fastpath_equivalence.py``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    adx = a[..., 0] - d[..., 0]
+    ady = a[..., 1] - d[..., 1]
+    bdx = b[..., 0] - d[..., 0]
+    bdy = b[..., 1] - d[..., 1]
+    cdx = c[..., 0] - d[..., 0]
+    cdy = c[..., 1] - d[..., 1]
+    det = (
+        (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+        - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+        + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+    )
+    orient = orientation_batch(a, b, c).astype(np.float64)
     return det * orient > EPS
 
 
@@ -222,13 +259,31 @@ def segments_intersect_batch(
     b = segs[None, :, 2:4]
     P = p[:, None, :]  # (m, 1, 2)
     Q = q[:, None, :]
+    return proper_crossing_mask(P, Q, a, b).any(axis=1)
 
-    d1 = _cross_batch(P, Q, a)
-    d2 = _cross_batch(P, Q, b)
-    d3 = _cross_batch(a, b, P)
-    d4 = _cross_batch(a, b, Q)
 
-    proper = (
+def proper_crossing_mask(
+    p: np.ndarray,
+    q: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> np.ndarray:
+    """Broadcasted proper-crossing test between segments ``pq`` and ``ab``.
+
+    All four arguments broadcast against each other with trailing dimension
+    2.  The classification (strictly opposite orientations, every cross
+    product beyond EPS) is identical to :func:`segments_properly_intersect`;
+    :func:`segments_intersect_batch` is its any-reduction over a full
+    obstacle array, and the grid-pruned visibility path
+    (:meth:`repro.geometry.visibility.SegmentGrid.crossing_mask`) applies it
+    element-wise to candidate pairs — both therefore classify every pair the
+    same way the scalar predicate does.
+    """
+    d1 = _cross_batch(p, q, a)
+    d2 = _cross_batch(p, q, b)
+    d3 = _cross_batch(a, b, p)
+    d4 = _cross_batch(a, b, q)
+    return (
         (np.sign(d1) * np.sign(d2) < -0.5)
         & (np.sign(d3) * np.sign(d4) < -0.5)
         & (np.abs(d1) > EPS)
@@ -236,7 +291,6 @@ def segments_intersect_batch(
         & (np.abs(d3) > EPS)
         & (np.abs(d4) > EPS)
     )
-    return proper.any(axis=1)
 
 
 def point_in_triangle(

@@ -30,6 +30,7 @@ __all__ = [
     "normalize_angle",
     "midpoint",
     "circumcenter",
+    "circumcenter_batch",
     "circumradius",
     "EPS",
 ]
@@ -179,6 +180,36 @@ def circumcenter(
     ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
     uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
     return Point(ux, uy)
+
+
+def circumcenter_batch(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`circumcenter` over stacked triples.
+
+    ``a``, ``b``, ``c`` have shape ``(m, 2)``.  Returns ``(centers, valid)``
+    where ``centers`` is ``(m, 2)`` and ``valid`` marks the triples with a
+    circumcircle (non-collinear within the same ``abs(d) < EPS`` band as the
+    scalar helper).  Every arithmetic term matches the scalar expression
+    exactly, so the fast construction paths and the scalar oracles compute
+    bit-identical centers — the invariant the differential test suite
+    relies on.  Invalid rows hold garbage; callers must mask with ``valid``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    ax, ay = a[..., 0], a[..., 1]
+    bx, by = b[..., 0], b[..., 1]
+    cx, cy = c[..., 0], c[..., 1]
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    valid = np.abs(d) >= EPS
+    safe = np.where(valid, d, 1.0)
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / safe
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / safe
+    return np.stack([ux, uy], axis=-1), valid
 
 
 def circumradius(

@@ -12,6 +12,17 @@ Visibility semantics follow the paper: two nodes are visible iff their open
 line segment does not cross any hole.  Grazing a corner (sharing an endpoint
 with an obstacle edge) does not block visibility, but passing *through* an
 obstacle's interior does.
+
+The proper-crossing rejection — the Θ(m·k) bulk of visibility-graph
+construction — runs through :class:`SegmentGrid`, a uniform grid over the
+obstacle segments that prunes each sight line's candidate set to the
+segments sharing a grid neighborhood with it before handing the survivors
+to the vectorized crossing predicate.  The pruning is conservative (any
+segment properly crossing a sight line shares a cell neighborhood with it,
+see :meth:`SegmentGrid.crossing_mask`), so the pruned test classifies every
+pair identically to the full scan; :func:`is_visible_reference` and
+:func:`visible_mask_reference` keep the full-scan implementations as the
+differential oracles (``tests/test_fastpath_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -23,7 +34,11 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from .primitives import as_array, distance
-from .predicates import segment_intersects_any, segments_intersect_batch
+from .predicates import (
+    proper_crossing_mask,
+    segment_intersects_any,
+    segments_intersect_batch,
+)
 from .polygon import (
     point_in_polygon,
     point_on_polygon_boundary,
@@ -34,12 +49,172 @@ from .polygon import (
 __all__ = [
     "obstacle_segments",
     "obstacle_bboxes",
+    "SegmentGrid",
     "is_visible",
+    "is_visible_reference",
     "visible_mask",
+    "visible_mask_reference",
     "visibility_graph",
     "shortest_path_through_visibility",
     "VisibilityGraph",
 ]
+
+
+class SegmentGrid:
+    """Uniform grid over obstacle segments for sight-line candidate pruning.
+
+    Each segment is registered in every cell its bounding box overlaps.  A
+    sight-line query samples points along the line at spacing at most one
+    cell and collects the segments registered in the 3×3 cell neighborhood
+    of each sample.  This candidate set is *complete* for proper crossings:
+    if obstacle segment ``s`` properly crosses sight line ``pq`` at point
+    ``X``, then ``X`` lies on ``s`` (so ``X``'s cell is one of ``s``'s
+    registered cells) and ``X`` lies on ``pq`` within half a cell of some
+    sample (so ``X``'s cell is within Chebyshev distance 1 of that sample's
+    cell).  Extra candidates are harmless — they still go through the exact
+    crossing predicate — so the pruned test agrees with the full scan on
+    every pair.
+    """
+
+    def __init__(self, segments: np.ndarray, cell: float | None = None) -> None:
+        self.segments = np.asarray(segments, dtype=np.float64).reshape(-1, 4)
+        k = len(self.segments)
+        if cell is None:
+            if k:
+                ext = np.maximum(
+                    np.abs(self.segments[:, 2] - self.segments[:, 0]),
+                    np.abs(self.segments[:, 3] - self.segments[:, 1]),
+                )
+                cell = float(max(np.median(ext), 1e-6))
+            else:
+                cell = 1.0
+        self.cell = float(cell)
+        self._ukeys = np.zeros(0, dtype=np.int64)
+        self._starts = np.zeros(0, dtype=np.int64)
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._segids = np.zeros(0, dtype=np.int64)
+        self._ox = 0
+        self._oy = 0
+        self._stride = 1
+        if k == 0:
+            return
+        inv = 1.0 / self.cell
+        x0 = np.floor(np.minimum(self.segments[:, 0], self.segments[:, 2]) * inv)
+        x1 = np.floor(np.maximum(self.segments[:, 0], self.segments[:, 2]) * inv)
+        y0 = np.floor(np.minimum(self.segments[:, 1], self.segments[:, 3]) * inv)
+        y1 = np.floor(np.maximum(self.segments[:, 1], self.segments[:, 3]) * inv)
+        x0 = x0.astype(np.int64)
+        x1 = x1.astype(np.int64)
+        y0 = y0.astype(np.int64)
+        y1 = y1.astype(np.int64)
+        self._ox = int(x0.min())
+        self._oy = int(y0.min())
+        self._stride = int(y1.max()) - self._oy + 1
+        nx = x1 - x0 + 1
+        ny = y1 - y0 + 1
+        ncells = nx * ny
+        tot = int(ncells.sum())
+        seg_of = np.repeat(np.arange(k, dtype=np.int64), ncells)
+        local = np.arange(tot, dtype=np.int64) - np.repeat(
+            np.cumsum(ncells) - ncells, ncells
+        )
+        ny_rep = np.repeat(ny, ncells)
+        cx = np.repeat(x0, ncells) + local // ny_rep
+        cy = np.repeat(y0, ncells) + local % ny_rep
+        key = (cx - self._ox) * self._stride + (cy - self._oy)
+        order = np.argsort(key, kind="stable")
+        skeys = key[order]
+        self._segids = seg_of[order]
+        self._ukeys, self._starts = np.unique(skeys, return_index=True)
+        self._counts = np.diff(np.append(self._starts, tot))
+
+    def candidates(self, p: Sequence[float], q: Sequence[float]) -> np.ndarray:
+        """Indices of segments that could properly cross sight line ``pq``."""
+        _, sid = self._candidate_pairs(
+            np.asarray([p], dtype=np.float64), np.asarray([q], dtype=np.float64)
+        )
+        return np.unique(sid)
+
+    def _candidate_pairs(
+        self, pa: np.ndarray, qa: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deduplicated ``(query_id, segment_id)`` candidate pairs for a batch
+        of sight lines — the grid join described in the class docstring,
+        built without a Python loop over queries."""
+        empty = np.zeros(0, dtype=np.int64)
+        m = len(pa)
+        if m == 0 or len(self.segments) == 0:
+            return empty, empty
+        inv = 1.0 / self.cell
+        dx = qa[:, 0] - pa[:, 0]
+        dy = qa[:, 1] - pa[:, 1]
+        length = np.hypot(dx, dy)
+        ns = np.maximum(1, np.ceil(length * inv).astype(np.int64))
+        tot = int(ns.sum())
+        qid = np.repeat(np.arange(m, dtype=np.int64), ns)
+        local = np.arange(tot, dtype=np.int64) - np.repeat(np.cumsum(ns) - ns, ns)
+        t = (local.astype(np.float64) + 0.5) / np.repeat(ns, ns)
+        sx = pa[qid, 0] + t * dx[qid]
+        sy = pa[qid, 1] + t * dy[qid]
+        cx = np.floor(sx * inv).astype(np.int64) - self._ox
+        cy = np.floor(sy * inv).astype(np.int64) - self._oy
+
+        pair_qid: list[np.ndarray] = []
+        pair_sid: list[np.ndarray] = []
+        nu = len(self._ukeys)
+        for ddx in (-1, 0, 1):
+            for ddy in (-1, 0, 1):
+                ex = cx + ddx
+                ey = cy + ddy
+                valid = (ey >= 0) & (ey < self._stride) & (ex >= 0)
+                key = np.where(valid, ex * self._stride + ey, np.int64(-1))
+                idx = np.clip(np.searchsorted(self._ukeys, key), 0, nu - 1)
+                hit = (self._ukeys[idx] == key) & valid
+                cnt = np.where(hit, self._counts[idx], 0)
+                total = int(cnt.sum())
+                if total == 0:
+                    continue
+                pair_qid.append(np.repeat(qid, cnt))
+                offs = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(cnt) - cnt, cnt
+                )
+                pair_sid.append(self._segids[np.repeat(self._starts[idx], cnt) + offs])
+        if not pair_qid:
+            return empty, empty
+        pq = np.concatenate(pair_qid)
+        ps = np.concatenate(pair_sid)
+        packed = np.unique(pq * np.int64(len(self.segments)) + ps)
+        return packed // len(self.segments), packed % len(self.segments)
+
+    def crossing_mask(
+        self, pa: np.ndarray, qa: np.ndarray, chunk: int = 4096
+    ) -> np.ndarray:
+        """Element-wise: does sight line ``i`` properly cross any segment?
+
+        Equal to ``segments_intersect_batch(pa, qa, self.segments)`` — the
+        candidate join is complete for proper crossings and the surviving
+        pairs are classified with the identical orientation/EPS expression —
+        but touches only the pruned pairs.
+        """
+        pa = as_array(pa)
+        qa = as_array(qa)
+        m = len(pa)
+        out = np.zeros(m, dtype=bool)
+        if m == 0 or len(self.segments) == 0:
+            return out
+        for lo in range(0, m, chunk):
+            hi = min(m, lo + chunk)
+            qid, sid = self._candidate_pairs(pa[lo:hi], qa[lo:hi])
+            if len(qid) == 0:
+                continue
+            proper = proper_crossing_mask(
+                pa[lo + qid],
+                qa[lo + qid],
+                self.segments[sid, 0:2],
+                self.segments[sid, 2:4],
+            )
+            out[lo + qid[proper]] = True
+        return out
 
 
 def obstacle_segments(obstacles: Iterable[Sequence[Sequence[float]]]) -> np.ndarray:
@@ -99,6 +274,7 @@ def is_visible(
     *,
     segments: np.ndarray | None = None,
     bboxes: np.ndarray | None = None,
+    grid: SegmentGrid | None = None,
 ) -> bool:
     """Is ``q`` visible from ``p`` given polygonal ``obstacles``?
 
@@ -106,7 +282,37 @@ def is_visible(
     when some piece of it runs strictly inside an obstacle (e.g. a sight
     line entering corner-to-corner through the interior).  ``segments`` and
     ``bboxes`` may be precomputed once per obstacle set (the planners do) to
-    amortize repeated queries.
+    amortize repeated queries; passing a :class:`SegmentGrid` additionally
+    prunes the crossing test to the segments near the sight line (same
+    answer — see the grid's completeness argument).
+    """
+    if grid is not None:
+        p_arr = np.asarray(p, dtype=np.float64)
+        q_arr = np.asarray(q, dtype=np.float64)
+        crossed = bool(grid.crossing_mask(p_arr[None, :], q_arr[None, :])[0])
+    else:
+        segs = obstacle_segments(obstacles) if segments is None else segments
+        crossed = segment_intersects_any(p, q, segs)
+    if crossed:
+        return False
+    if bboxes is None:
+        bboxes = obstacle_bboxes(obstacles)
+    return not _runs_inside(p, q, obstacles, bboxes)
+
+
+def is_visible_reference(
+    p: Sequence[float],
+    q: Sequence[float],
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    *,
+    segments: np.ndarray | None = None,
+    bboxes: np.ndarray | None = None,
+) -> bool:
+    """Full-scan oracle for :func:`is_visible`.
+
+    Tests the sight line against *every* obstacle segment — no grid pruning
+    anywhere in the call tree.  The differential suite pins the pruned path
+    to this answer on every pair it checks.
     """
     segs = obstacle_segments(obstacles) if segments is None else segments
     if segment_intersects_any(p, q, segs):
@@ -114,6 +320,32 @@ def is_visible(
     if bboxes is None:
         bboxes = obstacle_bboxes(obstacles)
     return not _runs_inside(p, q, obstacles, bboxes)
+
+
+def _piece_inside(
+    p: Sequence[float], q: Sequence[float], poly: np.ndarray
+) -> bool:
+    """Does some piece of segment ``pq`` run strictly inside polygon ``poly``?
+
+    With proper edge crossings already ruled out, the segment can still run
+    through a polygon's interior corner-to-corner (e.g. along a diagonal),
+    so split it at every boundary contact and test the midpoint of each
+    piece for containment.
+    """
+    cuts = [0.0, 1.0]
+    cuts.extend(t for t, _ in segment_polygon_intersections(p, q, poly))
+    cuts.sort()
+    for t0, t1 in zip(cuts, cuts[1:]):
+        if t1 - t0 < 1e-9:
+            continue
+        tm = (t0 + t1) / 2.0
+        sample = (
+            p[0] + tm * (q[0] - p[0]),
+            p[1] + tm * (q[1] - p[1]),
+        )
+        if _strictly_inside(sample, poly):
+            return True
+    return False
 
 
 def _runs_inside(
@@ -125,34 +357,95 @@ def _runs_inside(
     """Does some piece of segment ``pq`` run strictly inside an obstacle?
 
     The second half of the visibility test, applied after proper edge
-    crossings have been ruled out (scalar or batched).
+    crossings have been ruled out (scalar or batched).  Only obstacles whose
+    bounding box the segment touches pay for the :func:`_piece_inside` walk.
     """
     sxmin, sxmax = min(p[0], q[0]), max(p[0], q[0])
     symin, symax = min(p[1], q[1]), max(p[1], q[1])
-    # No proper edge crossing.  The segment can still run through a polygon's
-    # interior corner-to-corner (e.g. along a diagonal), so split it at every
-    # boundary contact and test the midpoint of each piece for containment —
-    # but only for obstacles whose bounding box the segment touches.
     for idx, poly in enumerate(obstacles):
         if len(poly) < 3:
             continue
         bxmin, bymin, bxmax, bymax = bboxes[idx]
         if sxmax < bxmin or bxmax < sxmin or symax < bymin or bymax < symin:
             continue
-        cuts = [0.0, 1.0]
-        cuts.extend(t for t, _ in segment_polygon_intersections(p, q, poly))
-        cuts.sort()
-        for t0, t1 in zip(cuts, cuts[1:]):
-            if t1 - t0 < 1e-9:
-                continue
-            tm = (t0 + t1) / 2.0
-            sample = (
-                p[0] + tm * (q[0] - p[0]),
-                p[1] + tm * (q[1] - p[1]),
-            )
-            if _strictly_inside(sample, poly):
-                return True
+        if _piece_inside(p, q, poly):
+            return True
     return False
+
+
+def _runs_inside_bulk(
+    pa: np.ndarray,
+    qa: np.ndarray,
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    bboxes: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`_runs_inside` over ``m`` segments.
+
+    The segment-bbox-versus-obstacle-bbox rejection runs as one numpy mask
+    per obstacle; only the (segment, obstacle) pairs whose boxes actually
+    overlap fall through to the scalar :func:`_piece_inside` walk — the
+    identical per-pair decision, so the result equals a Python loop of
+    :func:`_runs_inside` calls element-wise.
+    """
+    m = len(pa)
+    out = np.zeros(m, dtype=bool)
+    if m == 0:
+        return out
+    dx = qa[:, 0] - pa[:, 0]
+    dy = qa[:, 1] - pa[:, 1]
+    pad = 1e-9
+    for idx, poly in enumerate(obstacles):
+        if len(poly) < 3:
+            continue
+        bxmin, bymin, bxmax, bymax = bboxes[idx]
+        # Liang–Barsky slab test: does segment j actually enter the
+        # obstacle's (slightly padded) bounding box?  Any piece of the
+        # segment strictly inside the polygon lies inside the box, so this
+        # rejection is conservative-exact — stronger than comparing the two
+        # bounding boxes, which passes every long diagonal sight line whose
+        # box merely overlaps the obstacle's.
+        lo, hi = _slab_interval(
+            pa, dx, dy, bxmin - pad, bymin - pad, bxmax + pad, bymax + pad
+        )
+        enters = (lo <= hi) & ~out
+        for j in np.flatnonzero(enters):
+            if _piece_inside(pa[j], qa[j], poly):
+                out[j] = True
+    return out
+
+
+def _slab_interval(
+    pa: np.ndarray,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    bxmin: float,
+    bymin: float,
+    bxmax: float,
+    bymax: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Parameter interval ``[lo, hi]`` of each segment inside a rectangle.
+
+    Vectorized over segments ``p + t·(dx, dy)``, ``t ∈ [0, 1]``; the segment
+    meets the rectangle iff ``lo <= hi``.  Axis-parallel segments (zero
+    delta in one axis) contribute ``(-inf, inf)`` when inside that slab and
+    an empty interval otherwise.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tx1 = (bxmin - pa[:, 0]) / dx
+        tx2 = (bxmax - pa[:, 0]) / dx
+        ty1 = (bymin - pa[:, 1]) / dy
+        ty2 = (bymax - pa[:, 1]) / dy
+    zero_x = dx == 0.0  # repro: noqa[RPR003] exact sentinel: only a true zero delta divides to ±inf/nan; near-zero deltas produce huge finite t-intervals, which the clamp to [0, 1] handles
+    zero_y = dy == 0.0  # repro: noqa[RPR003] exact sentinel: same as zero_x for the y slab
+    in_x = (pa[:, 0] >= bxmin) & (pa[:, 0] <= bxmax)
+    in_y = (pa[:, 1] >= bymin) & (pa[:, 1] <= bymax)
+    txmin = np.where(zero_x, np.where(in_x, -np.inf, np.inf), np.minimum(tx1, tx2))
+    txmax = np.where(zero_x, np.where(in_x, np.inf, -np.inf), np.maximum(tx1, tx2))
+    tymin = np.where(zero_y, np.where(in_y, -np.inf, np.inf), np.minimum(ty1, ty2))
+    tymax = np.where(zero_y, np.where(in_y, np.inf, -np.inf), np.maximum(ty1, ty2))
+    lo = np.maximum(np.maximum(txmin, tymin), 0.0)
+    hi = np.minimum(np.minimum(txmax, tymax), 1.0)
+    return lo, hi
 
 
 def visible_mask(
@@ -162,16 +455,50 @@ def visible_mask(
     *,
     segments: np.ndarray | None = None,
     bboxes: np.ndarray | None = None,
+    grid: SegmentGrid | None = None,
     chunk: int = 4096,
 ) -> np.ndarray:
     """Batched :func:`is_visible` over ``m`` candidate sight lines.
 
     ``pa``/``qa`` have shape ``(m, 2)``; returns a boolean array of shape
     ``(m,)`` equal element-wise to calling :func:`is_visible` per pair.  The
-    Θ(m·k) proper-crossing rejection runs through the vectorized
-    :func:`segments_intersect_batch` kernel (chunked to bound peak memory);
-    only the surviving pairs pay for the interior-containment walk.  This is
-    the hot path of Θ(h²) visibility-graph construction.
+    proper-crossing rejection runs through a :class:`SegmentGrid` (built on
+    the fly unless one is passed in), so each sight line is tested only
+    against the obstacle segments sharing a grid neighborhood with it
+    instead of all Θ(k) of them; only the surviving pairs pay for the
+    interior-containment walk.  This is the hot path of Θ(h²)
+    visibility-graph construction; :func:`visible_mask_reference` keeps the
+    unpruned scan as the oracle.
+    """
+    pa = as_array(pa)
+    qa = as_array(qa)
+    if grid is None:
+        segs = obstacle_segments(obstacles) if segments is None else segments
+        grid = SegmentGrid(segs)
+    if bboxes is None:
+        bboxes = obstacle_bboxes(obstacles)
+    crossed = grid.crossing_mask(pa, qa, chunk=chunk)
+    out = np.zeros(len(pa), dtype=bool)
+    free = np.flatnonzero(~crossed)
+    inside = _runs_inside_bulk(pa[free], qa[free], obstacles, bboxes)
+    out[free] = ~inside
+    return out
+
+
+def visible_mask_reference(
+    pa: np.ndarray,
+    qa: np.ndarray,
+    obstacles: Sequence[Sequence[Sequence[float]]],
+    *,
+    segments: np.ndarray | None = None,
+    bboxes: np.ndarray | None = None,
+    chunk: int = 4096,
+) -> np.ndarray:
+    """Unpruned oracle for :func:`visible_mask`.
+
+    Every sight line is tested against the full obstacle-segment array via
+    :func:`segments_intersect_batch` (chunked to bound peak memory) — the
+    pre-grid implementation, kept verbatim for differential testing.
     """
     pa = as_array(pa)
     qa = as_array(qa)
@@ -216,6 +543,7 @@ class VisibilityGraph:
         self.obstacles = [as_array(o) for o in obstacles]
         self._segments = obstacle_segments(self.obstacles)
         self._bboxes = obstacle_bboxes(self.obstacles)
+        self._grid = SegmentGrid(self._segments)
         self.adjacency: dict[int, dict[int, float]] = {
             i: {} for i in range(len(self.vertices))
         }
@@ -228,7 +556,7 @@ class VisibilityGraph:
         ii, jj = np.triu_indices(n, k=1)
         vis = visible_mask(
             self.vertices[ii], self.vertices[jj], self.obstacles,
-            segments=self._segments, bboxes=self._bboxes,
+            segments=self._segments, bboxes=self._bboxes, grid=self._grid,
         )
         for i, j in zip(ii[vis], jj[vis]):
             i, j = int(i), int(j)
@@ -256,6 +584,7 @@ class VisibilityGraph:
                 if is_visible(
                     p, q, self.obstacles,
                     segments=self._segments, bboxes=self._bboxes,
+                    grid=self._grid,
                 ):
                     w = distance(p, q)
                     self.adjacency[idx][j] = w

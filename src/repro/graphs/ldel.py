@@ -13,28 +13,60 @@ construction here is the *centralized* definitional one; the distributed
 O(1)-round protocol in :mod:`repro.protocols.ldel_construction` is verified
 against it in the test suite.
 
-Complexity: bounded-degree UDGs have O(n) triangles; each triangle performs a
-grid query around its circumcenter, so construction is near-linear for the
-jittered clouds used in the benchmarks.
+Two implementations live side by side:
+
+* :func:`build_ldel` — the fast path.  Triangle discovery, k-hop witness
+  checks and Gabriel tests all run as bulk numpy/CSR array operations; a
+  10⁵-node jittered cloud builds in about a second.  Every predicate
+  evaluates the *same arithmetic expression with the same EPS band* as the
+  scalar oracle, so the two paths classify identically.
+* :func:`build_ldel_reference` — the definitional per-node/per-triangle
+  loops (one BFS per node, one Python witness loop per triangle).  It is
+  the ground truth: ``tests/test_fastpath_equivalence.py`` asserts exact
+  edge/triangle/Gabriel set equality between the two on random, clustered
+  and adversarially degenerate instances.
+
+Complexity of the fast path: bounded-degree UDGs have O(n) triangles and
+O(n) edges, and every stage touches each witness candidate O(1) times, so
+construction is near-linear with numpy-scale constants.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
-from ..geometry.primitives import EPS, as_array, circumcenter, distance
-from ..geometry.predicates import segments_properly_intersect
+from ..geometry.primitives import EPS, as_array, circumcenter, circumcenter_batch, distance
+from ..geometry.predicates import orientation_batch, segments_properly_intersect
 from .shortest_paths import k_hop_neighborhood
-from .udg import Adjacency, GridIndex, unit_disk_graph
+from .udg import (
+    Adjacency,
+    GridIndex,
+    adjacency_csr,
+    adjacency_from_pairs,
+    unit_disk_graph,
+    unit_disk_graph_reference,
+)
 
-__all__ = ["LDelGraph", "build_ldel", "gabriel_edges", "udg_triangles"]
+__all__ = [
+    "LDelGraph",
+    "build_ldel",
+    "build_ldel_reference",
+    "gabriel_edges",
+    "gabriel_edges_reference",
+    "udg_triangles",
+    "udg_triangles_reference",
+]
 
 Edge = tuple[int, int]
 Triangle = tuple[int, int, int]
+
+#: Rows processed per chunk in the bulk witness/Gabriel stages — bounds peak
+#: memory of the expanded candidate arrays without changing any result.
+_CHUNK = 65536
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -93,7 +125,55 @@ class LDelGraph:
 
         Should be empty for ``k >= 2``; the test suite asserts this on the
         scenario distributions.
+
+        Candidate pairs come from a grid over edge midpoints: two segments
+        of length at most ``radius`` (within the UDG EPS band) that cross
+        have midpoints at most ``(len₁ + len₂) / 2 ≤ radius`` (plus a
+        sub-EPS sliver) apart, so a midpoint-grid join with a padded reach
+        cannot miss a crossing pair.  This keeps the self-check usable at
+        10⁵ edges where the old all-pairs scan was quadratic; the old scan
+        survives as :meth:`crossing_edge_pairs_reference`.
         """
+        edges = sorted(self.edges())
+        m = len(edges)
+        if m < 2:
+            return []
+        earr = np.asarray(edges, dtype=np.int64)
+        pts = self.points
+        a = pts[earr[:, 0]]
+        b = pts[earr[:, 1]]
+        mids = (a + b) / 2.0
+        # Pad the reach past ``radius``: UDG edge lengths can exceed the
+        # radius by the EPS band (d² ≤ r² + EPS), so midpoints of a crossing
+        # pair can sit a sub-EPS sliver beyond ``radius`` apart.
+        pad = self.radius + 1e-6
+        grid = GridIndex(mids, cell=pad)
+        i, j = grid.pair_candidates(pad)
+        if len(i) == 0:
+            return []
+        share = (
+            (earr[i, 0] == earr[j, 0])
+            | (earr[i, 0] == earr[j, 1])
+            | (earr[i, 1] == earr[j, 0])
+            | (earr[i, 1] == earr[j, 1])
+        )
+        i, j = i[~share], j[~share]
+        p1, q1 = a[i], b[i]
+        p2, q2 = a[j], b[j]
+        o1 = orientation_batch(p1, q1, p2)
+        o2 = orientation_batch(p1, q1, q2)
+        o3 = orientation_batch(p2, q2, p1)
+        o4 = orientation_batch(p2, q2, q1)
+        proper = (o1 != o2) & (o3 != o4) & (o1 != 0) & (o2 != 0) & (o3 != 0) & (o4 != 0)
+        out = [
+            (edges[int(ii)], edges[int(jj)])
+            for ii, jj in zip(i[proper], j[proper])
+        ]
+        out.sort()
+        return out
+
+    def crossing_edge_pairs_reference(self) -> list[tuple[Edge, Edge]]:
+        """Quadratic all-pairs oracle for :meth:`crossing_edge_pairs`."""
         edges = sorted(self.edges())
         pts = self.points
         out: list[tuple[Edge, Edge]] = []
@@ -108,8 +188,8 @@ class LDelGraph:
         return out
 
 
-def udg_triangles(adj: Adjacency) -> list[Triangle]:
-    """All triangles of the UDG (triples of mutually adjacent nodes)."""
+def udg_triangles_reference(adj: Adjacency) -> list[Triangle]:
+    """All triangles of the UDG — definitional per-node loops (oracle)."""
     out: list[Triangle] = []
     neighbor_sets = {u: set(nbrs) for u, nbrs in adj.items()}
     for u in sorted(adj):
@@ -122,12 +202,62 @@ def udg_triangles(adj: Adjacency) -> list[Triangle]:
     return out
 
 
-def gabriel_edges(
+def _udg_triangles_array(n: int, indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """All UDG triangles as an ``(m, 3)`` array with ``u < v < w`` rows.
+
+    Wedge enumeration over the upper-triangular adjacency: every edge
+    ``(u, v)`` with ``u < v`` pairs with every neighbor ``w > v`` of ``v``,
+    and the wedge closes to a triangle iff ``(u, w)`` is also an edge
+    (checked by a sorted-key membership join).  All numpy, no Python loop.
+    """
+    if n == 0 or len(indices) == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    up = indices > rows
+    eu = rows[up]
+    ev = indices[up]
+    if len(eu) == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    # (eu, ev) is lexicographically sorted because each CSR row is sorted.
+    up_counts = np.bincount(eu, minlength=n)
+    up_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(up_counts, out=up_indptr[1:])
+
+    cnt = up_counts[ev]
+    tot = int(cnt.sum())
+    if tot == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    wu = np.repeat(eu, cnt)
+    wv = np.repeat(ev, cnt)
+    first = np.repeat(up_indptr[ev], cnt)
+    offs = np.arange(tot, dtype=np.int64) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+    ww = ev[first + offs]
+
+    ekeys = eu * n + ev
+    qkeys = wu * n + ww
+    idx = np.clip(np.searchsorted(ekeys, qkeys), 0, len(ekeys) - 1)
+    ok = ekeys[idx] == qkeys
+    return np.stack([wu[ok], wv[ok], ww[ok]], axis=1)
+
+
+def udg_triangles(adj: Adjacency) -> list[Triangle]:
+    """All triangles of the UDG (triples of mutually adjacent nodes).
+
+    Bulk wedge-join implementation; returns the same lexicographically
+    ordered list as :func:`udg_triangles_reference`.
+    """
+    n = len(adj)
+    indptr, indices = adjacency_csr(adj)
+    tris = _udg_triangles_array(n, indptr, indices)
+    return [(a, b, c) for a, b, c in map(tuple, tris.tolist())]
+
+
+def gabriel_edges_reference(
     points: Sequence[Sequence[float]],
     adj: Adjacency,
     grid: GridIndex | None = None,
 ) -> set[Edge]:
-    """Gabriel edges of the UDG (Definition 2.3, clause 2).
+    """Gabriel edges of the UDG — per-edge grid-query oracle.
 
     A UDG edge ``(u, v)`` is Gabriel iff the circle with diameter ``uv``
     contains no other node.  Candidates come from a grid query around the
@@ -157,13 +287,202 @@ def gabriel_edges(
     return out
 
 
+def _gabriel_mask(
+    pts: np.ndarray,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> np.ndarray:
+    """Boolean Gabriel mask over the edge arrays ``(eu, ev)``.
+
+    Any node strictly inside the diameter circle of ``(u, v)`` is within
+    ``|uv| < radius`` of ``u`` (triangle inequality through the midpoint),
+    hence a UDG neighbor of ``u`` — so the candidate witnesses for an edge
+    are exactly ``u``'s own adjacency row.  The strict-inside test uses the
+    same ``d² < r² − EPS`` band as the reference oracle.
+    """
+    m = len(eu)
+    blocked = np.zeros(m, dtype=bool)
+    if m == 0:
+        return ~blocked
+    mx = (pts[eu, 0] + pts[ev, 0]) / 2.0
+    my = (pts[eu, 1] + pts[ev, 1]) / 2.0
+    r = np.hypot(pts[eu, 0] - pts[ev, 0], pts[eu, 1] - pts[ev, 1]) / 2.0
+    r2 = r * r
+    for lo in range(0, m, _CHUNK):
+        hi = min(lo + _CHUNK, m)
+        u = eu[lo:hi]
+        cnt = indptr[u + 1] - indptr[u]
+        tot = int(cnt.sum())
+        if tot == 0:
+            continue
+        edge_of = np.repeat(np.arange(lo, hi, dtype=np.int64), cnt)
+        first = np.repeat(indptr[u], cnt)
+        offs = np.arange(tot, dtype=np.int64) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+        w = indices[first + offs]
+        corner = (w == eu[edge_of]) | (w == ev[edge_of])
+        dx = pts[w, 0] - mx[edge_of]
+        dy = pts[w, 1] - my[edge_of]
+        inside = (dx * dx + dy * dy < r2[edge_of] - EPS) & ~corner
+        if inside.any():
+            hits = np.bincount(edge_of[inside] - lo, minlength=hi - lo) > 0
+            blocked[lo:hi] |= hits
+    return ~blocked
+
+
+def gabriel_edges(
+    points: Sequence[Sequence[float]],
+    adj: Adjacency,
+) -> set[Edge]:
+    """Gabriel edges of the UDG (Definition 2.3, clause 2) — bulk fast path.
+
+    Differentially tested against :func:`gabriel_edges_reference`.
+    """
+    pts = as_array(points)
+    indptr, indices = adjacency_csr(adj)
+    n = len(adj)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    up = indices > rows
+    eu, ev = rows[up], indices[up]
+    keep = _gabriel_mask(pts, eu, ev, indptr, indices)
+    return set(zip(eu[keep].tolist(), ev[keep].tolist()))
+
+
+def _k_reach_csr(
+    n: int, eu: np.ndarray, ev: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR ``(indptr, indices)`` of the ≤ k-hop reachability relation.
+
+    Row ``u`` holds every node reachable from ``u`` in 1..k UDG hops (plus
+    possibly ``u`` itself via a closed walk — harmless, since the witness
+    stage excludes triangle corners explicitly).  Computed as the boolean
+    sum ``A + A² + … + Aᵏ`` with scipy sparse matmuls, which for the
+    bounded-degree clouds used here stays linear-size.
+    """
+    if n == 0 or len(eu) == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    data = np.ones(2 * len(eu), dtype=np.int8)
+    a = sp.csr_matrix(
+        (data, (np.concatenate([eu, ev]), np.concatenate([ev, eu]))),
+        shape=(n, n),
+    )
+    a.sum_duplicates()
+    a.data[:] = 1
+    reach = a.copy()
+    power = a
+    for _ in range(k - 1):
+        power = (power @ a).tocsr()
+        power.data[:] = 1
+        reach = reach + power
+        reach.data[:] = 1
+    reach.sort_indices()
+    return reach.indptr.astype(np.int64), reach.indices.astype(np.int64)
+
+
+def _invalidated(
+    pts: np.ndarray,
+    tris: np.ndarray,
+    tri_ids: np.ndarray,
+    cc: np.ndarray,
+    r2: np.ndarray,
+    corners: np.ndarray,
+    tri_of: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> np.ndarray:
+    """Which of ``tri_ids`` have a witness strictly inside their circumdisk.
+
+    ``corners``/``tri_of`` name, per candidate-generating corner, the CSR
+    row to scan and the position (into ``tri_ids``) of the triangle it
+    belongs to.  The strict-inside test uses the same ``d² < r² − EPS``
+    band and the same circumcenter arithmetic as the scalar oracle.
+    """
+    bad = np.zeros(len(tri_ids), dtype=bool)
+    cnt = indptr[corners + 1] - indptr[corners]
+    tot = int(cnt.sum())
+    if tot == 0:
+        return bad
+    wit_tri = np.repeat(tri_of, cnt)
+    first = np.repeat(indptr[corners], cnt)
+    offs = np.arange(tot, dtype=np.int64) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+    wit = indices[first + offs]
+    gids = tri_ids[wit_tri]
+    corner_hit = (
+        (wit == tris[gids, 0]) | (wit == tris[gids, 1]) | (wit == tris[gids, 2])
+    )
+    dx = pts[wit, 0] - cc[gids, 0]
+    dy = pts[wit, 1] - cc[gids, 1]
+    inside = (dx * dx + dy * dy < r2[gids] - EPS) & ~corner_hit
+    if inside.any():
+        bad = np.bincount(wit_tri[inside], minlength=len(tri_ids)) > 0
+    return bad
+
+
+def _ldel_triangle_mask(
+    pts: np.ndarray,
+    tris: np.ndarray,
+    kp: np.ndarray,
+    ki: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Which UDG triangles satisfy the k-localized empty-circumdisk test.
+
+    The witness set of a triangle is the union of its corners' k-hop rows;
+    a witness strictly inside the circumdisk invalidates it.  Triangles
+    with no circumcircle (collinear within EPS) are invalid, exactly as the
+    reference skips them.
+
+    Candidate pruning: when the circumdisk diameter is at most ``radius``
+    (``4r² ≤ radius²``), any point strictly inside the disk is within
+    ``2r ≤ radius`` of *every* corner — hence a direct UDG neighbor of the
+    first corner and automatically inside the k-hop witness set (``k ≥ 1``).
+    Those triangles (the vast majority in a bounded-density cloud) scan one
+    adjacency row instead of three k-hop rows; only wide circumdisks pay
+    for the full union.  The pruning is exact — it can only discard
+    candidates that the strict-inside test would reject anyway.
+    """
+    m = len(tris)
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    cc, cc_valid = circumcenter_batch(pts[tris[:, 0]], pts[tris[:, 1]], pts[tris[:, 2]])
+    r = np.hypot(cc[:, 0] - pts[tris[:, 0], 0], cc[:, 1] - pts[tris[:, 0], 1])
+    r2 = r * r
+    ok = cc_valid.copy()
+    narrow = cc_valid & (4.0 * r2 <= radius * radius)
+    wide_ids = np.flatnonzero(cc_valid & ~narrow)
+    narrow_ids = np.flatnonzero(narrow)
+
+    for lo in range(0, len(narrow_ids), _CHUNK):
+        ids = narrow_ids[lo : lo + _CHUNK]
+        bad = _invalidated(
+            pts, tris, ids, cc, r2,
+            corners=tris[ids, 0],
+            tri_of=np.arange(len(ids), dtype=np.int64),
+            indptr=indptr, indices=indices,
+        )
+        ok[ids[bad]] = False
+    for lo in range(0, len(wide_ids), _CHUNK):
+        ids = wide_ids[lo : lo + _CHUNK]
+        bad = _invalidated(
+            pts, tris, ids, cc, r2,
+            corners=tris[ids].ravel(),
+            tri_of=np.repeat(np.arange(len(ids), dtype=np.int64), 3),
+            indptr=kp, indices=ki,
+        )
+        ok[ids[bad]] = False
+    return ok
+
+
 def build_ldel(
     points: Sequence[Sequence[float]],
     k: int = 2,
     radius: float = 1.0,
     udg: Adjacency | None = None,
 ) -> LDelGraph:
-    """Construct LDelᵏ(V) from scratch.
+    """Construct LDelᵏ(V) from scratch — bulk fast path.
 
     Parameters
     ----------
@@ -176,19 +495,82 @@ def build_ldel(
     udg:
         Optional precomputed UDG adjacency (avoids recomputation when the
         caller already built it).
+
+    The result is pinned to :func:`build_ldel_reference` by the
+    differential equivalence suite: identical edge, triangle and Gabriel
+    sets on every tested distribution, degenerate fixtures included.
     """
     pts = as_array(points)
     n = len(pts)
     if udg is None:
         udg = unit_disk_graph(pts, radius=radius)
-    grid = GridIndex(pts, cell=max(radius, 0.5))
+    indptr, indices = adjacency_csr(udg)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    up = indices > rows
+    eu, ev = rows[up], indices[up]
+
+    tris = _udg_triangles_array(n, indptr, indices)
+    kp, ki = _k_reach_csr(n, eu, ev, k)
+    valid = _ldel_triangle_mask(pts, tris, kp, ki, indptr, indices, radius)
+    valid_tris = tris[valid]
+
+    gab_mask = _gabriel_mask(pts, eu, ev, indptr, indices)
+    gabriel: set[Edge] = set(
+        zip(eu[gab_mask].tolist(), ev[gab_mask].tolist())
+    )
+
+    # Union of Gabriel edges and the three edges of every valid triangle,
+    # deduplicated through sorted integer keys.
+    tri_u = np.concatenate([valid_tris[:, 0], valid_tris[:, 1], valid_tris[:, 0]])
+    tri_v = np.concatenate([valid_tris[:, 1], valid_tris[:, 2], valid_tris[:, 2]])
+    all_u = np.concatenate([eu[gab_mask], tri_u])
+    all_v = np.concatenate([ev[gab_mask], tri_v])
+    if len(all_u):
+        keys = np.unique(all_u * n + all_v)
+        edge_u = keys // n
+        edge_v = keys % n
+    else:
+        edge_u = edge_v = np.zeros(0, dtype=np.int64)
+    adjacency = adjacency_from_pairs(n, edge_u, edge_v)
+
+    triangles = [
+        (a, b, c) for a, b, c in map(tuple, valid_tris.tolist())
+    ]
+    triangles.sort()
+
+    return LDelGraph(
+        points=pts,
+        udg=udg,
+        adjacency=adjacency,
+        triangles=triangles,
+        gabriel=gabriel,
+        k=k,
+        radius=radius,
+    )
+
+
+def build_ldel_reference(
+    points: Sequence[Sequence[float]],
+    k: int = 2,
+    radius: float = 1.0,
+    udg: Adjacency | None = None,
+) -> LDelGraph:
+    """Definitional LDelᵏ oracle: per-node BFS, per-triangle witness loops.
+
+    The pre-vectorization implementation, kept verbatim as ground truth for
+    the fast path.  Quadratic-ish Python constants — use only at small n.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    if udg is None:
+        udg = unit_disk_graph_reference(pts, radius=radius)
 
     khop: dict[int, set[int]] = {
         u: k_hop_neighborhood(udg, u, k) for u in range(n)
     }
 
     valid_triangles: list[Triangle] = []
-    for tri in udg_triangles(udg):
+    for tri in udg_triangles_reference(udg):
         u, v, w = tri
         cc = circumcenter(pts[u], pts[v], pts[w])
         if cc is None:
@@ -210,7 +592,9 @@ def build_ldel(
         if ok:
             valid_triangles.append(tri)
 
-    gabriel = gabriel_edges(pts, udg, grid=grid)
+    gabriel = gabriel_edges_reference(
+        pts, udg, grid=GridIndex(pts, cell=max(radius, 0.5))
+    )
 
     edge_set: set[Edge] = set(gabriel)
     for u, v, w in valid_triangles:

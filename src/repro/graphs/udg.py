@@ -26,7 +26,10 @@ from ..geometry.primitives import as_array
 
 __all__ = [
     "GridIndex",
+    "adjacency_csr",
+    "adjacency_from_pairs",
     "unit_disk_graph",
+    "unit_disk_graph_reference",
     "is_connected",
     "connected_components",
     "max_degree",
@@ -49,10 +52,26 @@ class GridIndex:
         self.points = as_array(points)
         self.cell = float(cell)
         self.buckets: dict[tuple[int, int], list[int]] = {}
+        n = len(self.points)
+        if n == 0:
+            return
+        # Bulk bucket assembly: one vectorized floor + lexsort, then one
+        # list slice per occupied cell.  ``np.floor`` agrees with
+        # ``math.floor`` on every finite double, and the stable lexsort
+        # keeps indices ascending within a bucket — identical buckets to a
+        # per-point insertion loop.
         inv = 1.0 / self.cell
-        for i, (x, y) in enumerate(self.points):
-            key = (int(math.floor(x * inv)), int(math.floor(y * inv)))
-            self.buckets.setdefault(key, []).append(i)
+        cxy = np.floor(self.points * inv).astype(np.int64)
+        order = np.lexsort((cxy[:, 1], cxy[:, 0]))
+        sk = cxy[order]
+        change = np.flatnonzero(
+            (np.diff(sk[:, 0]) != 0) | (np.diff(sk[:, 1]) != 0)
+        ) + 1
+        starts = np.concatenate([[0], change])
+        ends = np.append(change, n)
+        idx = order.tolist()
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            self.buckets[(int(sk[s, 0]), int(sk[s, 1]))] = idx[s:e]
 
     def _cell_of(self, p: Sequence[float]) -> tuple[int, int]:
         inv = 1.0 / self.cell
@@ -80,14 +99,155 @@ class GridIndex:
         keep = d2 <= radius * radius + EPS
         return [cand[i] for i in np.nonzero(keep)[0]]
 
+    def pair_candidates(self, max_dist: float) -> tuple[np.ndarray, np.ndarray]:
+        """All index pairs ``(u, v)``, ``u < v``, within ``max_dist`` of each
+        other, as two int arrays — generated without a Python loop over points.
+
+        This is the bulk form of :meth:`query_radius` used by the fast
+        construction paths (UDG edges, crossing-pair planarity checks).  The
+        distance filter uses the same ``d² ≤ max_dist² + EPS`` band as
+        :meth:`query_radius`, so a pair classifies identically whichever
+        path tests it.
+
+        The grid guarantees completeness: cells are enumerated out to
+        ``ceil(max_dist / cell)`` in both axes, so every pair at distance
+        ``≤ max_dist`` shares an enumerated cell offset.  Cell keys are
+        packed with a stride wide enough that no two distinct cells within
+        reach alias.
+        """
+        pts = self.points
+        n = len(pts)
+        empty = np.zeros(0, dtype=np.int64)
+        if n < 2:
+            return empty, empty
+        inv = 1.0 / self.cell
+        cx = np.floor(pts[:, 0] * inv).astype(np.int64)
+        cy = np.floor(pts[:, 1] * inv).astype(np.int64)
+        reach = max(1, int(math.ceil(max_dist / self.cell)))
+        cy0 = cy - cy.min()
+        stride = int(cy0.max()) + 2 * reach + 2
+        key = (cx - cx.min()) * stride + cy0
+        order = np.argsort(key, kind="stable")
+        sk = key[order]
+        uniq, starts = np.unique(sk, return_index=True)
+        counts = np.diff(np.append(starts, n))
+        pos = np.arange(n, dtype=np.int64)
+        cell_pos = np.searchsorted(uniq, sk)
+
+        lefts: list[np.ndarray] = []
+        rights: list[np.ndarray] = []
+
+        def _expand(cnt: np.ndarray, first: np.ndarray) -> None:
+            tot = int(cnt.sum())
+            if tot == 0:
+                return
+            lefts.append(np.repeat(pos, cnt))
+            offs = np.arange(tot, dtype=np.int64) - np.repeat(
+                np.cumsum(cnt) - cnt, cnt
+            )
+            rights.append(np.repeat(first, cnt) + offs)
+
+        # Pairs inside the same cell: each sorted position with every later
+        # position of its own cell.
+        end_pos = starts[cell_pos] + counts[cell_pos]
+        _expand(end_pos - pos - 1, pos + 1)
+
+        # Pairs across cells: enumerate each unordered cell pair once via
+        # the "forward" half of the (2·reach+1)² neighborhood.
+        for dx in range(0, reach + 1):
+            for dy in range(-reach, reach + 1):
+                if dx == 0 and dy <= 0:
+                    continue
+                target = sk + dx * stride + dy
+                idx = np.clip(np.searchsorted(uniq, target), 0, len(uniq) - 1)
+                hit = uniq[idx] == target
+                _expand(
+                    np.where(hit, counts[idx], 0),
+                    starts[idx],
+                )
+
+        if not lefts:
+            return empty, empty
+        li = np.concatenate(lefts)
+        ri = np.concatenate(rights)
+        a = order[li]
+        b = order[ri]
+        dx_ = pts[a, 0] - pts[b, 0]
+        dy_ = pts[a, 1] - pts[b, 1]
+        keep = dx_ * dx_ + dy_ * dy_ <= max_dist * max_dist + EPS
+        a = a[keep]
+        b = b[keep]
+        return np.minimum(a, b), np.maximum(a, b)
+
+
+def adjacency_from_pairs(
+    n: int, u: np.ndarray, v: np.ndarray
+) -> Adjacency:
+    """Adjacency dict from undirected edge arrays ``(u[i], v[i])``.
+
+    Neighbor lists come out sorted ascending, matching the convention of
+    every construction path in the library.
+    """
+    if len(u) == 0:
+        return {i: [] for i in range(n)}
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.lexsort((dst, src))
+    src = src[order]
+    bounds = np.searchsorted(src, np.arange(n + 1)).tolist()
+    flat = dst[order].tolist()
+    return {i: flat[bounds[i] : bounds[i + 1]] for i in range(n)}
+
+
+def adjacency_csr(adj: Adjacency) -> tuple[np.ndarray, np.ndarray]:
+    """``(indptr, indices)`` CSR arrays of an adjacency dict.
+
+    Row ``i`` of the CSR view is ``indices[indptr[i]:indptr[i + 1]]`` — the
+    sorted neighbor list of node ``i``.  The bulk LDel² construction walks
+    neighborhoods through these arrays instead of Python lists.
+    """
+    n = len(adj)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i in range(n):
+        indptr[i + 1] = indptr[i] + len(adj[i])
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=np.int64)
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        indices[lo:hi] = adj[i]
+    return indptr, indices
+
 
 def unit_disk_graph(
     points: Sequence[Sequence[float]], radius: float = 1.0
 ) -> Adjacency:
     """Adjacency of ``UDG(points)`` with communication ``radius``.
 
-    Vectorized per grid bucket: for each point, distances to the ≤ 9
-    neighboring buckets' points are computed in one numpy expression.
+    Fully vectorized: candidate pairs come from the grid's bulk
+    :meth:`GridIndex.pair_candidates` join, the distance filter runs in one
+    numpy expression, and the adjacency dict is assembled from the sorted
+    edge arrays.  The per-point reference path is kept as
+    :func:`unit_disk_graph_reference` and the differential suite pins the
+    two to identical edge sets.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    adj: Adjacency = {i: [] for i in range(n)}
+    if n <= 1:
+        return adj
+    grid = GridIndex(pts, cell=radius)
+    u, v = grid.pair_candidates(radius)
+    return adjacency_from_pairs(n, u, v)
+
+
+def unit_disk_graph_reference(
+    points: Sequence[Sequence[float]], radius: float = 1.0
+) -> Adjacency:
+    """Per-point oracle for :func:`unit_disk_graph`.
+
+    One grid query per point with a small numpy distance filter — the
+    pre-vectorization implementation, kept as the ground truth the bulk
+    path is differentially tested against.
     """
     pts = as_array(points)
     n = len(pts)

@@ -11,6 +11,7 @@ from repro.geometry.predicates import (
     ccw,
     collinear,
     in_circle,
+    in_circle_batch,
     left_turn_batch,
     on_segment,
     orientation,
@@ -231,6 +232,87 @@ class TestScalarBatchAgreement:
         )
         cross = left_turn_batch(np.asarray(o, dtype=float), pts)
         assert cross[0] == 0.0
+
+    @given(st.lists(st.tuples(point, point, point, point), min_size=1, max_size=10))
+    def test_in_circle_batch_matches_scalar(self, quads):
+        a = np.array([q[0] for q in quads])
+        b = np.array([q[1] for q in quads])
+        c = np.array([q[2] for q in quads])
+        d = np.array([q[3] for q in quads])
+        batch = in_circle_batch(a, b, c, d)
+        for i, (pa, pb, pc, pd) in enumerate(quads):
+            assert bool(batch[i]) == in_circle(pa, pb, pc, pd)
+
+    @given(
+        cx=icoord,
+        cy=icoord,
+        r=st.integers(min_value=1, max_value=40),
+        angles=st.tuples(
+            st.integers(0, 359), st.integers(0, 359), st.integers(0, 359)
+        ),
+        phi=st.integers(0, 359),
+        jr=jitter,
+    )
+    def test_in_circle_agreement_near_cocircular(self, cx, cy, r, angles, phi, jr):
+        # a, b, c on a circle; d on the same circle nudged radially by a
+        # sub-EPS amount — the near-degenerate cocircular regime where an
+        # inconsistent batch kernel would flip against the scalar predicate.
+        def on_circle(deg, rad):
+            th = math.radians(deg)
+            return (cx + rad * math.cos(th), cy + rad * math.sin(th))
+
+        a, b, c = (on_circle(t, float(r)) for t in angles)
+        d = on_circle(phi, float(r) + jr)
+        scalar = in_circle(a, b, c, d)
+        batch = in_circle_batch(
+            np.array([a]), np.array([b]), np.array([c]), np.array([d])
+        )
+        assert bool(batch[0]) == scalar
+
+    @given(a=ipoint, d=ipoint, k=st.integers(-5, 5), phi=st.integers(0, 359))
+    def test_in_circle_collinear_triple_never_inside(self, a, d, k, phi):
+        # Degenerate circle (collinear a, b, c): the scalar predicate
+        # returns False via the orientation guard; the batch kernel's
+        # orientation factor zeroes the determinant test identically.
+        b = (a[0] + d[0], a[1] + d[1])
+        c = (a[0] + k * d[0], a[1] + k * d[1])
+        q = (a[0] + math.cos(math.radians(phi)), a[1] + math.sin(math.radians(phi)))
+        assert not in_circle(a, b, c, q)
+        batch = in_circle_batch(
+            np.array([a], dtype=float),
+            np.array([b], dtype=float),
+            np.array([c], dtype=float),
+            np.array([q], dtype=float),
+        )
+        assert not bool(batch[0])
+
+    @given(
+        quads=st.lists(st.tuples(ipoint, ipoint, ipoint, ipoint), min_size=1, max_size=8)
+    )
+    def test_in_circle_batch_matches_scalar_integer_grid(self, quads):
+        # Exact integer inputs land determinants exactly on zero for
+        # cocircular lattice quadruples (e.g. squares) — the boundary the
+        # EPS band must classify identically on both paths.
+        a = np.array([q[0] for q in quads], dtype=float)
+        b = np.array([q[1] for q in quads], dtype=float)
+        c = np.array([q[2] for q in quads], dtype=float)
+        d = np.array([q[3] for q in quads], dtype=float)
+        batch = in_circle_batch(a, b, c, d)
+        for i, (pa, pb, pc, pd) in enumerate(quads):
+            assert bool(batch[i]) == in_circle(pa, pb, pc, pd)
+
+    def test_in_circle_batch_exact_cocircular_square(self):
+        # The canonical cocircular quadruple: unit-square corners.  The
+        # scalar predicate calls the fourth corner not-strictly-inside; the
+        # batch kernel must agree exactly.
+        sq = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        for perm in ((0, 1, 2, 3), (1, 2, 3, 0), (3, 1, 0, 2)):
+            a, b, c, d = (sq[i] for i in perm)
+            assert not in_circle(a, b, c, d)
+            batch = in_circle_batch(
+                np.array([a]), np.array([b]), np.array([c]), np.array([d])
+            )
+            assert not bool(batch[0])
 
 
 class TestPointInTriangle:

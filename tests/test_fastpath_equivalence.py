@@ -1,0 +1,285 @@
+"""Differential suite: every fast construction path ≡ its ``*_reference`` oracle.
+
+The vectorized/grid-accelerated builders (``unit_disk_graph``, ``build_ldel``,
+``delaunay_triangulation``, the pruned visibility tests, walking point
+location) are required to agree with their kept-verbatim brute-force oracles
+*exactly* — zero-tolerance set equality, not approximate agreement.  The
+fast paths use term-identical floating-point arithmetic and the same EPS
+bands as the oracles, so any mismatch is a bug, including on adversarial
+degenerate inputs (collinear grids, cocircular quadruples, points exactly at
+the unit-radius boundary).
+
+See ``docs/performance.md`` for the pruning-correctness arguments each fast
+path relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.delaunay import (
+    PointLocator,
+    delaunay_triangulation,
+    delaunay_triangulation_reference,
+    empty_circumcircle_violations,
+    locate_point_reference,
+)
+from repro.geometry.visibility import (
+    SegmentGrid,
+    is_visible,
+    is_visible_reference,
+    obstacle_segments,
+    visible_mask,
+    visible_mask_reference,
+)
+from repro.graphs.ldel import (
+    build_ldel,
+    build_ldel_reference,
+    gabriel_edges,
+    gabriel_edges_reference,
+    udg_triangles,
+    udg_triangles_reference,
+)
+from repro.graphs.udg import (
+    unit_disk_graph,
+    unit_disk_graph_reference,
+)
+
+
+def _uniform(seed: int, n: int, scale: float) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, scale, size=(n, 2))
+
+
+def _clustered(seed: int, blobs: int, per_blob: int, scale: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, scale, size=(blobs, 2))
+    return np.concatenate(
+        [c + rng.normal(0.0, 0.45, size=(per_blob, 2)) for c in centers]
+    )
+
+
+def _collinear_grid() -> np.ndarray:
+    # Exact integer lattice scaled so rows/columns sit exactly at the unit
+    # communication radius: maximally collinear AND maximally cocircular
+    # (every lattice square is a cocircular quadruple), with every
+    # horizontal/vertical neighbor pair exactly at distance 1.0.
+    return np.array(
+        [[i * 1.0, j * 1.0] for i in range(9) for j in range(9)]
+    )
+
+
+def _cocircular() -> np.ndarray:
+    # Cocircular quadruples: 12 points on one circle plus interior points.
+    theta = np.linspace(0.0, 2.0 * np.pi, 13)[:-1]
+    ring = np.stack([np.cos(theta), np.sin(theta)], axis=1) * 0.9
+    inner = np.array([[0.0, 0.0], [0.3, 0.1], [-0.2, 0.35]])
+    return np.concatenate([ring, inner])
+
+
+def _duplicate_radius() -> np.ndarray:
+    # Many pairs exactly at the unit-radius boundary (distance exactly 1.0)
+    # plus pairs a hair inside/outside — exercises the d² ≤ r² + EPS band.
+    base = np.array(
+        [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [2.0, 0.0],
+            [2.0, 1.0],
+            [0.0, 2.0 + 1e-9],
+            [1.0, 2.0 - 1e-9],
+            [0.5, 0.5],
+            [1.5, 0.5],
+        ]
+    )
+    return base
+
+
+FIXTURES = [
+    pytest.param(lambda: _uniform(0, 250, 9.0), id="uniform-250"),
+    pytest.param(lambda: _uniform(1, 600, 14.0), id="uniform-600"),
+    pytest.param(lambda: _clustered(2, 5, 60, 10.0), id="clustered"),
+    pytest.param(_collinear_grid, id="collinear-grid"),
+    pytest.param(_cocircular, id="cocircular"),
+    pytest.param(_duplicate_radius, id="duplicate-radius"),
+]
+
+
+@pytest.mark.parametrize("fixture", FIXTURES)
+class TestUdgEquivalence:
+    def test_adjacency_identical(self, fixture):
+        pts = fixture()
+        assert unit_disk_graph(pts) == unit_disk_graph_reference(pts)
+
+
+@pytest.mark.parametrize("fixture", FIXTURES)
+class TestLdelEquivalence:
+    def test_triangles_identical(self, fixture):
+        pts = fixture()
+        adj = unit_disk_graph(pts)
+        assert udg_triangles(adj) == udg_triangles_reference(adj)
+
+    def test_gabriel_identical(self, fixture):
+        pts = fixture()
+        adj = unit_disk_graph(pts)
+        assert gabriel_edges(pts, adj) == gabriel_edges_reference(pts, adj)
+
+    def test_ldel2_graph_identical(self, fixture):
+        pts = fixture()
+        fast = build_ldel(pts, k=2)
+        ref = build_ldel_reference(pts, k=2)
+        assert fast.adjacency == ref.adjacency
+        assert fast.triangles == ref.triangles
+        assert fast.gabriel == ref.gabriel
+        assert fast.udg == ref.udg
+
+    def test_crossing_pairs_identical(self, fixture):
+        pts = fixture()
+        g = build_ldel(pts, k=2)
+        assert sorted(g.crossing_edge_pairs()) == sorted(
+            g.crossing_edge_pairs_reference()
+        )
+
+
+@pytest.mark.parametrize("fixture", FIXTURES)
+class TestDelaunayEquivalence:
+    def test_triangles_identical(self, fixture):
+        pts = fixture()
+        fast = delaunay_triangulation(pts)
+        ref = delaunay_triangulation_reference(pts)
+        assert fast.triangles == ref.triangles
+
+    def test_edges_identical(self, fixture):
+        pts = fixture()
+        assert (
+            delaunay_triangulation(pts).edges()
+            == delaunay_triangulation_reference(pts).edges()
+        )
+
+    def test_no_empty_circle_violations_batch(self, fixture):
+        # The batched in_circle audit agrees with Delaunayhood.
+        pts = fixture()
+        tri = delaunay_triangulation(pts)
+        assert empty_circumcircle_violations(tri) == 0
+
+
+@pytest.mark.parametrize("fixture", FIXTURES)
+class TestPointLocationEquivalence:
+    def test_locate_matches_linear_scan(self, fixture):
+        pts = fixture()
+        tri = delaunay_triangulation(pts)
+        locator = PointLocator(tri)
+        rng = np.random.default_rng(99)
+        lo = pts.min(axis=0) - 0.5
+        hi = pts.max(axis=0) + 0.5
+        queries = rng.uniform(lo, hi, size=(150, 2))
+        for q in queries:
+            got = locator.locate(q)
+            want = locate_point_reference(tri, q)
+            if got is None:
+                assert want == []
+            else:
+                assert got in want
+
+    def test_locate_vertices_and_midpoints(self, fixture):
+        # Degenerate queries: exact triangulation vertices and edge midpoints
+        # lie on shared boundaries; the walk must return one of the incident
+        # triangles the oracle reports.
+        pts = fixture()
+        tri = delaunay_triangulation(pts)
+        if not tri.triangles:
+            pytest.skip("no triangles (collinear fixture)")
+        locator = PointLocator(tri)
+        for a, b, c in tri.triangles[:40]:
+            for q in (pts[a], (pts[a] + pts[b]) / 2.0, (pts[a] + pts[b] + pts[c]) / 3.0):
+                got = locator.locate(q)
+                want = locate_point_reference(tri, q)
+                assert got is not None and got in want
+
+
+def _obstacle_battery(seed: int, n_obs: int, scale: float) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    obstacles = []
+    for _ in range(n_obs):
+        center = rng.uniform(1.0, scale - 1.0, 2)
+        k = int(rng.integers(3, 8))
+        theta = np.sort(rng.uniform(0.0, 2.0 * np.pi, k))
+        radius = rng.uniform(0.2, 0.8, k)
+        obstacles.append(
+            center + np.stack([radius * np.cos(theta), radius * np.sin(theta)], axis=1)
+        )
+    return obstacles
+
+
+class TestVisibilityEquivalence:
+    @pytest.fixture(scope="class")
+    def world(self):
+        obstacles = _obstacle_battery(seed=21, n_obs=12, scale=16.0)
+        corners = np.vstack(obstacles)
+        return obstacles, corners
+
+    def test_visible_mask_identical_random_lines(self, world):
+        obstacles, _ = world
+        rng = np.random.default_rng(3)
+        pa = rng.uniform(0.0, 16.0, size=(500, 2))
+        qa = rng.uniform(0.0, 16.0, size=(500, 2))
+        fast = visible_mask(pa, qa, obstacles)
+        ref = visible_mask_reference(pa, qa, obstacles)
+        assert (fast == ref).all()
+
+    def test_visible_mask_identical_corner_adjacency(self, world):
+        # The visibility-graph workload: all corner pairs, including sight
+        # lines grazing the corners they are incident to.
+        obstacles, corners = world
+        ii, jj = np.triu_indices(len(corners), k=1)
+        fast = visible_mask(corners[ii], corners[jj], obstacles)
+        ref = visible_mask_reference(corners[ii], corners[jj], obstacles)
+        assert (fast == ref).all()
+
+    def test_is_visible_scalar_agreement(self, world):
+        obstacles, corners = world
+        grid = SegmentGrid(obstacle_segments(obstacles))
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            p = rng.uniform(0.0, 16.0, 2)
+            q = rng.uniform(0.0, 16.0, 2)
+            assert is_visible(p, q, obstacles, grid=grid) == is_visible_reference(
+                p, q, obstacles
+            )
+
+    def test_axis_aligned_degenerate_lines(self, world):
+        # Axis-parallel sight lines exercise the zero-delta branches of the
+        # slab rejection.
+        obstacles, corners = world
+        ys = np.linspace(0.0, 16.0, 60)
+        pa = np.stack([np.zeros_like(ys), ys], axis=1)
+        qa = np.stack([np.full_like(ys, 16.0), ys], axis=1)
+        assert (
+            visible_mask(pa, qa, obstacles)
+            == visible_mask_reference(pa, qa, obstacles)
+        ).all()
+        xs = np.linspace(0.0, 16.0, 60)
+        pa = np.stack([xs, np.zeros_like(xs)], axis=1)
+        qa = np.stack([xs, np.full_like(xs, 16.0)], axis=1)
+        assert (
+            visible_mask(pa, qa, obstacles)
+            == visible_mask_reference(pa, qa, obstacles)
+        ).all()
+
+    def test_segment_grid_candidates_complete(self, world):
+        # Every segment that properly crosses a sight line must appear in
+        # the grid's candidate set (the completeness half of the pruning
+        # argument; the precision half is the exact predicate re-check).
+        obstacles, _ = world
+        segs = obstacle_segments(obstacles)
+        grid = SegmentGrid(segs)
+        rng = np.random.default_rng(5)
+        from repro.geometry.predicates import segments_properly_intersect
+
+        for _ in range(120):
+            p = rng.uniform(0.0, 16.0, 2)
+            q = rng.uniform(0.0, 16.0, 2)
+            cand = set(grid.candidates(p, q).tolist())
+            for sid, (ax, ay, bx, by) in enumerate(segs):
+                if segments_properly_intersect(p, q, (ax, ay), (bx, by)):
+                    assert sid in cand

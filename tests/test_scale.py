@@ -66,3 +66,67 @@ class TestScale:
         # 5 holes of scale 2.4: a few dozen hull corners, regardless of the
         # 2400-node cloud.
         assert hull_nodes < 100
+
+
+@pytest.fixture(scope="module")
+def huge_instance():
+    # ~11k nodes — an order of magnitude past the default tier, only built
+    # when the slow marker is selected.
+    sc = perturbed_grid_scenario(
+        width=58.0, height=58.0, hole_count=6, hole_scale=2.4, seed=99
+    )
+    t0 = time.time()
+    graph = build_ldel(sc.points)
+    build_time = time.time() - t0
+    return sc, graph, build_time
+
+
+@pytest.mark.slow
+class TestScaleSlow:
+    """10⁴-node smoke tier for the vectorized construction paths.
+
+    Deselected by default CI test jobs (``-m 'not slow'`` keeps the fast
+    suite fast); the bench-scaling job and local runs exercise it.  The
+    reference oracles are quadratic-ish at this size, so correctness against
+    them is checked on a seeded subsample rather than the full instance —
+    the full-instance equivalence lives in ``tests/test_fastpath_equivalence``
+    at sizes where the oracle is affordable.
+    """
+
+    def test_size_at_least_ten_thousand(self, huge_instance):
+        sc, _, _ = huge_instance
+        assert sc.n >= 10_000
+
+    def test_build_time_budget(self, huge_instance):
+        _, _, build_time = huge_instance
+        # The vectorized path builds ~11k nodes in well under a second on
+        # current hardware; 20s leaves slack for slow CI runners while still
+        # catching any regression to the quadratic regime.
+        assert build_time < 20.0
+
+    def test_connectivity_and_holes(self, huge_instance):
+        sc, graph, _ = huge_instance
+        assert is_connected(graph.adjacency)
+        assert max_degree(graph.udg) <= 24
+        abst = build_abstraction(graph)
+        inner = [h for h in abst.holes if not h.is_outer]
+        assert len(inner) == len(sc.hole_polygons)
+        assert abst.hulls_disjoint()
+
+    def test_subsample_matches_reference(self, huge_instance):
+        from repro.graphs.ldel import build_ldel_reference
+
+        sc, _, _ = huge_instance
+        rng = np.random.default_rng(17)
+        # A contiguous spatial patch (not a random scatter, which would be
+        # mostly disconnected at this density) small enough for the
+        # reference oracle.
+        center = sc.points[rng.integers(sc.n)]
+        d2 = ((sc.points - center) ** 2).sum(axis=1)
+        patch = sc.points[d2 <= 7.0**2]
+        assert 200 <= len(patch) <= 2000
+        fast = build_ldel(patch)
+        ref = build_ldel_reference(patch)
+        assert fast.adjacency == ref.adjacency
+        assert fast.triangles == ref.triangles
+        assert fast.gabriel == ref.gabriel
