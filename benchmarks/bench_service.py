@@ -1,0 +1,142 @@
+"""E17 — routing-as-a-service: sustained qps and tail latency (verified).
+
+Load-generates against a live :class:`repro.service.RoutingService` over
+real sockets: C concurrent keep-alive clients issue route queries drawn
+with repetition from a distinct-pair pool on the E1 acceptance instance
+(n≈450, 2 holes).  Every response's **raw bytes** are compared against
+the payload a cache-less in-process :class:`QueryEngine` produces for the
+same pair, serialized the same way (``json.dumps(..., sort_keys=True)``)
+— the acceptance bar is **0 mismatches**: caches, micro-batching, and
+coalescing may change timing, never answers.
+
+Two configurations are reported: ``batch_window=0`` (drain only what
+already queued) and a 2 ms window (bursty arrivals coalesce into larger
+``route_many`` calls).  Rows record sustained qps, client-side
+p50/p95/p99 latency, and the worker's coalescing counters.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.analysis import make_instance
+from repro.routing import QueryEngine, sample_pairs
+from repro.routing.engine import abstraction_digest
+from repro.service import (
+    InstanceRegistry,
+    RoutingService,
+    ServiceClient,
+    outcome_payload,
+)
+from repro.service.metrics import percentile
+
+# The E1 acceptance instance: n=449, 2 holes.
+INST_PARAMS = dict(
+    width=12.0, height=12.0, hole_count=2, hole_scale=2.0, seed=1
+)
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 50
+DISTINCT_PAIRS = 64
+
+
+def _expected_bytes(oracle, digest, pair):
+    """The exact response body the service must produce for ``pair``."""
+    s, t = pair
+    out = oracle.route(s, t)
+    envelope = {
+        "instance": digest,
+        "mode": "hull",
+        "results": [
+            outcome_payload(
+                out, oracle.abstraction.points, oracle.optimal(s, t)
+            )
+        ],
+    }
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def _loadgen(inst, schedule, expected, batch_window):
+    """Serve ``schedule`` (one pair list per client) and measure it."""
+
+    async def run():
+        registry = InstanceRegistry(batch_window=batch_window)
+        instance = registry.register(inst.abstraction, udg=inst.graph.udg)
+        service = RoutingService(registry)
+        await service.start(port=0)
+        latencies = []
+        mismatches = 0
+
+        async def client(pairs):
+            nonlocal mismatches
+            async with ServiceClient("127.0.0.1", service.port) as c:
+                for s, t in pairs:
+                    t0 = time.perf_counter()
+                    status, _, raw = await c.post(
+                        "/v1/route", {"source": s, "target": t}
+                    )
+                    latencies.append(time.perf_counter() - t0)
+                    assert status == 200
+                    if raw != expected[(s, t)]:
+                        mismatches += 1
+
+        started = time.perf_counter()
+        try:
+            await asyncio.gather(*(client(chunk) for chunk in schedule))
+        finally:
+            elapsed = time.perf_counter() - started
+            worker_stats = instance.worker.stats.snapshot()
+            await service.shutdown()
+        return latencies, elapsed, mismatches, worker_stats
+
+    return asyncio.run(run())
+
+
+def test_e17_service_loadgen(report):
+    inst = make_instance(**INST_PARAMS)
+    digest = abstraction_digest(inst.abstraction)
+    oracle = QueryEngine(
+        inst.abstraction, "hull", udg=inst.graph.udg, caching=False
+    )
+    rng = np.random.default_rng(21)
+    pool = [
+        (int(s), int(t))
+        for s, t in sample_pairs(inst.n, DISTINCT_PAIRS, rng, distinct=True)
+    ]
+    expected = {pair: _expected_bytes(oracle, digest, pair) for pair in pool}
+    idx = rng.integers(0, len(pool), size=(CLIENTS, REQUESTS_PER_CLIENT))
+    schedule = [[pool[i] for i in row] for row in idx]
+
+    rows = []
+    total_mismatches = 0
+    for window_ms in (0.0, 2.0):
+        latencies, elapsed, mismatches, worker = _loadgen(
+            inst, schedule, expected, window_ms / 1000.0
+        )
+        total_mismatches += mismatches
+        ms = [s * 1000.0 for s in latencies]
+        rows.append(
+            {
+                "batch_window_ms": window_ms,
+                "clients": CLIENTS,
+                "requests": len(latencies),
+                "qps": round(len(latencies) / elapsed, 1),
+                "p50_ms": round(percentile(ms, 50.0), 3),
+                "p95_ms": round(percentile(ms, 95.0), 3),
+                "p99_ms": round(percentile(ms, 99.0), 3),
+                "engine_calls": worker["route_batches"],
+                "mean_batch_pairs": round(worker["mean_batch_pairs"], 2),
+                "queue_peak": worker["queue_peak"],
+                "mismatches": mismatches,
+            }
+        )
+    report(
+        rows,
+        title=(
+            f"E17: service loadgen on n={inst.n} "
+            f"({CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, verified)"
+        ),
+    )
+    # The differential bar: a served answer never differs from the library.
+    assert total_mismatches == 0

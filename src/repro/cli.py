@@ -15,6 +15,9 @@ Commands
 ``churn-serve`` serve a routing query stream while the network churns,
             measuring scoped-invalidation survival and latency (E15; see
             ``docs/dynamic_serving.md``)
+``serve``   run the asyncio HTTP routing service (route/locate queries
+            over JSON, ``/healthz`` + ``/metrics``; see
+            ``docs/service.md``)
 ``lint``    run the model-invariant static checks (RPR001..) over sources;
             see ``docs/static_analysis.md`` for the rule catalog
 
@@ -79,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the query engine's caches (batch modes only)",
+        help="disable the query engine's caches",
     )
 
     p_trace = sub.add_parser("trace", help="distributed pipeline trace")
@@ -243,6 +246,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, metavar="PATH", help="write results JSON"
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="asyncio HTTP routing service (see docs/service.md)",
+    )
+    common(p_serve)
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--mode",
+        choices=("hull", "visibility", "delaunay"),
+        default="hull",
+        help="default router mode of the initial instance",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        help="pair budget for one coalesced route_many call",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="wait this long after the first queued request before "
+        "draining, so sparse bursts coalesce (0 = no added latency)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve with the query engine's caches disabled",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shut down after N handled requests (smoke runs/tests)",
+    )
+
     p_lint = sub.add_parser(
         "lint", help="model-invariant static analysis (RPR rule suite)"
     )
@@ -340,9 +387,10 @@ def _parse_batch(spec: str, n: int) -> list[tuple]:
     return pairs
 
 
-def _route_batch(args, sc, graph, abst) -> int:
-    from .routing import QueryEngine
-    from .simulation.metrics import MetricsCollector
+def _route_batch(args, sc, graph, engine, metrics) -> int:
+    import math
+
+    from .service.contracts import route_record
 
     if args.batch is not None:
         try:
@@ -353,26 +401,20 @@ def _route_batch(args, sc, graph, abst) -> int:
     else:
         rng = np.random.default_rng(args.seed + 1)
         pairs = sample_pairs(sc.n, args.pairs, rng)
-    metrics = MetricsCollector()
-    engine = QueryEngine(
-        abst,
-        "hull",
-        udg=graph.udg,
-        caching=not args.no_cache,
-        metrics=metrics,
-    )
     rows = []
     for out in engine.route_many(pairs):
-        opt = engine.optimal(out.source, out.target)
+        rec = route_record(
+            out, graph.points, engine.optimal(out.source, out.target)
+        )
         rows.append(
             {
                 "s": out.source,
                 "t": out.target,
                 "case": out.case,
-                "delivered": out.reached,
+                "delivered": rec.delivered,
                 "hops": len(out.path) - 1,
-                "stretch": round(out.length(graph.points) / opt, 3)
-                if out.reached and 0 < opt < float("inf")
+                "stretch": round(rec.stretch, 3)
+                if math.isfinite(rec.stretch)
                 else "-",
             }
         )
@@ -387,27 +429,55 @@ def _route_batch(args, sc, graph, abst) -> int:
 
 
 def cmd_route(args) -> int:
+    """Route one pair or a batch — both through the same `QueryEngine`.
+
+    Scoring follows the evaluation-path rules (PR 3, shared via
+    `repro.service.contracts.route_record`): an unreachable pair is
+    reported non-delivered with no stretch, and a degenerate ``s == t``
+    query scores stretch 1.0 against its zero-length optimum.
+    """
+    import math
+
+    from .routing import QueryEngine
+    from .service.contracts import route_record
+    from .simulation.metrics import MetricsCollector
+
     sc, graph, abst = _make(args)
+    metrics = MetricsCollector()
+    engine = QueryEngine(
+        abst,
+        "hull",
+        udg=graph.udg,
+        caching=not args.no_cache,
+        metrics=metrics,
+    )
     if args.pairs is not None or args.batch is not None:
-        return _route_batch(args, sc, graph, abst)
+        return _route_batch(args, sc, graph, engine, metrics)
     if args.source is None or args.target is None:
         print("route needs SOURCE TARGET (or --pairs/--batch)", file=sys.stderr)
         return 2
     if not (0 <= args.source < sc.n and 0 <= args.target < sc.n):
         print(f"node ids must be in [0, {sc.n})", file=sys.stderr)
         return 2
-    router = hull_router(abst)
-    out = router.route(args.source, args.target)
-    opt = euclidean_shortest_path_length(
-        graph.points, graph.udg, args.source, args.target
+    out = engine.route(args.source, args.target)
+    opt = engine.optimal(args.source, args.target)
+    rec = route_record(out, graph.points, opt)
+    opt_text = f"{opt:.3f}" if math.isfinite(opt) else "unreachable"
+    stretch_text = (
+        f"{rec.stretch:.3f}" if math.isfinite(rec.stretch) else "-"
     )
     print(f"case:      {out.case}")
-    print(f"delivered: {out.reached}")
+    print(f"delivered: {rec.delivered}")
     print(f"hops:      {len(out.path) - 1}")
-    print(f"length:    {out.length(graph.points):.3f} (optimal {opt:.3f})")
-    print(f"stretch:   {out.length(graph.points) / opt:.3f}")
+    print(f"length:    {rec.path_length:.3f} (optimal {opt_text})")
+    print(f"stretch:   {stretch_text}")
     print(f"waypoints: {out.waypoints}")
     print(f"path:      {out.path}")
+    if not rec.reachable:
+        print(
+            "target is unreachable from source in the UDG; "
+            "the pair counts as non-delivered and has no stretch"
+        )
     if args.svg:
         from .analysis.viz import render_scene
 
@@ -693,6 +763,52 @@ def cmd_churn_serve(args) -> int:
     return 0 if s.get("mismatches", 0) == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import InstanceRegistry, RoutingService
+
+    registry = InstanceRegistry(
+        caching=not args.no_cache,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms / 1000.0,
+    )
+    service = RoutingService(registry, max_requests=args.max_requests)
+    params = {
+        "width": args.width,
+        "height": args.width,
+        "hole_count": args.holes,
+        "hole_scale": args.hole_scale,
+        "seed": args.seed,
+        "mode": args.mode,
+    }
+
+    async def run() -> None:
+        instance = await registry.create(params)
+        await service.start(args.host, args.port)
+        print(
+            f"serving instance {instance.digest[:12]} "
+            f"(n={instance.n}, {instance.holes} holes, mode={instance.mode}) "
+            f"on http://{args.host}:{service.port}",
+            flush=True,
+        )
+        print(
+            "endpoints: /healthz /metrics /v1/instances /v1/route "
+            "/v1/route/batch /v1/locate",
+            flush=True,
+        )
+        try:
+            await service.wait_done()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .devtools import (
         lint_paths,
@@ -742,6 +858,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "chaos": cmd_chaos,
     "churn-serve": cmd_churn_serve,
+    "serve": cmd_serve,
     "lint": cmd_lint,
 }
 

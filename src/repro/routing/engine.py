@@ -47,6 +47,15 @@ cache counters) exists only on the caching path.
 
 Returned :class:`RouteOutcome` objects may be shared between callers when
 caching is on — treat them as read-only.
+
+**Concurrency contract.**  The engine is single-owner: its caches are
+plain dicts and ``OrderedDict`` LRUs mutated on every query, so exactly one
+task or thread may execute queries/invalidations at a time.  The service
+layer (:mod:`repro.service`) enforces this by running one worker task per
+engine with a queue in front.  The only state safe to read from another
+thread is :class:`EngineStats` *via* :meth:`EngineStats.snapshot` (or
+:meth:`EngineStats.summary`, which aggregates over a snapshot) — never by
+iterating the live counter dicts while ``record()`` may run.
 """
 
 from __future__ import annotations
@@ -200,23 +209,62 @@ class EngineStats:
         total = row["survived"] + row["evicted"]
         return row["survived"] / total if total else 0.0
 
-    def summary(self) -> dict[str, float]:
-        """Flat dict for tables/benches."""
-        out: dict[str, float] = {
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time copy of every counter, safe to hand across tasks.
+
+        The service's ``/metrics`` endpoint reads stats while the engine's
+        worker may be mid-``record()``; iterating the live dicts from
+        another task risks ``RuntimeError: dictionary changed size during
+        iteration`` and torn hit/miss rows.  All cross-task reads therefore
+        go through this method: the item lists are materialized first
+        (atomic under the GIL), then every row is copied, so the returned
+        structure is fully decoupled from the live counters.  Aggregation
+        (:meth:`summary`) runs on the snapshot, never on live state.
+        """
+        last = self.last_flush
+        if last is not None:
+            last = dict(last)
+            last["caches"] = {
+                name: dict(row)
+                for name, row in list(last.get("caches", {}).items())
+            }
+        return {
             "queries": self.queries,
             "batch_queries": self.batch_queries,
             "invalidations": self.invalidations,
             "scoped_invalidations": self.scoped_invalidations,
             "full_invalidations": self.full_invalidations,
+            "cache": {
+                name: dict(row) for name, row in list(self.cache.items())
+            },
+            "flush": {
+                name: dict(row) for name, row in list(self.flush.items())
+            },
+            "last_flush": last,
         }
-        for name, row in sorted(self.cache.items()):
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for tables/benches (aggregated over a snapshot)."""
+        snap = self.snapshot()
+        out: dict[str, float] = {
+            "queries": snap["queries"],
+            "batch_queries": snap["batch_queries"],
+            "invalidations": snap["invalidations"],
+            "scoped_invalidations": snap["scoped_invalidations"],
+            "full_invalidations": snap["full_invalidations"],
+        }
+        for name, row in sorted(snap["cache"].items()):
+            total = row["hits"] + row["misses"]
             out[f"{name}_hits"] = row["hits"]
             out[f"{name}_misses"] = row["misses"]
-            out[f"{name}_hit_rate"] = self.hit_rate(name)
-        for name, frow in sorted(self.flush.items()):
+            out[f"{name}_hit_rate"] = row["hits"] / total if total else 0.0
+        for name, frow in sorted(snap["flush"].items()):
+            total = frow["survived"] + frow["evicted"]
             out[f"{name}_survived"] = frow["survived"]
             out[f"{name}_evicted"] = frow["evicted"]
-            out[f"{name}_survival_rate"] = self.survival_rate(name)
+            out[f"{name}_survival_rate"] = (
+                frow["survived"] / total if total else 0.0
+            )
         return out
 
 
@@ -780,6 +828,19 @@ class QueryEngine:
         for s, t in sorted(set(keyed)):
             outcomes[(s, t)] = self.route(s, t, mode=mode)
         return [outcomes[key] for key in keyed]
+
+    def locate(self, node: int) -> BayLocation | None:
+        """§4.3 bay classification of ``node`` (memoized when caching).
+
+        The service layer's locate queries come through here.  With
+        ``caching=False`` this is a plain :func:`locate_node` call with no
+        telemetry, mirroring the route path's determinism contract.
+        """
+        node = int(node)
+        self._check_current()
+        if not self.caching:
+            return locate_node(self.abstraction, node)
+        return self._locate(node)
 
     def route_fn(
         self, mode: str | None = None

@@ -1,0 +1,44 @@
+"""Routing-as-a-service: an asyncio HTTP layer over the query engine.
+
+The paper frames hybrid-network routing as a query-serving problem; this
+package is the serving side.  :class:`RoutingService` is an asyncio HTTP
+front door that multiplexes route/locate queries onto per-instance
+:class:`~repro.routing.engine.QueryEngine`\\ s keyed by abstraction
+content digest, coalesces concurrent requests into ``route_many`` batches
+through a micro-batching queue, and exposes ``/healthz`` + ``/metrics``
+fed by :class:`EngineStats` / :class:`MetricsCollector` snapshots.
+
+Concurrency rule (see ``docs/service.md``): the engine's caches are not
+safe under concurrent mutation, so every engine is owned by exactly one
+:class:`EngineWorker` task with a queue in front — HTTP handlers await
+futures, they never touch an engine.
+"""
+
+from .app import RoutingService
+from .batching import EngineWorker, WorkerStats
+from .client import ServiceClient
+from .contracts import (
+    MODES,
+    ContractError,
+    locate_payload,
+    outcome_payload,
+    route_record,
+)
+from .metrics import LatencyReservoir, ServiceMetrics
+from .registry import InstanceRegistry, ServiceInstance
+
+__all__ = [
+    "RoutingService",
+    "EngineWorker",
+    "WorkerStats",
+    "ServiceClient",
+    "ContractError",
+    "MODES",
+    "route_record",
+    "outcome_payload",
+    "locate_payload",
+    "LatencyReservoir",
+    "ServiceMetrics",
+    "InstanceRegistry",
+    "ServiceInstance",
+]

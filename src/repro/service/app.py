@@ -1,0 +1,354 @@
+"""The asyncio HTTP front door (``repro serve``).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
+the container ships no web framework, and the protocol surface (JSON in,
+JSON out, keep-alive) doesn't need one.  Handler tasks parse a request,
+dispatch through :meth:`RoutingService.handle` (pure: method + path +
+payload → status + payload, so tests can drive it without sockets), and
+serialize the response with ``json.dumps(..., sort_keys=True)`` — the
+same serialization the differential checks apply to locally computed
+payloads, which is what makes "byte-identical to the in-process engine"
+checkable at the wire level.
+
+Endpoints
+---------
+``GET  /healthz``                liveness + instance count
+``GET  /metrics``                service counters + per-instance engine
+                                 stats (snapshotted under each worker)
+``GET  /v1/instances``           registered instances
+``POST /v1/instances``           build + register an instance
+``POST /v1/route``               one pair  ``{source, target, mode?, instance?}``
+``POST /v1/route/batch``         ``{pairs: [[s,t],...], mode?, instance?}``
+``POST /v1/locate``              ``{node | nodes, instance?}``
+
+Engine access goes exclusively through each instance's
+:class:`~repro.service.batching.EngineWorker` (one task per engine, queue
+in front) — the serialization discipline that makes a shared
+:class:`QueryEngine` safe under concurrent HTTP clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from .contracts import (
+    ContractError,
+    parse_batch_body,
+    parse_instance_body,
+    parse_locate_body,
+    parse_route_body,
+)
+from .metrics import ServiceMetrics
+from .registry import InstanceRegistry, ServiceInstance
+
+__all__ = ["RoutingService"]
+
+_MAX_BODY = 4 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+
+class _HttpError(Exception):
+    """Malformed transport-level request (maps to a terse response)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class RoutingService:
+    """Routing-as-a-service: HTTP dispatch over an instance registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`InstanceRegistry` to serve (a fresh one by default).
+    max_requests:
+        After this many handled requests the service marks itself done
+        (:meth:`wait_done` returns) — bounded smoke runs and CLI tests.
+    """
+
+    def __init__(
+        self,
+        registry: InstanceRegistry | None = None,
+        *,
+        max_requests: int | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else InstanceRegistry()
+        self.metrics = ServiceMetrics()
+        self.max_requests = max_requests
+        self._handled = 0
+        self._done = asyncio.Event()
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- dispatch (transport-free; unit-testable) ----------------------------
+    async def handle(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Dispatch one request; returns ``(status, response payload)``."""
+        started = time.perf_counter()
+        endpoint = f"{method} {path}"
+        self.metrics.record_request(endpoint)
+        try:
+            status, body = await self._dispatch(method, path, payload)
+        except ContractError as exc:
+            status, body = exc.status, exc.payload()
+        except Exception as exc:  # noqa: BLE001 - the front door must answer
+            status, body = 500, {
+                "error": {"code": "internal_error", "message": str(exc)}
+            }
+        self.metrics.record_response(status, time.perf_counter() - started)
+        self._handled += 1
+        if self.max_requests is not None and self._handled >= self.max_requests:
+            self._done.set()
+        return status, body
+
+    async def _dispatch(
+        self, method: str, path: str, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "instances": len(self.registry),
+                "requests": self.metrics.requests_total,
+            }
+        if path == "/metrics" and method == "GET":
+            return 200, await self._metrics_payload()
+        if path == "/v1/instances":
+            if method == "GET":
+                return 200, {"instances": self.registry.list()}
+            if method == "POST":
+                params = parse_instance_body(payload or {})
+                instance = await self.registry.create(params)
+                return 200, {"instance": instance.describe()}
+            raise ContractError(
+                f"{method} not allowed on {path}",
+                status=405,
+                code="method_not_allowed",
+            )
+        if path == "/v1/route" and method == "POST":
+            instance = self._instance_of(payload)
+            pairs, mode = parse_route_body(payload, instance.n)
+            return await self._route(instance, pairs, mode)
+        if path == "/v1/route/batch" and method == "POST":
+            instance = self._instance_of(payload)
+            pairs, mode = parse_batch_body(payload, instance.n)
+            return await self._route(instance, pairs, mode)
+        if path == "/v1/locate" and method == "POST":
+            instance = self._instance_of(payload)
+            nodes = parse_locate_body(payload, instance.n)
+            results = await instance.worker.locate(nodes)
+            return 200, {"instance": instance.digest, "results": results}
+        if path in ("/healthz", "/metrics") or path.startswith("/v1/"):
+            raise ContractError(
+                f"{method} not allowed on {path}",
+                status=405,
+                code="method_not_allowed",
+            )
+        raise ContractError(
+            f"no such endpoint: {path}", status=404, code="not_found"
+        )
+
+    def _instance_of(self, payload: Any) -> ServiceInstance:
+        digest = None
+        if isinstance(payload, dict):
+            digest = payload.get("instance")
+            if digest is not None and not isinstance(digest, str):
+                raise ContractError("'instance' must be a digest string")
+        return self.registry.get(digest)
+
+    async def _route(
+        self,
+        instance: ServiceInstance,
+        pairs: list[tuple[int, int]],
+        mode: str | None,
+    ) -> tuple[int, dict[str, Any]]:
+        results = await instance.worker.route(pairs, mode)
+        self.metrics.record_route_pairs(len(pairs))
+        return 200, {
+            "instance": instance.digest,
+            "mode": mode if mode is not None else instance.mode,
+            "results": results,
+        }
+
+    async def _metrics_payload(self) -> dict[str, Any]:
+        instances: dict[str, Any] = {}
+        for row in self.registry.list():
+            digest = row["digest"]
+            worker = self.registry.get(digest).worker
+            stats = await worker.stats_snapshot()
+            instances[digest] = {
+                "n": row["n"],
+                "holes": row["holes"],
+                "mode": row["mode"],
+                **stats,
+            }
+        return {"service": self.metrics.snapshot(), "instances": instances}
+
+    # -- transport -----------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.Server:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._server = await asyncio.start_server(self._on_client, host, port)
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def wait_done(self) -> None:
+        """Block until ``max_requests`` is reached (forever if unset)."""
+        await self._done.wait()
+
+    async def shutdown(self) -> None:
+        """Drain and close: listener, engine workers, open connections.
+
+        Order matters: stop accepting first, then let the workers drain
+        their queues (in-flight handlers get their responses), then close
+        idle keep-alive connections (their readers see EOF) and await the
+        handler tasks so nothing is left to be cancelled at loop teardown.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.registry.close()
+        for writer in list(self._connections):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._done.set()
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        {
+                            "error": {
+                                "code": "bad_request",
+                                "message": str(exc),
+                            }
+                        },
+                        keep_alive=False,
+                    )
+                    return
+                if parsed is None:
+                    return
+                method, path, payload, keep_alive = parsed
+                status, body = await self.handle(method, path, payload)
+                await self._write_response(
+                    writer, status, body, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            ValueError,  # StreamReader line-limit overrun on a hostile line
+        ):
+            # Client went away mid-exchange (or sent garbage); nothing to
+            # answer on this connection.
+            return
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, Any, bool] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body of {length} bytes exceeds {_MAX_BODY}")
+        body = await reader.readexactly(length) if length else b""
+        payload: Any = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        keep_alive = version.upper() != "HTTP/1.0"
+        if headers.get("connection", "").lower() == "close":
+            keep_alive = False
+        path = target.split("?", 1)[0]
+        return method.upper(), path, payload, keep_alive
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()

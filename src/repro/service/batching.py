@@ -1,0 +1,310 @@
+"""Per-engine worker task with a micro-batching queue.
+
+**Why a worker exists.**  :class:`~repro.routing.engine.QueryEngine` is
+single-owner: its memo dicts and LRUs are mutated on every query and are
+not safe under concurrent mutation.  The service therefore runs exactly
+one :class:`EngineWorker` per engine; every operation that touches the
+engine — routing, locating, stats snapshots — is funneled through the
+worker's :class:`asyncio.Queue` and executed strictly one engine call at
+a time.  HTTP handler tasks never hold an engine reference; they await a
+future the worker resolves.
+
+**Micro-batching.**  While one engine call runs, new requests accumulate
+in the queue.  When the worker comes back around it drains everything
+waiting (up to ``max_batch`` pairs) and coalesces adjacent same-mode
+route requests into a single :meth:`QueryEngine.route_many` call, which
+sorts distinct pairs and collapses duplicates into cache hits — the
+batching the engine was built for.  An optional ``batch_window`` adds a
+fixed wait after the first dequeue so bursty-but-sparse arrivals can
+coalesce too; the default (0) never delays a lone request.
+
+**Event-loop hygiene.**  The engine call itself is CPU-bound Python, so
+the worker runs it in a thread (:func:`asyncio.to_thread`) and awaits the
+result.  Serialization still holds — the worker never dequeues the next
+item until the call returns — but the event loop stays responsive for
+``/healthz`` probes and new connections while a large batch computes.
+Engine-state reads for a response (path payloads, ``optimal``, stats
+snapshots) happen inside that same thread call, so nothing observes the
+engine between operations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..routing.engine import QueryEngine
+from ..simulation.metrics import MetricsCollector
+from .contracts import locate_payload, outcome_payload
+
+__all__ = ["EngineWorker", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """Counters of one engine worker (all mutated by the worker only)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: engine calls made for route work (after coalescing)
+    route_batches: int = 0
+    #: route requests absorbed into those batches
+    route_requests: int = 0
+    #: total pairs routed
+    route_pairs: int = 0
+    #: largest single coalesced batch, in pairs
+    max_batch_pairs: int = 0
+    #: high-water mark of the request queue
+    queue_peak: int = 0
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Copy of the counters plus the mean coalesced batch size."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "route_batches": self.route_batches,
+            "route_requests": self.route_requests,
+            "route_pairs": self.route_pairs,
+            "max_batch_pairs": self.max_batch_pairs,
+            "queue_peak": self.queue_peak,
+            "mean_batch_pairs": (
+                self.route_pairs / self.route_batches
+                if self.route_batches
+                else 0.0
+            ),
+        }
+
+
+@dataclass
+class _Request:
+    kind: str  # "route" | "locate" | "stats"
+    future: asyncio.Future
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    nodes: list[int] = field(default_factory=list)
+    mode: str | None = None
+
+
+_STOP = object()
+
+
+class EngineWorker:
+    """Serialized front door to one :class:`QueryEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine this worker owns.  No other code may call it once the
+        worker is in use.
+    metrics:
+        The :class:`MetricsCollector` wired into the engine (its cache
+        counters are reported by :meth:`stats`).
+    max_batch:
+        Pair budget for one coalesced ``route_many`` call; requests
+        beyond it wait for the next drain.
+    batch_window:
+        Seconds to wait after the first dequeue before draining, letting
+        sparse bursts coalesce (0 = drain only what already queued).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        metrics: MetricsCollector | None = None,
+        max_batch: int = 512,
+        batch_window: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self.max_batch = max(1, int(max_batch))
+        self.batch_window = max(0.0, float(batch_window))
+        self.stats = WorkerStats()
+        self._queue: asyncio.Queue[Any] = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._task is None or self._task.done():
+            if self._stopped:
+                raise RuntimeError("worker is stopped")
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain the queue, then stop the worker task."""
+        self._stopped = True
+        if self._task is not None and not self._task.done():
+            await self._queue.put(_STOP)
+            await self._task
+        # Anything still queued (racing submissions) fails loudly instead
+        # of leaving its caller awaiting a future that never resolves.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if leftover is not _STOP:
+                self._fail(leftover, RuntimeError("worker is stopped"))
+
+    # -- submission ----------------------------------------------------------
+    async def _submit(self, request: _Request) -> Any:
+        if self._stopped:
+            raise RuntimeError("worker is stopped")
+        self._ensure_started()
+        self.stats.submitted += 1
+        await self._queue.put(request)
+        depth = self._queue.qsize()
+        if depth > self.stats.queue_peak:
+            self.stats.queue_peak = depth
+        return await request.future
+
+    def _new_request(self, kind: str, **kw: Any) -> _Request:
+        future = asyncio.get_running_loop().create_future()
+        return _Request(kind=kind, future=future, **kw)
+
+    async def route(
+        self, pairs: list[tuple[int, int]], mode: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Route ``pairs``; returns one result payload per pair, in order."""
+        return await self._submit(
+            self._new_request("route", pairs=list(pairs), mode=mode)
+        )
+
+    async def locate(self, nodes: list[int]) -> list[dict[str, Any]]:
+        """Classify ``nodes`` (§4.3); one locate payload per node."""
+        return await self._submit(
+            self._new_request("locate", nodes=list(nodes))
+        )
+
+    async def stats_snapshot(self) -> dict[str, Any]:
+        """Engine/cache/worker counters, snapshotted under the worker.
+
+        Runs through the same queue as route work, so the snapshot is
+        taken between engine calls — never while ``record()`` mutates a
+        counter dict (the :meth:`EngineStats.snapshot` contract).
+        """
+        return await self._submit(self._new_request("stats"))
+
+    # -- worker loop ---------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            if self.batch_window > 0.0:
+                await asyncio.sleep(self.batch_window)
+            batch: list[_Request] = [item]
+            budget = sum(len(r.pairs) for r in batch) or 1
+            stop_after = False
+            while budget < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _STOP:
+                    stop_after = True
+                    break
+                batch.append(extra)
+                budget += len(extra.pairs) or 1
+            await self._execute(batch)
+            if stop_after:
+                return
+
+    async def _execute(self, batch: list[_Request]) -> None:
+        """Run one drained batch: coalesce route runs, serialize the rest."""
+        index = 0
+        while index < len(batch):
+            request = batch[index]
+            if request.kind != "route":
+                await self._run_single(request)
+                index += 1
+                continue
+            group = [request]
+            index += 1
+            while (
+                index < len(batch)
+                and batch[index].kind == "route"
+                and batch[index].mode == request.mode
+            ):
+                group.append(batch[index])
+                index += 1
+            await self._run_route_group(group)
+
+    async def _run_route_group(self, group: list[_Request]) -> None:
+        pairs = [pair for request in group for pair in request.pairs]
+        self.stats.route_batches += 1
+        self.stats.route_requests += len(group)
+        self.stats.route_pairs += len(pairs)
+        if len(pairs) > self.stats.max_batch_pairs:
+            self.stats.max_batch_pairs = len(pairs)
+        try:
+            payloads = await asyncio.to_thread(
+                self._serve_route, pairs, group[0].mode
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to the callers
+            for request in group:
+                self._fail(request, exc)
+            return
+        offset = 0
+        for request in group:
+            size = len(request.pairs)
+            self._finish(request, payloads[offset : offset + size])
+            offset += size
+
+    async def _run_single(self, request: _Request) -> None:
+        fn = (
+            self._serve_locate
+            if request.kind == "locate"
+            else self._serve_stats
+        )
+        arg = request.nodes if request.kind == "locate" else None
+        try:
+            result = (
+                await asyncio.to_thread(fn, arg)
+                if arg is not None
+                else await asyncio.to_thread(fn)
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+            self._fail(request, exc)
+            return
+        self._finish(request, result)
+
+    def _finish(self, request: _Request, result: Any) -> None:
+        self.stats.completed += 1
+        if not request.future.cancelled():
+            request.future.set_result(result)
+
+    def _fail(self, request: _Request, exc: BaseException) -> None:
+        self.stats.failed += 1
+        if not request.future.cancelled():
+            request.future.set_exception(exc)
+
+    # -- engine calls (run in the worker's thread, one at a time) ------------
+    def _serve_route(
+        self, pairs: list[tuple[int, int]], mode: str | None
+    ) -> list[dict[str, Any]]:
+        outcomes = self.engine.route_many(pairs, mode=mode)
+        points = self.engine.abstraction.points
+        return [
+            outcome_payload(
+                outcome,
+                points,
+                self.engine.optimal(outcome.source, outcome.target),
+            )
+            for outcome in outcomes
+        ]
+
+    def _serve_locate(self, nodes: list[int]) -> list[dict[str, Any]]:
+        return [locate_payload(node, self.engine.locate(node)) for node in nodes]
+
+    def _serve_stats(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine.stats.snapshot(),
+            "caches": (
+                self.metrics.cache_summary() if self.metrics is not None else {}
+            ),
+            "worker": self.stats.snapshot(),
+        }

@@ -1,0 +1,92 @@
+"""Service-level request metrics (the ``/metrics`` endpoint's top half).
+
+Engine/cache counters come from :class:`EngineStats` and
+:class:`MetricsCollector` snapshots taken under each engine's worker (see
+:mod:`repro.service.batching`); this module adds what only the HTTP layer
+can see — request counts per endpoint, response status codes, and a
+bounded latency reservoir with percentile readout.
+
+All counters here are mutated exclusively from the event loop thread, so
+plain dicts suffice; :meth:`ServiceMetrics.snapshot` copies them before
+serialization anyway, mirroring the engine-side discipline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["LatencyReservoir", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+class LatencyReservoir:
+    """Bounded sample of recent request latencies (seconds)."""
+
+    def __init__(self, maxlen: int = 8192) -> None:
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one request's wall time."""
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def summary(self) -> dict[str, float]:
+        """p50/p95/p99/mean over the retained window, in milliseconds."""
+        window = [s * 1000.0 for s in self._samples]
+        return {
+            "count": float(self.count),
+            "window": float(len(window)),
+            "mean_ms": sum(window) / len(window) if window else 0.0,
+            "p50_ms": percentile(window, 50.0),
+            "p95_ms": percentile(window, 95.0),
+            "p99_ms": percentile(window, 99.0),
+        }
+
+
+class ServiceMetrics:
+    """Request/response accounting for the HTTP front door."""
+
+    def __init__(self) -> None:
+        self.requests_total = 0
+        self.by_endpoint: dict[str, int] = {}
+        self.by_status: dict[int, int] = {}
+        self.route_pairs = 0
+        self.latency = LatencyReservoir()
+
+    def record_request(self, endpoint: str) -> None:
+        """Count one dispatched request against its endpoint."""
+        self.requests_total += 1
+        self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+
+    def record_response(self, status: int, seconds: float) -> None:
+        """Count one completed response and its wall time."""
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        self.latency.record(seconds)
+
+    def record_route_pairs(self, count: int) -> None:
+        """Count pairs answered by route endpoints (batch-aware qps)."""
+        self.route_pairs += count
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready copy of every counter plus latency percentiles."""
+        return {
+            "requests_total": self.requests_total,
+            "route_pairs": self.route_pairs,
+            "by_endpoint": dict(self.by_endpoint),
+            "by_status": {str(k): v for k, v in self.by_status.items()},
+            "latency": self.latency.summary(),
+        }

@@ -1,0 +1,190 @@
+"""Multi-tenant instance registry: one engine + worker per abstraction.
+
+Instances are keyed by :func:`~repro.routing.engine.abstraction_digest`,
+the same content hash the engine uses for cache invalidation — two
+tenants asking for identical build parameters share one engine (and its
+warm caches), and a rebuilt abstraction with different content gets a
+fresh key.  Each registered instance owns a
+:class:`~repro.service.batching.EngineWorker`; the registry never hands
+out raw engines.
+
+Construction happens off the event loop (``asyncio.to_thread``) and is
+serialized by an :class:`asyncio.Lock` — building an abstraction is
+seconds of CPU at service scale, and two concurrent creates for the same
+parameters must not race into duplicate registrations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis.experiments import make_instance
+from ..routing.engine import QueryEngine, abstraction_digest
+from ..scenarios.generators import InfeasibleScenario
+from ..simulation.metrics import MetricsCollector
+from .batching import EngineWorker
+from .contracts import ContractError, MODES
+
+__all__ = ["InstanceRegistry", "ServiceInstance"]
+
+
+@dataclass
+class ServiceInstance:
+    """One served abstraction and its serialized engine worker."""
+
+    digest: str
+    n: int
+    holes: int
+    mode: str
+    params: dict[str, Any]
+    worker: EngineWorker
+    metrics: MetricsCollector
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary row for ``GET /v1/instances``."""
+        return {
+            "digest": self.digest,
+            "n": self.n,
+            "holes": self.holes,
+            "mode": self.mode,
+            "params": dict(self.params),
+        }
+
+
+class InstanceRegistry:
+    """Digest-keyed registry of served instances.
+
+    Parameters mirror :class:`EngineWorker`'s knobs and apply to every
+    instance the registry creates; ``caching=False`` builds cache-less
+    engines (differential/debugging runs).
+    """
+
+    def __init__(
+        self,
+        *,
+        caching: bool = True,
+        max_batch: int = 512,
+        batch_window: float = 0.0,
+    ) -> None:
+        self.caching = caching
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self._instances: dict[str, ServiceInstance] = {}
+        self._order: list[str] = []
+        self._build_lock = asyncio.Lock()
+
+    # -- registration --------------------------------------------------------
+    def register(
+        self,
+        abstraction: Any,
+        *,
+        udg: Any | None = None,
+        mode: str = "hull",
+        params: dict[str, Any] | None = None,
+    ) -> ServiceInstance:
+        """Register a prebuilt abstraction; idempotent per content digest.
+
+        Benchmarks and tests use this to serve an instance they already
+        built; ``udg`` defaults to the abstraction's own adjacency (pass
+        the true UDG for faithful ``optimal`` values).
+        """
+        if mode not in MODES:
+            raise ValueError(f"unknown router mode {mode!r}")
+        digest = abstraction_digest(abstraction)
+        existing = self._instances.get(digest)
+        if existing is not None:
+            return existing
+        metrics = MetricsCollector()
+        engine = QueryEngine(
+            abstraction,
+            mode,
+            udg=udg,
+            caching=self.caching,
+            metrics=metrics if self.caching else None,
+        )
+        holes = sum(1 for h in abstraction.holes if not h.is_outer)
+        instance = ServiceInstance(
+            digest=digest,
+            n=len(abstraction.points),
+            holes=holes,
+            mode=mode,
+            params=dict(params or {}),
+            worker=EngineWorker(
+                engine,
+                metrics=metrics,
+                max_batch=self.max_batch,
+                batch_window=self.batch_window,
+            ),
+            metrics=metrics,
+        )
+        self._instances[digest] = instance
+        self._order.append(digest)
+        return instance
+
+    async def create(self, params: dict[str, Any]) -> ServiceInstance:
+        """Build an instance from validated parameters and register it.
+
+        ``params`` is the output of
+        :func:`~repro.service.contracts.parse_instance_body`.  The build
+        runs in a thread; an :class:`InfeasibleScenario` surfaces as a
+        422 :class:`ContractError`.
+        """
+        build = {k: v for k, v in params.items() if k != "mode"}
+        mode = params.get("mode", "hull")
+        async with self._build_lock:
+            try:
+                inst = await asyncio.to_thread(make_instance, **build)
+            except InfeasibleScenario as exc:
+                raise ContractError(
+                    f"infeasible scenario: {exc}",
+                    status=422,
+                    code="infeasible_scenario",
+                ) from exc
+            return self.register(
+                inst.abstraction,
+                udg=inst.graph.udg,
+                mode=mode,
+                params={**build, "mode": mode},
+            )
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, digest: str | None) -> ServiceInstance:
+        """Resolve an instance; ``None`` means the default (first) one.
+
+        Digest prefixes of at least 8 hex chars resolve when unambiguous,
+        so clients can pass the short form the CLI prints.
+        """
+        if digest is None:
+            if not self._order:
+                raise ContractError(
+                    "no instances registered",
+                    status=404,
+                    code="no_instances",
+                )
+            return self._instances[self._order[0]]
+        found = self._instances.get(digest)
+        if found is not None:
+            return found
+        if len(digest) >= 8:
+            matches = [d for d in self._order if d.startswith(digest)]
+            if len(matches) == 1:
+                return self._instances[matches[0]]
+        raise ContractError(
+            f"unknown instance {digest!r}",
+            status=404,
+            code="unknown_instance",
+        )
+
+    def list(self) -> list[dict[str, Any]]:
+        """Summary rows in registration order."""
+        return [self._instances[d].describe() for d in self._order]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    async def close(self) -> None:
+        """Stop every worker (drains queued work first)."""
+        for digest in self._order:
+            await self._instances[digest].worker.stop()

@@ -155,9 +155,17 @@ class MetricsCollector:
         row["hits" if hit else "misses"] += 1
 
     def cache_summary(self) -> dict[str, dict[str, float]]:
-        """Hit/miss totals and hit rate per engine cache."""
+        """Hit/miss totals and hit rate per engine cache.
+
+        Safe against a concurrent ``record_cache_event`` from the engine's
+        owner thread: the item list is materialized first (atomic under
+        the GIL) and every row is copied before the two counters are read,
+        so the summary never iterates a live dict cross-thread and each
+        row's hits/misses come from one moment.
+        """
         out: dict[str, dict[str, float]] = {}
-        for name, row in sorted(self.cache_stats.items()):
+        for name, row in sorted(list(self.cache_stats.items())):
+            row = dict(row)
             total = row["hits"] + row["misses"]
             out[name] = {
                 "hits": row["hits"],

@@ -448,3 +448,46 @@ class TestEvaluateIntegration:
         outs2, engine2 = run_query_workload(abst, pairs[:6], engine=engine)
         assert engine2 is engine
         assert engine.stats.cache["route_result"]["hits"] >= 6
+
+
+class TestStatsConcurrency:
+    """The cross-thread read contract of `EngineStats` and cache metrics.
+
+    The engine itself is single-owner, but the service layer reads
+    `stats.snapshot()` / `summary()` / `MetricsCollector.cache_summary()`
+    while a worker thread is mid-query.  Iterating the live counter dicts
+    from another thread raises `RuntimeError: dictionary changed size`;
+    the snapshot methods must materialize item lists first.
+    """
+
+    def test_snapshot_during_concurrent_queries(self, inst):
+        import threading
+
+        sc, graph, abst = inst
+        metrics = MetricsCollector()
+        engine = QueryEngine(abst, "hull", udg=graph.udg, metrics=metrics)
+        rng = np.random.default_rng(9)
+        qpairs = [
+            (int(s), int(t)) for s, t in rng.integers(0, sc.n, size=(400, 2))
+        ]
+        errors = []
+
+        def hammer():
+            try:
+                for s, t in qpairs:
+                    engine.route(s, t)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            while thread.is_alive():
+                snap = engine.stats.snapshot()
+                assert {"queries", "cache", "flush"} <= set(snap)
+                engine.stats.summary()
+                metrics.cache_summary()
+        finally:
+            thread.join()
+        assert not errors
+        assert engine.stats.snapshot()["queries"] == len(qpairs)

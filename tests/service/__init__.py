@@ -1,0 +1,1 @@
+"""Tests for the routing-as-a-service layer (:mod:`repro.service`)."""

@@ -1,0 +1,170 @@
+"""Unit tests for the service wire contracts (validation + payloads).
+
+These are the transport-free halves of the protocol: request parsers
+raising :class:`ContractError` with the right status/code, and response
+payload builders following PR 3's evaluation-path scoring rules.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.abstraction import build_abstraction
+from repro.graphs.ldel import build_ldel
+from repro.routing import QueryEngine
+from repro.scenarios import perturbed_grid_scenario
+from repro.service.contracts import (
+    MAX_BATCH_PAIRS,
+    ContractError,
+    locate_payload,
+    outcome_payload,
+    parse_batch_body,
+    parse_instance_body,
+    parse_locate_body,
+    parse_route_body,
+    route_record,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    sc = perturbed_grid_scenario(
+        width=9, height=9, hole_count=1, hole_scale=2.0, seed=3
+    )
+    graph = build_ldel(sc.points)
+    abst = build_abstraction(graph)
+    return QueryEngine(abst, "hull", udg=graph.udg)
+
+
+class TestRouteRecord:
+    def test_self_pair_scores_one(self, engine):
+        out = engine.route(5, 5)
+        rec = route_record(out, engine.abstraction.points, engine.optimal(5, 5))
+        assert rec.delivered
+        assert rec.stretch == 1.0
+
+    def test_delivered_pair(self, engine):
+        out = engine.route(0, 40)
+        rec = route_record(out, engine.abstraction.points, engine.optimal(0, 40))
+        assert rec.delivered and rec.reachable
+        assert math.isfinite(rec.stretch) and rec.stretch >= 1.0
+
+    def test_unreachable_gates_delivery(self, engine):
+        # An infinite optimum must gate `delivered` even when the router
+        # claims success, and can never fabricate a perfect stretch.
+        out = engine.route(0, 40)
+        rec = route_record(out, engine.abstraction.points, math.inf)
+        assert not rec.delivered and not rec.reachable
+        assert math.isinf(rec.stretch)
+
+
+class TestPayloads:
+    def test_outcome_payload_shape(self, engine):
+        out = engine.route(0, 40)
+        payload = outcome_payload(
+            out, engine.abstraction.points, engine.optimal(0, 40)
+        )
+        assert payload["source"] == 0 and payload["target"] == 40
+        assert payload["delivered"] is True
+        assert payload["hops"] == len(out.path) - 1
+        assert payload["path"][0] == 0 and payload["path"][-1] == 40
+        json.dumps(payload, sort_keys=True)  # must be JSON-ready
+
+    def test_unreachable_rendered_null(self, engine):
+        out = engine.route(0, 40)
+        payload = outcome_payload(out, engine.abstraction.points, math.inf)
+        assert payload["optimal"] is None and payload["stretch"] is None
+        assert payload["delivered"] is False and payload["reachable"] is False
+
+    def test_locate_payload(self, engine):
+        loc = engine.locate(5)
+        payload = locate_payload(5, loc)
+        assert payload["node"] == 5
+        if loc is not None:
+            assert payload["location"] == {
+                "hole_id": loc.hole_id,
+                "bay_index": loc.bay_index,
+            }
+        assert locate_payload(3, None)["location"] is None
+
+
+class TestParsers:
+    def test_route_body(self):
+        pairs, mode = parse_route_body({"source": 1, "target": 2}, 10)
+        assert pairs == [(1, 2)] and mode is None
+        _, mode = parse_route_body(
+            {"source": 1, "target": 2, "mode": "visibility"}, 10
+        )
+        assert mode == "visibility"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            None,
+            [],
+            "x",
+            {"source": 1},
+            {"source": 1, "target": 99},
+            {"source": -1, "target": 2},
+            {"source": True, "target": 2},
+            {"source": 1.5, "target": 2},
+            {"source": 1, "target": 2, "mode": "bogus"},
+        ],
+    )
+    def test_route_body_rejects(self, body):
+        with pytest.raises(ContractError):
+            parse_route_body(body, 10)
+
+    def test_batch_body(self):
+        pairs, mode = parse_batch_body({"pairs": [[0, 1], [2, 2]]}, 10)
+        assert pairs == [(0, 1), (2, 2)] and mode is None
+
+    def test_batch_limit_is_413(self):
+        body = {"pairs": [[0, 1]] * (MAX_BATCH_PAIRS + 1)}
+        with pytest.raises(ContractError) as exc_info:
+            parse_batch_body(body, 10)
+        assert exc_info.value.status == 413
+        assert exc_info.value.code == "batch_too_large"
+
+    @pytest.mark.parametrize(
+        "body", [{}, {"pairs": []}, {"pairs": [[0]]}, {"pairs": [[0, 99]]}]
+    )
+    def test_batch_body_rejects(self, body):
+        with pytest.raises(ContractError):
+            parse_batch_body(body, 10)
+
+    def test_locate_body(self):
+        assert parse_locate_body({"node": 3}, 10) == [3]
+        assert parse_locate_body({"nodes": [1, 2]}, 10) == [1, 2]
+        with pytest.raises(ContractError):
+            parse_locate_body({}, 10)
+        with pytest.raises(ContractError):
+            parse_locate_body({"nodes": [99]}, 10)
+
+    def test_instance_defaults(self):
+        params = parse_instance_body({})
+        assert params["width"] == 12.0 and params["height"] == 12.0
+        assert params["mode"] == "hull" and params["hole_count"] == 2
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"width": 1000},
+            {"width": 1.0},
+            {"hole_count": 99},
+            {"width": True},
+            {"seed": "zero"},
+            {"mode": "bogus"},
+        ],
+    )
+    def test_instance_bounds(self, body):
+        with pytest.raises(ContractError):
+            parse_instance_body(body)
+
+    def test_error_payload_shape(self):
+        err = ContractError("nope", status=404, code="unknown_instance")
+        assert err.status == 404
+        assert err.payload() == {
+            "error": {"code": "unknown_instance", "message": "nope"}
+        }

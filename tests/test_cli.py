@@ -8,6 +8,34 @@ from repro.cli import build_parser, main
 ARGS = ["--width", "9", "--holes", "1", "--hole-scale", "2.0", "--seed", "3"]
 
 
+def _make_disconnected(args):
+    """Two UDG-connected 3x3 clusters 50 units apart: nodes 0-8 and 9-17.
+
+    Perturbed-grid scenarios are always connected, so the unreachable-pair
+    regression needs a hand-built instance; routing 0 -> 12 crosses the gap.
+    """
+    import numpy as np
+
+    from repro.core.abstraction import build_abstraction
+    from repro.graphs.ldel import build_ldel
+    from repro.scenarios.generators import Scenario
+
+    base = np.array(
+        [[x * 0.8, y * 0.8] for x in range(3) for y in range(3)], dtype=float
+    )
+    points = np.vstack([base, base + 50.0])
+    sc = Scenario(
+        points=points,
+        hole_polygons=[],
+        radius=1.0,
+        width=60.0,
+        height=60.0,
+        seed=0,
+    )
+    graph = build_ldel(sc.points)
+    return sc, graph, build_abstraction(graph)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -38,6 +66,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8177
+        assert args.max_batch == 512 and args.batch_window_ms == 0.0
+        assert args.max_requests is None and args.mode == "hull"
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -54,6 +89,39 @@ class TestCommands:
 
     def test_route_bad_ids(self, capsys):
         assert main(["route", "0", "999999", *ARGS]) == 2
+
+    def test_route_self_pair_scores_one(self, capsys):
+        # Regression: `repro route 5 5` used to die on ZeroDivisionError;
+        # a delivered s == t query is exactly optimal (stretch 1.0).
+        assert main(["route", "5", "5", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "delivered: True" in out
+        assert "stretch:   1.000" in out
+
+    def test_route_unreachable_pair(self, capsys, monkeypatch):
+        # Regression: an unreachable pair used to crash on the infinite
+        # optimum; it must exit 0, report non-delivery, and show no stretch.
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "_make", _make_disconnected)
+        assert main(["route", "0", "12", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "delivered: False" in out
+        assert "optimal unreachable" in out
+        assert "stretch:   -" in out
+        assert "non-delivered" in out
+
+    def test_route_batch_self_and_unreachable(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "_make", _make_disconnected)
+        assert main(["route", *ARGS, "--batch", "5:5,0:12"]) == 0
+        out = capsys.readouterr().out
+        assert "2 queries (batched)" in out
+        self_row = next(l for l in out.splitlines() if l.startswith("5 | 5"))
+        assert "True" in self_row and self_row.rstrip().endswith("1")
+        gap_row = next(l for l in out.splitlines() if l.startswith("0 | 12"))
+        assert "False" in gap_row and gap_row.rstrip().endswith("-")
 
     def test_route_missing_args(self, capsys):
         assert main(["route", *ARGS]) == 2
