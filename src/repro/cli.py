@@ -19,7 +19,11 @@ Commands
             over JSON, ``/healthz`` + ``/metrics``; see
             ``docs/service.md``)
 ``lint``    run the model-invariant static checks (RPR001..) over sources;
-            see ``docs/static_analysis.md`` for the rule catalog
+            ``--deep`` adds the whole-program passes (cache-key
+            soundness, nondeterminism taint, async/ownership contracts),
+            ``--changed`` lints only git-dirty files, ``--baseline``
+            subtracts accepted findings, ``--format sarif`` feeds code
+            scanning; see ``docs/static_analysis.md`` for the catalog
 
 All commands accept ``--width/--holes/--seed`` to shape the instance.
 """
@@ -27,6 +31,7 @@ All commands accept ``--width/--holes/--seed`` to shape the instance.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -301,9 +306,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
-        help="report format (text, json, or GitHub workflow annotations)",
+        help=(
+            "report format (text, json, GitHub workflow annotations, or "
+            "SARIF 2.1.0 for code scanning)"
+        ),
+    )
+    p_lint.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "run the whole-program analyzer (call graph + dataflow: "
+            "RPR2xx/RPR3xx) on top of the syntactic rules"
+        ),
+    )
+    p_lint.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only git-dirty .py files (staged, unstaged, untracked); "
+            "with --deep the project is built from those files alone, so "
+            "cross-file resolution is limited to the changed set"
+        ),
+    )
+    p_lint.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "subtract findings recorded in this baseline file; only new "
+            "findings fail the run"
+        ),
+    )
+    p_lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings into --baseline and exit 0",
     )
     p_lint.add_argument(
         "--select",
@@ -809,20 +849,77 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _changed_python_files() -> list[str]:
+    """Git-dirty ``.py`` files (staged, unstaged, untracked) in this repo."""
+    import subprocess
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise RuntimeError(f"--changed needs a git checkout: {detail.strip()}")
+    files: set[str] = set()
+    for line in status.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:]
+        if " -> " in path:  # rename: lint the new name
+            path = path.split(" -> ")[-1]
+        path = path.strip().strip('"')
+        if not path.endswith(".py"):
+            continue
+        full = os.path.join(top, path)
+        if os.path.exists(full):  # deletions have nothing to lint
+            files.add(os.path.relpath(full))
+    return sorted(files)
+
+
 def cmd_lint(args) -> int:
     from .devtools import (
+        apply_baseline,
+        deep_lint_paths,
+        deep_rule_catalog,
+        is_deep_code,
         lint_paths,
+        load_baseline,
         render_github,
         render_json,
+        render_sarif,
         render_text,
         rule_catalog,
+        write_baseline,
     )
 
     if args.list_rules:
         rows = [
-            {"code": r["code"], "name": r["name"], "scope": r["scope"]}
+            {
+                "code": r["code"],
+                "tier": "syntactic",
+                "name": r["name"],
+                "scope": r["scope"],
+            }
             for r in rule_catalog()
+        ] + [
+            {
+                "code": r["code"],
+                "tier": "deep",
+                "name": r["name"],
+                "scope": r["scope"],
+            }
+            for r in deep_rule_catalog()
         ]
+        rows.sort(key=lambda r: r["code"])
         print(format_table(rows, title="repro lint rule catalog"))
         return 0
     select = (
@@ -830,22 +927,68 @@ def cmd_lint(args) -> int:
         if args.select
         else None
     )
+    if select and not args.deep:
+        deep_selected = sorted(c for c in select if is_deep_code(c))
+        if deep_selected:
+            print(
+                f"rule code(s) {', '.join(deep_selected)} are whole-program "
+                "rules; add --deep to run them",
+                file=sys.stderr,
+            )
+            return 2
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+    paths = args.paths
+    if args.changed:
+        try:
+            paths = _changed_python_files()
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not paths:
+            print("no changed python files")
+            return 0
     try:
-        report = lint_paths(args.paths, select=select)
+        if args.deep:
+            report = deep_lint_paths(paths, select=select)
+        else:
+            report = lint_paths(paths, select=select)
     except (FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.baseline and args.update_baseline:
+        n = write_baseline(args.baseline, report)
+        print(f"baseline updated: {n} finding(s) recorded in {args.baseline}")
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            allowed = load_baseline(args.baseline)
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        baselined = apply_baseline(report, allowed)
     renderers = {
         "text": lambda r: render_text(r, statistics=args.statistics),
         "json": render_json,
         "github": render_github,
+        "sarif": render_sarif,
     }
     rendered = renderers[args.format](report)
     if rendered:
         print(rendered)
+    if baselined and args.format == "text":
+        print(f"{baselined} baselined finding(s) not counted")
     if args.output:
+        if args.output.endswith(".sarif"):
+            out_format = "sarif"
+        elif args.output.endswith(".json"):
+            out_format = "json"
+        else:
+            out_format = args.format
         with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(renderers["json" if args.output.endswith(".json") else args.format](report))
+            fh.write(renderers[out_format](report))
             fh.write("\n")
     return report.exit_code
 

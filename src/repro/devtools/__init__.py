@@ -28,6 +28,24 @@ RPR102     bare/ swallowing ``except``
 RPR103     swallowed :class:`~repro.simulation.scheduler.ModelViolation`
 =========  ================================================================
 
+``repro lint --deep`` adds the whole-program passes (project symbol
+table + call graph + dataflow; see :mod:`repro.devtools.callgraph` and
+:mod:`repro.devtools.dataflow`):
+
+=========  ================================================================
+code       invariant
+=========  ================================================================
+RPR201     cache-key soundness — every memo key covers everything the
+           cached computation (transitively) reads
+RPR210     nondeterminism taint — no wall-clock/global-RNG/set-order value
+           flows into a trace payload or protocol branch, across modules
+RPR301     async/blocking — no blocking call reachable from a service
+           ``async def`` without an ``asyncio.to_thread`` boundary
+RPR302     engine ownership — ``QueryEngine``/``EngineStats`` state is
+           touched only by its owning ``EngineWorker``
+RPR303     no ``await`` while holding a lock
+=========  ================================================================
+
 Suppressions are explicit and must carry a justification::
 
     t0 = time.perf_counter()  # repro: noqa[RPR002] spans never enter digests
@@ -35,23 +53,40 @@ Suppressions are explicit and must carry a justification::
 See ``docs/static_analysis.md`` for the full rule catalog and policy.
 """
 
-from .diagnostics import Diagnostic, Severity
+from .baseline import apply_baseline, fingerprint, load_baseline, write_baseline
+from .callgraph import Project, module_name_for_path
+from .deep import deep_lint_paths, deep_lint_sources
+from .deep_rules import ALL_DEEP_RULES, DeepRule, deep_rule_catalog
+from .diagnostics import Diagnostic, Severity, is_deep_code
 from .engine import LintReport, ModuleSource, iter_python_files, lint_paths, lint_source
-from .output import render_github, render_json, render_text
+from .output import render_github, render_json, render_sarif, render_text
 from .rules import ALL_RULES, Rule, rule_catalog
 
 __all__ = [
+    "ALL_DEEP_RULES",
     "ALL_RULES",
+    "DeepRule",
     "Diagnostic",
     "LintReport",
     "ModuleSource",
+    "Project",
     "Rule",
     "Severity",
+    "apply_baseline",
+    "deep_lint_paths",
+    "deep_lint_sources",
+    "deep_rule_catalog",
+    "fingerprint",
+    "is_deep_code",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "module_name_for_path",
     "render_github",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalog",
+    "write_baseline",
 ]

@@ -1,0 +1,90 @@
+"""Committed-baseline mode: adopt the analyzer without a flag day.
+
+A baseline file records fingerprints of known findings; a baselined run
+subtracts them and fails only on *new* findings.  Fingerprints hash
+``(path, code, message)`` — deliberately not the line number, so an
+unrelated edit shifting a known finding up or down does not resurrect
+it, while any change to what the finding actually says (a different
+uncovered root, a different call chain) makes it new again.  The file
+is a multiset: two identical findings in one file need two baseline
+entries, so fixing one of them still surfaces progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path, PurePath
+
+from .engine import LintReport
+
+__all__ = [
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def fingerprint(path: str, code: str, message: str) -> str:
+    """Stable 16-hex-digit fingerprint of one finding."""
+    normalized = PurePath(path).as_posix()
+    digest = hashlib.sha256(
+        f"{normalized}|{code}|{message}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint → allowed count.  Raises ValueError on a bad file."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw) if raw.strip() else {}
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not payload:
+        return {}
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version')!r} (expected {_VERSION})"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"baseline {path}: 'fingerprints' must be an object")
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def write_baseline(path: str | Path, report: LintReport) -> int:
+    """Record the report's findings as the new baseline; returns count."""
+    counts: dict[str, int] = {}
+    for d in report.diagnostics:
+        fp = fingerprint(d.path, d.code, d.message)
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {"version": _VERSION, "fingerprints": dict(sorted(counts.items()))}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(report.diagnostics)
+
+
+def apply_baseline(report: LintReport, allowed: dict[str, int]) -> int:
+    """Drop baselined findings from the report in place; returns #dropped.
+
+    Findings are matched in the report's stable sort order, consuming
+    allowance per fingerprint — the multiset semantics described above.
+    """
+    remaining = dict(allowed)
+    kept = []
+    dropped = 0
+    for d in sorted(report.diagnostics):
+        fp = fingerprint(d.path, d.code, d.message)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            dropped += 1
+        else:
+            kept.append(d)
+    report.diagnostics[:] = kept
+    return dropped

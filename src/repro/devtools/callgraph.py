@@ -1,0 +1,565 @@
+"""Project symbol table and call graph for ``repro lint --deep``.
+
+The per-file rules in :mod:`repro.devtools.rules` see one module at a
+time; the deep dataflow passes need to know *what a call resolves to*
+across the package: which function an imported (possibly re-exported)
+name lands on, which method ``self.f(...)`` dispatches to, and what
+class a value belongs to when its type is pinned by an annotation or a
+constructor assignment.  :class:`Project` builds exactly that much — a
+deliberately bounded, deterministic approximation:
+
+* **modules** are named by their path position under the root package
+  (``src/repro/routing/engine.py`` → ``repro.routing.engine``), so the
+  same resolution works for the real tree and for fixture corpora with
+  virtual ``# lint-path:`` headers;
+* **imports** (absolute and relative) are resolved within the package,
+  chasing re-export chains through ``__init__`` modules to the defining
+  module;
+* **method dispatch** resolves ``self.m(...)`` within a class,
+  ``obj.m(...)`` when ``obj``'s class is known (parameter annotation,
+  ``self.attr = <annotated param>`` / ``self.attr = ClassName(...)`` in
+  ``__init__``, dataclass field annotations, or a call whose return
+  annotation names a project class), and nothing else.
+
+Anything unresolvable stays unresolved — the passes built on top treat
+unknown callees conservatively rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from collections.abc import Iterable, Sequence
+
+from .engine import ModuleSource
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "module_name_for_path",
+]
+
+#: how many re-export hops to chase before giving up
+_MAX_IMPORT_CHASE = 10
+
+
+def module_name_for_path(path: str, root_package: str = "repro") -> str:
+    """Dotted module name from a file path.
+
+    The rightmost occurrence of ``root_package`` in the path anchors the
+    package root; files outside any package fall back to their stem.
+    """
+    parts = list(PurePath(path).parts)
+    stem_parts = parts[:-1] + [PurePath(parts[-1]).stem]
+    if root_package in stem_parts[:-1] or stem_parts[-1] == root_package:
+        idx = len(stem_parts) - 1 - stem_parts[::-1].index(root_package)
+        dotted = stem_parts[idx:]
+    else:
+        dotted = [stem_parts[-1]]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    cls: str | None  # owning class qualname, or None for module level
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    is_async: bool
+    params: list[str]
+    #: resolved return-type class qualname, when the annotation names one
+    return_class: str | None = None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, typed attributes, attribute writers."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr`` / dataclass field → class qualname, where inferable
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``self.attr`` → method names that assign (rebind) it
+    attr_assign_fns: dict[str, set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its import table and top-level symbols."""
+
+    name: str
+    source: ModuleSource
+    #: local name → dotted target (package-internal or external)
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level simple assignments: name → value expression
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.source.path
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return self.source.parts
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """The dotted name an annotation spells, unwrapping ``X | None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the leading dotted-name token.
+        text = node.value.strip().strip("'\"")
+        head = text.split("[")[0].strip()
+        return head or None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_name(node.left)
+        if left is not None and left != "None":
+            return left
+        return _annotation_name(node.right)
+    if isinstance(node, ast.Subscript):
+        base = _annotation_name(node.value)
+        if base == "Optional":
+            return _annotation_name(node.slice)
+        return None  # containers aren't class types for dispatch
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _param_annotations(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    out: dict[str, str] = {}
+    args = node.args
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        ann = _annotation_name(a.annotation)
+        if ann:
+            out[a.arg] = ann
+    return out
+
+
+class Project:
+    """Symbol table + call graph over one set of parsed modules."""
+
+    def __init__(
+        self,
+        modules: Iterable[ModuleSource],
+        root_package: str = "repro",
+    ) -> None:
+        self.root_package = root_package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.class_by_name: dict[str, list[ClassInfo]] = {}
+        for src in sorted(modules, key=lambda m: m.path):
+            info = self._index_module(src)
+            self.modules[info.name] = info
+            self.by_path[src.path] = info
+        # Return-class resolution needs every class indexed first.
+        for fn in self.functions.values():
+            ann = _annotation_name(fn.node.returns)
+            if ann:
+                fn.return_class = self._resolve_class_name(fn.module, ann)
+        for cls in self.classes.values():
+            resolved: dict[str, str] = {}
+            for attr, ann in cls.attr_types.items():
+                target = self._resolve_class_name(cls.module, ann)
+                if target is not None:
+                    resolved[attr] = target
+            cls.attr_types = resolved
+
+    # -- indexing ------------------------------------------------------------
+    def _index_module(self, src: ModuleSource) -> ModuleInfo:
+        name = module_name_for_path(src.path, self.root_package)
+        info = ModuleInfo(name=name, source=src)
+        pkg = name if src.basename == "__init__.py" else name.rpartition(".")[0]
+        for node in src.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._relative_base(pkg, node.level, node.module)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    info.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(info, node, cls=None)
+                info.functions[fn.name] = fn
+            elif isinstance(node, ast.ClassDef):
+                cls = self._index_class(info, node)
+                info.classes[cls.name] = cls
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    info.assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    info.assigns[node.target.id] = node.value
+        return info
+
+    @staticmethod
+    def _relative_base(pkg: str, level: int, module: str | None) -> str | None:
+        if level == 0:
+            return module or ""
+        parts = pkg.split(".") if pkg else []
+        drop = level - 1
+        if drop > len(parts):
+            return None
+        base_parts = parts[: len(parts) - drop]
+        if module:
+            base_parts.append(module)
+        return ".".join(base_parts)
+
+    def _index_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ClassInfo | None,
+    ) -> FunctionInfo:
+        owner = cls.qualname if cls is not None else None
+        qual = f"{owner or info.name}.{node.name}"
+        fn = FunctionInfo(
+            qualname=qual,
+            module=info.name,
+            cls=owner,
+            name=node.name,
+            node=node,
+            path=info.path,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            params=_param_names(node),
+        )
+        self.functions[qual] = fn
+        return fn
+
+    def _index_class(self, info: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+        cls = ClassInfo(
+            qualname=f"{info.name}.{node.name}",
+            module=info.name,
+            name=node.name,
+            node=node,
+            path=info.path,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(info, stmt, cls)
+                cls.methods[fn.name] = fn
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                ann = _annotation_name(stmt.annotation)
+                if ann:  # dataclass-style field annotation
+                    cls.attr_types[stmt.target.id] = ann
+        for method in cls.methods.values():
+            ann_by_param = _param_annotations(method.node)
+            for sub in ast.walk(method.node):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    cls.attr_assign_fns.setdefault(target.attr, set()).add(
+                        method.name
+                    )
+                    if target.attr in cls.attr_types:
+                        continue
+                    inferred = self._infer_attr_type(sub, ann_by_param)
+                    if inferred:
+                        cls.attr_types[target.attr] = inferred
+        self.classes[cls.qualname] = cls
+        self.class_by_name.setdefault(cls.name, []).append(cls)
+        return cls
+
+    @staticmethod
+    def _infer_attr_type(
+        stmt: ast.Assign | ast.AnnAssign, ann_by_param: dict[str, str]
+    ) -> str | None:
+        if isinstance(stmt, ast.AnnAssign):
+            return _annotation_name(stmt.annotation)
+        value = stmt.value
+        if isinstance(value, ast.Name):
+            return ann_by_param.get(value.id)
+        if isinstance(value, ast.Call):
+            callee = value.func
+            if isinstance(callee, ast.Name):
+                return callee.id
+            if isinstance(callee, ast.Attribute):
+                return _annotation_name(callee)
+        return None
+
+    # -- name resolution -----------------------------------------------------
+    def resolve_name(self, module: ModuleInfo, dotted: str) -> str | None:
+        """Fully-qualified target of a (possibly dotted) local name.
+
+        Returns a qualname in :attr:`functions` / :attr:`classes`, a
+        module name, or a canonical *external* dotted name (e.g.
+        ``time.sleep``); ``None`` when nothing binds the head.
+        """
+        parts = dotted.split(".")
+        head = parts[0]
+        if head in module.functions:
+            candidate = f"{module.name}.{dotted}"
+        elif head in module.classes:
+            candidate = f"{module.name}.{dotted}"
+        elif head in module.imports:
+            candidate = ".".join([module.imports[head]] + parts[1:])
+        elif head in module.assigns:
+            return None  # a module-level value, not a named symbol
+        else:
+            return None
+        return self._canonicalize(candidate)
+
+    def _canonicalize(self, candidate: str) -> str | None:
+        """Chase re-export chains to a defining module/function/class."""
+        for _ in range(_MAX_IMPORT_CHASE):
+            if (
+                candidate in self.functions
+                or candidate in self.classes
+                or candidate in self.modules
+            ):
+                return candidate
+            if not candidate.startswith(self.root_package + "."):
+                return candidate  # external: already canonical enough
+            # Split into the longest known module prefix + remainder.
+            prefix = candidate
+            rest: list[str] = []
+            while prefix and prefix not in self.modules:
+                prefix, _, tail = prefix.rpartition(".")
+                rest.insert(0, tail)
+            if not prefix or not rest:
+                return candidate
+            mod = self.modules[prefix]
+            head = rest[0]
+            if head in mod.imports:
+                candidate = ".".join([mod.imports[head]] + rest[1:])
+                continue
+            if head in mod.functions or head in mod.classes:
+                resolved = f"{prefix}.{'.'.join(rest)}"
+                return resolved
+            return candidate
+        return candidate
+
+    def _resolve_class_name(self, module_name: str, ann: str) -> str | None:
+        """Class qualname for an annotation string seen in ``module_name``."""
+        module = self.modules.get(module_name)
+        if module is not None:
+            resolved = self.resolve_name(module, ann)
+            if resolved is not None and resolved in self.classes:
+                return resolved
+        # Fall back to a unique class of that bare name in the project —
+        # fixtures annotate with names like ``QueryEngine`` without a
+        # resolvable import, and uniqueness keeps this sound enough.
+        tail = ann.split(".")[-1]
+        matches = self.class_by_name.get(tail, [])
+        if len(matches) == 1:
+            return matches[0].qualname
+        return None
+
+    # -- call resolution -----------------------------------------------------
+    def resolve_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        local_types: dict[str, str] | None = None,
+    ) -> tuple[str, FunctionInfo | ClassInfo | str] | None:
+        """What does ``call`` inside ``fn`` dispatch to?
+
+        Returns ``(kind, target)`` where kind is ``"function"`` (a
+        project :class:`FunctionInfo` — includes methods), ``"class"``
+        (constructor of a project :class:`ClassInfo`), or ``"external"``
+        (canonical dotted name string); ``None`` when unresolvable.
+        """
+        module = self.modules.get(fn.module)
+        if module is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._classify(self.resolve_name(module, func.id))
+        if not isinstance(func, ast.Attribute):
+            return None
+        # self.m(...) and self.attr.m(...)
+        chain = _attribute_chain(func)
+        if chain is not None:
+            head, mids, method_name = chain
+            if head == "self" and fn.cls is not None:
+                cls = self.classes.get(fn.cls)
+                if cls is None:
+                    return None
+                if not mids:
+                    target = cls.methods.get(method_name)
+                    if target is not None:
+                        return ("function", target)
+                    return None
+                owner = self._chase_attr_types(cls, mids)
+                return self._method_of(owner, method_name)
+            if local_types and head in local_types and not mids:
+                owner = self.classes.get(local_types[head])
+                return self._method_of(owner, method_name)
+            if local_types and head in local_types and mids:
+                owner = self._chase_attr_types(
+                    self.classes.get(local_types[head]), mids
+                )
+                return self._method_of(owner, method_name)
+            dotted = ".".join([head] + mids + [method_name])
+            resolved = self.resolve_name(module, dotted)
+            if resolved is not None:
+                return self._classify(resolved)
+            return None
+        # (expr).m(...) — method on a call's annotated return class
+        if isinstance(func.value, ast.Call):
+            inner = self.resolve_call(fn, func.value, local_types)
+            if inner is not None and inner[0] == "function":
+                inner_fn = inner[1]
+                assert isinstance(inner_fn, FunctionInfo)
+                if inner_fn.return_class:
+                    owner = self.classes.get(inner_fn.return_class)
+                    return self._method_of(owner, func.attr)
+            if inner is not None and inner[0] == "class":
+                owner = inner[1]
+                assert isinstance(owner, ClassInfo)
+                return self._method_of(owner, func.attr)
+        return None
+
+    def _chase_attr_types(
+        self, cls: ClassInfo | None, attrs: Sequence[str]
+    ) -> ClassInfo | None:
+        for attr in attrs:
+            if cls is None:
+                return None
+            target = cls.attr_types.get(attr)
+            cls = self.classes.get(target) if target else None
+        return cls
+
+    def _method_of(
+        self, cls: ClassInfo | None, name: str
+    ) -> tuple[str, FunctionInfo] | None:
+        if cls is None:
+            return None
+        target = cls.methods.get(name)
+        if target is None:
+            return None
+        return ("function", target)
+
+    def _classify(
+        self, resolved: str | None
+    ) -> tuple[str, FunctionInfo | ClassInfo | str] | None:
+        if resolved is None:
+            return None
+        if resolved in self.functions:
+            return ("function", self.functions[resolved])
+        if resolved in self.classes:
+            return ("class", self.classes[resolved])
+        if not resolved.startswith(self.root_package + "."):
+            return ("external", resolved)
+        return None
+
+    # -- convenience ---------------------------------------------------------
+    def class_of_value(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        local_types: dict[str, str] | None = None,
+    ) -> ClassInfo | None:
+        """The class a value expression is known to belong to, if any."""
+        if isinstance(expr, ast.Name):
+            if local_types and expr.id in local_types:
+                return self.classes.get(local_types[expr.id])
+            return None
+        if isinstance(expr, ast.Attribute):
+            chain = _attribute_chain_full(expr)
+            if chain is None:
+                return None
+            head, attrs = chain
+            if head == "self" and fn.cls is not None:
+                return self._chase_attr_types(self.classes.get(fn.cls), attrs)
+            if local_types and head in local_types:
+                return self._chase_attr_types(
+                    self.classes.get(local_types[head]), attrs
+                )
+            return None
+        if isinstance(expr, ast.Call):
+            resolved = self.resolve_call(fn, expr, local_types)
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "class":
+                assert isinstance(target, ClassInfo)
+                return target
+            if kind == "function":
+                assert isinstance(target, FunctionInfo)
+                if target.return_class:
+                    return self.classes.get(target.return_class)
+        return None
+
+
+def _attribute_chain(
+    node: ast.Attribute,
+) -> tuple[str, list[str], str] | None:
+    """``a.b.c.m`` → ``("a", ["b", "c"], "m")`` when rooted at a Name."""
+    method = node.attr
+    mids: list[str] = []
+    cur: ast.expr = node.value
+    while isinstance(cur, ast.Attribute):
+        mids.insert(0, cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return (cur.id, mids, method)
+    return None
+
+
+def _attribute_chain_full(node: ast.Attribute) -> tuple[str, list[str]] | None:
+    """``a.b.c`` → ``("a", ["b", "c"])`` when rooted at a Name."""
+    attrs: list[str] = [node.attr]
+    cur: ast.expr = node.value
+    while isinstance(cur, ast.Attribute):
+        attrs.insert(0, cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return (cur.id, attrs)
+    return None

@@ -1,0 +1,606 @@
+"""Dataflow helpers shared by the deep lint passes.
+
+Three analyses over :class:`~repro.devtools.callgraph.Project`:
+
+* :func:`function_reads` — which roots (parameters, ``self`` attributes,
+  module globals) a function's body may read, transitively through
+  resolved project calls to a bounded depth.  Used by the cache-key
+  soundness pass to ask "what does the cached computation depend on?".
+* :func:`backward_slice` — the roots a specific *expression* derives
+  from, traced through local assignments and resolved calls.  Used to
+  reduce cache keys and cached values to comparable root sets.
+* :class:`TaintAnalysis` — interprocedural may-taint with per-function
+  summaries (``returns tainted`` / ``returns tainted iff parameter``)
+  and a source-fed-parameter fixpoint.  Used by the nondeterminism
+  taint pass.
+
+Everything here is a *may* analysis with deliberate bounds: unresolved
+calls propagate through their arguments only, depth is capped, and
+object-level flows between methods are not tracked beyond ``self``
+attribute roots.  The rule modules document the resulting blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from .callgraph import ClassInfo, FunctionInfo, Project
+
+__all__ = [
+    "Root",
+    "TaintAnalysis",
+    "assignments_of",
+    "backward_slice",
+    "format_root",
+    "function_reads",
+    "local_type_env",
+    "statement_order",
+]
+
+#: a dataflow root: ("param", name) | ("attr", name) | ("global", dotted)
+Root = tuple[str, str]
+
+#: transitive-read recursion budget (call-graph depth)
+_MAX_READ_DEPTH = 4
+
+#: taint fixpoint iteration cap
+_MAX_FIXPOINT = 10
+
+
+def format_root(root: Root) -> str:
+    """Human-readable description of a dataflow root for diagnostics."""
+    kind, name = root
+    if kind == "param":
+        return f"parameter `{name}`"
+    if kind == "attr":
+        return f"`self.{name}`"
+    return f"module global `{name}`"
+
+
+# ---------------------------------------------------------------------------
+# local structure helpers
+# ---------------------------------------------------------------------------
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples flattened)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def assignments_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, list[ast.expr]]:
+    """Local name → value expressions that may bind it, anywhere in the body.
+
+    Tuple unpacking maps every element name to the whole right-hand side;
+    loop targets map to the iterable; ``with ... as x`` maps to the
+    context expression.
+    """
+    out: dict[str, list[ast.expr]] = {}
+
+    def add(target: ast.expr, value: ast.expr) -> None:
+        for name in _target_names(target):
+            out.setdefault(name, []).append(value)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                add(target, sub.value)
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            add(sub.target, sub.value)
+        elif isinstance(sub, ast.AugAssign):
+            add(sub.target, sub.value)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            add(sub.target, sub.iter)
+        elif isinstance(sub, ast.comprehension):
+            add(sub.target, sub.iter)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    add(item.optional_vars, item.context_expr)
+        elif isinstance(sub, ast.NamedExpr):
+            add(sub.target, sub.value)
+    return out
+
+
+def _local_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Every name bound inside the function (not a free/global read)."""
+    names: set[str] = set(assignments_of(node))
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if sub is not node:
+                names.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            names.add(sub.name)
+    return names
+
+
+def local_type_env(project: Project, fn: FunctionInfo) -> dict[str, str]:
+    """Local name → class qualname, from annotations and constructor calls."""
+    env: dict[str, str] = {}
+    from .callgraph import _annotation_name, _param_annotations  # noqa: PLC0415
+
+    for pname, ann in _param_annotations(fn.node).items():
+        resolved = project._resolve_class_name(fn.module, ann)
+        if resolved:
+            env[pname] = resolved
+    # Two passes: a later annotation/constructor can type an earlier use.
+    for _ in range(2):
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+                if isinstance(target, ast.Name) and target.id not in env:
+                    cls = project.class_of_value(fn, sub.value, env)
+                    if cls is not None:
+                        env[target.id] = cls.qualname
+            elif isinstance(sub, ast.AnnAssign) and isinstance(
+                sub.target, ast.Name
+            ):
+                ann2 = _annotation_name(sub.annotation)
+                if ann2:
+                    resolved = project._resolve_class_name(fn.module, ann2)
+                    if resolved:
+                        env[sub.target.id] = resolved
+    return env
+
+
+def statement_order(
+    body: list[ast.stmt],
+) -> Iterator[ast.stmt]:
+    """Statements in source order, descending into compound bodies."""
+    for stmt in body:
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if isinstance(inner, list) and inner and isinstance(
+                inner[0], ast.stmt
+            ):
+                yield from statement_order(inner)
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                yield from statement_order(handler.body)
+
+
+# ---------------------------------------------------------------------------
+# transitive reads
+# ---------------------------------------------------------------------------
+
+def function_reads(
+    project: Project,
+    fn: FunctionInfo,
+    depth: int = _MAX_READ_DEPTH,
+    _visiting: frozenset[str] = frozenset(),
+) -> set[Root]:
+    """Roots the function body may read, transitively through project calls.
+
+    Parameter roots of *callees* are dropped — the caller's argument
+    expressions are walked in the caller's own frame.  ``self`` attribute
+    roots survive only through same-class calls (the receiver is the same
+    object); foreign-object attribute reads collapse to the receiver
+    expression's roots, which the caller walk already covers.
+    """
+    if depth <= 0 or fn.qualname in _visiting:
+        return set()
+    visiting = _visiting | {fn.qualname}
+    module = project.modules.get(fn.module)
+    if module is None:
+        return set()
+    locals_ = _local_names(fn.node)
+    params = set(fn.params)
+    env = local_type_env(project, fn)
+    reads: set[Root] = set()
+
+    def import_callee(callee: FunctionInfo, same_class: bool) -> None:
+        for kind, name in function_reads(project, callee, depth - 1, visiting):
+            if kind == "param":
+                continue
+            if kind == "attr" and not same_class:
+                continue
+            reads.add((kind, name))
+
+    for sub in ast.walk(fn.node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            name = sub.id
+            if name == "self":
+                continue
+            if name in params:
+                reads.add(("param", name))
+            elif name in locals_:
+                continue
+            elif name in module.assigns:
+                reads.add(("global", f"{module.name}.{name}"))
+            elif name in module.functions:
+                import_callee(module.functions[name], same_class=False)
+        elif isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+            if (
+                isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and fn.cls is not None
+            ):
+                cls = project.classes.get(fn.cls)
+                method = cls.methods.get(sub.attr) if cls else None
+                if method is not None:
+                    import_callee(method, same_class=True)
+                else:
+                    reads.add(("attr", sub.attr))
+        elif isinstance(sub, ast.Call):
+            resolved = project.resolve_call(fn, sub, env)
+            if resolved is None:
+                continue
+            kind, target = resolved
+            if kind == "function":
+                assert isinstance(target, FunctionInfo)
+                # self.m() was already imported via the Attribute walk;
+                # re-importing is harmless (set union) and covers
+                # module-level and cross-class calls.
+                import_callee(target, same_class=target.cls == fn.cls)
+            elif kind == "class":
+                assert isinstance(target, ClassInfo)
+                init = target.methods.get("__init__")
+                if init is not None:
+                    import_callee(init, same_class=False)
+    return reads
+
+
+# ---------------------------------------------------------------------------
+# backward slicing
+# ---------------------------------------------------------------------------
+
+def backward_slice(
+    project: Project,
+    fn: FunctionInfo,
+    exprs: list[ast.expr],
+    local_types: dict[str, str] | None = None,
+) -> set[Root]:
+    """Roots the given expressions (in ``fn``) may derive from.
+
+    Local names are chased through every assignment that may bind them;
+    calls contribute their callee's transitive non-parameter reads (the
+    argument expressions are sliced directly).
+    """
+    module = project.modules.get(fn.module)
+    if module is None:
+        return set()
+    env = local_types if local_types is not None else local_type_env(project, fn)
+    assigns = assignments_of(fn.node)
+    params = set(fn.params)
+    roots: set[Root] = set()
+    seen_names: set[str] = set()
+    worklist: list[ast.expr] = list(exprs)
+
+    def import_callee(callee: FunctionInfo, same_class: bool) -> None:
+        for kind, name in function_reads(project, callee, _MAX_READ_DEPTH - 1):
+            if kind == "param":
+                continue
+            if kind == "attr" and not same_class:
+                continue
+            roots.add((kind, name))
+
+    while worklist:
+        expr = worklist.pop()
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                name = sub.id
+                if name == "self" or name in seen_names:
+                    continue
+                if name in params:
+                    roots.add(("param", name))
+                elif name in assigns:
+                    seen_names.add(name)
+                    worklist.extend(assigns[name])
+                elif name in module.assigns:
+                    roots.add(("global", f"{module.name}.{name}"))
+                elif name in module.functions:
+                    import_callee(module.functions[name], same_class=False)
+            elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                if (
+                    isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                    and fn.cls is not None
+                ):
+                    cls = project.classes.get(fn.cls)
+                    method = cls.methods.get(sub.attr) if cls else None
+                    if method is not None:
+                        import_callee(method, same_class=True)
+                    else:
+                        roots.add(("attr", sub.attr))
+            elif isinstance(sub, ast.Call):
+                resolved = project.resolve_call(fn, sub, env)
+                if resolved is None:
+                    continue
+                kind, target = resolved
+                if kind == "function":
+                    assert isinstance(target, FunctionInfo)
+                    import_callee(target, same_class=target.cls == fn.cls)
+                elif kind == "class":
+                    assert isinstance(target, ClassInfo)
+                    init = target.methods.get("__init__")
+                    if init is not None:
+                        import_callee(init, same_class=False)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# taint
+# ---------------------------------------------------------------------------
+
+#: taint label: the literal string "src", or ("param", name)
+_SRC = "src"
+
+
+class TaintAnalysis:
+    """Interprocedural may-taint over a project.
+
+    ``is_source(fn, call)`` decides whether a call expression *produces*
+    a tainted value.  Summaries record, per function, whether its return
+    value is tainted outright and which parameters taint it; a second
+    fixpoint marks parameters that receive tainted arguments at any call
+    site, so :meth:`expr_is_tainted` answers "can a source value reach
+    this expression?" across function boundaries.
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        is_source: Callable[[FunctionInfo, ast.Call], bool],
+    ) -> None:
+        self.project = project
+        self.is_source = is_source
+        #: qualname → (returns_src, returns_if_params)
+        self.summaries: dict[str, tuple[bool, frozenset[str]]] = {}
+        #: qualname → params observed to receive tainted arguments
+        self.param_src: dict[str, set[str]] = {}
+        self._env_cache: dict[str, dict[str, str]] = {}
+        self._run_summary_fixpoint()
+        self._run_param_fixpoint()
+
+    # -- fixpoints ----------------------------------------------------------
+    def _run_summary_fixpoint(self) -> None:
+        fns = sorted(self.project.functions.values(), key=lambda f: f.qualname)
+        for fn in fns:
+            self.summaries[fn.qualname] = (False, frozenset())
+        for _ in range(_MAX_FIXPOINT):
+            changed = False
+            for fn in fns:
+                new = self._summarize(fn)
+                if new != self.summaries[fn.qualname]:
+                    self.summaries[fn.qualname] = new
+                    changed = True
+            if not changed:
+                break
+
+    def _run_param_fixpoint(self) -> None:
+        fns = sorted(self.project.functions.values(), key=lambda f: f.qualname)
+        for fn in fns:
+            self.param_src.setdefault(fn.qualname, set())
+        for _ in range(_MAX_FIXPOINT):
+            changed = False
+            for fn in fns:
+                env = self._label_env(fn)
+                for call, callee in self._project_calls(fn):
+                    for pname, arg in self._bind_args(call, callee):
+                        labels = self._labels(fn, arg, env)
+                        if self._is_tainted_labels(fn, labels):
+                            if pname not in self.param_src[callee.qualname]:
+                                self.param_src[callee.qualname].add(pname)
+                                changed = True
+            if not changed:
+                break
+        self._env_cache.clear()  # param_src changed; cached envs are final below
+
+    # -- per-function machinery --------------------------------------------
+    def _type_env(self, fn: FunctionInfo) -> dict[str, str]:
+        cached = self._env_cache.get(fn.qualname)
+        if cached is None:
+            cached = local_type_env(self.project, fn)
+            self._env_cache[fn.qualname] = cached
+        return cached
+
+    def _project_calls(
+        self, fn: FunctionInfo
+    ) -> Iterator[tuple[ast.Call, FunctionInfo]]:
+        env = self._type_env(fn)
+        for sub in ast.walk(fn.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            resolved = self.project.resolve_call(fn, sub, env)
+            if resolved is None:
+                continue
+            kind, target = resolved
+            if kind == "function":
+                assert isinstance(target, FunctionInfo)
+                yield sub, target
+            elif kind == "class":
+                assert isinstance(target, ClassInfo)
+                init = target.methods.get("__init__")
+                if init is not None:
+                    yield sub, init
+
+    @staticmethod
+    def _bind_args(
+        call: ast.Call, callee: FunctionInfo
+    ) -> Iterator[tuple[str, ast.expr]]:
+        params = [p for p in callee.params if p != "self"]
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if i < len(params):
+                yield params[i], arg
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in callee.params:
+                yield kw.arg, kw.value
+
+    def _label_env(self, fn: FunctionInfo) -> dict[str, set[object]]:
+        """Forward may-taint pass: name/attr → labels at end of function."""
+        env: dict[str, set[object]] = {
+            p: {("param", p)} for p in fn.params if p != "self"
+        }
+        # Two sweeps so loop-carried taint stabilizes.
+        for _ in range(2):
+            for stmt in statement_order(
+                fn.node.body if isinstance(fn.node.body, list) else []
+            ):
+                self._transfer(fn, stmt, env)
+        return env
+
+    def _transfer(
+        self, fn: FunctionInfo, stmt: ast.stmt, env: dict[str, set[object]]
+    ) -> None:
+        def bind(target: ast.expr, labels: set[object]) -> None:
+            for name in _target_names(target):
+                env[name] = env.get(name, set()) | labels
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                key = f"self.{target.attr}"
+                env[key] = env.get(key, set()) | labels
+
+        if isinstance(stmt, ast.Assign):
+            labels = self._labels(fn, stmt.value, env)
+            for target in stmt.targets:
+                bind(target, labels)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, self._labels(fn, stmt.value, env))
+        elif isinstance(stmt, ast.AugAssign):
+            bind(stmt.target, self._labels(fn, stmt.value, env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            labels = self._labels(fn, stmt.iter, env)
+            bind(stmt.target, labels)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    bind(
+                        item.optional_vars,
+                        self._labels(fn, item.context_expr, env),
+                    )
+
+    def _labels(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, set[object]],
+    ) -> set[object]:
+        if isinstance(expr, ast.Name):
+            return set(env.get(expr.id, set()))
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return set(env.get(f"self.{expr.attr}", set()))
+            return self._labels(fn, expr.value, env)
+        if isinstance(expr, ast.Call):
+            if self.is_source(fn, expr):
+                return {_SRC}
+            if self._is_set_materialization(expr):
+                return {_SRC}
+            resolved = self.project.resolve_call(
+                fn, expr, self._type_env(fn)
+            )
+            if resolved is not None and resolved[0] in ("function", "class"):
+                target = resolved[1]
+                if resolved[0] == "class":
+                    assert isinstance(target, ClassInfo)
+                    # A constructed object carries taint from any tainted
+                    # argument (field access returns it later).
+                    out: set[object] = set()
+                    for arg in list(expr.args) + [
+                        kw.value for kw in expr.keywords
+                    ]:
+                        out |= self._labels(fn, arg, env)
+                    return out
+                assert isinstance(target, FunctionInfo)
+                returns_src, if_params = self.summaries.get(
+                    target.qualname, (False, frozenset())
+                )
+                out = {_SRC} if returns_src else set()
+                bound = dict(self._bind_args(expr, target))
+                for pname in if_params:
+                    arg = bound.get(pname)
+                    if arg is not None:
+                        out |= self._labels(fn, arg, env)
+                return out
+            # Unresolved/external non-source call: taint flows through
+            # arguments (str(t), round(t, 3), abs(t), ...).
+            out = set()
+            for arg in list(expr.args) + [kw.value for kw in expr.keywords]:
+                out |= self._labels(fn, arg, env)
+            out |= self._labels(fn, expr.func, env)
+            return out
+        # Generic expression: union over child expressions.
+        out = set()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                out |= self._labels(fn, child, env)
+            elif isinstance(child, ast.comprehension):
+                out |= self._labels(fn, child.iter, env)
+        return out
+
+    @staticmethod
+    def _is_set_materialization(call: ast.Call) -> bool:
+        """``list({...})`` / ``tuple(set(...))``: hash-ordered sequence."""
+        from .rules.determinism import _is_set_expression  # noqa: PLC0415
+
+        if not (
+            isinstance(call.func, ast.Name)
+            and call.func.id in ("list", "tuple", "iter")
+        ):
+            return False
+        return len(call.args) == 1 and _is_set_expression(call.args[0])
+
+    def _summarize(
+        self, fn: FunctionInfo
+    ) -> tuple[bool, frozenset[str]]:
+        env = self._label_env(fn)
+        returns_src = False
+        if_params: set[str] = set()
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                labels = self._labels(fn, sub.value, env)
+                if _SRC in labels:
+                    returns_src = True
+                for label in labels:
+                    if isinstance(label, tuple) and label[0] == "param":
+                        if_params.add(label[1])
+        return (returns_src, frozenset(if_params))
+
+    # -- queries -------------------------------------------------------------
+    def _is_tainted_labels(
+        self, fn: FunctionInfo, labels: set[object]
+    ) -> bool:
+        if _SRC in labels:
+            return True
+        fed = self.param_src.get(fn.qualname, set())
+        return any(
+            isinstance(lb, tuple) and lb[0] == "param" and lb[1] in fed
+            for lb in labels
+        )
+
+    def expr_is_tainted(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, set[object]] | None = None,
+    ) -> bool:
+        """May a source-derived value reach this expression?"""
+        if env is None:
+            env = self._label_env(fn)
+        return self._is_tainted_labels(fn, self._labels(fn, expr, env))
+
+    def function_env(self, fn: FunctionInfo) -> dict[str, set[object]]:
+        """The end-of-function label environment (for batch sink checks)."""
+        return self._label_env(fn)

@@ -1,0 +1,126 @@
+"""Driver for ``repro lint --deep``: whole-program analysis over a file set.
+
+A deep run is a strict superset of a syntactic run over the same files:
+every module is parsed once into a :class:`~repro.devtools.callgraph.
+Project`, the registered deep rules walk the project, the syntactic
+rules walk each module, and one unified suppression pass (RPR005/006
+included) covers both finding families.  Because the deep codes *ran*,
+a stale ``noqa[RPR2xx/3xx]`` is a finding here even though the plain
+syntactic run must give it the benefit of the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from collections.abc import Sequence
+
+from .callgraph import Project
+from .deep_rules import ALL_DEEP_RULES, DeepRule
+from .diagnostics import Diagnostic, is_deep_code
+from .engine import (
+    LintReport,
+    ModuleSource,
+    _instantiate,
+    iter_python_files,
+    lint_source,
+)
+
+__all__ = [
+    "DEEP_CODES",
+    "deep_lint_paths",
+    "deep_lint_sources",
+    "split_select",
+]
+
+
+def DEEP_CODES() -> frozenset[str]:
+    """The registered deep rule codes (registry is import-time stable)."""
+    return frozenset(cls.code for cls in ALL_DEEP_RULES)
+
+
+def split_select(
+    select: Sequence[str] | None,
+) -> tuple[list[str] | None, list[str] | None]:
+    """Split a ``--select`` list into (syntactic, deep) sublists.
+
+    ``None`` stays ``None`` on both sides: run everything.
+    """
+    if select is None:
+        return None, None
+    syntactic = [c for c in select if not is_deep_code(c)]
+    deep = [c for c in select if is_deep_code(c)]
+    return syntactic, deep
+
+
+def _instantiate_deep(deep_select: Sequence[str] | None) -> list[DeepRule]:
+    rules = [cls() for cls in ALL_DEEP_RULES]
+    if deep_select is not None:
+        wanted = set(deep_select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise ValueError(f"unknown deep rule code(s): {sorted(unknown)}")
+        rules = [r for r in rules if r.code in wanted]
+    return rules
+
+
+def deep_lint_sources(
+    sources: Sequence[tuple[str, str]],
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Deep-lint in-memory ``(path, text)`` modules as one project.
+
+    This is the fixture-corpus entry point: virtual paths place each
+    module inside the package layout the scoped rules expect.
+    """
+    syn_select, deep_select = split_select(select)
+    deep_rules = _instantiate_deep(deep_select)
+    checked = frozenset(r.code for r in deep_rules)
+
+    # Parse everything once; files that fail to parse get their RPR900
+    # from lint_source below and stay out of the project.
+    modules = []
+    for path, text in sources:
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue
+        modules.append(ModuleSource(path=path, text=text, tree=tree))
+
+    project = Project(modules)
+    deep_by_path: dict[str, list[Diagnostic]] = {}
+    for rule in deep_rules:
+        for diag in rule.check_project(project):
+            deep_by_path.setdefault(diag.path, []).append(diag)
+
+    merged = LintReport()
+    for path, text in sources:
+        sub = lint_source(
+            path,
+            text,
+            select=syn_select,
+            extra_diagnostics=deep_by_path.get(path, []),
+            checked_deep_codes=checked,
+        )
+        merged.files.extend(sub.files)
+        merged.diagnostics.extend(sub.diagnostics)
+        merged.suppressed.extend(sub.suppressed)
+    merged.diagnostics.sort()
+    return merged
+
+
+def deep_lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Deep-lint files and directories; returns one merged report."""
+    # Fail fast on unknown codes before reading anything.
+    syn_select, deep_select = split_select(select)
+    _instantiate_deep(deep_select)
+    if syn_select is not None:
+        _instantiate(syn_select)
+    sources = [
+        (str(file), file.read_text(encoding="utf-8"))
+        for file in iter_python_files(paths)
+    ]
+    return deep_lint_sources(sources, select=select)

@@ -1,0 +1,68 @@
+"""Deep (whole-program) rule registry for ``repro lint --deep``.
+
+Deep rules see the whole :class:`~repro.devtools.callgraph.Project` at
+once instead of one module at a time — that is the entire point: the
+invariants they check (cache-key coverage, async/ownership contracts,
+taint flows) live *between* modules.  They share the diagnostic,
+suppression, and renderer machinery with the syntactic rules; codes are
+``RPR2xx``/``RPR3xx`` so :func:`repro.devtools.diagnostics.is_deep_code`
+can tell the two families apart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only cycle guard
+    from ..callgraph import Project
+
+__all__ = [
+    "ALL_DEEP_RULES",
+    "DeepRule",
+    "deep_rule_catalog",
+    "register_deep",
+]
+
+
+class DeepRule:
+    """Base class: subclasses implement :meth:`check_project`."""
+
+    code: ClassVar[str] = "RPR200"
+    name: ClassVar[str] = "unnamed-deep"
+    rationale: ClassVar[str] = ""
+    #: human-readable scope description for the catalog
+    scope_description: ClassVar[str] = "src (whole program)"
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        """Yield diagnostics over the whole project."""
+        raise NotImplementedError
+
+
+#: every registered deep rule class, in catalog order
+ALL_DEEP_RULES: list[type[DeepRule]] = []
+
+
+def register_deep(cls: type[DeepRule]) -> type[DeepRule]:
+    """Class decorator adding a deep rule to the registry."""
+    ALL_DEEP_RULES.append(cls)
+    return cls
+
+
+def deep_rule_catalog() -> list[dict[str, str]]:
+    """The deep registry as rows (``--list-rules`` and the docs)."""
+    return [
+        {
+            "code": cls.code,
+            "name": cls.name,
+            "scope": cls.scope_description,
+            "rationale": cls.rationale,
+        }
+        for cls in sorted(ALL_DEEP_RULES, key=lambda c: c.code)
+    ]
+
+
+# Import for side effects: each module registers its rules.
+from . import cache_keys, nondet_taint, async_ownership  # noqa: E402,F401

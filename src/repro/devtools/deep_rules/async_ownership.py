@@ -1,0 +1,448 @@
+"""RPR3xx — async/ownership contracts for the service tier.
+
+PR 8's service tier rests on one concurrency contract: each
+``QueryEngine`` is owned by exactly one ``EngineWorker``, engine calls
+run in worker threads (``asyncio.to_thread``), and the event loop never
+blocks.  Three whole-program rules enforce it:
+
+* **RPR301** — a blocking call (any ``QueryEngine`` method or
+  construction, ``make_instance``, ``time.sleep``, ``socket``/file/
+  ``subprocess`` I/O) is reachable from an ``async def`` in ``service/``
+  through plain call edges.  ``asyncio.to_thread(fn, ...)`` passes the
+  function as an *argument*, so it naturally breaks the call chain —
+  no special casing needed, the boundary is structural.
+* **RPR302** — engine ownership escapes: ``worker.engine`` accessed
+  outside ``EngineWorker``'s own methods, a ``QueryEngine`` method
+  called from service code that is not an ``EngineWorker`` method, or
+  attribute writes on ``QueryEngine``/``EngineStats`` values from
+  outside their owning class.  (``QueryEngine(...)`` *construction* is
+  legal anywhere — creating is not using.)
+* **RPR303** — ``await`` while holding a lock: an ``async with`` over an
+  ``asyncio.Lock``/``Semaphore``/``Condition`` whose body contains an
+  ``await`` serializes every coroutine behind the slowest awaited call.
+  Sometimes that *is* the point (build serialization) — then the site
+  carries an audited suppression.
+
+Blind spots: reachability follows resolved calls only (callbacks stored
+in data structures are invisible); blocking externals are a fixed list;
+lock detection needs a syntactic ``asyncio.Lock()`` assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..callgraph import ClassInfo, FunctionInfo, Project
+from ..dataflow import local_type_env
+from ..diagnostics import Diagnostic
+from ..rules import dotted_name
+from . import DeepRule, register_deep
+
+__all__ = [
+    "AsyncBlockingRule",
+    "AwaitUnderLockRule",
+    "EngineOwnershipRule",
+]
+
+#: path segment that puts a module in the service tier
+_SERVICE_PART = "service"
+
+#: the single-owner classes of the concurrency contract
+_ENGINE_CLASS = "QueryEngine"
+_STATS_CLASS = "EngineStats"
+_WORKER_CLASS = "EngineWorker"
+
+#: module-level project functions that are CPU-heavy enough to block
+_BLOCKING_FUNCTIONS = {"make_instance", "build_abstraction", "build_ldel"}
+
+#: canonical external callables that block the event loop
+_BLOCKING_EXTERNAL_EXACT = {"time.sleep", "os.system", "os.popen", "open"}
+_BLOCKING_EXTERNAL_PREFIXES = ("socket.", "subprocess.", "urllib.request.")
+
+#: reachability depth through the call graph
+_MAX_REACH_DEPTH = 6
+
+#: constructors whose result is a mutual-exclusion primitive
+_LOCK_CONSTRUCTORS = {
+    "asyncio.Lock",
+    "asyncio.Semaphore",
+    "asyncio.BoundedSemaphore",
+    "asyncio.Condition",
+    "threading.Lock",
+    "threading.RLock",
+}
+
+
+def _service_modules(project: Project) -> list[str]:
+    return sorted(
+        info.name
+        for info in project.modules.values()
+        if _SERVICE_PART in info.parts
+    )
+
+
+def _canonical_callable(
+    project: Project, fn: FunctionInfo, call: ast.Call
+) -> str | None:
+    """Best-effort canonical dotted name for an external call target."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    module = project.modules.get(fn.module)
+    if module is not None:
+        head = name.split(".")[0]
+        if head in module.imports:
+            return ".".join([module.imports[head]] + name.split(".")[1:])
+    return name
+
+
+def _external_blocking(
+    project: Project, fn: FunctionInfo, call: ast.Call
+) -> str | None:
+    name = _canonical_callable(project, fn, call)
+    if name is None:
+        return None
+    if name in _BLOCKING_EXTERNAL_EXACT:
+        return name
+    if any(name.startswith(p) for p in _BLOCKING_EXTERNAL_PREFIXES):
+        return name
+    return None
+
+
+def _class_name(project: Project, qualname: str | None) -> str | None:
+    if qualname is None:
+        return None
+    cls = project.classes.get(qualname)
+    return cls.name if cls else None
+
+
+def _direct_blocking(
+    project: Project,
+    fn: FunctionInfo,
+    env: dict[str, str],
+) -> list[tuple[ast.Call, str]]:
+    """Blocking calls made directly in this function's body."""
+    out: list[tuple[ast.Call, str]] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        external = _external_blocking(project, fn, node)
+        if external is not None:
+            out.append((node, f"`{external}(...)`"))
+            continue
+        resolved = project.resolve_call(fn, node, env)
+        if resolved is None:
+            continue
+        kind, target = resolved
+        if kind == "class" and isinstance(target, ClassInfo):
+            if target.name == _ENGINE_CLASS:
+                out.append((node, f"`{target.name}(...)` construction"))
+        elif kind == "function" and isinstance(target, FunctionInfo):
+            owner = _class_name(project, target.cls)
+            if owner == _ENGINE_CLASS:
+                out.append((node, f"engine method `{target.name}(...)`"))
+            elif target.cls is None and target.name in _BLOCKING_FUNCTIONS:
+                out.append((node, f"`{target.name}(...)`"))
+    return out
+
+
+def _reaches_blocking(
+    project: Project,
+    fn: FunctionInfo,
+    depth: int,
+    visiting: frozenset[str],
+) -> str | None:
+    """A description of a blocking call reachable from ``fn``, or None."""
+    if depth <= 0 or fn.qualname in visiting:
+        return None
+    env = local_type_env(project, fn)
+    direct = _direct_blocking(project, fn, env)
+    if direct:
+        return direct[0][1]
+    visiting = visiting | {fn.qualname}
+    edges: list[tuple[str, FunctionInfo]] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = project.resolve_call(fn, node, env)
+        if resolved is None or resolved[0] != "function":
+            continue
+        target = resolved[1]
+        assert isinstance(target, FunctionInfo)
+        edges.append((target.name, target))
+    for name, target in sorted(edges, key=lambda e: e[1].qualname):
+        found = _reaches_blocking(project, target, depth - 1, visiting)
+        if found is not None:
+            return f"{found} via `{name}`"
+    return None
+
+
+@register_deep
+class AsyncBlockingRule(DeepRule):
+    """RPR301: blocking work reached from an async def without to_thread."""
+
+    code = "RPR301"
+    name = "async-blocking-call"
+    scope_description = "async defs in service/ (call-graph reachability)"
+    rationale = (
+        "a blocking call on the event loop stalls every connection the "
+        "service is multiplexing; engine work must cross an "
+        "asyncio.to_thread boundary"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        """Flag async functions that reach a blocking call on the loop."""
+        service = set(_service_modules(project))
+        fns = sorted(
+            (
+                f
+                for f in project.functions.values()
+                if f.is_async and f.module in service
+            ),
+            key=lambda f: (f.path, f.node.lineno),
+        )
+        for fn in fns:
+            env = local_type_env(project, fn)
+            for node, desc in _direct_blocking(project, fn, env):
+                yield self._diag(
+                    fn,
+                    node,
+                    f"async `{fn.name}` makes blocking call {desc} on the "
+                    "event loop; wrap it in asyncio.to_thread",
+                )
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = project.resolve_call(fn, node, env)
+                if resolved is None or resolved[0] != "function":
+                    continue
+                target = resolved[1]
+                assert isinstance(target, FunctionInfo)
+                # Direct blocking calls were already reported above.
+                owner = _class_name(project, target.cls)
+                if owner == _ENGINE_CLASS:
+                    continue
+                if target.cls is None and target.name in _BLOCKING_FUNCTIONS:
+                    continue
+                found = _reaches_blocking(
+                    project, target, _MAX_REACH_DEPTH, frozenset({fn.qualname})
+                )
+                if found is not None:
+                    yield self._diag(
+                        fn,
+                        node,
+                        f"async `{fn.name}` reaches blocking {found} "
+                        f"through `{target.name}(...)` with no "
+                        "asyncio.to_thread boundary",
+                    )
+
+    def _diag(self, fn: FunctionInfo, node: ast.AST, msg: str) -> Diagnostic:
+        return Diagnostic(
+            path=fn.path,
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=msg,
+        )
+
+
+@register_deep
+class EngineOwnershipRule(DeepRule):
+    """RPR302: engine/stats state touched outside the owning worker."""
+
+    code = "RPR302"
+    name = "engine-ownership"
+    scope_description = "service/ (QueryEngine/EngineStats single-owner)"
+    rationale = (
+        "QueryEngine state is owned by exactly one EngineWorker; any "
+        "other reader or writer races the worker threads the engine "
+        "calls run on"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        """Flag engine access outside the owning ``EngineWorker``."""
+        service = set(_service_modules(project))
+        fns = sorted(
+            (f for f in project.functions.values() if f.module in service),
+            key=lambda f: (f.path, f.node.lineno),
+        )
+        for fn in fns:
+            owner = _class_name(project, fn.cls)
+            if owner == _WORKER_CLASS:
+                continue  # the owner is allowed to touch its engine
+            env = local_type_env(project, fn)
+            yield from self._check_fn(project, fn, env)
+
+    def _check_fn(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        env: dict[str, str],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Attribute) and node.attr == "engine":
+                cls = project.class_of_value(fn, node.value, env)
+                if cls is not None and cls.name == _WORKER_CLASS:
+                    yield self._diag(
+                        fn,
+                        node,
+                        f"`{ast.unparse(node.value)}.engine` escapes the "
+                        "EngineWorker that owns it; route the access "
+                        "through a worker method instead",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = project.resolve_call(fn, node, env)
+                if resolved is None or resolved[0] != "function":
+                    continue
+                target = resolved[1]
+                assert isinstance(target, FunctionInfo)
+                owner = _class_name(project, target.cls)
+                if owner == _ENGINE_CLASS:
+                    yield self._diag(
+                        fn,
+                        node,
+                        f"engine method `{target.name}(...)` called from "
+                        f"`{fn.name}`, which is not an EngineWorker "
+                        "method; only the owning worker may drive the "
+                        "engine",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target_node in targets:
+                    if not isinstance(target_node, ast.Attribute):
+                        continue
+                    cls = project.class_of_value(fn, target_node.value, env)
+                    if cls is not None and cls.name in (
+                        _ENGINE_CLASS,
+                        _STATS_CLASS,
+                    ):
+                        yield self._diag(
+                            fn,
+                            target_node,
+                            f"write to `{ast.unparse(target_node)}` mutates "
+                            f"{cls.name} state from outside its owner",
+                        )
+
+    def _diag(self, fn: FunctionInfo, node: ast.AST, msg: str) -> Diagnostic:
+        return Diagnostic(
+            path=fn.path,
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=msg,
+        )
+
+
+def _lock_attrs(cls: ClassInfo) -> set[str]:
+    """``self`` attributes assigned a lock constructor anywhere in the class."""
+    out: set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func) in _LOCK_CONSTRUCTORS
+            ):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    out.add(target.attr)
+    return out
+
+
+def _local_locks(fn: FunctionInfo) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Call)
+            and dotted_name(node.value.func) in _LOCK_CONSTRUCTORS
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+@register_deep
+class AwaitUnderLockRule(DeepRule):
+    """RPR303: await inside an async-with over a lock."""
+
+    code = "RPR303"
+    name = "await-under-lock"
+    scope_description = "service/ (async with over asyncio locks)"
+    rationale = (
+        "awaiting while holding a lock serializes every coroutine behind "
+        "the slowest awaited call; hold locks across synchronous "
+        "critical sections only (or audit why serialization is the point)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        """Flag ``await`` inside ``async with`` over a ``self`` lock."""
+        service = set(_service_modules(project))
+        fns = sorted(
+            (
+                f
+                for f in project.functions.values()
+                if f.is_async and f.module in service
+            ),
+            key=lambda f: (f.path, f.node.lineno),
+        )
+        for fn in fns:
+            lock_names = _local_locks(fn)
+            lock_attr_names: set[str] = set()
+            if fn.cls is not None:
+                cls = project.classes.get(fn.cls)
+                if cls is not None:
+                    lock_attr_names = _lock_attrs(cls)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.AsyncWith):
+                    continue
+                if not self._holds_lock(node, lock_names, lock_attr_names):
+                    continue
+                awaits = sum(
+                    isinstance(sub, ast.Await)
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                )
+                if awaits:
+                    yield Diagnostic(
+                        path=fn.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        code=self.code,
+                        message=(
+                            f"async `{fn.name}` awaits {awaits} time(s) "
+                            "while holding a lock; every other coroutine "
+                            "contending for it stalls behind those awaits"
+                        ),
+                    )
+
+    @staticmethod
+    def _holds_lock(
+        node: ast.AsyncWith, lock_names: set[str], lock_attrs: set[str]
+    ) -> bool:
+        for item in node.items:
+            ctx = item.context_expr
+            if isinstance(ctx, ast.Name) and ctx.id in lock_names:
+                return True
+            if (
+                isinstance(ctx, ast.Attribute)
+                and isinstance(ctx.value, ast.Name)
+                and ctx.value.id == "self"
+                and ctx.attr in lock_attrs
+            ):
+                return True
+        return False

@@ -1,0 +1,164 @@
+"""RPR210 — nondeterminism taint: sources tracked to decision/trace sinks.
+
+RPR002 flags nondeterminism *sources* syntactically, file by file.  That
+misses the laundered case: a helper in one module returns
+``time.time()`` or a global-RNG draw, and a protocol in another module
+puts the returned value into a trace payload or branches on it.  Each
+file looks innocent; the flow is the bug — replayability of the golden
+traces dies exactly when such a value crosses into an emitted event or
+a protocol decision.
+
+This pass runs the interprocedural taint analysis from
+:mod:`repro.devtools.dataflow`:
+
+* **sources** — wall-clock reads, process-global RNG draws
+  (``random.*``, ``numpy.random.*`` outside the seeded constructors),
+  ``uuid.uuid1/uuid4``, ``os.urandom``, ``secrets.*``, and
+  hash-ordered set materialization (``list({...})``);
+* **propagation** — assignments, arithmetic, containers, returns, and
+  resolved intra-package calls (per-function summaries with a
+  source-fed-parameter fixpoint);
+* **sinks** — ``*.trace(...)`` / ``*.emit(...)`` payloads and
+  ``send_adhoc``/``send_long_range`` message fields anywhere, plus
+  ``if``/``while`` conditions in the determinism-scoped packages
+  (protocols, simulation, routing, core, graphs, geometry, scenarios).
+
+Findings anchor at the sink — that is where determinism is lost.
+
+Blind spots: taint stored into containers and read back elsewhere is
+tracked per-function only; ``self`` attribute taint does not flow
+between methods; unresolved dynamic dispatch drops taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..callgraph import FunctionInfo, Project
+from ..dataflow import TaintAnalysis
+from ..diagnostics import Diagnostic
+from ..rules import dotted_name
+from ..rules.determinism import (
+    _CLOCK_CALLS,
+    _GLOBAL_RANDOM_OK,
+    _NP_RANDOM_OK,
+    DeterminismRule,
+)
+from . import DeepRule, register_deep
+
+__all__ = ["NondeterminismTaintRule"]
+
+#: extra canonical source callables beyond the RPR002 lists
+_EXTRA_SOURCES = {"uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom"}
+
+#: attribute names whose calls are trace/message sinks
+_SINK_ATTRS = {"trace", "emit", "send_adhoc", "send_long_range"}
+
+#: packages whose branch conditions are sinks (same as RPR002 scope)
+_BRANCH_SCOPE = set(DeterminismRule.scope)
+
+
+def _canonical(project: Project, fn: FunctionInfo, call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    module = project.modules.get(fn.module)
+    if module is not None:
+        head = name.split(".")[0]
+        if head in module.imports:
+            return ".".join([module.imports[head]] + name.split(".")[1:])
+    return name
+
+
+def _is_nondet_source(
+    project: Project, fn: FunctionInfo, call: ast.Call
+) -> bool:
+    name = _canonical(project, fn, call)
+    if name is None:
+        return False
+    if any(name == c or name.endswith("." + c) for c in _CLOCK_CALLS):
+        return True
+    if name in _EXTRA_SOURCES or name.startswith("secrets."):
+        return True
+    parts = name.split(".")
+    if parts[0] == "random" and len(parts) == 2:
+        return parts[1] not in _GLOBAL_RANDOM_OK
+    if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in (
+        "np",
+        "numpy",
+    ):
+        return parts[-1] not in _NP_RANDOM_OK
+    return False
+
+
+@register_deep
+class NondeterminismTaintRule(DeepRule):
+    """Flag source-derived values reaching trace payloads or branches."""
+
+    code = "RPR210"
+    name = "nondeterminism-taint"
+    scope_description = (
+        "whole program (branch sinks limited to the RPR002 packages)"
+    )
+    rationale = (
+        "a wall-clock or global-RNG value that crosses module boundaries "
+        "into a trace payload or protocol branch breaks byte-identical "
+        "replay even when every single file passes the syntactic rule"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        """Flag nondeterministic values reaching trace/message/branch sinks."""
+        taint = TaintAnalysis(
+            project,
+            lambda fn, call: _is_nondet_source(project, fn, call),
+        )
+        fns = sorted(
+            project.functions.values(), key=lambda f: (f.path, f.node.lineno)
+        )
+        for fn in fns:
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            branch_sinks = bool(_BRANCH_SCOPE & set(module.parts))
+            env = taint.function_env(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr not in _SINK_ATTRS:
+                        continue
+                    args = list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]
+                    for arg in args:
+                        if taint.expr_is_tainted(fn, arg, env):
+                            yield self._diag(
+                                fn,
+                                node,
+                                "nondeterministic value (wall-clock / "
+                                "global-RNG / set-order source) flows into "
+                                f"`{node.func.attr}(...)`; replayed runs "
+                                "will diverge — derive the value from "
+                                "rounds and seeded streams instead",
+                            )
+                            break
+                elif branch_sinks and isinstance(node, (ast.If, ast.While)):
+                    if taint.expr_is_tainted(fn, node.test, env):
+                        yield self._diag(
+                            fn,
+                            node,
+                            "branch condition derives from a "
+                            "nondeterministic source; protocol decisions "
+                            "must be functions of rounds, seeds, and "
+                            "message contents only",
+                        )
+
+    def _diag(self, fn: FunctionInfo, node: ast.AST, msg: str) -> Diagnostic:
+        return Diagnostic(
+            path=fn.path,
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=msg,
+        )

@@ -3,7 +3,22 @@
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
+
+#: deep (whole-program) rule codes are RPR2xx/RPR3xx; syntactic rules use
+#: RPR0xx/RPR1xx and RPR9xx
+_DEEP_CODE_RE = re.compile(r"^RPR[23]\d{2}$")
+
+
+def is_deep_code(code: str) -> bool:
+    """Is this a whole-program (``--deep``) rule code?
+
+    The split matters to the suppression machinery: a plain syntactic run
+    cannot decide whether a ``noqa[RPR201]`` is stale, because it never
+    ran the rule that would use it.
+    """
+    return bool(_DEEP_CODE_RE.match(code))
 
 
 class Severity(enum.Enum):

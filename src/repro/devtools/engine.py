@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path, PurePath
 from collections.abc import Iterable, Iterator, Sequence
 
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, is_deep_code
 from .rules import ALL_RULES, Rule
 
 __all__ = [
@@ -166,8 +166,18 @@ def lint_source(
     path: str,
     text: str,
     select: Sequence[str] | None = None,
+    extra_diagnostics: Sequence[Diagnostic] | None = None,
+    checked_deep_codes: frozenset[str] = frozenset(),
 ) -> LintReport:
-    """Lint one in-memory module (the fixture-corpus entry point)."""
+    """Lint one in-memory module (the fixture-corpus entry point).
+
+    ``extra_diagnostics`` lets the ``--deep`` driver merge whole-program
+    findings for this file into the same suppression pass.
+    ``checked_deep_codes`` names the deep codes that actually ran: an
+    unused suppression mentioning a deep code that did *not* run is
+    exempt from the stale-noqa check (RPR006), because a syntactic run
+    has no way to know whether the deep finding it suppresses exists.
+    """
     report = LintReport(files=[path])
     try:
         tree = ast.parse(text, filename=path)
@@ -183,7 +193,7 @@ def lint_source(
         )
         return report
     module = ModuleSource(path=path, text=text, tree=tree)
-    raw: list[Diagnostic] = []
+    raw: list[Diagnostic] = list(extra_diagnostics or [])
     for rule in _instantiate(select):
         if rule.applies_to(module):
             raw.extend(rule.check(module))
@@ -213,7 +223,11 @@ def lint_source(
                         ),
                     )
                 )
-            if not sup.used:
+            unchecked_deep = any(
+                is_deep_code(c) and c not in checked_deep_codes
+                for c in sup.codes
+            )
+            if not sup.used and not unchecked_deep:
                 report.diagnostics.append(
                     Diagnostic(
                         path=path,

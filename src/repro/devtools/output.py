@@ -1,4 +1,4 @@
-"""Report renderers: terminal text, JSON, GitHub workflow annotations."""
+"""Report renderers: terminal text, JSON, GitHub annotations, SARIF."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import json
 
 from .engine import LintReport
 
-__all__ = ["render_github", "render_json", "render_text"]
+__all__ = ["render_github", "render_json", "render_sarif", "render_text"]
 
 
 def render_text(report: LintReport, statistics: bool = False) -> str:
@@ -62,3 +62,74 @@ def render_github(report: LintReport) -> str:
         f"title={d.code}::{d.message}"
         for d in report.diagnostics
     )
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 — the GitHub code-scanning upload format.
+
+    Rule metadata comes from both registries so the code-scanning UI
+    shows each rule's rationale next to its findings.
+    """
+    from .deep_rules import deep_rule_catalog  # noqa: PLC0415 - import cycle
+    from .rules import rule_catalog  # noqa: PLC0415 - import cycle
+
+    catalog = {row["code"]: row for row in rule_catalog() + deep_rule_catalog()}
+    seen_codes = sorted({d.code for d in report.diagnostics} | set(catalog))
+    rules = [
+        {
+            "id": code,
+            "name": catalog.get(code, {}).get("name", code),
+            "shortDescription": {
+                "text": catalog.get(code, {}).get("name", code)
+            },
+            "fullDescription": {
+                "text": catalog.get(code, {}).get("rationale", "")
+                or "repro lint rule"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in seen_codes
+    ]
+    rule_index = {code: i for i, code in enumerate(seen_codes)}
+    results = [
+        {
+            "ruleId": d.code,
+            "ruleIndex": rule_index[d.code],
+            "level": "error" if d.severity.value == "error" else "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in sorted(report.diagnostics)
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -63,6 +63,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",

@@ -95,6 +95,14 @@ class InstanceRegistry:
         digest = abstraction_digest(abstraction)
         existing = self._instances.get(digest)
         if existing is not None:
+            if mode != existing.mode:
+                raise ContractError(
+                    f"instance {digest[:12]} is already registered with "
+                    f"mode {existing.mode!r}; the digest keys content, not "
+                    "mode — rebuild or reuse the registered mode",
+                    status=409,
+                    code="mode_conflict",
+                )
             return existing
         metrics = MetricsCollector()
         engine = QueryEngine(
@@ -119,7 +127,9 @@ class InstanceRegistry:
             ),
             metrics=metrics,
         )
-        self._instances[digest] = instance
+        # The hit path above guards `mode`; `udg` and `params` stay out of
+        # the key deliberately (see the noqa audit).
+        self._instances[digest] = instance  # repro: noqa[RPR201] udg is the abstraction's own adjacency derived from the digested content, and params is display metadata only
         self._order.append(digest)
         return instance
 
@@ -133,7 +143,7 @@ class InstanceRegistry:
         """
         build = {k: v for k, v in params.items() if k != "mode"}
         mode = params.get("mode", "hull")
-        async with self._build_lock:
+        async with self._build_lock:  # repro: noqa[RPR303] serializing concurrent builds is this lock's purpose: duplicate builds of one digest cost seconds of CPU, queueing costs a wait
             try:
                 inst = await asyncio.to_thread(make_instance, **build)
             except InfeasibleScenario as exc:
@@ -142,7 +152,10 @@ class InstanceRegistry:
                     status=422,
                     code="infeasible_scenario",
                 ) from exc
-            return self.register(
+            # register() constructs the QueryEngine (cache binds are CPU
+            # work at service scale) — keep it off the event loop too.
+            return await asyncio.to_thread(
+                self.register,
                 inst.abstraction,
                 udg=inst.graph.udg,
                 mode=mode,

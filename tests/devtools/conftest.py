@@ -18,6 +18,9 @@ _LINT_PATH_RE = re.compile(r"#\s*lint-path:\s*(\S+)")
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
 
 
+DEEP_FIXTURE_DIR = FIXTURE_DIR / "deep"
+
+
 def load_fixture(name: str) -> tuple[str, str, set[str]]:
     """Return ``(virtual_path, source_text, expected_codes)`` for a fixture."""
     text = (FIXTURE_DIR / name).read_text(encoding="utf-8")
@@ -31,3 +34,29 @@ def load_fixture(name: str) -> tuple[str, str, set[str]]:
         else set()
     )
     return path_m.group(1), text, codes
+
+
+def load_deep_case(case: str) -> list[tuple[str, str, set[str]]]:
+    """All files of one deep fixture case directory.
+
+    Each deep case is analyzed as its own project: the returned list
+    holds ``(virtual_path, source_text, expected_deep_codes)`` per file,
+    where the virtual paths place the files in the package layout the
+    scoped rules expect.
+    """
+    files = sorted((DEEP_FIXTURE_DIR / case).glob("*.py"))
+    assert files, f"deep fixture case {case!r} has no files"
+    out = []
+    for f in files:
+        text = f.read_text(encoding="utf-8")
+        header = text.splitlines()[:3]
+        path_m = _LINT_PATH_RE.search("\n".join(header))
+        assert path_m is not None, f"{case}/{f.name} missing # lint-path:"
+        expect_m = _EXPECT_RE.search("\n".join(header))
+        codes = (
+            {c.strip() for c in expect_m.group(1).split(",") if c.strip()}
+            if expect_m
+            else set()
+        )
+        out.append((path_m.group(1), text, codes))
+    return out

@@ -1,0 +1,22 @@
+# lint-path: src/repro/service/app.py
+# expect: RPR301, RPR302
+"""Seeded blocking-call-in-handler regression.
+
+The async handler calls a sync helper that drives the engine directly —
+a blocking call on the event loop (RPR301, found through the call
+graph) and an engine call outside its owning worker (RPR302).
+"""
+
+from ..routing.engine import QueryEngine
+
+
+def _serve_one(engine: QueryEngine, s, t):
+    return engine.route(s, t)
+
+
+class Handler:
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+
+    async def handle_route(self, s, t):
+        return _serve_one(self.engine, s, t)

@@ -1,0 +1,23 @@
+# lint-path: src/repro/service/batching.py
+"""Near-miss negative: the same engine work behind asyncio.to_thread.
+
+``asyncio.to_thread(fn, ...)`` passes the callable as an argument, so
+there is no call edge from the handler into the engine — the contract
+is satisfied structurally, and both async rules must stay quiet.  The
+worker's own serve method drives the engine, which is its right.
+"""
+
+import asyncio
+
+from ..routing.engine import QueryEngine
+
+
+class EngineWorker:
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+
+    def _serve_one(self, s, t):
+        return self.engine.route(s, t)
+
+    async def route(self, s, t):
+        return await asyncio.to_thread(self._serve_one, s, t)

@@ -1,0 +1,31 @@
+# lint-path: src/repro/routing/engine.py
+# expect: RPR201
+"""Seeded reproduction of the pre-PR 6 cross-mode leg-cache clobber.
+
+``bay_legs`` memoizes on ``(digest, bay)`` while the computed legs also
+depend on ``self.mode`` — and ``set_mode`` flips the mode without
+flushing the cache, so a mode switch serves the other mode's legs.
+"""
+
+
+class MiniEngine:
+    def __init__(self, abstraction, mode):
+        self.abstraction = abstraction
+        self.mode = mode
+        self._digest = len(abstraction)
+        self._leg_cache = {}
+
+    def set_mode(self, mode):
+        # BUG: flips the routing mode without flushing the leg cache.
+        self.mode = mode
+
+    def bay_legs(self, bay):
+        key = (self._digest, bay)
+        if key in self._leg_cache:
+            return self._leg_cache[key]
+        legs = self._compute_legs(bay, self.mode)
+        self._leg_cache[key] = legs
+        return legs
+
+    def _compute_legs(self, bay, mode):
+        return [(bay, mode)]

@@ -1,0 +1,28 @@
+# lint-path: src/repro/routing/engine.py
+"""Near-miss negative: the PR 6 fix — ``mode`` is part of the leg key.
+
+Identical to the clobber fixture except the key covers every input the
+cached computation reads, so the pass must stay quiet.
+"""
+
+
+class MiniEngine:
+    def __init__(self, abstraction, mode):
+        self.abstraction = abstraction
+        self.mode = mode
+        self._digest = len(abstraction)
+        self._leg_cache = {}
+
+    def set_mode(self, mode):
+        self.mode = mode
+
+    def bay_legs(self, bay):
+        key = (self._digest, self.mode, bay)
+        if key in self._leg_cache:
+            return self._leg_cache[key]
+        legs = self._compute_legs(bay, self.mode)
+        self._leg_cache[key] = legs
+        return legs
+
+    def _compute_legs(self, bay, mode):
+        return [(bay, mode)]

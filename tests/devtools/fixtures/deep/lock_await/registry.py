@@ -1,0 +1,21 @@
+# lint-path: src/repro/service/registry.py
+# expect: RPR303
+"""Seeded await-under-lock: the build runs while the lock is held.
+
+Every coroutine contending for ``_lock`` stalls behind the slowest
+build — the exact serialization hazard RPR303 exists to surface.
+"""
+
+import asyncio
+
+
+class Builder:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def build(self, params):
+        async with self._lock:
+            return await self._make(params)
+
+    async def _make(self, params):
+        return dict(params)

@@ -1,0 +1,23 @@
+# lint-path: src/repro/service/registry.py
+"""Near-miss negative: the lock guards a synchronous critical section.
+
+The await happens *after* the lock is released, so contending
+coroutines only wait for the cheap token bump — RPR303 must stay quiet.
+"""
+
+import asyncio
+
+
+class Builder:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._seq = 0
+
+    async def build(self, params):
+        async with self._lock:
+            self._seq += 1
+            token = self._seq
+        return await self._make(params, token)
+
+    async def _make(self, params, token):
+        return {"token": token, **params}

@@ -1,0 +1,17 @@
+# lint-path: src/repro/service/app.py
+# expect: RPR302
+"""Seeded ownership escape: a handler reaches through ``worker.engine``.
+
+The registry hands out workers, never engines; going around the worker
+races every engine call the worker threads are running.
+"""
+
+from .batching import EngineWorker
+
+
+class MetricsView:
+    def __init__(self, worker: EngineWorker):
+        self.worker = worker
+
+    def probe(self):
+        return self.worker.engine.route(0, 0)

@@ -1,0 +1,12 @@
+# lint-path: src/repro/service/batching.py
+"""Worker stand-in: owns its engine; its own methods may drive it."""
+
+from ..routing.engine import QueryEngine
+
+
+class EngineWorker:
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+
+    def _serve_one(self, s, t):
+        return self.engine.route(s, t)

@@ -1,0 +1,17 @@
+# lint-path: src/repro/service/app.py
+"""Near-miss negative: the same probe through the worker's own method.
+
+Same shape as the escape fixture, but the access goes through
+``worker.serve_route`` — the sanctioned surface — so the ownership rule
+must stay quiet.
+"""
+
+from .batching import EngineWorker
+
+
+class MetricsView:
+    def __init__(self, worker: EngineWorker):
+        self.worker = worker
+
+    def probe(self):
+        return self.worker.serve_route(0, 0)

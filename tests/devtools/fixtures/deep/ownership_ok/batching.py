@@ -1,0 +1,12 @@
+# lint-path: src/repro/service/batching.py
+"""Worker stand-in exposing a proper serving surface."""
+
+from ..routing.engine import QueryEngine
+
+
+class EngineWorker:
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+
+    def serve_route(self, s, t):
+        return self.engine.route(s, t)

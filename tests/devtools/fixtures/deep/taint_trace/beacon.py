@@ -1,0 +1,16 @@
+# lint-path: src/repro/protocols/beacon.py
+# expect: RPR210
+"""Seeded RNG-into-trace flow that syntactic RPR002 cannot see.
+
+This file contains no RNG call at all — the nondeterminism arrives as
+the return value of ``jitter()`` from another module and lands in a
+trace payload, breaking byte-identical replay.
+"""
+
+from ..analysis.sampling import jitter
+
+
+class BeaconProcess:
+    def step(self, ctx, round_no):
+        delay = jitter()
+        ctx.trace("beacon_delay", round=round_no, delay=delay)

@@ -1,0 +1,12 @@
+# lint-path: src/repro/analysis/sampling.py
+"""Laundering module: a helper outside the RPR002 scope draws global RNG.
+
+``analysis/`` is not in the syntactic determinism scope, so RPR002 never
+sees this file — only the taint pass can follow the value out.
+"""
+
+import random
+
+
+def jitter():
+    return random.random()

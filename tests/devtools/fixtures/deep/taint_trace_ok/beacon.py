@@ -1,0 +1,17 @@
+# lint-path: src/repro/protocols/beacon.py
+"""Near-miss negative: the same flow fed by an explicitly seeded stream.
+
+``rng`` is threaded through the call, so the traced value is a
+deterministic function of the seed — the taint pass must stay quiet.
+"""
+
+from ..analysis.sampling import jitter
+
+
+class BeaconProcess:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def step(self, ctx, round_no):
+        delay = jitter(self._rng)
+        ctx.trace("beacon_delay", round=round_no, delay=delay)

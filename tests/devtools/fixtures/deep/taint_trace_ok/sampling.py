@@ -1,0 +1,6 @@
+# lint-path: src/repro/analysis/sampling.py
+"""Seeded twin of the laundering module: jitter from a threaded stream."""
+
+
+def jitter(rng):
+    return rng.random()

@@ -1,0 +1,267 @@
+"""Unit tests for the project symbol table and call graph.
+
+Covers the three resolution mechanisms the deep passes lean on: relative
+imports, re-export chains through ``__init__`` modules, and method
+dispatch (annotated parameters, typed ``self`` attributes, and
+return-annotation chaining).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.callgraph import (
+    FunctionInfo,
+    Project,
+    module_name_for_path,
+)
+from repro.devtools.dataflow import local_type_env
+from repro.devtools.engine import ModuleSource
+
+
+def _project(files: dict[str, str]) -> Project:
+    modules = [
+        ModuleSource(path=path, text=text, tree=ast.parse(text, filename=path))
+        for path, text in files.items()
+    ]
+    return Project(modules)
+
+
+def _call_in(fn: FunctionInfo, project: Project) -> ast.Call:
+    calls = [n for n in ast.walk(fn.node) if isinstance(n, ast.Call)]
+    assert calls, f"{fn.qualname} has no calls"
+    return calls[0]
+
+
+class TestModuleNaming:
+    def test_package_module(self):
+        assert (
+            module_name_for_path("src/repro/routing/engine.py")
+            == "repro.routing.engine"
+        )
+
+    def test_init_module_names_the_package(self):
+        assert (
+            module_name_for_path("src/repro/geometry/__init__.py")
+            == "repro.geometry"
+        )
+
+    def test_rightmost_root_anchor_wins(self):
+        assert (
+            module_name_for_path("repro/old/repro/core/holes.py")
+            == "repro.core.holes"
+        )
+
+    def test_file_outside_package_uses_stem(self):
+        assert module_name_for_path("scripts/tool.py") == "tool"
+
+
+class TestImportResolution:
+    def test_relative_import_resolves_to_defining_module(self):
+        project = _project(
+            {
+                "src/repro/geometry/primitives.py": (
+                    "def dist(a, b):\n    return abs(a - b)\n"
+                ),
+                "src/repro/routing/router.py": (
+                    "from ..geometry.primitives import dist\n"
+                    "def hop(a, b):\n    return dist(a, b)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.router.hop"]
+        resolved = project.resolve_call(fn, _call_in(fn, project))
+        assert resolved is not None
+        kind, target = resolved
+        assert kind == "function"
+        assert target.qualname == "repro.geometry.primitives.dist"
+
+    def test_single_dot_relative_import(self):
+        project = _project(
+            {
+                "src/repro/routing/metrics.py": (
+                    "def stretch(a, b):\n    return a / b\n"
+                ),
+                "src/repro/routing/router.py": (
+                    "from .metrics import stretch\n"
+                    "def score(a, b):\n    return stretch(a, b)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.router.score"]
+        _, target = project.resolve_call(fn, _call_in(fn, project))
+        assert target.qualname == "repro.routing.metrics.stretch"
+
+    def test_reexport_chain_through_init(self):
+        project = _project(
+            {
+                "src/repro/geometry/primitives.py": (
+                    "def dist(a, b):\n    return abs(a - b)\n"
+                ),
+                "src/repro/geometry/__init__.py": (
+                    "from .primitives import dist\n"
+                ),
+                "src/repro/routing/router.py": (
+                    "from ..geometry import dist\n"
+                    "def hop(a, b):\n    return dist(a, b)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.router.hop"]
+        _, target = project.resolve_call(fn, _call_in(fn, project))
+        assert target.qualname == "repro.geometry.primitives.dist"
+
+    def test_aliased_import(self):
+        project = _project(
+            {
+                "src/repro/geometry/primitives.py": (
+                    "def dist(a, b):\n    return abs(a - b)\n"
+                ),
+                "src/repro/routing/router.py": (
+                    "from ..geometry.primitives import dist as _d\n"
+                    "def hop(a, b):\n    return _d(a, b)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.router.hop"]
+        _, target = project.resolve_call(fn, _call_in(fn, project))
+        assert target.qualname == "repro.geometry.primitives.dist"
+
+    def test_external_import_canonicalizes(self):
+        project = _project(
+            {
+                "src/repro/service/app.py": (
+                    "import asyncio\n"
+                    "def kick(fn):\n    return asyncio.to_thread(fn)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.service.app.kick"]
+        resolved = project.resolve_call(fn, _call_in(fn, project))
+        assert resolved == ("external", "asyncio.to_thread")
+
+
+class TestMethodDispatch:
+    ENGINE = (
+        "class QueryEngine:\n"
+        "    def __init__(self, abstraction):\n"
+        "        self.abstraction = abstraction\n"
+        "    def route(self, s, t):\n"
+        "        return (s, t)\n"
+    )
+
+    def test_self_method_call(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": (
+                    "class QueryEngine:\n"
+                    "    def route(self, s, t):\n"
+                    "        return self._hop(s, t)\n"
+                    "    def _hop(self, s, t):\n"
+                    "        return (s, t)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.engine.QueryEngine.route"]
+        _, target = project.resolve_call(fn, _call_in(fn, project))
+        assert target.qualname == "repro.routing.engine.QueryEngine._hop"
+
+    def test_annotated_parameter_dispatch(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": self.ENGINE,
+                "src/repro/service/app.py": (
+                    "from ..routing.engine import QueryEngine\n"
+                    "def serve(engine: QueryEngine, s, t):\n"
+                    "    return engine.route(s, t)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.service.app.serve"]
+        env = local_type_env(project, fn)
+        _, target = project.resolve_call(fn, _call_in(fn, project), env)
+        assert target.qualname == "repro.routing.engine.QueryEngine.route"
+
+    def test_typed_self_attribute_dispatch(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": self.ENGINE,
+                "src/repro/service/batching.py": (
+                    "from ..routing.engine import QueryEngine\n"
+                    "class EngineWorker:\n"
+                    "    def __init__(self, engine: QueryEngine):\n"
+                    "        self.engine = engine\n"
+                    "    def serve(self, s, t):\n"
+                    "        return self.engine.route(s, t)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.service.batching.EngineWorker.serve"]
+        _, target = project.resolve_call(fn, _call_in(fn, project))
+        assert target.qualname == "repro.routing.engine.QueryEngine.route"
+
+    def test_constructor_assignment_types_local(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": self.ENGINE,
+                "src/repro/service/app.py": (
+                    "from ..routing.engine import QueryEngine\n"
+                    "def build(abstraction):\n"
+                    "    engine = QueryEngine(abstraction)\n"
+                    "    return engine.route(0, 1)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.service.app.build"]
+        env = local_type_env(project, fn)
+        assert env["engine"] == "repro.routing.engine.QueryEngine"
+        call = next(
+            n
+            for n in ast.walk(fn.node)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+        )
+        _, target = project.resolve_call(fn, call, env)
+        assert target.qualname == "repro.routing.engine.QueryEngine.route"
+
+    def test_return_annotation_chaining(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": (
+                    "class Router:\n"
+                    "    def route(self, s, t):\n"
+                    "        return (s, t)\n"
+                    "class QueryEngine:\n"
+                    "    def _router(self, mode) -> Router:\n"
+                    "        return Router()\n"
+                    "    def route(self, mode, s, t):\n"
+                    "        return self._router(mode).route(s, t)\n"
+                ),
+            }
+        )
+        fn = project.functions["repro.routing.engine.QueryEngine.route"]
+        outer = next(
+            n
+            for n in ast.walk(fn.node)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "route"
+        )
+        _, target = project.resolve_call(fn, outer)
+        assert target.qualname == "repro.routing.engine.Router.route"
+
+    def test_dataclass_field_annotation_types_attribute(self):
+        project = _project(
+            {
+                "src/repro/routing/engine.py": self.ENGINE,
+                "src/repro/service/registry.py": (
+                    "from dataclasses import dataclass\n"
+                    "from ..routing.engine import QueryEngine\n"
+                    "@dataclass\n"
+                    "class ServiceInstance:\n"
+                    "    engine: QueryEngine\n"
+                ),
+            }
+        )
+        cls = project.classes["repro.service.registry.ServiceInstance"]
+        assert cls.attr_types["engine"] == "repro.routing.engine.QueryEngine"

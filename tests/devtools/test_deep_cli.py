@@ -1,0 +1,154 @@
+"""CLI surface of ``repro lint --deep`` plus SARIF, baseline, --changed.
+
+Also carries the repo-wide deep acceptance gate: the analyzer must exit 0
+over the final ``src`` tree.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import deep_lint_paths
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+BAD_SOURCE = "def f(acc=[]):\n    return acc\n"
+
+
+def test_repo_is_deep_lint_clean():
+    """The acceptance gate: ``repro lint --deep src`` exits 0."""
+    report = deep_lint_paths([SRC_DIR])
+    assert report.diagnostics == [], [str(d) for d in report.diagnostics]
+    assert report.exit_code == 0
+    assert len(report.files) > 50
+
+
+def test_deep_cli_on_src_exits_zero(capsys):
+    assert main(["lint", "--deep", str(SRC_DIR)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_deep_select_without_deep_flag_exits_two(tmp_path, capsys):
+    f = tmp_path / "ok.py"
+    f.write_text("x = 1\n")
+    assert main(["lint", str(f), "--select", "RPR201"]) == 2
+    err = capsys.readouterr().err
+    assert "RPR201" in err
+    assert "--deep" in err
+
+
+def test_list_rules_includes_deep_tier(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR201", "RPR210", "RPR301", "RPR302", "RPR303"):
+        assert code in out
+    assert "deep" in out
+    assert "syntactic" in out
+
+
+class TestSarif:
+    def test_sarif_format_is_valid_and_carries_results(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_SOURCE)
+        assert main(["lint", str(f), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        results = run["results"]
+        assert results and results[0]["ruleId"] == "RPR101"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RPR101", "RPR201", "RPR301"} <= rule_ids
+
+    def test_sarif_output_extension_wins_over_text_format(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_SOURCE)
+        out = tmp_path / "report.sarif"
+        assert main(["lint", str(f), "--output", str(out)]) == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+
+
+class TestBaseline:
+    def test_update_requires_baseline_path(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        assert main(["lint", str(f), "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_baseline_cycle(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        # Record the known debt...
+        assert (
+            main(
+                [
+                    "lint",
+                    str(f),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert "1 finding(s) recorded" in capsys.readouterr().out
+        # ...so the same finding no longer fails the run...
+        assert main(["lint", str(f), "--baseline", str(baseline)]) == 0
+        assert "1 baselined finding(s)" in capsys.readouterr().out
+        # ...but a new finding still does.
+        f.write_text(BAD_SOURCE + "def g(acc=[]):\n    return acc\n")
+        assert main(["lint", str(f), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR101" in out
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(f), "--baseline", str(baseline), "--update-baseline"])
+        # Push the finding down two lines; the fingerprint is line-free.
+        f.write_text("x = 1\ny = 2\n" + BAD_SOURCE)
+        assert main(["lint", str(f), "--baseline", str(baseline)]) == 0
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert main(["lint", str(f), "--baseline", str(baseline)]) == 2
+
+
+class TestChanged:
+    @pytest.fixture()
+    def git_repo(self, tmp_path, monkeypatch):
+        subprocess.run(
+            ["git", "init", "-q"], cwd=tmp_path, check=True
+        )
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_changed_lints_dirty_files(self, git_repo, capsys):
+        (git_repo / "bad.py").write_text(BAD_SOURCE)
+        assert main(["lint", "--changed"]) == 1
+        assert "RPR101" in capsys.readouterr().out
+
+    def test_changed_clean_tree_is_a_noop(self, git_repo, capsys):
+        assert main(["lint", "--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_ignores_non_python(self, git_repo, capsys):
+        (git_repo / "notes.txt").write_text("def f(acc=[]): pass\n")
+        assert main(["lint", "--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nope"))
+        assert main(["lint", "--changed"]) == 2
+        assert "git" in capsys.readouterr().err

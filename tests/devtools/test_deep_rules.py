@@ -1,0 +1,115 @@
+"""Corpus tests for the deep (whole-program) rules.
+
+Every deep fixture case directory is analyzed as its own project and
+each file's findings must match its ``# expect:`` header exactly — the
+``*_ok`` near-miss twins pin down the false-positive boundary of every
+rule.  The acceptance tests at the bottom check that each pass
+re-detects its seeded historical bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import lint_source
+from repro.devtools.deep import DEEP_CODES, deep_lint_sources
+from repro.devtools.deep_rules import ALL_DEEP_RULES
+
+from .conftest import DEEP_FIXTURE_DIR, load_deep_case
+
+DEEP_CASES = sorted(p.name for p in DEEP_FIXTURE_DIR.iterdir() if p.is_dir())
+
+
+def _deep_findings(case: str) -> dict[str, set[str]]:
+    """Deep codes found per virtual path for one fixture case."""
+    files = load_deep_case(case)
+    report = deep_lint_sources(
+        [(path, text) for path, text, _ in files],
+        select=sorted(DEEP_CODES()),
+    )
+    found: dict[str, set[str]] = {path: set() for path, _, _ in files}
+    for diag in report.diagnostics:
+        found[diag.path].add(diag.code)
+    return found
+
+
+@pytest.mark.parametrize("case", DEEP_CASES)
+def test_deep_case_matches_expect_headers(case):
+    found = _deep_findings(case)
+    expected = {path: codes for path, _, codes in load_deep_case(case)}
+    assert found == expected
+
+
+def test_every_deep_rule_has_a_tripping_fixture():
+    tripped: set[str] = set()
+    for case in DEEP_CASES:
+        for _, _, codes in load_deep_case(case):
+            tripped |= codes
+    missing = {cls.code for cls in ALL_DEEP_RULES} - tripped
+    assert not missing, f"deep rules with no bad fixture: {sorted(missing)}"
+
+
+TWINS = {
+    "cache_leg_clobber": "cache_leg_fixed",
+    "async_blocking": "async_blocking_ok",
+    "ownership": "ownership_ok",
+    "lock_await": "lock_await_ok",
+    "taint_trace": "taint_trace_ok",
+}
+
+
+def test_every_deep_case_has_a_near_miss_twin():
+    # Each positive case ships a negative twin exercising the same shape
+    # without the defect, so rule tightening is caught immediately.
+    positives = [c for c in DEEP_CASES if c not in TWINS.values()]
+    assert sorted(positives) == sorted(TWINS)
+    for case, twin in TWINS.items():
+        assert twin in DEEP_CASES, f"{case} has no negative twin"
+        assert not any(_deep_findings(twin).values()), twin
+
+
+class TestSeededBugs:
+    """The three acceptance bugs, one per pass."""
+
+    def test_cache_pass_catches_cross_mode_leg_cache(self):
+        # The pre-scoped-invalidation bug: leg cache keyed by (digest,
+        # bay) only, so a mode switch serves the other mode's legs.
+        found = _deep_findings("cache_leg_clobber")
+        path = "src/repro/routing/engine.py"
+        assert "RPR201" in found[path]
+        report = deep_lint_sources(
+            [(p, t) for p, t, _ in load_deep_case("cache_leg_clobber")],
+            select=["RPR201"],
+        )
+        messages = [d.message for d in report.diagnostics]
+        assert any("mode" in m for m in messages), messages
+        # The repaired twin — mode folded into the key — is clean.
+        assert not any(_deep_findings("cache_leg_fixed").values())
+
+    def test_async_pass_catches_blocking_engine_call_in_handler(self):
+        found = _deep_findings("async_blocking")
+        assert "RPR301" in found["src/repro/service/app.py"]
+        # The to_thread twin is clean: the engine call never runs on
+        # the event loop even though the handler still reaches it.
+        assert not any(_deep_findings("async_blocking_ok").values())
+
+    def test_taint_pass_catches_flow_that_syntactic_rpr002_misses(self):
+        files = {p: t for p, t, _ in load_deep_case("taint_trace")}
+        beacon_path = "src/repro/protocols/beacon.py"
+        # Syntactic determinism lint sees no RNG call in the beacon
+        # module at all — the nondeterminism arrives via a cross-module
+        # return value.
+        syntactic = lint_source(beacon_path, files[beacon_path])
+        assert not any(d.code == "RPR002" for d in syntactic.diagnostics)
+        # The taint pass follows the flow and flags the trace payload.
+        assert "RPR210" in _deep_findings("taint_trace")[beacon_path]
+
+    def test_ownership_pass_flags_engine_reach_around(self):
+        found = _deep_findings("ownership")
+        assert "RPR302" in found["src/repro/service/app.py"]
+        assert not any(_deep_findings("ownership_ok").values())
+
+    def test_lock_pass_flags_await_under_lock(self):
+        found = _deep_findings("lock_await")
+        assert "RPR303" in found["src/repro/service/registry.py"]
+        assert not any(_deep_findings("lock_await_ok").values())
