@@ -1,6 +1,6 @@
 """Experiment harness utilities shared by the benchmark suite."""
 
-from .churn import run_churn_serving
+from .churn import ChurnRebinder, ChurnStep, run_churn_serving
 from .executor import (
     CheckpointMismatch,
     SweepPointError,
@@ -39,6 +39,8 @@ __all__ = [
     "sweep_points",
     "run_sweep",
     "run_sweep_parallel",
+    "ChurnRebinder",
+    "ChurnStep",
     "run_churn_serving",
     "SweepPointError",
     "CheckpointMismatch",

@@ -27,7 +27,8 @@ differential guardrail that scoped invalidation never changes an answer
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -40,7 +41,7 @@ from ..routing.router import RouteOutcome
 from ..scenarios.generators import perturbed_grid_scenario
 from ..scenarios.mobility import ChurnEvent, MobilityModel, churn_schedule
 
-__all__ = ["run_churn_serving"]
+__all__ = ["ChurnRebinder", "ChurnStep", "run_churn_serving"]
 
 
 def _same_outcome(a: RouteOutcome, b: RouteOutcome) -> bool:
@@ -50,6 +51,93 @@ def _same_outcome(a: RouteOutcome, b: RouteOutcome) -> bool:
         and a.reached == b.reached
         and a.used_fallback == b.used_fallback
     )
+
+
+@dataclass
+class ChurnStep:
+    """One churn step's rebuilt topology, ready to rebind into a service."""
+
+    step: int
+    event: str
+    n: int
+    rebuild_ms: float
+    abstraction: Any
+    udg: Any
+
+
+class ChurnRebinder:
+    """Deterministic per-step rebuilds for rebinding a *live* service (E18).
+
+    :func:`run_churn_serving` owns its engine and measures in-process;
+    this class factors out just the churn side — apply one
+    :class:`~repro.scenarios.mobility.ChurnEvent` per step, rebuild the
+    abstraction, hand it to the caller — so the serving tier can execute
+    the rebind wherever the engines actually live: a single-process
+    :class:`~repro.service.registry.InstanceRegistry` or every worker of
+    a :class:`~repro.service.supervisor.ServiceSupervisor` process group,
+    all while query traffic keeps flowing.
+
+    The schedule is fully deterministic given ``seed`` (or an explicit
+    ``events`` list), so a baseline service and an N-worker service fed
+    the same ``ChurnRebinder`` parameters see byte-for-byte the same
+    sequence of topologies — the property E18's differential check rests
+    on.  The defaults are movement-only (``p_join = p_leave = 0``): node
+    count then stays fixed, client pair pools stay valid across steps,
+    and every rebind is eligible for scoped invalidation.
+    """
+
+    def __init__(
+        self,
+        scenario: Any,
+        *,
+        speed: float = 0.04,
+        seed: int = 7,
+        steps: int = 8,
+        p_join: float = 0.0,
+        p_leave: float = 0.0,
+        batch: int = 1,
+        move_fraction: float = 0.15,
+        events: Sequence[ChurnEvent] | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.model = MobilityModel(scenario, speed=speed, seed=seed + 1)
+        self.schedule: list[ChurnEvent] = (
+            list(events)
+            if events is not None
+            else churn_schedule(
+                steps,
+                seed=seed + 2,
+                p_join=p_join,
+                p_leave=p_leave,
+                batch=batch,
+                move_fraction=move_fraction,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def steps(self) -> Iterator[ChurnStep]:
+        """Yield one rebuilt topology per scheduled churn event.
+
+        ``rebuild_ms`` covers LDel + abstraction construction only; the
+        rebind itself is timed by whoever executes it (the engine worker
+        reports ``rebind_ms`` per rebind).
+        """
+        for index, event in enumerate(self.schedule, start=1):
+            pts = self.model.apply(event).copy()
+            t0 = time.perf_counter()
+            graph = build_ldel(pts)
+            abstraction = build_abstraction(graph)
+            rebuild_ms = (time.perf_counter() - t0) * 1e3
+            yield ChurnStep(
+                step=index,
+                event=event.kind,
+                n=len(pts),
+                rebuild_ms=rebuild_ms,
+                abstraction=abstraction,
+                udg=graph.udg,
+            )
 
 
 def run_churn_serving(

@@ -294,6 +294,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shut down after N handled requests (smoke runs/tests)",
     )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve with N forked worker processes sharing the port via "
+        "SO_REUSEPORT (1 = single-process, in-loop serving)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="DEPTH",
+        help="admission bound on queued route requests per engine; "
+        "overflow is shed with 429 + Retry-After (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--warm-nodes",
+        type=int,
+        default=0,
+        metavar="K",
+        help="pre-warm each worker's engine by locating ~K spread nodes "
+        "before serving (multi-process mode)",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="model-invariant static analysis (RPR rule suite)"
@@ -808,12 +832,6 @@ def cmd_serve(args) -> int:
 
     from .service import InstanceRegistry, RoutingService
 
-    registry = InstanceRegistry(
-        caching=not args.no_cache,
-        max_batch=args.max_batch,
-        batch_window=args.batch_window_ms / 1000.0,
-    )
-    service = RoutingService(registry, max_requests=args.max_requests)
     params = {
         "width": args.width,
         "height": args.width,
@@ -822,6 +840,15 @@ def cmd_serve(args) -> int:
         "seed": args.seed,
         "mode": args.mode,
     }
+    if args.workers > 1:
+        return _serve_multiproc(args, params)
+    registry = InstanceRegistry(
+        caching=not args.no_cache,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms / 1000.0,
+        queue_limit=args.queue_limit,
+    )
+    service = RoutingService(registry, max_requests=args.max_requests)
 
     async def run() -> None:
         instance = await registry.create(params)
@@ -846,6 +873,56 @@ def cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _serve_multiproc(args, params: dict) -> int:
+    """`repro serve --workers N`: the SO_REUSEPORT process group."""
+    import time
+
+    from .analysis.experiments import make_instance
+    from .service import InstanceStore, ServiceSupervisor
+
+    build = {k: v for k, v in params.items() if k != "mode"}
+    inst = make_instance(**build)
+    store = InstanceStore()
+    entry = store.publish(
+        inst.abstraction, inst.graph.udg, mode=params["mode"], params=params
+    )
+    supervisor = ServiceSupervisor(
+        store,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        caching=not args.no_cache,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        warm_nodes=args.warm_nodes,
+    )
+    supervisor.start()
+    pids = ", ".join(str(h.pid) for h in supervisor.handles())
+    print(
+        f"serving instance {entry.digest[:12]} "
+        f"(n={entry.n}, {entry.holes} holes, mode={entry.mode}) "
+        f"on http://{args.host}:{supervisor.port} "
+        f"with {args.workers} workers (pids {pids})",
+        flush=True,
+    )
+    print(
+        "endpoints: /healthz /metrics /v1/instances /v1/route "
+        "/v1/route/batch /v1/locate",
+        flush=True,
+    )
+    try:
+        while supervisor.alive() == args.workers:
+            time.sleep(0.5)
+        print("a worker exited; shutting down", flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+        store.close()
     return 0
 
 

@@ -12,11 +12,13 @@ blocks.  Three whole-program rules enforce it:
   function as an *argument*, so it naturally breaks the call chain —
   no special casing needed, the boundary is structural.
 * **RPR302** — engine ownership escapes: ``worker.engine`` accessed
-  outside ``EngineWorker``'s own methods, a ``QueryEngine`` method
-  called from service code that is not an ``EngineWorker`` method, or
-  attribute writes on ``QueryEngine``/``EngineStats`` values from
-  outside their owning class.  (``QueryEngine(...)`` *construction* is
-  legal anywhere — creating is not using.)
+  outside a recognized owner class, a ``QueryEngine`` method called
+  from service code that is not an owner method, or attribute writes on
+  ``QueryEngine``/``EngineStats`` values from outside their owning
+  class.  Recognized owners are ``EngineWorker`` (serving time) and
+  ``WorkerRuntime`` (pre-loop bootstrap in a forked worker — see
+  ``_OWNER_CLASSES``).  (``QueryEngine(...)`` *construction* is legal
+  anywhere — creating is not using.)
 * **RPR303** — ``await`` while holding a lock: an ``async with`` over an
   ``asyncio.Lock``/``Semaphore``/``Condition`` whose body contains an
   ``await`` serializes every coroutine behind the slowest awaited call.
@@ -52,6 +54,13 @@ _SERVICE_PART = "service"
 _ENGINE_CLASS = "QueryEngine"
 _STATS_CLASS = "EngineStats"
 _WORKER_CLASS = "EngineWorker"
+
+#: classes whose methods may legitimately drive an engine.  EngineWorker
+#: is the serving-time owner; WorkerRuntime is the per-process bootstrap
+#: that builds and warms engines in a forked worker *before* that
+#: worker's event loop (and hence any concurrent owner) exists —
+#: ownership hands over to the EngineWorker when serving starts.
+_OWNER_CLASSES = frozenset({_WORKER_CLASS, "WorkerRuntime"})
 
 #: module-level project functions that are CPU-heavy enough to block
 _BLOCKING_FUNCTIONS = {"make_instance", "build_abstraction", "build_ldel"}
@@ -269,8 +278,8 @@ class EngineOwnershipRule(DeepRule):
         )
         for fn in fns:
             owner = _class_name(project, fn.cls)
-            if owner == _WORKER_CLASS:
-                continue  # the owner is allowed to touch its engine
+            if owner in _OWNER_CLASSES:
+                continue  # recognized owners may touch their engines
             env = local_type_env(project, fn)
             yield from self._check_fn(project, fn, env)
 

@@ -402,19 +402,28 @@ class QueryEngine:
         if digest != self._digest:
             self._invalidate("content_changed", self.abstraction, self.udg)
 
-    def rebind(self, abstraction: Abstraction, *, scope: str = "auto") -> None:
+    def rebind(
+        self,
+        abstraction: Abstraction,
+        *,
+        udg: Adjacency | None = None,
+        scope: str = "auto",
+    ) -> None:
         """Swap in a rebuilt abstraction (post-mobility re-setup).
 
         ``scope="auto"`` (default) runs the scoped differ when the node set
         is unchanged and ``scoped_invalidation`` is on; ``scope="full"``
-        forces a whole-cache flush.
+        forces a whole-cache flush.  ``udg`` optionally carries the true
+        unit-disk adjacency of the new placement (for ``optimal()``
+        ground-truth shortest paths); when omitted the abstraction's own
+        graph adjacency is used, matching the original behaviour.
         """
         if scope not in ("auto", "full"):
             raise ValueError(f"unknown rebind scope {scope!r}")
         self._invalidate(
             "rebind",
             abstraction,
-            abstraction.graph.adjacency,
+            abstraction.graph.adjacency if udg is None else udg,
             force_full=scope == "full",
         )
 

@@ -12,10 +12,23 @@ Concurrency rule (see ``docs/service.md``): the engine's caches are not
 safe under concurrent mutation, so every engine is owned by exactly one
 :class:`EngineWorker` task with a queue in front — HTTP handlers await
 futures, they never touch an engine.
+
+Multi-process tier (``docs/service.md`` § multi-process):
+:class:`InstanceStore` publishes built abstractions once (fork
+copy-on-write, optionally spawn-safe shared-memory blobs);
+:class:`ServiceSupervisor` forks N workers that share one SO_REUSEPORT
+port, each with per-process engines/caches/metrics, with admission
+control (429 + ``Retry-After``) and live-churn rebinds broadcast over
+control pipes.
 """
 
 from .app import RoutingService
-from .batching import EngineWorker, WorkerStats
+from .batching import (
+    EngineWorker,
+    WorkerOverloadedError,
+    WorkerStats,
+    WorkerStoppedError,
+)
 from .client import ServiceClient
 from .contracts import (
     MODES,
@@ -26,11 +39,15 @@ from .contracts import (
 )
 from .metrics import LatencyReservoir, ServiceMetrics
 from .registry import InstanceRegistry, ServiceInstance
+from .store import InstanceStore, StoredInstance
+from .supervisor import ServiceSupervisor, WorkerRuntime
 
 __all__ = [
     "RoutingService",
     "EngineWorker",
     "WorkerStats",
+    "WorkerOverloadedError",
+    "WorkerStoppedError",
     "ServiceClient",
     "ContractError",
     "MODES",
@@ -41,4 +58,8 @@ __all__ = [
     "ServiceMetrics",
     "InstanceRegistry",
     "ServiceInstance",
+    "InstanceStore",
+    "StoredInstance",
+    "ServiceSupervisor",
+    "WorkerRuntime",
 ]

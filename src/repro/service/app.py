@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from typing import Any
 
+from .batching import WorkerOverloadedError, WorkerStoppedError
 from .contracts import (
     ContractError,
     parse_batch_body,
@@ -66,7 +68,9 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -80,6 +84,10 @@ class RoutingService:
     max_requests:
         After this many handled requests the service marks itself done
         (:meth:`wait_done` returns) — bounded smoke runs and CLI tests.
+    worker_id:
+        Identity string reported by ``/healthz`` when this service is one
+        process of a multi-worker deployment (see
+        :mod:`repro.service.supervisor`); ``None`` for standalone runs.
     """
 
     def __init__(
@@ -87,10 +95,12 @@ class RoutingService:
         registry: InstanceRegistry | None = None,
         *,
         max_requests: int | None = None,
+        worker_id: str | None = None,
     ) -> None:
         self.registry = registry if registry is not None else InstanceRegistry()
         self.metrics = ServiceMetrics()
         self.max_requests = max_requests
+        self.worker_id = worker_id
         self._handled = 0
         self._done = asyncio.Event()
         self._server: asyncio.Server | None = None
@@ -109,6 +119,22 @@ class RoutingService:
             status, body = await self._dispatch(method, path, payload)
         except ContractError as exc:
             status, body = exc.status, exc.payload()
+        except WorkerOverloadedError as exc:
+            # Admission control shed this request before it enqueued; the
+            # envelope carries the worker's drain estimate, which the
+            # transport also surfaces as a Retry-After header.
+            self.metrics.record_shed(endpoint)
+            status, body = 429, {
+                "error": {
+                    "code": "overloaded",
+                    "message": str(exc),
+                    "retry_after": exc.retry_after,
+                }
+            }
+        except WorkerStoppedError as exc:
+            status, body = 503, {
+                "error": {"code": "shutting_down", "message": str(exc)}
+            }
         except Exception as exc:  # noqa: BLE001 - the front door must answer
             status, body = 500, {
                 "error": {"code": "internal_error", "message": str(exc)}
@@ -123,11 +149,15 @@ class RoutingService:
         self, method: str, path: str, payload: Any
     ) -> tuple[int, dict[str, Any]]:
         if path == "/healthz" and method == "GET":
-            return 200, {
+            body: dict[str, Any] = {
                 "status": "ok",
                 "instances": len(self.registry),
                 "requests": self.metrics.requests_total,
+                "pid": os.getpid(),
             }
+            if self.worker_id is not None:
+                body["worker"] = self.worker_id
+            return 200, body
         if path == "/metrics" and method == "GET":
             return 200, await self._metrics_payload()
         if path == "/v1/instances":
@@ -203,10 +233,18 @@ class RoutingService:
 
     # -- transport -----------------------------------------------------------
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self, host: str = "127.0.0.1", port: int = 0, *, reuse_port: bool = False
     ) -> asyncio.Server:
-        """Bind and start serving; ``port=0`` picks an ephemeral port."""
-        self._server = await asyncio.start_server(self._on_client, host, port)
+        """Bind and start serving; ``port=0`` picks an ephemeral port.
+
+        ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several worker
+        processes can share one listening port; the kernel load-balances
+        accepted connections across them (the multi-process tier's front
+        door — see :mod:`repro.service.supervisor`).
+        """
+        self._server = await asyncio.start_server(
+            self._on_client, host, port, reuse_port=reuse_port or None
+        )
         return self._server
 
     @property
@@ -344,11 +382,18 @@ class RoutingService:
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        extra = ""
+        if status == 429:
+            # Mirror the envelope's drain estimate at the header level so
+            # plain HTTP clients see the backoff hint without parsing JSON.
+            retry_after = payload.get("error", {}).get("retry_after", 1)
+            extra = f"Retry-After: {int(retry_after)}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)

@@ -4,10 +4,10 @@
 single-owner: its memo dicts and LRUs are mutated on every query and are
 not safe under concurrent mutation.  The service therefore runs exactly
 one :class:`EngineWorker` per engine; every operation that touches the
-engine — routing, locating, stats snapshots — is funneled through the
-worker's :class:`asyncio.Queue` and executed strictly one engine call at
-a time.  HTTP handler tasks never hold an engine reference; they await a
-future the worker resolves.
+engine — routing, locating, rebinding, stats snapshots — is funneled
+through the worker's :class:`asyncio.Queue` and executed strictly one
+engine call at a time.  HTTP handler tasks never hold an engine
+reference; they await a future the worker resolves.
 
 **Micro-batching.**  While one engine call runs, new requests accumulate
 in the queue.  When the worker comes back around it drains everything
@@ -15,8 +15,34 @@ waiting (up to ``max_batch`` pairs) and coalesces adjacent same-mode
 route requests into a single :meth:`QueryEngine.route_many` call, which
 sorts distinct pairs and collapses duplicates into cache hits — the
 batching the engine was built for.  An optional ``batch_window`` adds a
-fixed wait after the first dequeue so bursty-but-sparse arrivals can
-coalesce too; the default (0) never delays a lone request.
+bounded wait after the first dequeue so bursty-but-sparse arrivals can
+coalesce too; the wait ends **early** the moment the ``max_batch`` pair
+budget is filled (a saturated queue must never buy extra latency), and
+the default (0) never delays a lone request.
+
+**Admission control.**  ``max_queue_depth`` bounds how many requests may
+wait in front of the engine.  A submission beyond the bound is refused
+with :class:`WorkerOverloadedError` *before* it enqueues — the service
+layer maps it to ``429`` with a ``Retry-After`` derived from the queue
+depth and the worker's smoothed batch execution time, so shed load
+carries an honest come-back hint instead of silently growing the queue.
+
+**Response fast path.**  Served route payloads are deterministic given
+the engine's bound digest, so the worker keeps a bounded LRU of payloads
+keyed ``(mode, s, t)``.  A request whose pairs are all cached is answered
+on the event loop without an engine call or thread hop.  The cache is
+dropped on every rebind, and the fast path is suspended while a rebind
+is queued (``_pending_rebinds``) so a request submitted after a rebind
+can never be answered from pre-rebind state.  With ``caching=False``
+engines the fast path is disabled entirely — the differential baseline
+must exercise the full route path on every request.
+
+**Shutdown.**  :meth:`stop` lets queued work drain, then fails anything
+that raced in behind the stop sentinel with :class:`WorkerStoppedError`
+— a future handed out by this worker always resolves, even when the
+worker loop itself dies: the loop's ``finally`` clause fails every
+request still queued at exit.  The HTTP layer maps the error to a clean
+``503`` envelope.
 
 **Event-loop hygiene.**  The engine call itself is CPU-bound Python, so
 the worker runs it in a thread (:func:`asyncio.to_thread`) and awaits the
@@ -31,23 +57,54 @@ engine between operations.
 from __future__ import annotations
 
 import asyncio
+import math
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.abstraction import Abstraction
+from ..graphs.udg import Adjacency
 from ..routing.engine import QueryEngine
 from ..simulation.metrics import MetricsCollector
 from .contracts import locate_payload, outcome_payload
 
-__all__ = ["EngineWorker", "WorkerStats"]
+__all__ = [
+    "EngineWorker",
+    "WorkerStats",
+    "WorkerOverloadedError",
+    "WorkerStoppedError",
+]
+
+
+class WorkerStoppedError(RuntimeError):
+    """The worker is shutting down; the request was not (fully) served."""
+
+
+class WorkerOverloadedError(RuntimeError):
+    """Admission control refused the request (queue depth exceeded).
+
+    ``retry_after`` is the worker's estimate, in whole seconds (≥ 1), of
+    when the backlog will have drained — queue depth times the smoothed
+    per-batch execution time.
+    """
+
+    def __init__(self, message: str, *, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
 
 
 @dataclass
 class WorkerStats:
-    """Counters of one engine worker (all mutated by the worker only)."""
+    """Counters of one engine worker (all mutated on the event loop)."""
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: submissions refused by admission control (mapped to 429)
+    shed: int = 0
+    #: route requests answered from the response payload cache
+    fast_path: int = 0
     #: engine calls made for route work (after coalescing)
     route_batches: int = 0
     #: route requests absorbed into those batches
@@ -58,6 +115,9 @@ class WorkerStats:
     max_batch_pairs: int = 0
     #: high-water mark of the request queue
     queue_peak: int = 0
+    #: rebinds executed through the queue, and the last one's wall time
+    rebinds: int = 0
+    last_rebind_ms: float = 0.0
 
     def snapshot(self) -> dict[str, int | float]:
         """Copy of the counters plus the mean coalesced batch size."""
@@ -65,11 +125,15 @@ class WorkerStats:
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "shed": self.shed,
+            "fast_path": self.fast_path,
             "route_batches": self.route_batches,
             "route_requests": self.route_requests,
             "route_pairs": self.route_pairs,
             "max_batch_pairs": self.max_batch_pairs,
             "queue_peak": self.queue_peak,
+            "rebinds": self.rebinds,
+            "last_rebind_ms": self.last_rebind_ms,
             "mean_batch_pairs": (
                 self.route_pairs / self.route_batches
                 if self.route_batches
@@ -80,11 +144,13 @@ class WorkerStats:
 
 @dataclass
 class _Request:
-    kind: str  # "route" | "locate" | "stats"
+    kind: str  # "route" | "locate" | "stats" | "rebind"
     future: asyncio.Future
     pairs: list[tuple[int, int]] = field(default_factory=list)
     nodes: list[int] = field(default_factory=list)
     mode: str | None = None
+    #: rebind payload: (abstraction, udg-or-None)
+    payload: Any = None
 
 
 _STOP = object()
@@ -106,7 +172,15 @@ class EngineWorker:
         beyond it wait for the next drain.
     batch_window:
         Seconds to wait after the first dequeue before draining, letting
-        sparse bursts coalesce (0 = drain only what already queued).
+        sparse bursts coalesce (0 = drain only what already queued).  The
+        wait ends early once ``max_batch`` pairs are queued.
+    max_queue_depth:
+        Admission bound on requests waiting in the queue; ``None`` (the
+        default) admits everything.  Submissions beyond the bound raise
+        :class:`WorkerOverloadedError` instead of enqueueing.
+    response_cache_size:
+        LRU bound for the per-pair response payload fast path (0 turns
+        the fast path off).
     """
 
     def __init__(
@@ -116,43 +190,81 @@ class EngineWorker:
         metrics: MetricsCollector | None = None,
         max_batch: int = 512,
         batch_window: float = 0.0,
+        max_queue_depth: int | None = None,
+        response_cache_size: int = 8192,
     ) -> None:
         self.engine = engine
         self.metrics = metrics
         self.max_batch = max(1, int(max_batch))
         self.batch_window = max(0.0, float(batch_window))
+        self.max_queue_depth = (
+            None if max_queue_depth is None else max(1, int(max_queue_depth))
+        )
+        self.response_cache_size = max(0, int(response_cache_size))
         self.stats = WorkerStats()
         self._queue: asyncio.Queue[Any] = asyncio.Queue()
         self._task: asyncio.Task | None = None
         self._stopped = False
+        self._pending_rebinds = 0
+        #: smoothed seconds of one executed batch (EWMA, Retry-After hint)
+        self._batch_seconds_ewma = 0.0
+        #: (mode, s, t) -> served payload dict; dropped on every rebind
+        self._response_cache: OrderedDict[
+            tuple[str, int, int], dict[str, Any]
+        ] = OrderedDict()
 
     # -- lifecycle -----------------------------------------------------------
     def _ensure_started(self) -> None:
         if self._task is None or self._task.done():
             if self._stopped:
-                raise RuntimeError("worker is stopped")
+                raise WorkerStoppedError("worker is stopped")
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Drain the queue, then stop the worker task."""
+        """Drain the queue, then stop the worker task.
+
+        Work queued ahead of the stop sentinel is served normally;
+        anything behind it (racing submissions) fails with
+        :class:`WorkerStoppedError` — no future handed out by this worker
+        is ever left pending, even if the worker task itself crashed.
+        """
         self._stopped = True
         if self._task is not None and not self._task.done():
             await self._queue.put(_STOP)
-            await self._task
-        # Anything still queued (racing submissions) fails loudly instead
-        # of leaving its caller awaiting a future that never resolves.
+            # A crashed worker loop must not strand the drain: collect the
+            # task's outcome without re-raising here (its finally clause
+            # already failed whatever it still held).
+            await asyncio.gather(self._task, return_exceptions=True)
+        self._drain_failed()
+
+    def _drain_failed(self) -> None:
+        """Fail everything still queued with a clean stop error."""
         while True:
             try:
                 leftover = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
             if leftover is not _STOP:
-                self._fail(leftover, RuntimeError("worker is stopped"))
+                self._fail(leftover, WorkerStoppedError("worker is stopped"))
 
     # -- submission ----------------------------------------------------------
     async def _submit(self, request: _Request) -> Any:
         if self._stopped:
-            raise RuntimeError("worker is stopped")
+            raise WorkerStoppedError("worker is stopped")
+        if (
+            self.max_queue_depth is not None
+            and request.kind == "route"
+            and self._queue.qsize() >= self.max_queue_depth
+        ):
+            self.stats.shed += 1
+            depth = self._queue.qsize()
+            batches = math.ceil(depth / max(1, self.max_batch))
+            eta = batches * max(self._batch_seconds_ewma, 0.05)
+            raise WorkerOverloadedError(
+                f"engine queue is full ({depth} waiting, "
+                f"bound {self.max_queue_depth})",
+                retry_after=math.ceil(eta),
+            )
         self._ensure_started()
         self.stats.submitted += 1
         await self._queue.put(request)
@@ -165,18 +277,78 @@ class EngineWorker:
         future = asyncio.get_running_loop().create_future()
         return _Request(kind=kind, future=future, **kw)
 
+    def _fast_payloads(
+        self, pairs: list[tuple[int, int]], mode: str | None
+    ) -> list[dict[str, Any]] | None:
+        """Cached payloads for every pair, or ``None`` on any miss.
+
+        Disabled while a rebind is queued (a request submitted after the
+        rebind must see post-rebind answers) and for cache-less engines
+        (the differential baseline must route every request).
+        """
+        if (
+            not self._response_cache
+            or self._pending_rebinds
+            or self._stopped
+            or not self.engine.caching
+        ):
+            return None
+        effective = mode if mode is not None else self.engine.mode
+        out: list[dict[str, Any]] = []
+        for s, t in pairs:
+            payload = self._response_cache.get((effective, int(s), int(t)))
+            if payload is None:
+                return None
+            out.append(payload)
+        return out
+
+    def _remember_payloads(
+        self,
+        pairs: list[tuple[int, int]],
+        mode: str | None,
+        payloads: list[dict[str, Any]],
+    ) -> None:
+        if self.response_cache_size <= 0 or not self.engine.caching:
+            return
+        effective = mode if mode is not None else self.engine.mode
+        for (s, t), payload in zip(pairs, payloads):
+            self._response_cache[(effective, int(s), int(t))] = payload
+        while len(self._response_cache) > self.response_cache_size:
+            self._response_cache.popitem(last=False)
+
     async def route(
         self, pairs: list[tuple[int, int]], mode: str | None = None
     ) -> list[dict[str, Any]]:
         """Route ``pairs``; returns one result payload per pair, in order."""
+        pairs = [(int(s), int(t)) for s, t in pairs]
+        cached = self._fast_payloads(pairs, mode)
+        if cached is not None:
+            self.stats.fast_path += 1
+            return cached
         return await self._submit(
-            self._new_request("route", pairs=list(pairs), mode=mode)
+            self._new_request("route", pairs=pairs, mode=mode)
         )
 
     async def locate(self, nodes: list[int]) -> list[dict[str, Any]]:
         """Classify ``nodes`` (§4.3); one locate payload per node."""
         return await self._submit(
             self._new_request("locate", nodes=list(nodes))
+        )
+
+    async def rebind(
+        self, abstraction: Abstraction, udg: Adjacency | None = None
+    ) -> dict[str, Any]:
+        """Swap the engine onto ``abstraction`` through the queue.
+
+        Serialized with query traffic: requests queued ahead of the
+        rebind are answered on the old topology, requests submitted after
+        it on the new one.  Scoped invalidation applies exactly as for an
+        in-process :meth:`QueryEngine.rebind`.  Returns the engine's
+        flush record plus the rebind wall time.
+        """
+        self._pending_rebinds += 1
+        return await self._submit(
+            self._new_request("rebind", payload=(abstraction, udg))
         )
 
     async def stats_snapshot(self) -> dict[str, Any]:
@@ -190,28 +362,56 @@ class EngineWorker:
 
     # -- worker loop ---------------------------------------------------------
     async def _run(self) -> None:
-        while True:
-            item = await self._queue.get()
-            if item is _STOP:
-                return
-            if self.batch_window > 0.0:
-                await asyncio.sleep(self.batch_window)
-            batch: list[_Request] = [item]
-            budget = sum(len(r.pairs) for r in batch) or 1
-            stop_after = False
-            while budget < self.max_batch:
-                try:
-                    extra = self._queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    break
-                if extra is _STOP:
-                    stop_after = True
-                    break
-                batch.append(extra)
-                budget += len(extra.pairs) or 1
-            await self._execute(batch)
-            if stop_after:
-                return
+        try:
+            while True:
+                item = await self._queue.get()
+                if item is _STOP:
+                    return
+                batch: list[_Request] = [item]
+                budget = sum(len(r.pairs) for r in batch) or 1
+                stop_after = False
+                if self.batch_window > 0.0 and budget < self.max_batch:
+                    stop_after = await self._window_fill(batch)
+                    budget = sum(len(r.pairs) or 1 for r in batch)
+                while not stop_after and budget < self.max_batch:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is _STOP:
+                        stop_after = True
+                        break
+                    batch.append(extra)
+                    budget += len(extra.pairs) or 1
+                await self._execute(batch)
+                if stop_after:
+                    return
+        finally:
+            # However the loop exits — stop sentinel, cancellation, or a
+            # bug in the batching logic — nothing queued may be left with
+            # a pending future.
+            self._drain_failed()
+
+    async def _window_fill(self, batch: list[_Request]) -> bool:
+        """Wait out ``batch_window``, returning early once the pair budget
+        fills — a saturated queue must not pay the window as latency.
+        Returns True when the stop sentinel was drained."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.batch_window
+        budget = sum(len(r.pairs) or 1 for r in batch)
+        while budget < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
+                break
+            try:
+                extra = await asyncio.wait_for(self._queue.get(), remaining)
+            except asyncio.TimeoutError:
+                break
+            if extra is _STOP:
+                return True
+            batch.append(extra)
+            budget += len(extra.pairs) or 1
+        return False
 
     async def _execute(self, batch: list[_Request]) -> None:
         """Run one drained batch: coalesce route runs, serialize the rest."""
@@ -240,44 +440,69 @@ class EngineWorker:
         self.stats.route_pairs += len(pairs)
         if len(pairs) > self.stats.max_batch_pairs:
             self.stats.max_batch_pairs = len(pairs)
+        started = time.perf_counter()
         try:
             payloads = await asyncio.to_thread(
                 self._serve_route, pairs, group[0].mode
             )
+        except asyncio.CancelledError:
+            # Worker task killed mid-call: the in-flight group must not
+            # be stranded with pending futures (the engine thread itself
+            # runs to completion; only the await was cancelled).
+            for request in group:
+                self._fail(request, WorkerStoppedError("worker is stopped"))
+            raise
         except Exception as exc:  # noqa: BLE001 - forwarded to the callers
             for request in group:
                 self._fail(request, exc)
             return
+        self._observe_batch_seconds(time.perf_counter() - started)
+        self._remember_payloads(pairs, group[0].mode, payloads)
         offset = 0
         for request in group:
             size = len(request.pairs)
             self._finish(request, payloads[offset : offset + size])
             offset += size
 
-    async def _run_single(self, request: _Request) -> None:
-        fn = (
-            self._serve_locate
-            if request.kind == "locate"
-            else self._serve_stats
-        )
-        arg = request.nodes if request.kind == "locate" else None
-        try:
-            result = (
-                await asyncio.to_thread(fn, arg)
-                if arg is not None
-                else await asyncio.to_thread(fn)
+    def _observe_batch_seconds(self, seconds: float) -> None:
+        if self._batch_seconds_ewma == 0.0:
+            self._batch_seconds_ewma = seconds
+        else:
+            self._batch_seconds_ewma = (
+                0.8 * self._batch_seconds_ewma + 0.2 * seconds
             )
+
+    async def _run_single(self, request: _Request) -> None:
+        try:
+            if request.kind == "locate":
+                result = await asyncio.to_thread(
+                    self._serve_locate, request.nodes
+                )
+            elif request.kind == "rebind":
+                abstraction, udg = request.payload
+                result = await asyncio.to_thread(
+                    self._serve_rebind, abstraction, udg
+                )
+            else:
+                result = await asyncio.to_thread(self._serve_stats)
+        except asyncio.CancelledError:
+            self._fail(request, WorkerStoppedError("worker is stopped"))
+            raise
         except Exception as exc:  # noqa: BLE001 - forwarded to the caller
             self._fail(request, exc)
             return
         self._finish(request, result)
 
     def _finish(self, request: _Request, result: Any) -> None:
+        if request.kind == "rebind":
+            self._pending_rebinds -= 1
         self.stats.completed += 1
         if not request.future.cancelled():
             request.future.set_result(result)
 
     def _fail(self, request: _Request, exc: BaseException) -> None:
+        if request.kind == "rebind":
+            self._pending_rebinds -= 1
         self.stats.failed += 1
         if not request.future.cancelled():
             request.future.set_exception(exc)
@@ -299,6 +524,25 @@ class EngineWorker:
 
     def _serve_locate(self, nodes: list[int]) -> list[dict[str, Any]]:
         return [locate_payload(node, self.engine.locate(node)) for node in nodes]
+
+    def _serve_rebind(
+        self, abstraction: Abstraction, udg: Adjacency | None
+    ) -> dict[str, Any]:
+        started = time.perf_counter()
+        self.engine.rebind(abstraction, udg=udg)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        # Every cached payload was computed on the old topology; the
+        # engine's own scoped differ handles its caches, the response
+        # cache has no per-hole key and is dropped wholesale.
+        self._response_cache.clear()
+        self.stats.rebinds += 1
+        self.stats.last_rebind_ms = elapsed_ms
+        return {
+            "digest": self.engine.digest,
+            "n": len(abstraction.points),
+            "rebind_ms": elapsed_ms,
+            "flush": self.engine.stats.last_flush,
+        }
 
     def _serve_stats(self) -> dict[str, Any]:
         return {

@@ -13,6 +13,7 @@ serialization anyway, mirroring the engine-side discipline.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any
 
@@ -20,14 +21,29 @@ __all__ = ["LatencyReservoir", "ServiceMetrics", "percentile"]
 
 
 def percentile(values: list[float], p: float) -> float:
-    """Nearest-rank percentile of ``values`` (0.0 for an empty list)."""
+    """Rank-interpolated percentile of ``values`` (0.0 for an empty list).
+
+    Uses linear interpolation between closest ranks (the numpy default):
+    the rank ``p/100 * (n - 1)`` is split into its integer neighbours and
+    the value is interpolated between them.  The old nearest-rank variant
+    rounded to a single order statistic, which made p99 collapse onto the
+    maximum for any window under 100 samples — small-window tails read as
+    worst cases.  Callers reporting percentiles should surface the sample
+    count alongside (see :meth:`LatencyReservoir.summary`), because an
+    empty input still yields 0.0 — distinguishable only via ``samples``.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
-    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-    return ordered[int(rank)]
+    rank = max(0.0, min(1.0, p / 100.0)) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class LatencyReservoir:
@@ -45,11 +61,17 @@ class LatencyReservoir:
         self.total += seconds
 
     def summary(self) -> dict[str, float]:
-        """p50/p95/p99/mean over the retained window, in milliseconds."""
+        """p50/p95/p99/mean over the retained window, in milliseconds.
+
+        ``samples`` is the retained-window size the percentiles were
+        computed over — readers must not trust a p99 from three samples,
+        and a 0.0 percentile with ``samples: 0`` means "no data", not
+        "instant".
+        """
         window = [s * 1000.0 for s in self._samples]
         return {
             "count": float(self.count),
-            "window": float(len(window)),
+            "samples": float(len(window)),
             "mean_ms": sum(window) / len(window) if window else 0.0,
             "p50_ms": percentile(window, 50.0),
             "p95_ms": percentile(window, 95.0),
@@ -65,6 +87,8 @@ class ServiceMetrics:
         self.by_endpoint: dict[str, int] = {}
         self.by_status: dict[int, int] = {}
         self.route_pairs = 0
+        self.shed_total = 0
+        self.shed_by_endpoint: dict[str, int] = {}
         self.latency = LatencyReservoir()
 
     def record_request(self, endpoint: str) -> None:
@@ -81,11 +105,20 @@ class ServiceMetrics:
         """Count pairs answered by route endpoints (batch-aware qps)."""
         self.route_pairs += count
 
+    def record_shed(self, endpoint: str) -> None:
+        """Count one request rejected by admission control (a 429)."""
+        self.shed_total += 1
+        self.shed_by_endpoint[endpoint] = (
+            self.shed_by_endpoint.get(endpoint, 0) + 1
+        )
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready copy of every counter plus latency percentiles."""
         return {
             "requests_total": self.requests_total,
             "route_pairs": self.route_pairs,
+            "shed_total": self.shed_total,
+            "shed_by_endpoint": dict(self.shed_by_endpoint),
             "by_endpoint": dict(self.by_endpoint),
             "by_status": {str(k): v for k, v in self.by_status.items()},
             "latency": self.latency.summary(),

@@ -67,10 +67,12 @@ class InstanceRegistry:
         caching: bool = True,
         max_batch: int = 512,
         batch_window: float = 0.0,
+        queue_limit: int | None = None,
     ) -> None:
         self.caching = caching
         self.max_batch = max_batch
         self.batch_window = batch_window
+        self.queue_limit = queue_limit
         self._instances: dict[str, ServiceInstance] = {}
         self._order: list[str] = []
         self._build_lock = asyncio.Lock()
@@ -124,6 +126,7 @@ class InstanceRegistry:
                 metrics=metrics,
                 max_batch=self.max_batch,
                 batch_window=self.batch_window,
+                max_queue_depth=self.queue_limit,
             ),
             metrics=metrics,
         )
@@ -167,7 +170,12 @@ class InstanceRegistry:
         """Resolve an instance; ``None`` means the default (first) one.
 
         Digest prefixes of at least 8 hex chars resolve when unambiguous,
-        so clients can pass the short form the CLI prints.
+        so clients can pass the short form the CLI prints.  An exact
+        64-char digest always wins even when it happens to prefix
+        nothing; a prefix matching several instances is a deterministic
+        409 (``ambiguous_instance``) rather than first-registered-wins —
+        which instance "first" is depends on registration order the
+        client can't see.
         """
         if digest is None:
             if not self._order:
@@ -181,14 +189,52 @@ class InstanceRegistry:
         if found is not None:
             return found
         if len(digest) >= 8:
-            matches = [d for d in self._order if d.startswith(digest)]
+            matches = sorted(d for d in self._order if d.startswith(digest))
             if len(matches) == 1:
                 return self._instances[matches[0]]
+            if len(matches) > 1:
+                shown = ", ".join(d[:12] for d in matches)
+                raise ContractError(
+                    f"instance prefix {digest!r} is ambiguous "
+                    f"({len(matches)} matches: {shown})",
+                    status=409,
+                    code="ambiguous_instance",
+                )
         raise ContractError(
             f"unknown instance {digest!r}",
             status=404,
             code="unknown_instance",
         )
+
+    async def rebind(
+        self,
+        digest: str | None,
+        abstraction: Any,
+        udg: Any | None = None,
+    ) -> dict[str, Any]:
+        """Rebind a live instance onto a rebuilt abstraction.
+
+        The rebind runs through the instance's worker queue (strictly
+        serialized with query traffic, scoped invalidation applies), then
+        the registry re-keys the instance under the new content digest —
+        its position in :attr:`_order` is preserved so the default
+        instance stays default across churn.  Returns the worker's
+        rebind record (new digest, flush detail, wall time).
+        """
+        instance = self.get(digest)
+        record = await instance.worker.rebind(abstraction, udg)
+        new_digest = record["digest"]
+        if new_digest != instance.digest:
+            position = self._order.index(instance.digest)
+            del self._instances[instance.digest]
+            instance.digest = new_digest
+            self._order[position] = new_digest
+            self._instances[new_digest] = instance
+        instance.n = len(abstraction.points)
+        instance.holes = sum(
+            1 for h in abstraction.holes if not h.is_outer
+        )
+        return record
 
     def list(self) -> list[dict[str, Any]]:
         """Summary rows in registration order."""

@@ -154,8 +154,10 @@ class TestEndpoints:
                 assert svc["requests_total"] >= 2
                 assert svc["route_pairs"] == 1
                 assert set(svc["latency"]) == {
-                    "count", "window", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                    "count", "samples", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
                 }
+                assert svc["latency"]["samples"] >= 2
+                assert svc["shed_total"] == 0
                 row = body["instances"][instance.digest]
                 assert row["worker"]["route_pairs"] == 1
                 assert "engine" in row and "caches" in row
